@@ -1,0 +1,134 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! scheduler policy, the per-bank accounting split, write-queue sizing and
+//! the DRAM speed grade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dramstack_core::{BandwidthAccountant, BwComponent, FirstCauseAccountant};
+use dramstack_dram::{CycleView, DeviceConfig};
+use dramstack_memctrl::{CtrlConfig, MappingScheme, MemoryController, PagePolicy, SchedulerPolicy};
+use dramstack_sim::{Simulator, SystemConfig};
+use dramstack_workloads::SyntheticPattern;
+
+fn run_with_ctrl(mut cfg: SystemConfig, pattern: SyntheticPattern, us: f64) -> f64 {
+    cfg.sample_period = 12_000;
+    Simulator::with_synthetic(cfg, pattern).run_for_us(us).achieved_gbps()
+}
+
+/// FR-FCFS vs strict FCFS on the random pattern (row hits matter).
+fn ablation_scheduler(c: &mut Criterion) {
+    let mk = |sched| {
+        let mut cfg = SystemConfig::paper_default(4);
+        cfg.ctrl.scheduler = sched;
+        cfg
+    };
+    let frfcfs = run_with_ctrl(mk(SchedulerPolicy::FrFcfs), SyntheticPattern::random(0.2), 25.0);
+    let fcfs = run_with_ctrl(mk(SchedulerPolicy::Fcfs), SyntheticPattern::random(0.2), 25.0);
+    println!("ablation_scheduler: FR-FCFS {frfcfs:.2} GB/s vs FCFS {fcfs:.2} GB/s");
+    assert!(frfcfs >= fcfs * 0.95, "FR-FCFS should not lose to FCFS");
+    c.bench_function("ablation/scheduler_frfcfs", |b| {
+        b.iter(|| run_with_ctrl(mk(SchedulerPolicy::FrFcfs), SyntheticPattern::random(0.2), 5.0))
+    });
+    c.bench_function("ablation/scheduler_fcfs", |b| {
+        b.iter(|| run_with_ctrl(mk(SchedulerPolicy::Fcfs), SyntheticPattern::random(0.2), 5.0))
+    });
+}
+
+/// The paper's 1/n per-bank split vs whole-cycle-to-first-cause: drive
+/// both accountants from the same controller and compare the stacks.
+fn ablation_accounting(c: &mut Criterion) {
+    let run_both = |us_cycles: u64| {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        let mut view = CycleView::idle(ctrl.total_banks());
+        let peak = ctrl.config().device.peak_bandwidth_gbps();
+        let mut split = BandwidthAccountant::new(ctrl.total_banks(), peak);
+        let mut first = FirstCauseAccountant::new(ctrl.total_banks(), peak);
+        // A bursty single-bank-group row-hit stream, where the split
+        // matters most.
+        let mut next_addr = 0u64;
+        for now in 0..us_cycles {
+            if now % 12 == 0 {
+                if ctrl.can_accept_read() {
+                    ctrl.enqueue_read(next_addr, 0);
+                    next_addr += 64;
+                }
+            }
+            ctrl.tick(now, &mut view);
+            split.account(&view);
+            first.account(&view);
+            ctrl.drain_completions().for_each(drop);
+        }
+        (split.stack(), first.stack())
+    };
+    let (split, first) = run_both(120_000);
+    println!(
+        "ablation_accounting: split bank-idle {:.2} GB/s vs first-cause bank-idle {:.2} GB/s",
+        split.gbps(BwComponent::BankIdle),
+        first.gbps(BwComponent::BankIdle)
+    );
+    // The first-cause accounting hides bank parallelism loss entirely.
+    assert_eq!(first.gbps(BwComponent::BankIdle), 0.0);
+    assert!(split.gbps(BwComponent::BankIdle) > 0.0);
+    c.bench_function("ablation/accounting_split", |b| b.iter(|| run_both(12_000).0));
+}
+
+/// Write-queue watermark sweep on the store-heavy sequential pattern.
+fn ablation_writeq(c: &mut Criterion) {
+    for wq in [16usize, 32, 128] {
+        let mut cfg = SystemConfig::paper_default(1);
+        cfg.ctrl = cfg.ctrl.with_write_queue(wq);
+        let bw = run_with_ctrl(cfg, SyntheticPattern::sequential(0.5), 25.0);
+        println!("ablation_writeq: wq={wq} -> {bw:.2} GB/s");
+    }
+    c.bench_function("ablation/writeq_128", |b| {
+        b.iter(|| {
+            let mut cfg = SystemConfig::paper_default(1);
+            cfg.ctrl = cfg.ctrl.with_write_queue(128);
+            run_with_ctrl(cfg, SyntheticPattern::sequential(0.5), 5.0)
+        })
+    });
+}
+
+/// DDR4-2400 vs DDR4-3200: the faster grade lifts the saturated plateau.
+fn ablation_ddr4_3200(c: &mut Criterion) {
+    let mk = |dev: DeviceConfig| {
+        let mut cfg = SystemConfig::paper_default(8);
+        cfg.ctrl.device = dev;
+        cfg
+    };
+    let slow = run_with_ctrl(mk(DeviceConfig::ddr4_2400()), SyntheticPattern::sequential(0.0), 25.0);
+    let fast = run_with_ctrl(mk(DeviceConfig::ddr4_3200()), SyntheticPattern::sequential(0.0), 25.0);
+    println!("ablation_ddr4: 2400 -> {slow:.2} GB/s, 3200 -> {fast:.2} GB/s");
+    assert!(fast > slow, "DDR4-3200 should beat DDR4-2400 when saturated");
+    c.bench_function("ablation/ddr4_3200", |b| {
+        b.iter(|| run_with_ctrl(mk(DeviceConfig::ddr4_3200()), SyntheticPattern::sequential(0.0), 5.0))
+    });
+}
+
+/// Page-policy ablation on GAP-like mixed traffic.
+fn ablation_page_policy(c: &mut Criterion) {
+    let mk = |policy| {
+        let mut cfg = SystemConfig::paper_default(2);
+        cfg.ctrl.page_policy = policy;
+        cfg
+    };
+    c.bench_function("ablation/page_open", |b| {
+        b.iter(|| run_with_ctrl(mk(PagePolicy::Open), SyntheticPattern::random(0.0), 5.0))
+    });
+    c.bench_function("ablation/page_closed", |b| {
+        b.iter(|| run_with_ctrl(mk(PagePolicy::Closed), SyntheticPattern::random(0.0), 5.0))
+    });
+    // Guard: the mapping enum is exercised too.
+    let mut cfg = SystemConfig::paper_default(1);
+    cfg.ctrl.mapping = MappingScheme::CacheLineInterleaved;
+    let bw = run_with_ctrl(cfg, SyntheticPattern::sequential(0.5), 10.0);
+    println!("ablation_page_policy: interleaved seq w50 1c -> {bw:.2} GB/s");
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_scheduler, ablation_accounting, ablation_writeq,
+              ablation_ddr4_3200, ablation_page_policy
+}
+criterion_main!(ablations);

@@ -1,0 +1,106 @@
+//! Criterion benches that regenerate every figure's experiment at reduced
+//! scale — `cargo bench` both times the simulator and checks that each
+//! figure's driver runs end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dramstack_memctrl::{MappingScheme, PagePolicy};
+use dramstack_sim::experiments::{
+    self, run_gap, run_synthetic, ExperimentScale,
+};
+use dramstack_workloads::{GapKernel, SyntheticPattern};
+
+fn synth(c: &mut Criterion, id: &str, cores: usize, p: SyntheticPattern, pol: PagePolicy, map: MappingScheme) {
+    c.bench_function(id, |b| {
+        b.iter(|| run_synthetic(cores, p, pol, map, 10.0).achieved_gbps())
+    });
+}
+
+fn fig2_readonly_scaling(c: &mut Criterion) {
+    // Print the quick-scale figure rows once for reference.
+    let rows = experiments::fig2(&ExperimentScale::quick());
+    for r in &rows {
+        println!("fig2 {}: {:.2} GB/s", r.label, r.report.achieved_gbps());
+    }
+    synth(c, "fig2/seq_1c", 1, SyntheticPattern::sequential(0.0), PagePolicy::Open, MappingScheme::RowBankColumn);
+    synth(c, "fig2/rand_8c", 8, SyntheticPattern::random(0.0), PagePolicy::Open, MappingScheme::RowBankColumn);
+}
+
+fn fig3_store_fraction(c: &mut Criterion) {
+    synth(c, "fig3/seq_w50_1c", 1, SyntheticPattern::sequential(0.5), PagePolicy::Open, MappingScheme::RowBankColumn);
+    synth(c, "fig3/rand_w50_1c", 1, SyntheticPattern::random(0.5), PagePolicy::Open, MappingScheme::RowBankColumn);
+}
+
+fn fig4_page_policy(c: &mut Criterion) {
+    synth(c, "fig4/seq_closed_2c", 2, SyntheticPattern::sequential(0.0), PagePolicy::Closed, MappingScheme::RowBankColumn);
+    synth(c, "fig4/rand_closed_2c", 2, SyntheticPattern::random(0.0), PagePolicy::Closed, MappingScheme::RowBankColumn);
+}
+
+fn fig6_bank_indexing(c: &mut Criterion) {
+    synth(c, "fig6/seq_w50_int", 1, SyntheticPattern::sequential(0.5), PagePolicy::Open, MappingScheme::CacheLineInterleaved);
+    synth(c, "fig6/seq_closed_int_2c", 2, SyntheticPattern::sequential(0.0), PagePolicy::Closed, MappingScheme::CacheLineInterleaved);
+}
+
+fn fig7_through_time(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let g = scale.build_graph();
+    c.bench_function("fig7/bfs_8c_through_time", |b| {
+        b.iter(|| {
+            run_gap(
+                GapKernel::Bfs,
+                &g,
+                8,
+                PagePolicy::Closed,
+                MappingScheme::RowBankColumn,
+                32,
+                &scale.gap,
+                scale.max_cycles,
+            )
+            .samples
+            .len()
+        })
+    });
+}
+
+fn fig8_latency_opts(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let g = scale.build_graph();
+    c.bench_function("fig8/bfs_8c_wq128", |b| {
+        b.iter(|| {
+            run_gap(
+                GapKernel::Bfs,
+                &g,
+                8,
+                PagePolicy::Closed,
+                MappingScheme::RowBankColumn,
+                128,
+                &scale.gap,
+                scale.max_cycles,
+            )
+            .avg_read_latency_ns()
+        })
+    });
+}
+
+fn fig9_extrapolation(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let row = experiments::fig9_kernel(GapKernel::Bfs, &scale);
+    println!(
+        "fig9 quick bfs: measured {:.2}, naive err {:.0} %, stack err {:.0} %",
+        row.measured_8c,
+        row.naive_error() * 100.0,
+        row.stack_error() * 100.0
+    );
+    c.bench_function("fig9/cc_predict", |b| {
+        b.iter(|| experiments::fig9_kernel(GapKernel::Cc, &scale).stack)
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig2_readonly_scaling, fig3_store_fraction, fig4_page_policy,
+              fig6_bank_indexing, fig7_through_time, fig8_latency_opts,
+              fig9_extrapolation
+}
+criterion_main!(figures);

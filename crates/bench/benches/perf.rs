@@ -1,0 +1,114 @@
+//! Simulator performance benches: how fast the substrate itself runs.
+//! (The paper stresses that accounting must not "impractically slow down
+//! simulation" — `accounting/*` quantifies our overhead.)
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dramstack_core::BandwidthAccountant;
+use dramstack_dram::{BankActivity, BankAddr, Command, CycleView, DeviceConfig, DramDevice};
+use dramstack_memctrl::{CtrlConfig, MemoryController};
+use dramstack_sim::{Simulator, SystemConfig};
+use dramstack_workloads::SyntheticPattern;
+
+/// Raw device command throughput: ACT+RD pairs across bank groups.
+fn device_issue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf/device");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("act_read_pairs_1000", |b| {
+        b.iter(|| {
+            let mut dev = DramDevice::new(DeviceConfig::ddr4_2400());
+            let mut now = 0u64;
+            for i in 0..1000u32 {
+                let bank = BankAddr::new(0, i % 4, (i / 4) % 4);
+                let at = dev.earliest_activate(bank, now).at;
+                if dev.bank(bank).open_row().is_none() {
+                    dev.issue(Command::activate(bank, i % 1024), at).unwrap();
+                }
+                let rd = dev.earliest_read(bank, at + 1).at;
+                dev.issue(Command::read(bank, i % 128), rd).unwrap();
+                let pre = dev.earliest_precharge(bank, rd).at;
+                dev.issue(Command::precharge(bank), pre).unwrap();
+                now = pre;
+                dev.advance(now);
+            }
+            dev.stats().reads
+        })
+    });
+    g.finish();
+}
+
+/// Controller tick rate with a steady request stream.
+fn controller_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf/controller");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("ticks_100k_loaded", |b| {
+        b.iter(|| {
+            let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+            let mut view = CycleView::idle(ctrl.total_banks());
+            let mut addr = 0u64;
+            for now in 0..100_000u64 {
+                if now % 8 == 0 && ctrl.can_accept_read() {
+                    ctrl.enqueue_read(addr, 0);
+                    addr = addr.wrapping_add(64).wrapping_mul(2862933555777941757) % (1 << 30);
+                }
+                ctrl.tick(now, &mut view);
+                ctrl.drain_completions().for_each(drop);
+            }
+            ctrl.stats().reads_done
+        })
+    });
+    g.finish();
+}
+
+/// Pure accounting cost per classified cycle (the paper's overhead
+/// concern) — per-cycle vs span-batched.
+fn accounting(c: &mut Criterion) {
+    let mut busy_view = CycleView::idle(16);
+    busy_view.banks[0] = BankActivity::Activating;
+    busy_view.banks[5] = BankActivity::Precharging;
+
+    let mut g = c.benchmark_group("perf/accounting");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("per_cycle_1m", |b| {
+        b.iter(|| {
+            let mut acc = BandwidthAccountant::new(16, 19.2);
+            for _ in 0..1_000_000 {
+                acc.account(&busy_view);
+            }
+            acc.total_cycles()
+        })
+    });
+    g.bench_function("span_batched_1m", |b| {
+        b.iter(|| {
+            let mut acc = BandwidthAccountant::new(16, 19.2);
+            for _ in 0..1_000 {
+                acc.account_span(&busy_view, 1_000);
+            }
+            acc.total_cycles()
+        })
+    });
+    g.finish();
+}
+
+/// Whole-system simulation rate (DRAM cycles per second of wall time).
+fn full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf/system");
+    for cores in [1usize, 8] {
+        g.throughput(Throughput::Elements(12_000));
+        g.bench_function(format!("sim_10us_{cores}c"), |b| {
+            b.iter(|| {
+                let cfg = SystemConfig::paper_default(cores);
+                let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::random(0.2));
+                sim.run_for_us(10.0).sim_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = perf;
+    config = Criterion::default().sample_size(10);
+    targets = device_issue, controller_tick, accounting, full_system
+}
+criterion_main!(perf);

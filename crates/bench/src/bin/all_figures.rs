@@ -1,0 +1,53 @@
+//! Regenerates every figure of the paper in one run and writes all
+//! artifacts under `results/`. Pass `quick` for a fast reduced-scale run.
+
+use dramstack_bench::{emit_figure, results_dir, scale_from_args};
+use dramstack_sim::experiments;
+
+fn main() {
+    let scale = scale_from_args();
+    let t0 = std::time::Instant::now();
+
+    emit_figure("fig2", "Fig. 2: read-only seq/random, 1-8 cores", &experiments::fig2(&scale));
+    emit_figure("fig3", "Fig. 3: store fraction sweep, 1 core", &experiments::fig3(&scale));
+    emit_figure("fig4", "Fig. 4: open vs closed page policy, 2 cores", &experiments::fig4(&scale));
+    emit_figure("fig6", "Fig. 6: default vs interleaved indexing", &experiments::fig6(&scale));
+
+    // Figs. 7–9 have dedicated binaries with richer output; run their
+    // drivers here for the artifacts.
+    let report = experiments::fig7(&scale);
+    let cycle_ns = 1000.0 / 1200.0;
+    std::fs::write(
+        results_dir().join("fig7_samples.csv"),
+        dramstack_viz::csv::samples_csv(&report.samples, cycle_ns),
+    )
+    .expect("write fig7 csv");
+    println!(
+        "fig7: bfs 8c, {:.2} ms simulated, {} samples, {:.2} GB/s",
+        report.elapsed_us / 1000.0,
+        report.samples.len(),
+        report.achieved_gbps()
+    );
+
+    let rows8 = experiments::fig8(&scale);
+    let lat: Vec<_> = rows8.iter().map(|r| (r.label.clone(), r.latency)).collect();
+    std::fs::write(
+        results_dir().join("fig8_latency.csv"),
+        dramstack_viz::csv::latency_csv(&lat),
+    )
+    .expect("write fig8 csv");
+    println!("fig8: {} latency-stack variants", rows8.len());
+
+    let rows9 = experiments::fig9(&scale);
+    let avg_naive: f64 =
+        rows9.iter().map(experiments::Fig9Row::naive_error).sum::<f64>() / rows9.len() as f64;
+    let avg_stack: f64 =
+        rows9.iter().map(experiments::Fig9Row::stack_error).sum::<f64>() / rows9.len() as f64;
+    println!(
+        "fig9: avg extrapolation error naive {:.1} % vs stack {:.1} %",
+        avg_naive * 100.0,
+        avg_stack * 100.0
+    );
+
+    println!("all figures regenerated in {:?}", t0.elapsed());
+}

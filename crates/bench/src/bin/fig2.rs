@@ -1,0 +1,11 @@
+//! Regenerates Fig. 2: bandwidth and latency stacks for the sequential
+//! and random read-only patterns on 1–8 cores.
+
+use dramstack_bench::{emit_figure, scale_from_args};
+use dramstack_sim::experiments::fig2;
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig2(&scale);
+    emit_figure("fig2", "Fig. 2: read-only seq/random, 1-8 cores", &rows);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 3: stacks vs store fraction (0–50 %) on one core.
+
+use dramstack_bench::{emit_figure, scale_from_args};
+use dramstack_sim::experiments::fig3;
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig3(&scale);
+    emit_figure("fig3", "Fig. 3: store fraction sweep, 1 core", &rows);
+}

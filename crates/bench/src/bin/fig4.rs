@@ -1,0 +1,10 @@
+//! Regenerates Fig. 4: open vs closed page policy, read-only, 2 cores.
+
+use dramstack_bench::{emit_figure, scale_from_args};
+use dramstack_sim::experiments::fig4;
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig4(&scale);
+    emit_figure("fig4", "Fig. 4: open vs closed page policy, 2 cores", &rows);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 6: default vs cache-line-interleaved bank indexing
+//! for the two high-queueing configurations.
+
+use dramstack_bench::{emit_figure, scale_from_args};
+use dramstack_sim::experiments::fig6;
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig6(&scale);
+    emit_figure("fig6", "Fig. 6: default vs interleaved indexing", &rows);
+}

@@ -1,0 +1,65 @@
+//! Regenerates Fig. 7: through-time cycle, bandwidth and latency stacks
+//! for bfs on 8 cores.
+
+use dramstack_bench::{results_dir, scale_from_args};
+use dramstack_cpu::CycleComponent;
+use dramstack_sim::experiments::fig7;
+use dramstack_viz::{ascii, csv, svg};
+
+fn main() {
+    let scale = scale_from_args();
+    let report = fig7(&scale);
+    let cycle_ns = 1000.0 / 1200.0;
+
+    println!("=== Fig. 7: through-time stacks, bfs 8 cores ===");
+    println!(
+        "simulated {:.2} ms, {} samples, achieved {:.2} GB/s, avg read latency {:.1} ns",
+        report.elapsed_us / 1000.0,
+        report.samples.len(),
+        report.achieved_gbps(),
+        report.avg_read_latency_ns()
+    );
+    println!("{}", ascii::through_time_strip(&report.samples, 10));
+
+    println!("cycle stack (aggregate over cores):");
+    for (c, f) in report.cycle_stack.rows() {
+        println!("  {:14} {:5.1} %", c.label(), f * 100.0);
+    }
+    println!("cycle stack through time (idle fraction per window):");
+    let idle_series: String = report
+        .cycle_samples
+        .iter()
+        .map(|s| {
+            let f = s.fraction(CycleComponent::Idle);
+            char::from_digit((f * 9.99) as u32, 10).unwrap_or('9')
+        })
+        .collect();
+    println!("  {idle_series}");
+
+    let dir = results_dir();
+    let write = |file: &str, content: String| {
+        let path = dir.join(file);
+        std::fs::write(&path, content).expect("write results");
+        println!("wrote {}", path.display());
+    };
+    write("fig7_samples.csv", csv::samples_csv(&report.samples, cycle_ns));
+    write(
+        "fig7_bandwidth.svg",
+        svg::through_time_figure("Fig. 7: bfs 8c — bandwidth through time", &report.samples, cycle_ns),
+    );
+    // Cycle-stack series CSV.
+    let mut cyc = String::from("window");
+    for c in CycleComponent::ALL {
+        cyc.push(',');
+        cyc.push_str(c.label());
+    }
+    cyc.push('\n');
+    for (i, s) in report.cycle_samples.iter().enumerate() {
+        cyc.push_str(&i.to_string());
+        for c in CycleComponent::ALL {
+            cyc.push_str(&format!(",{:.4}", s.fraction(c)));
+        }
+        cyc.push('\n');
+    }
+    write("fig7_cycles.csv", cyc);
+}

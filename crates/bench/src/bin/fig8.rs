@@ -1,0 +1,34 @@
+//! Regenerates Fig. 8: latency stacks for bfs 8c (default / interleaved /
+//! 128-entry write queue) and tc 1c (default / interleaved / open page).
+
+use dramstack_bench::{results_dir, scale_from_args};
+use dramstack_sim::experiments::fig8;
+use dramstack_viz::{ascii, csv, svg};
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig8(&scale);
+    let lat: Vec<_> = rows.iter().map(|r| (r.label.clone(), r.latency)).collect();
+
+    println!("=== Fig. 8: latency stacks under mapping/write-queue variants ===");
+    println!("{}", ascii::latency_chart(&lat));
+    for r in &rows {
+        println!(
+            "{:24} total {:6.1} ns   bw {:5.2} GB/s   page-hit {:4.1} %",
+            r.label,
+            r.latency.total_ns(),
+            r.achieved_gbps,
+            r.page_hit_rate * 100.0
+        );
+    }
+
+    let dir = results_dir();
+    std::fs::write(dir.join("fig8_latency.csv"), csv::latency_csv(&lat)).expect("write csv");
+    std::fs::write(
+        dir.join("fig8_latency.svg"),
+        svg::latency_figure("Fig. 8: latency stacks", &lat),
+    )
+    .expect("write svg");
+    println!("wrote {}", dir.join("fig8_latency.csv").display());
+    println!("wrote {}", dir.join("fig8_latency.svg").display());
+}

@@ -1,0 +1,47 @@
+//! Regenerates Fig. 9: measured vs naive vs stack-extrapolated 8-core
+//! bandwidth for the six GAP kernels.
+
+use dramstack_bench::{results_dir, scale_from_args};
+use dramstack_sim::experiments::fig9;
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig9(&scale);
+
+    println!("=== Fig. 9: bandwidth extrapolation 1c -> 8c ===");
+    println!("{:6} {:>10} {:>10} {:>10} {:>10} {:>10}", "kernel", "measured", "naive", "err%", "stack", "err%");
+    let mut csv = String::from("kernel,measured_8c,naive,naive_err,stack,stack_err\n");
+    let (mut naive_sum, mut stack_sum) = (0.0, 0.0);
+    for r in &rows {
+        println!(
+            "{:6} {:>10.2} {:>10.2} {:>10.1} {:>10.2} {:>10.1}",
+            r.kernel.name(),
+            r.measured_8c,
+            r.naive,
+            r.naive_error() * 100.0,
+            r.stack,
+            r.stack_error() * 100.0
+        );
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            r.kernel.name(),
+            r.measured_8c,
+            r.naive,
+            r.naive_error(),
+            r.stack,
+            r.stack_error()
+        ));
+        naive_sum += r.naive_error();
+        stack_sum += r.stack_error();
+    }
+    let n = rows.len() as f64;
+    println!(
+        "average error: naive {:.1} %  stack {:.1} %  (paper: 27 % vs 8 %)",
+        naive_sum / n * 100.0,
+        stack_sum / n * 100.0
+    );
+
+    let path = results_dir().join("fig9_extrapolation.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,82 @@
+//! Shared rendering/reporting helpers for the figure binaries and
+//! Criterion benches.
+//!
+//! Every figure of the paper has a binary (`cargo run --release --bin
+//! fig2` …) that regenerates its data at full scale and writes an ASCII
+//! table to stdout plus CSV/SVG files under `results/`. The Criterion
+//! benches exercise the same experiment drivers at reduced scale so
+//! `cargo bench` both times the simulator and regenerates quick-scale
+//! figure data.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dramstack_core::{BandwidthStack, LatencyStack};
+use dramstack_sim::experiments::{ExperimentScale, SynthRow};
+use dramstack_viz::{ascii, csv, svg};
+
+/// Where figure outputs land (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Picks the experiment scale from the first CLI argument
+/// (`quick` or default full).
+pub fn scale_from_args() -> ExperimentScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("quick") => ExperimentScale::quick(),
+        _ => ExperimentScale::full(),
+    }
+}
+
+/// Extracts `(label, bandwidth stack)` pairs from synthetic rows.
+pub fn bw_rows(rows: &[SynthRow]) -> Vec<(String, BandwidthStack)> {
+    rows.iter().map(|r| (r.label.clone(), r.report.bandwidth_stack.clone())).collect()
+}
+
+/// Extracts `(label, latency stack)` pairs from synthetic rows.
+pub fn lat_rows(rows: &[SynthRow]) -> Vec<(String, LatencyStack)> {
+    rows.iter().map(|r| (r.label.clone(), r.report.latency_stack)).collect()
+}
+
+/// Prints a figure's bandwidth + latency charts and writes its CSV/SVG
+/// artifacts into `results/`.
+pub fn emit_figure(name: &str, title: &str, rows: &[SynthRow]) {
+    let bw = bw_rows(rows);
+    let lat = lat_rows(rows);
+    println!("=== {title} ===");
+    println!("{}", ascii::bandwidth_chart(&bw));
+    println!("{}", ascii::latency_chart(&lat));
+    let dir = results_dir();
+    let write = |file: &str, content: String| {
+        let path = dir.join(file);
+        if let Err(e) = fs::write(&path, content) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+    };
+    write(&format!("{name}_bandwidth.csv"), csv::bandwidth_csv(&bw));
+    write(&format!("{name}_latency.csv"), csv::latency_csv(&lat));
+    write(
+        &format!("{name}_bandwidth.svg"),
+        svg::bandwidth_figure(&format!("{title} — bandwidth stacks"), &bw),
+    );
+    write(
+        &format!("{name}_latency.svg"),
+        svg::latency_figure(&format!("{title} — latency stacks"), &lat),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+}

@@ -1,0 +1,217 @@
+//! Stack-based bandwidth extrapolation (Section VIII-B of the paper).
+//!
+//! Given a bandwidth stack measured at one core count, predict the achieved
+//! bandwidth at `k`× the cores: scale every non-idle, non-refresh component
+//! by `k` (more traffic means proportionally more pre/act and constraint
+//! cycles), keep refresh constant, drop the idle components, and if the
+//! scaled stack overflows the peak, rescale the scaled components
+//! proportionally so that the stack again sums to the peak. The naive
+//! baseline just multiplies the achieved bandwidth and saturates at
+//! peak − refresh.
+
+use crate::components::BwComponent;
+use crate::stack::BandwidthStack;
+
+/// Extrapolates one bandwidth stack to `k`× the traffic.
+///
+/// The returned stack sums to the peak bandwidth again: any headroom left
+/// becomes `idle`; overflow rescales the scaled components.
+///
+/// # Example
+///
+/// ```
+/// use dramstack_core::{extrapolate_stack, BandwidthStack, BwComponent};
+///
+/// // 10 % read, 4 % refresh, rest idle, at one core…
+/// let mut one_core = BandwidthStack::empty(19.2);
+/// one_core.total_cycles = 1_000;
+/// one_core.weights[BwComponent::Read.index()] = 100.0;
+/// one_core.weights[BwComponent::Refresh.index()] = 40.0;
+/// one_core.weights[BwComponent::Idle.index()] = 860.0;
+///
+/// // …predicts 80 % of peak at eight cores.
+/// let eight = extrapolate_stack(&one_core, 8.0);
+/// assert!((eight.achieved_gbps() - 0.8 * 19.2).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is not positive.
+pub fn extrapolate_stack(stack: &BandwidthStack, k: f64) -> BandwidthStack {
+    assert!(k > 0.0, "scale factor must be positive");
+    let refresh = stack.fraction(BwComponent::Refresh);
+    // Scale every active component.
+    let scaled: Vec<(BwComponent, f64)> = BwComponent::ALL
+        .iter()
+        .filter(|c| !c.is_idle_kind() && **c != BwComponent::Refresh)
+        .map(|&c| (c, stack.fraction(c) * k))
+        .collect();
+    let scaled_sum: f64 = scaled.iter().map(|(_, f)| f).sum();
+    let budget = 1.0 - refresh;
+    // Proportional rescale on overflow ("scale down the components
+    // proportionally, such that the total stack equals the peak").
+    let ratio = if scaled_sum > budget && scaled_sum > 0.0 { budget / scaled_sum } else { 1.0 };
+
+    let mut out = BandwidthStack::empty(stack.peak_gbps);
+    out.total_cycles = stack.total_cycles;
+    let cycles = stack.total_cycles as f64;
+    out.weights[BwComponent::Refresh.index()] = refresh * cycles;
+    let mut used = refresh;
+    for (c, f) in scaled {
+        let f = f * ratio;
+        out.weights[c.index()] = f * cycles;
+        used += f;
+    }
+    out.weights[BwComponent::Idle.index()] = (1.0 - used).max(0.0) * cycles;
+    out
+}
+
+/// Aggregated stack-based prediction over through-time samples, in GB/s.
+///
+/// Each sample is extrapolated independently (phases scale differently) and
+/// the predictions are combined weighted by sample length, as in the paper.
+pub fn predict_bandwidth_stack(samples: &[BandwidthStack], k: f64) -> f64 {
+    weighted_average(samples, |s| extrapolate_stack(s, k).achieved_gbps())
+}
+
+/// Naive prediction: `min(k × achieved, peak − refresh)` per sample.
+pub fn predict_bandwidth_naive(samples: &[BandwidthStack], k: f64) -> f64 {
+    weighted_average(samples, |s| {
+        let cap = s.peak_gbps * (1.0 - s.fraction(BwComponent::Refresh));
+        (s.achieved_gbps() * k).min(cap)
+    })
+}
+
+fn weighted_average(samples: &[BandwidthStack], f: impl Fn(&BandwidthStack) -> f64) -> f64 {
+    let total: u64 = samples.iter().map(|s| s.total_cycles).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    samples.iter().map(|s| f(s) * s.total_cycles as f64).sum::<f64>() / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a stack from fractions (must sum to 1).
+    fn stack_from(fracs: &[(BwComponent, f64)]) -> BandwidthStack {
+        let mut s = BandwidthStack::empty(19.2);
+        s.total_cycles = 1_000_000;
+        for &(c, f) in fracs {
+            s.weights[c.index()] = f * s.total_cycles as f64;
+        }
+        assert!(s.is_consistent(), "test stack must sum to 1");
+        s
+    }
+
+    #[test]
+    fn linear_regime_scales_achieved_bandwidth() {
+        // 10% read, 4% refresh, rest idle: 8× fits under the peak.
+        let s = stack_from(&[
+            (BwComponent::Read, 0.10),
+            (BwComponent::Refresh, 0.04),
+            (BwComponent::Idle, 0.86),
+        ]);
+        let pred = predict_bandwidth_stack(&[s], 8.0);
+        assert!((pred - 0.8 * 19.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overheads_make_stack_prediction_lower_than_naive() {
+        // Large pre/act and constraints overhead: scaling 8× overflows, so
+        // the achieved bandwidth saturates *below* peak − refresh. The
+        // naive method overpredicts — exactly the Fig. 9 effect.
+        let s = stack_from(&[
+            (BwComponent::Read, 0.08),
+            (BwComponent::Write, 0.02),
+            (BwComponent::Precharge, 0.05),
+            (BwComponent::Activate, 0.05),
+            (BwComponent::Constraints, 0.05),
+            (BwComponent::Refresh, 0.04),
+            (BwComponent::BankIdle, 0.21),
+            (BwComponent::Idle, 0.50),
+        ]);
+        let stack_pred = predict_bandwidth_stack(&[s.clone()], 8.0);
+        let naive_pred = predict_bandwidth_naive(&[s], 8.0);
+        assert!(stack_pred < naive_pred, "stack {stack_pred} < naive {naive_pred}");
+        // Scaled active fraction: 0.25 × 8 = 2.0; budget 0.96; achieved
+        // fraction = 0.10 × 8 × 0.96 / 2.0 = 0.384.
+        assert!((stack_pred - 0.384 * 19.2).abs() < 1e-9);
+        // Naive just multiplies: 0.10 × 8 = 0.80 of peak (below its
+        // saturation cap of 0.96).
+        assert!((naive_pred - 0.80 * 19.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolated_stack_still_sums_to_peak() {
+        let s = stack_from(&[
+            (BwComponent::Read, 0.10),
+            (BwComponent::Precharge, 0.10),
+            (BwComponent::Refresh, 0.04),
+            (BwComponent::BankIdle, 0.26),
+            (BwComponent::Idle, 0.50),
+        ]);
+        for k in [1.0, 2.0, 4.0, 8.0, 100.0] {
+            let e = extrapolate_stack(&s, k);
+            assert!(e.is_consistent(), "k={k}");
+            assert!((e.total_gbps() - 19.2).abs() < 1e-6, "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_of_one_preserves_active_components() {
+        let s = stack_from(&[
+            (BwComponent::Read, 0.2),
+            (BwComponent::Constraints, 0.1),
+            (BwComponent::Refresh, 0.04),
+            (BwComponent::BankIdle, 0.16),
+            (BwComponent::Idle, 0.5),
+        ]);
+        let e = extrapolate_stack(&s, 1.0);
+        assert!((e.fraction(BwComponent::Read) - 0.2).abs() < 1e-12);
+        assert!((e.fraction(BwComponent::Constraints) - 0.1).abs() < 1e-12);
+        // Idle kinds are folded into plain idle.
+        assert!((e.fraction(BwComponent::Idle) - 0.66).abs() < 1e-12);
+        assert_eq!(e.fraction(BwComponent::BankIdle), 0.0);
+    }
+
+    #[test]
+    fn refresh_is_never_scaled() {
+        let s = stack_from(&[
+            (BwComponent::Read, 0.3),
+            (BwComponent::Refresh, 0.04),
+            (BwComponent::Idle, 0.66),
+        ]);
+        let e = extrapolate_stack(&s, 8.0);
+        assert!((e.fraction(BwComponent::Refresh) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_sample_extrapolation_differs_from_aggregate() {
+        // Phase A: saturating; phase B: idle. Extrapolating per sample and
+        // averaging differs from extrapolating the merged stack — the
+        // reason the paper applies the method per time sample.
+        let a = stack_from(&[
+            (BwComponent::Read, 0.4),
+            (BwComponent::Refresh, 0.04),
+            (BwComponent::Idle, 0.56),
+        ]);
+        let b = stack_from(&[
+            (BwComponent::Read, 0.01),
+            (BwComponent::Refresh, 0.04),
+            (BwComponent::Idle, 0.95),
+        ]);
+        let per_sample = predict_bandwidth_stack(&[a.clone(), b.clone()], 8.0);
+        let mut merged = a;
+        merged.merge(&b);
+        let aggregate = predict_bandwidth_stack(&[merged], 8.0);
+        assert!(per_sample < aggregate);
+    }
+
+    #[test]
+    fn empty_sample_list_predicts_zero() {
+        assert_eq!(predict_bandwidth_stack(&[], 8.0), 0.0);
+        assert_eq!(predict_bandwidth_naive(&[], 8.0), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Latency-stack accounting (Section V of the paper).
+//!
+//! Unlike the bandwidth stack, latency stacks need no overlap reasoning:
+//! the components are measured per read request by the memory controller
+//! ([`LatencyBreakdown`]) and simply averaged here. Only reads are
+//! considered — writes do not stall cores.
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_memctrl::LatencyBreakdown;
+
+use crate::components::LatComponent;
+
+/// Online accumulator of per-read latency breakdowns.
+///
+/// # Example
+///
+/// ```
+/// use dramstack_core::{LatencyAccountant, LatComponent};
+/// use dramstack_memctrl::LatencyBreakdown;
+///
+/// let mut acc = LatencyAccountant::new();
+/// acc.add(&LatencyBreakdown { base_cntlr: 30, base_dram: 21, queue: 9, ..Default::default() });
+/// let stack = acc.stack(0.8333); // ns per DDR4-2400 cycle
+/// assert_eq!(stack.reads, 1);
+/// assert!((stack.total_ns() - 60.0 * 0.8333).abs() < 1e-9);
+/// assert!(stack.ns(LatComponent::Queue) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyAccountant {
+    sums: [u64; LatComponent::COUNT],
+    count: u64,
+}
+
+impl LatencyAccountant {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one completed read.
+    pub fn add(&mut self, b: &LatencyBreakdown) {
+        self.sums[LatComponent::BaseCntlr.index()] += b.base_cntlr;
+        self.sums[LatComponent::BaseDram.index()] += b.base_dram;
+        self.sums[LatComponent::PreAct.index()] += b.preact;
+        self.sums[LatComponent::Refresh.index()] += b.refresh;
+        self.sums[LatComponent::WriteBurst.index()] += b.writeburst;
+        self.sums[LatComponent::Queue.index()] += b.queue;
+        self.count += 1;
+    }
+
+    /// Number of reads accumulated.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The finished stack, converting cycles to nanoseconds with
+    /// `cycle_ns` (e.g. 0.8333 for DDR4-2400).
+    pub fn stack(&self, cycle_ns: f64) -> LatencyStack {
+        let mut avg_ns = [0.0; LatComponent::COUNT];
+        if self.count > 0 {
+            for i in 0..LatComponent::COUNT {
+                avg_ns[i] = self.sums[i] as f64 / self.count as f64 * cycle_ns;
+            }
+        }
+        LatencyStack { avg_ns, reads: self.count }
+    }
+
+    /// Returns the stack accumulated since the last call and resets.
+    pub fn take_sample(&mut self, cycle_ns: f64) -> LatencyStack {
+        let s = self.stack(cycle_ns);
+        *self = LatencyAccountant::new();
+        s
+    }
+}
+
+/// A finished latency stack: average per-read latency split into
+/// components, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStack {
+    /// Average nanoseconds per component, indexed by
+    /// [`LatComponent::index`].
+    pub avg_ns: [f64; LatComponent::COUNT],
+    /// Number of reads averaged.
+    pub reads: u64,
+}
+
+impl LatencyStack {
+    /// An empty stack (no reads observed).
+    pub fn empty() -> Self {
+        LatencyStack { avg_ns: [0.0; LatComponent::COUNT], reads: 0 }
+    }
+
+    /// Average latency of component `c` in nanoseconds.
+    pub fn ns(&self, c: LatComponent) -> f64 {
+        self.avg_ns[c.index()]
+    }
+
+    /// Total average read latency in nanoseconds (the top of the stack).
+    pub fn total_ns(&self) -> f64 {
+        self.avg_ns.iter().sum()
+    }
+
+    /// The paper's `base` component: controller + device minimum.
+    pub fn base_ns(&self) -> f64 {
+        self.ns(LatComponent::BaseCntlr) + self.ns(LatComponent::BaseDram)
+    }
+
+    /// `(component, ns)` pairs in stack order.
+    pub fn rows(&self) -> Vec<(LatComponent, f64)> {
+        LatComponent::ALL.iter().map(|&c| (c, self.ns(c))).collect()
+    }
+
+    /// Merges a stack measured over `self.reads` reads with another —
+    /// a read-count-weighted average.
+    pub fn merge(&mut self, other: &LatencyStack) {
+        let total = self.reads + other.reads;
+        if total == 0 {
+            return;
+        }
+        for i in 0..LatComponent::COUNT {
+            self.avg_ns[i] = (self.avg_ns[i] * self.reads as f64
+                + other.avg_ns[i] * other.reads as f64)
+                / total as f64;
+        }
+        self.reads = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(q: u64) -> LatencyBreakdown {
+        LatencyBreakdown {
+            base_cntlr: 12,
+            base_dram: 21,
+            preact: 17,
+            refresh: 0,
+            writeburst: 10,
+            queue: q,
+        }
+    }
+
+    #[test]
+    fn average_over_reads() {
+        let mut acc = LatencyAccountant::new();
+        acc.add(&breakdown(10));
+        acc.add(&breakdown(30));
+        let s = acc.stack(1.0);
+        assert_eq!(acc.count(), 2);
+        assert!((s.ns(LatComponent::Queue) - 20.0).abs() < 1e-12);
+        assert!((s.ns(LatComponent::BaseDram) - 21.0).abs() < 1e-12);
+        assert!((s.total_ns() - (12.0 + 21.0 + 17.0 + 10.0 + 20.0)).abs() < 1e-12);
+        assert!((s.base_ns() - 33.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_ns_scaling() {
+        let mut acc = LatencyAccountant::new();
+        acc.add(&breakdown(0));
+        let s = acc.stack(0.8333);
+        assert!((s.ns(LatComponent::BaseCntlr) - 12.0 * 0.8333).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stack_is_zero() {
+        let s = LatencyAccountant::new().stack(0.8333);
+        assert_eq!(s.total_ns(), 0.0);
+        assert_eq!(s.reads, 0);
+    }
+
+    #[test]
+    fn take_sample_resets() {
+        let mut acc = LatencyAccountant::new();
+        acc.add(&breakdown(0));
+        let s = acc.take_sample(1.0);
+        assert_eq!(s.reads, 1);
+        assert_eq!(acc.count(), 0);
+    }
+
+    #[test]
+    fn merge_weights_by_read_count() {
+        let mut a = LatencyStack::empty();
+        a.avg_ns[LatComponent::Queue.index()] = 100.0;
+        a.reads = 1;
+        let mut b = LatencyStack::empty();
+        b.avg_ns[LatComponent::Queue.index()] = 10.0;
+        b.reads = 9;
+        a.merge(&b);
+        assert_eq!(a.reads, 10);
+        assert!((a.ns(LatComponent::Queue) - 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyStack::empty();
+        a.avg_ns[0] = 5.0;
+        a.reads = 3;
+        let before = a;
+        a.merge(&LatencyStack::empty());
+        assert_eq!(a, before);
+    }
+}

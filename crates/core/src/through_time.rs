@@ -1,0 +1,359 @@
+//! Through-time stacks: bandwidth and latency stacks per time window
+//! (Section VIII-A of the paper, Fig. 7).
+//!
+//! A single aggregated stack hides phase behaviour; the sampler snapshots
+//! both accountants every `period` DRAM cycles, producing a stack series
+//! that exposes phases and feeds the per-sample extrapolation of Fig. 9.
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_dram::{Cycle, CycleView};
+use dramstack_memctrl::LatencyBreakdown;
+
+use crate::bandwidth::BandwidthAccountant;
+use crate::latency::{LatencyAccountant, LatencyStack};
+use crate::stack::BandwidthStack;
+
+/// One sample of the through-time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSample {
+    /// First cycle covered by this sample.
+    pub start_cycle: Cycle,
+    /// Cycles covered.
+    pub cycles: u64,
+    /// The bandwidth stack of this window.
+    pub bandwidth: BandwidthStack,
+    /// The latency stack of reads completing in this window.
+    pub latency: LatencyStack,
+}
+
+/// Samples bandwidth and latency stacks every fixed number of cycles.
+#[derive(Debug, Clone)]
+pub struct StackSampler {
+    bw: BandwidthAccountant,
+    lat: LatencyAccountant,
+    period: Cycle,
+    cycle_ns: f64,
+    window_start: Cycle,
+    accounted: u64,
+    samples: Vec<TimeSample>,
+}
+
+impl StackSampler {
+    /// Creates a sampler for a channel with `n_banks` banks, `peak_gbps`
+    /// peak bandwidth, a command clock of `cycle_ns` nanoseconds per cycle
+    /// and the given sampling `period` in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(n_banks: usize, peak_gbps: f64, cycle_ns: f64, period: Cycle) -> Self {
+        assert!(period > 0, "sampling period must be nonzero");
+        StackSampler {
+            bw: BandwidthAccountant::new(n_banks, peak_gbps),
+            lat: LatencyAccountant::new(),
+            period,
+            cycle_ns,
+            window_start: 0,
+            accounted: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Accounts one cycle and rolls the window when the period elapses.
+    pub fn account(&mut self, view: &CycleView) {
+        self.bw.account(view);
+        self.accounted += 1;
+        if self.accounted == self.period {
+            self.roll();
+        }
+    }
+
+    /// Records a completed read into the current window.
+    pub fn add_read(&mut self, b: &LatencyBreakdown) {
+        self.lat.add(b);
+    }
+
+    fn roll(&mut self) {
+        let bandwidth = self.bw.take_sample();
+        let latency = self.lat.take_sample(self.cycle_ns);
+        self.samples.push(TimeSample {
+            start_cycle: self.window_start,
+            cycles: self.accounted,
+            bandwidth,
+            latency,
+        });
+        self.window_start += self.accounted;
+        self.accounted = 0;
+    }
+
+    /// Finishes the trailing partial window (if any) and returns all
+    /// samples.
+    pub fn finish(mut self) -> Vec<TimeSample> {
+        self.flush_partial();
+        self.samples
+    }
+
+    /// Rolls the open partial window into the sample list without
+    /// consuming the sampler (no-op when the window is empty).
+    pub fn flush_partial(&mut self) {
+        if self.accounted > 0 {
+            self.roll();
+        }
+    }
+
+    /// Samples collected so far (not including the open window).
+    pub fn samples(&self) -> &[TimeSample] {
+        &self.samples
+    }
+
+    /// The sampling period in cycles.
+    pub fn period(&self) -> Cycle {
+        self.period
+    }
+}
+
+/// A detected execution phase: a contiguous run of samples with similar
+/// bandwidth behaviour, with its aggregated stacks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Index of the first sample of this phase.
+    pub start_sample: usize,
+    /// Number of samples covered.
+    pub len: usize,
+    /// First cycle of the phase.
+    pub start_cycle: Cycle,
+    /// Cycles covered.
+    pub cycles: u64,
+    /// Aggregated bandwidth stack of the phase.
+    pub bandwidth: BandwidthStack,
+    /// Aggregated latency stack of the phase.
+    pub latency: LatencyStack,
+}
+
+/// Segments a through-time series into phases: a new phase starts when a
+/// sample's achieved-bandwidth fraction moves more than `threshold` away
+/// from the running phase mean. Runs shorter than `min_len` samples are
+/// folded into their successor, so noise does not fragment the series.
+///
+/// # Example
+///
+/// ```
+/// use dramstack_core::through_time::detect_phases;
+///
+/// // No samples, no phases; a real series comes from a StackSampler or
+/// // a SimReport's `samples` field.
+/// assert!(detect_phases(&[], 0.15, 3).is_empty());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `threshold` is not positive or `min_len` is zero.
+pub fn detect_phases(samples: &[TimeSample], threshold: f64, min_len: usize) -> Vec<Phase> {
+    assert!(threshold > 0.0, "threshold must be positive");
+    assert!(min_len > 0, "min_len must be nonzero");
+    let mut boundaries = vec![0usize];
+    let mut mean = f64::NAN;
+    let mut count = 0usize;
+    for (i, s) in samples.iter().enumerate() {
+        let v = s.bandwidth.fraction(crate::BwComponent::Read)
+            + s.bandwidth.fraction(crate::BwComponent::Write);
+        if count == 0 {
+            mean = v;
+            count = 1;
+            continue;
+        }
+        if (v - mean).abs() > threshold && i - boundaries.last().unwrap() >= min_len {
+            boundaries.push(i);
+            mean = v;
+            count = 1;
+        } else {
+            mean = (mean * count as f64 + v) / (count + 1) as f64;
+            count += 1;
+        }
+    }
+    boundaries.push(samples.len());
+    boundaries
+        .windows(2)
+        .filter(|w| w[1] > w[0])
+        .map(|w| {
+            let slice = &samples[w[0]..w[1]];
+            let bandwidth = aggregate_bandwidth(slice).expect("nonempty phase");
+            let latency = aggregate_latency(slice);
+            Phase {
+                start_sample: w[0],
+                len: slice.len(),
+                start_cycle: slice[0].start_cycle,
+                cycles: slice.iter().map(|s| s.cycles).sum(),
+                bandwidth,
+                latency,
+            }
+        })
+        .collect()
+}
+
+/// Aggregates a sample series back into one overall bandwidth stack.
+pub fn aggregate_bandwidth(samples: &[TimeSample]) -> Option<BandwidthStack> {
+    let mut iter = samples.iter();
+    let mut total = iter.next()?.bandwidth.clone();
+    for s in iter {
+        total.merge(&s.bandwidth);
+    }
+    Some(total)
+}
+
+/// Aggregates a sample series into one overall latency stack
+/// (read-count weighted).
+pub fn aggregate_latency(samples: &[TimeSample]) -> LatencyStack {
+    let mut total = LatencyStack::empty();
+    for s in samples {
+        total.merge(&s.latency);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::BwComponent;
+    use dramstack_dram::BurstKind;
+
+    fn sampler() -> StackSampler {
+        StackSampler::new(16, 19.2, 0.8333, 100)
+    }
+
+    #[test]
+    fn windows_roll_at_period() {
+        let mut s = sampler();
+        let mut busy = CycleView::idle(16);
+        busy.bus = Some(BurstKind::Read);
+        let idle = CycleView::idle(16);
+        for _ in 0..100 {
+            s.account(&busy);
+        }
+        for _ in 0..100 {
+            s.account(&idle);
+        }
+        let samples = s.finish();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].start_cycle, 0);
+        assert_eq!(samples[1].start_cycle, 100);
+        assert!((samples[0].bandwidth.fraction(BwComponent::Read) - 1.0).abs() < 1e-12);
+        assert!((samples[1].bandwidth.fraction(BwComponent::Idle) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_window_is_flushed_by_finish() {
+        let mut s = sampler();
+        for _ in 0..150 {
+            s.account(&CycleView::idle(16));
+        }
+        let samples = s.finish();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].cycles, 50);
+    }
+
+    #[test]
+    fn reads_land_in_their_window() {
+        let mut s = sampler();
+        let b = LatencyBreakdown { base_cntlr: 10, base_dram: 20, ..Default::default() };
+        s.add_read(&b);
+        for _ in 0..100 {
+            s.account(&CycleView::idle(16));
+        }
+        s.add_read(&b);
+        s.add_read(&b);
+        for _ in 0..100 {
+            s.account(&CycleView::idle(16));
+        }
+        let samples = s.finish();
+        assert_eq!(samples[0].latency.reads, 1);
+        assert_eq!(samples[1].latency.reads, 2);
+    }
+
+    #[test]
+    fn aggregation_matches_unsampled_accounting() {
+        let mut s = sampler();
+        let mut busy = CycleView::idle(16);
+        busy.bus = Some(BurstKind::Write);
+        for i in 0..250 {
+            if i % 2 == 0 {
+                s.account(&busy);
+            } else {
+                s.account(&CycleView::idle(16));
+            }
+        }
+        let samples = s.finish();
+        let agg = aggregate_bandwidth(&samples).unwrap();
+        assert_eq!(agg.total_cycles, 250);
+        assert!((agg.fraction(BwComponent::Write) - 125.0 / 250.0).abs() < 1e-12);
+        assert!(agg.is_consistent());
+    }
+
+    #[test]
+    fn aggregate_of_empty_series() {
+        assert!(aggregate_bandwidth(&[]).is_none());
+        assert_eq!(aggregate_latency(&[]).reads, 0);
+    }
+
+    /// Builds a sample with the given read fraction.
+    fn sample_with_read(start: Cycle, frac: f64) -> TimeSample {
+        let mut s = StackSampler::new(16, 19.2, 0.8333, 100);
+        let mut busy = CycleView::idle(16);
+        busy.bus = Some(BurstKind::Read);
+        let idle = CycleView::idle(16);
+        for i in 0..100 {
+            if (i as f64) < frac * 100.0 {
+                s.account(&busy);
+            } else {
+                s.account(&idle);
+            }
+        }
+        let mut out = s.finish().remove(0);
+        out.start_cycle = start;
+        out
+    }
+
+    #[test]
+    fn phases_are_detected_at_bandwidth_shifts() {
+        // 10 low-bandwidth windows, then 10 high, then 10 low again.
+        let mut samples = Vec::new();
+        for i in 0..30u64 {
+            let frac = if (10..20).contains(&i) { 0.8 } else { 0.1 };
+            samples.push(sample_with_read(i * 100, frac));
+        }
+        let phases = detect_phases(&samples, 0.2, 2);
+        assert_eq!(phases.len(), 3, "{phases:?}");
+        assert_eq!(phases[0].len, 10);
+        assert_eq!(phases[1].start_sample, 10);
+        assert!(phases[1].bandwidth.fraction(crate::BwComponent::Read) > 0.7);
+        assert!(phases[2].bandwidth.fraction(crate::BwComponent::Read) < 0.2);
+        // Phases partition the series.
+        let covered: usize = phases.iter().map(|p| p.len).sum();
+        assert_eq!(covered, samples.len());
+        let cycles: u64 = phases.iter().map(|p| p.cycles).sum();
+        assert_eq!(cycles, 3000);
+    }
+
+    #[test]
+    fn uniform_series_is_one_phase() {
+        let samples: Vec<_> = (0..20).map(|i| sample_with_read(i * 100, 0.5)).collect();
+        let phases = detect_phases(&samples, 0.15, 2);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].len, 20);
+    }
+
+    #[test]
+    fn short_blips_do_not_fragment() {
+        // One deviant window inside a uniform series, min_len 3.
+        let mut samples: Vec<_> = (0..20).map(|i| sample_with_read(i * 100, 0.2)).collect();
+        samples[7] = sample_with_read(700, 0.9);
+        let phases = detect_phases(&samples, 0.25, 3);
+        assert!(phases.len() <= 3, "blip should not explode phases: {}", phases.len());
+    }
+
+    #[test]
+    fn empty_series_has_no_phases() {
+        assert!(detect_phases(&[], 0.1, 1).is_empty());
+    }
+}

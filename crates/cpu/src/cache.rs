@@ -1,0 +1,352 @@
+//! A set-associative, write-back, write-allocate cache with LRU
+//! replacement.
+//!
+//! Addresses are handled at line granularity (the caller strips the
+//! offset). The cache returns evicted dirty lines so the hierarchy can
+//! cascade writebacks.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Hit latency in core cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_bytes) / u64::from(self.ways)
+    }
+
+    /// 32 KB, 8-way L1 data cache, 4-cycle hit (the paper's setup).
+    pub fn l1d() -> Self {
+        CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64, latency: 4 }
+    }
+
+    /// 1 MB, 16-way private L2, 14-cycle hit.
+    pub fn l2() -> Self {
+        CacheConfig { size_bytes: 1 << 20, ways: 16, line_bytes: 64, latency: 14 }
+    }
+
+    /// 11 MB, 11-way shared LLC, 44-cycle hit (8 NUCA slices averaged).
+    pub fn llc() -> Self {
+        CacheConfig { size_bytes: 11 << 20, ways: 11, line_bytes: 64, latency: 44 }
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been allocated; `writeback` carries the
+    /// evicted dirty line's address, if any.
+    Miss {
+        /// Dirty victim line address that must be written to the next
+        /// level.
+        writeback: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Per-cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (and allocated).
+    pub misses: u64,
+    /// Dirty evictions produced.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / total as f64
+    }
+}
+
+/// One cache level.
+///
+/// # Example
+///
+/// ```
+/// use dramstack_cpu::{Cache, CacheConfig, CacheOutcome};
+///
+/// let mut l1 = Cache::new(CacheConfig::l1d());
+/// assert_eq!(l1.access(0x1000, false), CacheOutcome::Miss { writeback: None });
+/// assert_eq!(l1.access(0x1000, true), CacheOutcome::Hit); // now dirty
+/// assert!(l1.probe(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    ways: Vec<Way>,
+    set_shift: u32,
+    set_mask: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two set count or has zero
+    /// ways.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(cfg.ways > 0, "cache needs at least one way");
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two: {sets}");
+        Cache {
+            cfg,
+            ways: vec![Way::default(); (sets * u64::from(cfg.ways)) as usize],
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This level's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the counters (e.g. after a functional warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, addr: u64) -> (usize, u64) {
+        let set = (addr >> self.set_shift) & self.set_mask;
+        let base = (set * u64::from(self.cfg.ways)) as usize;
+        (base, addr >> self.set_shift >> self.set_mask.count_ones())
+    }
+
+    /// Looks up `addr` without allocating or touching LRU state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (base, tag) = self.set_range(addr);
+        self.ways[base..base + self.cfg.ways as usize]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Looks up `addr` *without* allocating: updates LRU and dirtiness and
+    /// counts a hit or miss. Use together with [`fill`](Self::fill) for
+    /// fill-on-completion hierarchies where allocation happens only when
+    /// the data actually arrives.
+    pub fn lookup(&mut self, addr: u64, is_write: bool) -> bool {
+        self.clock += 1;
+        let (base, tag) = self.set_range(addr);
+        let set = &mut self.ways[base..base + self.cfg.ways as usize];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = self.clock;
+            if is_write {
+                w.dirty = true;
+            }
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Accesses `addr`, allocating on miss. `is_write` marks the line
+    /// dirty on hit or after allocation.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> CacheOutcome {
+        self.clock += 1;
+        let (base, tag) = self.set_range(addr);
+        let set = &mut self.ways[base..base + self.cfg.ways as usize];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = self.clock;
+            if is_write {
+                w.dirty = true;
+            }
+            self.stats.hits += 1;
+            return CacheOutcome::Hit;
+        }
+        self.stats.misses += 1;
+        let writeback = self.replace(base, tag, is_write);
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// Picks a victim in the set at `base` (invalid first, else LRU),
+    /// installs `tag`, and returns the dirty victim's address, if any.
+    fn replace(&mut self, base: usize, tag: u64, is_write: bool) -> Option<u64> {
+        let ways = self.cfg.ways as usize;
+        let clock = self.clock;
+        let set = &mut self.ways[base..base + ways];
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.lru + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("nonzero ways");
+        let (victim_tag, victim_dirty) =
+            (set[victim_idx].tag, set[victim_idx].valid && set[victim_idx].dirty);
+        set[victim_idx] = Way { tag, valid: true, dirty: is_write, lru: clock };
+        if victim_dirty {
+            self.stats.writebacks += 1;
+            Some(self.rebuild_addr(victim_tag, base))
+        } else {
+            None
+        }
+    }
+
+    /// Fills `addr` without counting a demand access (prefetch fill); marks
+    /// dirty if `is_write`. Returns the dirty victim, if any.
+    pub fn fill(&mut self, addr: u64, is_write: bool) -> Option<u64> {
+        self.clock += 1;
+        let (base, tag) = self.set_range(addr);
+        let set = &mut self.ways[base..base + self.cfg.ways as usize];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = self.clock;
+            if is_write {
+                w.dirty = true;
+            }
+            return None;
+        }
+        self.replace(base, tag, is_write)
+    }
+
+    /// Invalidates `addr` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let (base, tag) = self.set_range(addr);
+        let set = &mut self.ways[base..base + self.cfg.ways as usize];
+        set.iter_mut().find(|w| w.valid && w.tag == tag).map(|w| {
+            w.valid = false;
+            w.dirty
+        })
+    }
+
+    fn rebuild_addr(&self, tag: u64, way_base: usize) -> u64 {
+        let set = way_base as u64 / u64::from(self.cfg.ways);
+        ((tag << self.set_mask.count_ones()) | set) << self.set_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::l1d().sets(), 64);
+        assert_eq!(CacheConfig::l2().sets(), 1024);
+        assert_eq!(CacheConfig::llc().sets(), 16384);
+    }
+
+    #[test]
+    fn hit_after_allocate() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x1000, false), CacheOutcome::Miss { writeback: None });
+        assert_eq!(c.access(0x1000, false), CacheOutcome::Hit);
+        assert!(c.probe(0x1000));
+        assert!(!c.probe(0x2000));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Three lines in the same set (set 0): 0x000, 0x100, 0x200.
+        c.access(0x000, false);
+        c.access(0x100, false);
+        c.access(0x000, false); // touch 0x000 again
+        c.access(0x200, false); // evicts 0x100
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x100, false);
+        let out = c.access(0x200, false); // evicts dirty 0x000
+        assert_eq!(out, CacheOutcome::Miss { writeback: Some(0x000) });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn writeback_address_reconstruction_across_sets() {
+        let mut c = tiny();
+        // Set index bits are addr[7:6]; line 0x2C0 is set 3.
+        c.access(0x2C0, true);
+        c.access(0x6C0, false);
+        let out = c.access(0xAC0, false);
+        assert_eq!(out, CacheOutcome::Miss { writeback: Some(0x2C0) });
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, true); // now dirty
+        c.access(0x100, false);
+        let out = c.access(0x200, false);
+        assert_eq!(out, CacheOutcome::Miss { writeback: Some(0x000) });
+    }
+
+    #[test]
+    fn fill_does_not_count_demand_stats() {
+        let mut c = tiny();
+        c.fill(0x000, false);
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+        assert!(c.probe(0x000));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        assert_eq!(c.invalidate(0x000), Some(true));
+        assert_eq!(c.invalidate(0x000), None);
+        assert!(!c.probe(0x000));
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, false);
+        c.access(0x040, false);
+        c.access(0x080, false);
+        assert!((c.stats().miss_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,542 @@
+//! The out-of-order-proxy core model.
+//!
+//! The model captures exactly what the bandwidth/latency stacks are
+//! sensitive to: a finite instruction window (ROB) that bounds memory-level
+//! parallelism, retirement that stalls on incomplete loads at the ROB
+//! head, stores that never stall (absorbed by the store buffer), branch
+//! mispredict bubbles and barrier idling. It does not model register
+//! renaming, functional units or speculation beyond that — the paper's
+//! stacks depend on request-rate dynamics, not core internals.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cycle_stack::{CycleComponent, CycleStack};
+use crate::hierarchy::{AccessResult, Hierarchy};
+use crate::instr::{Instr, InstrStream};
+
+/// Core parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Reorder-buffer entries (224 — Skylake-like, as in the paper).
+    pub rob_entries: usize,
+    /// Dispatch/retire width.
+    pub width: u32,
+    /// Front-end bubble after a mispredicted branch, in core cycles.
+    pub mispredict_penalty: u64,
+    /// Stall cycles on a DRAM load within this window after issue count as
+    /// `dram-latency`; beyond it as `dram-queue` (the uncontended
+    /// round-trip time through the hierarchy).
+    pub dram_base_window: u64,
+}
+
+impl CoreConfig {
+    /// The paper's 4-wide, 224-entry-ROB core.
+    pub fn paper_default() -> Self {
+        CoreConfig { rob_entries: 224, width: 4, mispredict_penalty: 15, dram_base_window: 140 }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Can retire.
+    Ready,
+    /// Ready at the given absolute core cycle (cache hit latency).
+    WaitUntil(u64),
+    /// Waiting for a DRAM line fill.
+    WaitLine(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobSlot {
+    state: SlotState,
+    issued_at: u64,
+    /// Dependence chain of a `ChainLoad`, released at completion.
+    chain: Option<u8>,
+}
+
+/// One out-of-order-proxy core.
+#[derive(Debug)]
+pub struct CoreModel {
+    id: usize,
+    cfg: CoreConfig,
+    rob: VecDeque<RobSlot>,
+    /// Line → ROB sequence numbers waiting on it.
+    by_line: HashMap<u64, Vec<u64>>,
+    front_seq: u64,
+    next_seq: u64,
+    fetch_stall_until: u64,
+    pending_compute: u32,
+    deferred: Option<Instr>,
+    pending_barrier: Option<u32>,
+    at_barrier: Option<u32>,
+    stream_done: bool,
+    stack: CycleStack,
+    retired: u64,
+    chain_inflight: [u32; Instr::MAX_CHAINS],
+}
+
+impl CoreModel {
+    /// Creates core number `id`.
+    pub fn new(id: usize, cfg: CoreConfig) -> Self {
+        CoreModel {
+            id,
+            cfg,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            by_line: HashMap::new(),
+            front_seq: 0,
+            next_seq: 0,
+            fetch_stall_until: 0,
+            pending_compute: 0,
+            deferred: None,
+            pending_barrier: None,
+            at_barrier: None,
+            stream_done: false,
+            stack: CycleStack::new(),
+            retired: 0,
+            chain_inflight: [0; Instr::MAX_CHAINS],
+        }
+    }
+
+    /// This core's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Current ROB occupancy.
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// The cycle stack accumulated so far.
+    pub fn stack(&self) -> &CycleStack {
+        &self.stack
+    }
+
+    /// Snapshots and resets the cycle stack (through-time sampling).
+    pub fn take_stack_sample(&mut self) -> CycleStack {
+        self.stack.take_sample()
+    }
+
+    /// The barrier id this core is parked at, if any.
+    pub fn at_barrier(&self) -> Option<u32> {
+        self.at_barrier
+    }
+
+    /// Releases the core from its barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is not at a barrier.
+    pub fn release_barrier(&mut self) {
+        assert!(self.at_barrier.is_some(), "core {} is not at a barrier", self.id);
+        self.at_barrier = None;
+    }
+
+    /// Whether the program ended and every in-flight instruction retired.
+    pub fn is_finished(&self) -> bool {
+        self.stream_done
+            && self.rob.is_empty()
+            && self.deferred.is_none()
+            && self.pending_compute == 0
+            && self.pending_barrier.is_none()
+            && self.at_barrier.is_none()
+    }
+
+    /// A DRAM line arrived: wake every load waiting on it.
+    pub fn complete_line(&mut self, line: u64) {
+        if let Some(seqs) = self.by_line.remove(&line) {
+            for seq in seqs {
+                debug_assert!(seq >= self.front_seq);
+                let idx = (seq - self.front_seq) as usize;
+                if let Some(slot) = self.rob.get_mut(idx) {
+                    slot.state = SlotState::Ready;
+                    if let Some(c) = slot.chain.take() {
+                        self.chain_inflight[c as usize] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the core by one cycle: retire, classify the cycle, dispatch.
+    pub fn tick(&mut self, stream: &mut dyn InstrStream, hier: &mut Hierarchy, now: u64) {
+        if self.at_barrier.is_some() {
+            self.stack.add(CycleComponent::Idle);
+            return;
+        }
+
+        // Retire.
+        let mut retired_now = 0;
+        while retired_now < self.cfg.width {
+            match self.rob.front() {
+                Some(slot) => {
+                    let ready = match slot.state {
+                        SlotState::Ready => true,
+                        SlotState::WaitUntil(t) => t <= now,
+                        SlotState::WaitLine(_) => false,
+                    };
+                    if !ready {
+                        break;
+                    }
+                    self.rob.pop_front();
+                    self.front_seq += 1;
+                    self.retired += 1;
+                    retired_now += 1;
+                }
+                None => break,
+            }
+        }
+
+        // Classify this cycle.
+        let component = if retired_now > 0 {
+            CycleComponent::Base
+        } else if let Some(head) = self.rob.front() {
+            match head.state {
+                SlotState::WaitLine(_) => {
+                    if now.saturating_sub(head.issued_at) <= self.cfg.dram_base_window {
+                        CycleComponent::DramBase
+                    } else {
+                        CycleComponent::DramQueue
+                    }
+                }
+                SlotState::WaitUntil(_) => CycleComponent::Dcache,
+                SlotState::Ready => CycleComponent::Base,
+            }
+        } else if now < self.fetch_stall_until {
+            CycleComponent::Branch
+        } else if self.stream_done || self.pending_barrier.is_some() {
+            CycleComponent::Idle
+        } else {
+            CycleComponent::Base
+        };
+        self.stack.add(component);
+
+        // Dispatch.
+        if now >= self.fetch_stall_until && self.pending_barrier.is_none() {
+            self.dispatch(stream, hier, now);
+        }
+
+        // Enter the barrier once the pipeline drained.
+        if let Some(id) = self.pending_barrier {
+            if self.rob.is_empty() && self.pending_compute == 0 && self.deferred.is_none() {
+                self.pending_barrier = None;
+                self.at_barrier = Some(id);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, stream: &mut dyn InstrStream, hier: &mut Hierarchy, now: u64) {
+        let mut dispatched = 0;
+        while dispatched < self.cfg.width && self.rob.len() < self.cfg.rob_entries {
+            if self.pending_compute > 0 {
+                self.pending_compute -= 1;
+                self.push_slot(SlotState::Ready, now);
+                dispatched += 1;
+                continue;
+            }
+            let instr = match self.deferred.take() {
+                Some(i) => i,
+                None => {
+                    if self.stream_done || self.pending_barrier.is_some() {
+                        break;
+                    }
+                    match stream.next_instr() {
+                        Some(i) => i,
+                        None => {
+                            self.stream_done = true;
+                            break;
+                        }
+                    }
+                }
+            };
+            match instr {
+                Instr::Compute { count } => {
+                    self.pending_compute = count;
+                }
+                Instr::Load { addr } => match hier.access(self.id, addr, false, now) {
+                    AccessResult::Hit { ready_at } => {
+                        self.push_slot(SlotState::WaitUntil(ready_at), now);
+                        dispatched += 1;
+                    }
+                    AccessResult::Miss => {
+                        let line = addr & !63;
+                        let seq = self.next_seq;
+                        self.by_line.entry(line).or_default().push(seq);
+                        self.push_slot(SlotState::WaitLine(line), now);
+                        dispatched += 1;
+                    }
+                    AccessResult::MshrFull => {
+                        self.deferred = Some(instr);
+                        break;
+                    }
+                },
+                Instr::ChainLoad { addr, chain } => {
+                    let chain = chain as usize % Instr::MAX_CHAINS;
+                    if self.chain_inflight[chain] > 0 {
+                        // The previous load of this chain still owns the
+                        // address — dependence stalls dispatch.
+                        self.deferred = Some(instr);
+                        break;
+                    }
+                    match hier.access(self.id, addr, false, now) {
+                        AccessResult::Hit { ready_at } => {
+                            self.push_slot(SlotState::WaitUntil(ready_at), now);
+                            dispatched += 1;
+                        }
+                        AccessResult::Miss => {
+                            let line = addr & !63;
+                            let seq = self.next_seq;
+                            self.by_line.entry(line).or_default().push(seq);
+                            self.chain_inflight[chain] += 1;
+                            self.push_slot(SlotState::WaitLine(line), now);
+                            if let Some(slot) = self.rob.back_mut() {
+                                slot.chain = Some(chain as u8);
+                            }
+                            dispatched += 1;
+                        }
+                        AccessResult::MshrFull => {
+                            self.deferred = Some(instr);
+                            break;
+                        }
+                    }
+                }
+                Instr::Store { addr } => match hier.access(self.id, addr, true, now) {
+                    AccessResult::Hit { .. } | AccessResult::Miss => {
+                        // Stores retire immediately (store buffer).
+                        self.push_slot(SlotState::Ready, now);
+                        dispatched += 1;
+                    }
+                    AccessResult::MshrFull => {
+                        self.deferred = Some(instr);
+                        break;
+                    }
+                },
+                Instr::Branch { mispredict } => {
+                    self.push_slot(SlotState::Ready, now);
+                    dispatched += 1;
+                    if mispredict {
+                        self.fetch_stall_until = now + self.cfg.mispredict_penalty;
+                        break;
+                    }
+                }
+                Instr::Barrier { id } => {
+                    self.pending_barrier = Some(id);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn push_slot(&mut self, state: SlotState, now: u64) {
+        self.rob.push_back(RobSlot { state, issued_at: now, chain: None });
+        self.next_seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::hierarchy::HierarchyConfig;
+    use crate::instr::VecStream;
+    use crate::prefetch::PrefetchConfig;
+
+    fn hierarchy() -> Hierarchy {
+        let cfg = HierarchyConfig {
+            l1: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 4 },
+            l2: CacheConfig { size_bytes: 2048, ways: 2, line_bytes: 64, latency: 14 },
+            llc: CacheConfig { size_bytes: 8192, ways: 2, line_bytes: 64, latency: 44 },
+            l1_mshrs: 4,
+            prefetch_outstanding: 0,
+            prefetch: PrefetchConfig { streams: 2, degree: 0, distance: 1, confidence: 99 },
+        };
+        Hierarchy::new(1, cfg)
+    }
+
+    /// Runs the core, completing every DRAM read after `mem_latency` cycles.
+    fn run(
+        core: &mut CoreModel,
+        stream: &mut VecStream,
+        hier: &mut Hierarchy,
+        mem_latency: u64,
+        max_cycles: u64,
+    ) -> u64 {
+        let mut pending: Vec<(u64, u64)> = Vec::new(); // (done_at, line)
+        for now in 0..max_cycles {
+            core.tick(stream, hier, now);
+            while let Some(r) = hier.pop_read() {
+                pending.push((now + mem_latency, r.line));
+            }
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].0 <= now {
+                    let (_, line) = pending.swap_remove(i);
+                    for c in hier.complete_read(line) {
+                        let _ = c;
+                        core.complete_line(line);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if core.is_finished() {
+                return now;
+            }
+        }
+        panic!("core did not finish in {max_cycles} cycles");
+    }
+
+    #[test]
+    fn compute_only_retires_at_full_width() {
+        let mut core = CoreModel::new(0, CoreConfig::paper_default());
+        let mut stream = VecStream::new(vec![Instr::Compute { count: 400 }]);
+        let mut h = hierarchy();
+        let end = run(&mut core, &mut stream, &mut h, 10, 10_000);
+        assert_eq!(core.retired(), 400);
+        // 4-wide: ~100 cycles plus small pipeline ramp.
+        assert!(end <= 110, "took {end} cycles");
+        assert!(core.stack().fraction(CycleComponent::Base) > 0.9);
+    }
+
+    #[test]
+    fn load_miss_stalls_and_classifies_dram() {
+        let mut core = CoreModel::new(0, CoreConfig::paper_default());
+        let mut stream = VecStream::new(vec![Instr::Load { addr: 0x10_0000 }]);
+        let mut h = hierarchy();
+        run(&mut core, &mut stream, &mut h, 300, 10_000);
+        // Waited ~300 cycles: some within the base window, the rest queue.
+        assert!(core.stack().cycles(CycleComponent::DramBase) > 0);
+        assert!(core.stack().cycles(CycleComponent::DramQueue) > 0);
+    }
+
+    #[test]
+    fn independent_loads_overlap_mlp() {
+        // 4 independent miss loads with a 200-cycle memory: MLP-limited
+        // (4 MSHRs) so total time ≈ one latency, not four.
+        let mut core = CoreModel::new(0, CoreConfig::paper_default());
+        let loads: Vec<_> =
+            (0..4).map(|i| Instr::Load { addr: 0x100_0000 + i * 0x1_0000 }).collect();
+        let mut stream = VecStream::new(loads);
+        let mut h = hierarchy();
+        let end = run(&mut core, &mut stream, &mut h, 200, 10_000);
+        assert!(end < 2 * 200, "MLP should overlap misses: took {end}");
+    }
+
+    #[test]
+    fn stores_do_not_stall_retirement() {
+        let mut core = CoreModel::new(0, CoreConfig::paper_default());
+        let mut stream = VecStream::new(vec![
+            Instr::Store { addr: 0x20_0000 },
+            Instr::Compute { count: 8 },
+        ]);
+        let mut h = hierarchy();
+        let end = run(&mut core, &mut stream, &mut h, 500, 10_000);
+        // Finishes long before the 500-cycle fill would allow if stalled…
+        // except is_finished also waits for nothing: stores retire at once.
+        assert!(end < 50, "stores must not stall: took {end}");
+        assert_eq!(core.retired(), 9);
+    }
+
+    #[test]
+    fn mispredicted_branch_costs_a_bubble() {
+        let mut core = CoreModel::new(0, CoreConfig::paper_default());
+        let mut stream = VecStream::new(vec![
+            Instr::Compute { count: 4 },
+            Instr::Branch { mispredict: true },
+            Instr::Compute { count: 4 },
+        ]);
+        let mut h = hierarchy();
+        run(&mut core, &mut stream, &mut h, 10, 1_000);
+        assert!(core.stack().cycles(CycleComponent::Branch) >= 10);
+    }
+
+    #[test]
+    fn barrier_parks_the_core() {
+        let mut core = CoreModel::new(0, CoreConfig::paper_default());
+        let mut stream =
+            VecStream::new(vec![Instr::Compute { count: 2 }, Instr::Barrier { id: 1 }]);
+        let mut h = hierarchy();
+        for now in 0..100 {
+            core.tick(&mut stream, &mut h, now);
+        }
+        assert_eq!(core.at_barrier(), Some(1));
+        assert!(!core.is_finished());
+        assert!(core.stack().cycles(CycleComponent::Idle) > 50);
+        core.release_barrier();
+        for now in 100..110 {
+            core.tick(&mut stream, &mut h, now);
+        }
+        assert!(core.is_finished());
+    }
+
+    #[test]
+    fn rob_bounds_outstanding_work() {
+        let cfg = CoreConfig { rob_entries: 8, ..CoreConfig::paper_default() };
+        let mut core = CoreModel::new(0, cfg);
+        let mut stream = VecStream::new(vec![Instr::Compute { count: 100 }]);
+        let mut h = hierarchy();
+        core.tick(&mut stream, &mut h, 0);
+        assert!(core.rob_occupancy() <= 8);
+    }
+
+    #[test]
+    fn chain_loads_serialize_within_a_chain() {
+        // 4 chain loads in ONE chain, 200-cycle memory: must take ~4 × 200.
+        let mut core = CoreModel::new(0, CoreConfig::paper_default());
+        let loads: Vec<_> = (0..4)
+            .map(|i| Instr::ChainLoad { addr: 0x100_0000 + i * 0x1_0000, chain: 0 })
+            .collect();
+        let mut stream = VecStream::new(loads);
+        let mut h = hierarchy();
+        let end = run(&mut core, &mut stream, &mut h, 200, 10_000);
+        assert!(end >= 4 * 200, "dependent chain must serialize: took {end}");
+    }
+
+    #[test]
+    fn chain_loads_in_different_chains_overlap() {
+        let mut core = CoreModel::new(0, CoreConfig::paper_default());
+        let loads: Vec<_> = (0..4u64)
+            .map(|i| Instr::ChainLoad { addr: 0x100_0000 + i * 0x1_0000, chain: i as u8 })
+            .collect();
+        let mut stream = VecStream::new(loads);
+        let mut h = hierarchy();
+        let end = run(&mut core, &mut stream, &mut h, 200, 10_000);
+        assert!(end < 2 * 200, "independent chains overlap: took {end}");
+    }
+
+    #[test]
+    fn l2_hit_stall_counts_as_dcache() {
+        let mut core = CoreModel::new(0, CoreConfig::paper_default());
+        // Miss to DRAM first, then (after finishing) the same line is in
+        // L1; a *different* line in the same L2 set… simplest: one load,
+        // complete it, then re-load a line that L1 evicted but L2 kept.
+        let mut stream = VecStream::new(vec![Instr::Load { addr: 0 }]);
+        let mut h = hierarchy();
+        run(&mut core, &mut stream, &mut h, 100, 10_000);
+        // L1 is 4 sets × 2 ways: lines 0x000,0x100,0x200 alias to set 0.
+        // Fill two more lines one at a time (fresh cores, shared caches),
+        // evicting line 0 from L1 while L2 keeps it.
+        for addr in [0x100u64, 0x200] {
+            let mut c = CoreModel::new(0, CoreConfig::paper_default());
+            let mut s = VecStream::new(vec![Instr::Load { addr }]);
+            run(&mut c, &mut s, &mut h, 100, 10_000);
+        }
+        let mut c = CoreModel::new(0, CoreConfig::paper_default());
+        let mut s = VecStream::new(vec![Instr::Load { addr: 0x0 }]);
+        run(&mut c, &mut s, &mut h, 100, 10_000);
+        assert!(c.stack().cycles(CycleComponent::Dcache) > 0, "{:?}", c.stack());
+    }
+}

@@ -1,0 +1,155 @@
+//! CPU cycle (CPI) stacks, the companion representation the paper
+//! correlates with bandwidth/latency stacks in Fig. 7.
+
+use serde::{Deserialize, Serialize};
+
+/// Where one core cycle went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CycleComponent {
+    /// Retiring instructions.
+    Base,
+    /// Recovering from a branch mispredict.
+    Branch,
+    /// Stalled on a load served by L2/LLC.
+    Dcache,
+    /// Stalled on a DRAM load, within the uncontended latency window.
+    DramBase,
+    /// Stalled on a DRAM load beyond the uncontended latency — queueing.
+    DramQueue,
+    /// No work: program finished or waiting at a barrier.
+    Idle,
+}
+
+impl CycleComponent {
+    /// All components in stack order.
+    pub const ALL: [CycleComponent; 6] = [
+        CycleComponent::Base,
+        CycleComponent::Branch,
+        CycleComponent::Dcache,
+        CycleComponent::DramBase,
+        CycleComponent::DramQueue,
+        CycleComponent::Idle,
+    ];
+
+    /// Number of components.
+    pub const COUNT: usize = 6;
+
+    /// Stable index into component arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Label used in figure output (matches the paper's Fig. 7 legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleComponent::Base => "base",
+            CycleComponent::Branch => "branch",
+            CycleComponent::Dcache => "dcache",
+            CycleComponent::DramBase => "dram-latency",
+            CycleComponent::DramQueue => "dram-queue",
+            CycleComponent::Idle => "idle",
+        }
+    }
+}
+
+impl std::fmt::Display for CycleComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An accumulating cycle stack for one core (or summed over cores).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleStack {
+    counts: [u64; CycleComponent::COUNT],
+    total: u64,
+}
+
+impl CycleStack {
+    /// A fresh, empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one cycle.
+    pub fn add(&mut self, c: CycleComponent) {
+        self.counts[c.index()] += 1;
+        self.total += 1;
+    }
+
+    /// Cycles attributed to `c`.
+    pub fn cycles(&self, c: CycleComponent) -> u64 {
+        self.counts[c.index()]
+    }
+
+    /// Total cycles recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of all cycles in `c`, in `[0, 1]`.
+    pub fn fraction(&self, c: CycleComponent) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[c.index()] as f64 / self.total as f64
+    }
+
+    /// Merges another stack into this one.
+    pub fn merge(&mut self, other: &CycleStack) {
+        for i in 0..CycleComponent::COUNT {
+            self.counts[i] += other.counts[i];
+        }
+        self.total += other.total;
+    }
+
+    /// Returns the stack accumulated since the last call and resets — the
+    /// through-time sampling primitive.
+    pub fn take_sample(&mut self) -> CycleStack {
+        std::mem::take(self)
+    }
+
+    /// `(component, fraction)` rows in stack order.
+    pub fn rows(&self) -> Vec<(CycleComponent, f64)> {
+        CycleComponent::ALL.iter().map(|&c| (c, self.fraction(c))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_fractions() {
+        let mut s = CycleStack::new();
+        for _ in 0..3 {
+            s.add(CycleComponent::Base);
+        }
+        s.add(CycleComponent::DramQueue);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.cycles(CycleComponent::Base), 3);
+        assert!((s.fraction(CycleComponent::Base) - 0.75).abs() < 1e-12);
+        let sum: f64 = CycleComponent::ALL.iter().map(|&c| s.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_sample() {
+        let mut a = CycleStack::new();
+        a.add(CycleComponent::Idle);
+        let mut b = CycleStack::new();
+        b.add(CycleComponent::Idle);
+        b.add(CycleComponent::Branch);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        let sampled = a.take_sample();
+        assert_eq!(sampled.total(), 3);
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn empty_stack_fractions_are_zero() {
+        let s = CycleStack::new();
+        assert_eq!(s.fraction(CycleComponent::Base), 0.0);
+    }
+}

@@ -1,0 +1,492 @@
+//! The three-level cache hierarchy: private L1D and L2 per core, a shared
+//! LLC, an L2 stream prefetcher, MSHR-limited outstanding misses and
+//! write-back/write-allocate semantics.
+//!
+//! The hierarchy is the boundary between the cores and the memory
+//! controller: demand/prefetch misses appear in [`Hierarchy::pop_read`],
+//! dirty LLC evictions in [`Hierarchy::pop_write`], and the simulator
+//! reports DRAM completions back via [`Hierarchy::complete_read`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
+
+/// Configuration of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Per-core L1 data cache.
+    pub l1: CacheConfig,
+    /// Per-core unified L2.
+    pub l2: CacheConfig,
+    /// Shared last-level cache (size independent of core count, as in the
+    /// paper).
+    pub llc: CacheConfig,
+    /// Outstanding demand misses per core (L1 MSHRs).
+    pub l1_mshrs: usize,
+    /// Outstanding prefetches per core.
+    pub prefetch_outstanding: usize,
+    /// L2 stream prefetcher parameters.
+    pub prefetch: PrefetchConfig,
+}
+
+impl HierarchyConfig {
+    /// The paper's Skylake-like setup.
+    pub fn paper_default() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            llc: CacheConfig::llc(),
+            l1_mshrs: 10,
+            prefetch_outstanding: 8,
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a core's access into the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// Served by a cache; data ready at the returned absolute core cycle.
+    Hit {
+        /// Core cycle at which the data is available.
+        ready_at: u64,
+    },
+    /// Goes to DRAM; completion arrives via
+    /// [`Hierarchy::complete_read`].
+    Miss,
+    /// No MSHR available — the core must retry next cycle.
+    MshrFull,
+}
+
+/// A read request headed to the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutboundRead {
+    /// Line address.
+    pub line: u64,
+    /// Requesting core.
+    pub core: usize,
+    /// Whether this is a prefetch (no core waits on it).
+    pub is_prefetch: bool,
+}
+
+#[derive(Debug, Default, Clone)]
+struct PendingLine {
+    /// Cores with demand waiters on this line.
+    waiters: Vec<usize>,
+    /// Whether any waiter was a store (fill dirty).
+    any_store: bool,
+    /// Core whose prefetcher requested the line, if it started as a
+    /// prefetch.
+    prefetch_for: Option<usize>,
+}
+
+/// Aggregated hierarchy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Demand reads sent to DRAM.
+    pub dram_demand_reads: u64,
+    /// Prefetch reads sent to DRAM.
+    pub dram_prefetch_reads: u64,
+    /// Dirty lines written back to DRAM.
+    pub dram_writes: u64,
+    /// Demand misses that merged into an in-flight line.
+    pub mshr_merges: u64,
+    /// Prefetches that arrived before the demand access (useful).
+    pub prefetch_hits: u64,
+}
+
+/// The shared memory hierarchy of all cores.
+#[derive(Debug)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    llc: Cache,
+    prefetchers: Vec<StreamPrefetcher>,
+    /// Per-core outstanding demand lines (bounded by `l1_mshrs`).
+    demand_outstanding: Vec<HashSet<u64>>,
+    /// Per-core outstanding prefetch lines.
+    prefetch_outstanding: Vec<HashSet<u64>>,
+    /// All in-flight lines, keyed by line address.
+    pending: HashMap<u64, PendingLine>,
+    outbound_reads: VecDeque<OutboundRead>,
+    outbound_writes: VecDeque<u64>,
+    prefetch_buf: Vec<u64>,
+    line_mask: u64,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for `n_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cache geometry is invalid or `n_cores` is zero.
+    pub fn new(n_cores: usize, cfg: HierarchyConfig) -> Self {
+        assert!(n_cores > 0, "need at least one core");
+        Hierarchy {
+            cfg,
+            l1: (0..n_cores).map(|_| Cache::new(cfg.l1)).collect(),
+            l2: (0..n_cores).map(|_| Cache::new(cfg.l2)).collect(),
+            llc: Cache::new(cfg.llc),
+            prefetchers: (0..n_cores).map(|_| StreamPrefetcher::new(cfg.prefetch)).collect(),
+            demand_outstanding: vec![HashSet::new(); n_cores],
+            prefetch_outstanding: vec![HashSet::new(); n_cores],
+            pending: HashMap::new(),
+            outbound_reads: VecDeque::new(),
+            outbound_writes: VecDeque::new(),
+            prefetch_buf: Vec::new(),
+            line_mask: !(u64::from(cfg.l1.line_bytes) - 1),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// `(l1, l2, llc)` cache statistics; `l1`/`l2` summed over cores.
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        let sum = |cs: &[Cache]| {
+            let mut out = CacheStats::default();
+            for c in cs {
+                let s = c.stats();
+                out.hits += s.hits;
+                out.misses += s.misses;
+                out.writebacks += s.writebacks;
+            }
+            out
+        };
+        (sum(&self.l1), sum(&self.l2), self.llc.stats())
+    }
+
+    /// A demand access from `core`. `now` is the current core cycle.
+    pub fn access(&mut self, core: usize, addr: u64, is_write: bool, now: u64) -> AccessResult {
+        let line = addr & self.line_mask;
+        // L1 (lookup only: allocation happens when the fill arrives).
+        if self.l1[core].lookup(line, is_write) {
+            return AccessResult::Hit { ready_at: now + self.cfg.l1.latency };
+        }
+
+        // Merge into an in-flight line if present.
+        if let Some(p) = self.pending.get_mut(&line) {
+            if self.demand_outstanding[core].contains(&line) {
+                if is_write {
+                    p.any_store = true;
+                }
+                self.stats.mshr_merges += 1;
+                return AccessResult::Miss;
+            }
+            if self.demand_outstanding[core].len() >= self.cfg.l1_mshrs {
+                return AccessResult::MshrFull;
+            }
+            if is_write {
+                p.any_store = true;
+            }
+            if !p.waiters.contains(&core) {
+                p.waiters.push(core);
+            }
+            self.demand_outstanding[core].insert(line);
+            self.stats.mshr_merges += 1;
+            return AccessResult::Miss;
+        }
+
+        // L2 (train the prefetcher on every L2 lookup).
+        self.train_prefetcher(core, line);
+        if self.l2[core].lookup(line, false) {
+            self.fill_l1(core, line, is_write);
+            return AccessResult::Hit { ready_at: now + self.cfg.l2.latency };
+        }
+
+        // LLC.
+        if self.llc.lookup(line, false) {
+            self.fill_l2(core, line, false);
+            self.fill_l1(core, line, is_write);
+            return AccessResult::Hit { ready_at: now + self.cfg.llc.latency };
+        }
+
+        // DRAM.
+        if self.demand_outstanding[core].len() >= self.cfg.l1_mshrs {
+            return AccessResult::MshrFull;
+        }
+        self.demand_outstanding[core].insert(line);
+        self.pending.insert(
+            line,
+            PendingLine { waiters: vec![core], any_store: is_write, prefetch_for: None },
+        );
+        self.outbound_reads.push_back(OutboundRead { line, core, is_prefetch: false });
+        self.stats.dram_demand_reads += 1;
+        AccessResult::Miss
+    }
+
+    fn train_prefetcher(&mut self, core: usize, line: u64) {
+        let line_idx = line >> self.cfg.l1.line_bytes.trailing_zeros();
+        let mut buf = std::mem::take(&mut self.prefetch_buf);
+        buf.clear();
+        self.prefetchers[core].train(line_idx, &mut buf);
+        for idx in &buf {
+            let pline = idx << self.cfg.l1.line_bytes.trailing_zeros();
+            if self.prefetch_outstanding[core].len() >= self.cfg.prefetch_outstanding {
+                break;
+            }
+            if self.pending.contains_key(&pline)
+                || self.l2[core].probe(pline)
+                || self.llc.probe(pline)
+            {
+                continue;
+            }
+            self.prefetch_outstanding[core].insert(pline);
+            self.pending.insert(
+                pline,
+                PendingLine { waiters: Vec::new(), any_store: false, prefetch_for: Some(core) },
+            );
+            self.outbound_reads
+                .push_back(OutboundRead { line: pline, core, is_prefetch: true });
+            self.stats.dram_prefetch_reads += 1;
+        }
+        self.prefetch_buf = buf;
+    }
+
+    /// Next read for the memory controller, if any. `peek`-style: only call
+    /// when the controller can accept.
+    pub fn pop_read(&mut self) -> Option<OutboundRead> {
+        self.outbound_reads.pop_front()
+    }
+
+    /// Puts back a read the controller could not accept.
+    pub fn unpop_read(&mut self, r: OutboundRead) {
+        self.outbound_reads.push_front(r);
+    }
+
+    /// Next writeback for the memory controller, if any.
+    pub fn pop_write(&mut self) -> Option<u64> {
+        self.outbound_writes.pop_front()
+    }
+
+    /// Puts back a write the controller could not accept.
+    pub fn unpop_write(&mut self, line: u64) {
+        self.outbound_writes.push_front(line);
+    }
+
+    /// Reads waiting to be sent to the controller.
+    pub fn outbound_read_count(&self) -> usize {
+        self.outbound_reads.len()
+    }
+
+    /// Writebacks waiting to be sent to the controller.
+    pub fn outbound_write_count(&self) -> usize {
+        self.outbound_writes.len()
+    }
+
+    /// Whether any miss is still in flight anywhere.
+    pub fn quiescent(&self) -> bool {
+        self.pending.is_empty()
+            && self.outbound_reads.is_empty()
+            && self.outbound_writes.is_empty()
+    }
+
+    /// A DRAM read for `line` finished: fill the caches and return the
+    /// cores whose demand loads waited on it.
+    pub fn complete_read(&mut self, line: u64) -> Vec<usize> {
+        let Some(p) = self.pending.remove(&line) else {
+            return Vec::new();
+        };
+        if let Some(core) = p.prefetch_for {
+            self.prefetch_outstanding[core].remove(&line);
+            if p.waiters.is_empty() {
+                // Pure prefetch: fill LLC + the requesting core's L2.
+                self.fill_llc(line, false);
+                self.fill_l2(core, line, false);
+                return Vec::new();
+            }
+            self.stats.prefetch_hits += 1;
+        }
+        self.fill_llc(line, false);
+        for &core in &p.waiters {
+            self.demand_outstanding[core].remove(&line);
+            self.fill_l2(core, line, false);
+            self.fill_l1(core, line, p.any_store);
+        }
+        p.waiters
+    }
+
+    /// Functionally warms the LLC with `line` (optionally dirty) without
+    /// timing, demand statistics or writeback of the evicted victim — used
+    /// to start steady-state measurements with a realistically full cache,
+    /// so dirty evictions (DRAM writes) flow from cycle 0. Call
+    /// [`reset_stats`](Self::reset_stats) after warming.
+    pub fn prefill_llc(&mut self, line: u64, dirty: bool) {
+        let _ = self.llc.fill(line & self.line_mask, dirty);
+    }
+
+    /// Clears all cache and hierarchy counters (after a warm-up).
+    pub fn reset_stats(&mut self) {
+        for c in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            c.reset_stats();
+        }
+        self.llc.reset_stats();
+        self.stats = HierarchyStats::default();
+    }
+
+    // -- fill helpers with dirty-eviction cascade --------------------------------
+
+    fn fill_l1(&mut self, core: usize, line: u64, dirty: bool) {
+        if let Some(victim) = self.l1[core].fill(line, dirty) {
+            self.fill_l2(core, victim, true);
+        }
+    }
+
+    fn fill_l2(&mut self, core: usize, line: u64, dirty: bool) {
+        if let Some(victim) = self.l2[core].fill(line, dirty) {
+            self.fill_llc(victim, true);
+        }
+    }
+
+    fn fill_llc(&mut self, line: u64, dirty: bool) {
+        if let Some(victim) = self.llc.fill(line, dirty) {
+            self.outbound_writes.push_back(victim);
+            self.stats.dram_writes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_hierarchy(cores: usize) -> Hierarchy {
+        // Tiny caches so evictions happen quickly in tests.
+        let cfg = HierarchyConfig {
+            l1: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 4 },
+            l2: CacheConfig { size_bytes: 2048, ways: 2, line_bytes: 64, latency: 14 },
+            llc: CacheConfig { size_bytes: 8192, ways: 2, line_bytes: 64, latency: 44 },
+            l1_mshrs: 4,
+            prefetch_outstanding: 4,
+            prefetch: PrefetchConfig { streams: 4, degree: 1, distance: 4, confidence: 2 },
+        };
+        Hierarchy::new(cores, cfg)
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_and_fills_on_completion() {
+        let mut h = small_hierarchy(1);
+        assert_eq!(h.access(0, 0x1000, false, 0), AccessResult::Miss);
+        let r = h.pop_read().unwrap();
+        assert_eq!(r, OutboundRead { line: 0x1000, core: 0, is_prefetch: false });
+        let waiters = h.complete_read(0x1000);
+        assert_eq!(waiters, vec![0]);
+        // Now it hits in L1.
+        assert_eq!(h.access(0, 0x1010, false, 100), AccessResult::Hit { ready_at: 104 });
+        assert!(h.quiescent());
+    }
+
+    #[test]
+    fn merge_same_line_same_core() {
+        let mut h = small_hierarchy(1);
+        assert_eq!(h.access(0, 0x1000, false, 0), AccessResult::Miss);
+        assert_eq!(h.access(0, 0x1008, false, 1), AccessResult::Miss);
+        assert_eq!(h.stats().mshr_merges, 1);
+        assert_eq!(h.stats().dram_demand_reads, 1);
+        assert_eq!(h.outbound_read_count(), 1, "merged miss sends one read");
+    }
+
+    #[test]
+    fn merge_across_cores_notifies_both() {
+        let mut h = small_hierarchy(2);
+        assert_eq!(h.access(0, 0x2000, false, 0), AccessResult::Miss);
+        assert_eq!(h.access(1, 0x2000, false, 0), AccessResult::Miss);
+        let mut waiters = h.complete_read(0x2000);
+        waiters.sort();
+        assert_eq!(waiters, vec![0, 1]);
+    }
+
+    #[test]
+    fn mshr_limit_blocks_new_misses() {
+        let mut h = small_hierarchy(1);
+        for i in 0..4u64 {
+            assert_eq!(h.access(0, 0x10_0000 + i * 0x1000, false, 0), AccessResult::Miss);
+        }
+        assert_eq!(h.access(0, 0x50_0000, false, 0), AccessResult::MshrFull);
+        // Completing one frees an MSHR.
+        h.complete_read(0x10_0000);
+        assert_eq!(h.access(0, 0x50_0000, false, 1), AccessResult::Miss);
+    }
+
+    #[test]
+    fn store_miss_fills_dirty_and_evicts_as_writeback() {
+        let mut h = small_hierarchy(1);
+        assert_eq!(h.access(0, 0x0, true, 0), AccessResult::Miss);
+        h.pop_read();
+        h.complete_read(0x0);
+        // Push the dirty line out of every level: lines 0x0, 0x200, 0x400…
+        // share L1 set 0 (8 sets? 512B/64/2 = 4 sets → stride 0x100).
+        for i in 1..40u64 {
+            let a = i * 0x100;
+            if h.access(0, a, false, i) == AccessResult::Miss {
+                h.pop_read();
+                h.complete_read(a & !63);
+            }
+        }
+        assert!(h.stats().dram_writes > 0, "dirty line written back to DRAM");
+        assert!(h.outbound_write_count() > 0);
+    }
+
+    #[test]
+    fn sequential_demand_stream_issues_prefetches() {
+        let mut h = small_hierarchy(1);
+        let mut prefetches = 0;
+        for i in 0..32u64 {
+            let addr = 0x4_0000 + i * 64;
+            match h.access(0, addr, false, i) {
+                AccessResult::Miss => {
+                    while let Some(r) = h.pop_read() {
+                        if r.is_prefetch {
+                            prefetches += 1;
+                        }
+                        h.complete_read(r.line);
+                    }
+                }
+                AccessResult::Hit { .. } => {}
+                AccessResult::MshrFull => panic!("unexpected MshrFull"),
+            }
+        }
+        assert!(prefetches > 0, "stream prefetcher fired");
+        assert!(h.stats().dram_prefetch_reads > 0);
+        // Prefetched lines make later demand accesses hit.
+        let (l1, l2, _) = h.cache_stats();
+        assert!(l1.hits + l2.hits > 0);
+    }
+
+    #[test]
+    fn unpop_preserves_order() {
+        let mut h = small_hierarchy(1);
+        h.access(0, 0x1000, false, 0);
+        h.access(0, 0x9000, false, 0);
+        let first = h.pop_read().unwrap();
+        h.unpop_read(first);
+        assert_eq!(h.pop_read().unwrap().line, 0x1000);
+        assert_eq!(h.pop_read().unwrap().line, 0x9000);
+    }
+
+    #[test]
+    fn llc_hit_after_other_cores_fill() {
+        let mut h = small_hierarchy(2);
+        h.access(0, 0x3000, false, 0);
+        h.pop_read();
+        h.complete_read(0x3000);
+        // Core 1 finds it in the LLC.
+        match h.access(1, 0x3000, false, 50) {
+            AccessResult::Hit { ready_at } => assert_eq!(ready_at, 50 + 44),
+            other => panic!("expected LLC hit, got {other:?}"),
+        }
+    }
+}

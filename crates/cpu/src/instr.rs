@@ -1,0 +1,143 @@
+//! The instruction abstraction consumed by the core model.
+//!
+//! Workloads produce per-core streams of these coarse "instructions"; the
+//! core model turns them into ROB occupancy, memory-hierarchy accesses and
+//! cycle-stack components.
+
+use serde::{Deserialize, Serialize};
+
+/// One instruction of a core's dynamic stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// A load from the given byte address. Retirement blocks until the
+    /// data arrives.
+    Load {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// A store to the given byte address. Does not block retirement
+    /// (absorbed by the store buffer) but triggers a write-allocate fill.
+    Store {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// A load whose address depends on the previous load of the same
+    /// chain: it cannot issue while an older load of that chain is still
+    /// in flight. Models pointer-chase-like dependence; `chain` values
+    /// below [`Instr::MAX_CHAINS`] give a workload a precise memory-level
+    /// parallelism.
+    ChainLoad {
+        /// Byte address accessed.
+        addr: u64,
+        /// Dependence chain this load belongs to.
+        chain: u8,
+    },
+    /// `count` plain ALU operations (they only consume issue slots).
+    Compute {
+        /// Number of back-to-back ALU operations.
+        count: u32,
+    },
+    /// A conditional branch; a mispredicted one flushes the front-end.
+    Branch {
+        /// Whether this branch mispredicts.
+        mispredict: bool,
+    },
+    /// A synchronization barrier: the core stalls until every core reached
+    /// the same barrier id.
+    Barrier {
+        /// Barrier identifier (monotonically increasing per program).
+        id: u32,
+    },
+}
+
+impl Instr {
+    /// Number of dependence chains a core tracks for
+    /// [`Instr::ChainLoad`].
+    pub const MAX_CHAINS: usize = 16;
+}
+
+/// A per-core supplier of instructions.
+///
+/// `next` returning `None` permanently ends the stream (the core goes
+/// idle).
+pub trait InstrStream {
+    /// The next instruction, or `None` when the program finished.
+    fn next_instr(&mut self) -> Option<Instr>;
+}
+
+/// A stream backed by a pre-generated trace.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    instrs: Vec<Instr>,
+    pos: usize,
+}
+
+impl VecStream {
+    /// Wraps a trace.
+    pub fn new(instrs: Vec<Instr>) -> Self {
+        VecStream { instrs, pos: 0 }
+    }
+
+    /// Instructions remaining.
+    pub fn remaining(&self) -> usize {
+        self.instrs.len() - self.pos
+    }
+}
+
+impl InstrStream for VecStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let i = self.instrs.get(self.pos).copied();
+        if i.is_some() {
+            self.pos += 1;
+        }
+        i
+    }
+}
+
+/// An endless stream produced by a closure — convenient for synthetic
+/// workloads.
+pub struct FnStream<F>(pub F);
+
+impl<F: FnMut() -> Option<Instr>> InstrStream for FnStream<F> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        (self.0)()
+    }
+}
+
+impl<F> std::fmt::Debug for FnStream<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnStream(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_stream_yields_in_order_then_ends() {
+        let mut s = VecStream::new(vec![Instr::Load { addr: 64 }, Instr::Compute { count: 3 }]);
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.next_instr(), Some(Instr::Load { addr: 64 }));
+        assert_eq!(s.next_instr(), Some(Instr::Compute { count: 3 }));
+        assert_eq!(s.next_instr(), None);
+        assert_eq!(s.next_instr(), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn fn_stream_delegates() {
+        let mut n = 0u64;
+        let mut s = FnStream(move || {
+            n += 1;
+            if n <= 2 {
+                Some(Instr::Store { addr: n * 64 })
+            } else {
+                None
+            }
+        });
+        assert_eq!(s.next_instr(), Some(Instr::Store { addr: 64 }));
+        assert_eq!(s.next_instr(), Some(Instr::Store { addr: 128 }));
+        assert_eq!(s.next_instr(), None);
+    }
+}

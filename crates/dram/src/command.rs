@@ -1,0 +1,154 @@
+//! DRAM commands as issued by the memory controller over the command bus.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::BankAddr;
+
+/// The kind of a DRAM command, without its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Open (load) a row into the bank's row buffer.
+    Activate,
+    /// Write the row buffer back and precharge the bit lines.
+    Precharge,
+    /// Read one column (cache line) from the open row.
+    Read,
+    /// Read one column, then auto-precharge the bank.
+    ReadAp,
+    /// Write one column into the open row.
+    Write,
+    /// Write one column, then auto-precharge the bank.
+    WriteAp,
+    /// Refresh the whole rank (all banks must be precharged).
+    Refresh,
+}
+
+impl CommandKind {
+    /// Whether this is a column (CAS) command that moves data on the bus.
+    pub fn is_cas(self) -> bool {
+        matches!(
+            self,
+            CommandKind::Read | CommandKind::ReadAp | CommandKind::Write | CommandKind::WriteAp
+        )
+    }
+
+    /// Whether this CAS reads data (false for writes and non-CAS commands).
+    pub fn is_read(self) -> bool {
+        matches!(self, CommandKind::Read | CommandKind::ReadAp)
+    }
+
+    /// Whether this CAS writes data.
+    pub fn is_write(self) -> bool {
+        matches!(self, CommandKind::Write | CommandKind::WriteAp)
+    }
+
+    /// Whether the command auto-precharges its bank after completion.
+    pub fn auto_precharges(self) -> bool {
+        matches!(self, CommandKind::ReadAp | CommandKind::WriteAp)
+    }
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandKind::Activate => "ACT",
+            CommandKind::Precharge => "PRE",
+            CommandKind::Read => "RD",
+            CommandKind::ReadAp => "RDA",
+            CommandKind::Write => "WR",
+            CommandKind::WriteAp => "WRA",
+            CommandKind::Refresh => "REF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully specified DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Command {
+    /// What to do.
+    pub kind: CommandKind,
+    /// Target bank. For [`CommandKind::Refresh`] only the rank matters.
+    pub bank: BankAddr,
+    /// Row operand (meaningful for [`CommandKind::Activate`]).
+    pub row: u32,
+    /// Column operand (meaningful for CAS commands).
+    pub column: u32,
+}
+
+impl Command {
+    /// An `ACT bank, row` command.
+    pub fn activate(bank: BankAddr, row: u32) -> Self {
+        Command { kind: CommandKind::Activate, bank, row, column: 0 }
+    }
+
+    /// A `PRE bank` command.
+    pub fn precharge(bank: BankAddr) -> Self {
+        Command { kind: CommandKind::Precharge, bank, row: 0, column: 0 }
+    }
+
+    /// A `RD bank, column` command.
+    pub fn read(bank: BankAddr, column: u32) -> Self {
+        Command { kind: CommandKind::Read, bank, row: 0, column }
+    }
+
+    /// A `RDA bank, column` command (read with auto-precharge).
+    pub fn read_ap(bank: BankAddr, column: u32) -> Self {
+        Command { kind: CommandKind::ReadAp, bank, row: 0, column }
+    }
+
+    /// A `WR bank, column` command.
+    pub fn write(bank: BankAddr, column: u32) -> Self {
+        Command { kind: CommandKind::Write, bank, row: 0, column }
+    }
+
+    /// A `WRA bank, column` command (write with auto-precharge).
+    pub fn write_ap(bank: BankAddr, column: u32) -> Self {
+        Command { kind: CommandKind::WriteAp, bank, row: 0, column }
+    }
+
+    /// A `REF rank` command.
+    pub fn refresh(rank: u32) -> Self {
+        Command { kind: CommandKind::Refresh, bank: BankAddr::new(rank, 0, 0), row: 0, column: 0 }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            CommandKind::Activate => write!(f, "ACT {} row {}", self.bank, self.row),
+            CommandKind::Refresh => write!(f, "REF rank {}", self.bank.rank),
+            k if k.is_cas() => write!(f, "{} {} col {}", k, self.bank, self.column),
+            k => write!(f, "{} {}", k, self.bank),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_classification() {
+        assert!(CommandKind::Read.is_cas());
+        assert!(CommandKind::WriteAp.is_cas());
+        assert!(!CommandKind::Activate.is_cas());
+        assert!(CommandKind::ReadAp.is_read());
+        assert!(!CommandKind::ReadAp.is_write());
+        assert!(CommandKind::WriteAp.is_write());
+        assert!(CommandKind::WriteAp.auto_precharges());
+        assert!(!CommandKind::Write.auto_precharges());
+        assert!(!CommandKind::Refresh.is_cas());
+    }
+
+    #[test]
+    fn display_round() {
+        let b = BankAddr::new(0, 1, 2);
+        assert_eq!(Command::activate(b, 9).to_string(), "ACT r0g1b2 row 9");
+        assert_eq!(Command::read(b, 3).to_string(), "RD r0g1b2 col 3");
+        assert_eq!(Command::refresh(0).to_string(), "REF rank 0");
+        assert_eq!(Command::precharge(b).to_string(), "PRE r0g1b2");
+    }
+}

@@ -1,0 +1,697 @@
+//! The DRAM device: banks + rank timing + data bus behind one channel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::{Bank, BankState};
+use crate::bus::{BurstKind, DataBus};
+use crate::command::{Command, CommandKind};
+use crate::error::{CommandError, ConfigError};
+use crate::geometry::{BankAddr, DramGeometry};
+use crate::rank::{RankState, RankTimingState};
+use crate::timing::TimingParams;
+use crate::view::BlockReason;
+use crate::Cycle;
+
+/// Configuration of one DRAM channel: geometry, timing set and bus width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Channel organization.
+    pub geometry: DramGeometry,
+    /// Timing-constraint set.
+    pub timing: TimingParams,
+    /// Data-bus width in bytes (8 for DDR4).
+    pub bus_bytes: u32,
+}
+
+impl DeviceConfig {
+    /// The paper's configuration: DDR4-2400, one rank, 16 banks, 8 B bus,
+    /// 19.2 GB/s peak.
+    pub fn ddr4_2400() -> Self {
+        DeviceConfig {
+            geometry: DramGeometry::ddr4_single_rank(),
+            timing: TimingParams::ddr4_2400(),
+            bus_bytes: 8,
+        }
+    }
+
+    /// Dual-rank DDR4-2400: same channel bandwidth, twice the banks.
+    pub fn ddr4_2400_dual_rank() -> Self {
+        DeviceConfig {
+            geometry: DramGeometry::ddr4_dual_rank(),
+            timing: TimingParams::ddr4_2400(),
+            bus_bytes: 8,
+        }
+    }
+
+    /// DDR4-3200 variant for the speed-grade ablation.
+    pub fn ddr4_3200() -> Self {
+        DeviceConfig {
+            geometry: DramGeometry::ddr4_single_rank(),
+            timing: TimingParams::ddr4_3200(),
+            bus_bytes: 8,
+        }
+    }
+
+    /// Validates geometry and timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.geometry.validate()?;
+        self.timing.validate()?;
+        if self.bus_bytes == 0 || !self.bus_bytes.is_power_of_two() {
+            return Err(ConfigError::InvalidGeometry("bus_bytes"));
+        }
+        if u64::from(self.bus_bytes) * 2 * self.timing.burst_cycles
+            != u64::from(self.geometry.line_bytes)
+        {
+            return Err(ConfigError::InvalidGeometry(
+                "burst_cycles x 2 x bus_bytes must equal line_bytes",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Peak bandwidth of this channel in GB/s.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.timing.peak_bandwidth_gbps(self.bus_bytes)
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::ddr4_2400()
+    }
+}
+
+/// An earliest-issue answer: the cycle and the binding constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Earliest {
+    /// Earliest cycle the command may issue.
+    pub at: Cycle,
+    /// The constraint that produced `at` ([`BlockReason::None`] when the
+    /// command could have issued earlier than asked).
+    pub reason: BlockReason,
+}
+
+impl Earliest {
+    fn now() -> Self {
+        Earliest { at: 0, reason: BlockReason::None }
+    }
+
+    fn tighten(&mut self, cand: Cycle, reason: BlockReason) {
+        if cand > self.at {
+            self.at = cand;
+            self.reason = reason;
+        }
+    }
+
+    /// Whether the command is ready at `now`.
+    pub fn ready(&self, now: Cycle) -> bool {
+        self.at <= now
+    }
+}
+
+/// Cumulative command counts for the whole device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// ACT commands issued.
+    pub activates: u64,
+    /// Explicit PRE commands issued (auto-precharges are counted in the
+    /// per-bank stats).
+    pub precharges: u64,
+    /// Read CAS commands.
+    pub reads: u64,
+    /// Write CAS commands.
+    pub writes: u64,
+    /// REF commands.
+    pub refreshes: u64,
+}
+
+/// One DRAM channel: all banks, rank timing state and the data bus.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    config: DeviceConfig,
+    banks: Vec<Bank>,
+    ranks: Vec<RankTimingState>,
+    bus: DataBus,
+    stats: DeviceStats,
+}
+
+impl DramDevice {
+    /// Creates a device from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails; use [`DramDevice::try_new`] for
+    /// a fallible constructor.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self::try_new(config).expect("invalid device configuration")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from validation.
+    pub fn try_new(config: DeviceConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let n_banks = config.geometry.total_banks() as usize;
+        let ranks = (0..config.geometry.ranks)
+            .map(|_| RankTimingState::new(config.geometry.bank_groups, &config.timing))
+            .collect();
+        Ok(DramDevice {
+            config,
+            banks: vec![Bank::new(); n_banks],
+            ranks,
+            bus: DataBus::new(),
+            stats: DeviceStats::default(),
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The timing parameter set.
+    pub fn timing(&self) -> &TimingParams {
+        &self.config.timing
+    }
+
+    /// The channel geometry.
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.config.geometry
+    }
+
+    /// Cumulative device-level command counts.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Cumulative `(read_bursts, write_bursts)` moved over the bus.
+    pub fn bus_totals(&self) -> (u64, u64) {
+        self.bus.totals()
+    }
+
+    /// Immutable access to a bank by address.
+    pub fn bank(&self, addr: BankAddr) -> &Bank {
+        &self.banks[self.config.geometry.flat_bank(addr)]
+    }
+
+    /// Housekeeping at the start of cycle `now`: applies due auto-precharges
+    /// and retires finished bursts. Call once per cycle before queries.
+    pub fn advance(&mut self, now: Cycle) {
+        for bank in &mut self.banks {
+            bank.apply_auto_precharge(now, &self.config.timing);
+        }
+        self.bus.retire_before(now);
+    }
+
+    // ---- earliest-issue queries -------------------------------------------------
+
+    /// Earliest cycle an ACT for `addr` may issue, with the binding reason.
+    pub fn earliest_activate(&self, addr: BankAddr, now: Cycle) -> Earliest {
+        let bank = self.bank(addr);
+        let mut e = Earliest::now();
+        e.tighten(now, BlockReason::None);
+        // Rank-level constraints first so that on ties (e.g. a refresh that
+        // also reset the bank precharge window) the rank-level reason wins,
+        // matching the accounting hierarchy.
+        let (rank_at, rank_reason) =
+            self.ranks[addr.rank as usize].earliest_activate(addr.bank_group, &self.config.timing);
+        e.tighten(rank_at, rank_reason);
+        e.tighten(bank.earliest_activate(&self.config.timing), BlockReason::RowCycle);
+        // Distinguish "precharging" from the generic bank constraint.
+        if e.reason == BlockReason::RowCycle && bank.state(now) == BankState::Precharging {
+            e.reason = BlockReason::PrechargePending;
+        }
+        e
+    }
+
+    /// Earliest cycle a PRE for `addr` may issue.
+    pub fn earliest_precharge(&self, addr: BankAddr, now: Cycle) -> Earliest {
+        let bank = self.bank(addr);
+        let mut e = Earliest::now();
+        e.tighten(now, BlockReason::None);
+        e.tighten(bank.earliest_precharge(), BlockReason::PrechargeWindow);
+        e.tighten(self.ranks[addr.rank as usize].refresh_end(), BlockReason::Refresh);
+        e
+    }
+
+    /// Earliest cycle a read CAS for `addr` may issue (row must be open or
+    /// opening; otherwise the reason is [`BlockReason::RowClosed`]).
+    pub fn earliest_read(&self, addr: BankAddr, now: Cycle) -> Earliest {
+        self.earliest_cas(addr, now, false)
+    }
+
+    /// Earliest cycle a write CAS for `addr` may issue.
+    pub fn earliest_write(&self, addr: BankAddr, now: Cycle) -> Earliest {
+        self.earliest_cas(addr, now, true)
+    }
+
+    fn earliest_cas(&self, addr: BankAddr, now: Cycle, is_write: bool) -> Earliest {
+        let timing = &self.config.timing;
+        let bank = self.bank(addr);
+        let mut e = Earliest::now();
+        e.tighten(now, BlockReason::None);
+        match bank.earliest_cas() {
+            Some(act_done) => e.tighten(act_done, BlockReason::ActivatePending),
+            None => {
+                // No row open: a CAS cannot issue at all; report the reason
+                // and a conservative lower bound.
+                return Earliest { at: Cycle::MAX, reason: BlockReason::RowClosed };
+            }
+        }
+        let (rank_at, rank_reason) =
+            self.ranks[addr.rank as usize].earliest_cas(addr.bank_group, !is_write, timing);
+        e.tighten(rank_at, rank_reason);
+
+        // Data-bus slot: the burst starts CL/CWL after the CAS.
+        let cas_to_data = if is_write { timing.cwl } else { timing.cl };
+        let slot = self.bus.earliest_slot(e.at + cas_to_data, timing.burst_cycles);
+        if slot > e.at + cas_to_data {
+            e.tighten(slot - cas_to_data, BlockReason::BusBusy);
+        }
+        // Read→write turnaround bubble on the bus.
+        if is_write {
+            let after_read = self.bus.last_read_end() + timing.rtw_gap;
+            if after_read > e.at + cas_to_data {
+                e.tighten(after_read - cas_to_data, BlockReason::ReadToWrite);
+            }
+        }
+        e
+    }
+
+    // ---- issue -------------------------------------------------------------------
+
+    /// Issues `cmd` at cycle `now`.
+    ///
+    /// Returns the completion cycle: for ACT/PRE the end of tRCD/tRP, for
+    /// CAS the end of the data burst, for REF the end of tRFC.
+    ///
+    /// # Errors
+    ///
+    /// [`CommandError::TimingViolation`] when a constraint blocks the
+    /// command, [`CommandError::RowMismatch`] / `BankNotPrecharged` /
+    /// `RefreshWhileBusy` for state violations, `AddressOutOfRange` for bad
+    /// operands.
+    pub fn issue(&mut self, cmd: Command, now: Cycle) -> Result<Cycle, CommandError> {
+        self.check_address(&cmd)?;
+        match cmd.kind {
+            CommandKind::Activate => self.issue_activate(cmd.bank, cmd.row, now),
+            CommandKind::Precharge => self.issue_precharge(cmd.bank, now),
+            CommandKind::Read | CommandKind::ReadAp => {
+                self.issue_cas(cmd.bank, now, false, cmd.kind.auto_precharges())
+            }
+            CommandKind::Write | CommandKind::WriteAp => {
+                self.issue_cas(cmd.bank, now, true, cmd.kind.auto_precharges())
+            }
+            CommandKind::Refresh => self.issue_refresh(cmd.bank.rank, now),
+        }
+    }
+
+    fn check_address(&self, cmd: &Command) -> Result<(), CommandError> {
+        let g = &self.config.geometry;
+        if cmd.bank.rank >= g.ranks {
+            return Err(CommandError::AddressOutOfRange("rank"));
+        }
+        if cmd.bank.bank_group >= g.bank_groups {
+            return Err(CommandError::AddressOutOfRange("bank_group"));
+        }
+        if cmd.bank.bank >= g.banks_per_group {
+            return Err(CommandError::AddressOutOfRange("bank"));
+        }
+        if cmd.kind == CommandKind::Activate && cmd.row >= g.rows {
+            return Err(CommandError::AddressOutOfRange("row"));
+        }
+        if cmd.kind.is_cas() && cmd.column >= g.columns {
+            return Err(CommandError::AddressOutOfRange("column"));
+        }
+        Ok(())
+    }
+
+    fn issue_activate(&mut self, addr: BankAddr, row: u32, now: Cycle) -> Result<Cycle, CommandError> {
+        let flat = self.config.geometry.flat_bank(addr);
+        if self.banks[flat].open_row().is_some() {
+            return Err(CommandError::BankNotPrecharged(addr));
+        }
+        let e = self.earliest_activate(addr, now);
+        if !e.ready(now) {
+            return Err(CommandError::TimingViolation { bank: addr, ready_at: e.at, reason: e.reason });
+        }
+        self.banks[flat].issue_activate(now, row, &self.config.timing);
+        self.ranks[addr.rank as usize].record_activate(now, addr.bank_group);
+        self.stats.activates += 1;
+        Ok(now + self.config.timing.t_rcd)
+    }
+
+    fn issue_precharge(&mut self, addr: BankAddr, now: Cycle) -> Result<Cycle, CommandError> {
+        let flat = self.config.geometry.flat_bank(addr);
+        if self.banks[flat].open_row().is_none() {
+            // Precharging a precharged bank is a harmless NOP per JEDEC, but
+            // the controller should never do it; flag as a state error.
+            return Err(CommandError::RefreshWhileBusy(addr));
+        }
+        let e = self.earliest_precharge(addr, now);
+        if !e.ready(now) {
+            return Err(CommandError::TimingViolation { bank: addr, ready_at: e.at, reason: e.reason });
+        }
+        self.banks[flat].issue_precharge(now, &self.config.timing);
+        self.stats.precharges += 1;
+        Ok(now + self.config.timing.t_rp)
+    }
+
+    fn issue_cas(
+        &mut self,
+        addr: BankAddr,
+        now: Cycle,
+        is_write: bool,
+        auto_pre: bool,
+    ) -> Result<Cycle, CommandError> {
+        let timing = self.config.timing;
+        let flat = self.config.geometry.flat_bank(addr);
+        if self.banks[flat].open_row().is_none() {
+            return Err(CommandError::RowMismatch { bank: addr, open_row: None, wanted_row: 0 });
+        }
+        let e = self.earliest_cas(addr, now, is_write);
+        if !e.ready(now) {
+            return Err(CommandError::TimingViolation { bank: addr, ready_at: e.at, reason: e.reason });
+        }
+        let cas_to_data = if is_write { timing.cwl } else { timing.cl };
+        let burst_start = now + cas_to_data;
+        let kind = if is_write { BurstKind::Write } else { BurstKind::Read };
+        self.bus.reserve(burst_start, timing.burst_cycles, kind);
+        if is_write {
+            self.banks[flat].issue_write(now, burst_start, auto_pre, &timing);
+            self.stats.writes += 1;
+        } else {
+            self.banks[flat].issue_read(now, burst_start, auto_pre, &timing);
+            self.stats.reads += 1;
+        }
+        self.ranks[addr.rank as usize].record_cas(now, addr.bank_group, is_write);
+        Ok(burst_start + timing.burst_cycles)
+    }
+
+    fn issue_refresh(&mut self, rank: u32, now: Cycle) -> Result<Cycle, CommandError> {
+        let g = self.config.geometry;
+        for addr in g.iter_banks().filter(|b| b.rank == rank) {
+            let bank = self.bank(addr);
+            if !bank.is_quiet(now) {
+                return Err(CommandError::RefreshWhileBusy(addr));
+            }
+        }
+        if self.bus.busy_at_or_after(now) {
+            return Err(CommandError::RefreshWhileBusy(BankAddr::new(rank, 0, 0)));
+        }
+        self.ranks[rank as usize].start_refresh(now, &self.config.timing);
+        let end = self.ranks[rank as usize].refresh_end();
+        for addr in g.iter_banks().filter(|b| b.rank == rank) {
+            let flat = g.flat_bank(addr);
+            self.banks[flat].force_precharged(end);
+        }
+        self.stats.refreshes += 1;
+        Ok(end)
+    }
+
+    // ---- accounting queries --------------------------------------------------------
+
+    /// Data-bus activity at cycle `t` (only valid for `t` at or after the
+    /// last `advance`).
+    pub fn bus_activity(&self, t: Cycle) -> Option<BurstKind> {
+        self.bus.activity_at(t)
+    }
+
+    /// Whether `rank` is inside a refresh at `t`.
+    pub fn is_refreshing(&self, rank: u32, t: Cycle) -> bool {
+        matches!(self.ranks[rank as usize].state(t), RankState::Refreshing { .. })
+    }
+
+    /// Whether a refresh is overdue on `rank`.
+    pub fn refresh_due(&self, rank: u32, now: Cycle) -> bool {
+        self.ranks[rank as usize].refresh_due(now)
+    }
+
+    /// Cycle the next refresh falls due on `rank`.
+    pub fn next_refresh_at(&self, rank: u32) -> Cycle {
+        self.ranks[rank as usize].next_refresh_at()
+    }
+
+    /// Whether every bank of `rank` is quiet (refresh could issue, bus
+    /// permitting).
+    pub fn rank_quiet(&self, rank: u32, now: Cycle) -> bool {
+        self.config
+            .geometry
+            .iter_banks()
+            .filter(|b| b.rank == rank)
+            .all(|b| self.bank(b).is_quiet(now))
+            && !self.bus.busy_at_or_after(now)
+    }
+
+    /// State of the bank with flat index `flat` at cycle `t`.
+    pub fn bank_state(&self, flat: usize, t: Cycle) -> BankState {
+        self.banks[flat].state(t)
+    }
+
+    /// Number of refreshes performed on `rank`.
+    pub fn refreshes_done(&self, rank: u32) -> u64 {
+        self.ranks[rank as usize].refreshes_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DramDevice {
+        DramDevice::new(DeviceConfig::ddr4_2400())
+    }
+
+    #[test]
+    fn config_validates() {
+        DeviceConfig::ddr4_2400().validate().unwrap();
+        DeviceConfig::ddr4_3200().validate().unwrap();
+        let mut c = DeviceConfig::ddr4_2400();
+        c.bus_bytes = 3;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::ddr4_2400();
+        c.bus_bytes = 16; // 16 B × 2 × 4 cycles ≠ 64 B line
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn act_then_read_full_sequence() {
+        let mut d = dev();
+        let t = *d.timing();
+        let b = BankAddr::new(0, 0, 0);
+        d.issue(Command::activate(b, 3), 0).unwrap();
+        // Read before tRCD is rejected.
+        let err = d.issue(Command::read(b, 0), 5).unwrap_err();
+        assert!(matches!(err, CommandError::TimingViolation { reason: BlockReason::ActivatePending, .. }));
+        let done = d.issue(Command::read(b, 0), t.t_rcd).unwrap();
+        assert_eq!(done, t.t_rcd + t.cl + t.burst_cycles);
+        // The burst occupies the bus.
+        assert_eq!(d.bus_activity(t.t_rcd + t.cl), Some(BurstKind::Read));
+        assert_eq!(d.bus_activity(t.t_rcd + t.cl - 1), None);
+    }
+
+    #[test]
+    fn cas_without_open_row_is_rejected() {
+        let mut d = dev();
+        let b = BankAddr::new(0, 0, 0);
+        let err = d.issue(Command::read(b, 0), 0).unwrap_err();
+        assert!(matches!(err, CommandError::RowMismatch { .. }));
+        let e = d.earliest_read(b, 0);
+        assert_eq!(e.reason, BlockReason::RowClosed);
+    }
+
+    #[test]
+    fn same_bank_group_reads_spaced_by_ccd_l() {
+        let mut d = dev();
+        let t = *d.timing();
+        let b0 = BankAddr::new(0, 1, 0);
+        let b1 = BankAddr::new(0, 1, 1);
+        d.issue(Command::activate(b0, 0), 0).unwrap();
+        d.issue(Command::activate(b1, 0), t.t_rrd_l).unwrap();
+        // Read b0 well after both ACTs completed so tCCD_L is the only
+        // constraint left on b1's read.
+        let first = 30;
+        d.issue(Command::read(b0, 0), first).unwrap();
+        let e = d.earliest_read(b1, first + 1);
+        assert_eq!(e.at, first + t.t_ccd_l);
+        assert_eq!(e.reason, BlockReason::CcdLong);
+    }
+
+    #[test]
+    fn cross_bank_group_reads_spaced_by_ccd_s() {
+        let mut d = dev();
+        let t = *d.timing();
+        let b0 = BankAddr::new(0, 0, 0);
+        let b1 = BankAddr::new(0, 2, 0);
+        d.issue(Command::activate(b0, 0), 0).unwrap();
+        d.issue(Command::activate(b1, 0), t.t_rrd_s).unwrap();
+        let first = t.t_rcd.max(t.t_rrd_s);
+        d.issue(Command::read(b0, 0), first).unwrap();
+        let e = d.earliest_read(b1, first);
+        assert_eq!(e.at, first + t.t_ccd_s);
+    }
+
+    #[test]
+    fn write_then_read_pays_wtr() {
+        let mut d = dev();
+        let t = *d.timing();
+        let b = BankAddr::new(0, 0, 0);
+        d.issue(Command::activate(b, 0), 0).unwrap();
+        d.issue(Command::write(b, 0), t.t_rcd).unwrap();
+        let e = d.earliest_read(b, t.t_rcd + 1);
+        assert_eq!(e.at, t.t_rcd + t.write_to_read_same_bg());
+        assert_eq!(e.reason, BlockReason::WtrLong);
+    }
+
+    #[test]
+    fn read_then_write_pays_bus_turnaround() {
+        let mut d = dev();
+        let t = *d.timing();
+        let b0 = BankAddr::new(0, 0, 0);
+        let b1 = BankAddr::new(0, 2, 0);
+        d.issue(Command::activate(b0, 0), 0).unwrap();
+        d.issue(Command::activate(b1, 0), t.t_rrd_s).unwrap();
+        let rd_at = t.t_rcd.max(t.t_rrd_s);
+        d.issue(Command::read(b0, 0), rd_at).unwrap();
+        let e = d.earliest_write(b1, rd_at + t.t_ccd_s);
+        // Write burst must start after the read burst end + the bubble:
+        // wr_cas + CWL >= rd_cas + CL + burst + gap.
+        let min_cas = rd_at + t.cl + t.burst_cycles + t.rtw_gap - t.cwl;
+        assert_eq!(e.at, min_cas);
+        assert_eq!(e.reason, BlockReason::ReadToWrite);
+    }
+
+    #[test]
+    fn refresh_requires_quiet_rank_and_blocks_activates() {
+        let mut d = dev();
+        let t = *d.timing();
+        let b = BankAddr::new(0, 0, 0);
+        d.issue(Command::activate(b, 0), 0).unwrap();
+        let err = d.issue(Command::refresh(0), 1).unwrap_err();
+        assert!(matches!(err, CommandError::RefreshWhileBusy(_)));
+        // Close the bank, then refresh succeeds.
+        let pre_at = d.earliest_precharge(b, 1).at;
+        d.issue(Command::precharge(b), pre_at).unwrap();
+        let quiet_at = pre_at + t.t_rp;
+        d.advance(quiet_at);
+        assert!(d.rank_quiet(0, quiet_at));
+        let end = d.issue(Command::refresh(0), quiet_at).unwrap();
+        assert_eq!(end, quiet_at + t.t_rfc);
+        assert!(d.is_refreshing(0, quiet_at + 1));
+        assert!(!d.is_refreshing(0, end));
+        let e = d.earliest_activate(b, quiet_at + 1);
+        assert_eq!(e.at, end);
+        assert_eq!(e.reason, BlockReason::Refresh);
+        assert_eq!(d.refreshes_done(0), 1);
+    }
+
+    #[test]
+    fn auto_precharge_closes_bank_for_next_activate() {
+        let mut d = dev();
+        let t = *d.timing();
+        let b = BankAddr::new(0, 0, 0);
+        d.issue(Command::activate(b, 7), 0).unwrap();
+        d.issue(Command::read_ap(b, 0), t.t_rcd).unwrap();
+        // After tRAS and tRP the bank can re-activate a different row.
+        let reopen = t.t_ras.max(t.t_rcd + t.t_rtp) + t.t_rp;
+        d.advance(reopen);
+        let e = d.earliest_activate(b, reopen);
+        assert!(e.at <= reopen.max(t.t_rc), "auto-precharge should have closed the row");
+        d.issue(Command::activate(b, 8), e.at.max(reopen)).unwrap();
+        assert_eq!(d.bank(b).open_row(), Some(8));
+    }
+
+    #[test]
+    fn address_range_checks() {
+        let mut d = dev();
+        assert!(matches!(
+            d.issue(Command::activate(BankAddr::new(1, 0, 0), 0), 0),
+            Err(CommandError::AddressOutOfRange("rank"))
+        ));
+        assert!(matches!(
+            d.issue(Command::activate(BankAddr::new(0, 4, 0), 0), 0),
+            Err(CommandError::AddressOutOfRange("bank_group"))
+        ));
+        assert!(matches!(
+            d.issue(Command::activate(BankAddr::new(0, 0, 0), 1 << 20), 0),
+            Err(CommandError::AddressOutOfRange("row"))
+        ));
+    }
+
+    #[test]
+    fn rank_constraints_are_independent() {
+        // Fill rank 0's tFAW window; rank 1 activates freely.
+        let mut d = DramDevice::new(DeviceConfig::ddr4_2400_dual_rank());
+        let t = *d.timing();
+        let mut at = 0;
+        for bg in 0..4u32 {
+            let b = BankAddr::new(0, bg, 0);
+            at = d.earliest_activate(b, at).at;
+            d.issue(Command::activate(b, 0), at).unwrap();
+            at += t.t_rrd_s;
+        }
+        let blocked = d.earliest_activate(BankAddr::new(0, 0, 1), at);
+        assert!(blocked.at > at, "rank 0 is tFAW-limited");
+        let free = d.earliest_activate(BankAddr::new(1, 0, 0), at);
+        assert_eq!(free.at, at, "rank 1 is unconstrained");
+        d.issue(Command::activate(BankAddr::new(1, 0, 0), 0), at).unwrap();
+    }
+
+    #[test]
+    fn ranks_refresh_independently() {
+        let mut d = DramDevice::new(DeviceConfig::ddr4_2400_dual_rank());
+        let t = *d.timing();
+        let due = t.t_refi;
+        d.advance(due);
+        assert!(d.refresh_due(0, due));
+        assert!(d.refresh_due(1, due));
+        d.issue(Command::refresh(0), due).unwrap();
+        assert!(d.is_refreshing(0, due + 1));
+        assert!(!d.is_refreshing(1, due + 1));
+        // Rank 1 can still activate while rank 0 refreshes.
+        d.issue(Command::activate(BankAddr::new(1, 0, 0), 0), due + 1).unwrap();
+        d.issue(Command::refresh(1), due + 2).unwrap_err(); // rank 1 busy now
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = dev();
+        let t = *d.timing();
+        let b = BankAddr::new(0, 0, 0);
+        d.issue(Command::activate(b, 0), 0).unwrap();
+        d.issue(Command::read(b, 0), t.t_rcd).unwrap();
+        d.issue(Command::read(b, 1), t.t_rcd + t.t_ccd_l).unwrap();
+        let s = d.stats();
+        assert_eq!((s.activates, s.reads, s.writes), (1, 2, 0));
+        assert_eq!(d.bus_totals(), (2, 0));
+    }
+
+    #[test]
+    fn back_to_back_reads_different_groups_saturate_bus() {
+        // Reads to alternating bank groups can keep the bus fully busy:
+        // burst every tCCD_S = burst_cycles.
+        let mut d = dev();
+        let t = *d.timing();
+        let banks = [BankAddr::new(0, 0, 0), BankAddr::new(0, 1, 0)];
+        d.issue(Command::activate(banks[0], 0), 0).unwrap();
+        d.issue(Command::activate(banks[1], 0), t.t_rrd_s).unwrap();
+        let mut at = t.t_rcd.max(t.t_rrd_s + t.t_rcd);
+        for i in 0..8 {
+            let bank = banks[i % 2];
+            let e = d.earliest_read(bank, at);
+            at = e.at;
+            d.issue(Command::read(bank, i as u32), at).unwrap();
+        }
+        // After pipeline fill, every cycle in a window is a read burst.
+        let window_start = at + t.cl;
+        for cyc in window_start - 2 * t.burst_cycles..window_start + t.burst_cycles {
+            assert_eq!(d.bus_activity(cyc), Some(BurstKind::Read), "cycle {cyc}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Cycle-level DDR4 DRAM device timing model.
+//!
+//! This crate models a DDR4-style memory device at the granularity of the
+//! DRAM command clock: channels, ranks, bank groups, banks, row buffers and
+//! the full set of JEDEC-style timing constraints that govern when
+//! `ACT`/`PRE`/`RD`/`WR`/`REF` commands may be issued.
+//!
+//! It is the substrate under the bandwidth/latency *stack* accounting of the
+//! `dramstack-core` crate: besides answering "can this command issue now?"
+//! it can explain *why not* ([`BlockReason`]) and report per-bank activity
+//! ([`BankActivity`]) for any cycle, which is exactly the information the
+//! hierarchical stack accounting needs.
+//!
+//! # Example
+//!
+//! ```
+//! use dramstack_dram::{DramDevice, DeviceConfig, Command, BankAddr};
+//!
+//! let mut dev = DramDevice::new(DeviceConfig::ddr4_2400());
+//! let bank = BankAddr::new(0, 0, 0);
+//! // Activate row 7, then read column 3 as soon as the timing allows.
+//! let t_act = dev.earliest_activate(bank, 0).at;
+//! dev.issue(Command::activate(bank, 7), t_act).unwrap();
+//! let t_rd = dev.earliest_read(bank, t_act + 1).at;
+//! let done = dev.issue(Command::read(bank, 3), t_rd).unwrap();
+//! assert!(done > t_rd, "data returns after the CAS latency");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bank;
+mod bus;
+mod command;
+mod device;
+mod error;
+mod geometry;
+mod rank;
+mod timing;
+pub mod trace;
+mod view;
+
+pub use bank::{Bank, BankState};
+pub use bus::{Burst, BurstKind, DataBus};
+pub use command::{Command, CommandKind};
+pub use device::{DeviceConfig, DramDevice, Earliest};
+pub use error::{CommandError, ConfigError};
+pub use geometry::{BankAddr, DramAddress, DramGeometry};
+pub use rank::{RankState, RankTimingState};
+pub use timing::TimingParams;
+pub use trace::TimedCommand;
+pub use view::{BankActivity, BlockLevel, BlockReason, CycleView};
+
+/// A point in time, measured in DRAM command-clock cycles.
+///
+/// At DDR4-2400 the command clock runs at 1200 MHz, so one cycle is
+/// 0.8333 ns and the 8-byte data bus moves 16 bytes per cycle (double data
+/// rate).
+pub type Cycle = u64;

@@ -1,0 +1,288 @@
+//! Rank-level timing state: tFAW, tRRD, tCCD, write-to-read turnaround and
+//! refresh.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::timing::TimingParams;
+use crate::view::BlockReason;
+use crate::Cycle;
+
+/// Whether a rank is available or being refreshed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankState {
+    /// Normal operation.
+    Available,
+    /// In a refresh cycle until the contained cycle.
+    Refreshing {
+        /// First cycle after the refresh completes.
+        until: Cycle,
+    },
+}
+
+/// Timing state shared by all banks of one rank.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankTimingState {
+    /// Issue times of the most recent ACTs, for the tFAW window (≤ 4 kept).
+    act_window: VecDeque<Cycle>,
+    /// Most recent ACT per bank group (tRRD_L) — indexed by bank group.
+    last_act_per_bg: Vec<Option<Cycle>>,
+    /// Most recent ACT anywhere in the rank (tRRD_S).
+    last_act_any: Option<Cycle>,
+    /// Most recent CAS per bank group (tCCD_L).
+    last_cas_per_bg: Vec<Option<Cycle>>,
+    /// Most recent CAS anywhere in the rank (tCCD_S).
+    last_cas_any: Option<Cycle>,
+    /// Per bank group: issue time of the most recent *write* CAS
+    /// (write-to-read turnaround, tWTR_L).
+    last_write_cas_per_bg: Vec<Option<Cycle>>,
+    /// Issue time of the most recent write CAS anywhere (tWTR_S).
+    last_write_cas_any: Option<Cycle>,
+    /// Refresh bookkeeping.
+    refreshing_until: Cycle,
+    next_refresh_due: Cycle,
+    refreshes_done: u64,
+}
+
+/// A candidate issue time together with the constraint that produced it.
+fn tighten(at: &mut Cycle, reason: &mut BlockReason, cand: Cycle, cand_reason: BlockReason) {
+    if cand > *at {
+        *at = cand;
+        *reason = cand_reason;
+    }
+}
+
+impl RankTimingState {
+    /// Fresh rank state; first refresh falls due one tREFI in.
+    pub fn new(bank_groups: u32, timing: &TimingParams) -> Self {
+        RankTimingState {
+            act_window: VecDeque::with_capacity(4),
+            last_act_per_bg: vec![None; bank_groups as usize],
+            last_act_any: None,
+            last_cas_per_bg: vec![None; bank_groups as usize],
+            last_cas_any: None,
+            last_write_cas_per_bg: vec![None; bank_groups as usize],
+            last_write_cas_any: None,
+            refreshing_until: 0,
+            next_refresh_due: timing.t_refi,
+            refreshes_done: 0,
+        }
+    }
+
+    /// Rank availability at cycle `now`.
+    pub fn state(&self, now: Cycle) -> RankState {
+        if now < self.refreshing_until {
+            RankState::Refreshing { until: self.refreshing_until }
+        } else {
+            RankState::Available
+        }
+    }
+
+    /// Whether a refresh is overdue at `now` (the controller should drain
+    /// and issue a REF).
+    pub fn refresh_due(&self, now: Cycle) -> bool {
+        now >= self.next_refresh_due
+    }
+
+    /// Cycle at which the next refresh falls due.
+    pub fn next_refresh_at(&self) -> Cycle {
+        self.next_refresh_due
+    }
+
+    /// Number of refreshes performed so far.
+    pub fn refreshes_done(&self) -> u64 {
+        self.refreshes_done
+    }
+
+    /// Starts a refresh at `at`; the rank is unavailable for tRFC.
+    pub fn start_refresh(&mut self, at: Cycle, timing: &TimingParams) {
+        debug_assert!(at >= self.refreshing_until);
+        self.refreshing_until = at + timing.t_rfc;
+        // Keep the nominal refresh cadence: schedule relative to the due
+        // time, not the (possibly late) actual start, as real controllers
+        // pull-in/postpone around a fixed tREFI grid.
+        self.next_refresh_due += timing.t_refi;
+        self.refreshes_done += 1;
+    }
+
+    /// First cycle after the in-progress (or last) refresh completes.
+    pub fn refresh_end(&self) -> Cycle {
+        self.refreshing_until
+    }
+
+    /// Earliest ACT issue cycle under rank-level constraints
+    /// (tRRD_S/L, tFAW, refresh), with the binding constraint.
+    pub fn earliest_activate(
+        &self,
+        bank_group: u32,
+        timing: &TimingParams,
+    ) -> (Cycle, BlockReason) {
+        let mut at = 0;
+        let mut reason = BlockReason::None;
+        tighten(&mut at, &mut reason, self.refreshing_until, BlockReason::Refresh);
+        if let Some(last) = self.last_act_any {
+            tighten(&mut at, &mut reason, last + timing.t_rrd_s, BlockReason::RrdShort);
+        }
+        if let Some(last) = self.last_act_per_bg[bank_group as usize] {
+            tighten(&mut at, &mut reason, last + timing.t_rrd_l, BlockReason::RrdLong);
+        }
+        if self.act_window.len() == 4 {
+            tighten(&mut at, &mut reason, self.act_window[0] + timing.t_faw, BlockReason::Faw);
+        }
+        (at, reason)
+    }
+
+    /// Records an ACT issued at `at` to `bank_group`.
+    pub fn record_activate(&mut self, at: Cycle, bank_group: u32) {
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(at);
+        self.last_act_any = Some(at);
+        self.last_act_per_bg[bank_group as usize] = Some(at);
+    }
+
+    /// Earliest CAS issue cycle under rank-level constraints: tCCD_S/L and,
+    /// for reads, the write-to-read turnaround (tWTR_S/L). Refresh blocks
+    /// everything. Returns the binding constraint; its
+    /// [`level()`](BlockReason::level) tells the stack accounting whether to
+    /// charge the bank group or the whole rank.
+    pub fn earliest_cas(
+        &self,
+        bank_group: u32,
+        is_read: bool,
+        timing: &TimingParams,
+    ) -> (Cycle, BlockReason) {
+        let mut at = 0;
+        let mut reason = BlockReason::None;
+        tighten(&mut at, &mut reason, self.refreshing_until, BlockReason::Refresh);
+
+        if let Some(last) = self.last_cas_any {
+            tighten(&mut at, &mut reason, last + timing.t_ccd_s, BlockReason::CcdShort);
+        }
+        if let Some(last) = self.last_cas_per_bg[bank_group as usize] {
+            tighten(&mut at, &mut reason, last + timing.t_ccd_l, BlockReason::CcdLong);
+        }
+        if is_read {
+            if let Some(last_wr) = self.last_write_cas_any {
+                tighten(
+                    &mut at,
+                    &mut reason,
+                    last_wr + timing.write_to_read_diff_bg(),
+                    BlockReason::WtrShort,
+                );
+            }
+            if let Some(last_wr) = self.last_write_cas_per_bg[bank_group as usize] {
+                tighten(
+                    &mut at,
+                    &mut reason,
+                    last_wr + timing.write_to_read_same_bg(),
+                    BlockReason::WtrLong,
+                );
+            }
+        }
+        (at, reason)
+    }
+
+    /// Records a CAS issued at `at` to `bank_group`.
+    pub fn record_cas(&mut self, at: Cycle, bank_group: u32, is_write: bool) {
+        self.last_cas_any = Some(at);
+        self.last_cas_per_bg[bank_group as usize] = Some(at);
+        if is_write {
+            self.last_write_cas_any = Some(at);
+            self.last_write_cas_per_bg[bank_group as usize] = Some(at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_2400()
+    }
+
+    #[test]
+    fn faw_limits_fifth_activate() {
+        let timing = t();
+        let mut r = RankTimingState::new(4, &timing);
+        let mut at = 0;
+        for bg in 0..4u32 {
+            at = r.earliest_activate(bg, &timing).0.max(at);
+            r.record_activate(at, bg);
+            at += timing.t_rrd_s;
+        }
+        let (fifth, reason) = r.earliest_activate(1, &timing);
+        assert!(fifth >= timing.t_faw, "fifth ACT at {fifth}, tFAW {}", timing.t_faw);
+        assert_eq!(reason, BlockReason::Faw);
+    }
+
+    #[test]
+    fn rrd_long_within_bank_group() {
+        let timing = t();
+        let mut r = RankTimingState::new(4, &timing);
+        r.record_activate(100, 2);
+        let (same, same_r) = r.earliest_activate(2, &timing);
+        assert_eq!((same, same_r), (100 + timing.t_rrd_l, BlockReason::RrdLong));
+        let (diff, diff_r) = r.earliest_activate(0, &timing);
+        assert_eq!((diff, diff_r), (100 + timing.t_rrd_s, BlockReason::RrdShort));
+    }
+
+    #[test]
+    fn ccd_long_flags_bank_group_local() {
+        let timing = t();
+        let mut r = RankTimingState::new(4, &timing);
+        r.record_cas(50, 1, false);
+        let (at_same, r_same) = r.earliest_cas(1, true, &timing);
+        assert_eq!((at_same, r_same), (50 + timing.t_ccd_l, BlockReason::CcdLong));
+        let (at_diff, r_diff) = r.earliest_cas(0, true, &timing);
+        assert_eq!((at_diff, r_diff), (50 + timing.t_ccd_s, BlockReason::CcdShort));
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let timing = t();
+        let mut r = RankTimingState::new(4, &timing);
+        r.record_cas(10, 3, true);
+        let (rd_same, reason_same) = r.earliest_cas(3, true, &timing);
+        assert_eq!(rd_same, 10 + timing.write_to_read_same_bg());
+        assert_eq!(reason_same, BlockReason::WtrLong);
+        let (rd_diff, reason_diff) = r.earliest_cas(0, true, &timing);
+        assert_eq!(rd_diff, 10 + timing.write_to_read_diff_bg());
+        assert_eq!(reason_diff, BlockReason::WtrShort);
+        // A following *write* is only constrained by tCCD.
+        let (wr, wr_reason) = r.earliest_cas(0, false, &timing);
+        assert_eq!((wr, wr_reason), (10 + timing.t_ccd_s, BlockReason::CcdShort));
+    }
+
+    #[test]
+    fn refresh_blocks_and_reschedules() {
+        let timing = t();
+        let mut r = RankTimingState::new(4, &timing);
+        assert!(!r.refresh_due(timing.t_refi - 1));
+        assert!(r.refresh_due(timing.t_refi));
+        r.start_refresh(timing.t_refi, &timing);
+        assert_eq!(
+            r.state(timing.t_refi + 1),
+            RankState::Refreshing { until: timing.t_refi + timing.t_rfc }
+        );
+        assert_eq!(r.state(timing.t_refi + timing.t_rfc), RankState::Available);
+        assert_eq!(r.next_refresh_at(), 2 * timing.t_refi);
+        assert_eq!(r.refreshes_done(), 1);
+        let (at, reason) = r.earliest_activate(0, &timing);
+        assert!(at >= timing.t_refi + timing.t_rfc);
+        assert_eq!(reason, BlockReason::Refresh);
+    }
+
+    #[test]
+    fn refresh_cadence_is_stable_even_when_late() {
+        let timing = t();
+        let mut r = RankTimingState::new(4, &timing);
+        // Start the first refresh 500 cycles late; the second is still due
+        // at 2 × tREFI.
+        r.start_refresh(timing.t_refi + 500, &timing);
+        assert_eq!(r.next_refresh_at(), 2 * timing.t_refi);
+    }
+}

@@ -1,0 +1,176 @@
+//! Timed DRAM command traces.
+//!
+//! The paper notes that bandwidth stacks need not be built inside the
+//! simulator: "a command trace (including timings) can be collected from
+//! the hardware or a DRAM simulator, and the bandwidth stack can be
+//! constructed offline from this trace". This module defines that trace
+//! format — one `(cycle, command)` record per issued command — with a
+//! simple line-based text encoding.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::{Command, CommandKind};
+use crate::geometry::BankAddr;
+use crate::Cycle;
+
+/// One issued command with its issue cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedCommand {
+    /// Issue cycle.
+    pub at: Cycle,
+    /// The command.
+    pub cmd: Command,
+}
+
+impl TimedCommand {
+    /// Creates a record.
+    pub fn new(at: Cycle, cmd: Command) -> Self {
+        TimedCommand { at, cmd }
+    }
+}
+
+impl fmt::Display for TimedCommand {
+    /// One-line text form: `cycle KIND rank bg bank row col`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.cmd.kind {
+            CommandKind::Activate => "ACT",
+            CommandKind::Precharge => "PRE",
+            CommandKind::Read => "RD",
+            CommandKind::ReadAp => "RDA",
+            CommandKind::Write => "WR",
+            CommandKind::WriteAp => "WRA",
+            CommandKind::Refresh => "REF",
+        };
+        write!(
+            f,
+            "{} {} {} {} {} {} {}",
+            self.at,
+            k,
+            self.cmd.bank.rank,
+            self.cmd.bank.bank_group,
+            self.cmd.bank.bank,
+            self.cmd.row,
+            self.cmd.column
+        )
+    }
+}
+
+/// Error parsing a [`TimedCommand`] line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// Description of what went wrong.
+    pub what: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace line: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for TimedCommand {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut it = s.split_whitespace();
+        let mut next = |what: &str| {
+            it.next().ok_or_else(|| ParseTraceError { what: format!("missing field {what}") })
+        };
+        let at: Cycle = next("cycle")?
+            .parse()
+            .map_err(|e| ParseTraceError { what: format!("cycle: {e}") })?;
+        let kind = match next("kind")? {
+            "ACT" => CommandKind::Activate,
+            "PRE" => CommandKind::Precharge,
+            "RD" => CommandKind::Read,
+            "RDA" => CommandKind::ReadAp,
+            "WR" => CommandKind::Write,
+            "WRA" => CommandKind::WriteAp,
+            "REF" => CommandKind::Refresh,
+            other => return Err(ParseTraceError { what: format!("unknown kind {other}") }),
+        };
+        let mut num = |what: &str| -> Result<u32, ParseTraceError> {
+            next(what)?.parse().map_err(|e| ParseTraceError { what: format!("{what}: {e}") })
+        };
+        let bank = BankAddr::new(num("rank")?, num("bank_group")?, num("bank")?);
+        let row = num("row")?;
+        let column = num("column")?;
+        Ok(TimedCommand { at, cmd: Command { kind, bank, row, column } })
+    }
+}
+
+/// Serializes a trace to the line-based text format.
+pub fn write_trace(trace: &[TimedCommand]) -> String {
+    let mut out = String::with_capacity(trace.len() * 24);
+    for t in trace {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a text trace (one command per line; blank lines and `#` comments
+/// allowed).
+///
+/// # Errors
+///
+/// Returns the first [`ParseTraceError`] with its line number attached.
+pub fn parse_trace(text: &str) -> Result<Vec<TimedCommand>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let t: TimedCommand = line
+            .parse()
+            .map_err(|e: ParseTraceError| ParseTraceError { what: format!("line {}: {}", i + 1, e.what) })?;
+        out.push(t);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_kind() {
+        let b = BankAddr::new(0, 2, 3);
+        let cmds = vec![
+            TimedCommand::new(5, Command::activate(b, 101)),
+            TimedCommand::new(22, Command::read(b, 7)),
+            TimedCommand::new(30, Command::read_ap(b, 8)),
+            TimedCommand::new(44, Command::write(b, 9)),
+            TimedCommand::new(50, Command::write_ap(b, 10)),
+            TimedCommand::new(90, Command::precharge(b)),
+            TimedCommand::new(9360, Command::refresh(0)),
+        ];
+        let text = write_trace(&cmds);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, cmds);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n10 ACT 0 0 0 5 0\n";
+        let parsed = parse_trace(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].at, 10);
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_line_numbers() {
+        let err = parse_trace("10 ACT 0 0 0 5 0\nnonsense\n").unwrap_err();
+        assert!(err.what.contains("line 2"), "{err}");
+        let err = parse_trace("10 FOO 0 0 0 0 0").unwrap_err();
+        assert!(err.what.contains("unknown kind"), "{err}");
+        let err = parse_trace("x ACT 0 0 0 0 0").unwrap_err();
+        assert!(err.what.contains("cycle"), "{err}");
+    }
+}

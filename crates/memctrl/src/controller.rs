@@ -1,0 +1,954 @@
+//! The memory controller: queues, scheduling, refresh orchestration,
+//! write-burst draining and per-request latency attribution.
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_dram::{
+    BankActivity, BankState, BlockLevel, BlockReason, Command, CycleView, Cycle, DeviceConfig,
+    DramDevice, Earliest, TimedCommand,
+};
+
+use crate::mapping::{AddressMapping, MappingScheme};
+use crate::policy::{PagePolicy, SchedulerPolicy};
+use crate::request::{CompletedRead, LatencyBreakdown, QueueEntry, RequestId};
+use crate::stats::CtrlStats;
+
+/// Memory-controller configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CtrlConfig {
+    /// The DRAM channel behind this controller.
+    pub device: DeviceConfig,
+    /// Address-mapping scheme (Fig. 5 of the paper).
+    pub mapping: MappingScheme,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+    /// Request scheduling policy.
+    pub scheduler: SchedulerPolicy,
+    /// Read-queue capacity.
+    pub read_queue_cap: usize,
+    /// Write-queue capacity (32 in the paper; 128 in the Fig. 8 variant).
+    pub write_queue_cap: usize,
+    /// Enter write-drain mode at this write-queue occupancy.
+    pub wq_high: usize,
+    /// Leave write-drain mode at this occupancy.
+    pub wq_low: usize,
+    /// Fixed controller pipeline overhead added to every read, in DRAM
+    /// cycles (the `base-cntlr` latency component).
+    pub ctrl_overhead: Cycle,
+}
+
+impl CtrlConfig {
+    /// The paper's configuration: DDR4-2400, FR-FCFS, open page, default
+    /// mapping, 32-entry write queue.
+    pub fn paper_default() -> Self {
+        CtrlConfig {
+            device: DeviceConfig::ddr4_2400(),
+            mapping: MappingScheme::RowBankColumn,
+            page_policy: PagePolicy::Open,
+            scheduler: SchedulerPolicy::FrFcfs,
+            read_queue_cap: 64,
+            write_queue_cap: 32,
+            wq_high: 28,
+            wq_low: 8,
+            ctrl_overhead: 30,
+        }
+    }
+
+    /// Scales the write-queue watermarks when the capacity changes, keeping
+    /// the paper's 28/32 and 8/32 ratios.
+    pub fn with_write_queue(mut self, cap: usize) -> Self {
+        self.write_queue_cap = cap;
+        self.wq_high = cap * 7 / 8;
+        self.wq_low = cap / 4;
+        self
+    }
+}
+
+impl Default for CtrlConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A read whose CAS has issued; data arrives at `done_at`.
+#[derive(Debug, Clone)]
+struct InFlightRead {
+    id: RequestId,
+    meta: u64,
+    phys: u64,
+    arrival: Cycle,
+    done_at: Cycle,
+    preact: Cycle,
+    refresh_wait: Cycle,
+    writeburst_wait: Cycle,
+}
+
+/// One DRAM memory controller and its channel.
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: CtrlConfig,
+    device: DramDevice,
+    map: AddressMapping,
+    read_q: Vec<QueueEntry>,
+    write_q: Vec<QueueEntry>,
+    in_flight: Vec<InFlightRead>,
+    completions: Vec<CompletedRead>,
+    /// True while draining the write queue (a "write burst").
+    drain_mode: bool,
+    /// True while stopping traffic so an overdue refresh can issue.
+    refresh_draining: bool,
+    next_id: u64,
+    stats: CtrlStats,
+    /// When enabled, every issued command is recorded for offline stack
+    /// construction (the paper's hardware-trace workflow).
+    trace_enabled: bool,
+    trace: Vec<TimedCommand>,
+}
+
+impl MemoryController {
+    /// Creates a controller over a fresh DRAM device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device configuration is invalid.
+    pub fn new(cfg: CtrlConfig) -> Self {
+        let device = DramDevice::new(cfg.device);
+        let map = AddressMapping::new(cfg.device.geometry, cfg.mapping);
+        MemoryController {
+            cfg,
+            device,
+            map,
+            read_q: Vec::new(),
+            write_q: Vec::new(),
+            in_flight: Vec::new(),
+            completions: Vec::new(),
+            drain_mode: false,
+            refresh_draining: false,
+            next_id: 0,
+            stats: CtrlStats::default(),
+            trace_enabled: false,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Starts recording every issued DRAM command (see
+    /// [`take_command_trace`](Self::take_command_trace)).
+    pub fn enable_command_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// Returns and clears the recorded command trace.
+    pub fn take_command_trace(&mut self) -> Vec<TimedCommand> {
+        std::mem::take(&mut self.trace)
+    }
+
+    fn record(&mut self, now: Cycle, cmd: Command) {
+        if self.trace_enabled {
+            self.trace.push(TimedCommand::new(now, cmd));
+        }
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &CtrlConfig {
+        &self.cfg
+    }
+
+    /// Number of banks behind this controller (the `CycleView` width).
+    pub fn total_banks(&self) -> usize {
+        self.device.geometry().total_banks() as usize
+    }
+
+    /// The address decoder in use.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.map
+    }
+
+    /// The DRAM device (for inspection).
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CtrlStats {
+        self.stats
+    }
+
+    /// Whether the read queue has space.
+    pub fn can_accept_read(&self) -> bool {
+        self.read_q.len() < self.cfg.read_queue_cap
+    }
+
+    /// Whether the write queue has space.
+    pub fn can_accept_write(&self) -> bool {
+        self.write_q.len() < self.cfg.write_queue_cap
+    }
+
+    /// Reads waiting or in flight.
+    pub fn pending_reads(&self) -> usize {
+        self.read_q.len() + self.in_flight.len()
+    }
+
+    /// Writes waiting.
+    pub fn pending_writes(&self) -> usize {
+        self.write_q.len()
+    }
+
+    /// Whether anything is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty() && self.write_q.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Enqueues a read for physical line address `phys`. `meta` is returned
+    /// untouched in the completion (e.g. an MSHR index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read queue is full; check
+    /// [`can_accept_read`](Self::can_accept_read) first.
+    pub fn enqueue_read(&mut self, phys: u64, meta: u64) -> RequestId {
+        assert!(self.can_accept_read(), "read queue full");
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let addr = self.map.decode(phys);
+        // Arrival time is recorded lazily at the next tick; use the entry's
+        // arrival field set here with the last known time via queue push —
+        // the sim enqueues before ticking the same cycle, so `arrival` is
+        // patched in tick() when first observed. We store 0 sentinel here
+        // and fix it on the first tick the entry is seen.
+        self.read_q.push(QueueEntry::new(id, meta, phys, addr, Cycle::MAX));
+        self.stats.reads_accepted += 1;
+        id
+    }
+
+    /// Enqueues a writeback for physical line address `phys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write queue is full; check
+    /// [`can_accept_write`](Self::can_accept_write) first.
+    pub fn enqueue_write(&mut self, phys: u64) -> RequestId {
+        assert!(self.can_accept_write(), "write queue full");
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let addr = self.map.decode(phys);
+        self.write_q.push(QueueEntry::new(id, 0, phys, addr, Cycle::MAX));
+        self.stats.writes_accepted += 1;
+        id
+    }
+
+    /// Completed reads since the last drain.
+    pub fn drain_completions(&mut self) -> std::vec::Drain<'_, CompletedRead> {
+        self.completions.drain(..)
+    }
+
+    /// Advances the controller by one DRAM cycle: issues at most one
+    /// command, tracks latency components, collects completions and fills
+    /// `view` with this cycle's classification inputs for the bandwidth
+    /// stack.
+    pub fn tick(&mut self, now: Cycle, view: &mut CycleView) {
+        self.device.advance(now);
+        self.patch_arrivals(now);
+
+        // Refresh orchestration: when a refresh falls due, stop normal
+        // traffic on that rank, close open banks, then issue REF.
+        let ranks = self.device.geometry().ranks;
+        if !self.refresh_draining {
+            for r in 0..ranks {
+                if self.device.refresh_due(r, now) && !self.device.is_refreshing(r, now) {
+                    self.refresh_draining = true;
+                }
+            }
+        }
+
+        // Write-drain hysteresis.
+        if !self.drain_mode && self.write_q.len() >= self.cfg.wq_high {
+            self.drain_mode = true;
+            self.stats.write_drains += 1;
+        }
+        if self.drain_mode && self.write_q.len() <= self.cfg.wq_low {
+            self.drain_mode = false;
+        }
+        if self.drain_mode {
+            self.stats.drain_cycles += 1;
+        }
+
+        // Issue at most one command on the command bus.
+        if self.refresh_draining {
+            self.schedule_refresh(now);
+        } else {
+            self.schedule(now);
+        }
+
+        // Latency attribution for reads still waiting in the queue.
+        let refreshing = self.refresh_draining || self.is_any_rank_refreshing(now);
+        for e in &mut self.read_q {
+            if e.arrival > now {
+                continue;
+            }
+            if self.drain_mode {
+                e.writeburst_wait += 1;
+            } else if refreshing {
+                e.refresh_wait += 1;
+            }
+        }
+
+        self.collect_completions(now);
+        self.build_view(now, view);
+    }
+
+    fn is_any_rank_refreshing(&self, now: Cycle) -> bool {
+        (0..self.device.geometry().ranks).any(|r| self.device.is_refreshing(r, now))
+    }
+
+    /// Entries pushed between ticks get their arrival stamped at the first
+    /// tick that observes them.
+    fn patch_arrivals(&mut self, now: Cycle) {
+        for e in self.read_q.iter_mut().chain(self.write_q.iter_mut()) {
+            if e.arrival == Cycle::MAX {
+                e.arrival = now;
+            }
+        }
+    }
+
+    // ---- refresh ---------------------------------------------------------------
+
+    fn schedule_refresh(&mut self, now: Cycle) {
+        let g = *self.device.geometry();
+        // Close any open bank whose precharge window allows it.
+        for addr in g.iter_banks() {
+            if self.device.bank(addr).open_row().is_some() {
+                if self.device.earliest_precharge(addr, now).ready(now) {
+                    self.device
+                        .issue(Command::precharge(addr), now)
+                        .expect("validated precharge");
+                    self.record(now, Command::precharge(addr));
+                    return; // one command per cycle
+                }
+                // An open bank exists but cannot precharge yet.
+                return;
+            }
+        }
+        // All banks closed: refresh each due rank once quiet.
+        for r in 0..g.ranks {
+            if self.device.refresh_due(r, now) && self.device.rank_quiet(r, now) {
+                self.device.issue(Command::refresh(r), now).expect("validated refresh");
+                self.record(now, Command::refresh(r));
+                self.stats.refreshes += 1;
+                self.refresh_draining = false;
+                return;
+            }
+        }
+    }
+
+    // ---- normal scheduling --------------------------------------------------------
+
+    /// Which queue feeds the scheduler this cycle.
+    fn use_writes(&self) -> bool {
+        self.drain_mode || (self.read_q.is_empty() && !self.write_q.is_empty())
+    }
+
+    fn schedule(&mut self, now: Cycle) {
+        let use_writes = self.use_writes();
+        if use_writes {
+            if self.try_issue_from(now, true) {
+                return;
+            }
+        } else if self.try_issue_from(now, false) {
+            return;
+        }
+    }
+
+    /// Attempts to issue one command for the given queue. Returns true if a
+    /// command was issued.
+    fn try_issue_from(&mut self, now: Cycle, writes: bool) -> bool {
+        let limit = match self.cfg.scheduler {
+            SchedulerPolicy::FrFcfs => usize::MAX,
+            SchedulerPolicy::Fcfs => 1,
+        };
+
+        // Pass 1 (first-ready): oldest CAS-ready row hit.
+        if let Some(idx) = self.find_ready_cas(now, writes, limit) {
+            self.issue_cas_for(now, writes, idx);
+            return true;
+        }
+        // Pass 2: oldest-per-bank ACT/PRE that can issue.
+        if let Some(cmd) = self.find_actpre(now, writes, limit) {
+            let (cmd, entry_idx, caused) = cmd;
+            self.device.issue(cmd, now).expect("validated act/pre");
+            self.record(now, cmd);
+            let q = if writes { &mut self.write_q } else { &mut self.read_q };
+            match caused {
+                Caused::Act => q[entry_idx].caused_act = true,
+                Caused::Pre => q[entry_idx].caused_pre = true,
+            }
+            return true;
+        }
+        false
+    }
+
+    fn find_ready_cas(&self, now: Cycle, writes: bool, limit: usize) -> Option<usize> {
+        let q = if writes { &self.write_q } else { &self.read_q };
+        for (idx, e) in q.iter().take(limit).enumerate() {
+            if e.arrival > now {
+                continue;
+            }
+            if self.device.bank(e.addr.bank).open_row() != Some(e.addr.row) {
+                continue;
+            }
+            let earliest = if writes {
+                self.device.earliest_write(e.addr.bank, now)
+            } else {
+                self.device.earliest_read(e.addr.bank, now)
+            };
+            if earliest.ready(now) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn issue_cas_for(&mut self, now: Cycle, writes: bool, idx: usize) {
+        let e = if writes { self.write_q.remove(idx) } else { self.read_q.remove(idx) };
+        let auto_pre = self.cfg.page_policy == PagePolicy::Closed
+            && !self.any_pending_hit(e.addr.bank, e.addr.row);
+        let cmd = match (writes, auto_pre) {
+            (false, false) => Command::read(e.addr.bank, e.addr.column),
+            (false, true) => Command::read_ap(e.addr.bank, e.addr.column),
+            (true, false) => Command::write(e.addr.bank, e.addr.column),
+            (true, true) => Command::write_ap(e.addr.bank, e.addr.column),
+        };
+        let done_at = self.device.issue(cmd, now).expect("validated CAS");
+        self.record(now, cmd);
+        let timing = self.device.timing();
+        let hit = !e.caused_act && !e.caused_pre;
+        if writes {
+            self.stats.writes_done += 1;
+            if hit {
+                self.stats.write_hits += 1;
+            }
+        } else {
+            self.stats.reads_done += 1;
+            if hit {
+                self.stats.read_hits += 1;
+            }
+            let preact = if e.caused_pre { timing.t_rp } else { 0 }
+                + if e.caused_act { timing.t_rcd } else { 0 };
+            self.in_flight.push(InFlightRead {
+                id: e.id,
+                meta: e.meta,
+                phys: e.phys,
+                arrival: e.arrival,
+                done_at,
+                preact,
+                refresh_wait: e.refresh_wait,
+                writeburst_wait: e.writeburst_wait,
+            });
+        }
+    }
+
+    /// Whether any queued request (either queue) targets the open `row` of
+    /// `bank` — used by the closed page policy and by FR-FCFS's
+    /// don't-close-a-useful-row rule.
+    fn any_pending_hit(&self, bank: dramstack_dram::BankAddr, row: u32) -> bool {
+        self.read_q
+            .iter()
+            .chain(self.write_q.iter())
+            .any(|e| e.addr.bank == bank && e.addr.row == row)
+    }
+
+    fn find_actpre(
+        &self,
+        now: Cycle,
+        writes: bool,
+        limit: usize,
+    ) -> Option<(Command, usize, Caused)> {
+        let q = if writes { &self.write_q } else { &self.read_q };
+        let mut seen_banks = [false; 64];
+        for (idx, e) in q.iter().take(limit).enumerate() {
+            if e.arrival > now {
+                continue;
+            }
+            let flat = self.device.geometry().flat_bank(e.addr.bank);
+            if seen_banks[flat] {
+                continue; // only the oldest request per bank drives the bank
+            }
+            seen_banks[flat] = true;
+            match self.device.bank(e.addr.bank).open_row() {
+                None => {
+                    // Skip banks still precharging and banks being refreshed.
+                    if self.device.earliest_activate(e.addr.bank, now).ready(now) {
+                        return Some((
+                            Command::activate(e.addr.bank, e.addr.row),
+                            idx,
+                            Caused::Act,
+                        ));
+                    }
+                }
+                Some(open) if open != e.addr.row => {
+                    // Conflict: close the row, but under FR-FCFS never
+                    // while same-queue row hits are still pending on it
+                    // (hits are served first). Strict FCFS closes
+                    // unconditionally — only the head request matters.
+                    let hits_pending = self.cfg.scheduler == SchedulerPolicy::FrFcfs
+                        && q.iter().any(|o| o.addr.bank == e.addr.bank && o.addr.row == open);
+                    if !hits_pending && self.device.earliest_precharge(e.addr.bank, now).ready(now)
+                    {
+                        return Some((Command::precharge(e.addr.bank), idx, Caused::Pre));
+                    }
+                }
+                Some(_) => {} // row hit whose CAS is constrained: pass 1 handles it
+            }
+        }
+        None
+    }
+
+    fn collect_completions(&mut self, now: Cycle) {
+        let overhead = self.cfg.ctrl_overhead;
+        let timing = *self.device.timing();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].done_at <= now {
+                let f = self.in_flight.swap_remove(i);
+                let base_dram = timing.base_read_cycles();
+                let service_total = f.done_at - f.arrival;
+                let queue = (service_total as i64
+                    - base_dram as i64
+                    - f.preact as i64
+                    - f.refresh_wait as i64
+                    - f.writeburst_wait as i64)
+                    .max(0) as Cycle;
+                self.completions.push(CompletedRead {
+                    id: f.id,
+                    meta: f.meta,
+                    addr: f.phys,
+                    done_at: f.done_at + overhead,
+                    breakdown: LatencyBreakdown {
+                        base_cntlr: overhead,
+                        base_dram,
+                        preact: f.preact,
+                        refresh: f.refresh_wait,
+                        writeburst: f.writeburst_wait,
+                        queue,
+                    },
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // ---- cycle-view construction for the bandwidth stack ---------------------------
+
+    fn build_view(&self, now: Cycle, view: &mut CycleView) {
+        view.reset();
+        view.bus = self.device.bus_activity(now);
+        view.refreshing = self.is_any_rank_refreshing(now);
+        view.has_pending = !self.is_idle();
+
+        let n = self.total_banks();
+        debug_assert_eq!(view.banks.len(), n);
+        for flat in 0..n {
+            view.banks[flat] = match self.device.bank_state(flat, now) {
+                BankState::Precharging => BankActivity::Precharging,
+                BankState::Activating => BankActivity::Activating,
+                // A CAS in its CL/CWL window occupies no resource another
+                // request could use this cycle; blocked-request analysis
+                // below decides whether anything is truly constrained.
+                BankState::CasInFlight | BankState::Open | BankState::Precharged => {
+                    BankActivity::Idle
+                }
+            };
+        }
+
+        // Cycles already classified as useful or refresh need no analysis.
+        if view.bus.is_some() || view.refreshing {
+            return;
+        }
+        if self.refresh_draining {
+            // Lost to the refresh drain window; banks may be precharging
+            // (classified above); if everything is idle, charge refresh.
+            view.rank_block = BlockReason::Refresh;
+            return;
+        }
+
+        // Explain why pending requests cannot move: mark constrained banks
+        // and record a rank-level reason for the all-idle case.
+        let writes_first = self.use_writes();
+        self.analyze_blocked(now, writes_first, view);
+        if view.rank_block == BlockReason::None {
+            self.analyze_blocked(now, !writes_first, view);
+        }
+    }
+
+    fn analyze_blocked(&self, now: Cycle, writes: bool, view: &mut CycleView) {
+        let q = if writes { &self.write_q } else { &self.read_q };
+        let g = self.device.geometry();
+        for e in q {
+            if e.arrival > now {
+                continue;
+            }
+            let bank = e.addr.bank;
+            let earliest: Earliest = match self.device.bank(bank).open_row() {
+                Some(open) if open == e.addr.row => {
+                    if writes {
+                        self.device.earliest_write(bank, now)
+                    } else {
+                        self.device.earliest_read(bank, now)
+                    }
+                }
+                Some(_) => self.device.earliest_precharge(bank, now),
+                None => self.device.earliest_activate(bank, now),
+            };
+            if earliest.ready(now) {
+                continue; // will issue on a later pass this or next cycle
+            }
+            match earliest.reason.level() {
+                BlockLevel::BankGroup => {
+                    // The whole bank group is the occupied resource.
+                    for b in g.iter_banks() {
+                        if b.rank == bank.rank && b.bank_group == bank.bank_group {
+                            let flat = g.flat_bank(b);
+                            if view.banks[flat] == BankActivity::Idle {
+                                view.banks[flat] = BankActivity::Constrained;
+                            }
+                        }
+                    }
+                }
+                BlockLevel::Rank => {
+                    let flat = g.flat_bank(bank);
+                    if view.banks[flat] == BankActivity::Idle {
+                        view.banks[flat] = BankActivity::Constrained;
+                    }
+                    if view.rank_block == BlockReason::None {
+                        view.rank_block = earliest.reason;
+                    }
+                }
+                BlockLevel::Bank | BlockLevel::None => {}
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Caused {
+    Act,
+    Pre,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_done(ctrl: &mut MemoryController, max: Cycle) -> Vec<CompletedRead> {
+        let mut view = CycleView::idle(ctrl.total_banks());
+        let mut out = Vec::new();
+        for now in 0..max {
+            ctrl.tick(now, &mut view);
+            out.extend(ctrl.drain_completions());
+            if ctrl.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_read_latency_is_base_plus_preact() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        ctrl.enqueue_read(0x10_0000, 1);
+        let done = run_until_done(&mut ctrl, 500);
+        assert_eq!(done.len(), 1);
+        let b = done[0].breakdown;
+        let t = dramstack_dram::TimingParams::ddr4_2400();
+        // Cold bank: ACT needed but no PRE.
+        assert_eq!(b.preact, t.t_rcd);
+        assert_eq!(b.base_dram, t.cl + t.burst_cycles);
+        assert_eq!(b.refresh, 0);
+        assert_eq!(b.writeburst, 0);
+        // Scheduling happens the cycle after arrival: tiny queue residue.
+        assert!(b.queue <= 2, "queue {}", b.queue);
+        assert_eq!(ctrl.stats().reads_done, 1);
+        assert_eq!(ctrl.stats().read_hits, 0);
+    }
+
+    #[test]
+    fn second_read_same_row_is_a_hit() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        ctrl.enqueue_read(0x10_0000, 1);
+        ctrl.enqueue_read(0x10_0040, 2);
+        let done = run_until_done(&mut ctrl, 500);
+        assert_eq!(done.len(), 2);
+        assert_eq!(ctrl.stats().read_hits, 1);
+        let hit = done.iter().find(|c| c.meta == 2).unwrap();
+        assert_eq!(hit.breakdown.preact, 0);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge_and_activate() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        let t = dramstack_dram::TimingParams::ddr4_2400();
+        // Same bank (low bits below bit 13 identical), different row
+        // (bit 17+).
+        ctrl.enqueue_read(0x0, 1);
+        let first = run_until_done(&mut ctrl, 1000);
+        assert_eq!(first.len(), 1);
+        ctrl.enqueue_read(1 << 17, 2);
+        let second = run_until_done(&mut ctrl, 2000);
+        assert_eq!(second.len(), 1);
+        let b = second[0].breakdown;
+        assert_eq!(b.preact, t.t_rp + t.t_rcd, "conflict: PRE + ACT");
+    }
+
+    #[test]
+    fn closed_policy_uses_auto_precharge() {
+        let mut cfg = CtrlConfig::paper_default();
+        cfg.page_policy = PagePolicy::Closed;
+        let mut ctrl = MemoryController::new(cfg);
+        ctrl.enqueue_read(0x0, 1);
+        // Run past the auto-precharge window (tRAS + tRP) without stopping
+        // at the first completion.
+        let mut view = CycleView::idle(ctrl.total_banks());
+        for now in 0..1000 {
+            ctrl.tick(now, &mut view);
+        }
+        // Bank closed again after the read completed.
+        let bank = ctrl.mapping().decode(0).bank;
+        assert_eq!(ctrl.device().bank(bank).open_row(), None);
+        // Under the open policy the row would remain open.
+        let mut ctrl2 = MemoryController::new(CtrlConfig::paper_default());
+        ctrl2.enqueue_read(0x0, 1);
+        run_until_done(&mut ctrl2, 1000);
+        assert_eq!(ctrl2.device().bank(bank).open_row(), Some(0));
+    }
+
+    #[test]
+    fn closed_policy_keeps_row_open_for_pending_hits() {
+        let mut cfg = CtrlConfig::paper_default();
+        cfg.page_policy = PagePolicy::Closed;
+        let mut ctrl = MemoryController::new(cfg);
+        for i in 0..4 {
+            ctrl.enqueue_read(i * 64, i);
+        }
+        let done = run_until_done(&mut ctrl, 2000);
+        assert_eq!(done.len(), 4);
+        // Only the first read misses; the rest hit before the auto-PRE.
+        assert_eq!(ctrl.stats().read_hits, 3);
+    }
+
+    #[test]
+    fn write_drain_triggers_at_high_watermark() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        let hi = ctrl.config().wq_high;
+        for i in 0..hi as u64 {
+            ctrl.enqueue_write(i * 64 * 128 * 3); // spread across banks
+        }
+        let mut view = CycleView::idle(ctrl.total_banks());
+        for now in 0..20_000 {
+            ctrl.tick(now, &mut view);
+            if ctrl.is_idle() {
+                break;
+            }
+        }
+        assert!(ctrl.is_idle(), "writes drained");
+        assert_eq!(ctrl.stats().writes_done as usize, hi);
+        assert!(ctrl.stats().write_drains >= 1);
+    }
+
+    #[test]
+    fn reads_wait_during_write_burst_and_account_writeburst() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        let hi = ctrl.config().wq_high;
+        // Fill the write queue to the high watermark to force a drain,
+        // then a read arrives.
+        for i in 0..hi as u64 {
+            ctrl.enqueue_write((i * 64) % (1 << 13)); // same bank, same row region
+        }
+        let mut view = CycleView::idle(ctrl.total_banks());
+        ctrl.tick(0, &mut view); // enters drain mode
+        ctrl.enqueue_read(0x40, 9);
+        let mut done = Vec::new();
+        for now in 1..50_000 {
+            ctrl.tick(now, &mut view);
+            done.extend(ctrl.drain_completions());
+            if ctrl.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 1);
+        assert!(
+            done[0].breakdown.writeburst > 0,
+            "read delayed by write burst: {:?}",
+            done[0].breakdown
+        );
+    }
+
+    #[test]
+    fn refresh_happens_periodically_and_delays_reads() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        let t = *ctrl.device().timing();
+        let mut view = CycleView::idle(ctrl.total_banks());
+        // Tick through one tREFI with no traffic: a refresh must occur.
+        for now in 0..t.t_refi + t.t_rfc + 100 {
+            ctrl.tick(now, &mut view);
+        }
+        assert_eq!(ctrl.stats().refreshes, 1);
+        // A read arriving mid-refresh accrues refresh latency.
+        let due = ctrl.device().next_refresh_at(0);
+        let mut done = Vec::new();
+        let mut now = t.t_refi + t.t_rfc + 100;
+        while now < due + 10 {
+            ctrl.tick(now, &mut view);
+            now += 1;
+        }
+        ctrl.enqueue_read(0x77_0040, 5);
+        while now < due + 3 * t.t_rfc {
+            ctrl.tick(now, &mut view);
+            done.extend(ctrl.drain_completions());
+            if ctrl.is_idle() {
+                break;
+            }
+            now += 1;
+        }
+        assert_eq!(done.len(), 1);
+        assert!(
+            done[0].breakdown.refresh > 0,
+            "read should see refresh delay: {:?}",
+            done[0].breakdown
+        );
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hits_over_older_conflict() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        // Warm up: open row 0 of bank 0.
+        ctrl.enqueue_read(0, 0);
+        run_until_done(&mut ctrl, 1000);
+        // Older conflicting request to the same bank, newer hit to row 0.
+        ctrl.enqueue_read(1 << 17, 1); // conflict (row 1)
+        ctrl.enqueue_read(64, 2); // hit (row 0, col 1)
+        let done = run_until_done(&mut ctrl, 3000);
+        assert_eq!(done.len(), 2);
+        // FR-FCFS may serve the hit before the conflict resolves; at the
+        // very least the hit must not pay pre/act.
+        let hit = done.iter().find(|c| c.meta == 2).unwrap();
+        assert_eq!(hit.breakdown.preact, 0);
+        assert!(done.iter().find(|c| c.meta == 1).unwrap().done_at >= hit.done_at);
+    }
+
+    #[test]
+    fn fcfs_serves_strictly_in_order() {
+        let mut cfg = CtrlConfig::paper_default();
+        cfg.scheduler = SchedulerPolicy::Fcfs;
+        let mut ctrl = MemoryController::new(cfg);
+        ctrl.enqueue_read(0, 0);
+        run_until_done(&mut ctrl, 1000);
+        ctrl.enqueue_read(1 << 17, 1); // conflict first
+        ctrl.enqueue_read(64, 2); // hit second
+        let done = run_until_done(&mut ctrl, 3000);
+        let first = done.iter().find(|c| c.meta == 1).unwrap();
+        let second = done.iter().find(|c| c.meta == 2).unwrap();
+        assert!(first.done_at <= second.done_at, "FCFS is in order");
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        for i in 0..20u64 {
+            ctrl.enqueue_read(i * 7919 * 64, i);
+        }
+        let done = run_until_done(&mut ctrl, 100_000);
+        assert_eq!(done.len(), 20);
+        for c in done {
+            let b = c.breakdown;
+            assert_eq!(
+                b.total(),
+                b.base_cntlr + b.base_dram + b.preact + b.refresh + b.writeburst + b.queue
+            );
+        }
+    }
+
+    #[test]
+    fn view_reports_read_cycles_on_the_bus() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        let mut view = CycleView::idle(ctrl.total_banks());
+        ctrl.enqueue_read(0, 1);
+        let mut saw_read = false;
+        let mut saw_activate = false;
+        for now in 0..300 {
+            ctrl.tick(now, &mut view);
+            if view.bus == Some(dramstack_dram::BurstKind::Read) {
+                saw_read = true;
+            }
+            if view.banks.iter().any(|b| *b == BankActivity::Activating) {
+                saw_activate = true;
+            }
+        }
+        assert!(saw_read, "read burst observed");
+        assert!(saw_activate, "activate observed");
+    }
+
+    #[test]
+    fn view_flags_bank_group_constraint_for_back_to_back_hits() {
+        // Two hits to the same row: the second waits tCCD_L; during that
+        // wait the whole bank group must appear constrained.
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        let mut view = CycleView::idle(ctrl.total_banks());
+        ctrl.enqueue_read(0, 1);
+        ctrl.enqueue_read(64, 2);
+        ctrl.enqueue_read(128, 3);
+        let mut constrained_group_seen = false;
+        for now in 0..500 {
+            ctrl.tick(now, &mut view);
+            if view.bus.is_none() {
+                let g0: Vec<_> = view.banks[0..4].to_vec();
+                if g0.iter().any(|b| *b == BankActivity::Constrained) {
+                    constrained_group_seen = true;
+                }
+            }
+        }
+        assert!(constrained_group_seen);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+        for i in 0..ctrl.config().read_queue_cap as u64 {
+            assert!(ctrl.can_accept_read());
+            ctrl.enqueue_read(i * 64, i);
+        }
+        assert!(!ctrl.can_accept_read());
+    }
+
+    #[test]
+    fn dual_rank_requests_complete_and_both_ranks_refresh() {
+        let mut cfg = CtrlConfig::paper_default();
+        cfg.device = dramstack_dram::DeviceConfig::ddr4_2400_dual_rank();
+        let mut ctrl = MemoryController::new(cfg);
+        assert_eq!(ctrl.total_banks(), 32);
+        // Bit 17 is the rank bit in the default dual-rank layout.
+        ctrl.enqueue_read(0, 0);
+        ctrl.enqueue_read(1 << 17, 1);
+        assert_ne!(
+            ctrl.mapping().decode(0).bank.rank,
+            ctrl.mapping().decode(1 << 17).bank.rank,
+            "addresses target both ranks"
+        );
+        let done = run_until_done(&mut ctrl, 5_000);
+        assert_eq!(done.len(), 2);
+        // Run past two refresh intervals: both ranks must refresh.
+        let mut view = CycleView::idle(ctrl.total_banks());
+        for now in 5_000..25_000 {
+            ctrl.tick(now, &mut view);
+        }
+        assert!(ctrl.stats().refreshes >= 4, "2 ranks × ≥2 tREFI: {}", ctrl.stats().refreshes);
+        assert_eq!(ctrl.device().refreshes_done(0), ctrl.device().refreshes_done(1));
+    }
+
+    #[test]
+    fn with_write_queue_scales_watermarks() {
+        let cfg = CtrlConfig::paper_default().with_write_queue(128);
+        assert_eq!(cfg.write_queue_cap, 128);
+        assert_eq!(cfg.wq_high, 112);
+        assert_eq!(cfg.wq_low, 32);
+    }
+}

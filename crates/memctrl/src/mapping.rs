@@ -1,0 +1,339 @@
+//! Physical-address → DRAM-coordinate mapping schemes (Fig. 5 of the
+//! paper).
+//!
+//! The default scheme (Fig. 5a) places the bank/bank-group bits *above* the
+//! column bits, so a sequential stream stays in one bank for a whole 8 KB
+//! row. The cache-line-interleaved scheme (Fig. 5b) places them directly
+//! above the line offset, spreading consecutive lines round-robin over all
+//! 16 banks while keeping the column bits below the row bits to retain page
+//! locality.
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_dram::{BankAddr, DramAddress, DramGeometry};
+
+/// The named mapping schemes evaluated in the paper, plus a
+/// permutation-based extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MappingScheme {
+    /// Fig. 5a: `row | bank | bank-group | column | offset` (default).
+    #[default]
+    RowBankColumn,
+    /// Fig. 5b: `row | column | bank | bank-group | offset`
+    /// (cache-line interleaved).
+    CacheLineInterleaved,
+    /// The default layout with the bank/bank-group bits XOR-ed with the
+    /// low row bits (permutation-based page interleaving, Zhang et al.,
+    /// MICRO 2000): row-conflicting strides spread over banks without
+    /// sacrificing the page locality of sequential streams.
+    PermutationXor,
+}
+
+/// Field order of an address mapping, from least-significant bit upwards
+/// (the line offset is always the lowest `log2(line_bytes)` bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Column,
+    BankGroup,
+    Bank,
+    Rank,
+    Row,
+}
+
+/// A concrete address decoder for one geometry and scheme.
+///
+/// # Example
+///
+/// ```
+/// use dramstack_memctrl::{AddressMapping, MappingScheme};
+/// use dramstack_dram::DramGeometry;
+///
+/// let m = AddressMapping::new(DramGeometry::ddr4_single_rank(), MappingScheme::RowBankColumn);
+/// // Consecutive lines share a row under the default layout (Fig. 5a)…
+/// assert_eq!(m.decode(0).row, m.decode(64).row);
+/// assert_eq!(m.decode(0).bank, m.decode(64).bank);
+/// // …and decode/encode round-trip.
+/// assert_eq!(m.encode(m.decode(0x12340)), 0x12340 & !63);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMapping {
+    geometry: DramGeometry,
+    scheme: MappingScheme,
+}
+
+impl AddressMapping {
+    /// Creates a mapping for `geometry` using `scheme`.
+    pub fn new(geometry: DramGeometry, scheme: MappingScheme) -> Self {
+        AddressMapping { geometry, scheme }
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    fn field_order(&self) -> [Field; 5] {
+        match self.scheme {
+            MappingScheme::RowBankColumn | MappingScheme::PermutationXor => {
+                [Field::Column, Field::BankGroup, Field::Bank, Field::Rank, Field::Row]
+            }
+            MappingScheme::CacheLineInterleaved => {
+                [Field::BankGroup, Field::Bank, Field::Column, Field::Rank, Field::Row]
+            }
+        }
+    }
+
+    /// XOR permutation applied to the bank coordinates (identity except
+    /// for [`MappingScheme::PermutationXor`]).
+    fn permute(&self, mut bank_group: u32, mut bank: u32, row: u32) -> (u32, u32) {
+        if self.scheme == MappingScheme::PermutationXor {
+            bank_group ^= row & (self.geometry.bank_groups - 1);
+            bank ^= (row >> self.geometry.bank_groups.trailing_zeros())
+                & (self.geometry.banks_per_group - 1);
+        }
+        (bank_group, bank)
+    }
+
+    fn field_width(&self, f: Field) -> u32 {
+        let g = &self.geometry;
+        match f {
+            Field::Column => g.columns.trailing_zeros(),
+            Field::BankGroup => g.bank_groups.trailing_zeros(),
+            Field::Bank => g.banks_per_group.trailing_zeros(),
+            Field::Rank => g.ranks.trailing_zeros(),
+            Field::Row => g.rows.trailing_zeros(),
+        }
+    }
+
+    /// Decodes a physical byte address into DRAM coordinates. Addresses
+    /// beyond the channel capacity wrap around (the high bits are ignored).
+    pub fn decode(&self, phys: u64) -> DramAddress {
+        let mut rest = phys >> self.geometry.line_bytes.trailing_zeros();
+        let mut column = 0u32;
+        let mut bank_group = 0u32;
+        let mut bank = 0u32;
+        let mut rank = 0u32;
+        let mut row = 0u32;
+        for f in self.field_order() {
+            let w = self.field_width(f);
+            let v = (rest & ((1u64 << w) - 1)) as u32;
+            rest >>= w;
+            match f {
+                Field::Column => column = v,
+                Field::BankGroup => bank_group = v,
+                Field::Bank => bank = v,
+                Field::Rank => rank = v,
+                Field::Row => row = v,
+            }
+        }
+        let (bank_group, bank) = self.permute(bank_group, bank, row);
+        DramAddress::new(BankAddr::new(rank, bank_group, bank), row, column)
+    }
+
+    /// Re-encodes DRAM coordinates into the physical byte address of the
+    /// start of that line — the inverse of [`decode`](Self::decode).
+    pub fn encode(&self, addr: DramAddress) -> u64 {
+        // The XOR permutation is an involution: applying it again with the
+        // same row recovers the stored bank coordinates.
+        let (bank_group, bank) = self.permute(addr.bank.bank_group, addr.bank.bank, addr.row);
+        let addr = DramAddress::new(
+            BankAddr::new(addr.bank.rank, bank_group, bank),
+            addr.row,
+            addr.column,
+        );
+        let mut phys = 0u64;
+        let mut shift = self.geometry.line_bytes.trailing_zeros();
+        for f in self.field_order() {
+            let w = self.field_width(f);
+            let v = match f {
+                Field::Column => addr.column,
+                Field::BankGroup => addr.bank.bank_group,
+                Field::Bank => addr.bank.bank,
+                Field::Rank => addr.bank.rank,
+                Field::Row => addr.row,
+            };
+            phys |= u64::from(v) << shift;
+            shift += w;
+        }
+        phys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn default_map() -> AddressMapping {
+        AddressMapping::new(DramGeometry::ddr4_single_rank(), MappingScheme::RowBankColumn)
+    }
+
+    fn interleaved_map() -> AddressMapping {
+        AddressMapping::new(DramGeometry::ddr4_single_rank(), MappingScheme::CacheLineInterleaved)
+    }
+
+    #[test]
+    fn default_layout_matches_fig_5a() {
+        // offset[5:0] column[12:6] bank-group[14:13] bank[16:15] row[31:17]
+        let m = default_map();
+        let d = m.decode(0);
+        assert_eq!((d.column, d.bank.bank_group, d.bank.bank, d.row), (0, 0, 0, 0));
+        // Bit 6 is the lowest column bit.
+        assert_eq!(m.decode(1 << 6).column, 1);
+        // Bit 13 is the lowest bank-group bit.
+        assert_eq!(m.decode(1 << 13).bank.bank_group, 1);
+        // Bit 15 is the lowest bank bit.
+        assert_eq!(m.decode(1 << 15).bank.bank, 1);
+        // Bit 17 is the lowest row bit.
+        assert_eq!(m.decode(1 << 17).row, 1);
+    }
+
+    #[test]
+    fn interleaved_layout_matches_fig_5b() {
+        // offset[5:0] bank-group[7:6] bank[9:8] column[16:10] row[31:17]
+        let m = interleaved_map();
+        assert_eq!(m.decode(1 << 6).bank.bank_group, 1);
+        assert_eq!(m.decode(1 << 8).bank.bank, 1);
+        assert_eq!(m.decode(1 << 10).column, 1);
+        assert_eq!(m.decode(1 << 17).row, 1);
+    }
+
+    #[test]
+    fn default_keeps_sequential_stream_in_one_bank_per_row() {
+        // 128 consecutive lines (one row) map to the same bank, same row.
+        let m = default_map();
+        let first = m.decode(0);
+        for line in 0..128u64 {
+            let d = m.decode(line * 64);
+            assert_eq!(d.bank, first.bank);
+            assert_eq!(d.row, first.row);
+            assert_eq!(d.column, line as u32);
+        }
+        // The 129th line moves to the next bank group (bit 13).
+        let next = m.decode(128 * 64);
+        assert_eq!(next.bank.bank_group, 1);
+        assert_eq!(next.column, 0);
+    }
+
+    #[test]
+    fn interleaved_spreads_consecutive_lines_over_all_banks() {
+        // 16 consecutive lines hit all 16 banks exactly once.
+        let m = interleaved_map();
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..16u64 {
+            let d = m.decode(line * 64);
+            assert_eq!(d.column, 0);
+            seen.insert(d.bank);
+        }
+        assert_eq!(seen.len(), 16);
+        // Line 16 wraps to bank 0 on the next column, same row: page
+        // locality retained ("once all banks are accessed, the stream
+        // returns to the first bank on the same page").
+        let d = m.decode(16 * 64);
+        assert_eq!(d.bank, BankAddr::new(0, 0, 0));
+        assert_eq!(d.column, 1);
+        assert_eq!(d.row, 0);
+    }
+
+    fn xor_map() -> AddressMapping {
+        AddressMapping::new(DramGeometry::ddr4_single_rank(), MappingScheme::PermutationXor)
+    }
+
+    #[test]
+    fn permutation_preserves_row_and_column() {
+        let m = xor_map();
+        let d = default_map();
+        for addr in [0u64, 1 << 17, 3 << 17, (5 << 17) | (9 << 6)] {
+            let a = m.decode(addr);
+            let b = d.decode(addr);
+            assert_eq!(a.row, b.row);
+            assert_eq!(a.column, b.column);
+            assert_eq!(a.bank.rank, b.bank.rank);
+        }
+    }
+
+    #[test]
+    fn permutation_spreads_row_strided_conflicts() {
+        // Addresses that alias to bank 0 row-conflicting under the default
+        // map (same bank, consecutive rows) land on different banks.
+        let m = xor_map();
+        let d = default_map();
+        let mut xor_banks = std::collections::HashSet::new();
+        let mut def_banks = std::collections::HashSet::new();
+        for row in 0..16u64 {
+            let addr = row << 17; // bank bits zero, row varies
+            xor_banks.insert(m.decode(addr).bank);
+            def_banks.insert(d.decode(addr).bank);
+        }
+        assert_eq!(def_banks.len(), 1, "default: all rows in one bank");
+        assert_eq!(xor_banks.len(), 16, "XOR: spread over all 16 banks");
+    }
+
+    #[test]
+    fn permutation_keeps_sequential_page_locality() {
+        // Within one row, consecutive lines still share bank and row.
+        let m = xor_map();
+        let first = m.decode(0);
+        for line in 0..128u64 {
+            let a = m.decode(line * 64);
+            assert_eq!(a.bank, first.bank);
+            assert_eq!(a.row, first.row);
+        }
+    }
+
+    #[test]
+    fn capacity_wraps() {
+        let m = default_map();
+        let cap = DramGeometry::ddr4_single_rank().capacity_bytes();
+        assert_eq!(m.decode(cap + 64), m.decode(64));
+    }
+
+    proptest! {
+        #[test]
+        fn decode_encode_roundtrip_default(addr in 0u64..(4u64 << 30)) {
+            let m = default_map();
+            let line = addr & !63;
+            prop_assert_eq!(m.encode(m.decode(line)), line);
+        }
+
+        #[test]
+        fn decode_encode_roundtrip_interleaved(addr in 0u64..(4u64 << 30)) {
+            let m = interleaved_map();
+            let line = addr & !63;
+            prop_assert_eq!(m.encode(m.decode(line)), line);
+        }
+
+        #[test]
+        fn decode_encode_roundtrip_permutation(addr in 0u64..(4u64 << 30)) {
+            let m = xor_map();
+            let line = addr & !63;
+            prop_assert_eq!(m.encode(m.decode(line)), line);
+        }
+
+        #[test]
+        fn decode_is_within_geometry(addr in any::<u64>()) {
+            let g = DramGeometry::ddr4_single_rank();
+            for scheme in [
+                MappingScheme::RowBankColumn,
+                MappingScheme::CacheLineInterleaved,
+                MappingScheme::PermutationXor,
+            ] {
+                let m = AddressMapping::new(g, scheme);
+                let d = m.decode(addr);
+                prop_assert!(d.bank.rank < g.ranks);
+                prop_assert!(d.bank.bank_group < g.bank_groups);
+                prop_assert!(d.bank.bank < g.banks_per_group);
+                prop_assert!(d.row < g.rows);
+                prop_assert!(d.column < g.columns);
+            }
+        }
+
+        #[test]
+        fn schemes_agree_on_row_bits(line in 0u64..(1u64 << 26)) {
+            // Both schemes take the row from bits [31:17]: rows agree.
+            let d = default_map().decode(line << 6);
+            let i = interleaved_map().decode(line << 6);
+            prop_assert_eq!(d.row, i.row);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Scheduling and page-management policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer management policy (Section VII-C of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Keep rows open until a conflicting request needs the bank.
+    #[default]
+    Open,
+    /// Close rows (auto-precharge) as soon as no pending access to the open
+    /// row remains in the queues.
+    Closed,
+}
+
+/// Request scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// First-ready, first-come-first-served: row hits first, then oldest
+    /// (the paper's configuration).
+    #[default]
+    FrFcfs,
+    /// Strict in-order service of the oldest request — the ablation
+    /// baseline.
+    Fcfs,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        assert_eq!(PagePolicy::default(), PagePolicy::Open);
+        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::FrFcfs);
+    }
+}

@@ -1,0 +1,116 @@
+//! Request types and the per-read latency breakdown.
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_dram::{Cycle, DramAddress};
+
+/// Opaque identifier of a request accepted by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// The latency-stack components of one completed read, in DRAM cycles
+/// (Section V of the paper).
+///
+/// `total() == base_cntlr + base_dram + preact + refresh + writeburst +
+/// queue` by construction; the stack accounting in `dramstack-core` simply
+/// averages these over all reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Fixed controller pipeline overhead.
+    pub base_cntlr: Cycle,
+    /// Minimum device read time: CL + burst.
+    pub base_dram: Cycle,
+    /// PRE/ACT cycles serialized before this request's CAS (page miss).
+    pub preact: Cycle,
+    /// Cycles queued while the rank was refreshing (or draining for one).
+    pub refresh: Cycle,
+    /// Cycles queued while the controller was draining the write buffer.
+    pub writeburst: Cycle,
+    /// Residual queueing: waiting for other requests and timing constraints.
+    pub queue: Cycle,
+}
+
+impl LatencyBreakdown {
+    /// Total read latency in cycles.
+    pub fn total(&self) -> Cycle {
+        self.base_cntlr + self.base_dram + self.preact + self.refresh + self.writeburst + self.queue
+    }
+
+    /// The paper's `base` component (controller + device minimum).
+    pub fn base(&self) -> Cycle {
+        self.base_cntlr + self.base_dram
+    }
+}
+
+/// A finished read request, handed back to the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedRead {
+    /// Identifier assigned at enqueue.
+    pub id: RequestId,
+    /// Caller-provided metadata (e.g. an MSHR index), returned untouched.
+    pub meta: u64,
+    /// Physical line address of the read.
+    pub addr: u64,
+    /// Cycle the data became available (including controller overhead).
+    pub done_at: Cycle,
+    /// Latency-stack decomposition of this read.
+    pub breakdown: LatencyBreakdown,
+}
+
+/// Internal queue entry.
+#[derive(Debug, Clone)]
+pub(crate) struct QueueEntry {
+    pub id: RequestId,
+    pub meta: u64,
+    pub phys: u64,
+    pub addr: DramAddress,
+    pub arrival: Cycle,
+    /// Whether a PRE was issued on behalf of this entry.
+    pub caused_pre: bool,
+    /// Whether an ACT was issued on behalf of this entry.
+    pub caused_act: bool,
+    /// Cycles spent queued while refresh blocked the rank.
+    pub refresh_wait: Cycle,
+    /// Cycles spent queued during a write-drain burst.
+    pub writeburst_wait: Cycle,
+}
+
+impl QueueEntry {
+    pub(crate) fn new(id: RequestId, meta: u64, phys: u64, addr: DramAddress, arrival: Cycle) -> Self {
+        QueueEntry {
+            id,
+            meta,
+            phys,
+            addr,
+            arrival,
+            caused_pre: false,
+            caused_act: false,
+            refresh_wait: 0,
+            writeburst_wait: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = LatencyBreakdown {
+            base_cntlr: 12,
+            base_dram: 21,
+            preact: 34,
+            refresh: 5,
+            writeburst: 7,
+            queue: 11,
+        };
+        assert_eq!(b.total(), 90);
+        assert_eq!(b.base(), 33);
+    }
+
+    #[test]
+    fn default_breakdown_is_zero() {
+        assert_eq!(LatencyBreakdown::default().total(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Internal calibration harness: prints bandwidth/latency for the key
+//! configurations so model knobs can be tuned against the paper's shapes.
+
+use dramstack_core::{BwComponent, LatComponent};
+use dramstack_sim::{Simulator, SystemConfig};
+use dramstack_workloads::SyntheticPattern;
+
+fn run(label: &str, cores: usize, pattern: SyntheticPattern, us: f64) {
+    let cfg = SystemConfig::paper_default(cores);
+    let mut sim = Simulator::with_synthetic(cfg, pattern);
+    let r = sim.run_for_us(us);
+    let bw = &r.bandwidth_stack;
+    println!(
+        "{label:16} bw={:5.2} (r={:5.2} w={:5.2}) ref={:4.2} pre={:4.2} act={:4.2} con={:4.2} bidle={:5.2} idle={:5.2} | lat={:6.1}ns (q={:5.1} wb={:5.1} pa={:5.1}) hit={:4.2} ipc={:4.2}",
+        bw.achieved_gbps(),
+        bw.gbps(BwComponent::Read),
+        bw.gbps(BwComponent::Write),
+        bw.gbps(BwComponent::Refresh),
+        bw.gbps(BwComponent::Precharge),
+        bw.gbps(BwComponent::Activate),
+        bw.gbps(BwComponent::Constraints),
+        bw.gbps(BwComponent::BankIdle),
+        bw.gbps(BwComponent::Idle),
+        r.avg_read_latency_ns(),
+        r.latency_stack.ns(LatComponent::Queue),
+        r.latency_stack.ns(LatComponent::WriteBurst),
+        r.latency_stack.ns(LatComponent::PreAct),
+        r.ctrl_stats.read_hit_rate(),
+        r.ipc(),
+    );
+}
+
+fn main() {
+    let us: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    for c in [1, 2, 4, 8] {
+        run(&format!("seq {c}c"), c, SyntheticPattern::sequential(0.0), us);
+    }
+    for c in [1, 2, 4, 8] {
+        run(&format!("rand {c}c"), c, SyntheticPattern::random(0.0), us);
+    }
+    for w in [10, 20, 50] {
+        run(&format!("seq w{w} 1c"), 1, SyntheticPattern::sequential(w as f64 / 100.0), us);
+    }
+    for w in [10, 20, 50] {
+        run(&format!("rand w{w} 1c"), 1, SyntheticPattern::random(w as f64 / 100.0), us);
+    }
+}

@@ -1,0 +1,43 @@
+//! Calibration for Fig. 4 (page policy) and Fig. 6 (bank indexing).
+
+use dramstack_core::{BwComponent, LatComponent};
+use dramstack_memctrl::{MappingScheme, PagePolicy};
+use dramstack_sim::experiments::run_synthetic;
+use dramstack_workloads::SyntheticPattern;
+
+fn show(label: &str, cores: usize, p: SyntheticPattern, pol: PagePolicy, map: MappingScheme, us: f64) {
+    let r = run_synthetic(cores, p, pol, map, us);
+    let bw = &r.bandwidth_stack;
+    println!(
+        "{label:24} bw={:5.2} (r={:5.2} w={:5.2}) pre={:4.2} act={:4.2} con={:4.2} bidle={:5.2} idle={:5.2} | lat={:6.1}ns (q={:5.1} wb={:5.1} pa={:5.1}) hit={:4.2}",
+        bw.achieved_gbps(),
+        bw.gbps(BwComponent::Read),
+        bw.gbps(BwComponent::Write),
+        bw.gbps(BwComponent::Precharge),
+        bw.gbps(BwComponent::Activate),
+        bw.gbps(BwComponent::Constraints),
+        bw.gbps(BwComponent::BankIdle),
+        bw.gbps(BwComponent::Idle),
+        r.avg_read_latency_ns(),
+        r.latency_stack.ns(LatComponent::Queue),
+        r.latency_stack.ns(LatComponent::WriteBurst),
+        r.latency_stack.ns(LatComponent::PreAct),
+        r.ctrl_stats.read_hit_rate(),
+    );
+}
+
+fn main() {
+    let us: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    use MappingScheme::*;
+    use PagePolicy::*;
+    println!("--- fig4: open vs closed, 2 cores, read-only ---");
+    show("seq open", 2, SyntheticPattern::sequential(0.0), Open, RowBankColumn, us);
+    show("seq closed", 2, SyntheticPattern::sequential(0.0), Closed, RowBankColumn, us);
+    show("rand open", 2, SyntheticPattern::random(0.0), Open, RowBankColumn, us);
+    show("rand closed", 2, SyntheticPattern::random(0.0), Closed, RowBankColumn, us);
+    println!("--- fig6: def vs interleaved ---");
+    show("seq w50 1c open def", 1, SyntheticPattern::sequential(0.5), Open, RowBankColumn, us);
+    show("seq w50 1c open int", 1, SyntheticPattern::sequential(0.5), Open, CacheLineInterleaved, us);
+    show("seq w0 2c closed def", 2, SyntheticPattern::sequential(0.0), Closed, RowBankColumn, us);
+    show("seq w0 2c closed int", 2, SyntheticPattern::sequential(0.0), Closed, CacheLineInterleaved, us);
+}

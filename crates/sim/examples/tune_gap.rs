@@ -1,0 +1,71 @@
+//! Calibration for the GAP experiments (Figs. 7–9).
+
+use dramstack_core::{BwComponent, LatComponent};
+use dramstack_memctrl::{MappingScheme, PagePolicy};
+use dramstack_sim::experiments::{fig9_kernel, run_gap, ExperimentScale};
+use dramstack_workloads::GapKernel;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("quick") => ExperimentScale::quick(),
+        _ => ExperimentScale::full(),
+    };
+    let g = scale.build_graph();
+    println!(
+        "graph: {} vertices, {} directed edges",
+        g.n,
+        g.edge_count()
+    );
+
+    for (kernel, cores) in [(GapKernel::Bfs, 8usize), (GapKernel::Tc, 1), (GapKernel::Pr, 8)] {
+        let t0 = std::time::Instant::now();
+        let policy = if kernel == GapKernel::Tc { PagePolicy::Open } else { PagePolicy::Closed };
+        let gk = scale.graph_for(kernel);
+        let r = run_gap(
+            kernel,
+            &gk,
+            cores,
+            policy,
+            MappingScheme::RowBankColumn,
+            32,
+            &scale.gap,
+            scale.max_cycles,
+        );
+        let bw = &r.bandwidth_stack;
+        println!(
+            "{} {}c: {:.2} ms sim, {} samples, bw={:.2} (r={:.2} w={:.2}) pre+act={:.2} con={:.2} bidle={:.2} idle={:.2} | lat={:.1}ns (q={:.1} wb={:.1} pa={:.1}) hit={:.2} ipc={:.2} [{:?} wall]",
+            kernel,
+            cores,
+            r.elapsed_us / 1000.0,
+            r.samples.len(),
+            bw.achieved_gbps(),
+            bw.gbps(BwComponent::Read),
+            bw.gbps(BwComponent::Write),
+            bw.gbps(BwComponent::Precharge) + bw.gbps(BwComponent::Activate),
+            bw.gbps(BwComponent::Constraints),
+            bw.gbps(BwComponent::BankIdle),
+            bw.gbps(BwComponent::Idle),
+            r.avg_read_latency_ns(),
+            r.latency_stack.ns(LatComponent::Queue),
+            r.latency_stack.ns(LatComponent::WriteBurst),
+            r.latency_stack.ns(LatComponent::PreAct),
+            r.ctrl_stats.read_hit_rate(),
+            r.ipc(),
+            t0.elapsed(),
+        );
+    }
+
+    for k in [GapKernel::Bfs, GapKernel::Cc] {
+        let t0 = std::time::Instant::now();
+        let row = fig9_kernel(k, &scale);
+        println!(
+            "fig9 {k}: measured8c={:.2} naive={:.2} (err {:.0}%) stack={:.2} (err {:.0}%) [{:?} wall]",
+            row.measured_8c,
+            row.naive,
+            row.naive_error() * 100.0,
+            row.stack,
+            row.stack_error() * 100.0,
+            t0.elapsed(),
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Full-system configuration.
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_cpu::{CoreConfig, HierarchyConfig};
+use dramstack_dram::Cycle;
+use dramstack_memctrl::CtrlConfig;
+
+/// Configuration of a simulated system: cores, hierarchy, controller and
+/// clocking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub n_cores: usize,
+    /// Core microarchitecture.
+    pub core: CoreConfig,
+    /// Cache hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Memory controller + DRAM channel.
+    pub ctrl: CtrlConfig,
+    /// Core cycles per DRAM command-clock cycle (2 ⇒ 2.4 GHz cores over a
+    /// 1.2 GHz DDR4-2400 command clock).
+    pub core_clock_mult: u32,
+    /// Through-time sampling period in DRAM cycles.
+    pub sample_period: Cycle,
+    /// Memory channels (controllers); consecutive cache lines interleave
+    /// across them. The paper's setup uses 1; stacks are built per
+    /// channel and aggregated.
+    pub channels: usize,
+}
+
+impl SystemConfig {
+    /// The paper's setup: `n_cores` Skylake-like cores, one DDR4-2400
+    /// channel, FR-FCFS, open page, 32-entry write queue. Samples every
+    /// ~10 µs.
+    pub fn paper_default(n_cores: usize) -> Self {
+        SystemConfig {
+            n_cores,
+            core: CoreConfig::paper_default(),
+            hierarchy: HierarchyConfig::paper_default(),
+            ctrl: CtrlConfig::paper_default(),
+            core_clock_mult: 2,
+            sample_period: 12_000,
+            channels: 1,
+        }
+    }
+
+    /// The GAP-experiment variant: identical to
+    /// [`paper_default`](Self::paper_default) except the shared LLC is
+    /// scaled to 1 MB (and L2 to 256 KB). The paper's graph inputs are two
+    /// orders of magnitude larger than its 11 MB LLC; our cycle-simulated
+    /// graphs are scaled down, so the cache is scaled with them to keep the
+    /// same memory-bound graph:LLC ratio (see DESIGN.md substitutions).
+    pub fn paper_gap(n_cores: usize) -> Self {
+        use dramstack_cpu::CacheConfig;
+        let mut c = Self::paper_default(n_cores);
+        c.hierarchy.l2 = CacheConfig { size_bytes: 256 << 10, ways: 8, line_bytes: 64, latency: 14 };
+        c.hierarchy.llc = CacheConfig { size_bytes: 1 << 20, ways: 8, line_bytes: 64, latency: 44 };
+        c
+    }
+
+    /// Core clock frequency in GHz.
+    pub fn core_freq_ghz(&self) -> f64 {
+        f64::from(self.ctrl.device.timing.freq_mhz) * f64::from(self.core_clock_mult) / 1000.0
+    }
+
+    /// Duration of one DRAM cycle in nanoseconds.
+    pub fn dram_cycle_ns(&self) -> f64 {
+        self.ctrl.device.timing.cycle_ns()
+    }
+
+    /// Converts microseconds of simulated time to DRAM cycles.
+    pub fn us_to_cycles(&self, us: f64) -> Cycle {
+        (us * 1000.0 / self.dram_cycle_ns()).round() as Cycle
+    }
+
+    /// Validates nested configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device configuration is invalid or `n_cores`/clock
+    /// multiplier is zero.
+    pub fn validate(&self) {
+        assert!(self.n_cores > 0, "need at least one core");
+        assert!(self.core_clock_mult > 0, "core clock multiplier must be nonzero");
+        assert!(self.sample_period > 0, "sample period must be nonzero");
+        assert!(
+            self.channels > 0 && self.channels.is_power_of_two(),
+            "channels must be a nonzero power of two"
+        );
+        self.ctrl.device.validate().expect("invalid device configuration");
+    }
+
+    /// Total system peak bandwidth across all channels, in GB/s.
+    pub fn system_peak_gbps(&self) -> f64 {
+        self.ctrl.device.peak_bandwidth_gbps() * self.channels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_paper_numbers() {
+        let c = SystemConfig::paper_default(8);
+        c.validate();
+        assert_eq!(c.n_cores, 8);
+        assert_eq!(c.core.rob_entries, 224);
+        assert_eq!(c.core.width, 4);
+        assert!((c.core_freq_ghz() - 2.4).abs() < 1e-9);
+        assert!((c.ctrl.device.peak_bandwidth_gbps() - 19.2).abs() < 1e-9);
+        assert_eq!(c.ctrl.write_queue_cap, 32);
+    }
+
+    #[test]
+    fn us_conversion_roundtrips() {
+        let c = SystemConfig::paper_default(1);
+        // 1 µs at 1.2 GHz = 1200 cycles.
+        assert_eq!(c.us_to_cycles(1.0), 1200);
+    }
+}

@@ -1,0 +1,489 @@
+//! Drivers for every experiment (figure) in the paper.
+//!
+//! Each function reproduces the configuration sweep behind one figure and
+//! returns structured rows; the `dramstack-bench` crate renders them as
+//! tables/CSV/SVG. Sizes are parameterized by [`ExperimentScale`] so the
+//! same code serves fast CI checks and full figure regeneration.
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_core::{predict_bandwidth_naive, predict_bandwidth_stack, LatencyStack};
+use dramstack_dram::Cycle;
+use dramstack_memctrl::{MappingScheme, PagePolicy};
+use dramstack_workloads::{GapConfig, GapKernel, Graph, SyntheticPattern};
+
+use crate::config::SystemConfig;
+use crate::report::SimReport;
+use crate::system::Simulator;
+
+/// Experiment sizing: simulated duration for synthetic steady-state runs
+/// and graph size for the GAP kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Simulated microseconds per synthetic configuration.
+    pub synth_us: f64,
+    /// Kronecker graph scale (`2^scale` vertices).
+    pub graph_scale: u32,
+    /// Separate (smaller) scale for triangle counting, whose
+    /// intersection work grows as `m^1.5`.
+    pub tc_graph_scale: u32,
+    /// Kronecker degree.
+    pub graph_degree: u32,
+    /// Safety cap on DRAM cycles for trace runs.
+    pub max_cycles: Cycle,
+    /// GAP kernel size knobs.
+    pub gap: GapConfig,
+}
+
+impl ExperimentScale {
+    /// Figure-regeneration size (used by `cargo bench` and the `fig*`
+    /// binaries). The graph's ~5 MB footprint is several times the
+    /// GAP-scaled 1 MB LLC, keeping the kernels memory-bound as in the
+    /// paper.
+    pub fn full() -> Self {
+        ExperimentScale {
+            synth_us: 250.0,
+            graph_scale: 16,
+            tc_graph_scale: 14,
+            graph_degree: 16,
+            max_cycles: 400_000_000,
+            gap: GapConfig { pr_iterations: 2, ..GapConfig::default() },
+        }
+    }
+
+    /// Small size for tests.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            synth_us: 25.0,
+            graph_scale: 9,
+            tc_graph_scale: 8,
+            graph_degree: 8,
+            max_cycles: 10_000_000,
+            gap: GapConfig { pr_iterations: 2, ..GapConfig::default() },
+        }
+    }
+
+    /// The evaluation graph for GAP runs.
+    pub fn build_graph(&self) -> Graph {
+        Graph::kronecker(self.graph_scale, self.graph_degree, GRAPH_SEED)
+    }
+
+    /// The (smaller) evaluation graph for triangle counting.
+    pub fn build_tc_graph(&self) -> Graph {
+        Graph::kronecker(self.tc_graph_scale, self.graph_degree, GRAPH_SEED)
+    }
+
+    /// The graph a given kernel is evaluated on.
+    pub fn graph_for(&self, kernel: GapKernel) -> Graph {
+        if kernel == GapKernel::Tc {
+            self.build_tc_graph()
+        } else {
+            self.build_graph()
+        }
+    }
+}
+
+const GRAPH_SEED: u64 = 0x6A9_2022;
+
+/// Runs one synthetic configuration.
+pub fn run_synthetic(
+    cores: usize,
+    pattern: SyntheticPattern,
+    policy: PagePolicy,
+    mapping: MappingScheme,
+    us: f64,
+) -> SimReport {
+    let mut cfg = SystemConfig::paper_default(cores);
+    cfg.ctrl.page_policy = policy;
+    cfg.ctrl.mapping = mapping;
+    Simulator::with_synthetic(cfg, pattern).run_for_us(us)
+}
+
+/// Runs one GAP kernel to completion.
+pub fn run_gap(
+    kernel: GapKernel,
+    graph: &Graph,
+    cores: usize,
+    policy: PagePolicy,
+    mapping: MappingScheme,
+    write_queue: usize,
+    gap_cfg: &GapConfig,
+    max_cycles: Cycle,
+) -> SimReport {
+    let mut cfg = SystemConfig::paper_gap(cores);
+    cfg.ctrl.page_policy = policy;
+    cfg.ctrl.mapping = mapping;
+    cfg.ctrl = cfg.ctrl.with_write_queue(write_queue);
+    // Finer sampling for the through-time figures (2 µs windows).
+    cfg.sample_period = 2400;
+    let traces = kernel.trace(graph, cores, gap_cfg);
+    Simulator::with_traces(cfg, traces).run_to_completion(max_cycles)
+}
+
+/// One bar of Figs. 2–4/6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthRow {
+    /// Human-readable configuration label (e.g. `seq 4c`).
+    pub label: String,
+    /// Full simulation report (bandwidth + latency stacks inside).
+    pub report: SimReport,
+}
+
+/// Fig. 2: read-only sequential/random, 1–8 cores.
+pub fn fig2(scale: &ExperimentScale) -> Vec<SynthRow> {
+    let mut rows = Vec::new();
+    for (name, pattern) in
+        [("seq", SyntheticPattern::sequential(0.0)), ("rand", SyntheticPattern::random(0.0))]
+    {
+        for cores in [1usize, 2, 4, 8] {
+            let report = run_synthetic(
+                cores,
+                pattern,
+                PagePolicy::Open,
+                MappingScheme::RowBankColumn,
+                scale.synth_us,
+            );
+            rows.push(SynthRow { label: format!("{name} {cores}c"), report });
+        }
+    }
+    rows
+}
+
+/// Fig. 3: store fraction 0/10/20/50 % on one core.
+pub fn fig3(scale: &ExperimentScale) -> Vec<SynthRow> {
+    let mut rows = Vec::new();
+    for name in ["seq", "rand"] {
+        for pct in [0u32, 10, 20, 50] {
+            let frac = f64::from(pct) / 100.0;
+            let pattern = if name == "seq" {
+                SyntheticPattern::sequential(frac)
+            } else {
+                SyntheticPattern::random(frac)
+            };
+            let report = run_synthetic(
+                1,
+                pattern,
+                PagePolicy::Open,
+                MappingScheme::RowBankColumn,
+                scale.synth_us,
+            );
+            rows.push(SynthRow { label: format!("{name} w{pct}"), report });
+        }
+    }
+    rows
+}
+
+/// Fig. 4: open vs closed page policy, read-only, 2 cores.
+pub fn fig4(scale: &ExperimentScale) -> Vec<SynthRow> {
+    let mut rows = Vec::new();
+    for (name, pattern) in
+        [("seq", SyntheticPattern::sequential(0.0)), ("rand", SyntheticPattern::random(0.0))]
+    {
+        for (pname, policy) in [("open", PagePolicy::Open), ("closed", PagePolicy::Closed)] {
+            let report = run_synthetic(
+                2,
+                pattern,
+                policy,
+                MappingScheme::RowBankColumn,
+                scale.synth_us,
+            );
+            rows.push(SynthRow { label: format!("{name} {pname}"), report });
+        }
+    }
+    rows
+}
+
+/// Fig. 6: default vs cache-line-interleaved indexing for the two
+/// high-queueing cases.
+pub fn fig6(scale: &ExperimentScale) -> Vec<SynthRow> {
+    let mut rows = Vec::new();
+    for (mname, mapping) in
+        [("def", MappingScheme::RowBankColumn), ("int", MappingScheme::CacheLineInterleaved)]
+    {
+        // Case 1: sequential, 50 % stores, 1 core, open page.
+        let report = run_synthetic(
+            1,
+            SyntheticPattern::sequential(0.5),
+            PagePolicy::Open,
+            mapping,
+            scale.synth_us,
+        );
+        rows.push(SynthRow { label: format!("seq w50 1c open {mname}"), report });
+        // Case 2: sequential, read-only, 2 cores, closed page.
+        let report = run_synthetic(
+            2,
+            SyntheticPattern::sequential(0.0),
+            PagePolicy::Closed,
+            mapping,
+            scale.synth_us,
+        );
+        rows.push(SynthRow { label: format!("seq w0 2c closed {mname}"), report });
+    }
+    rows
+}
+
+/// Fig. 7: through-time cycle/bandwidth/latency stacks for bfs on 8 cores
+/// (closed page, as the paper uses for GAP).
+pub fn fig7(scale: &ExperimentScale) -> SimReport {
+    let g = scale.build_graph();
+    run_gap(
+        GapKernel::Bfs,
+        &g,
+        8,
+        PagePolicy::Closed,
+        MappingScheme::RowBankColumn,
+        32,
+        &scale.gap,
+        scale.max_cycles,
+    )
+}
+
+/// One bar of Fig. 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Configuration label (e.g. `bfs 8c closed def`).
+    pub label: String,
+    /// Aggregate latency stack.
+    pub latency: LatencyStack,
+    /// Achieved bandwidth (context for the latency numbers).
+    pub achieved_gbps: f64,
+    /// Read row-hit rate (the paper quotes 41 % vs 8 % for bfs def/int).
+    pub page_hit_rate: f64,
+}
+
+/// Fig. 8: latency stacks for bfs 8c (default / interleaved / 128-entry
+/// write queue) and tc 1c (default / interleaved, closed page; plus the
+/// open-page variant the text mentions).
+pub fn fig8(scale: &ExperimentScale) -> Vec<Fig8Row> {
+    let g = scale.build_graph();
+    let g_tc = scale.build_tc_graph();
+    let mut rows = Vec::new();
+    let mut push = |label: String, r: &SimReport| {
+        rows.push(Fig8Row {
+            label,
+            latency: r.latency_stack,
+            achieved_gbps: r.achieved_gbps(),
+            page_hit_rate: r.ctrl_stats.page_hit_rate(),
+        });
+    };
+    let base = |mapping, wq| {
+        run_gap(GapKernel::Bfs, &g, 8, PagePolicy::Closed, mapping, wq, &scale.gap, scale.max_cycles)
+    };
+    push("bfs 8c closed def".into(), &base(MappingScheme::RowBankColumn, 32));
+    push("bfs 8c closed int".into(), &base(MappingScheme::CacheLineInterleaved, 32));
+    push("bfs 8c closed wq128".into(), &base(MappingScheme::RowBankColumn, 128));
+
+    let tc = |mapping, policy| {
+        run_gap(GapKernel::Tc, &g_tc, 1, policy, mapping, 32, &scale.gap, scale.max_cycles)
+    };
+    push("tc 1c closed def".into(), &tc(MappingScheme::RowBankColumn, PagePolicy::Closed));
+    push("tc 1c closed int".into(), &tc(MappingScheme::CacheLineInterleaved, PagePolicy::Closed));
+    push("tc 1c open def".into(), &tc(MappingScheme::RowBankColumn, PagePolicy::Open));
+    rows
+}
+
+/// One point of a configuration sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Pattern name (`seq`/`rand`).
+    pub pattern: String,
+    /// Core count.
+    pub cores: usize,
+    /// Page policy.
+    pub policy: PagePolicy,
+    /// Address mapping.
+    pub mapping: MappingScheme,
+    /// The run's report.
+    pub report: SimReport,
+}
+
+/// Sweeps the cross product of cores × policies × mappings for both
+/// synthetic patterns — the grid behind "which configuration is best for
+/// this workload?" questions. Runs `len(cores) × len(policies) ×
+/// len(mappings) × 2` simulations.
+pub fn sweep_synthetic(
+    cores: &[usize],
+    policies: &[PagePolicy],
+    mappings: &[MappingScheme],
+    store_fraction: f64,
+    us: f64,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for (name, pattern) in [
+        ("seq", SyntheticPattern::sequential(store_fraction)),
+        ("rand", SyntheticPattern::random(store_fraction)),
+    ] {
+        for &n in cores {
+            for &policy in policies {
+                for &mapping in mappings {
+                    let report = run_synthetic(n, pattern, policy, mapping, us);
+                    out.push(SweepPoint {
+                        pattern: name.to_string(),
+                        cores: n,
+                        policy,
+                        mapping,
+                        report,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The sweep point with the highest achieved bandwidth for a pattern.
+pub fn best_of<'a>(points: &'a [SweepPoint], pattern: &str) -> Option<&'a SweepPoint> {
+    points
+        .iter()
+        .filter(|p| p.pattern == pattern)
+        .max_by(|a, b| {
+            a.report
+                .achieved_gbps()
+                .partial_cmp(&b.report.achieved_gbps())
+                .expect("bandwidths are finite")
+        })
+}
+
+/// One bar group of Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// Kernel.
+    pub kernel: GapKernel,
+    /// Measured 8-core bandwidth (GB/s).
+    pub measured_8c: f64,
+    /// Naive 1c→8c prediction (GB/s).
+    pub naive: f64,
+    /// Stack-based 1c→8c prediction (GB/s).
+    pub stack: f64,
+}
+
+impl Fig9Row {
+    /// Relative error of the naive prediction.
+    pub fn naive_error(&self) -> f64 {
+        (self.naive - self.measured_8c).abs() / self.measured_8c
+    }
+
+    /// Relative error of the stack-based prediction.
+    pub fn stack_error(&self) -> f64 {
+        (self.stack - self.measured_8c).abs() / self.measured_8c
+    }
+}
+
+/// Fig. 9: measured vs extrapolated 8-core bandwidth for the GAP kernels.
+/// (tc runs with the open policy, the others closed, per Section VIII.)
+pub fn fig9(scale: &ExperimentScale) -> Vec<Fig9Row> {
+    GapKernel::ALL.iter().map(|&k| fig9_kernel(k, scale)).collect()
+}
+
+/// One kernel of Fig. 9 (usable alone for quick checks).
+pub fn fig9_kernel(kernel: GapKernel, scale: &ExperimentScale) -> Fig9Row {
+    let g = scale.graph_for(kernel);
+    let policy = if kernel == GapKernel::Tc { PagePolicy::Open } else { PagePolicy::Closed };
+    let one = run_gap(
+        kernel,
+        &g,
+        1,
+        policy,
+        MappingScheme::RowBankColumn,
+        32,
+        &scale.gap,
+        scale.max_cycles,
+    );
+    let eight = run_gap(
+        kernel,
+        &g,
+        8,
+        policy,
+        MappingScheme::RowBankColumn,
+        32,
+        &scale.gap,
+        scale.max_cycles,
+    );
+    let samples: Vec<_> = one.samples.iter().map(|s| s.bandwidth.clone()).collect();
+    Fig9Row {
+        kernel,
+        measured_8c: eight.achieved_gbps(),
+        naive: predict_bandwidth_naive(&samples, 8.0),
+        stack: predict_bandwidth_stack(&samples, 8.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramstack_core::BwComponent;
+
+    #[test]
+    fn fig2_shapes_hold_at_quick_scale() {
+        let scale = ExperimentScale::quick();
+        let rows = fig2(&scale);
+        assert_eq!(rows.len(), 8);
+        let bw = |label: &str| {
+            rows.iter().find(|r| r.label == label).unwrap().report.achieved_gbps()
+        };
+        // Sequential beats random at every core count.
+        for c in [1, 2, 4, 8] {
+            assert!(
+                bw(&format!("seq {c}c")) > bw(&format!("rand {c}c")),
+                "seq vs rand at {c} cores"
+            );
+        }
+        // Bandwidth grows with cores.
+        assert!(bw("seq 4c") > 1.5 * bw("seq 1c"));
+        assert!(bw("rand 8c") > bw("rand 1c"));
+    }
+
+    #[test]
+    fn fig9_single_kernel_predictions_are_sane() {
+        let scale = ExperimentScale::quick();
+        let row = fig9_kernel(GapKernel::Cc, &scale);
+        assert!(row.measured_8c > 0.0);
+        assert!(row.naive > 0.0);
+        assert!(row.stack > 0.0);
+        assert!(row.stack <= row.naive + 1e-9, "stack prediction never exceeds naive");
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_best_of_picks_sanely() {
+        let points = sweep_synthetic(
+            &[1, 2],
+            &[PagePolicy::Open, PagePolicy::Closed],
+            &[MappingScheme::RowBankColumn],
+            0.0,
+            5.0,
+        );
+        assert_eq!(points.len(), 2 * 2 * 2);
+        let best_seq = best_of(&points, "seq").unwrap();
+        // For the read-only sequential pattern the open policy wins.
+        assert_eq!(best_seq.policy, PagePolicy::Open);
+        assert_eq!(best_seq.cores, 2);
+        assert!(best_of(&points, "nope").is_none());
+    }
+
+    #[test]
+    fn random_pattern_has_preact_component() {
+        let scale = ExperimentScale::quick();
+        let r = run_synthetic(
+            1,
+            SyntheticPattern::random(0.0),
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            scale.synth_us,
+        );
+        let preact = r.bandwidth_stack.gbps(BwComponent::Precharge)
+            + r.bandwidth_stack.gbps(BwComponent::Activate);
+        assert!(preact > 0.1, "random pattern must show pre/act: {preact}");
+        // Sequential has essentially none.
+        let s = run_synthetic(
+            1,
+            SyntheticPattern::sequential(0.0),
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            scale.synth_us,
+        );
+        let s_preact = s.bandwidth_stack.gbps(BwComponent::Precharge)
+            + s.bandwidth_stack.gbps(BwComponent::Activate);
+        assert!(s_preact < preact, "seq {s_preact} < rand {preact}");
+        assert!(s.ctrl_stats.read_hit_rate() > 0.9, "sequential page hits");
+    }
+}

@@ -1,0 +1,32 @@
+//! Full-system closed-loop simulator and the paper's experiment harness.
+//!
+//! Wires together the workspace crates — cores and caches
+//! (`dramstack-cpu`), memory controller (`dramstack-memctrl`), the DRAM
+//! device (`dramstack-dram`) and the stack accounting (`dramstack-core`) —
+//! into one cycle-driven simulation, plus ready-made drivers for every
+//! figure of the paper in [`experiments`].
+//!
+//! # Example
+//!
+//! ```
+//! use dramstack_sim::{Simulator, SystemConfig};
+//! use dramstack_workloads::SyntheticPattern;
+//!
+//! let cfg = SystemConfig::paper_default(1);
+//! let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+//! let report = sim.run_for_us(20.0);
+//! assert!(report.achieved_gbps() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+pub mod experiments;
+pub mod replay;
+mod report;
+mod system;
+
+pub use config::SystemConfig;
+pub use report::SimReport;
+pub use system::Simulator;

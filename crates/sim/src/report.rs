@@ -1,0 +1,115 @@
+//! Simulation result types.
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_core::{BandwidthStack, LatencyHistogram, LatencyStack, TimeSample};
+use dramstack_cpu::{CacheStats, CycleStack, HierarchyStats};
+use dramstack_dram::Cycle;
+use dramstack_memctrl::CtrlStats;
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Aggregate bandwidth stack over the whole run (system-level: the
+    /// peak is the sum of the channel peaks).
+    pub bandwidth_stack: BandwidthStack,
+    /// Per-channel bandwidth stacks (one per memory controller).
+    pub channel_stacks: Vec<BandwidthStack>,
+    /// Aggregate latency stack over all reads.
+    pub latency_stack: LatencyStack,
+    /// Aggregate CPU cycle stack over all cores.
+    pub cycle_stack: CycleStack,
+    /// Through-time bandwidth/latency samples.
+    pub samples: Vec<TimeSample>,
+    /// Through-time CPU cycle stacks (aggregated over cores per window).
+    pub cycle_samples: Vec<CycleStack>,
+    /// DRAM cycles simulated.
+    pub sim_cycles: Cycle,
+    /// Simulated wall-clock time in microseconds.
+    pub elapsed_us: f64,
+    /// Memory-controller statistics.
+    pub ctrl_stats: CtrlStats,
+    /// Hierarchy statistics.
+    pub hierarchy_stats: HierarchyStats,
+    /// `(l1, l2, llc)` cache statistics.
+    pub cache_stats: (CacheStats, CacheStats, CacheStats),
+    /// Instructions retired, summed over cores.
+    pub instrs_retired: u64,
+    /// Distribution of individual read latencies (in DRAM cycles) — the
+    /// stacks report averages; tails live here.
+    pub latency_histogram: LatencyHistogram,
+}
+
+impl SimReport {
+    /// Achieved DRAM bandwidth in GB/s.
+    pub fn achieved_gbps(&self) -> f64 {
+        self.bandwidth_stack.achieved_gbps()
+    }
+
+    /// Average DRAM read latency in nanoseconds.
+    pub fn avg_read_latency_ns(&self) -> f64 {
+        self.latency_stack.total_ns()
+    }
+
+    /// Aggregate instructions per cycle (per core).
+    pub fn ipc(&self) -> f64 {
+        let core_cycles = self.cycle_stack.total();
+        if core_cycles == 0 {
+            return 0.0;
+        }
+        self.instrs_retired as f64 / core_cycles as f64
+    }
+
+    /// Serializes the report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error (unlikely for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramstack_core::BwComponent;
+
+    fn dummy() -> SimReport {
+        let mut bw = BandwidthStack::empty(19.2);
+        bw.weights[BwComponent::Read.index()] = 500.0;
+        bw.weights[BwComponent::Idle.index()] = 500.0;
+        bw.total_cycles = 1000;
+        SimReport {
+            bandwidth_stack: bw,
+            channel_stacks: Vec::new(),
+            latency_stack: LatencyStack::empty(),
+            cycle_stack: CycleStack::new(),
+            samples: Vec::new(),
+            cycle_samples: Vec::new(),
+            sim_cycles: 1000,
+            elapsed_us: 0.83,
+            ctrl_stats: CtrlStats::default(),
+            hierarchy_stats: HierarchyStats::default(),
+            cache_stats: Default::default(),
+            instrs_retired: 0,
+            latency_histogram: LatencyHistogram::new(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = dummy();
+        assert!((r.achieved_gbps() - 9.6).abs() < 1e-9);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.avg_read_latency_ns(), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = dummy();
+        let s = r.to_json().unwrap();
+        let back: SimReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+}

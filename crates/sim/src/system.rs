@@ -1,0 +1,472 @@
+//! The closed-loop full-system simulator: cores ⇄ caches ⇄ controller(s) ⇄
+//! DRAM, with stack accounting attached.
+
+use dramstack_core::{
+    through_time::{aggregate_bandwidth, aggregate_latency},
+    BandwidthStack, LatencyHistogram, LatencyStack, StackSampler, TimeSample,
+};
+use dramstack_cpu::{CoreModel, CycleStack, Hierarchy, InstrStream, VecStream};
+use dramstack_dram::{Cycle, CycleView};
+use dramstack_memctrl::MemoryController;
+use dramstack_workloads::SyntheticPattern;
+
+use crate::config::SystemConfig;
+use crate::report::SimReport;
+
+/// The full-system simulator.
+///
+/// One or more memory channels sit behind the shared cache hierarchy;
+/// consecutive cache lines interleave across channels and each channel
+/// gets its own bandwidth/latency stack (aggregated in the report, as the
+/// paper describes).
+pub struct Simulator {
+    cfg: SystemConfig,
+    cores: Vec<CoreModel>,
+    streams: Vec<Box<dyn InstrStream>>,
+    hier: Hierarchy,
+    ctrls: Vec<MemoryController>,
+    views: Vec<CycleView>,
+    samplers: Vec<StackSampler>,
+    cycle_samples: Vec<CycleStack>,
+    cycle_total: CycleStack,
+    histogram: LatencyHistogram,
+    dram_cycle: Cycle,
+    next_cycle_sample: Cycle,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("n_cores", &self.cores.len())
+            .field("channels", &self.ctrls.len())
+            .field("dram_cycle", &self.dram_cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator over arbitrary per-core instruction streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream count differs from the configured core count
+    /// or the configuration is invalid.
+    pub fn new(cfg: SystemConfig, streams: Vec<Box<dyn InstrStream>>) -> Self {
+        cfg.validate();
+        assert_eq!(streams.len(), cfg.n_cores, "one stream per core");
+        let ctrls: Vec<MemoryController> =
+            (0..cfg.channels).map(|_| MemoryController::new(cfg.ctrl.clone())).collect();
+        let n_banks = ctrls[0].total_banks();
+        let peak = cfg.ctrl.device.peak_bandwidth_gbps();
+        let samplers = (0..cfg.channels)
+            .map(|_| StackSampler::new(n_banks, peak, cfg.dram_cycle_ns(), cfg.sample_period))
+            .collect();
+        Simulator {
+            cores: (0..cfg.n_cores).map(|i| CoreModel::new(i, cfg.core)).collect(),
+            hier: Hierarchy::new(cfg.n_cores, cfg.hierarchy),
+            views: vec![CycleView::idle(n_banks); cfg.channels],
+            samplers,
+            cycle_samples: Vec::new(),
+            cycle_total: CycleStack::new(),
+            histogram: LatencyHistogram::new(),
+            dram_cycle: 0,
+            next_cycle_sample: cfg.sample_period,
+            streams,
+            ctrls,
+            cfg,
+        }
+    }
+
+    /// Builds a simulator running the given synthetic pattern on every
+    /// core (each core gets its own region and RNG stream).
+    ///
+    /// The LLC is functionally pre-warmed with the lines the streams
+    /// "already" touched, so steady-state effects — notably dirty
+    /// evictions turning stores into DRAM writes — are present from the
+    /// first cycle instead of only after the 11 MB LLC fills.
+    pub fn with_synthetic(cfg: SystemConfig, pattern: SyntheticPattern) -> Self {
+        let n = cfg.n_cores;
+        let streams: Vec<Box<dyn InstrStream>> =
+            (0..n).map(|c| Box::new(pattern.stream_for_core(c, n)) as Box<dyn InstrStream>).collect();
+        let mut sim = Self::new(cfg, streams);
+        let llc_lines = sim.cfg.hierarchy.llc.size_bytes / u64::from(sim.cfg.hierarchy.llc.line_bytes);
+        let per_core = llc_lines / n as u64;
+        for core in 0..n {
+            for (line, dirty) in pattern.warm_lines(core, per_core) {
+                sim.hier.prefill_llc(line, dirty);
+            }
+        }
+        sim.hier.reset_stats();
+        sim
+    }
+
+    /// Builds a simulator replaying pre-generated traces (GAP kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace count differs from the core count.
+    pub fn with_traces(cfg: SystemConfig, traces: Vec<Vec<dramstack_cpu::Instr>>) -> Self {
+        let streams: Vec<Box<dyn InstrStream>> = traces
+            .into_iter()
+            .map(|t| Box::new(VecStream::new(t)) as Box<dyn InstrStream>)
+            .collect();
+        Self::new(cfg, streams)
+    }
+
+    /// Current DRAM cycle.
+    pub fn now(&self) -> Cycle {
+        self.dram_cycle
+    }
+
+    /// Whether every core finished its stream and the memory system
+    /// drained.
+    pub fn finished(&self) -> bool {
+        self.cores.iter().all(CoreModel::is_finished)
+            && self.hier.quiescent()
+            && self.ctrls.iter().all(MemoryController::is_idle)
+    }
+
+    /// Which channel a line address belongs to.
+    fn channel_of(&self, line: u64) -> usize {
+        ((line >> 6) % self.cfg.channels as u64) as usize
+    }
+
+    /// Strips the channel bits out of a line address for the per-channel
+    /// controller (which addresses only its own capacity).
+    fn strip_channel(&self, line: u64) -> u64 {
+        ((line >> 6) / self.cfg.channels as u64) << 6
+    }
+
+    /// Advances the system by one DRAM cycle.
+    pub fn step(&mut self) {
+        let now = self.dram_cycle;
+
+        // 1. Memory controllers + DRAM + bandwidth-stack accounting.
+        for ch in 0..self.ctrls.len() {
+            self.ctrls[ch].tick(now, &mut self.views[ch]);
+            self.samplers[ch].account(&self.views[ch]);
+        }
+
+        // 2. Completions propagate up: latency stack, cache fills, cores.
+        //    `meta` carries the original (pre-strip) line address.
+        for ch in 0..self.ctrls.len() {
+            let completions: Vec<_> = self.ctrls[ch].drain_completions().collect();
+            for c in completions {
+                self.samplers[ch].add_read(&c.breakdown);
+                self.histogram.add(c.breakdown.total());
+                let original_line = c.meta;
+                for core in self.hier.complete_read(original_line) {
+                    self.cores[core].complete_line(original_line);
+                }
+            }
+        }
+
+        // 3. Cores run `core_clock_mult` cycles per DRAM cycle.
+        for k in 0..self.cfg.core_clock_mult {
+            let core_now = now * u64::from(self.cfg.core_clock_mult) + u64::from(k);
+            for (core, stream) in self.cores.iter_mut().zip(&mut self.streams) {
+                core.tick(stream.as_mut(), &mut self.hier, core_now);
+            }
+        }
+
+        // 4. Barrier release: when every unfinished core is parked.
+        self.release_barriers();
+
+        // 5. Pump hierarchy ⇄ controllers (head-of-line per direction).
+        loop {
+            let Some(r) = self.hier.pop_read() else { break };
+            let ch = self.channel_of(r.line);
+            if self.ctrls[ch].can_accept_read() {
+                let stripped = self.strip_channel(r.line);
+                self.ctrls[ch].enqueue_read(stripped, r.line);
+            } else {
+                self.hier.unpop_read(r);
+                break;
+            }
+        }
+        loop {
+            let Some(line) = self.hier.pop_write() else { break };
+            let ch = self.channel_of(line);
+            if self.ctrls[ch].can_accept_write() {
+                let stripped = self.strip_channel(line);
+                self.ctrls[ch].enqueue_write(stripped);
+            } else {
+                self.hier.unpop_write(line);
+                break;
+            }
+        }
+
+        // 6. Through-time CPU cycle-stack sampling.
+        self.dram_cycle += 1;
+        if self.dram_cycle == self.next_cycle_sample {
+            self.next_cycle_sample += self.cfg.sample_period;
+            let mut window = CycleStack::new();
+            for core in &mut self.cores {
+                window.merge(&core.take_stack_sample());
+            }
+            self.cycle_total.merge(&window);
+            self.cycle_samples.push(window);
+        }
+    }
+
+    fn release_barriers(&mut self) {
+        let mut waiting = 0;
+        let mut active = 0;
+        for core in &self.cores {
+            if core.is_finished() {
+                continue;
+            }
+            active += 1;
+            if core.at_barrier().is_some() {
+                waiting += 1;
+            }
+        }
+        if active > 0 && waiting == active {
+            for core in &mut self.cores {
+                if core.at_barrier().is_some() {
+                    core.release_barrier();
+                }
+            }
+        }
+    }
+
+    /// Runs for a fixed simulated duration (synthetic steady-state runs).
+    pub fn run_for_us(&mut self, us: f64) -> SimReport {
+        let cycles = self.cfg.us_to_cycles(us);
+        let end = self.dram_cycle + cycles;
+        while self.dram_cycle < end {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Runs until every trace finishes (or `max_cycles` elapse).
+    pub fn run_to_completion(&mut self, max_cycles: Cycle) -> SimReport {
+        while !self.finished() && self.dram_cycle < max_cycles {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Builds the report for everything simulated so far.
+    pub fn report(&mut self) -> SimReport {
+        // Flush the open sampling windows.
+        let mut window = CycleStack::new();
+        for core in &mut self.cores {
+            window.merge(&core.take_stack_sample());
+        }
+        if window.total() > 0 {
+            self.cycle_total.merge(&window);
+            self.cycle_samples.push(window);
+        }
+        // Per-channel sample series, then aggregate window-by-window.
+        let mut per_channel: Vec<Vec<TimeSample>> = Vec::with_capacity(self.samplers.len());
+        for s in &mut self.samplers {
+            s.flush_partial();
+            per_channel.push(s.samples().to_vec());
+        }
+        let samples = aggregate_channel_samples(&per_channel);
+        let channel_stacks: Vec<BandwidthStack> = per_channel
+            .iter()
+            .map(|series| {
+                aggregate_bandwidth(series).unwrap_or_else(|| {
+                    BandwidthStack::empty(self.cfg.ctrl.device.peak_bandwidth_gbps())
+                })
+            })
+            .collect();
+        let bandwidth_stack = aggregate_bandwidth(&samples)
+            .unwrap_or_else(|| BandwidthStack::empty(self.cfg.system_peak_gbps()));
+        let latency_stack: LatencyStack = aggregate_latency(&samples);
+        let ctrl_stats = {
+            let mut total = dramstack_memctrl::CtrlStats::default();
+            for c in &self.ctrls {
+                let s = c.stats();
+                total.reads_accepted += s.reads_accepted;
+                total.writes_accepted += s.writes_accepted;
+                total.reads_done += s.reads_done;
+                total.writes_done += s.writes_done;
+                total.read_hits += s.read_hits;
+                total.write_hits += s.write_hits;
+                total.write_drains += s.write_drains;
+                total.drain_cycles += s.drain_cycles;
+                total.refreshes += s.refreshes;
+            }
+            total
+        };
+        SimReport {
+            bandwidth_stack,
+            latency_stack,
+            cycle_stack: self.cycle_total,
+            cycle_samples: self.cycle_samples.clone(),
+            sim_cycles: self.dram_cycle,
+            elapsed_us: self.dram_cycle as f64 * self.cfg.dram_cycle_ns() / 1000.0,
+            ctrl_stats,
+            hierarchy_stats: self.hier.stats(),
+            cache_stats: self.hier.cache_stats(),
+            instrs_retired: self.cores.iter().map(CoreModel::retired).sum(),
+            latency_histogram: self.histogram.clone(),
+            channel_stacks,
+            samples,
+        }
+    }
+
+    /// The memory controller of `channel` (for inspection in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn controller(&self, channel: usize) -> &MemoryController {
+        &self.ctrls[channel]
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+}
+
+/// Zips per-channel sample series into system-level samples: bandwidth
+/// stacks aggregated across channels, latencies merged read-weighted.
+fn aggregate_channel_samples(per_channel: &[Vec<TimeSample>]) -> Vec<TimeSample> {
+    if per_channel.len() == 1 {
+        return per_channel[0].clone();
+    }
+    let windows = per_channel.iter().map(Vec::len).min().unwrap_or(0);
+    (0..windows)
+        .map(|w| {
+            let stacks: Vec<BandwidthStack> =
+                per_channel.iter().map(|s| s[w].bandwidth.clone()).collect();
+            let mut latency = LatencyStack::empty();
+            for s in per_channel {
+                latency.merge(&s[w].latency);
+            }
+            TimeSample {
+                start_cycle: per_channel[0][w].start_cycle,
+                cycles: per_channel[0][w].cycles,
+                bandwidth: BandwidthStack::aggregate_channels(&stacks),
+                latency,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramstack_core::BwComponent;
+    use dramstack_workloads::{GapConfig, GapKernel, Graph};
+
+    #[test]
+    fn sequential_one_core_reads_something() {
+        let cfg = SystemConfig::paper_default(1);
+        let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+        let r = sim.run_for_us(30.0);
+        assert!(r.achieved_gbps() > 1.0, "got {}", r.achieved_gbps());
+        assert!(r.bandwidth_stack.is_consistent());
+        assert!(r.avg_read_latency_ns() > 10.0);
+        assert_eq!(r.bandwidth_stack.gbps(BwComponent::Write), 0.0);
+    }
+
+    #[test]
+    fn stack_always_sums_to_peak() {
+        let cfg = SystemConfig::paper_default(2);
+        let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::random(0.2));
+        let r = sim.run_for_us(30.0);
+        assert!((r.bandwidth_stack.total_gbps() - 19.2).abs() < 1e-6);
+        for s in &r.samples {
+            assert!(s.bandwidth.is_consistent());
+        }
+    }
+
+    #[test]
+    fn refresh_component_is_visible() {
+        // Even an idle system refreshes: tRFC/tREFI ≈ 4.5 % of peak.
+        let cfg = SystemConfig::paper_default(1);
+        let streams: Vec<Box<dyn InstrStream>> =
+            vec![Box::new(VecStream::new(Vec::new()))];
+        let mut sim = Simulator::new(cfg, streams);
+        let r = sim.run_for_us(100.0);
+        let refresh_frac = r.bandwidth_stack.fraction(BwComponent::Refresh);
+        assert!(
+            (refresh_frac - 420.0 / 9360.0).abs() < 0.01,
+            "refresh fraction {refresh_frac}"
+        );
+        assert!(r.bandwidth_stack.fraction(BwComponent::Idle) > 0.9);
+    }
+
+    #[test]
+    fn gap_trace_runs_to_completion() {
+        let g = Graph::kronecker(7, 4, 5);
+        let traces = GapKernel::Bfs.trace(&g, 2, &GapConfig::default());
+        let cfg = SystemConfig::paper_default(2);
+        let mut sim = Simulator::with_traces(cfg, traces);
+        let r = sim.run_to_completion(20_000_000);
+        assert!(sim.finished(), "bfs must finish");
+        assert!(r.instrs_retired > 1000);
+        assert!(r.bandwidth_stack.is_consistent());
+    }
+
+    #[test]
+    fn more_cores_more_bandwidth() {
+        let bw = |n: usize| {
+            let cfg = SystemConfig::paper_default(n);
+            let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+            sim.run_for_us(30.0).achieved_gbps()
+        };
+        let one = bw(1);
+        let four = bw(4);
+        assert!(four > 1.5 * one, "1c {one} → 4c {four}");
+    }
+
+    #[test]
+    fn stores_produce_write_bandwidth() {
+        let cfg = SystemConfig::paper_default(1);
+        let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.5));
+        let r = sim.run_for_us(50.0);
+        assert!(
+            r.bandwidth_stack.gbps(BwComponent::Write) > 0.1,
+            "write bandwidth {}",
+            r.bandwidth_stack.gbps(BwComponent::Write)
+        );
+        assert!(r.ctrl_stats.writes_done > 0);
+    }
+
+    #[test]
+    fn two_channels_double_the_saturated_bandwidth() {
+        let run = |channels: usize| {
+            let mut cfg = SystemConfig::paper_default(8);
+            cfg.channels = channels;
+            let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+            sim.run_for_us(30.0)
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!((two.bandwidth_stack.peak_gbps() - 38.4).abs() < 1e-9);
+        assert_eq!(two.channel_stacks.len(), 2);
+        assert!(
+            two.achieved_gbps() > 1.4 * one.achieved_gbps(),
+            "2 channels: {} vs 1 channel: {}",
+            two.achieved_gbps(),
+            one.achieved_gbps()
+        );
+        // Lines interleave: both channels carry comparable traffic.
+        let a = two.channel_stacks[0].achieved_gbps();
+        let b = two.channel_stacks[1].achieved_gbps();
+        assert!((a - b).abs() < 0.3 * a.max(b), "channel balance: {a} vs {b}");
+        // The aggregate is consistent against the system peak.
+        assert!(two.bandwidth_stack.is_consistent());
+        assert!((two.bandwidth_stack.total_gbps() - 38.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn channel_latency_drops_under_load_split() {
+        let run = |channels: usize| {
+            let mut cfg = SystemConfig::paper_default(8);
+            cfg.channels = channels;
+            let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+            sim.run_for_us(30.0).avg_read_latency_ns()
+        };
+        // Splitting a saturated load over two channels relieves queueing.
+        assert!(run(2) < run(1));
+    }
+}

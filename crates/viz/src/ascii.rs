@@ -1,0 +1,186 @@
+//! ASCII stacked-bar renderings for terminals.
+
+use dramstack_core::{BandwidthStack, BwComponent, LatComponent, LatencyStack, TimeSample};
+
+use crate::palette::{bw_glyph, lat_glyph};
+
+/// Width of the bar area in characters.
+const BAR_WIDTH: usize = 64;
+
+/// Renders horizontal stacked bandwidth bars, one per labeled stack. The
+/// bar spans the peak bandwidth; achieved read/write sits at the left,
+/// exactly like the bottom of the paper's vertical stacks.
+pub fn bandwidth_chart(rows: &[(String, BandwidthStack)]) -> String {
+    let mut out = String::new();
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
+    for (label, stack) in rows {
+        let mut bar = String::with_capacity(BAR_WIDTH);
+        for &c in &BwComponent::ALL {
+            let chars = (stack.fraction(c) * BAR_WIDTH as f64).round() as usize;
+            for _ in 0..chars {
+                if bar.len() < BAR_WIDTH {
+                    bar.push(bw_glyph(c));
+                }
+            }
+        }
+        while bar.len() < BAR_WIDTH {
+            bar.push(bw_glyph(BwComponent::Idle));
+        }
+        out.push_str(&format!(
+            "{label:label_w$} |{bar}| {:5.2} / {:4.1} GB/s\n",
+            stack.achieved_gbps(),
+            stack.peak_gbps()
+        ));
+    }
+    out.push_str(&legend_bw(label_w));
+    out
+}
+
+fn legend_bw(label_w: usize) -> String {
+    let mut s = format!("{:label_w$}  ", "");
+    for &c in &BwComponent::ALL {
+        s.push_str(&format!("{}={} ", bw_glyph(c), c.label()));
+    }
+    s.push('\n');
+    s
+}
+
+/// Renders horizontal stacked latency bars scaled to the largest total.
+pub fn latency_chart(rows: &[(String, LatencyStack)]) -> String {
+    let max_ns = rows.iter().map(|(_, s)| s.total_ns()).fold(1.0_f64, f64::max);
+    let mut out = String::new();
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
+    for (label, stack) in rows {
+        let mut bar = String::new();
+        for &c in &LatComponent::ALL {
+            let chars = (stack.ns(c) / max_ns * BAR_WIDTH as f64).round() as usize;
+            for _ in 0..chars {
+                if bar.len() < BAR_WIDTH {
+                    bar.push(lat_glyph(c));
+                }
+            }
+        }
+        while bar.len() < BAR_WIDTH {
+            bar.push(' ');
+        }
+        out.push_str(&format!("{label:label_w$} |{bar}| {:6.1} ns\n", stack.total_ns()));
+    }
+    let mut s = format!("{:label_w$}  ", "");
+    for &c in &LatComponent::ALL {
+        s.push_str(&format!("{}={} ", lat_glyph(c), c.label()));
+    }
+    s.push('\n');
+    out.push_str(&s);
+    out
+}
+
+/// Renders a through-time bandwidth strip: one character column per
+/// sample, height `height` rows, filled bottom-up by achieved bandwidth
+/// (`#`) with `%` marking the non-idle (busy) level.
+pub fn through_time_strip(samples: &[TimeSample], height: usize) -> String {
+    if samples.is_empty() {
+        return String::from("(no samples)\n");
+    }
+    let mut grid = vec![vec![' '; samples.len()]; height];
+    for (x, s) in samples.iter().enumerate() {
+        let peak = s.bandwidth.peak_gbps();
+        let achieved = (s.bandwidth.achieved_gbps() / peak * height as f64).round() as usize;
+        let busy = ((peak
+            - s.bandwidth.gbps(BwComponent::Idle)
+            - s.bandwidth.gbps(BwComponent::BankIdle))
+            / peak
+            * height as f64)
+            .round() as usize;
+        for y in 0..height {
+            if y < achieved {
+                grid[height - 1 - y][x] = '#';
+            } else if y < busy {
+                grid[height - 1 - y][x] = '%';
+            }
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{} samples, # = achieved bandwidth, % = busy (non-idle)\n",
+        samples.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramstack_core::BandwidthAccountant;
+    use dramstack_dram::{BurstKind, CycleView};
+
+    fn stack(read_frac: f64) -> BandwidthStack {
+        let mut acc = BandwidthAccountant::new(16, 19.2);
+        let mut busy = CycleView::idle(16);
+        busy.bus = Some(BurstKind::Read);
+        let idle = CycleView::idle(16);
+        let n = 100;
+        for i in 0..n {
+            if (i as f64) < read_frac * n as f64 {
+                acc.account(&busy);
+            } else {
+                acc.account(&idle);
+            }
+        }
+        acc.stack()
+    }
+
+    #[test]
+    fn bandwidth_chart_shows_labels_and_scale() {
+        let chart = bandwidth_chart(&[
+            ("one".into(), stack(0.25)),
+            ("two".into(), stack(0.75)),
+        ]);
+        assert!(chart.contains("one"));
+        assert!(chart.contains("two"));
+        assert!(chart.contains("19.2 GB/s"));
+        assert!(chart.contains("R=read"));
+        // The 75 % row has more R glyphs than the 25 % row.
+        let lines: Vec<&str> = chart.lines().collect();
+        let count = |l: &str| l.chars().filter(|&c| c == 'R').count();
+        assert!(count(lines[1]) > count(lines[0]));
+    }
+
+    #[test]
+    fn bars_have_fixed_width() {
+        let chart = bandwidth_chart(&[("x".into(), stack(0.5))]);
+        let line = chart.lines().next().unwrap();
+        let bar = line.split('|').nth(1).unwrap();
+        assert_eq!(bar.len(), BAR_WIDTH);
+    }
+
+    #[test]
+    fn latency_chart_renders() {
+        let mut s = LatencyStack::empty();
+        s.avg_ns[LatComponent::BaseDram.index()] = 20.0;
+        s.avg_ns[LatComponent::Queue.index()] = 30.0;
+        s.reads = 10;
+        let chart = latency_chart(&[("l".into(), s)]);
+        assert!(chart.contains("50.0 ns"));
+        assert!(chart.contains('q'));
+        assert!(chart.contains('d'));
+    }
+
+    #[test]
+    fn through_time_strip_handles_empty_and_filled() {
+        assert!(through_time_strip(&[], 4).contains("no samples"));
+        let sample = TimeSample {
+            start_cycle: 0,
+            cycles: 100,
+            bandwidth: stack(0.5),
+            latency: LatencyStack::empty(),
+        };
+        let strip = through_time_strip(&[sample], 4);
+        assert!(strip.contains('#'));
+        assert_eq!(strip.lines().count(), 5);
+    }
+}

@@ -1,0 +1,99 @@
+//! CSV export of stacks and through-time series.
+
+use dramstack_core::{BandwidthStack, BwComponent, LatComponent, LatencyStack, TimeSample};
+
+/// CSV of labeled bandwidth stacks, one row per stack, components in GB/s.
+pub fn bandwidth_csv(rows: &[(String, BandwidthStack)]) -> String {
+    let mut out = String::from("label");
+    for c in BwComponent::ALL {
+        out.push(',');
+        out.push_str(c.label());
+    }
+    out.push_str(",achieved,peak\n");
+    for (label, s) in rows {
+        out.push_str(label);
+        for c in BwComponent::ALL {
+            out.push_str(&format!(",{:.4}", s.gbps(c)));
+        }
+        out.push_str(&format!(",{:.4},{:.4}\n", s.achieved_gbps(), s.peak_gbps()));
+    }
+    out
+}
+
+/// CSV of labeled latency stacks, components in nanoseconds.
+pub fn latency_csv(rows: &[(String, LatencyStack)]) -> String {
+    let mut out = String::from("label");
+    for c in LatComponent::ALL {
+        out.push(',');
+        out.push_str(c.label());
+    }
+    out.push_str(",total,reads\n");
+    for (label, s) in rows {
+        out.push_str(label);
+        for c in LatComponent::ALL {
+            out.push_str(&format!(",{:.4}", s.ns(c)));
+        }
+        out.push_str(&format!(",{:.4},{}\n", s.total_ns(), s.reads));
+    }
+    out
+}
+
+/// CSV of a through-time series: one row per sample with both stacks.
+pub fn samples_csv(samples: &[TimeSample], cycle_ns: f64) -> String {
+    let mut out = String::from("t_us");
+    for c in BwComponent::ALL {
+        out.push_str(&format!(",bw_{}", c.label()));
+    }
+    for c in LatComponent::ALL {
+        out.push_str(&format!(",lat_{}", c.label()));
+    }
+    out.push_str(",reads\n");
+    for s in samples {
+        out.push_str(&format!("{:.3}", s.start_cycle as f64 * cycle_ns / 1000.0));
+        for c in BwComponent::ALL {
+            out.push_str(&format!(",{:.4}", s.bandwidth.gbps(c)));
+        }
+        for c in LatComponent::ALL {
+            out.push_str(&format!(",{:.4}", s.latency.ns(c)));
+        }
+        out.push_str(&format!(",{}\n", s.latency.reads));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_csv_has_header_and_rows() {
+        let s = BandwidthStack::empty(19.2);
+        let csv = bandwidth_csv(&[("a".into(), s.clone()), ("b".into(), s)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("label,read,write,refresh"));
+        assert!(lines[1].starts_with("a,"));
+        assert_eq!(lines[1].split(',').count(), 1 + 8 + 2);
+    }
+
+    #[test]
+    fn latency_csv_shape() {
+        let csv = latency_csv(&[("x".into(), LatencyStack::empty())]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].split(',').count(), 1 + 6 + 2);
+    }
+
+    #[test]
+    fn samples_csv_time_axis() {
+        let sample = TimeSample {
+            start_cycle: 1200,
+            cycles: 1200,
+            bandwidth: BandwidthStack::empty(19.2),
+            latency: LatencyStack::empty(),
+        };
+        let csv = samples_csv(&[sample], 0.8333);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[1].starts_with("1.000"), "1200 cycles at 0.8333 ns ≈ 1 µs: {}", lines[1]);
+    }
+}

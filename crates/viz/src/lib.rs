@@ -1,0 +1,28 @@
+//! Visualization of bandwidth, latency and cycle stacks: ASCII stacked
+//! bars for terminals, CSV for spreadsheets, and SVG stacked-bar figures
+//! in the style of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use dramstack_core::{BandwidthAccountant, BwComponent};
+//! use dramstack_dram::{CycleView, BurstKind};
+//! use dramstack_viz::ascii;
+//!
+//! let mut acc = BandwidthAccountant::new(16, 19.2);
+//! let mut v = CycleView::idle(16);
+//! v.bus = Some(BurstKind::Read);
+//! acc.account(&v);
+//! let chart = ascii::bandwidth_chart(&[("demo".to_string(), acc.stack())]);
+//! assert!(chart.contains("demo"));
+//! assert!(chart.contains("GB/s"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ascii;
+pub mod csv;
+pub mod palette;
+pub mod svg;
+pub mod timeline;

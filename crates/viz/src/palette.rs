@@ -1,0 +1,83 @@
+//! Component colors and glyphs shared by the renderers.
+
+use dramstack_core::{BwComponent, LatComponent};
+
+/// Fill color (SVG) for a bandwidth-stack component, echoing the paper's
+/// legend ordering: useful work in saturated colors, losses in muted ones.
+pub fn bw_color(c: BwComponent) -> &'static str {
+    match c {
+        BwComponent::Read => "#1f77b4",
+        BwComponent::Write => "#ff7f0e",
+        BwComponent::Refresh => "#7f7f7f",
+        BwComponent::Precharge => "#e6c700",
+        BwComponent::Activate => "#9edae5",
+        BwComponent::Constraints => "#2ca02c",
+        BwComponent::BankIdle => "#17344f",
+        BwComponent::Idle => "#e7e7e7",
+    }
+}
+
+/// ASCII glyph for a bandwidth-stack component.
+pub fn bw_glyph(c: BwComponent) -> char {
+    match c {
+        BwComponent::Read => 'R',
+        BwComponent::Write => 'W',
+        BwComponent::Refresh => 'f',
+        BwComponent::Precharge => 'p',
+        BwComponent::Activate => 'a',
+        BwComponent::Constraints => 'c',
+        BwComponent::BankIdle => 'b',
+        BwComponent::Idle => '.',
+    }
+}
+
+/// Fill color (SVG) for a latency-stack component.
+pub fn lat_color(c: LatComponent) -> &'static str {
+    match c {
+        LatComponent::BaseCntlr => "#1f77b4",
+        LatComponent::BaseDram => "#aec7e8",
+        LatComponent::PreAct => "#e6c700",
+        LatComponent::Refresh => "#7f7f7f",
+        LatComponent::WriteBurst => "#ff7f0e",
+        LatComponent::Queue => "#2ca02c",
+    }
+}
+
+/// ASCII glyph for a latency-stack component.
+pub fn lat_glyph(c: LatComponent) -> char {
+    match c {
+        LatComponent::BaseCntlr => 'B',
+        LatComponent::BaseDram => 'd',
+        LatComponent::PreAct => 'p',
+        LatComponent::Refresh => 'f',
+        LatComponent::WriteBurst => 'w',
+        LatComponent::Queue => 'q',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_unique() {
+        let mut g: Vec<char> = BwComponent::ALL.iter().map(|&c| bw_glyph(c)).collect();
+        g.sort_unstable();
+        g.dedup();
+        assert_eq!(g.len(), BwComponent::COUNT);
+        let mut g: Vec<char> = LatComponent::ALL.iter().map(|&c| lat_glyph(c)).collect();
+        g.sort_unstable();
+        g.dedup();
+        assert_eq!(g.len(), LatComponent::COUNT);
+    }
+
+    #[test]
+    fn colors_are_hex() {
+        for c in BwComponent::ALL {
+            assert!(bw_color(c).starts_with('#'));
+        }
+        for c in LatComponent::ALL {
+            assert!(lat_color(c).starts_with('#'));
+        }
+    }
+}

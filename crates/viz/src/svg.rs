@@ -1,0 +1,208 @@
+//! Hand-rolled SVG stacked-bar figures in the paper's style: vertical
+//! bars, one per configuration, components stacked bottom-up, legend on
+//! the right.
+
+use dramstack_core::{BandwidthStack, BwComponent, LatComponent, LatencyStack, TimeSample};
+
+use crate::palette::{bw_color, lat_color};
+
+const BAR_W: f64 = 42.0;
+const GAP: f64 = 14.0;
+const PLOT_H: f64 = 260.0;
+const MARGIN_L: f64 = 54.0;
+const MARGIN_T: f64 = 30.0;
+const MARGIN_B: f64 = 48.0;
+const LEGEND_W: f64 = 120.0;
+
+fn header(w: f64, h: f64, title: &str) -> String {
+    format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}" font-family="Helvetica,Arial,sans-serif" font-size="11">
+<rect width="100%" height="100%" fill="white"/>
+<text x="{tx:.0}" y="18" text-anchor="middle" font-size="13">{title}</text>
+"##,
+        tx = w / 2.0,
+    )
+}
+
+fn rect(x: f64, y: f64, w: f64, h: f64, fill: &str) -> String {
+    format!(
+        r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}" stroke="black" stroke-width="0.4"/>
+"#
+    )
+}
+
+fn text(x: f64, y: f64, anchor: &str, s: &str) -> String {
+    format!(r#"<text x="{x:.1}" y="{y:.1}" text-anchor="{anchor}">{s}</text>
+"#)
+}
+
+fn y_axis(out: &mut String, max: f64, unit: &str, ticks: u32) {
+    for i in 0..=ticks {
+        let v = max * f64::from(i) / f64::from(ticks);
+        let y = MARGIN_T + PLOT_H - v / max * PLOT_H;
+        out.push_str(&format!(
+            r##"<line x1="{x0:.1}" y1="{y:.1}" x2="{x1:.1}" y2="{y:.1}" stroke="#cccccc" stroke-width="0.5"/>
+"##,
+            x0 = MARGIN_L,
+            x1 = MARGIN_L - 4.0,
+        ));
+        out.push_str(&text(MARGIN_L - 6.0, y + 3.5, "end", &format!("{v:.0}")));
+    }
+    out.push_str(&text(14.0, MARGIN_T + PLOT_H / 2.0, "middle", unit));
+}
+
+/// Renders labeled bandwidth stacks as a paper-style stacked bar chart.
+pub fn bandwidth_figure(title: &str, rows: &[(String, BandwidthStack)]) -> String {
+    let peak = rows.first().map(|(_, s)| s.peak_gbps()).unwrap_or(19.2);
+    let width = MARGIN_L + rows.len() as f64 * (BAR_W + GAP) + GAP + LEGEND_W;
+    let height = MARGIN_T + PLOT_H + MARGIN_B;
+    let mut out = header(width, height, title);
+    y_axis(&mut out, peak, "GB/s", 4);
+    for (i, (label, stack)) in rows.iter().enumerate() {
+        let x = MARGIN_L + GAP + i as f64 * (BAR_W + GAP);
+        let mut y = MARGIN_T + PLOT_H;
+        for c in BwComponent::ALL {
+            let h = stack.fraction(c) * PLOT_H;
+            if h > 0.01 {
+                y -= h;
+                out.push_str(&rect(x, y, BAR_W, h, bw_color(c)));
+            }
+        }
+        out.push_str(&text(x + BAR_W / 2.0, MARGIN_T + PLOT_H + 14.0, "middle", label));
+    }
+    let lx = width - LEGEND_W + 8.0;
+    for (i, c) in BwComponent::ALL.iter().enumerate() {
+        let ly = MARGIN_T + 10.0 + i as f64 * 18.0;
+        out.push_str(&rect(lx, ly - 9.0, 12.0, 12.0, bw_color(*c)));
+        out.push_str(&text(lx + 17.0, ly + 1.0, "start", c.label()));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders labeled latency stacks as a stacked bar chart scaled to the
+/// largest total.
+pub fn latency_figure(title: &str, rows: &[(String, LatencyStack)]) -> String {
+    let max = rows.iter().map(|(_, s)| s.total_ns()).fold(1.0_f64, f64::max) * 1.05;
+    let width = MARGIN_L + rows.len() as f64 * (BAR_W + GAP) + GAP + LEGEND_W;
+    let height = MARGIN_T + PLOT_H + MARGIN_B;
+    let mut out = header(width, height, title);
+    y_axis(&mut out, max, "ns", 5);
+    for (i, (label, stack)) in rows.iter().enumerate() {
+        let x = MARGIN_L + GAP + i as f64 * (BAR_W + GAP);
+        let mut y = MARGIN_T + PLOT_H;
+        for c in LatComponent::ALL {
+            let h = stack.ns(c) / max * PLOT_H;
+            if h > 0.01 {
+                y -= h;
+                out.push_str(&rect(x, y, BAR_W, h, lat_color(c)));
+            }
+        }
+        out.push_str(&text(x + BAR_W / 2.0, MARGIN_T + PLOT_H + 14.0, "middle", label));
+    }
+    let lx = width - LEGEND_W + 8.0;
+    for (i, c) in LatComponent::ALL.iter().enumerate() {
+        let ly = MARGIN_T + 10.0 + i as f64 * 18.0;
+        out.push_str(&rect(lx, ly - 9.0, 12.0, 12.0, lat_color(*c)));
+        out.push_str(&text(lx + 17.0, ly + 1.0, "start", c.label()));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a through-time bandwidth area chart (one x-pixel column per
+/// sample, components stacked, as in the paper's Fig. 7 middle panel).
+pub fn through_time_figure(title: &str, samples: &[TimeSample], cycle_ns: f64) -> String {
+    let n = samples.len().max(1);
+    let col_w = (900.0 / n as f64).clamp(0.5, 8.0);
+    let width = MARGIN_L + n as f64 * col_w + GAP + LEGEND_W;
+    let height = MARGIN_T + PLOT_H + MARGIN_B;
+    let peak = samples.first().map(|s| s.bandwidth.peak_gbps()).unwrap_or(19.2);
+    let mut out = header(width, height, title);
+    y_axis(&mut out, peak, "GB/s", 4);
+    for (i, s) in samples.iter().enumerate() {
+        let x = MARGIN_L + i as f64 * col_w;
+        let mut y = MARGIN_T + PLOT_H;
+        for c in BwComponent::ALL {
+            let h = s.bandwidth.fraction(c) * PLOT_H;
+            if h > 0.005 {
+                y -= h;
+                out.push_str(&format!(
+                    r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>
+"#,
+                    w = col_w,
+                    fill = bw_color(c),
+                ));
+            }
+        }
+    }
+    if let (Some(first), Some(last)) = (samples.first(), samples.last()) {
+        let t0 = first.start_cycle as f64 * cycle_ns / 1000.0;
+        let t1 = (last.start_cycle + last.cycles) as f64 * cycle_ns / 1000.0;
+        out.push_str(&text(MARGIN_L, MARGIN_T + PLOT_H + 14.0, "start", &format!("{t0:.0} µs")));
+        out.push_str(&text(
+            MARGIN_L + n as f64 * col_w,
+            MARGIN_T + PLOT_H + 14.0,
+            "end",
+            &format!("{t1:.0} µs"),
+        ));
+    }
+    let lx = width - LEGEND_W + 8.0;
+    for (i, c) in BwComponent::ALL.iter().enumerate() {
+        let ly = MARGIN_T + 10.0 + i as f64 * 18.0;
+        out.push_str(&rect(lx, ly - 9.0, 12.0, 12.0, bw_color(*c)));
+        out.push_str(&text(lx + 17.0, ly + 1.0, "start", c.label()));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> BandwidthStack {
+        let mut s = BandwidthStack::empty(19.2);
+        s.weights[BwComponent::Read.index()] = 400.0;
+        s.weights[BwComponent::Refresh.index()] = 50.0;
+        s.weights[BwComponent::Idle.index()] = 550.0;
+        s.total_cycles = 1000;
+        s
+    }
+
+    #[test]
+    fn bandwidth_figure_is_valid_svg_with_bars() {
+        let svg = bandwidth_figure("Fig 2", &[("seq 1c".into(), stack())]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("seq 1c"));
+        assert!(svg.contains("#1f77b4"), "read color present");
+        assert!(svg.matches("<rect").count() > 3);
+    }
+
+    #[test]
+    fn latency_figure_renders_components() {
+        let mut l = LatencyStack::empty();
+        l.avg_ns[LatComponent::BaseDram.index()] = 20.0;
+        l.avg_ns[LatComponent::Queue.index()] = 60.0;
+        l.reads = 5;
+        let svg = latency_figure("Latency", &[("a".into(), l)]);
+        assert!(svg.contains("</svg>"));
+        assert!(svg.contains(lat_color(LatComponent::Queue)));
+    }
+
+    #[test]
+    fn through_time_figure_handles_many_samples() {
+        let samples: Vec<TimeSample> = (0..500)
+            .map(|i| TimeSample {
+                start_cycle: i * 1200,
+                cycles: 1200,
+                bandwidth: stack(),
+                latency: LatencyStack::empty(),
+            })
+            .collect();
+        let svg = through_time_figure("bfs", &samples, 0.8333);
+        assert!(svg.contains("µs"));
+        assert!(svg.matches("<rect").count() > 500);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fig. 1-style command timelines: per-bank lanes showing
+//! precharge/activate/CAS windows plus the data-bus lane — the picture
+//! the paper uses to explain the accounting.
+
+use dramstack_core::BwComponent;
+use dramstack_dram::{CommandKind, TimedCommand, TimingParams};
+
+use crate::palette::bw_glyph;
+
+/// Renders a command trace as an ASCII timeline over
+/// `[start, start + width)` cycles. One row per bank that appears in the
+/// trace, plus a `bus` row showing data bursts (`R`/`W`).
+///
+/// # Example
+///
+/// ```
+/// use dramstack_dram::{TimedCommand, Command, BankAddr, TimingParams};
+/// use dramstack_viz::timeline::command_timeline;
+///
+/// let t = TimingParams::ddr4_2400();
+/// let bank = BankAddr::new(0, 0, 0);
+/// let trace = vec![
+///     TimedCommand::new(0, Command::activate(bank, 7)),
+///     TimedCommand::new(t.t_rcd, Command::read(bank, 0)),
+/// ];
+/// let chart = command_timeline(&trace, &t, 0, 60);
+/// assert!(chart.contains("r0g0b0"));
+/// assert!(chart.contains('R')); // the data burst
+/// ```
+pub fn command_timeline(
+    trace: &[TimedCommand],
+    timing: &TimingParams,
+    start: u64,
+    width: usize,
+) -> String {
+    let end = start + width as u64;
+    // Collect the banks in first-appearance order.
+    let mut banks = Vec::new();
+    for t in trace {
+        if t.cmd.kind != CommandKind::Refresh && !banks.contains(&t.cmd.bank) {
+            banks.push(t.cmd.bank);
+        }
+    }
+    let mut lanes: Vec<Vec<char>> = vec![vec!['.'; width]; banks.len()];
+    let mut bus: Vec<char> = vec!['.'; width];
+    let mut refresh: Vec<char> = vec!['.'; width];
+
+    let paint = |lane: &mut [char], from: u64, to: u64, glyph: char| {
+        let lo = from.max(start);
+        let hi = to.min(end);
+        for t in lo..hi {
+            lane[(t - start) as usize] = glyph;
+        }
+    };
+
+    for t in trace {
+        match t.cmd.kind {
+            CommandKind::Activate => {
+                let lane = banks.iter().position(|b| *b == t.cmd.bank).unwrap();
+                paint(&mut lanes[lane], t.at, t.at + timing.t_rcd, bw_glyph(BwComponent::Activate));
+            }
+            CommandKind::Precharge => {
+                let lane = banks.iter().position(|b| *b == t.cmd.bank).unwrap();
+                paint(&mut lanes[lane], t.at, t.at + timing.t_rp, bw_glyph(BwComponent::Precharge));
+            }
+            k if k.is_read() => {
+                let lane = banks.iter().position(|b| *b == t.cmd.bank).unwrap();
+                paint(&mut lanes[lane], t.at, t.at + timing.cl, 'r');
+                paint(&mut bus, t.at + timing.cl, t.at + timing.cl + timing.burst_cycles, 'R');
+            }
+            k if k.is_write() => {
+                let lane = banks.iter().position(|b| *b == t.cmd.bank).unwrap();
+                paint(&mut lanes[lane], t.at, t.at + timing.cwl, 'w');
+                paint(&mut bus, t.at + timing.cwl, t.at + timing.cwl + timing.burst_cycles, 'W');
+            }
+            CommandKind::Refresh => {
+                paint(&mut refresh, t.at, t.at + timing.t_rfc, 'F');
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("cycles {start}..{end}\n"));
+    for (i, bank) in banks.iter().enumerate() {
+        out.push_str(&format!("{:8} |", bank.to_string()));
+        out.extend(&lanes[i]);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("{:8} |", "bus"));
+    out.extend(&bus);
+    out.push_str("|\n");
+    if refresh.iter().any(|c| *c == 'F') {
+        out.push_str(&format!("{:8} |", "refresh"));
+        out.extend(&refresh);
+        out.push_str("|\n");
+    }
+    out.push_str("a=activate p=precharge r/w=CAS wait R/W=data burst F=refresh\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramstack_dram::{BankAddr, Command};
+
+    #[test]
+    fn timeline_paints_act_read_and_burst() {
+        let t = TimingParams::ddr4_2400();
+        let b = BankAddr::new(0, 0, 0);
+        let trace = vec![
+            TimedCommand::new(0, Command::activate(b, 5)),
+            TimedCommand::new(t.t_rcd, Command::read(b, 0)),
+        ];
+        let s = command_timeline(&trace, &t, 0, 64);
+        assert!(s.contains("r0g0b0"));
+        assert!(s.contains('a'), "activate window painted");
+        assert!(s.contains('r'), "CAS wait painted");
+        assert!(s.contains('R'), "data burst painted");
+        // The burst lands CL cycles after the CAS.
+        let bus_line = s.lines().find(|l| l.starts_with("bus")).unwrap();
+        let first_r = bus_line.find('R').unwrap();
+        assert_eq!(first_r as u64, (t.t_rcd + t.cl) + 10); // 10 = "bus      |" prefix
+    }
+
+    /// The lane row for a given label (skipping the legend).
+    fn lane<'a>(s: &'a str, label: &str) -> &'a str {
+        s.lines().find(|l| l.starts_with(label) && l.contains('|')).unwrap_or("")
+    }
+
+    #[test]
+    fn timeline_windows_clip_to_range() {
+        let t = TimingParams::ddr4_2400();
+        let b = BankAddr::new(0, 1, 1);
+        let trace = vec![TimedCommand::new(100, Command::activate(b, 1))];
+        let s = command_timeline(&trace, &t, 0, 50);
+        assert!(!lane(&s, "r0g1b1").contains('a'), "out-of-range command not painted");
+        let s = command_timeline(&trace, &t, 90, 40);
+        assert!(lane(&s, "r0g1b1").contains('a'));
+    }
+
+    #[test]
+    fn refresh_lane_appears_only_when_needed() {
+        let t = TimingParams::ddr4_2400();
+        let s = command_timeline(&[TimedCommand::new(5, Command::refresh(0))], &t, 0, 40);
+        assert!(lane(&s, "refresh").contains('F'));
+        let s = command_timeline(&[], &t, 0, 40);
+        assert!(lane(&s, "refresh").is_empty(), "no refresh lane without a REF");
+    }
+}

@@ -1,0 +1,102 @@
+//! A bump allocator assigning physical address ranges to workload data
+//! structures.
+//!
+//! GAP kernels run as real Rust algorithms; every array they touch gets a
+//! region in the simulated physical address space so the emitted loads and
+//! stores land on realistic, distinct DRAM rows.
+
+use serde::{Deserialize, Serialize};
+
+/// Bump allocator over the simulated physical address space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AddressSpace {
+    next: u64,
+    align: u64,
+}
+
+impl AddressSpace {
+    /// Starts allocating at `base` (page-aligned regions thereafter).
+    pub fn new(base: u64) -> Self {
+        AddressSpace { next: base, align: 4096 }
+    }
+
+    /// Allocates `elems` elements of `elem_bytes` each, aligned to a page.
+    pub fn alloc(&mut self, elems: u64, elem_bytes: u32) -> ArrayRef {
+        let base = self.next;
+        let bytes = elems * u64::from(elem_bytes);
+        self.next = (base + bytes).div_ceil(self.align) * self.align;
+        ArrayRef { base, elem_bytes, len: elems }
+    }
+
+    /// Next free address.
+    pub fn watermark(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        // Skip the first 16 MB (as an OS would reserve low memory).
+        AddressSpace::new(16 << 20)
+    }
+}
+
+/// A simulated array: a base address plus element size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayRef {
+    /// First byte of the region.
+    pub base: u64,
+    /// Bytes per element.
+    pub elem_bytes: u32,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl ArrayRef {
+    /// Byte address of element `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `idx` is in bounds.
+    pub fn addr(&self, idx: u64) -> u64 {
+        debug_assert!(idx < self.len, "index {idx} out of bounds ({})", self.len);
+        self.base + idx * u64::from(self.elem_bytes)
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.len * u64::from(self.elem_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut s = AddressSpace::new(0);
+        let a = s.alloc(1000, 4);
+        let b = s.alloc(10, 8);
+        assert!(a.base + a.bytes() <= b.base);
+        assert_eq!(b.base % 4096, 0);
+        assert!(s.watermark() >= b.base + b.bytes());
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut s = AddressSpace::new(4096);
+        let a = s.alloc(100, 8);
+        assert_eq!(a.addr(0), 4096);
+        assert_eq!(a.addr(7), 4096 + 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    #[cfg(debug_assertions)]
+    fn out_of_bounds_is_caught_in_debug() {
+        let mut s = AddressSpace::new(0);
+        let a = s.alloc(4, 4);
+        let _ = a.addr(4);
+    }
+}

@@ -1,0 +1,36 @@
+//! Workloads for the DRAM-stack simulator: the paper's synthetic
+//! sequential/random streams (Section VI–VII) and GAP-style graph kernels
+//! (Section VIII), all as deterministic per-core instruction generators.
+//!
+//! # Example
+//!
+//! ```
+//! use dramstack_workloads::{SyntheticPattern, Graph, GapKernel, GapConfig};
+//! use dramstack_cpu::InstrStream;
+//!
+//! // A sequential read-only stream for core 0.
+//! let mut stream = SyntheticPattern::sequential(0.0).stream_for_core(0, 1);
+//! assert!(stream.next_instr().is_some());
+//!
+//! // A BFS trace over a Kronecker graph for 4 cores.
+//! let g = Graph::kronecker(8, 4, 42);
+//! let traces = GapKernel::Bfs.trace(&g, 4, &GapConfig::default());
+//! assert_eq!(traces.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod alloc;
+pub mod gap;
+mod graph;
+pub mod stream;
+mod synthetic;
+mod trace;
+
+pub use alloc::{AddressSpace, ArrayRef};
+pub use gap::{GapConfig, GapKernel};
+pub use graph::Graph;
+pub use stream::{pointer_chase_trace, stream_benchmark, stream_trace, StreamKernel};
+pub use synthetic::{PatternKind, SyntheticPattern};
+pub use trace::{chunk_of, hash_bit, TraceBuilder};

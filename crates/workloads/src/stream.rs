@@ -1,0 +1,227 @@
+//! STREAM-style bandwidth kernels (McCalpin): copy, scale, add, triad.
+//!
+//! The canonical way to measure sustainable memory bandwidth — and a
+//! natural companion to bandwidth stacks, because each kernel has a
+//! different read:write ratio and therefore a different stack shape
+//! (triad reads two arrays per store; copy reads one).
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_cpu::Instr;
+
+use crate::alloc::AddressSpace;
+use crate::trace::TraceBuilder;
+
+/// The four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — 1 read : 1 write (plus the write-allocate read).
+    Copy,
+    /// `b[i] = α·c[i]` — 1 read : 1 write with a multiply.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 2 reads : 1 write.
+    Add,
+    /// `a[i] = b[i] + α·c[i]` — 2 reads : 1 write with a multiply-add.
+    Triad,
+}
+
+impl StreamKernel {
+    /// All kernels in STREAM's traditional order.
+    pub const ALL: [StreamKernel; 4] =
+        [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad];
+
+    /// STREAM's name for the kernel.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "copy",
+            StreamKernel::Scale => "scale",
+            StreamKernel::Add => "add",
+            StreamKernel::Triad => "triad",
+        }
+    }
+
+    /// Bytes moved per element by the *algorithm* (reads + the store),
+    /// STREAM's counting convention (8-byte elements).
+    pub fn bytes_per_element(self) -> u64 {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 16,
+            StreamKernel::Add | StreamKernel::Triad => 24,
+        }
+    }
+
+    /// ALU operations modeled per element.
+    fn flops(self) -> u32 {
+        match self {
+            StreamKernel::Copy => 1,
+            StreamKernel::Scale => 2,
+            StreamKernel::Add => 2,
+            StreamKernel::Triad => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for StreamKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates one pass of `kernel` over arrays of `elems` 8-byte elements,
+/// statically chunked over `n_cores` cores with a barrier at the end.
+pub fn stream_trace(kernel: StreamKernel, n_cores: usize, elems: u64) -> Vec<Vec<Instr>> {
+    let mut space = AddressSpace::default();
+    let a = space.alloc(elems, 8);
+    let b = space.alloc(elems, 8);
+    let c = space.alloc(elems, 8);
+    let mut t = TraceBuilder::new(n_cores);
+    for core in 0..n_cores {
+        for i in t.chunk(elems, core) {
+            match kernel {
+                StreamKernel::Copy => {
+                    t.load(core, a.addr(i));
+                    t.store(core, c.addr(i));
+                }
+                StreamKernel::Scale => {
+                    t.load(core, c.addr(i));
+                    t.store(core, b.addr(i));
+                }
+                StreamKernel::Add => {
+                    t.load(core, a.addr(i));
+                    t.load(core, b.addr(i));
+                    t.store(core, c.addr(i));
+                }
+                StreamKernel::Triad => {
+                    t.load(core, b.addr(i));
+                    t.load(core, c.addr(i));
+                    t.store(core, a.addr(i));
+                }
+            }
+            t.compute(core, kernel.flops());
+        }
+    }
+    t.barrier();
+    t.into_traces()
+}
+
+/// Generates `repeats` passes of all four kernels in STREAM order, with
+/// barriers between passes — the standard benchmark loop.
+pub fn stream_benchmark(n_cores: usize, elems: u64, repeats: u32) -> Vec<Vec<Instr>> {
+    let mut space = AddressSpace::default();
+    let a = space.alloc(elems, 8);
+    let b = space.alloc(elems, 8);
+    let c = space.alloc(elems, 8);
+    let mut t = TraceBuilder::new(n_cores);
+    for _ in 0..repeats {
+        for kernel in StreamKernel::ALL {
+            for core in 0..n_cores {
+                for i in t.chunk(elems, core) {
+                    match kernel {
+                        StreamKernel::Copy => {
+                            t.load(core, a.addr(i));
+                            t.store(core, c.addr(i));
+                        }
+                        StreamKernel::Scale => {
+                            t.load(core, c.addr(i));
+                            t.store(core, b.addr(i));
+                        }
+                        StreamKernel::Add => {
+                            t.load(core, a.addr(i));
+                            t.load(core, b.addr(i));
+                            t.store(core, c.addr(i));
+                        }
+                        StreamKernel::Triad => {
+                            t.load(core, b.addr(i));
+                            t.load(core, c.addr(i));
+                            t.store(core, a.addr(i));
+                        }
+                    }
+                    t.compute(core, kernel.flops());
+                }
+            }
+            t.barrier();
+        }
+    }
+    t.into_traces()
+}
+
+/// A pointer-chase (lat_mem_rd-style) trace: `count` dependent loads with
+/// the given stride over `footprint_bytes`, measuring *loaded* latency —
+/// the latency stack's natural microbenchmark. A stride of one DRAM row
+/// (8 KiB) makes every access a row miss; a 64 B stride gets row hits.
+pub fn pointer_chase_trace(footprint_bytes: u64, stride: u64, count: u64) -> Vec<Vec<Instr>> {
+    assert!(stride >= 8, "stride below one element");
+    let mut t = TraceBuilder::new(1);
+    let base = 0x4000_0000u64;
+    let mut pos = 0u64;
+    for _ in 0..count {
+        t.chain_load(0, base + pos, 0);
+        pos = (pos + stride) % footprint_bytes;
+    }
+    t.into_traces()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(trace: &[Instr], f: impl Fn(&Instr) -> bool) -> usize {
+        trace.iter().filter(|i| f(i)).count()
+    }
+
+    #[test]
+    fn kernel_read_write_ratios() {
+        for k in StreamKernel::ALL {
+            let traces = stream_trace(k, 1, 100);
+            let loads = count(&traces[0], |i| matches!(i, Instr::Load { .. }));
+            let stores = count(&traces[0], |i| matches!(i, Instr::Store { .. }));
+            assert_eq!(stores, 100, "{k}");
+            let expected_loads = match k {
+                StreamKernel::Copy | StreamKernel::Scale => 100,
+                StreamKernel::Add | StreamKernel::Triad => 200,
+            };
+            assert_eq!(loads, expected_loads, "{k}");
+        }
+    }
+
+    #[test]
+    fn bytes_per_element_follows_stream_convention() {
+        assert_eq!(StreamKernel::Copy.bytes_per_element(), 16);
+        assert_eq!(StreamKernel::Triad.bytes_per_element(), 24);
+    }
+
+    #[test]
+    fn chunks_split_work_evenly() {
+        let traces = stream_trace(StreamKernel::Add, 4, 1000);
+        let sizes: Vec<usize> = traces.iter().map(Vec::len).collect();
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= 8, "{sizes:?}");
+    }
+
+    #[test]
+    fn benchmark_has_barriers_between_kernels() {
+        let traces = stream_benchmark(2, 50, 2);
+        let barriers = count(&traces[0], |i| matches!(i, Instr::Barrier { .. }));
+        assert_eq!(barriers, 2 * 4, "one barrier per kernel pass");
+    }
+
+    #[test]
+    fn pointer_chase_is_fully_dependent() {
+        let traces = pointer_chase_trace(1 << 20, 8192, 500);
+        assert_eq!(traces.len(), 1);
+        let chains = count(&traces[0], |i| matches!(i, Instr::ChainLoad { chain: 0, .. }));
+        assert_eq!(chains, 500);
+        // Strided addresses wrap within the footprint.
+        for i in &traces[0] {
+            if let Instr::ChainLoad { addr, .. } = i {
+                assert!(*addr >= 0x4000_0000 && *addr < 0x4000_0000 + (1 << 20));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn tiny_stride_is_rejected() {
+        let _ = pointer_chase_trace(4096, 4, 10);
+    }
+}

@@ -1,0 +1,59 @@
+//! Capacity planning with stack-based extrapolation (Section VIII-B):
+//! predict the bandwidth of an 8-core deployment from a 1-core profile,
+//! and compare with the naive linear model and the measured truth.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use dramstack::memctrl::{MappingScheme, PagePolicy};
+use dramstack::sim::experiments::run_synthetic;
+use dramstack::stacks::{extrapolate_stack, predict_bandwidth_naive, predict_bandwidth_stack};
+use dramstack::workloads::SyntheticPattern;
+
+fn main() {
+    let us = 150.0;
+    for (name, pattern) in [
+        ("sequential", SyntheticPattern::sequential(0.0)),
+        ("random", SyntheticPattern::random(0.0)),
+        ("random w20", SyntheticPattern::random(0.2)),
+    ] {
+        // Profile on one core, sampled through time.
+        let one = run_synthetic(1, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, us);
+        let samples: Vec<_> = one.samples.iter().map(|s| s.bandwidth.clone()).collect();
+
+        // Extrapolate to 8 cores both ways.
+        let naive = predict_bandwidth_naive(&samples, 8.0);
+        let stack = predict_bandwidth_stack(&samples, 8.0);
+
+        // Ground truth: actually simulate 8 cores.
+        let eight = run_synthetic(8, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, us);
+        let measured = eight.achieved_gbps();
+
+        println!("{name}:");
+        println!("  1-core measured : {:6.2} GB/s", one.achieved_gbps());
+        println!(
+            "  naive 8c        : {naive:6.2} GB/s ({:+5.1} % error)",
+            (naive / measured - 1.0) * 100.0
+        );
+        println!(
+            "  stack 8c        : {stack:6.2} GB/s ({:+5.1} % error)",
+            (stack / measured - 1.0) * 100.0
+        );
+        println!("  8-core measured : {measured:6.2} GB/s");
+
+        // Show what the extrapolated stack looks like for the aggregate.
+        let mut agg = samples[0].clone();
+        for s in &samples[1..] {
+            agg.merge(s);
+        }
+        let predicted = extrapolate_stack(&agg, 8.0);
+        println!("  predicted 8c stack: read+write {:.2}, pre/act {:.2}, constraints {:.2}, idle {:.2}\n",
+            predicted.achieved_gbps(),
+            predicted.gbps(dramstack::stacks::BwComponent::Precharge)
+                + predicted.gbps(dramstack::stacks::BwComponent::Activate),
+            predicted.gbps(dramstack::stacks::BwComponent::Constraints),
+            predicted.gbps(dramstack::stacks::BwComponent::Idle),
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: simulate one core streaming through memory and print its
+//! DRAM bandwidth and latency stacks.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dramstack::sim::{Simulator, SystemConfig};
+use dramstack::viz::ascii;
+use dramstack::workloads::SyntheticPattern;
+
+fn main() {
+    // The paper's setup: DDR4-2400 (19.2 GB/s peak), FR-FCFS, open page.
+    let cfg = SystemConfig::paper_default(1);
+
+    // A sequential read-only stream, the simplest memory-bound workload.
+    let pattern = SyntheticPattern::sequential(0.0);
+    let mut sim = Simulator::with_synthetic(cfg, pattern);
+
+    // Simulate 200 µs of steady state.
+    let report = sim.run_for_us(200.0);
+
+    println!("achieved bandwidth : {:6.2} GB/s", report.achieved_gbps());
+    println!("peak bandwidth     : {:6.2} GB/s", report.bandwidth_stack.peak_gbps());
+    println!("avg read latency   : {:6.1} ns", report.avg_read_latency_ns());
+    println!("row-buffer hit rate: {:6.1} %", report.ctrl_stats.read_hit_rate() * 100.0);
+    println!();
+
+    // The bandwidth stack: where did the other ~13 GB/s go?
+    println!("{}", ascii::bandwidth_chart(&[("seq 1c".into(), report.bandwidth_stack.clone())]));
+
+    // The latency stack: what makes up those nanoseconds?
+    println!("{}", ascii::latency_chart(&[("seq 1c".into(), report.latency_stack)]));
+
+    // Per-component numbers, like the paper's Section IV example.
+    println!("bandwidth components (GB/s):");
+    for (c, gbps) in report.bandwidth_stack.rows() {
+        println!("  {:12} {:6.2}", c.label(), gbps);
+    }
+}

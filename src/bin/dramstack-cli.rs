@@ -1,0 +1,477 @@
+//! `dramstack-cli` — run stack experiments from the command line.
+//!
+//! ```text
+//! dramstack-cli synth --pattern seq --cores 4 --stores 0.2 --us 100
+//! dramstack-cli gap --kernel bfs --cores 8 --scale 12
+//! dramstack-cli trace --input cmds.trace --cycles 100000
+//! dramstack-cli extrapolate --pattern rand --to 8
+//! ```
+
+use std::process::ExitCode;
+
+use dramstack::memctrl::{MappingScheme, PagePolicy};
+use dramstack::sim::experiments::{run_gap, run_synthetic};
+use dramstack::stacks::offline::stack_from_trace;
+use dramstack::stacks::{predict_bandwidth_naive, predict_bandwidth_stack};
+use dramstack::viz::{ascii, csv, svg};
+use dramstack::workloads::{GapConfig, GapKernel, Graph, SyntheticPattern};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+enum Cli {
+    Synth(SynthArgs),
+    Gap(GapArgs),
+    Trace { input: String, cycles: u64 },
+    ReqTrace { input: String },
+    Extrapolate { pattern: SynthArgs, to: f64 },
+    Help,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct SynthArgs {
+    pattern: &'static str,
+    cores: usize,
+    stores: f64,
+    policy: PagePolicy,
+    mapping: MappingScheme,
+    us: f64,
+    csv_out: Option<String>,
+    svg_out: Option<String>,
+}
+
+impl Default for SynthArgs {
+    fn default() -> Self {
+        SynthArgs {
+            pattern: "seq",
+            cores: 1,
+            stores: 0.0,
+            policy: PagePolicy::Open,
+            mapping: MappingScheme::RowBankColumn,
+            us: 100.0,
+            csv_out: None,
+            svg_out: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct GapArgs {
+    kernel: GapKernel,
+    cores: usize,
+    scale: u32,
+    degree: u32,
+    policy: PagePolicy,
+    mapping: MappingScheme,
+}
+
+impl Default for GapArgs {
+    fn default() -> Self {
+        GapArgs {
+            kernel: GapKernel::Bfs,
+            cores: 4,
+            scale: 12,
+            degree: 12,
+            policy: PagePolicy::Closed,
+            mapping: MappingScheme::RowBankColumn,
+        }
+    }
+}
+
+const USAGE: &str = "\
+dramstack-cli — DRAM bandwidth/latency stacks from the command line
+
+USAGE:
+  dramstack-cli synth [--pattern seq|rand] [--cores N] [--stores F]
+                      [--policy open|closed] [--mapping def|int] [--us F]
+                      [--csv FILE] [--svg FILE]
+  dramstack-cli gap   [--kernel bc|bfs|cc|pr|sssp|tc] [--cores N]
+                      [--scale N] [--degree N] [--policy open|closed]
+                      [--mapping def|int]
+  dramstack-cli trace --input FILE [--cycles N]      # DRAM command trace
+  dramstack-cli reqtrace --input FILE                # memory request trace
+  dramstack-cli extrapolate [synth options] [--to K]
+  dramstack-cli help
+";
+
+fn parse_policy(v: &str) -> Result<PagePolicy, String> {
+    match v {
+        "open" => Ok(PagePolicy::Open),
+        "closed" => Ok(PagePolicy::Closed),
+        other => Err(format!("unknown policy `{other}` (open|closed)")),
+    }
+}
+
+fn parse_mapping(v: &str) -> Result<MappingScheme, String> {
+    match v {
+        "def" | "default" => Ok(MappingScheme::RowBankColumn),
+        "int" | "interleaved" => Ok(MappingScheme::CacheLineInterleaved),
+        "xor" | "permutation" => Ok(MappingScheme::PermutationXor),
+        other => Err(format!("unknown mapping `{other}` (def|int|xor)")),
+    }
+}
+
+fn parse_kernel(v: &str) -> Result<GapKernel, String> {
+    GapKernel::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name() == v)
+        .ok_or_else(|| format!("unknown kernel `{v}` (bc|bfs|cc|pr|sssp|tc)"))
+}
+
+fn parse_synth_args(args: &[String]) -> Result<(SynthArgs, Vec<(String, String)>), String> {
+    let mut out = SynthArgs::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--pattern" => {
+                let v = value("--pattern")?;
+                out.pattern = match v.as_str() {
+                    "seq" | "sequential" => "seq",
+                    "rand" | "random" => "rand",
+                    other => return Err(format!("unknown pattern `{other}` (seq|rand)")),
+                };
+            }
+            "--cores" => out.cores = value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?,
+            "--stores" => out.stores = value("--stores")?.parse().map_err(|e| format!("--stores: {e}"))?,
+            "--policy" => out.policy = parse_policy(&value("--policy")?)?,
+            "--mapping" => out.mapping = parse_mapping(&value("--mapping")?)?,
+            "--us" => out.us = value("--us")?.parse().map_err(|e| format!("--us: {e}"))?,
+            "--csv" => out.csv_out = Some(value("--csv")?),
+            "--svg" => out.svg_out = Some(value("--svg")?),
+            other => rest.push((other.to_string(), value(other).unwrap_or_default())),
+        }
+    }
+    if !(0.0..=1.0).contains(&out.stores) {
+        return Err("--stores must be in [0, 1]".into());
+    }
+    if out.cores == 0 {
+        return Err("--cores must be at least 1".into());
+    }
+    Ok((out, rest))
+}
+
+/// Parses a full command line (without the program name).
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Cli::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Cli::Help),
+        "synth" => {
+            let (synth, rest) = parse_synth_args(&args[1..])?;
+            if let Some((flag, _)) = rest.first() {
+                return Err(format!("unknown flag `{flag}` for synth"));
+            }
+            Ok(Cli::Synth(synth))
+        }
+        "gap" => {
+            let mut out = GapArgs::default();
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--kernel" => out.kernel = parse_kernel(&value("--kernel")?)?,
+                    "--cores" => {
+                        out.cores = value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
+                    }
+                    "--scale" => {
+                        out.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+                    }
+                    "--degree" => {
+                        out.degree =
+                            value("--degree")?.parse().map_err(|e| format!("--degree: {e}"))?;
+                    }
+                    "--policy" => out.policy = parse_policy(&value("--policy")?)?,
+                    "--mapping" => out.mapping = parse_mapping(&value("--mapping")?)?,
+                    other => return Err(format!("unknown flag `{other}` for gap")),
+                }
+            }
+            if out.scale > 20 {
+                return Err("--scale above 20 is impractical for cycle simulation".into());
+            }
+            Ok(Cli::Gap(out))
+        }
+        "trace" => {
+            let mut input = None;
+            let mut cycles = 0u64;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--input" => input = Some(value("--input")?),
+                    "--cycles" => {
+                        cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?;
+                    }
+                    other => return Err(format!("unknown flag `{other}` for trace")),
+                }
+            }
+            let input = input.ok_or("trace requires --input FILE")?;
+            Ok(Cli::Trace { input, cycles })
+        }
+        "reqtrace" => {
+            let mut input = None;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--input" => input = it.next().cloned(),
+                    other => return Err(format!("unknown flag `{other}` for reqtrace")),
+                }
+            }
+            let input = input.ok_or("reqtrace requires --input FILE")?;
+            Ok(Cli::ReqTrace { input })
+        }
+        "extrapolate" => {
+            let mut to = 8.0f64;
+            let mut filtered = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                if args[i] == "--to" {
+                    to = args
+                        .get(i + 1)
+                        .ok_or("--to needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--to: {e}"))?;
+                    i += 2;
+                } else {
+                    filtered.push(args[i].clone());
+                    i += 1;
+                }
+            }
+            let (synth, rest) = parse_synth_args(&filtered)?;
+            if let Some((flag, _)) = rest.first() {
+                return Err(format!("unknown flag `{flag}` for extrapolate"));
+            }
+            if to < 1.0 {
+                return Err("--to must be at least 1".into());
+            }
+            Ok(Cli::Extrapolate { pattern: synth, to })
+        }
+        other => Err(format!("unknown command `{other}`; try `dramstack-cli help`")),
+    }
+}
+
+fn synth_pattern(a: &SynthArgs) -> SyntheticPattern {
+    if a.pattern == "seq" {
+        SyntheticPattern::sequential(a.stores)
+    } else {
+        SyntheticPattern::random(a.stores)
+    }
+}
+
+fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
+    let r = run_synthetic(a.cores, synth_pattern(a), a.policy, a.mapping, a.us);
+    let label = format!("{} {}c", a.pattern, a.cores);
+    println!(
+        "{label}: {:.2} / {:.1} GB/s, read latency {:.1} ns, page-hit {:.1} %",
+        r.achieved_gbps(),
+        r.bandwidth_stack.peak_gbps(),
+        r.avg_read_latency_ns(),
+        r.ctrl_stats.read_hit_rate() * 100.0
+    );
+    let bw_rows = vec![(label.clone(), r.bandwidth_stack.clone())];
+    let lat_rows = vec![(label.clone(), r.latency_stack)];
+    println!("{}", ascii::bandwidth_chart(&bw_rows));
+    println!("{}", ascii::latency_chart(&lat_rows));
+    if let Some(path) = &a.csv_out {
+        std::fs::write(path, csv::bandwidth_csv(&bw_rows)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &a.svg_out {
+        std::fs::write(path, svg::bandwidth_figure(&label, &bw_rows))
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_gap_cmd(a: &GapArgs) -> Result<(), String> {
+    let graph = Graph::kronecker(a.scale, a.degree, 42);
+    println!("graph: {} vertices, {} directed edges", graph.n, graph.edge_count());
+    let r = run_gap(
+        a.kernel,
+        &graph,
+        a.cores,
+        a.policy,
+        a.mapping,
+        32,
+        &GapConfig::default(),
+        1_000_000_000,
+    );
+    println!(
+        "{} {}c: {:.2} ms simulated, {:.2} GB/s, latency {:.1} ns, IPC {:.2}",
+        a.kernel,
+        a.cores,
+        r.elapsed_us / 1000.0,
+        r.achieved_gbps(),
+        r.avg_read_latency_ns(),
+        r.ipc()
+    );
+    let label = format!("{} {}c", a.kernel, a.cores);
+    println!("{}", ascii::bandwidth_chart(&[(label.clone(), r.bandwidth_stack.clone())]));
+    println!("{}", ascii::latency_chart(&[(label, r.latency_stack)]));
+    Ok(())
+}
+
+fn run_trace_cmd(input: &str, cycles: u64) -> Result<(), String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let cmds = dramstack::dram::trace::parse_trace(&text).map_err(|e| e.to_string())?;
+    let total = if cycles > 0 {
+        cycles
+    } else {
+        cmds.last().map(|c| c.at + 500).unwrap_or(1)
+    };
+    let stack = stack_from_trace(&cmds, dramstack::dram::DeviceConfig::ddr4_2400(), total)
+        .map_err(|e| e.to_string())?;
+    println!("{} commands over {total} cycles", cmds.len());
+    println!("{}", ascii::bandwidth_chart(&[("trace".into(), stack)]));
+    Ok(())
+}
+
+fn run_reqtrace_cmd(input: &str) -> Result<(), String> {
+    use dramstack::memctrl::CtrlConfig;
+    use dramstack::sim::replay::{parse_requests, replay_requests};
+    let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let reqs = parse_requests(&text)?;
+    let result = replay_requests(&reqs, CtrlConfig::paper_default(), 12_000, 2_000_000_000)?;
+    println!(
+        "{} reads + {} writes drained in {} cycles",
+        result.reads, result.writes, result.finished_at
+    );
+    println!("{}", ascii::bandwidth_chart(&[("trace".into(), result.bandwidth_stack)]));
+    println!("{}", ascii::latency_chart(&[("trace".into(), result.latency_stack)]));
+    Ok(())
+}
+
+fn run_extrapolate_cmd(a: &SynthArgs, to: f64) -> Result<(), String> {
+    let r = run_synthetic(a.cores, synth_pattern(a), a.policy, a.mapping, a.us);
+    let samples: Vec<_> = r.samples.iter().map(|s| s.bandwidth.clone()).collect();
+    println!(
+        "measured at {} core(s): {:.2} GB/s over {} samples",
+        a.cores,
+        r.achieved_gbps(),
+        samples.len()
+    );
+    println!("predicted at {to:.0}x cores:");
+    println!("  naive : {:.2} GB/s", predict_bandwidth_naive(&samples, to));
+    println!("  stack : {:.2} GB/s", predict_bandwidth_stack(&samples, to));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &cli {
+        Cli::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Cli::Synth(a) => run_synth_cmd(a),
+        Cli::Gap(a) => run_gap_cmd(a),
+        Cli::Trace { input, cycles } => run_trace_cmd(input, *cycles),
+        Cli::ReqTrace { input } => run_reqtrace_cmd(input),
+        Cli::Extrapolate { pattern, to } => run_extrapolate_cmd(pattern, *to),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_synth_defaults_and_flags() {
+        let cli = parse_cli(&args("synth")).unwrap();
+        assert_eq!(cli, Cli::Synth(SynthArgs::default()));
+        let cli = parse_cli(&args(
+            "synth --pattern rand --cores 8 --stores 0.5 --policy closed --mapping int --us 50",
+        ))
+        .unwrap();
+        match cli {
+            Cli::Synth(a) => {
+                assert_eq!(a.pattern, "rand");
+                assert_eq!(a.cores, 8);
+                assert!((a.stores - 0.5).abs() < 1e-12);
+                assert_eq!(a.policy, PagePolicy::Closed);
+                assert_eq!(a.mapping, MappingScheme::CacheLineInterleaved);
+                assert!((a.us - 50.0).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_gap() {
+        let cli = parse_cli(&args("gap --kernel tc --cores 2 --scale 10")).unwrap();
+        match cli {
+            Cli::Gap(a) => {
+                assert_eq!(a.kernel, GapKernel::Tc);
+                assert_eq!(a.cores, 2);
+                assert_eq!(a.scale, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_trace_requires_input() {
+        assert!(parse_cli(&args("trace")).is_err());
+        let cli = parse_cli(&args("trace --input t.txt --cycles 500")).unwrap();
+        assert_eq!(cli, Cli::Trace { input: "t.txt".into(), cycles: 500 });
+    }
+
+    #[test]
+    fn parse_extrapolate_mixes_flags() {
+        let cli = parse_cli(&args("extrapolate --pattern rand --to 16 --cores 2")).unwrap();
+        match cli {
+            Cli::Extrapolate { pattern, to } => {
+                assert_eq!(pattern.pattern, "rand");
+                assert_eq!(pattern.cores, 2);
+                assert!((to - 16.0).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(parse_cli(&args("synth --pattern diagonal")).is_err());
+        assert!(parse_cli(&args("synth --stores 1.5")).is_err());
+        assert!(parse_cli(&args("synth --cores 0")).is_err());
+        assert!(parse_cli(&args("gap --kernel quicksort")).is_err());
+        assert!(parse_cli(&args("gap --scale 30")).is_err());
+        assert!(parse_cli(&args("frobnicate")).is_err());
+        assert!(parse_cli(&args("extrapolate --to 0.5")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse_cli(&[]).unwrap(), Cli::Help);
+        assert_eq!(parse_cli(&args("help")).unwrap(), Cli::Help);
+        assert_eq!(parse_cli(&args("--help")).unwrap(), Cli::Help);
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end tests of the GAP kernels through the full simulator.
+
+use dramstack::memctrl::{MappingScheme, PagePolicy};
+use dramstack::sim::experiments::{fig9_kernel, run_gap, ExperimentScale};
+use dramstack::sim::{Simulator, SystemConfig};
+use dramstack::workloads::{GapConfig, GapKernel, Graph};
+
+fn tiny_graph() -> Graph {
+    Graph::kronecker(7, 4, 99)
+}
+
+#[test]
+fn every_kernel_completes_and_produces_consistent_stacks() {
+    let g = tiny_graph();
+    for kernel in GapKernel::ALL {
+        let r = run_gap(
+            kernel,
+            &g,
+            2,
+            PagePolicy::Closed,
+            MappingScheme::RowBankColumn,
+            32,
+            &GapConfig::default(),
+            50_000_000,
+        );
+        assert!(r.instrs_retired > 100, "{kernel}: {} instrs", r.instrs_retired);
+        assert!(r.bandwidth_stack.is_consistent(), "{kernel}");
+        assert!(r.sim_cycles < 50_000_000, "{kernel} must finish, not hit the cap");
+        if kernel != GapKernel::Tc {
+            assert!(r.latency_stack.reads > 0, "{kernel} must read DRAM");
+        }
+    }
+}
+
+#[test]
+fn kernels_scale_with_cores() {
+    let g = tiny_graph();
+    let cfg = GapConfig::default();
+    let run = |cores| {
+        run_gap(
+            GapKernel::Pr,
+            &g,
+            cores,
+            PagePolicy::Closed,
+            MappingScheme::RowBankColumn,
+            32,
+            &cfg,
+            50_000_000,
+        )
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(
+        four.sim_cycles < one.sim_cycles,
+        "4 cores should finish PageRank faster: {} !< {}",
+        four.sim_cycles,
+        one.sim_cycles
+    );
+    // Same total work either way.
+    let ratio = four.instrs_retired as f64 / one.instrs_retired as f64;
+    assert!((0.95..1.05).contains(&ratio), "instruction counts match: {ratio}");
+}
+
+#[test]
+fn barriers_do_not_deadlock_with_unbalanced_chunks() {
+    // 3 cores over a graph whose vertex count is not divisible by 3.
+    let g = Graph::uniform(100, 6, 5);
+    let traces = GapKernel::Cc.trace(&g, 3, &GapConfig::default());
+    let cfg = SystemConfig::paper_gap(3);
+    let mut sim = Simulator::with_traces(cfg, traces);
+    let r = sim.run_to_completion(20_000_000);
+    assert!(sim.finished(), "cc on 3 cores must not deadlock");
+    assert!(r.instrs_retired > 0);
+}
+
+#[test]
+fn fig9_quick_predictions_bracket_reasonably() {
+    let scale = ExperimentScale::quick();
+    let row = fig9_kernel(GapKernel::Bfs, &scale);
+    // Predictions are positive, stack ≤ naive, and within 3× of truth.
+    assert!(row.stack > 0.0 && row.naive > 0.0);
+    assert!(row.stack <= row.naive + 1e-9);
+    assert!(row.stack_error() < 2.0, "stack error {:.2}", row.stack_error());
+}
+
+#[test]
+fn through_time_samples_cover_the_whole_run() {
+    let g = tiny_graph();
+    let r = run_gap(
+        GapKernel::Bfs,
+        &g,
+        2,
+        PagePolicy::Closed,
+        MappingScheme::RowBankColumn,
+        32,
+        &GapConfig::default(),
+        50_000_000,
+    );
+    let covered: u64 = r.samples.iter().map(|s| s.cycles).sum();
+    assert_eq!(covered, r.sim_cycles, "samples partition the timeline");
+    for w in r.samples.windows(2) {
+        assert_eq!(w[0].start_cycle + w[0].cycles, w[1].start_cycle);
+    }
+}

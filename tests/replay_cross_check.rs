@@ -1,0 +1,93 @@
+//! Cross-checks between the three ways to obtain a bandwidth stack for
+//! the same traffic: request-trace replay, command-trace offline
+//! analysis, and direct online accounting inside the replay.
+
+use dramstack::dram::DeviceConfig;
+use dramstack::memctrl::CtrlConfig;
+use dramstack::sim::replay::{parse_requests, replay_requests, write_requests, MemRequest};
+use dramstack::stacks::offline::stack_from_trace;
+use dramstack::stacks::BwComponent;
+
+fn sample_requests() -> Vec<MemRequest> {
+    let mut reqs = Vec::new();
+    let mut addr = 0u64;
+    for i in 0..300u64 {
+        // Mostly sequential reads with periodic strided writes.
+        reqs.push(MemRequest { at: i * 10, write: i % 5 == 4, addr });
+        addr = if i % 5 == 4 { (addr + 1 << 17) % (1 << 29) } else { addr + 64 };
+    }
+    reqs
+}
+
+#[test]
+fn replay_and_offline_agree_on_exact_components() {
+    let reqs = sample_requests();
+    // Replay with a command-tracing controller by reimplementing the
+    // replay loop? No need: replay twice — once normally, once through a
+    // controller with tracing enabled via the same entry point. The
+    // replay module uses a plain controller internally, so we drive our
+    // own traced controller with the identical feed logic instead.
+    let cfg = CtrlConfig::paper_default();
+    let result = replay_requests(&reqs, cfg.clone(), 5_000, 10_000_000).unwrap();
+
+    // Manual replica with command tracing.
+    let mut ctrl = dramstack::memctrl::MemoryController::new(cfg);
+    ctrl.enable_command_trace();
+    let mut view = dramstack::dram::CycleView::idle(ctrl.total_banks());
+    let mut next = 0usize;
+    let mut now = 0u64;
+    while next < reqs.len() || !ctrl.is_idle() {
+        while next < reqs.len() && reqs[next].at <= now {
+            let r = reqs[next];
+            if r.write {
+                if !ctrl.can_accept_write() {
+                    break;
+                }
+                ctrl.enqueue_write(r.addr);
+            } else {
+                if !ctrl.can_accept_read() {
+                    break;
+                }
+                ctrl.enqueue_read(r.addr, 0);
+            }
+            next += 1;
+        }
+        ctrl.tick(now, &mut view);
+        ctrl.drain_completions().for_each(drop);
+        now += 1;
+    }
+    assert_eq!(now, result.finished_at, "identical feed logic, identical timing");
+
+    let offline =
+        stack_from_trace(&ctrl.take_command_trace(), DeviceConfig::ddr4_2400(), now).unwrap();
+    for c in [BwComponent::Read, BwComponent::Write, BwComponent::Refresh] {
+        assert!(
+            (result.bandwidth_stack.gbps(c) - offline.gbps(c)).abs() < 1e-9,
+            "{c}: replay {} vs offline {}",
+            result.bandwidth_stack.gbps(c),
+            offline.gbps(c)
+        );
+    }
+    assert!(offline.is_consistent());
+    assert!(result.bandwidth_stack.is_consistent());
+}
+
+#[test]
+fn request_trace_text_roundtrip_preserves_replay() {
+    let reqs = sample_requests();
+    let text = write_requests(&reqs);
+    let parsed = parse_requests(&text).unwrap();
+    assert_eq!(parsed, reqs);
+    let a = replay_requests(&reqs, CtrlConfig::paper_default(), 5_000, 10_000_000).unwrap();
+    let b = replay_requests(&parsed, CtrlConfig::paper_default(), 5_000, 10_000_000).unwrap();
+    assert_eq!(a.bandwidth_stack, b.bandwidth_stack);
+    assert_eq!(a.finished_at, b.finished_at);
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let reqs = sample_requests();
+    let a = replay_requests(&reqs, CtrlConfig::paper_default(), 3_000, 10_000_000).unwrap();
+    let b = replay_requests(&reqs, CtrlConfig::paper_default(), 3_000, 10_000_000).unwrap();
+    assert_eq!(a, b);
+}

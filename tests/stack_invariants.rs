@@ -1,0 +1,97 @@
+//! Property-based tests of the stack-accounting invariants across random
+//! configurations of the full system.
+
+use proptest::prelude::*;
+
+use dramstack::memctrl::{MappingScheme, PagePolicy};
+use dramstack::sim::experiments::run_synthetic;
+use dramstack::stacks::{extrapolate_stack, BwComponent, LatComponent};
+use dramstack::workloads::{PatternKind, SyntheticPattern};
+
+fn arbitrary_pattern() -> impl Strategy<Value = SyntheticPattern> {
+    (
+        prop_oneof![Just(PatternKind::Sequential), Just(PatternKind::Random)],
+        0u32..=100,
+        1u8..=8,
+        any::<u64>(),
+    )
+        .prop_map(|(kind, store_pct, chains, seed)| {
+            let mut p = match kind {
+                PatternKind::Sequential => SyntheticPattern::sequential(f64::from(store_pct) / 100.0),
+                PatternKind::Random => SyntheticPattern::random(f64::from(store_pct) / 100.0),
+            };
+            p.chains = chains;
+            p.seed = seed;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the workload, the bandwidth stack partitions total time:
+    /// all components non-negative and summing to the peak.
+    #[test]
+    fn bandwidth_stack_partitions_time(
+        pattern in arbitrary_pattern(),
+        cores in 1usize..=4,
+        policy in prop_oneof![Just(PagePolicy::Open), Just(PagePolicy::Closed)],
+        mapping in prop_oneof![
+            Just(MappingScheme::RowBankColumn),
+            Just(MappingScheme::CacheLineInterleaved)
+        ],
+    ) {
+        let r = run_synthetic(cores, pattern, policy, mapping, 10.0);
+        prop_assert!(r.bandwidth_stack.is_consistent());
+        prop_assert!((r.bandwidth_stack.total_gbps() - 19.2).abs() < 1e-6);
+        for c in BwComponent::ALL {
+            prop_assert!(r.bandwidth_stack.gbps(c) >= -1e-9, "{c} negative");
+        }
+        // Achieved bandwidth never exceeds peak − refresh.
+        let cap = 19.2 - r.bandwidth_stack.gbps(BwComponent::Refresh);
+        prop_assert!(r.achieved_gbps() <= cap + 1e-6);
+    }
+
+    /// Latency components are non-negative and sum to the total for every
+    /// run; base is a true lower bound on the average.
+    #[test]
+    fn latency_stack_components_sum(
+        pattern in arbitrary_pattern(),
+        cores in 1usize..=4,
+    ) {
+        let r = run_synthetic(cores, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, 10.0);
+        if r.latency_stack.reads == 0 {
+            return Ok(());
+        }
+        let total: f64 = LatComponent::ALL.iter().map(|&c| r.latency_stack.ns(c)).sum();
+        prop_assert!((total - r.latency_stack.total_ns()).abs() < 1e-9);
+        for c in LatComponent::ALL {
+            prop_assert!(r.latency_stack.ns(c) >= 0.0);
+        }
+        // Base = controller overhead + CL + burst (in ns at 1.2 GHz).
+        let base = (30.0 + 17.0 + 4.0) * (1000.0 / 1200.0);
+        prop_assert!((r.latency_stack.base_ns() - base).abs() < 0.01);
+        prop_assert!(r.latency_stack.total_ns() >= base - 1e-9);
+    }
+
+    /// Extrapolation invariants hold on arbitrary measured stacks.
+    #[test]
+    fn extrapolation_preserves_stack_invariants(
+        pattern in arbitrary_pattern(),
+        k in 1.0f64..16.0,
+    ) {
+        let r = run_synthetic(1, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, 10.0);
+        let e = extrapolate_stack(&r.bandwidth_stack, k);
+        prop_assert!(e.is_consistent());
+        prop_assert!((e.total_gbps() - 19.2).abs() < 1e-6);
+        // Refresh untouched; idle kinds never scale up.
+        prop_assert!(
+            (e.gbps(BwComponent::Refresh) - r.bandwidth_stack.gbps(BwComponent::Refresh)).abs()
+                < 1e-9
+        );
+        prop_assert!(e.achieved_gbps() <= 19.2 - e.gbps(BwComponent::Refresh) + 1e-6);
+        // Monotone in k: more cores never predict less bandwidth.
+        let e_half = extrapolate_stack(&r.bandwidth_stack, k / 2.0);
+        prop_assert!(e.achieved_gbps() >= e_half.achieved_gbps() - 1e-9);
+    }
+}
