@@ -12,7 +12,9 @@ use dramstack_workloads::SyntheticPattern;
 
 fn run_with_ctrl(mut cfg: SystemConfig, pattern: SyntheticPattern, us: f64) -> f64 {
     cfg.sample_period = 12_000;
-    Simulator::with_synthetic(cfg, pattern).run_for_us(us).achieved_gbps()
+    Simulator::with_synthetic(cfg, pattern)
+        .run_for_us(us)
+        .achieved_gbps()
 }
 
 /// FR-FCFS vs strict FCFS on the random pattern (row hits matter).
@@ -22,15 +24,35 @@ fn ablation_scheduler(c: &mut Criterion) {
         cfg.ctrl.scheduler = sched;
         cfg
     };
-    let frfcfs = run_with_ctrl(mk(SchedulerPolicy::FrFcfs), SyntheticPattern::random(0.2), 25.0);
-    let fcfs = run_with_ctrl(mk(SchedulerPolicy::Fcfs), SyntheticPattern::random(0.2), 25.0);
+    let frfcfs = run_with_ctrl(
+        mk(SchedulerPolicy::FrFcfs),
+        SyntheticPattern::random(0.2),
+        25.0,
+    );
+    let fcfs = run_with_ctrl(
+        mk(SchedulerPolicy::Fcfs),
+        SyntheticPattern::random(0.2),
+        25.0,
+    );
     println!("ablation_scheduler: FR-FCFS {frfcfs:.2} GB/s vs FCFS {fcfs:.2} GB/s");
     assert!(frfcfs >= fcfs * 0.95, "FR-FCFS should not lose to FCFS");
     c.bench_function("ablation/scheduler_frfcfs", |b| {
-        b.iter(|| run_with_ctrl(mk(SchedulerPolicy::FrFcfs), SyntheticPattern::random(0.2), 5.0))
+        b.iter(|| {
+            run_with_ctrl(
+                mk(SchedulerPolicy::FrFcfs),
+                SyntheticPattern::random(0.2),
+                5.0,
+            )
+        })
     });
     c.bench_function("ablation/scheduler_fcfs", |b| {
-        b.iter(|| run_with_ctrl(mk(SchedulerPolicy::Fcfs), SyntheticPattern::random(0.2), 5.0))
+        b.iter(|| {
+            run_with_ctrl(
+                mk(SchedulerPolicy::Fcfs),
+                SyntheticPattern::random(0.2),
+                5.0,
+            )
+        })
     });
 }
 
@@ -47,11 +69,9 @@ fn ablation_accounting(c: &mut Criterion) {
         // matters most.
         let mut next_addr = 0u64;
         for now in 0..us_cycles {
-            if now % 12 == 0 {
-                if ctrl.can_accept_read() {
-                    ctrl.enqueue_read(next_addr, 0);
-                    next_addr += 64;
-                }
+            if now % 12 == 0 && ctrl.can_accept_read() {
+                ctrl.enqueue_read(next_addr, 0);
+                next_addr += 64;
             }
             ctrl.tick(now, &mut view);
             split.account(&view);
@@ -69,7 +89,9 @@ fn ablation_accounting(c: &mut Criterion) {
     // The first-cause accounting hides bank parallelism loss entirely.
     assert_eq!(first.gbps(BwComponent::BankIdle), 0.0);
     assert!(split.gbps(BwComponent::BankIdle) > 0.0);
-    c.bench_function("ablation/accounting_split", |b| b.iter(|| run_both(12_000).0));
+    c.bench_function("ablation/accounting_split", |b| {
+        b.iter(|| run_both(12_000).0)
+    });
 }
 
 /// Write-queue watermark sweep on the store-heavy sequential pattern.
@@ -96,12 +118,29 @@ fn ablation_ddr4_3200(c: &mut Criterion) {
         cfg.ctrl.device = dev;
         cfg
     };
-    let slow = run_with_ctrl(mk(DeviceConfig::ddr4_2400()), SyntheticPattern::sequential(0.0), 25.0);
-    let fast = run_with_ctrl(mk(DeviceConfig::ddr4_3200()), SyntheticPattern::sequential(0.0), 25.0);
+    let slow = run_with_ctrl(
+        mk(DeviceConfig::ddr4_2400()),
+        SyntheticPattern::sequential(0.0),
+        25.0,
+    );
+    let fast = run_with_ctrl(
+        mk(DeviceConfig::ddr4_3200()),
+        SyntheticPattern::sequential(0.0),
+        25.0,
+    );
     println!("ablation_ddr4: 2400 -> {slow:.2} GB/s, 3200 -> {fast:.2} GB/s");
-    assert!(fast > slow, "DDR4-3200 should beat DDR4-2400 when saturated");
+    assert!(
+        fast > slow,
+        "DDR4-3200 should beat DDR4-2400 when saturated"
+    );
     c.bench_function("ablation/ddr4_3200", |b| {
-        b.iter(|| run_with_ctrl(mk(DeviceConfig::ddr4_3200()), SyntheticPattern::sequential(0.0), 5.0))
+        b.iter(|| {
+            run_with_ctrl(
+                mk(DeviceConfig::ddr4_3200()),
+                SyntheticPattern::sequential(0.0),
+                5.0,
+            )
+        })
     });
 }
 

@@ -5,12 +5,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use dramstack_memctrl::{MappingScheme, PagePolicy};
-use dramstack_sim::experiments::{
-    self, run_gap, run_synthetic, ExperimentScale,
-};
+use dramstack_sim::experiments::{self, run_gap, run_synthetic, ExperimentScale};
 use dramstack_workloads::{GapKernel, SyntheticPattern};
 
-fn synth(c: &mut Criterion, id: &str, cores: usize, p: SyntheticPattern, pol: PagePolicy, map: MappingScheme) {
+fn synth(
+    c: &mut Criterion,
+    id: &str,
+    cores: usize,
+    p: SyntheticPattern,
+    pol: PagePolicy,
+    map: MappingScheme,
+) {
     c.bench_function(id, |b| {
         b.iter(|| run_synthetic(cores, p, pol, map, 10.0).achieved_gbps())
     });
@@ -22,23 +27,79 @@ fn fig2_readonly_scaling(c: &mut Criterion) {
     for r in &rows {
         println!("fig2 {}: {:.2} GB/s", r.label, r.report.achieved_gbps());
     }
-    synth(c, "fig2/seq_1c", 1, SyntheticPattern::sequential(0.0), PagePolicy::Open, MappingScheme::RowBankColumn);
-    synth(c, "fig2/rand_8c", 8, SyntheticPattern::random(0.0), PagePolicy::Open, MappingScheme::RowBankColumn);
+    synth(
+        c,
+        "fig2/seq_1c",
+        1,
+        SyntheticPattern::sequential(0.0),
+        PagePolicy::Open,
+        MappingScheme::RowBankColumn,
+    );
+    synth(
+        c,
+        "fig2/rand_8c",
+        8,
+        SyntheticPattern::random(0.0),
+        PagePolicy::Open,
+        MappingScheme::RowBankColumn,
+    );
 }
 
 fn fig3_store_fraction(c: &mut Criterion) {
-    synth(c, "fig3/seq_w50_1c", 1, SyntheticPattern::sequential(0.5), PagePolicy::Open, MappingScheme::RowBankColumn);
-    synth(c, "fig3/rand_w50_1c", 1, SyntheticPattern::random(0.5), PagePolicy::Open, MappingScheme::RowBankColumn);
+    synth(
+        c,
+        "fig3/seq_w50_1c",
+        1,
+        SyntheticPattern::sequential(0.5),
+        PagePolicy::Open,
+        MappingScheme::RowBankColumn,
+    );
+    synth(
+        c,
+        "fig3/rand_w50_1c",
+        1,
+        SyntheticPattern::random(0.5),
+        PagePolicy::Open,
+        MappingScheme::RowBankColumn,
+    );
 }
 
 fn fig4_page_policy(c: &mut Criterion) {
-    synth(c, "fig4/seq_closed_2c", 2, SyntheticPattern::sequential(0.0), PagePolicy::Closed, MappingScheme::RowBankColumn);
-    synth(c, "fig4/rand_closed_2c", 2, SyntheticPattern::random(0.0), PagePolicy::Closed, MappingScheme::RowBankColumn);
+    synth(
+        c,
+        "fig4/seq_closed_2c",
+        2,
+        SyntheticPattern::sequential(0.0),
+        PagePolicy::Closed,
+        MappingScheme::RowBankColumn,
+    );
+    synth(
+        c,
+        "fig4/rand_closed_2c",
+        2,
+        SyntheticPattern::random(0.0),
+        PagePolicy::Closed,
+        MappingScheme::RowBankColumn,
+    );
 }
 
 fn fig6_bank_indexing(c: &mut Criterion) {
-    synth(c, "fig6/seq_w50_int", 1, SyntheticPattern::sequential(0.5), PagePolicy::Open, MappingScheme::CacheLineInterleaved);
-    synth(c, "fig6/seq_closed_int_2c", 2, SyntheticPattern::sequential(0.0), PagePolicy::Closed, MappingScheme::CacheLineInterleaved);
+    synth(
+        c,
+        "fig6/seq_w50_int",
+        1,
+        SyntheticPattern::sequential(0.5),
+        PagePolicy::Open,
+        MappingScheme::CacheLineInterleaved,
+    );
+    synth(
+        c,
+        "fig6/seq_closed_int_2c",
+        2,
+        SyntheticPattern::sequential(0.0),
+        PagePolicy::Closed,
+        MappingScheme::CacheLineInterleaved,
+    );
 }
 
 fn fig7_through_time(c: &mut Criterion) {

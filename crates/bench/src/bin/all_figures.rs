@@ -8,10 +8,26 @@ fn main() {
     let scale = scale_from_args();
     let t0 = std::time::Instant::now();
 
-    emit_figure("fig2", "Fig. 2: read-only seq/random, 1-8 cores", &experiments::fig2(&scale));
-    emit_figure("fig3", "Fig. 3: store fraction sweep, 1 core", &experiments::fig3(&scale));
-    emit_figure("fig4", "Fig. 4: open vs closed page policy, 2 cores", &experiments::fig4(&scale));
-    emit_figure("fig6", "Fig. 6: default vs interleaved indexing", &experiments::fig6(&scale));
+    emit_figure(
+        "fig2",
+        "Fig. 2: read-only seq/random, 1-8 cores",
+        &experiments::fig2(&scale),
+    );
+    emit_figure(
+        "fig3",
+        "Fig. 3: store fraction sweep, 1 core",
+        &experiments::fig3(&scale),
+    );
+    emit_figure(
+        "fig4",
+        "Fig. 4: open vs closed page policy, 2 cores",
+        &experiments::fig4(&scale),
+    );
+    emit_figure(
+        "fig6",
+        "Fig. 6: default vs interleaved indexing",
+        &experiments::fig6(&scale),
+    );
 
     // Figs. 7–9 have dedicated binaries with richer output; run their
     // drivers here for the artifacts.
@@ -39,10 +55,16 @@ fn main() {
     println!("fig8: {} latency-stack variants", rows8.len());
 
     let rows9 = experiments::fig9(&scale);
-    let avg_naive: f64 =
-        rows9.iter().map(experiments::Fig9Row::naive_error).sum::<f64>() / rows9.len() as f64;
-    let avg_stack: f64 =
-        rows9.iter().map(experiments::Fig9Row::stack_error).sum::<f64>() / rows9.len() as f64;
+    let avg_naive: f64 = rows9
+        .iter()
+        .map(experiments::Fig9Row::naive_error)
+        .sum::<f64>()
+        / rows9.len() as f64;
+    let avg_stack: f64 = rows9
+        .iter()
+        .map(experiments::Fig9Row::stack_error)
+        .sum::<f64>()
+        / rows9.len() as f64;
     println!(
         "fig9: avg extrapolation error naive {:.1} % vs stack {:.1} %",
         avg_naive * 100.0,

@@ -42,10 +42,17 @@ fn main() {
         std::fs::write(&path, content).expect("write results");
         println!("wrote {}", path.display());
     };
-    write("fig7_samples.csv", csv::samples_csv(&report.samples, cycle_ns));
+    write(
+        "fig7_samples.csv",
+        csv::samples_csv(&report.samples, cycle_ns),
+    );
     write(
         "fig7_bandwidth.svg",
-        svg::through_time_figure("Fig. 7: bfs 8c — bandwidth through time", &report.samples, cycle_ns),
+        svg::through_time_figure(
+            "Fig. 7: bfs 8c — bandwidth through time",
+            &report.samples,
+            cycle_ns,
+        ),
     );
     // Cycle-stack series CSV.
     let mut cyc = String::from("window");

@@ -9,7 +9,10 @@ fn main() {
     let rows = fig9(&scale);
 
     println!("=== Fig. 9: bandwidth extrapolation 1c -> 8c ===");
-    println!("{:6} {:>10} {:>10} {:>10} {:>10} {:>10}", "kernel", "measured", "naive", "err%", "stack", "err%");
+    println!(
+        "{:6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "kernel", "measured", "naive", "err%", "stack", "err%"
+    );
     let mut csv = String::from("kernel,measured_8c,naive,naive_err,stack,stack_err\n");
     let (mut naive_sum, mut stack_sum) = (0.0, 0.0);
     for r in &rows {

@@ -33,12 +33,16 @@ pub fn scale_from_args() -> ExperimentScale {
 
 /// Extracts `(label, bandwidth stack)` pairs from synthetic rows.
 pub fn bw_rows(rows: &[SynthRow]) -> Vec<(String, BandwidthStack)> {
-    rows.iter().map(|r| (r.label.clone(), r.report.bandwidth_stack.clone())).collect()
+    rows.iter()
+        .map(|r| (r.label.clone(), r.report.bandwidth_stack.clone()))
+        .collect()
 }
 
 /// Extracts `(label, latency stack)` pairs from synthetic rows.
 pub fn lat_rows(rows: &[SynthRow]) -> Vec<(String, LatencyStack)> {
-    rows.iter().map(|r| (r.label.clone(), r.report.latency_stack)).collect()
+    rows.iter()
+        .map(|r| (r.label.clone(), r.report.latency_stack))
+        .collect()
 }
 
 /// Prints a figure's bandwidth + latency charts and writes its CSV/SVG

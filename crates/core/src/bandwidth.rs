@@ -165,7 +165,9 @@ impl FirstCauseAccountant {
     /// Creates an accountant with the same parameters as
     /// [`BandwidthAccountant::new`].
     pub fn new(n_banks: usize, peak_gbps: f64) -> Self {
-        FirstCauseAccountant { inner: BandwidthAccountant::new(n_banks, peak_gbps) }
+        FirstCauseAccountant {
+            inner: BandwidthAccountant::new(n_banks, peak_gbps),
+        }
     }
 
     /// Classifies one cycle, whole-cycle-to-first-cause.

@@ -50,7 +50,11 @@ pub fn extrapolate_stack(stack: &BandwidthStack, k: f64) -> BandwidthStack {
     let budget = 1.0 - refresh;
     // Proportional rescale on overflow ("scale down the components
     // proportionally, such that the total stack equals the peak").
-    let ratio = if scaled_sum > budget && scaled_sum > 0.0 { budget / scaled_sum } else { 1.0 };
+    let ratio = if scaled_sum > budget && scaled_sum > 0.0 {
+        budget / scaled_sum
+    } else {
+        1.0
+    };
 
     let mut out = BandwidthStack::empty(stack.peak_gbps);
     out.total_cycles = stack.total_cycles;
@@ -87,7 +91,11 @@ fn weighted_average(samples: &[BandwidthStack], f: impl Fn(&BandwidthStack) -> f
     if total == 0 {
         return 0.0;
     }
-    samples.iter().map(|s| f(s) * s.total_cycles as f64).sum::<f64>() / total as f64
+    samples
+        .iter()
+        .map(|s| f(s) * s.total_cycles as f64)
+        .sum::<f64>()
+        / total as f64
 }
 
 #[cfg(test)]
@@ -132,9 +140,12 @@ mod tests {
             (BwComponent::BankIdle, 0.21),
             (BwComponent::Idle, 0.50),
         ]);
-        let stack_pred = predict_bandwidth_stack(&[s.clone()], 8.0);
+        let stack_pred = predict_bandwidth_stack(std::slice::from_ref(&s), 8.0);
         let naive_pred = predict_bandwidth_naive(&[s], 8.0);
-        assert!(stack_pred < naive_pred, "stack {stack_pred} < naive {naive_pred}");
+        assert!(
+            stack_pred < naive_pred,
+            "stack {stack_pred} < naive {naive_pred}"
+        );
         // Scaled active fraction: 0.25 × 8 = 2.0; budget 0.96; achieved
         // fraction = 0.10 × 8 × 0.96 / 2.0 = 0.384.
         assert!((stack_pred - 0.384 * 19.2).abs() < 1e-9);

@@ -59,11 +59,14 @@ impl LatencyAccountant {
     pub fn stack(&self, cycle_ns: f64) -> LatencyStack {
         let mut avg_ns = [0.0; LatComponent::COUNT];
         if self.count > 0 {
-            for i in 0..LatComponent::COUNT {
-                avg_ns[i] = self.sums[i] as f64 / self.count as f64 * cycle_ns;
+            for (avg, sum) in avg_ns.iter_mut().zip(self.sums.iter()) {
+                *avg = *sum as f64 / self.count as f64 * cycle_ns;
             }
         }
-        LatencyStack { avg_ns, reads: self.count }
+        LatencyStack {
+            avg_ns,
+            reads: self.count,
+        }
     }
 
     /// Returns the stack accumulated since the last call and resets.
@@ -88,7 +91,10 @@ pub struct LatencyStack {
 impl LatencyStack {
     /// An empty stack (no reads observed).
     pub fn empty() -> Self {
-        LatencyStack { avg_ns: [0.0; LatComponent::COUNT], reads: 0 }
+        LatencyStack {
+            avg_ns: [0.0; LatComponent::COUNT],
+            reads: 0,
+        }
     }
 
     /// Average latency of component `c` in nanoseconds.

@@ -24,8 +24,8 @@ use std::error::Error;
 use std::fmt;
 
 use dramstack_dram::{
-    BankActivity, BankState, BlockLevel, BlockReason, CommandError, Cycle, CycleView,
-    DeviceConfig, DramDevice, TimedCommand,
+    BankActivity, BankState, BlockLevel, BlockReason, CommandError, Cycle, CycleView, DeviceConfig,
+    DramDevice, TimedCommand,
 };
 
 use crate::bandwidth::BandwidthAccountant;
@@ -56,7 +56,11 @@ impl fmt::Display for OfflineError {
                 write!(f, "trace not sorted by cycle at record {index}")
             }
             OfflineError::CommandRejected { cmd, source } => {
-                write!(f, "device rejected `{}` at cycle {}: {source}", cmd.cmd, cmd.at)
+                write!(
+                    f,
+                    "device rejected `{}` at cycle {}: {source}",
+                    cmd.cmd, cmd.at
+                )
             }
         }
     }

@@ -23,7 +23,11 @@ pub struct BandwidthStack {
 impl BandwidthStack {
     /// An empty stack for a channel with the given peak bandwidth.
     pub fn empty(peak_gbps: f64) -> Self {
-        BandwidthStack { weights: [0.0; BwComponent::COUNT], total_cycles: 0, peak_gbps }
+        BandwidthStack {
+            weights: [0.0; BwComponent::COUNT],
+            total_cycles: 0,
+            peak_gbps,
+        }
     }
 
     /// Fraction of all cycles attributed to `c`, in `[0, 1]`.
@@ -74,7 +78,9 @@ impl BandwidthStack {
 
     /// `(component, GB/s)` pairs in stack order — convenient for rendering.
     pub fn rows(&self) -> Vec<(BwComponent, f64)> {
-        BwComponent::ALL.iter().map(|&c| (c, self.gbps(c)))
+        BwComponent::ALL
+            .iter()
+            .map(|&c| (c, self.gbps(c)))
             .collect()
     }
 
@@ -101,7 +107,10 @@ impl BandwidthStack {
                 (s.peak_gbps - first.peak_gbps).abs() < 1e-9,
                 "channels must share a peak bandwidth"
             );
-            assert_eq!(s.total_cycles, first.total_cycles, "channels must cover equal time");
+            assert_eq!(
+                s.total_cycles, first.total_cycles,
+                "channels must cover equal time"
+            );
             for i in 0..BwComponent::COUNT {
                 out.weights[i] += s.weights[i] / n;
             }

@@ -9,6 +9,11 @@ use serde::{Deserialize, Serialize};
 
 use dramstack_dram::{Cycle, CycleView};
 use dramstack_memctrl::LatencyBreakdown;
+use dramstack_obs::{
+    metrics::{CounterId, HistogramId},
+    window::QUEUE_DEPTH_BOUNDS,
+    CtrlWindowStats, MetricsRegistry,
+};
 
 use crate::bandwidth::BandwidthAccountant;
 use crate::latency::{LatencyAccountant, LatencyStack};
@@ -25,6 +30,9 @@ pub struct TimeSample {
     pub bandwidth: BandwidthStack,
     /// The latency stack of reads completing in this window.
     pub latency: LatencyStack,
+    /// Controller health over this window (queue depths, row-hit rate,
+    /// drain occupancy), sampled from the per-cycle [`CycleView`] fields.
+    pub ctrl: CtrlWindowStats,
 }
 
 /// Samples bandwidth and latency stacks every fixed number of cycles.
@@ -37,6 +45,14 @@ pub struct StackSampler {
     window_start: Cycle,
     accounted: u64,
     samples: Vec<TimeSample>,
+    /// Per-window controller-health metrics, accumulated from the view and
+    /// snapshot into [`TimeSample::ctrl`] at each roll.
+    metrics: MetricsRegistry,
+    m_cas: CounterId,
+    m_cas_hits: CounterId,
+    m_drain_cycles: CounterId,
+    m_read_depth: HistogramId,
+    m_write_depth: HistogramId,
 }
 
 impl StackSampler {
@@ -49,6 +65,12 @@ impl StackSampler {
     /// Panics if `period` is zero.
     pub fn new(n_banks: usize, peak_gbps: f64, cycle_ns: f64, period: Cycle) -> Self {
         assert!(period > 0, "sampling period must be nonzero");
+        let mut metrics = MetricsRegistry::new();
+        let m_cas = metrics.counter("cas");
+        let m_cas_hits = metrics.counter("cas_hits");
+        let m_drain_cycles = metrics.counter("drain_cycles");
+        let m_read_depth = metrics.histogram("read_queue_depth", &QUEUE_DEPTH_BOUNDS);
+        let m_write_depth = metrics.histogram("write_queue_depth", &QUEUE_DEPTH_BOUNDS);
         StackSampler {
             bw: BandwidthAccountant::new(n_banks, peak_gbps),
             lat: LatencyAccountant::new(),
@@ -57,12 +79,31 @@ impl StackSampler {
             window_start: 0,
             accounted: 0,
             samples: Vec::new(),
+            metrics,
+            m_cas,
+            m_cas_hits,
+            m_drain_cycles,
+            m_read_depth,
+            m_write_depth,
         }
     }
 
     /// Accounts one cycle and rolls the window when the period elapses.
     pub fn account(&mut self, view: &CycleView) {
         self.bw.account(view);
+        if let Some(hit) = view.cas_hit {
+            self.metrics.inc(self.m_cas, 1);
+            if hit {
+                self.metrics.inc(self.m_cas_hits, 1);
+            }
+        }
+        if view.drain {
+            self.metrics.inc(self.m_drain_cycles, 1);
+        }
+        self.metrics
+            .observe(self.m_read_depth, view.read_q_depth as u64);
+        self.metrics
+            .observe(self.m_write_depth, view.write_q_depth as u64);
         self.accounted += 1;
         if self.accounted == self.period {
             self.roll();
@@ -77,11 +118,24 @@ impl StackSampler {
     fn roll(&mut self) {
         let bandwidth = self.bw.take_sample();
         let latency = self.lat.take_sample(self.cycle_ns);
+        let m = self.metrics.snapshot_and_reset();
+        let ctrl = CtrlWindowStats {
+            cycles: self.accounted,
+            cas: m.counter("cas").unwrap_or(0),
+            cas_hits: m.counter("cas_hits").unwrap_or(0),
+            drain_cycles: m.counter("drain_cycles").unwrap_or(0),
+            read_queue_depth: m.histogram("read_queue_depth").expect("registered").clone(),
+            write_queue_depth: m
+                .histogram("write_queue_depth")
+                .expect("registered")
+                .clone(),
+        };
         self.samples.push(TimeSample {
             start_cycle: self.window_start,
             cycles: self.accounted,
             bandwidth,
             latency,
+            ctrl,
         });
         self.window_start += self.accounted;
         self.accounted = 0;
@@ -256,7 +310,11 @@ mod tests {
     #[test]
     fn reads_land_in_their_window() {
         let mut s = sampler();
-        let b = LatencyBreakdown { base_cntlr: 10, base_dram: 20, ..Default::default() };
+        let b = LatencyBreakdown {
+            base_cntlr: 10,
+            base_dram: 20,
+            ..Default::default()
+        };
         s.add_read(&b);
         for _ in 0..100 {
             s.account(&CycleView::idle(16));
@@ -349,11 +407,61 @@ mod tests {
         let mut samples: Vec<_> = (0..20).map(|i| sample_with_read(i * 100, 0.2)).collect();
         samples[7] = sample_with_read(700, 0.9);
         let phases = detect_phases(&samples, 0.25, 3);
-        assert!(phases.len() <= 3, "blip should not explode phases: {}", phases.len());
+        assert!(
+            phases.len() <= 3,
+            "blip should not explode phases: {}",
+            phases.len()
+        );
     }
 
     #[test]
     fn empty_series_has_no_phases() {
         assert!(detect_phases(&[], 0.1, 1).is_empty());
+    }
+
+    #[test]
+    fn ctrl_window_stats_accumulate_from_view() {
+        let mut s = sampler();
+        let mut v = CycleView::idle(16);
+        v.read_q_depth = 4;
+        v.write_q_depth = 1;
+        v.drain = true;
+        v.cas_hit = Some(true);
+        for _ in 0..50 {
+            s.account(&v);
+        }
+        v.cas_hit = Some(false);
+        v.drain = false;
+        for _ in 0..50 {
+            s.account(&v);
+        }
+        let samples = s.finish();
+        assert_eq!(samples.len(), 1);
+        let c = &samples[0].ctrl;
+        assert_eq!(c.cycles, 100);
+        assert_eq!(c.cas, 100);
+        assert_eq!(c.cas_hits, 50);
+        assert_eq!(c.drain_cycles, 50);
+        assert_eq!(c.read_queue_depth.count, 100);
+        assert!((c.mean_read_queue_depth() - 4.0).abs() < 1e-12);
+        assert!((c.row_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((c.drain_occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ctrl_stats_reset_between_windows() {
+        let mut s = sampler();
+        let mut v = CycleView::idle(16);
+        v.cas_hit = Some(true);
+        for _ in 0..100 {
+            s.account(&v);
+        }
+        v.cas_hit = None;
+        for _ in 0..100 {
+            s.account(&v);
+        }
+        let samples = s.finish();
+        assert_eq!(samples[0].ctrl.cas, 100);
+        assert_eq!(samples[1].ctrl.cas, 0);
     }
 }

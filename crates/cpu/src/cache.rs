@@ -28,17 +28,32 @@ impl CacheConfig {
 
     /// 32 KB, 8-way L1 data cache, 4-cycle hit (the paper's setup).
     pub fn l1d() -> Self {
-        CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64, latency: 4 }
+        CacheConfig {
+            size_bytes: 32 << 10,
+            ways: 8,
+            line_bytes: 64,
+            latency: 4,
+        }
     }
 
     /// 1 MB, 16-way private L2, 14-cycle hit.
     pub fn l2() -> Self {
-        CacheConfig { size_bytes: 1 << 20, ways: 16, line_bytes: 64, latency: 14 }
+        CacheConfig {
+            size_bytes: 1 << 20,
+            ways: 16,
+            line_bytes: 64,
+            latency: 14,
+        }
     }
 
     /// 11 MB, 11-way shared LLC, 44-cycle hit (8 NUCA slices averaged).
     pub fn llc() -> Self {
-        CacheConfig { size_bytes: 11 << 20, ways: 11, line_bytes: 64, latency: 44 }
+        CacheConfig {
+            size_bytes: 11 << 20,
+            ways: 11,
+            line_bytes: 64,
+            latency: 44,
+        }
     }
 }
 
@@ -118,7 +133,10 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         assert!(cfg.ways > 0, "cache needs at least one way");
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two: {sets}");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two: {sets}"
+        );
         Cache {
             cfg,
             ways: vec![Way::default(); (sets * u64::from(cfg.ways)) as usize],
@@ -210,9 +228,16 @@ impl Cache {
             .min_by_key(|(_, w)| if w.valid { w.lru + 1 } else { 0 })
             .map(|(i, _)| i)
             .expect("nonzero ways");
-        let (victim_tag, victim_dirty) =
-            (set[victim_idx].tag, set[victim_idx].valid && set[victim_idx].dirty);
-        set[victim_idx] = Way { tag, valid: true, dirty: is_write, lru: clock };
+        let (victim_tag, victim_dirty) = (
+            set[victim_idx].tag,
+            set[victim_idx].valid && set[victim_idx].dirty,
+        );
+        set[victim_idx] = Way {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: clock,
+        };
         if victim_dirty {
             self.stats.writebacks += 1;
             Some(self.rebuild_addr(victim_tag, base))
@@ -259,7 +284,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -272,7 +302,10 @@ mod tests {
     #[test]
     fn hit_after_allocate() {
         let mut c = tiny();
-        assert_eq!(c.access(0x1000, false), CacheOutcome::Miss { writeback: None });
+        assert_eq!(
+            c.access(0x1000, false),
+            CacheOutcome::Miss { writeback: None }
+        );
         assert_eq!(c.access(0x1000, false), CacheOutcome::Hit);
         assert!(c.probe(0x1000));
         assert!(!c.probe(0x2000));
@@ -299,7 +332,12 @@ mod tests {
         c.access(0x000, true); // dirty
         c.access(0x100, false);
         let out = c.access(0x200, false); // evicts dirty 0x000
-        assert_eq!(out, CacheOutcome::Miss { writeback: Some(0x000) });
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                writeback: Some(0x000)
+            }
+        );
         assert_eq!(c.stats().writebacks, 1);
     }
 
@@ -310,7 +348,12 @@ mod tests {
         c.access(0x2C0, true);
         c.access(0x6C0, false);
         let out = c.access(0xAC0, false);
-        assert_eq!(out, CacheOutcome::Miss { writeback: Some(0x2C0) });
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                writeback: Some(0x2C0)
+            }
+        );
     }
 
     #[test]
@@ -320,7 +363,12 @@ mod tests {
         c.access(0x000, true); // now dirty
         c.access(0x100, false);
         let out = c.access(0x200, false);
-        assert_eq!(out, CacheOutcome::Miss { writeback: Some(0x000) });
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                writeback: Some(0x000)
+            }
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub struct CoreConfig {
 impl CoreConfig {
     /// The paper's 4-wide, 224-entry-ROB core.
     pub fn paper_default() -> Self {
-        CoreConfig { rob_entries: 224, width: 4, mispredict_penalty: 15, dram_base_window: 140 }
+        CoreConfig {
+            rob_entries: 224,
+            width: 4,
+            mispredict_penalty: 15,
+            dram_base_window: 140,
+        }
     }
 }
 
@@ -141,7 +146,11 @@ impl CoreModel {
     ///
     /// Panics if the core is not at a barrier.
     pub fn release_barrier(&mut self) {
-        assert!(self.at_barrier.is_some(), "core {} is not at a barrier", self.id);
+        assert!(
+            self.at_barrier.is_some(),
+            "core {} is not at a barrier",
+            self.id
+        );
         self.at_barrier = None;
     }
 
@@ -341,7 +350,11 @@ impl CoreModel {
     }
 
     fn push_slot(&mut self, state: SlotState, now: u64) {
-        self.rob.push_back(RobSlot { state, issued_at: now, chain: None });
+        self.rob.push_back(RobSlot {
+            state,
+            issued_at: now,
+            chain: None,
+        });
         self.next_seq += 1;
     }
 }
@@ -356,12 +369,32 @@ mod tests {
 
     fn hierarchy() -> Hierarchy {
         let cfg = HierarchyConfig {
-            l1: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 4 },
-            l2: CacheConfig { size_bytes: 2048, ways: 2, line_bytes: 64, latency: 14 },
-            llc: CacheConfig { size_bytes: 8192, ways: 2, line_bytes: 64, latency: 44 },
+            l1: CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 2048,
+                ways: 2,
+                line_bytes: 64,
+                latency: 14,
+            },
+            llc: CacheConfig {
+                size_bytes: 8192,
+                ways: 2,
+                line_bytes: 64,
+                latency: 44,
+            },
             l1_mshrs: 4,
             prefetch_outstanding: 0,
-            prefetch: PrefetchConfig { streams: 2, degree: 0, distance: 1, confidence: 99 },
+            prefetch: PrefetchConfig {
+                streams: 2,
+                degree: 0,
+                distance: 1,
+                confidence: 99,
+            },
         };
         Hierarchy::new(1, cfg)
     }
@@ -427,8 +460,11 @@ mod tests {
         // 4 independent miss loads with a 200-cycle memory: MLP-limited
         // (4 MSHRs) so total time ≈ one latency, not four.
         let mut core = CoreModel::new(0, CoreConfig::paper_default());
-        let loads: Vec<_> =
-            (0..4).map(|i| Instr::Load { addr: 0x100_0000 + i * 0x1_0000 }).collect();
+        let loads: Vec<_> = (0..4)
+            .map(|i| Instr::Load {
+                addr: 0x100_0000 + i * 0x1_0000,
+            })
+            .collect();
         let mut stream = VecStream::new(loads);
         let mut h = hierarchy();
         let end = run(&mut core, &mut stream, &mut h, 200, 10_000);
@@ -484,7 +520,10 @@ mod tests {
 
     #[test]
     fn rob_bounds_outstanding_work() {
-        let cfg = CoreConfig { rob_entries: 8, ..CoreConfig::paper_default() };
+        let cfg = CoreConfig {
+            rob_entries: 8,
+            ..CoreConfig::paper_default()
+        };
         let mut core = CoreModel::new(0, cfg);
         let mut stream = VecStream::new(vec![Instr::Compute { count: 100 }]);
         let mut h = hierarchy();
@@ -497,7 +536,10 @@ mod tests {
         // 4 chain loads in ONE chain, 200-cycle memory: must take ~4 × 200.
         let mut core = CoreModel::new(0, CoreConfig::paper_default());
         let loads: Vec<_> = (0..4)
-            .map(|i| Instr::ChainLoad { addr: 0x100_0000 + i * 0x1_0000, chain: 0 })
+            .map(|i| Instr::ChainLoad {
+                addr: 0x100_0000 + i * 0x1_0000,
+                chain: 0,
+            })
             .collect();
         let mut stream = VecStream::new(loads);
         let mut h = hierarchy();
@@ -509,7 +551,10 @@ mod tests {
     fn chain_loads_in_different_chains_overlap() {
         let mut core = CoreModel::new(0, CoreConfig::paper_default());
         let loads: Vec<_> = (0..4u64)
-            .map(|i| Instr::ChainLoad { addr: 0x100_0000 + i * 0x1_0000, chain: i as u8 })
+            .map(|i| Instr::ChainLoad {
+                addr: 0x100_0000 + i * 0x1_0000,
+                chain: i as u8,
+            })
             .collect();
         let mut stream = VecStream::new(loads);
         let mut h = hierarchy();
@@ -537,6 +582,10 @@ mod tests {
         let mut c = CoreModel::new(0, CoreConfig::paper_default());
         let mut s = VecStream::new(vec![Instr::Load { addr: 0x0 }]);
         run(&mut c, &mut s, &mut h, 100, 10_000);
-        assert!(c.stack().cycles(CycleComponent::Dcache) > 0, "{:?}", c.stack());
+        assert!(
+            c.stack().cycles(CycleComponent::Dcache) > 0,
+            "{:?}",
+            c.stack()
+        );
     }
 }

@@ -111,7 +111,10 @@ impl CycleStack {
 
     /// `(component, fraction)` rows in stack order.
     pub fn rows(&self) -> Vec<(CycleComponent, f64)> {
-        CycleComponent::ALL.iter().map(|&c| (c, self.fraction(c))).collect()
+        CycleComponent::ALL
+            .iter()
+            .map(|&c| (c, self.fraction(c)))
+            .collect()
     }
 }
 

@@ -132,7 +132,9 @@ impl Hierarchy {
             l1: (0..n_cores).map(|_| Cache::new(cfg.l1)).collect(),
             l2: (0..n_cores).map(|_| Cache::new(cfg.l2)).collect(),
             llc: Cache::new(cfg.llc),
-            prefetchers: (0..n_cores).map(|_| StreamPrefetcher::new(cfg.prefetch)).collect(),
+            prefetchers: (0..n_cores)
+                .map(|_| StreamPrefetcher::new(cfg.prefetch))
+                .collect(),
             demand_outstanding: vec![HashSet::new(); n_cores],
             prefetch_outstanding: vec![HashSet::new(); n_cores],
             pending: HashMap::new(),
@@ -174,7 +176,9 @@ impl Hierarchy {
         let line = addr & self.line_mask;
         // L1 (lookup only: allocation happens when the fill arrives).
         if self.l1[core].lookup(line, is_write) {
-            return AccessResult::Hit { ready_at: now + self.cfg.l1.latency };
+            return AccessResult::Hit {
+                ready_at: now + self.cfg.l1.latency,
+            };
         }
 
         // Merge into an in-flight line if present.
@@ -204,14 +208,18 @@ impl Hierarchy {
         self.train_prefetcher(core, line);
         if self.l2[core].lookup(line, false) {
             self.fill_l1(core, line, is_write);
-            return AccessResult::Hit { ready_at: now + self.cfg.l2.latency };
+            return AccessResult::Hit {
+                ready_at: now + self.cfg.l2.latency,
+            };
         }
 
         // LLC.
         if self.llc.lookup(line, false) {
             self.fill_l2(core, line, false);
             self.fill_l1(core, line, is_write);
-            return AccessResult::Hit { ready_at: now + self.cfg.llc.latency };
+            return AccessResult::Hit {
+                ready_at: now + self.cfg.llc.latency,
+            };
         }
 
         // DRAM.
@@ -221,9 +229,17 @@ impl Hierarchy {
         self.demand_outstanding[core].insert(line);
         self.pending.insert(
             line,
-            PendingLine { waiters: vec![core], any_store: is_write, prefetch_for: None },
+            PendingLine {
+                waiters: vec![core],
+                any_store: is_write,
+                prefetch_for: None,
+            },
         );
-        self.outbound_reads.push_back(OutboundRead { line, core, is_prefetch: false });
+        self.outbound_reads.push_back(OutboundRead {
+            line,
+            core,
+            is_prefetch: false,
+        });
         self.stats.dram_demand_reads += 1;
         AccessResult::Miss
     }
@@ -247,10 +263,17 @@ impl Hierarchy {
             self.prefetch_outstanding[core].insert(pline);
             self.pending.insert(
                 pline,
-                PendingLine { waiters: Vec::new(), any_store: false, prefetch_for: Some(core) },
+                PendingLine {
+                    waiters: Vec::new(),
+                    any_store: false,
+                    prefetch_for: Some(core),
+                },
             );
-            self.outbound_reads
-                .push_back(OutboundRead { line: pline, core, is_prefetch: true });
+            self.outbound_reads.push_back(OutboundRead {
+                line: pline,
+                core,
+                is_prefetch: true,
+            });
             self.stats.dram_prefetch_reads += 1;
         }
         self.prefetch_buf = buf;
@@ -289,9 +312,7 @@ impl Hierarchy {
 
     /// Whether any miss is still in flight anywhere.
     pub fn quiescent(&self) -> bool {
-        self.pending.is_empty()
-            && self.outbound_reads.is_empty()
-            && self.outbound_writes.is_empty()
+        self.pending.is_empty() && self.outbound_reads.is_empty() && self.outbound_writes.is_empty()
     }
 
     /// A DRAM read for `line` finished: fill the caches and return the
@@ -366,12 +387,32 @@ mod tests {
     fn small_hierarchy(cores: usize) -> Hierarchy {
         // Tiny caches so evictions happen quickly in tests.
         let cfg = HierarchyConfig {
-            l1: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 4 },
-            l2: CacheConfig { size_bytes: 2048, ways: 2, line_bytes: 64, latency: 14 },
-            llc: CacheConfig { size_bytes: 8192, ways: 2, line_bytes: 64, latency: 44 },
+            l1: CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 2048,
+                ways: 2,
+                line_bytes: 64,
+                latency: 14,
+            },
+            llc: CacheConfig {
+                size_bytes: 8192,
+                ways: 2,
+                line_bytes: 64,
+                latency: 44,
+            },
             l1_mshrs: 4,
             prefetch_outstanding: 4,
-            prefetch: PrefetchConfig { streams: 4, degree: 1, distance: 4, confidence: 2 },
+            prefetch: PrefetchConfig {
+                streams: 4,
+                degree: 1,
+                distance: 4,
+                confidence: 2,
+            },
         };
         Hierarchy::new(cores, cfg)
     }
@@ -381,11 +422,21 @@ mod tests {
         let mut h = small_hierarchy(1);
         assert_eq!(h.access(0, 0x1000, false, 0), AccessResult::Miss);
         let r = h.pop_read().unwrap();
-        assert_eq!(r, OutboundRead { line: 0x1000, core: 0, is_prefetch: false });
+        assert_eq!(
+            r,
+            OutboundRead {
+                line: 0x1000,
+                core: 0,
+                is_prefetch: false
+            }
+        );
         let waiters = h.complete_read(0x1000);
         assert_eq!(waiters, vec![0]);
         // Now it hits in L1.
-        assert_eq!(h.access(0, 0x1010, false, 100), AccessResult::Hit { ready_at: 104 });
+        assert_eq!(
+            h.access(0, 0x1010, false, 100),
+            AccessResult::Hit { ready_at: 104 }
+        );
         assert!(h.quiescent());
     }
 
@@ -413,7 +464,10 @@ mod tests {
     fn mshr_limit_blocks_new_misses() {
         let mut h = small_hierarchy(1);
         for i in 0..4u64 {
-            assert_eq!(h.access(0, 0x10_0000 + i * 0x1000, false, 0), AccessResult::Miss);
+            assert_eq!(
+                h.access(0, 0x10_0000 + i * 0x1000, false, 0),
+                AccessResult::Miss
+            );
         }
         assert_eq!(h.access(0, 0x50_0000, false, 0), AccessResult::MshrFull);
         // Completing one frees an MSHR.

@@ -23,7 +23,12 @@ pub struct PrefetchConfig {
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { streams: 16, degree: 2, distance: 16, confidence: 2 }
+        PrefetchConfig {
+            streams: 16,
+            degree: 2,
+            distance: 16,
+            confidence: 2,
+        }
     }
 }
 
@@ -129,7 +134,11 @@ impl StreamPrefetcher {
                         } else {
                             s.issued_until.min(line).saturating_sub(1)
                         };
-                        let in_range = if dir > 0 { next <= limit } else { next >= limit && next > 0 };
+                        let in_range = if dir > 0 {
+                            next <= limit
+                        } else {
+                            next >= limit && next > 0
+                        };
                         if !in_range {
                             break;
                         }
@@ -205,13 +214,20 @@ mod tests {
     fn random_stream_never_prefetches() {
         let mut p = StreamPrefetcher::new(PrefetchConfig::default());
         // Widely scattered lines — no deltas within the match window.
-        let issued = run(&mut p, (0..100).map(|i| (i * 7919 + 13) % 1_000_000 + i * 10_000));
+        let issued = run(
+            &mut p,
+            (0..100).map(|i| (i * 7919 + 13) % 1_000_000 + i * 10_000),
+        );
         assert!(issued.is_empty(), "random traffic prefetched {issued:?}");
     }
 
     #[test]
     fn distance_bounds_runahead() {
-        let cfg = PrefetchConfig { distance: 4, degree: 8, ..Default::default() };
+        let cfg = PrefetchConfig {
+            distance: 4,
+            degree: 8,
+            ..Default::default()
+        };
         let mut p = StreamPrefetcher::new(cfg);
         let issued = run(&mut p, 0..10);
         for &l in &issued {

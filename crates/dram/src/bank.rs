@@ -127,7 +127,11 @@ impl Bank {
     /// only: tRP after PRE, tRC after the previous ACT).
     pub fn earliest_activate(&self, timing: &TimingParams) -> Cycle {
         let after_pre = self.pre_done_at;
-        let after_rc = if self.stats.activates > 0 { self.last_act_at + timing.t_rc } else { 0 };
+        let after_rc = if self.stats.activates > 0 {
+            self.last_act_at + timing.t_rc
+        } else {
+            0
+        };
         after_pre.max(after_rc)
     }
 
@@ -172,7 +176,13 @@ impl Bank {
     /// Issues a read CAS at cycle `at` whose data burst occupies
     /// `[burst_start, burst_start + burst)`. If `auto_pre`, schedules the
     /// auto-precharge at the latest of the tRAS/tRTP windows.
-    pub fn issue_read(&mut self, at: Cycle, burst_start: Cycle, auto_pre: bool, timing: &TimingParams) {
+    pub fn issue_read(
+        &mut self,
+        at: Cycle,
+        burst_start: Cycle,
+        auto_pre: bool,
+        timing: &TimingParams,
+    ) {
         debug_assert!(self.open_row.is_some());
         debug_assert!(at >= self.act_done_at);
         self.last_cas_at = at;
@@ -187,7 +197,13 @@ impl Bank {
     /// Issues a write CAS at cycle `at` whose data burst occupies
     /// `[burst_start, burst_start + burst)`. Write recovery (tWR) runs from
     /// the end of the burst.
-    pub fn issue_write(&mut self, at: Cycle, burst_start: Cycle, auto_pre: bool, timing: &TimingParams) {
+    pub fn issue_write(
+        &mut self,
+        at: Cycle,
+        burst_start: Cycle,
+        auto_pre: bool,
+        timing: &TimingParams,
+    ) {
         debug_assert!(self.open_row.is_some());
         debug_assert!(at >= self.act_done_at);
         self.last_cas_at = at;
@@ -256,7 +272,10 @@ mod tests {
         assert_eq!(b.state(timing.t_ras), BankState::Precharging);
         assert_eq!(b.state(timing.t_ras + timing.t_rp), BankState::Precharged);
         // tRC: next ACT no earlier than last ACT + tRC.
-        assert_eq!(b.earliest_activate(&timing), timing.t_rc.max(timing.t_ras + timing.t_rp));
+        assert_eq!(
+            b.earliest_activate(&timing),
+            timing.t_rc.max(timing.t_ras + timing.t_rp)
+        );
     }
 
     #[test]
@@ -267,7 +286,10 @@ mod tests {
         let cas_at = timing.t_rcd;
         b.issue_read(cas_at, cas_at + timing.cl, false, &timing);
         assert_eq!(b.state(cas_at + 1), BankState::CasInFlight);
-        assert_eq!(b.earliest_precharge(), timing.t_ras.max(cas_at + timing.t_rtp));
+        assert_eq!(
+            b.earliest_precharge(),
+            timing.t_ras.max(cas_at + timing.t_rtp)
+        );
         let burst_end = cas_at + timing.cl + timing.burst_cycles;
         assert_eq!(b.state(burst_end), BankState::Open);
     }

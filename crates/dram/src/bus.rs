@@ -89,7 +89,11 @@ impl DataBus {
         if let Some(last) = self.bursts.back() {
             debug_assert!(start >= last.end, "burst overlap: {start} < {}", last.end);
         }
-        self.bursts.push_back(Burst { start, end: start + len, kind });
+        self.bursts.push_back(Burst {
+            start,
+            end: start + len,
+            kind,
+        });
         match kind {
             BurstKind::Read => self.read_bursts += 1,
             BurstKind::Write => self.write_bursts += 1,

@@ -81,37 +81,72 @@ pub struct Command {
 impl Command {
     /// An `ACT bank, row` command.
     pub fn activate(bank: BankAddr, row: u32) -> Self {
-        Command { kind: CommandKind::Activate, bank, row, column: 0 }
+        Command {
+            kind: CommandKind::Activate,
+            bank,
+            row,
+            column: 0,
+        }
     }
 
     /// A `PRE bank` command.
     pub fn precharge(bank: BankAddr) -> Self {
-        Command { kind: CommandKind::Precharge, bank, row: 0, column: 0 }
+        Command {
+            kind: CommandKind::Precharge,
+            bank,
+            row: 0,
+            column: 0,
+        }
     }
 
     /// A `RD bank, column` command.
     pub fn read(bank: BankAddr, column: u32) -> Self {
-        Command { kind: CommandKind::Read, bank, row: 0, column }
+        Command {
+            kind: CommandKind::Read,
+            bank,
+            row: 0,
+            column,
+        }
     }
 
     /// A `RDA bank, column` command (read with auto-precharge).
     pub fn read_ap(bank: BankAddr, column: u32) -> Self {
-        Command { kind: CommandKind::ReadAp, bank, row: 0, column }
+        Command {
+            kind: CommandKind::ReadAp,
+            bank,
+            row: 0,
+            column,
+        }
     }
 
     /// A `WR bank, column` command.
     pub fn write(bank: BankAddr, column: u32) -> Self {
-        Command { kind: CommandKind::Write, bank, row: 0, column }
+        Command {
+            kind: CommandKind::Write,
+            bank,
+            row: 0,
+            column,
+        }
     }
 
     /// A `WRA bank, column` command (write with auto-precharge).
     pub fn write_ap(bank: BankAddr, column: u32) -> Self {
-        Command { kind: CommandKind::WriteAp, bank, row: 0, column }
+        Command {
+            kind: CommandKind::WriteAp,
+            bank,
+            row: 0,
+            column,
+        }
     }
 
     /// A `REF rank` command.
     pub fn refresh(rank: u32) -> Self {
-        Command { kind: CommandKind::Refresh, bank: BankAddr::new(rank, 0, 0), row: 0, column: 0 }
+        Command {
+            kind: CommandKind::Refresh,
+            bank: BankAddr::new(rank, 0, 0),
+            row: 0,
+            column: 0,
+        }
     }
 }
 

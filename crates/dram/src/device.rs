@@ -97,7 +97,10 @@ pub struct Earliest {
 
 impl Earliest {
     fn now() -> Self {
-        Earliest { at: 0, reason: BlockReason::None }
+        Earliest {
+            at: 0,
+            reason: BlockReason::None,
+        }
     }
 
     fn tighten(&mut self, cand: Cycle, reason: BlockReason) {
@@ -222,7 +225,10 @@ impl DramDevice {
         let (rank_at, rank_reason) =
             self.ranks[addr.rank as usize].earliest_activate(addr.bank_group, &self.config.timing);
         e.tighten(rank_at, rank_reason);
-        e.tighten(bank.earliest_activate(&self.config.timing), BlockReason::RowCycle);
+        e.tighten(
+            bank.earliest_activate(&self.config.timing),
+            BlockReason::RowCycle,
+        );
         // Distinguish "precharging" from the generic bank constraint.
         if e.reason == BlockReason::RowCycle && bank.state(now) == BankState::Precharging {
             e.reason = BlockReason::PrechargePending;
@@ -236,7 +242,10 @@ impl DramDevice {
         let mut e = Earliest::now();
         e.tighten(now, BlockReason::None);
         e.tighten(bank.earliest_precharge(), BlockReason::PrechargeWindow);
-        e.tighten(self.ranks[addr.rank as usize].refresh_end(), BlockReason::Refresh);
+        e.tighten(
+            self.ranks[addr.rank as usize].refresh_end(),
+            BlockReason::Refresh,
+        );
         e
     }
 
@@ -261,7 +270,10 @@ impl DramDevice {
             None => {
                 // No row open: a CAS cannot issue at all; report the reason
                 // and a conservative lower bound.
-                return Earliest { at: Cycle::MAX, reason: BlockReason::RowClosed };
+                return Earliest {
+                    at: Cycle::MAX,
+                    reason: BlockReason::RowClosed,
+                };
             }
         }
         let (rank_at, rank_reason) =
@@ -270,7 +282,9 @@ impl DramDevice {
 
         // Data-bus slot: the burst starts CL/CWL after the CAS.
         let cas_to_data = if is_write { timing.cwl } else { timing.cl };
-        let slot = self.bus.earliest_slot(e.at + cas_to_data, timing.burst_cycles);
+        let slot = self
+            .bus
+            .earliest_slot(e.at + cas_to_data, timing.burst_cycles);
         if slot > e.at + cas_to_data {
             e.tighten(slot - cas_to_data, BlockReason::BusBusy);
         }
@@ -332,14 +346,23 @@ impl DramDevice {
         Ok(())
     }
 
-    fn issue_activate(&mut self, addr: BankAddr, row: u32, now: Cycle) -> Result<Cycle, CommandError> {
+    fn issue_activate(
+        &mut self,
+        addr: BankAddr,
+        row: u32,
+        now: Cycle,
+    ) -> Result<Cycle, CommandError> {
         let flat = self.config.geometry.flat_bank(addr);
         if self.banks[flat].open_row().is_some() {
             return Err(CommandError::BankNotPrecharged(addr));
         }
         let e = self.earliest_activate(addr, now);
         if !e.ready(now) {
-            return Err(CommandError::TimingViolation { bank: addr, ready_at: e.at, reason: e.reason });
+            return Err(CommandError::TimingViolation {
+                bank: addr,
+                ready_at: e.at,
+                reason: e.reason,
+            });
         }
         self.banks[flat].issue_activate(now, row, &self.config.timing);
         self.ranks[addr.rank as usize].record_activate(now, addr.bank_group);
@@ -356,7 +379,11 @@ impl DramDevice {
         }
         let e = self.earliest_precharge(addr, now);
         if !e.ready(now) {
-            return Err(CommandError::TimingViolation { bank: addr, ready_at: e.at, reason: e.reason });
+            return Err(CommandError::TimingViolation {
+                bank: addr,
+                ready_at: e.at,
+                reason: e.reason,
+            });
         }
         self.banks[flat].issue_precharge(now, &self.config.timing);
         self.stats.precharges += 1;
@@ -373,15 +400,27 @@ impl DramDevice {
         let timing = self.config.timing;
         let flat = self.config.geometry.flat_bank(addr);
         if self.banks[flat].open_row().is_none() {
-            return Err(CommandError::RowMismatch { bank: addr, open_row: None, wanted_row: 0 });
+            return Err(CommandError::RowMismatch {
+                bank: addr,
+                open_row: None,
+                wanted_row: 0,
+            });
         }
         let e = self.earliest_cas(addr, now, is_write);
         if !e.ready(now) {
-            return Err(CommandError::TimingViolation { bank: addr, ready_at: e.at, reason: e.reason });
+            return Err(CommandError::TimingViolation {
+                bank: addr,
+                ready_at: e.at,
+                reason: e.reason,
+            });
         }
         let cas_to_data = if is_write { timing.cwl } else { timing.cl };
         let burst_start = now + cas_to_data;
-        let kind = if is_write { BurstKind::Write } else { BurstKind::Read };
+        let kind = if is_write {
+            BurstKind::Write
+        } else {
+            BurstKind::Read
+        };
         self.bus.reserve(burst_start, timing.burst_cycles, kind);
         if is_write {
             self.banks[flat].issue_write(now, burst_start, auto_pre, &timing);
@@ -425,7 +464,10 @@ impl DramDevice {
 
     /// Whether `rank` is inside a refresh at `t`.
     pub fn is_refreshing(&self, rank: u32, t: Cycle) -> bool {
-        matches!(self.ranks[rank as usize].state(t), RankState::Refreshing { .. })
+        matches!(
+            self.ranks[rank as usize].state(t),
+            RankState::Refreshing { .. }
+        )
     }
 
     /// Whether a refresh is overdue on `rank`.
@@ -488,7 +530,13 @@ mod tests {
         d.issue(Command::activate(b, 3), 0).unwrap();
         // Read before tRCD is rejected.
         let err = d.issue(Command::read(b, 0), 5).unwrap_err();
-        assert!(matches!(err, CommandError::TimingViolation { reason: BlockReason::ActivatePending, .. }));
+        assert!(matches!(
+            err,
+            CommandError::TimingViolation {
+                reason: BlockReason::ActivatePending,
+                ..
+            }
+        ));
         let done = d.issue(Command::read(b, 0), t.t_rcd).unwrap();
         assert_eq!(done, t.t_rcd + t.cl + t.burst_cycles);
         // The burst occupies the bus.
@@ -602,7 +650,10 @@ mod tests {
         let reopen = t.t_ras.max(t.t_rcd + t.t_rtp) + t.t_rp;
         d.advance(reopen);
         let e = d.earliest_activate(b, reopen);
-        assert!(e.at <= reopen.max(t.t_rc), "auto-precharge should have closed the row");
+        assert!(
+            e.at <= reopen.max(t.t_rc),
+            "auto-precharge should have closed the row"
+        );
         d.issue(Command::activate(b, 8), e.at.max(reopen)).unwrap();
         assert_eq!(d.bank(b).open_row(), Some(8));
     }
@@ -640,7 +691,8 @@ mod tests {
         assert!(blocked.at > at, "rank 0 is tFAW-limited");
         let free = d.earliest_activate(BankAddr::new(1, 0, 0), at);
         assert_eq!(free.at, at, "rank 1 is unconstrained");
-        d.issue(Command::activate(BankAddr::new(1, 0, 0), 0), at).unwrap();
+        d.issue(Command::activate(BankAddr::new(1, 0, 0), 0), at)
+            .unwrap();
     }
 
     #[test]
@@ -655,7 +707,8 @@ mod tests {
         assert!(d.is_refreshing(0, due + 1));
         assert!(!d.is_refreshing(1, due + 1));
         // Rank 1 can still activate while rank 0 refreshes.
-        d.issue(Command::activate(BankAddr::new(1, 0, 0), 0), due + 1).unwrap();
+        d.issue(Command::activate(BankAddr::new(1, 0, 0), 0), due + 1)
+            .unwrap();
         d.issue(Command::refresh(1), due + 2).unwrap_err(); // rank 1 busy now
     }
 

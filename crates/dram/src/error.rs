@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::view::BlockReason;
-use crate::{Cycle, geometry::BankAddr};
+use crate::{geometry::BankAddr, Cycle};
 
 /// Error returned when a [`DeviceConfig`](crate::DeviceConfig) is invalid.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,11 +61,19 @@ pub enum CommandError {
 impl fmt::Display for CommandError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CommandError::TimingViolation { bank, ready_at, reason } => write!(
+            CommandError::TimingViolation {
+                bank,
+                ready_at,
+                reason,
+            } => write!(
                 f,
                 "timing violation at bank {bank}: blocked by {reason} until cycle {ready_at}"
             ),
-            CommandError::RowMismatch { bank, open_row, wanted_row } => write!(
+            CommandError::RowMismatch {
+                bank,
+                open_row,
+                wanted_row,
+            } => write!(
                 f,
                 "row mismatch at bank {bank}: open row {open_row:?}, wanted {wanted_row}"
             ),

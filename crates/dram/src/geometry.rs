@@ -46,7 +46,10 @@ impl DramGeometry {
     /// interleaving hides bank-group constraints at the cost of on-bus
     /// turnarounds.
     pub fn ddr4_dual_rank() -> Self {
-        DramGeometry { ranks: 2, ..Self::ddr4_single_rank() }
+        DramGeometry {
+            ranks: 2,
+            ..Self::ddr4_single_rank()
+        }
     }
 
     /// Validates that every field is a nonzero power of two.
@@ -104,7 +107,11 @@ impl DramGeometry {
         let rest = flat / self.banks_per_group;
         let bank_group = rest % self.bank_groups;
         let rank = rest / self.bank_groups;
-        BankAddr { rank, bank_group, bank }
+        BankAddr {
+            rank,
+            bank_group,
+            bank,
+        }
     }
 
     /// Iterator over every bank address in the channel, in flat order.
@@ -133,7 +140,11 @@ pub struct BankAddr {
 impl BankAddr {
     /// Creates a bank address from its three coordinates.
     pub fn new(rank: u32, bank_group: u32, bank: u32) -> Self {
-        BankAddr { rank, bank_group, bank }
+        BankAddr {
+            rank,
+            bank_group,
+            bank,
+        }
     }
 }
 
@@ -184,7 +195,10 @@ mod tests {
 
     #[test]
     fn flat_bank_roundtrip() {
-        let g = DramGeometry { ranks: 2, ..DramGeometry::ddr4_single_rank() };
+        let g = DramGeometry {
+            ranks: 2,
+            ..DramGeometry::ddr4_single_rank()
+        };
         for flat in 0..g.total_banks() as usize {
             assert_eq!(g.flat_bank(g.bank_addr(flat)), flat);
         }

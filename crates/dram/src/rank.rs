@@ -73,7 +73,9 @@ impl RankTimingState {
     /// Rank availability at cycle `now`.
     pub fn state(&self, now: Cycle) -> RankState {
         if now < self.refreshing_until {
-            RankState::Refreshing { until: self.refreshing_until }
+            RankState::Refreshing {
+                until: self.refreshing_until,
+            }
         } else {
             RankState::Available
         }
@@ -120,15 +122,35 @@ impl RankTimingState {
     ) -> (Cycle, BlockReason) {
         let mut at = 0;
         let mut reason = BlockReason::None;
-        tighten(&mut at, &mut reason, self.refreshing_until, BlockReason::Refresh);
+        tighten(
+            &mut at,
+            &mut reason,
+            self.refreshing_until,
+            BlockReason::Refresh,
+        );
         if let Some(last) = self.last_act_any {
-            tighten(&mut at, &mut reason, last + timing.t_rrd_s, BlockReason::RrdShort);
+            tighten(
+                &mut at,
+                &mut reason,
+                last + timing.t_rrd_s,
+                BlockReason::RrdShort,
+            );
         }
         if let Some(last) = self.last_act_per_bg[bank_group as usize] {
-            tighten(&mut at, &mut reason, last + timing.t_rrd_l, BlockReason::RrdLong);
+            tighten(
+                &mut at,
+                &mut reason,
+                last + timing.t_rrd_l,
+                BlockReason::RrdLong,
+            );
         }
         if self.act_window.len() == 4 {
-            tighten(&mut at, &mut reason, self.act_window[0] + timing.t_faw, BlockReason::Faw);
+            tighten(
+                &mut at,
+                &mut reason,
+                self.act_window[0] + timing.t_faw,
+                BlockReason::Faw,
+            );
         }
         (at, reason)
     }
@@ -156,13 +178,28 @@ impl RankTimingState {
     ) -> (Cycle, BlockReason) {
         let mut at = 0;
         let mut reason = BlockReason::None;
-        tighten(&mut at, &mut reason, self.refreshing_until, BlockReason::Refresh);
+        tighten(
+            &mut at,
+            &mut reason,
+            self.refreshing_until,
+            BlockReason::Refresh,
+        );
 
         if let Some(last) = self.last_cas_any {
-            tighten(&mut at, &mut reason, last + timing.t_ccd_s, BlockReason::CcdShort);
+            tighten(
+                &mut at,
+                &mut reason,
+                last + timing.t_ccd_s,
+                BlockReason::CcdShort,
+            );
         }
         if let Some(last) = self.last_cas_per_bg[bank_group as usize] {
-            tighten(&mut at, &mut reason, last + timing.t_ccd_l, BlockReason::CcdLong);
+            tighten(
+                &mut at,
+                &mut reason,
+                last + timing.t_ccd_l,
+                BlockReason::CcdLong,
+            );
         }
         if is_read {
             if let Some(last_wr) = self.last_write_cas_any {
@@ -215,7 +252,11 @@ mod tests {
             at += timing.t_rrd_s;
         }
         let (fifth, reason) = r.earliest_activate(1, &timing);
-        assert!(fifth >= timing.t_faw, "fifth ACT at {fifth}, tFAW {}", timing.t_faw);
+        assert!(
+            fifth >= timing.t_faw,
+            "fifth ACT at {fifth}, tFAW {}",
+            timing.t_faw
+        );
         assert_eq!(reason, BlockReason::Faw);
     }
 
@@ -227,7 +268,10 @@ mod tests {
         let (same, same_r) = r.earliest_activate(2, &timing);
         assert_eq!((same, same_r), (100 + timing.t_rrd_l, BlockReason::RrdLong));
         let (diff, diff_r) = r.earliest_activate(0, &timing);
-        assert_eq!((diff, diff_r), (100 + timing.t_rrd_s, BlockReason::RrdShort));
+        assert_eq!(
+            (diff, diff_r),
+            (100 + timing.t_rrd_s, BlockReason::RrdShort)
+        );
     }
 
     #[test]
@@ -236,9 +280,15 @@ mod tests {
         let mut r = RankTimingState::new(4, &timing);
         r.record_cas(50, 1, false);
         let (at_same, r_same) = r.earliest_cas(1, true, &timing);
-        assert_eq!((at_same, r_same), (50 + timing.t_ccd_l, BlockReason::CcdLong));
+        assert_eq!(
+            (at_same, r_same),
+            (50 + timing.t_ccd_l, BlockReason::CcdLong)
+        );
         let (at_diff, r_diff) = r.earliest_cas(0, true, &timing);
-        assert_eq!((at_diff, r_diff), (50 + timing.t_ccd_s, BlockReason::CcdShort));
+        assert_eq!(
+            (at_diff, r_diff),
+            (50 + timing.t_ccd_s, BlockReason::CcdShort)
+        );
     }
 
     #[test]
@@ -254,7 +304,10 @@ mod tests {
         assert_eq!(reason_diff, BlockReason::WtrShort);
         // A following *write* is only constrained by tCCD.
         let (wr, wr_reason) = r.earliest_cas(0, false, &timing);
-        assert_eq!((wr, wr_reason), (10 + timing.t_ccd_s, BlockReason::CcdShort));
+        assert_eq!(
+            (wr, wr_reason),
+            (10 + timing.t_ccd_s, BlockReason::CcdShort)
+        );
     }
 
     #[test]
@@ -266,7 +319,9 @@ mod tests {
         r.start_refresh(timing.t_refi, &timing);
         assert_eq!(
             r.state(timing.t_refi + 1),
-            RankState::Refreshing { until: timing.t_refi + timing.t_rfc }
+            RankState::Refreshing {
+                until: timing.t_refi + timing.t_rfc
+            }
         );
         assert_eq!(r.state(timing.t_refi + timing.t_rfc), RankState::Available);
         assert_eq!(r.next_refresh_at(), 2 * timing.t_refi);

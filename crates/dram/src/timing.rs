@@ -322,7 +322,10 @@ mod tests {
             assert!(w[1].peak_bandwidth_gbps(8) > w[0].peak_bandwidth_gbps(8));
             let ns0 = w[0].cycles_to_ns(w[0].cl);
             let ns1 = w[1].cycles_to_ns(w[1].cl);
-            assert!((ns0 - ns1).abs() < 2.0, "CAS latency stays ~14 ns: {ns0} vs {ns1}");
+            assert!(
+                (ns0 - ns1).abs() < 2.0,
+                "CAS latency stays ~14 ns: {ns0} vs {ns1}"
+            );
         }
     }
 

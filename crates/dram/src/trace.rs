@@ -79,11 +79,13 @@ impl FromStr for TimedCommand {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut it = s.split_whitespace();
         let mut next = |what: &str| {
-            it.next().ok_or_else(|| ParseTraceError { what: format!("missing field {what}") })
+            it.next().ok_or_else(|| ParseTraceError {
+                what: format!("missing field {what}"),
+            })
         };
-        let at: Cycle = next("cycle")?
-            .parse()
-            .map_err(|e| ParseTraceError { what: format!("cycle: {e}") })?;
+        let at: Cycle = next("cycle")?.parse().map_err(|e| ParseTraceError {
+            what: format!("cycle: {e}"),
+        })?;
         let kind = match next("kind")? {
             "ACT" => CommandKind::Activate,
             "PRE" => CommandKind::Precharge,
@@ -92,15 +94,29 @@ impl FromStr for TimedCommand {
             "WR" => CommandKind::Write,
             "WRA" => CommandKind::WriteAp,
             "REF" => CommandKind::Refresh,
-            other => return Err(ParseTraceError { what: format!("unknown kind {other}") }),
+            other => {
+                return Err(ParseTraceError {
+                    what: format!("unknown kind {other}"),
+                })
+            }
         };
         let mut num = |what: &str| -> Result<u32, ParseTraceError> {
-            next(what)?.parse().map_err(|e| ParseTraceError { what: format!("{what}: {e}") })
+            next(what)?.parse().map_err(|e| ParseTraceError {
+                what: format!("{what}: {e}"),
+            })
         };
         let bank = BankAddr::new(num("rank")?, num("bank_group")?, num("bank")?);
         let row = num("row")?;
         let column = num("column")?;
-        Ok(TimedCommand { at, cmd: Command { kind, bank, row, column } })
+        Ok(TimedCommand {
+            at,
+            cmd: Command {
+                kind,
+                bank,
+                row,
+                column,
+            },
+        })
     }
 }
 
@@ -127,9 +143,9 @@ pub fn parse_trace(text: &str) -> Result<Vec<TimedCommand>, ParseTraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let t: TimedCommand = line
-            .parse()
-            .map_err(|e: ParseTraceError| ParseTraceError { what: format!("line {}: {}", i + 1, e.what) })?;
+        let t: TimedCommand = line.parse().map_err(|e: ParseTraceError| ParseTraceError {
+            what: format!("line {}: {}", i + 1, e.what),
+        })?;
         out.push(t);
     }
     Ok(out)

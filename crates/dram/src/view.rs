@@ -137,6 +137,14 @@ pub struct CycleView {
     /// Whether any request (read or write) is pending in the controller or
     /// in flight in the device.
     pub has_pending: bool,
+    /// Read-queue depth at the start of this cycle.
+    pub read_q_depth: usize,
+    /// Write-queue depth at the start of this cycle.
+    pub write_q_depth: usize,
+    /// Whether the controller is in write-drain mode this cycle.
+    pub drain: bool,
+    /// When a CAS issued this cycle: whether it hit the open row.
+    pub cas_hit: Option<bool>,
 }
 
 impl CycleView {
@@ -148,6 +156,10 @@ impl CycleView {
             banks: vec![BankActivity::Idle; banks],
             rank_block: BlockReason::None,
             has_pending: false,
+            read_q_depth: 0,
+            write_q_depth: 0,
+            drain: false,
+            cas_hit: None,
         }
     }
 
@@ -161,6 +173,10 @@ impl CycleView {
         }
         self.rank_block = BlockReason::None;
         self.has_pending = false;
+        self.read_q_depth = 0;
+        self.write_q_depth = 0;
+        self.drain = false;
+        self.cas_hit = None;
     }
 
     /// Whether at least one bank is doing something.
@@ -202,6 +218,10 @@ mod tests {
         v.banks[2] = BankActivity::Activating;
         v.rank_block = BlockReason::Faw;
         v.has_pending = true;
+        v.read_q_depth = 3;
+        v.write_q_depth = 9;
+        v.drain = true;
+        v.cas_hit = Some(true);
         v.reset();
         assert_eq!(v, CycleView::idle(4));
     }

@@ -63,12 +63,14 @@ fn issue_op(dev: &mut DramDevice, now: &mut Cycle, op: Op) {
             *now = at + 1;
             dev.advance(*now);
             let at = dev.earliest_activate(bank, *now).at.max(*now);
-            dev.issue(Command::activate(bank, row), at).expect("legal ACT");
+            dev.issue(Command::activate(bank, row), at)
+                .expect("legal ACT");
             *now = at + 1;
         }
         None => {
             let at = dev.earliest_activate(bank, *now).at.max(*now);
-            dev.issue(Command::activate(bank, row), at).expect("legal ACT");
+            dev.issue(Command::activate(bank, row), at)
+                .expect("legal ACT");
             *now = at + 1;
         }
     }

@@ -4,9 +4,10 @@
 use serde::{Deserialize, Serialize};
 
 use dramstack_dram::{
-    BankActivity, BankState, BlockLevel, BlockReason, Command, CycleView, Cycle, DeviceConfig,
+    BankActivity, BankState, BlockLevel, BlockReason, Command, Cycle, CycleView, DeviceConfig,
     DramDevice, Earliest, TimedCommand,
 };
+use dramstack_obs::{NullProbe, Probe};
 
 use crate::mapping::{AddressMapping, MappingScheme};
 use crate::policy::{PagePolicy, SchedulerPolicy};
@@ -103,6 +104,14 @@ pub struct MemoryController {
     /// construction (the paper's hardware-trace workflow).
     trace_enabled: bool,
     trace: Vec<TimedCommand>,
+    /// Observation sink. Probes receive copies of events and cannot steer
+    /// the simulation; with the default [`NullProbe`] every hook inlines
+    /// to nothing and `probe_active` gates the per-cycle call sites.
+    probe: Box<dyn Probe>,
+    probe_active: bool,
+    /// Row-hit flag of the CAS issued this cycle (if any), exported via
+    /// [`CycleView::cas_hit`] for per-window row-hit-rate sampling.
+    cas_this_cycle: Option<bool>,
 }
 
 impl MemoryController {
@@ -128,7 +137,30 @@ impl MemoryController {
             stats: CtrlStats::default(),
             trace_enabled: false,
             trace: Vec::new(),
+            probe: Box::new(NullProbe),
+            probe_active: false,
+            cas_this_cycle: None,
         }
+    }
+
+    /// Attaches an observation probe; it receives every controller event
+    /// until [`take_probe`](Self::take_probe). Attaching a probe never
+    /// changes simulation results.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probe = probe;
+        self.probe_active = true;
+    }
+
+    /// Detaches the current probe (replacing it with [`NullProbe`]) and
+    /// returns it.
+    pub fn take_probe(&mut self) -> Box<dyn Probe> {
+        self.probe_active = false;
+        std::mem::replace(&mut self.probe, Box::new(NullProbe))
+    }
+
+    /// Whether a probe is attached.
+    pub fn probe_attached(&self) -> bool {
+        self.probe_active
     }
 
     /// Starts recording every issued DRAM command (see
@@ -145,6 +177,10 @@ impl MemoryController {
     fn record(&mut self, now: Cycle, cmd: Command) {
         if self.trace_enabled {
             self.trace.push(TimedCommand::new(now, cmd));
+        }
+        if self.probe_active {
+            let flat = self.device.geometry().flat_bank(cmd.bank);
+            self.probe.command_issued(now, cmd, flat);
         }
     }
 
@@ -215,8 +251,12 @@ impl MemoryController {
         // the sim enqueues before ticking the same cycle, so `arrival` is
         // patched in tick() when first observed. We store 0 sentinel here
         // and fix it on the first tick the entry is seen.
-        self.read_q.push(QueueEntry::new(id, meta, phys, addr, Cycle::MAX));
+        self.read_q
+            .push(QueueEntry::new(id, meta, phys, addr, Cycle::MAX));
         self.stats.reads_accepted += 1;
+        if self.probe_active {
+            self.probe.request_accepted(id.0, phys, false);
+        }
         id
     }
 
@@ -231,8 +271,12 @@ impl MemoryController {
         let id = RequestId(self.next_id);
         self.next_id += 1;
         let addr = self.map.decode(phys);
-        self.write_q.push(QueueEntry::new(id, 0, phys, addr, Cycle::MAX));
+        self.write_q
+            .push(QueueEntry::new(id, 0, phys, addr, Cycle::MAX));
         self.stats.writes_accepted += 1;
+        if self.probe_active {
+            self.probe.request_accepted(id.0, phys, true);
+        }
         id
     }
 
@@ -248,6 +292,11 @@ impl MemoryController {
     pub fn tick(&mut self, now: Cycle, view: &mut CycleView) {
         self.device.advance(now);
         self.patch_arrivals(now);
+        self.cas_this_cycle = None;
+        // Start-of-cycle queue occupancy, exported through the view for
+        // per-window sampling regardless of what issues below.
+        let read_q_depth = self.read_q.len();
+        let write_q_depth = self.write_q.len();
 
         // Refresh orchestration: when a refresh falls due, stop normal
         // traffic on that rank, close open banks, then issue REF.
@@ -264,12 +313,27 @@ impl MemoryController {
         if !self.drain_mode && self.write_q.len() >= self.cfg.wq_high {
             self.drain_mode = true;
             self.stats.write_drains += 1;
+            if self.probe_active {
+                self.probe.write_drain_entered(now, write_q_depth);
+            }
         }
         if self.drain_mode && self.write_q.len() <= self.cfg.wq_low {
             self.drain_mode = false;
+            if self.probe_active {
+                self.probe.write_drain_exited(now);
+            }
         }
         if self.drain_mode {
             self.stats.drain_cycles += 1;
+        }
+        if self.probe_active {
+            self.probe.tick(
+                now,
+                read_q_depth,
+                write_q_depth,
+                self.in_flight.len(),
+                self.drain_mode,
+            );
         }
 
         // Issue at most one command on the command bus.
@@ -294,6 +358,10 @@ impl MemoryController {
 
         self.collect_completions(now);
         self.build_view(now, view);
+        view.read_q_depth = read_q_depth;
+        view.write_q_depth = write_q_depth;
+        view.drain = self.drain_mode;
+        view.cas_hit = self.cas_this_cycle;
     }
 
     fn is_any_rank_refreshing(&self, now: Cycle) -> bool {
@@ -306,6 +374,9 @@ impl MemoryController {
         for e in self.read_q.iter_mut().chain(self.write_q.iter_mut()) {
             if e.arrival == Cycle::MAX {
                 e.arrival = now;
+                if self.probe_active {
+                    self.probe.request_arrival(e.id.0, now);
+                }
             }
         }
     }
@@ -331,10 +402,16 @@ impl MemoryController {
         // All banks closed: refresh each due rank once quiet.
         for r in 0..g.ranks {
             if self.device.refresh_due(r, now) && self.device.rank_quiet(r, now) {
-                self.device.issue(Command::refresh(r), now).expect("validated refresh");
+                self.device
+                    .issue(Command::refresh(r), now)
+                    .expect("validated refresh");
                 self.record(now, Command::refresh(r));
                 self.stats.refreshes += 1;
                 self.refresh_draining = false;
+                if self.probe_active {
+                    let t_rfc = self.device.timing().t_rfc;
+                    self.probe.refresh_window(r as usize, now, now + t_rfc);
+                }
                 return;
             }
         }
@@ -349,13 +426,7 @@ impl MemoryController {
 
     fn schedule(&mut self, now: Cycle) {
         let use_writes = self.use_writes();
-        if use_writes {
-            if self.try_issue_from(now, true) {
-                return;
-            }
-        } else if self.try_issue_from(now, false) {
-            return;
-        }
+        self.try_issue_from(now, use_writes);
     }
 
     /// Attempts to issue one command for the given queue. Returns true if a
@@ -376,7 +447,11 @@ impl MemoryController {
             let (cmd, entry_idx, caused) = cmd;
             self.device.issue(cmd, now).expect("validated act/pre");
             self.record(now, cmd);
-            let q = if writes { &mut self.write_q } else { &mut self.read_q };
+            let q = if writes {
+                &mut self.write_q
+            } else {
+                &mut self.read_q
+            };
             match caused {
                 Caused::Act => q[entry_idx].caused_act = true,
                 Caused::Pre => q[entry_idx].caused_pre = true,
@@ -408,7 +483,11 @@ impl MemoryController {
     }
 
     fn issue_cas_for(&mut self, now: Cycle, writes: bool, idx: usize) {
-        let e = if writes { self.write_q.remove(idx) } else { self.read_q.remove(idx) };
+        let e = if writes {
+            self.write_q.remove(idx)
+        } else {
+            self.read_q.remove(idx)
+        };
         let auto_pre = self.cfg.page_policy == PagePolicy::Closed
             && !self.any_pending_hit(e.addr.bank, e.addr.row);
         let cmd = match (writes, auto_pre) {
@@ -421,6 +500,11 @@ impl MemoryController {
         self.record(now, cmd);
         let timing = self.device.timing();
         let hit = !e.caused_act && !e.caused_pre;
+        self.cas_this_cycle = Some(hit);
+        if self.probe_active {
+            let flat = self.device.geometry().flat_bank(e.addr.bank);
+            self.probe.cas_issued(e.id.0, now, writes, hit, flat);
+        }
         if writes {
             self.stats.writes_done += 1;
             if hit {
@@ -490,7 +574,8 @@ impl MemoryController {
                     // (hits are served first). Strict FCFS closes
                     // unconditionally — only the head request matters.
                     let hits_pending = self.cfg.scheduler == SchedulerPolicy::FrFcfs
-                        && q.iter().any(|o| o.addr.bank == e.addr.bank && o.addr.row == open);
+                        && q.iter()
+                            .any(|o| o.addr.bank == e.addr.bank && o.addr.row == open);
                     if !hits_pending && self.device.earliest_precharge(e.addr.bank, now).ready(now)
                     {
                         return Some((Command::precharge(e.addr.bank), idx, Caused::Pre));
@@ -509,6 +594,9 @@ impl MemoryController {
         while i < self.in_flight.len() {
             if self.in_flight[i].done_at <= now {
                 let f = self.in_flight.swap_remove(i);
+                if self.probe_active {
+                    self.probe.data_returned(f.id.0, f.done_at);
+                }
                 let base_dram = timing.base_read_cycles();
                 let service_total = f.done_at - f.arrival;
                 let queue = (service_total as i64
@@ -879,7 +967,7 @@ mod tests {
             if view.bus == Some(dramstack_dram::BurstKind::Read) {
                 saw_read = true;
             }
-            if view.banks.iter().any(|b| *b == BankActivity::Activating) {
+            if view.banks.contains(&BankActivity::Activating) {
                 saw_activate = true;
             }
         }
@@ -901,7 +989,7 @@ mod tests {
             ctrl.tick(now, &mut view);
             if view.bus.is_none() {
                 let g0: Vec<_> = view.banks[0..4].to_vec();
-                if g0.iter().any(|b| *b == BankActivity::Constrained) {
+                if g0.contains(&BankActivity::Constrained) {
                     constrained_group_seen = true;
                 }
             }
@@ -940,8 +1028,129 @@ mod tests {
         for now in 5_000..25_000 {
             ctrl.tick(now, &mut view);
         }
-        assert!(ctrl.stats().refreshes >= 4, "2 ranks × ≥2 tREFI: {}", ctrl.stats().refreshes);
-        assert_eq!(ctrl.device().refreshes_done(0), ctrl.device().refreshes_done(1));
+        assert!(
+            ctrl.stats().refreshes >= 4,
+            "2 ranks × ≥2 tREFI: {}",
+            ctrl.stats().refreshes
+        );
+        assert_eq!(
+            ctrl.device().refreshes_done(0),
+            ctrl.device().refreshes_done(1)
+        );
+    }
+
+    #[test]
+    fn page_hit_counting_is_symmetric_for_reads_and_writes() {
+        // Regression: a same-row burst must count n-1 row hits whether it
+        // is served as reads (normal mode) or writes (drain mode). Write
+        // hits are attributed in drain mode exactly like read hits — the
+        // first CAS pays the ACT, the rest hit the open row.
+        let n = 8u64;
+
+        let mut rctrl = MemoryController::new(CtrlConfig::paper_default());
+        for i in 0..n {
+            rctrl.enqueue_read(i * 64, i);
+        }
+        run_until_done(&mut rctrl, 10_000);
+        assert_eq!(rctrl.stats().reads_done, n);
+        assert_eq!(
+            rctrl.stats().read_hits,
+            n - 1,
+            "first read misses, rest hit"
+        );
+
+        // Force drain mode with a low watermark so the same-row writes are
+        // served as a write burst.
+        let mut cfg = CtrlConfig::paper_default();
+        cfg.wq_high = n as usize;
+        cfg.wq_low = 0;
+        let mut wctrl = MemoryController::new(cfg);
+        for i in 0..n {
+            wctrl.enqueue_write(i * 64);
+        }
+        let mut view = CycleView::idle(wctrl.total_banks());
+        for now in 0..10_000 {
+            wctrl.tick(now, &mut view);
+            if wctrl.is_idle() {
+                break;
+            }
+        }
+        assert!(wctrl.stats().write_drains >= 1, "burst ran in drain mode");
+        assert_eq!(wctrl.stats().writes_done, n);
+        assert_eq!(
+            wctrl.stats().write_hits,
+            n - 1,
+            "write hits counted like read hits"
+        );
+
+        // The aggregate page-hit rate is the same either way.
+        assert!((rctrl.stats().page_hit_rate() - wctrl.stats().page_hit_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_hooks_fire_without_perturbing_results() {
+        // Same workload with and without a probe: identical completions
+        // and stats; the probe observes the full request lifecycle.
+        #[derive(Debug, Default)]
+        struct CountingProbe {
+            accepted: u64,
+            arrivals: u64,
+            cas: u64,
+            returned: u64,
+            commands: u64,
+            ticks: u64,
+        }
+        impl dramstack_obs::Probe for CountingProbe {
+            fn request_accepted(&mut self, _id: u64, _phys: u64, _w: bool) {
+                self.accepted += 1;
+            }
+            fn request_arrival(&mut self, _id: u64, _now: Cycle) {
+                self.arrivals += 1;
+            }
+            fn cas_issued(&mut self, _id: u64, _now: Cycle, _w: bool, _hit: bool, _fb: usize) {
+                self.cas += 1;
+            }
+            fn data_returned(&mut self, _id: u64, _now: Cycle) {
+                self.returned += 1;
+            }
+            fn command_issued(&mut self, _now: Cycle, _cmd: Command, _fb: usize) {
+                self.commands += 1;
+            }
+            fn tick(&mut self, _now: Cycle, _rq: usize, _wq: usize, _inf: usize, _d: bool) {
+                self.ticks += 1;
+            }
+        }
+
+        let drive = |probe: bool| {
+            let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+            if probe {
+                ctrl.attach_probe(Box::new(CountingProbe::default()));
+            }
+            for i in 0..10u64 {
+                ctrl.enqueue_read(i * 7919 * 64, i);
+                ctrl.enqueue_write(i * 64);
+            }
+            let done = run_until_done(&mut ctrl, 100_000);
+            (done, ctrl)
+        };
+
+        let (done_bare, bare) = drive(false);
+        let (done_probed, mut probed) = drive(true);
+        assert_eq!(done_bare.len(), done_probed.len());
+        for (a, b) in done_bare.iter().zip(&done_probed) {
+            assert_eq!(a.done_at, b.done_at, "identical completion times");
+            assert_eq!(a.breakdown, b.breakdown);
+        }
+        assert_eq!(bare.stats(), probed.stats());
+
+        let boxed = probed.take_probe();
+        assert!(!probed.probe_attached());
+        let counts = format!("{boxed:?}");
+        // 20 requests accepted and arrived; 10 reads returned data.
+        assert!(counts.contains("accepted: 20"), "{counts}");
+        assert!(counts.contains("arrivals: 20"), "{counts}");
+        assert!(counts.contains("returned: 10"), "{counts}");
+        assert!(counts.contains("cas: 20"), "{counts}");
     }
 
     #[test]

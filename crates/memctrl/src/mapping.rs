@@ -74,12 +74,20 @@ impl AddressMapping {
 
     fn field_order(&self) -> [Field; 5] {
         match self.scheme {
-            MappingScheme::RowBankColumn | MappingScheme::PermutationXor => {
-                [Field::Column, Field::BankGroup, Field::Bank, Field::Rank, Field::Row]
-            }
-            MappingScheme::CacheLineInterleaved => {
-                [Field::BankGroup, Field::Bank, Field::Column, Field::Rank, Field::Row]
-            }
+            MappingScheme::RowBankColumn | MappingScheme::PermutationXor => [
+                Field::Column,
+                Field::BankGroup,
+                Field::Bank,
+                Field::Rank,
+                Field::Row,
+            ],
+            MappingScheme::CacheLineInterleaved => [
+                Field::BankGroup,
+                Field::Bank,
+                Field::Column,
+                Field::Rank,
+                Field::Row,
+            ],
         }
     }
 
@@ -165,11 +173,17 @@ mod tests {
     use proptest::prelude::*;
 
     fn default_map() -> AddressMapping {
-        AddressMapping::new(DramGeometry::ddr4_single_rank(), MappingScheme::RowBankColumn)
+        AddressMapping::new(
+            DramGeometry::ddr4_single_rank(),
+            MappingScheme::RowBankColumn,
+        )
     }
 
     fn interleaved_map() -> AddressMapping {
-        AddressMapping::new(DramGeometry::ddr4_single_rank(), MappingScheme::CacheLineInterleaved)
+        AddressMapping::new(
+            DramGeometry::ddr4_single_rank(),
+            MappingScheme::CacheLineInterleaved,
+        )
     }
 
     #[test]
@@ -177,7 +191,10 @@ mod tests {
         // offset[5:0] column[12:6] bank-group[14:13] bank[16:15] row[31:17]
         let m = default_map();
         let d = m.decode(0);
-        assert_eq!((d.column, d.bank.bank_group, d.bank.bank, d.row), (0, 0, 0, 0));
+        assert_eq!(
+            (d.column, d.bank.bank_group, d.bank.bank, d.row),
+            (0, 0, 0, 0)
+        );
         // Bit 6 is the lowest column bit.
         assert_eq!(m.decode(1 << 6).column, 1);
         // Bit 13 is the lowest bank-group bit.
@@ -236,7 +253,10 @@ mod tests {
     }
 
     fn xor_map() -> AddressMapping {
-        AddressMapping::new(DramGeometry::ddr4_single_rank(), MappingScheme::PermutationXor)
+        AddressMapping::new(
+            DramGeometry::ddr4_single_rank(),
+            MappingScheme::PermutationXor,
+        )
     }
 
     #[test]

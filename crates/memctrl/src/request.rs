@@ -76,7 +76,13 @@ pub(crate) struct QueueEntry {
 }
 
 impl QueueEntry {
-    pub(crate) fn new(id: RequestId, meta: u64, phys: u64, addr: DramAddress, arrival: Cycle) -> Self {
+    pub(crate) fn new(
+        id: RequestId,
+        meta: u64,
+        phys: u64,
+        addr: DramAddress,
+        arrival: Cycle,
+    ) -> Self {
         QueueEntry {
             id,
             meta,

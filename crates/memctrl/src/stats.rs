@@ -9,9 +9,11 @@ pub struct CtrlStats {
     pub reads_accepted: u64,
     /// Writes accepted into the write queue.
     pub writes_accepted: u64,
-    /// Reads completed (data returned).
+    /// Read CAS commands issued to DRAM (counted at CAS issue, like
+    /// `writes_done`, so `page_hit_rate` compares like with like; data
+    /// returns `CL + burst` cycles later).
     pub reads_done: u64,
-    /// Writes issued to DRAM.
+    /// Write CAS commands issued to DRAM.
     pub writes_done: u64,
     /// Read CAS commands that hit an already-open row.
     pub read_hits: u64,

@@ -60,7 +60,7 @@ proptest! {
         let mut now = 0u64;
         // Feed arrivals every `gap` cycles when a queue has room.
         while (!pending.is_empty() || !ctrl.is_idle()) && now < 3_000_000 {
-            if now % gap == 0 {
+            if now.is_multiple_of(gap) {
                 if let Some(&(addr, is_write)) = pending.last() {
                     let phys = u64::from(addr) & !63;
                     if is_write && ctrl.can_accept_write() {

@@ -1,0 +1,41 @@
+//! Observability for the dramstack simulator.
+//!
+//! Simulation models answer *what happened*; this crate makes it cheap to
+//! see *how* it happened without perturbing the model. It provides four
+//! pieces, none of which may change simulation results:
+//!
+//! * [`Probe`] — a hook trait the memory controller calls at every
+//!   interesting event (request lifecycle, DRAM command issue, write-drain
+//!   and refresh windows). The default [`NullProbe`] turns every hook into
+//!   an inlined no-op, and the controller additionally gates per-cycle
+//!   hooks behind an `attached` flag, so an uninstrumented simulation pays
+//!   nothing.
+//! * [`MetricsRegistry`] — named counters, gauges and fixed-bucket
+//!   histograms with per-window snapshot/reset, used by the stack sampler
+//!   to attach controller health (queue depths, row-hit rate, drain
+//!   occupancy) to every through-time sample.
+//! * [`ChromeTraceProbe`] — a recording probe that renders request
+//!   lifecycles as duration spans and DRAM commands as instant events in
+//!   the Chrome trace-event JSON format (loadable in Perfetto or
+//!   `chrome://tracing`).
+//! * [`PhaseTimers`] / [`PerfReport`] — wall-clock self-profiling of the
+//!   simulator's drive loop: where host time goes, and how many simulated
+//!   cycles per second the run achieved.
+//!
+//! The contract: attaching any probe or enabling any profiling must leave
+//! simulation results bit-identical. Probes observe; they never steer.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod perf;
+mod probe;
+pub mod window;
+
+pub use chrome::{ChromeTrace, ChromeTraceHandle, ChromeTraceProbe, TraceEvent, TraceEventKind};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use perf::{Heartbeat, PerfReport, PhaseTimers, SimPhase};
+pub use probe::{NullProbe, Probe};
+pub use window::CtrlWindowStats;

@@ -1,0 +1,325 @@
+//! A small registry of named counters, gauges and fixed-bucket
+//! histograms with per-window snapshot/reset semantics.
+//!
+//! Metrics are registered once (returning a cheap index handle) and
+//! updated through the handle on the hot path — no string lookups per
+//! event. [`MetricsRegistry::snapshot_and_reset`] closes a sampling
+//! window: it returns the window's values and clears counters and
+//! histograms (gauges are instantaneous and keep their last value).
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// `bounds` are inclusive upper bucket edges; one extra overflow bucket
+/// catches everything above the last bound, so `counts.len() ==
+/// bounds.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper edge of each bucket.
+    pub bounds: Vec<u64>,
+    /// Observations per bucket (last entry is the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram over the given bucket bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be increasing"
+        );
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Adds another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram bounds must match to merge"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+    }
+}
+
+/// One window's worth of metric values, by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of the named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value of the named gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Registry of named metrics with window semantics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter (starts at 0 each window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        assert!(
+            self.counters.iter().all(|(n, _)| n != name),
+            "counter {name:?} already registered"
+        );
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge (keeps its last set value across windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        assert!(
+            self.gauges.iter().all(|(n, _)| n != name),
+            "gauge {name:?} already registered"
+        );
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a fixed-bucket histogram (cleared each window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a histogram or the
+    /// bounds are not strictly increasing.
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> HistogramId {
+        assert!(
+            self.histograms.iter().all(|(n, _)| n != name),
+            "histogram {name:?} already registered"
+        );
+        self.histograms
+            .push((name.to_string(), HistogramSnapshot::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].1.observe(value);
+    }
+
+    /// Closes the current window: returns its values and resets counters
+    /// and histograms (gauges persist).
+    pub fn snapshot_and_reset(&mut self) -> MetricsSnapshot {
+        let snap = MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        };
+        for (_, v) in &mut self.counters {
+            *v = 0;
+        }
+        for (_, h) in &mut self.histograms {
+            h.reset();
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset_per_window() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("cas");
+        m.inc(c, 3);
+        m.inc(c, 2);
+        let w1 = m.snapshot_and_reset();
+        assert_eq!(w1.counter("cas"), Some(5));
+        m.inc(c, 1);
+        let w2 = m.snapshot_and_reset();
+        assert_eq!(w2.counter("cas"), Some(1));
+        assert_eq!(w2.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_persist_across_windows() {
+        let mut m = MetricsRegistry::new();
+        let g = m.gauge("occupancy");
+        m.set(g, 0.75);
+        let w1 = m.snapshot_and_reset();
+        let w2 = m.snapshot_and_reset();
+        assert_eq!(w1.gauge("occupancy"), Some(0.75));
+        assert_eq!(w2.gauge("occupancy"), Some(0.75));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = HistogramSnapshot::new(&[1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 2, 2, 2]);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.sum, 1045);
+        assert!((h.mean() - 1045.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = HistogramSnapshot::new(&[2, 8]);
+        let mut b = HistogramSnapshot::new(&[2, 8]);
+        a.observe(1);
+        b.observe(1);
+        b.observe(9);
+        a.merge(&b);
+        assert_eq!(a.counts, vec![2, 0, 1]);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must match")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = HistogramSnapshot::new(&[2, 8]);
+        a.merge(&HistogramSnapshot::new(&[2, 9]));
+    }
+
+    #[test]
+    fn registry_histograms_reset_per_window() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("depth", &[0, 1, 2, 4, 8, 16, 32]);
+        m.observe(h, 0);
+        m.observe(h, 40);
+        let w1 = m.snapshot_and_reset();
+        let snap = w1.histogram("depth").unwrap();
+        assert_eq!(snap.count, 2);
+        assert_eq!(*snap.counts.last().unwrap(), 1, "40 overflows");
+        let w2 = m.snapshot_and_reset();
+        assert_eq!(w2.histogram("depth").unwrap().count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_rejected() {
+        let mut m = MetricsRegistry::new();
+        m.counter("x");
+        m.counter("x");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("cas");
+        let g = m.gauge("rate");
+        let h = m.histogram("depth", &[1, 2]);
+        m.inc(c, 7);
+        m.set(g, 0.5);
+        m.observe(h, 2);
+        let snap = m.snapshot_and_reset();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

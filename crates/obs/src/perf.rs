@@ -1,0 +1,299 @@
+//! Wall-clock self-profiling of the simulator's drive loop.
+//!
+//! [`PhaseTimers`] accumulates host time per [`SimPhase`] of the step
+//! loop and summarizes into a serializable [`PerfReport`]; when disabled
+//! (the default), [`PhaseTimers::begin`] returns `None` and the hot loop
+//! pays a single branch. [`Heartbeat`] is an opt-in progress line printed
+//! to stderr every N simulated cycles.
+//!
+//! None of this touches simulated state: profiling reads the host clock
+//! only, so results are bit-identical whether or not it is enabled.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// A phase of the simulator's per-cycle drive loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPhase {
+    /// Memory-controller (and DRAM device) ticks.
+    Ctrl,
+    /// Delivering completed reads back to cores.
+    Completions,
+    /// Core model ticks.
+    Cores,
+    /// Pumping core requests into the controllers.
+    Pump,
+    /// Through-time sampling / window rolling.
+    Sampling,
+}
+
+impl SimPhase {
+    /// All phases, in loop order.
+    pub const ALL: [SimPhase; 5] = [
+        SimPhase::Ctrl,
+        SimPhase::Completions,
+        SimPhase::Cores,
+        SimPhase::Pump,
+        SimPhase::Sampling,
+    ];
+
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimPhase::Ctrl => "ctrl",
+            SimPhase::Completions => "completions",
+            SimPhase::Cores => "cores",
+            SimPhase::Pump => "pump",
+            SimPhase::Sampling => "sampling",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Accumulates wall-clock time per [`SimPhase`].
+///
+/// Usage in the drive loop:
+///
+/// ```
+/// # use dramstack_obs::{PhaseTimers, SimPhase};
+/// let mut timers = PhaseTimers::new();
+/// timers.enable();
+/// let t = timers.begin();
+/// // ... do the phase's work ...
+/// timers.end(SimPhase::Ctrl, t);
+/// assert!(timers.seconds(SimPhase::Ctrl) >= 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimers {
+    enabled: bool,
+    nanos: [u128; 5],
+    started: Option<Instant>,
+    wall_nanos: u128,
+}
+
+impl PhaseTimers {
+    /// Disabled timers (every `begin` is a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns profiling on and starts the overall wall clock.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Whether profiling is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts timing a phase; returns `None` (for free) when disabled.
+    #[inline]
+    pub fn begin(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends timing the phase started by [`begin`](Self::begin).
+    #[inline]
+    pub fn end(&mut self, phase: SimPhase, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.nanos[phase.index()] += t.elapsed().as_nanos();
+        }
+    }
+
+    /// Stops the overall wall clock (idempotent; called at report time).
+    pub fn finish(&mut self) {
+        if let Some(t) = self.started.take() {
+            self.wall_nanos += t.elapsed().as_nanos();
+        }
+    }
+
+    /// Seconds accumulated in a phase so far.
+    pub fn seconds(&self, phase: SimPhase) -> f64 {
+        self.nanos[phase.index()] as f64 / 1e9
+    }
+
+    /// Summarizes into a report for a run of `sim_cycles` DRAM cycles.
+    pub fn report(&mut self, sim_cycles: u64) -> PerfReport {
+        self.finish();
+        let wall_seconds = self.wall_nanos as f64 / 1e9;
+        PerfReport {
+            enabled: self.enabled,
+            wall_seconds,
+            sim_cycles,
+            sim_cycles_per_second: if wall_seconds > 0.0 {
+                sim_cycles as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            phases: SimPhase::ALL
+                .iter()
+                .map(|p| (p.name().to_string(), self.seconds(*p)))
+                .collect(),
+        }
+    }
+}
+
+/// Where the host time of a run went.
+///
+/// Carried in `SimReport::perf`. All-zero (with `enabled == false`) when
+/// profiling was off; excluded from determinism comparisons because wall
+/// clocks differ between runs even when simulation results do not.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Whether profiling was enabled for the run.
+    pub enabled: bool,
+    /// Total wall-clock seconds of the drive loop.
+    pub wall_seconds: f64,
+    /// Simulated DRAM cycles covered.
+    pub sim_cycles: u64,
+    /// Simulation speed in simulated cycles per host second.
+    pub sim_cycles_per_second: f64,
+    /// `(phase name, seconds)` per drive-loop phase, in loop order.
+    pub phases: Vec<(String, f64)>,
+}
+
+impl PerfReport {
+    /// A zeroed report (profiling off).
+    pub fn disabled() -> Self {
+        PerfReport {
+            enabled: false,
+            wall_seconds: 0.0,
+            sim_cycles: 0,
+            sim_cycles_per_second: 0.0,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Seconds spent in the named phase (0 if absent).
+    pub fn phase_seconds(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    }
+}
+
+impl Default for PerfReport {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Opt-in progress line printed to stderr every `every_cycles` simulated
+/// cycles.
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    every_cycles: u64,
+    next_at: u64,
+    started: Instant,
+    beats: u64,
+}
+
+impl Heartbeat {
+    /// A heartbeat firing every `every_cycles` cycles (min 1).
+    pub fn new(every_cycles: u64) -> Self {
+        let every_cycles = every_cycles.max(1);
+        Heartbeat {
+            every_cycles,
+            next_at: every_cycles,
+            started: Instant::now(),
+            beats: 0,
+        }
+    }
+
+    /// Called once per simulated cycle; prints and returns true on beat
+    /// cycles.
+    #[inline]
+    pub fn tick(&mut self, cycle: u64, reads_done: u64) -> bool {
+        if cycle < self.next_at {
+            return false;
+        }
+        self.next_at += self.every_cycles;
+        self.beats += 1;
+        let secs = self.started.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { cycle as f64 / secs } else { 0.0 };
+        eprintln!("[dramstack] cycle {cycle} | {reads_done} reads done | {rate:.0} sim-cycles/s");
+        true
+    }
+
+    /// Number of lines printed so far.
+    pub fn beats(&self) -> u64 {
+        self.beats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timers_record_nothing() {
+        let mut t = PhaseTimers::new();
+        let h = t.begin();
+        assert!(h.is_none());
+        t.end(SimPhase::Ctrl, h);
+        assert_eq!(t.seconds(SimPhase::Ctrl), 0.0);
+        let r = t.report(1000);
+        assert!(!r.enabled);
+        assert_eq!(r.wall_seconds, 0.0);
+        assert_eq!(r.sim_cycles_per_second, 0.0);
+    }
+
+    #[test]
+    fn enabled_timers_accumulate_per_phase() {
+        let mut t = PhaseTimers::new();
+        t.enable();
+        let h = t.begin();
+        assert!(h.is_some());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.end(SimPhase::Cores, h);
+        assert!(t.seconds(SimPhase::Cores) > 0.0);
+        assert_eq!(t.seconds(SimPhase::Pump), 0.0);
+        let r = t.report(5000);
+        assert!(r.enabled);
+        assert!(r.wall_seconds > 0.0);
+        assert!(r.sim_cycles_per_second > 0.0);
+        assert_eq!(r.sim_cycles, 5000);
+        assert!(r.phase_seconds("cores") > 0.0);
+        assert_eq!(r.phases.len(), 5);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut t = PhaseTimers::new();
+        t.enable();
+        let r = t.report(123);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn disabled_report_is_default() {
+        assert_eq!(PerfReport::default(), PerfReport::disabled());
+        assert_eq!(PerfReport::default().phase_seconds("ctrl"), 0.0);
+    }
+
+    #[test]
+    fn heartbeat_fires_on_schedule() {
+        let mut hb = Heartbeat::new(100);
+        assert!(!hb.tick(50, 0));
+        assert!(hb.tick(100, 10));
+        assert!(!hb.tick(150, 12));
+        assert!(hb.tick(205, 20));
+        assert_eq!(hb.beats(), 2);
+    }
+}

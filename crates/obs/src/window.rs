@@ -1,0 +1,136 @@
+//! Per-sampling-window controller health, attached to every
+//! through-time sample.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::HistogramSnapshot;
+
+/// Bucket edges used for the per-window queue-depth histograms.
+pub const QUEUE_DEPTH_BOUNDS: [u64; 7] = [0, 1, 2, 4, 8, 16, 32];
+
+/// Controller-health metrics for one sampling window, built by the stack
+/// sampler from the per-cycle [`CycleView`](dramstack_dram::CycleView)
+/// fields the controller now exports.
+///
+/// These complement the bandwidth/latency stacks of the same window: the
+/// stacks say where the window's cycles *went*, these say what the
+/// controller *looked like* while it spent them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CtrlWindowStats {
+    /// Cycles covered by the window.
+    pub cycles: u64,
+    /// CAS commands issued in the window.
+    pub cas: u64,
+    /// CAS commands that hit an open row.
+    pub cas_hits: u64,
+    /// Cycles spent in write-drain mode.
+    pub drain_cycles: u64,
+    /// Distribution of the read-queue depth, sampled every cycle.
+    pub read_queue_depth: HistogramSnapshot,
+    /// Distribution of the write-queue depth, sampled every cycle.
+    pub write_queue_depth: HistogramSnapshot,
+}
+
+impl CtrlWindowStats {
+    /// An empty window.
+    pub fn empty() -> Self {
+        CtrlWindowStats {
+            cycles: 0,
+            cas: 0,
+            cas_hits: 0,
+            drain_cycles: 0,
+            read_queue_depth: HistogramSnapshot::new(&QUEUE_DEPTH_BOUNDS),
+            write_queue_depth: HistogramSnapshot::new(&QUEUE_DEPTH_BOUNDS),
+        }
+    }
+
+    /// Row-buffer hit rate over the window's CAS commands, in `[0, 1]`
+    /// (0 when no CAS issued).
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.cas == 0 {
+            return 0.0;
+        }
+        self.cas_hits as f64 / self.cas as f64
+    }
+
+    /// Fraction of the window spent in write-drain mode, in `[0, 1]`.
+    pub fn drain_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.drain_cycles as f64 / self.cycles as f64
+    }
+
+    /// Mean read-queue depth over the window.
+    pub fn mean_read_queue_depth(&self) -> f64 {
+        self.read_queue_depth.mean()
+    }
+
+    /// Accumulates another window (or channel) into this one.
+    pub fn merge(&mut self, other: &CtrlWindowStats) {
+        self.cycles += other.cycles;
+        self.cas += other.cas;
+        self.cas_hits += other.cas_hits;
+        self.drain_cycles += other.drain_cycles;
+        self.read_queue_depth.merge(&other.read_queue_depth);
+        self.write_queue_depth.merge(&other.write_queue_depth);
+    }
+}
+
+impl Default for CtrlWindowStats {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_has_zero_rates() {
+        let w = CtrlWindowStats::empty();
+        assert_eq!(w.row_hit_rate(), 0.0);
+        assert_eq!(w.drain_occupancy(), 0.0);
+        assert_eq!(w.mean_read_queue_depth(), 0.0);
+    }
+
+    #[test]
+    fn rates_follow_counts() {
+        let mut w = CtrlWindowStats::empty();
+        w.cycles = 100;
+        w.cas = 10;
+        w.cas_hits = 9;
+        w.drain_cycles = 25;
+        assert!((w.row_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((w.drain_occupancy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = CtrlWindowStats::empty();
+        a.cycles = 50;
+        a.cas = 5;
+        a.read_queue_depth.observe(3);
+        let mut b = CtrlWindowStats::empty();
+        b.cycles = 50;
+        b.cas_hits = 2;
+        b.read_queue_depth.observe(7);
+        a.merge(&b);
+        assert_eq!(a.cycles, 100);
+        assert_eq!(a.cas, 5);
+        assert_eq!(a.cas_hits, 2);
+        assert_eq!(a.read_queue_depth.count, 2);
+        assert_eq!(a.read_queue_depth.sum, 10);
+    }
+
+    #[test]
+    fn window_roundtrips_through_json() {
+        let mut w = CtrlWindowStats::empty();
+        w.cycles = 7;
+        w.write_queue_depth.observe(4);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: CtrlWindowStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
+    }
+}

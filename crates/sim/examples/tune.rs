@@ -31,17 +31,35 @@ fn run(label: &str, cores: usize, pattern: SyntheticPattern, us: f64) {
 }
 
 fn main() {
-    let us: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let us: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
     for c in [1, 2, 4, 8] {
-        run(&format!("seq {c}c"), c, SyntheticPattern::sequential(0.0), us);
+        run(
+            &format!("seq {c}c"),
+            c,
+            SyntheticPattern::sequential(0.0),
+            us,
+        );
     }
     for c in [1, 2, 4, 8] {
         run(&format!("rand {c}c"), c, SyntheticPattern::random(0.0), us);
     }
     for w in [10, 20, 50] {
-        run(&format!("seq w{w} 1c"), 1, SyntheticPattern::sequential(w as f64 / 100.0), us);
+        run(
+            &format!("seq w{w} 1c"),
+            1,
+            SyntheticPattern::sequential(w as f64 / 100.0),
+            us,
+        );
     }
     for w in [10, 20, 50] {
-        run(&format!("rand w{w} 1c"), 1, SyntheticPattern::random(w as f64 / 100.0), us);
+        run(
+            &format!("rand w{w} 1c"),
+            1,
+            SyntheticPattern::random(w as f64 / 100.0),
+            us,
+        );
     }
 }

@@ -5,7 +5,14 @@ use dramstack_memctrl::{MappingScheme, PagePolicy};
 use dramstack_sim::experiments::run_synthetic;
 use dramstack_workloads::SyntheticPattern;
 
-fn show(label: &str, cores: usize, p: SyntheticPattern, pol: PagePolicy, map: MappingScheme, us: f64) {
+fn show(
+    label: &str,
+    cores: usize,
+    p: SyntheticPattern,
+    pol: PagePolicy,
+    map: MappingScheme,
+    us: f64,
+) {
     let r = run_synthetic(cores, p, pol, map, us);
     let bw = &r.bandwidth_stack;
     println!(
@@ -27,17 +34,76 @@ fn show(label: &str, cores: usize, p: SyntheticPattern, pol: PagePolicy, map: Ma
 }
 
 fn main() {
-    let us: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let us: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
     use MappingScheme::*;
     use PagePolicy::*;
     println!("--- fig4: open vs closed, 2 cores, read-only ---");
-    show("seq open", 2, SyntheticPattern::sequential(0.0), Open, RowBankColumn, us);
-    show("seq closed", 2, SyntheticPattern::sequential(0.0), Closed, RowBankColumn, us);
-    show("rand open", 2, SyntheticPattern::random(0.0), Open, RowBankColumn, us);
-    show("rand closed", 2, SyntheticPattern::random(0.0), Closed, RowBankColumn, us);
+    show(
+        "seq open",
+        2,
+        SyntheticPattern::sequential(0.0),
+        Open,
+        RowBankColumn,
+        us,
+    );
+    show(
+        "seq closed",
+        2,
+        SyntheticPattern::sequential(0.0),
+        Closed,
+        RowBankColumn,
+        us,
+    );
+    show(
+        "rand open",
+        2,
+        SyntheticPattern::random(0.0),
+        Open,
+        RowBankColumn,
+        us,
+    );
+    show(
+        "rand closed",
+        2,
+        SyntheticPattern::random(0.0),
+        Closed,
+        RowBankColumn,
+        us,
+    );
     println!("--- fig6: def vs interleaved ---");
-    show("seq w50 1c open def", 1, SyntheticPattern::sequential(0.5), Open, RowBankColumn, us);
-    show("seq w50 1c open int", 1, SyntheticPattern::sequential(0.5), Open, CacheLineInterleaved, us);
-    show("seq w0 2c closed def", 2, SyntheticPattern::sequential(0.0), Closed, RowBankColumn, us);
-    show("seq w0 2c closed int", 2, SyntheticPattern::sequential(0.0), Closed, CacheLineInterleaved, us);
+    show(
+        "seq w50 1c open def",
+        1,
+        SyntheticPattern::sequential(0.5),
+        Open,
+        RowBankColumn,
+        us,
+    );
+    show(
+        "seq w50 1c open int",
+        1,
+        SyntheticPattern::sequential(0.5),
+        Open,
+        CacheLineInterleaved,
+        us,
+    );
+    show(
+        "seq w0 2c closed def",
+        2,
+        SyntheticPattern::sequential(0.0),
+        Closed,
+        RowBankColumn,
+        us,
+    );
+    show(
+        "seq w0 2c closed int",
+        2,
+        SyntheticPattern::sequential(0.0),
+        Closed,
+        CacheLineInterleaved,
+        us,
+    );
 }

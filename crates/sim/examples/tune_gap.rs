@@ -11,15 +11,19 @@ fn main() {
         _ => ExperimentScale::full(),
     };
     let g = scale.build_graph();
-    println!(
-        "graph: {} vertices, {} directed edges",
-        g.n,
-        g.edge_count()
-    );
+    println!("graph: {} vertices, {} directed edges", g.n, g.edge_count());
 
-    for (kernel, cores) in [(GapKernel::Bfs, 8usize), (GapKernel::Tc, 1), (GapKernel::Pr, 8)] {
+    for (kernel, cores) in [
+        (GapKernel::Bfs, 8usize),
+        (GapKernel::Tc, 1),
+        (GapKernel::Pr, 8),
+    ] {
         let t0 = std::time::Instant::now();
-        let policy = if kernel == GapKernel::Tc { PagePolicy::Open } else { PagePolicy::Closed };
+        let policy = if kernel == GapKernel::Tc {
+            PagePolicy::Open
+        } else {
+            PagePolicy::Closed
+        };
         let gk = scale.graph_for(kernel);
         let r = run_gap(
             kernel,

@@ -54,8 +54,18 @@ impl SystemConfig {
     pub fn paper_gap(n_cores: usize) -> Self {
         use dramstack_cpu::CacheConfig;
         let mut c = Self::paper_default(n_cores);
-        c.hierarchy.l2 = CacheConfig { size_bytes: 256 << 10, ways: 8, line_bytes: 64, latency: 14 };
-        c.hierarchy.llc = CacheConfig { size_bytes: 1 << 20, ways: 8, line_bytes: 64, latency: 44 };
+        c.hierarchy.l2 = CacheConfig {
+            size_bytes: 256 << 10,
+            ways: 8,
+            line_bytes: 64,
+            latency: 14,
+        };
+        c.hierarchy.llc = CacheConfig {
+            size_bytes: 1 << 20,
+            ways: 8,
+            line_bytes: 64,
+            latency: 44,
+        };
         c
     }
 
@@ -82,13 +92,19 @@ impl SystemConfig {
     /// multiplier is zero.
     pub fn validate(&self) {
         assert!(self.n_cores > 0, "need at least one core");
-        assert!(self.core_clock_mult > 0, "core clock multiplier must be nonzero");
+        assert!(
+            self.core_clock_mult > 0,
+            "core clock multiplier must be nonzero"
+        );
         assert!(self.sample_period > 0, "sample period must be nonzero");
         assert!(
             self.channels > 0 && self.channels.is_power_of_two(),
             "channels must be a nonzero power of two"
         );
-        self.ctrl.device.validate().expect("invalid device configuration");
+        self.ctrl
+            .device
+            .validate()
+            .expect("invalid device configuration");
     }
 
     /// Total system peak bandwidth across all channels, in GB/s.

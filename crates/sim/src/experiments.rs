@@ -47,7 +47,10 @@ impl ExperimentScale {
             tc_graph_scale: 14,
             graph_degree: 16,
             max_cycles: 400_000_000,
-            gap: GapConfig { pr_iterations: 2, ..GapConfig::default() },
+            gap: GapConfig {
+                pr_iterations: 2,
+                ..GapConfig::default()
+            },
         }
     }
 
@@ -59,7 +62,10 @@ impl ExperimentScale {
             tc_graph_scale: 8,
             graph_degree: 8,
             max_cycles: 10_000_000,
-            gap: GapConfig { pr_iterations: 2, ..GapConfig::default() },
+            gap: GapConfig {
+                pr_iterations: 2,
+                ..GapConfig::default()
+            },
         }
     }
 
@@ -100,6 +106,7 @@ pub fn run_synthetic(
 }
 
 /// Runs one GAP kernel to completion.
+#[allow(clippy::too_many_arguments)]
 pub fn run_gap(
     kernel: GapKernel,
     graph: &Graph,
@@ -132,9 +139,10 @@ pub struct SynthRow {
 /// Fig. 2: read-only sequential/random, 1–8 cores.
 pub fn fig2(scale: &ExperimentScale) -> Vec<SynthRow> {
     let mut rows = Vec::new();
-    for (name, pattern) in
-        [("seq", SyntheticPattern::sequential(0.0)), ("rand", SyntheticPattern::random(0.0))]
-    {
+    for (name, pattern) in [
+        ("seq", SyntheticPattern::sequential(0.0)),
+        ("rand", SyntheticPattern::random(0.0)),
+    ] {
         for cores in [1usize, 2, 4, 8] {
             let report = run_synthetic(
                 cores,
@@ -143,7 +151,10 @@ pub fn fig2(scale: &ExperimentScale) -> Vec<SynthRow> {
                 MappingScheme::RowBankColumn,
                 scale.synth_us,
             );
-            rows.push(SynthRow { label: format!("{name} {cores}c"), report });
+            rows.push(SynthRow {
+                label: format!("{name} {cores}c"),
+                report,
+            });
         }
     }
     rows
@@ -167,7 +178,10 @@ pub fn fig3(scale: &ExperimentScale) -> Vec<SynthRow> {
                 MappingScheme::RowBankColumn,
                 scale.synth_us,
             );
-            rows.push(SynthRow { label: format!("{name} w{pct}"), report });
+            rows.push(SynthRow {
+                label: format!("{name} w{pct}"),
+                report,
+            });
         }
     }
     rows
@@ -176,9 +190,10 @@ pub fn fig3(scale: &ExperimentScale) -> Vec<SynthRow> {
 /// Fig. 4: open vs closed page policy, read-only, 2 cores.
 pub fn fig4(scale: &ExperimentScale) -> Vec<SynthRow> {
     let mut rows = Vec::new();
-    for (name, pattern) in
-        [("seq", SyntheticPattern::sequential(0.0)), ("rand", SyntheticPattern::random(0.0))]
-    {
+    for (name, pattern) in [
+        ("seq", SyntheticPattern::sequential(0.0)),
+        ("rand", SyntheticPattern::random(0.0)),
+    ] {
         for (pname, policy) in [("open", PagePolicy::Open), ("closed", PagePolicy::Closed)] {
             let report = run_synthetic(
                 2,
@@ -187,7 +202,10 @@ pub fn fig4(scale: &ExperimentScale) -> Vec<SynthRow> {
                 MappingScheme::RowBankColumn,
                 scale.synth_us,
             );
-            rows.push(SynthRow { label: format!("{name} {pname}"), report });
+            rows.push(SynthRow {
+                label: format!("{name} {pname}"),
+                report,
+            });
         }
     }
     rows
@@ -197,9 +215,10 @@ pub fn fig4(scale: &ExperimentScale) -> Vec<SynthRow> {
 /// high-queueing cases.
 pub fn fig6(scale: &ExperimentScale) -> Vec<SynthRow> {
     let mut rows = Vec::new();
-    for (mname, mapping) in
-        [("def", MappingScheme::RowBankColumn), ("int", MappingScheme::CacheLineInterleaved)]
-    {
+    for (mname, mapping) in [
+        ("def", MappingScheme::RowBankColumn),
+        ("int", MappingScheme::CacheLineInterleaved),
+    ] {
         // Case 1: sequential, 50 % stores, 1 core, open page.
         let report = run_synthetic(
             1,
@@ -208,7 +227,10 @@ pub fn fig6(scale: &ExperimentScale) -> Vec<SynthRow> {
             mapping,
             scale.synth_us,
         );
-        rows.push(SynthRow { label: format!("seq w50 1c open {mname}"), report });
+        rows.push(SynthRow {
+            label: format!("seq w50 1c open {mname}"),
+            report,
+        });
         // Case 2: sequential, read-only, 2 cores, closed page.
         let report = run_synthetic(
             2,
@@ -217,7 +239,10 @@ pub fn fig6(scale: &ExperimentScale) -> Vec<SynthRow> {
             mapping,
             scale.synth_us,
         );
-        rows.push(SynthRow { label: format!("seq w0 2c closed {mname}"), report });
+        rows.push(SynthRow {
+            label: format!("seq w0 2c closed {mname}"),
+            report,
+        });
     }
     rows
 }
@@ -267,18 +292,54 @@ pub fn fig8(scale: &ExperimentScale) -> Vec<Fig8Row> {
         });
     };
     let base = |mapping, wq| {
-        run_gap(GapKernel::Bfs, &g, 8, PagePolicy::Closed, mapping, wq, &scale.gap, scale.max_cycles)
+        run_gap(
+            GapKernel::Bfs,
+            &g,
+            8,
+            PagePolicy::Closed,
+            mapping,
+            wq,
+            &scale.gap,
+            scale.max_cycles,
+        )
     };
-    push("bfs 8c closed def".into(), &base(MappingScheme::RowBankColumn, 32));
-    push("bfs 8c closed int".into(), &base(MappingScheme::CacheLineInterleaved, 32));
-    push("bfs 8c closed wq128".into(), &base(MappingScheme::RowBankColumn, 128));
+    push(
+        "bfs 8c closed def".into(),
+        &base(MappingScheme::RowBankColumn, 32),
+    );
+    push(
+        "bfs 8c closed int".into(),
+        &base(MappingScheme::CacheLineInterleaved, 32),
+    );
+    push(
+        "bfs 8c closed wq128".into(),
+        &base(MappingScheme::RowBankColumn, 128),
+    );
 
     let tc = |mapping, policy| {
-        run_gap(GapKernel::Tc, &g_tc, 1, policy, mapping, 32, &scale.gap, scale.max_cycles)
+        run_gap(
+            GapKernel::Tc,
+            &g_tc,
+            1,
+            policy,
+            mapping,
+            32,
+            &scale.gap,
+            scale.max_cycles,
+        )
     };
-    push("tc 1c closed def".into(), &tc(MappingScheme::RowBankColumn, PagePolicy::Closed));
-    push("tc 1c closed int".into(), &tc(MappingScheme::CacheLineInterleaved, PagePolicy::Closed));
-    push("tc 1c open def".into(), &tc(MappingScheme::RowBankColumn, PagePolicy::Open));
+    push(
+        "tc 1c closed def".into(),
+        &tc(MappingScheme::RowBankColumn, PagePolicy::Closed),
+    );
+    push(
+        "tc 1c closed int".into(),
+        &tc(MappingScheme::CacheLineInterleaved, PagePolicy::Closed),
+    );
+    push(
+        "tc 1c open def".into(),
+        &tc(MappingScheme::RowBankColumn, PagePolicy::Open),
+    );
     rows
 }
 
@@ -372,13 +433,20 @@ impl Fig9Row {
 /// Fig. 9: measured vs extrapolated 8-core bandwidth for the GAP kernels.
 /// (tc runs with the open policy, the others closed, per Section VIII.)
 pub fn fig9(scale: &ExperimentScale) -> Vec<Fig9Row> {
-    GapKernel::ALL.iter().map(|&k| fig9_kernel(k, scale)).collect()
+    GapKernel::ALL
+        .iter()
+        .map(|&k| fig9_kernel(k, scale))
+        .collect()
 }
 
 /// One kernel of Fig. 9 (usable alone for quick checks).
 pub fn fig9_kernel(kernel: GapKernel, scale: &ExperimentScale) -> Fig9Row {
     let g = scale.graph_for(kernel);
-    let policy = if kernel == GapKernel::Tc { PagePolicy::Open } else { PagePolicy::Closed };
+    let policy = if kernel == GapKernel::Tc {
+        PagePolicy::Open
+    } else {
+        PagePolicy::Closed
+    };
     let one = run_gap(
         kernel,
         &g,
@@ -419,7 +487,11 @@ mod tests {
         let rows = fig2(&scale);
         assert_eq!(rows.len(), 8);
         let bw = |label: &str| {
-            rows.iter().find(|r| r.label == label).unwrap().report.achieved_gbps()
+            rows.iter()
+                .find(|r| r.label == label)
+                .unwrap()
+                .report
+                .achieved_gbps()
         };
         // Sequential beats random at every core count.
         for c in [1, 2, 4, 8] {
@@ -440,7 +512,10 @@ mod tests {
         assert!(row.measured_8c > 0.0);
         assert!(row.naive > 0.0);
         assert!(row.stack > 0.0);
-        assert!(row.stack <= row.naive + 1e-9, "stack prediction never exceeds naive");
+        assert!(
+            row.stack <= row.naive + 1e-9,
+            "stack prediction never exceeds naive"
+        );
     }
 
     #[test]

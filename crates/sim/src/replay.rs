@@ -34,7 +34,13 @@ pub struct MemRequest {
 impl fmt::Display for MemRequest {
     /// Line format: `cycle R|W 0xADDR`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {:#x}", self.at, if self.write { 'W' } else { 'R' }, self.addr)
+        write!(
+            f,
+            "{} {} {:#x}",
+            self.at,
+            if self.write { 'W' } else { 'R' },
+            self.addr
+        )
     }
 }
 
@@ -54,7 +60,9 @@ impl FromStr for MemRequest {
             other => return Err(format!("kind must be R or W, got `{other}`")),
         };
         let addr_s = it.next().ok_or("missing address")?;
-        let addr = if let Some(hex) = addr_s.strip_prefix("0x").or_else(|| addr_s.strip_prefix("0X"))
+        let addr = if let Some(hex) = addr_s
+            .strip_prefix("0x")
+            .or_else(|| addr_s.strip_prefix("0X"))
         {
             u64::from_str_radix(hex, 16).map_err(|e| format!("address: {e}"))?
         } else {
@@ -184,7 +192,14 @@ pub fn replay_requests(
     let bandwidth_stack =
         aggregate_bandwidth(&samples).unwrap_or_else(|| BandwidthStack::empty(peak));
     let latency_stack = aggregate_latency(&samples);
-    Ok(ReplayResult { bandwidth_stack, latency_stack, samples, finished_at: now, reads, writes })
+    Ok(ReplayResult {
+        bandwidth_stack,
+        latency_stack,
+        samples,
+        finished_at: now,
+        reads,
+        writes,
+    })
 }
 
 #[cfg(test)]
@@ -194,12 +209,23 @@ mod tests {
 
     #[test]
     fn request_line_roundtrip() {
-        let r = MemRequest { at: 120, write: true, addr: 0xDEAD_C0 };
+        let r = MemRequest {
+            at: 120,
+            write: true,
+            addr: 0x00DE_ADC0,
+        };
         let line = r.to_string();
         assert_eq!(line.parse::<MemRequest>().unwrap(), r);
         // Decimal addresses parse too.
         let r2: MemRequest = "5 R 4096".parse().unwrap();
-        assert_eq!(r2, MemRequest { at: 5, write: false, addr: 4096 });
+        assert_eq!(
+            r2,
+            MemRequest {
+                at: 5,
+                write: false,
+                addr: 4096
+            }
+        );
         assert!("x R 0".parse::<MemRequest>().is_err());
         assert!("1 Q 0".parse::<MemRequest>().is_err());
         assert!("1 R".parse::<MemRequest>().is_err());
@@ -215,10 +241,14 @@ mod tests {
 
     #[test]
     fn replay_simple_reads() {
-        let reqs: Vec<MemRequest> =
-            (0..50).map(|i| MemRequest { at: i * 12, write: false, addr: i * 64 }).collect();
-        let result =
-            replay_requests(&reqs, CtrlConfig::paper_default(), 1_000, 1_000_000).unwrap();
+        let reqs: Vec<MemRequest> = (0..50)
+            .map(|i| MemRequest {
+                at: i * 12,
+                write: false,
+                addr: i * 64,
+            })
+            .collect();
+        let result = replay_requests(&reqs, CtrlConfig::paper_default(), 1_000, 1_000_000).unwrap();
         assert_eq!(result.reads, 50);
         assert_eq!(result.writes, 0);
         assert_eq!(result.latency_stack.reads, 50);
@@ -231,10 +261,13 @@ mod tests {
     fn replay_mixed_reads_and_writes() {
         let mut reqs = Vec::new();
         for i in 0..200u64 {
-            reqs.push(MemRequest { at: i * 5, write: i % 3 == 0, addr: (i * 7919 * 64) % (1 << 28) });
+            reqs.push(MemRequest {
+                at: i * 5,
+                write: i % 3 == 0,
+                addr: (i * 7919 * 64) % (1 << 28),
+            });
         }
-        let result =
-            replay_requests(&reqs, CtrlConfig::paper_default(), 2_000, 5_000_000).unwrap();
+        let result = replay_requests(&reqs, CtrlConfig::paper_default(), 2_000, 5_000_000).unwrap();
         assert_eq!(result.reads + result.writes, 200);
         assert!(result.bandwidth_stack.gbps(BwComponent::Write) > 0.0);
     }
@@ -242,20 +275,35 @@ mod tests {
     #[test]
     fn unsorted_trace_is_rejected() {
         let reqs = vec![
-            MemRequest { at: 10, write: false, addr: 0 },
-            MemRequest { at: 5, write: false, addr: 64 },
+            MemRequest {
+                at: 10,
+                write: false,
+                addr: 0,
+            },
+            MemRequest {
+                at: 5,
+                write: false,
+                addr: 64,
+            },
         ];
-        assert!(replay_requests(&reqs, CtrlConfig::paper_default(), 1_000, 10_000)
-            .unwrap_err()
-            .contains("not sorted"));
+        assert!(
+            replay_requests(&reqs, CtrlConfig::paper_default(), 1_000, 10_000)
+                .unwrap_err()
+                .contains("not sorted")
+        );
     }
 
     #[test]
     fn backpressure_preserves_program_order() {
         // A burst far larger than the read queue must still complete, with
         // arrivals stalled rather than dropped.
-        let reqs: Vec<MemRequest> =
-            (0..500).map(|i| MemRequest { at: 0, write: false, addr: i * 4096 }).collect();
+        let reqs: Vec<MemRequest> = (0..500)
+            .map(|i| MemRequest {
+                at: 0,
+                write: false,
+                addr: i * 4096,
+            })
+            .collect();
         let result =
             replay_requests(&reqs, CtrlConfig::paper_default(), 10_000, 10_000_000).unwrap();
         assert_eq!(result.reads, 500);

@@ -6,6 +6,7 @@ use dramstack_core::{BandwidthStack, LatencyHistogram, LatencyStack, TimeSample}
 use dramstack_cpu::{CacheStats, CycleStack, HierarchyStats};
 use dramstack_dram::Cycle;
 use dramstack_memctrl::CtrlStats;
+use dramstack_obs::PerfReport;
 
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,6 +39,11 @@ pub struct SimReport {
     /// Distribution of individual read latencies (in DRAM cycles) — the
     /// stacks report averages; tails live here.
     pub latency_histogram: LatencyHistogram,
+    /// Simulator self-profiling (host wall-clock time per drive-loop
+    /// phase; all-zero unless profiling was enabled). Excluded by
+    /// [`strip_perf`](Self::strip_perf) when comparing runs for
+    /// determinism, since wall clocks differ even when results do not.
+    pub perf: PerfReport,
 }
 
 impl SimReport {
@@ -58,6 +64,15 @@ impl SimReport {
             return 0.0;
         }
         self.instrs_retired as f64 / core_cycles as f64
+    }
+
+    /// A copy with the (host-dependent) self-profiling zeroed, so two
+    /// runs of the same workload compare equal field-by-field.
+    pub fn strip_perf(&self) -> SimReport {
+        SimReport {
+            perf: PerfReport::disabled(),
+            ..self.clone()
+        }
     }
 
     /// Serializes the report as pretty JSON.
@@ -94,6 +109,7 @@ mod tests {
             cache_stats: Default::default(),
             instrs_retired: 0,
             latency_histogram: LatencyHistogram::new(),
+            perf: PerfReport::disabled(),
         }
     }
 
@@ -111,5 +127,16 @@ mod tests {
         let s = r.to_json().unwrap();
         let back: SimReport = serde_json::from_str(&s).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn strip_perf_zeroes_only_profiling() {
+        let mut r = dummy();
+        r.perf.enabled = true;
+        r.perf.wall_seconds = 1.5;
+        let s = r.strip_perf();
+        assert_eq!(s.perf, PerfReport::disabled());
+        assert_eq!(s.bandwidth_stack, r.bandwidth_stack);
+        assert_eq!(s.sim_cycles, r.sim_cycles);
     }
 }

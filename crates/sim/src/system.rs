@@ -8,6 +8,7 @@ use dramstack_core::{
 use dramstack_cpu::{CoreModel, CycleStack, Hierarchy, InstrStream, VecStream};
 use dramstack_dram::{Cycle, CycleView};
 use dramstack_memctrl::MemoryController;
+use dramstack_obs::{Heartbeat, PhaseTimers, Probe, SimPhase};
 use dramstack_workloads::SyntheticPattern;
 
 use crate::config::SystemConfig;
@@ -32,6 +33,8 @@ pub struct Simulator {
     histogram: LatencyHistogram,
     dram_cycle: Cycle,
     next_cycle_sample: Cycle,
+    timers: PhaseTimers,
+    heartbeat: Option<Heartbeat>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -54,15 +57,18 @@ impl Simulator {
     pub fn new(cfg: SystemConfig, streams: Vec<Box<dyn InstrStream>>) -> Self {
         cfg.validate();
         assert_eq!(streams.len(), cfg.n_cores, "one stream per core");
-        let ctrls: Vec<MemoryController> =
-            (0..cfg.channels).map(|_| MemoryController::new(cfg.ctrl.clone())).collect();
+        let ctrls: Vec<MemoryController> = (0..cfg.channels)
+            .map(|_| MemoryController::new(cfg.ctrl.clone()))
+            .collect();
         let n_banks = ctrls[0].total_banks();
         let peak = cfg.ctrl.device.peak_bandwidth_gbps();
         let samplers = (0..cfg.channels)
             .map(|_| StackSampler::new(n_banks, peak, cfg.dram_cycle_ns(), cfg.sample_period))
             .collect();
         Simulator {
-            cores: (0..cfg.n_cores).map(|i| CoreModel::new(i, cfg.core)).collect(),
+            cores: (0..cfg.n_cores)
+                .map(|i| CoreModel::new(i, cfg.core))
+                .collect(),
             hier: Hierarchy::new(cfg.n_cores, cfg.hierarchy),
             views: vec![CycleView::idle(n_banks); cfg.channels],
             samplers,
@@ -71,10 +77,36 @@ impl Simulator {
             histogram: LatencyHistogram::new(),
             dram_cycle: 0,
             next_cycle_sample: cfg.sample_period,
+            timers: PhaseTimers::new(),
+            heartbeat: None,
             streams,
             ctrls,
             cfg,
         }
+    }
+
+    /// Turns on wall-clock self-profiling of the drive loop; the
+    /// breakdown lands in [`SimReport::perf`]. Profiling reads only the
+    /// host clock and never changes simulation results.
+    pub fn enable_profiling(&mut self) {
+        self.timers.enable();
+    }
+
+    /// Prints a progress line to stderr every `every_cycles` simulated
+    /// cycles.
+    pub fn enable_heartbeat(&mut self, every_cycles: Cycle) {
+        self.heartbeat = Some(Heartbeat::new(every_cycles));
+    }
+
+    /// Attaches an observation probe (e.g. a
+    /// [`ChromeTraceProbe`](dramstack_obs::ChromeTraceProbe)) to the
+    /// controller of `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn attach_probe(&mut self, channel: usize, probe: Box<dyn Probe>) {
+        self.ctrls[channel].attach_probe(probe);
     }
 
     /// Builds a simulator running the given synthetic pattern on every
@@ -86,10 +118,12 @@ impl Simulator {
     /// first cycle instead of only after the 11 MB LLC fills.
     pub fn with_synthetic(cfg: SystemConfig, pattern: SyntheticPattern) -> Self {
         let n = cfg.n_cores;
-        let streams: Vec<Box<dyn InstrStream>> =
-            (0..n).map(|c| Box::new(pattern.stream_for_core(c, n)) as Box<dyn InstrStream>).collect();
+        let streams: Vec<Box<dyn InstrStream>> = (0..n)
+            .map(|c| Box::new(pattern.stream_for_core(c, n)) as Box<dyn InstrStream>)
+            .collect();
         let mut sim = Self::new(cfg, streams);
-        let llc_lines = sim.cfg.hierarchy.llc.size_bytes / u64::from(sim.cfg.hierarchy.llc.line_bytes);
+        let llc_lines =
+            sim.cfg.hierarchy.llc.size_bytes / u64::from(sim.cfg.hierarchy.llc.line_bytes);
         let per_core = llc_lines / n as u64;
         for core in 0..n {
             for (line, dirty) in pattern.warm_lines(core, per_core) {
@@ -142,13 +176,16 @@ impl Simulator {
         let now = self.dram_cycle;
 
         // 1. Memory controllers + DRAM + bandwidth-stack accounting.
+        let t = self.timers.begin();
         for ch in 0..self.ctrls.len() {
             self.ctrls[ch].tick(now, &mut self.views[ch]);
             self.samplers[ch].account(&self.views[ch]);
         }
+        self.timers.end(SimPhase::Ctrl, t);
 
         // 2. Completions propagate up: latency stack, cache fills, cores.
         //    `meta` carries the original (pre-strip) line address.
+        let t = self.timers.begin();
         for ch in 0..self.ctrls.len() {
             let completions: Vec<_> = self.ctrls[ch].drain_completions().collect();
             for c in completions {
@@ -160,8 +197,10 @@ impl Simulator {
                 }
             }
         }
+        self.timers.end(SimPhase::Completions, t);
 
         // 3. Cores run `core_clock_mult` cycles per DRAM cycle.
+        let t = self.timers.begin();
         for k in 0..self.cfg.core_clock_mult {
             let core_now = now * u64::from(self.cfg.core_clock_mult) + u64::from(k);
             for (core, stream) in self.cores.iter_mut().zip(&mut self.streams) {
@@ -171,10 +210,11 @@ impl Simulator {
 
         // 4. Barrier release: when every unfinished core is parked.
         self.release_barriers();
+        self.timers.end(SimPhase::Cores, t);
 
         // 5. Pump hierarchy ⇄ controllers (head-of-line per direction).
-        loop {
-            let Some(r) = self.hier.pop_read() else { break };
+        let t = self.timers.begin();
+        while let Some(r) = self.hier.pop_read() {
             let ch = self.channel_of(r.line);
             if self.ctrls[ch].can_accept_read() {
                 let stripped = self.strip_channel(r.line);
@@ -184,8 +224,7 @@ impl Simulator {
                 break;
             }
         }
-        loop {
-            let Some(line) = self.hier.pop_write() else { break };
+        while let Some(line) = self.hier.pop_write() {
             let ch = self.channel_of(line);
             if self.ctrls[ch].can_accept_write() {
                 let stripped = self.strip_channel(line);
@@ -195,8 +234,10 @@ impl Simulator {
                 break;
             }
         }
+        self.timers.end(SimPhase::Pump, t);
 
         // 6. Through-time CPU cycle-stack sampling.
+        let t = self.timers.begin();
         self.dram_cycle += 1;
         if self.dram_cycle == self.next_cycle_sample {
             self.next_cycle_sample += self.cfg.sample_period;
@@ -206,6 +247,14 @@ impl Simulator {
             }
             self.cycle_total.merge(&window);
             self.cycle_samples.push(window);
+        }
+        self.timers.end(SimPhase::Sampling, t);
+
+        if let Some(hb) = &mut self.heartbeat {
+            hb.tick(
+                self.dram_cycle,
+                self.ctrls.iter().map(|c| c.stats().reads_done).sum(),
+            );
         }
     }
 
@@ -307,6 +356,7 @@ impl Simulator {
             latency_histogram: self.histogram.clone(),
             channel_stacks,
             samples,
+            perf: self.timers.report(self.dram_cycle),
         }
     }
 
@@ -337,14 +387,17 @@ fn aggregate_channel_samples(per_channel: &[Vec<TimeSample>]) -> Vec<TimeSample>
             let stacks: Vec<BandwidthStack> =
                 per_channel.iter().map(|s| s[w].bandwidth.clone()).collect();
             let mut latency = LatencyStack::empty();
+            let mut ctrl = dramstack_obs::CtrlWindowStats::empty();
             for s in per_channel {
                 latency.merge(&s[w].latency);
+                ctrl.merge(&s[w].ctrl);
             }
             TimeSample {
                 start_cycle: per_channel[0][w].start_cycle,
                 cycles: per_channel[0][w].cycles,
                 bandwidth: BandwidthStack::aggregate_channels(&stacks),
                 latency,
+                ctrl,
             }
         })
         .collect()
@@ -382,8 +435,7 @@ mod tests {
     fn refresh_component_is_visible() {
         // Even an idle system refreshes: tRFC/tREFI ≈ 4.5 % of peak.
         let cfg = SystemConfig::paper_default(1);
-        let streams: Vec<Box<dyn InstrStream>> =
-            vec![Box::new(VecStream::new(Vec::new()))];
+        let streams: Vec<Box<dyn InstrStream>> = vec![Box::new(VecStream::new(Vec::new()))];
         let mut sim = Simulator::new(cfg, streams);
         let r = sim.run_for_us(100.0);
         let refresh_frac = r.bandwidth_stack.fraction(BwComponent::Refresh);
@@ -452,7 +504,10 @@ mod tests {
         // Lines interleave: both channels carry comparable traffic.
         let a = two.channel_stacks[0].achieved_gbps();
         let b = two.channel_stacks[1].achieved_gbps();
-        assert!((a - b).abs() < 0.3 * a.max(b), "channel balance: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 0.3 * a.max(b),
+            "channel balance: {a} vs {b}"
+        );
         // The aggregate is consistent against the system peak.
         assert!(two.bandwidth_stack.is_consistent());
         assert!((two.bandwidth_stack.total_gbps() - 38.4).abs() < 1e-6);

@@ -47,7 +47,10 @@ fn legend_bw(label_w: usize) -> String {
 
 /// Renders horizontal stacked latency bars scaled to the largest total.
 pub fn latency_chart(rows: &[(String, LatencyStack)]) -> String {
-    let max_ns = rows.iter().map(|(_, s)| s.total_ns()).fold(1.0_f64, f64::max);
+    let max_ns = rows
+        .iter()
+        .map(|(_, s)| s.total_ns())
+        .fold(1.0_f64, f64::max);
     let mut out = String::new();
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
     for (label, stack) in rows {
@@ -63,7 +66,10 @@ pub fn latency_chart(rows: &[(String, LatencyStack)]) -> String {
         while bar.len() < BAR_WIDTH {
             bar.push(' ');
         }
-        out.push_str(&format!("{label:label_w$} |{bar}| {:6.1} ns\n", stack.total_ns()));
+        out.push_str(&format!(
+            "{label:label_w$} |{bar}| {:6.1} ns\n",
+            stack.total_ns()
+        ));
     }
     let mut s = format!("{:label_w$}  ", "");
     for &c in &LatComponent::ALL {
@@ -85,12 +91,11 @@ pub fn through_time_strip(samples: &[TimeSample], height: usize) -> String {
     for (x, s) in samples.iter().enumerate() {
         let peak = s.bandwidth.peak_gbps();
         let achieved = (s.bandwidth.achieved_gbps() / peak * height as f64).round() as usize;
-        let busy = ((peak
-            - s.bandwidth.gbps(BwComponent::Idle)
-            - s.bandwidth.gbps(BwComponent::BankIdle))
-            / peak
-            * height as f64)
-            .round() as usize;
+        let busy =
+            ((peak - s.bandwidth.gbps(BwComponent::Idle) - s.bandwidth.gbps(BwComponent::BankIdle))
+                / peak
+                * height as f64)
+                .round() as usize;
         for y in 0..height {
             if y < achieved {
                 grid[height - 1 - y][x] = '#';
@@ -136,10 +141,7 @@ mod tests {
 
     #[test]
     fn bandwidth_chart_shows_labels_and_scale() {
-        let chart = bandwidth_chart(&[
-            ("one".into(), stack(0.25)),
-            ("two".into(), stack(0.75)),
-        ]);
+        let chart = bandwidth_chart(&[("one".into(), stack(0.25)), ("two".into(), stack(0.75))]);
         assert!(chart.contains("one"));
         assert!(chart.contains("two"));
         assert!(chart.contains("19.2 GB/s"));
@@ -178,6 +180,7 @@ mod tests {
             cycles: 100,
             bandwidth: stack(0.5),
             latency: LatencyStack::empty(),
+            ctrl: Default::default(),
         };
         let strip = through_time_strip(&[sample], 4);
         assert!(strip.contains('#'));

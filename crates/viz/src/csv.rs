@@ -91,9 +91,14 @@ mod tests {
             cycles: 1200,
             bandwidth: BandwidthStack::empty(19.2),
             latency: LatencyStack::empty(),
+            ctrl: Default::default(),
         };
         let csv = samples_csv(&[sample], 0.8333);
         let lines: Vec<&str> = csv.lines().collect();
-        assert!(lines[1].starts_with("1.000"), "1200 cycles at 0.8333 ns ≈ 1 µs: {}", lines[1]);
+        assert!(
+            lines[1].starts_with("1.000"),
+            "1200 cycles at 0.8333 ns ≈ 1 µs: {}",
+            lines[1]
+        );
     }
 }

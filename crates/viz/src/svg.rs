@@ -32,8 +32,10 @@ fn rect(x: f64, y: f64, w: f64, h: f64, fill: &str) -> String {
 }
 
 fn text(x: f64, y: f64, anchor: &str, s: &str) -> String {
-    format!(r#"<text x="{x:.1}" y="{y:.1}" text-anchor="{anchor}">{s}</text>
-"#)
+    format!(
+        r#"<text x="{x:.1}" y="{y:.1}" text-anchor="{anchor}">{s}</text>
+"#
+    )
 }
 
 fn y_axis(out: &mut String, max: f64, unit: &str, ticks: u32) {
@@ -68,7 +70,12 @@ pub fn bandwidth_figure(title: &str, rows: &[(String, BandwidthStack)]) -> Strin
                 out.push_str(&rect(x, y, BAR_W, h, bw_color(c)));
             }
         }
-        out.push_str(&text(x + BAR_W / 2.0, MARGIN_T + PLOT_H + 14.0, "middle", label));
+        out.push_str(&text(
+            x + BAR_W / 2.0,
+            MARGIN_T + PLOT_H + 14.0,
+            "middle",
+            label,
+        ));
     }
     let lx = width - LEGEND_W + 8.0;
     for (i, c) in BwComponent::ALL.iter().enumerate() {
@@ -83,7 +90,11 @@ pub fn bandwidth_figure(title: &str, rows: &[(String, BandwidthStack)]) -> Strin
 /// Renders labeled latency stacks as a stacked bar chart scaled to the
 /// largest total.
 pub fn latency_figure(title: &str, rows: &[(String, LatencyStack)]) -> String {
-    let max = rows.iter().map(|(_, s)| s.total_ns()).fold(1.0_f64, f64::max) * 1.05;
+    let max = rows
+        .iter()
+        .map(|(_, s)| s.total_ns())
+        .fold(1.0_f64, f64::max)
+        * 1.05;
     let width = MARGIN_L + rows.len() as f64 * (BAR_W + GAP) + GAP + LEGEND_W;
     let height = MARGIN_T + PLOT_H + MARGIN_B;
     let mut out = header(width, height, title);
@@ -98,7 +109,12 @@ pub fn latency_figure(title: &str, rows: &[(String, LatencyStack)]) -> String {
                 out.push_str(&rect(x, y, BAR_W, h, lat_color(c)));
             }
         }
-        out.push_str(&text(x + BAR_W / 2.0, MARGIN_T + PLOT_H + 14.0, "middle", label));
+        out.push_str(&text(
+            x + BAR_W / 2.0,
+            MARGIN_T + PLOT_H + 14.0,
+            "middle",
+            label,
+        ));
     }
     let lx = width - LEGEND_W + 8.0;
     for (i, c) in LatComponent::ALL.iter().enumerate() {
@@ -117,7 +133,10 @@ pub fn through_time_figure(title: &str, samples: &[TimeSample], cycle_ns: f64) -
     let col_w = (900.0 / n as f64).clamp(0.5, 8.0);
     let width = MARGIN_L + n as f64 * col_w + GAP + LEGEND_W;
     let height = MARGIN_T + PLOT_H + MARGIN_B;
-    let peak = samples.first().map(|s| s.bandwidth.peak_gbps()).unwrap_or(19.2);
+    let peak = samples
+        .first()
+        .map(|s| s.bandwidth.peak_gbps())
+        .unwrap_or(19.2);
     let mut out = header(width, height, title);
     y_axis(&mut out, peak, "GB/s", 4);
     for (i, s) in samples.iter().enumerate() {
@@ -139,7 +158,12 @@ pub fn through_time_figure(title: &str, samples: &[TimeSample], cycle_ns: f64) -
     if let (Some(first), Some(last)) = (samples.first(), samples.last()) {
         let t0 = first.start_cycle as f64 * cycle_ns / 1000.0;
         let t1 = (last.start_cycle + last.cycles) as f64 * cycle_ns / 1000.0;
-        out.push_str(&text(MARGIN_L, MARGIN_T + PLOT_H + 14.0, "start", &format!("{t0:.0} µs")));
+        out.push_str(&text(
+            MARGIN_L,
+            MARGIN_T + PLOT_H + 14.0,
+            "start",
+            &format!("{t0:.0} µs"),
+        ));
         out.push_str(&text(
             MARGIN_L + n as f64 * col_w,
             MARGIN_T + PLOT_H + 14.0,
@@ -199,6 +223,7 @@ mod tests {
                 cycles: 1200,
                 bandwidth: stack(),
                 latency: LatencyStack::empty(),
+                ctrl: Default::default(),
             })
             .collect();
         let svg = through_time_figure("bfs", &samples, 0.8333);

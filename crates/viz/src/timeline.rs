@@ -57,21 +57,41 @@ pub fn command_timeline(
         match t.cmd.kind {
             CommandKind::Activate => {
                 let lane = banks.iter().position(|b| *b == t.cmd.bank).unwrap();
-                paint(&mut lanes[lane], t.at, t.at + timing.t_rcd, bw_glyph(BwComponent::Activate));
+                paint(
+                    &mut lanes[lane],
+                    t.at,
+                    t.at + timing.t_rcd,
+                    bw_glyph(BwComponent::Activate),
+                );
             }
             CommandKind::Precharge => {
                 let lane = banks.iter().position(|b| *b == t.cmd.bank).unwrap();
-                paint(&mut lanes[lane], t.at, t.at + timing.t_rp, bw_glyph(BwComponent::Precharge));
+                paint(
+                    &mut lanes[lane],
+                    t.at,
+                    t.at + timing.t_rp,
+                    bw_glyph(BwComponent::Precharge),
+                );
             }
             k if k.is_read() => {
                 let lane = banks.iter().position(|b| *b == t.cmd.bank).unwrap();
                 paint(&mut lanes[lane], t.at, t.at + timing.cl, 'r');
-                paint(&mut bus, t.at + timing.cl, t.at + timing.cl + timing.burst_cycles, 'R');
+                paint(
+                    &mut bus,
+                    t.at + timing.cl,
+                    t.at + timing.cl + timing.burst_cycles,
+                    'R',
+                );
             }
             k if k.is_write() => {
                 let lane = banks.iter().position(|b| *b == t.cmd.bank).unwrap();
                 paint(&mut lanes[lane], t.at, t.at + timing.cwl, 'w');
-                paint(&mut bus, t.at + timing.cwl, t.at + timing.cwl + timing.burst_cycles, 'W');
+                paint(
+                    &mut bus,
+                    t.at + timing.cwl,
+                    t.at + timing.cwl + timing.burst_cycles,
+                    'W',
+                );
             }
             CommandKind::Refresh => {
                 paint(&mut refresh, t.at, t.at + timing.t_rfc, 'F');
@@ -90,7 +110,7 @@ pub fn command_timeline(
     out.push_str(&format!("{:8} |", "bus"));
     out.extend(&bus);
     out.push_str("|\n");
-    if refresh.iter().any(|c| *c == 'F') {
+    if refresh.contains(&'F') {
         out.push_str(&format!("{:8} |", "refresh"));
         out.extend(&refresh);
         out.push_str("|\n");
@@ -125,7 +145,9 @@ mod tests {
 
     /// The lane row for a given label (skipping the legend).
     fn lane<'a>(s: &'a str, label: &str) -> &'a str {
-        s.lines().find(|l| l.starts_with(label) && l.contains('|')).unwrap_or("")
+        s.lines()
+            .find(|l| l.starts_with(label) && l.contains('|'))
+            .unwrap_or("")
     }
 
     #[test]
@@ -134,7 +156,10 @@ mod tests {
         let b = BankAddr::new(0, 1, 1);
         let trace = vec![TimedCommand::new(100, Command::activate(b, 1))];
         let s = command_timeline(&trace, &t, 0, 50);
-        assert!(!lane(&s, "r0g1b1").contains('a'), "out-of-range command not painted");
+        assert!(
+            !lane(&s, "r0g1b1").contains('a'),
+            "out-of-range command not painted"
+        );
         let s = command_timeline(&trace, &t, 90, 40);
         assert!(lane(&s, "r0g1b1").contains('a'));
     }
@@ -145,6 +170,9 @@ mod tests {
         let s = command_timeline(&[TimedCommand::new(5, Command::refresh(0))], &t, 0, 40);
         assert!(lane(&s, "refresh").contains('F'));
         let s = command_timeline(&[], &t, 0, 40);
-        assert!(lane(&s, "refresh").is_empty(), "no refresh lane without a REF");
+        assert!(
+            lane(&s, "refresh").is_empty(),
+            "no refresh lane without a REF"
+        );
     }
 }

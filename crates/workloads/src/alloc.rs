@@ -17,7 +17,10 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// Starts allocating at `base` (page-aligned regions thereafter).
     pub fn new(base: u64) -> Self {
-        AddressSpace { next: base, align: 4096 }
+        AddressSpace {
+            next: base,
+            align: 4096,
+        }
     }
 
     /// Allocates `elems` elements of `elem_bytes` each, aligned to a page.
@@ -25,7 +28,11 @@ impl AddressSpace {
         let base = self.next;
         let bytes = elems * u64::from(elem_bytes);
         self.next = (base + bytes).div_ceil(self.align) * self.align;
-        ArrayRef { base, elem_bytes, len: elems }
+        ArrayRef {
+            base,
+            elem_bytes,
+            len: elems,
+        }
     }
 
     /// Next free address.

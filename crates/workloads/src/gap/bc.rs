@@ -108,8 +108,10 @@ mod tests {
     fn bc_has_forward_and_backward_phases() {
         let g = Graph::uniform(256, 8, 21);
         let traces = GapKernel::Bc.trace(&g, 2, &GapConfig::default());
-        let barriers =
-            traces[0].iter().filter(|i| matches!(i, Instr::Barrier { .. })).count();
+        let barriers = traces[0]
+            .iter()
+            .filter(|i| matches!(i, Instr::Barrier { .. }))
+            .count();
         // Forward levels + backward levels.
         assert!(barriers >= 4, "got {barriers}");
     }
@@ -117,8 +119,22 @@ mod tests {
     #[test]
     fn more_sources_mean_more_work() {
         let g = Graph::uniform(128, 6, 2);
-        let one = GapKernel::Bc.trace(&g, 1, &GapConfig { bc_sources: 1, ..Default::default() });
-        let two = GapKernel::Bc.trace(&g, 1, &GapConfig { bc_sources: 2, ..Default::default() });
+        let one = GapKernel::Bc.trace(
+            &g,
+            1,
+            &GapConfig {
+                bc_sources: 1,
+                ..Default::default()
+            },
+        );
+        let two = GapKernel::Bc.trace(
+            &g,
+            1,
+            &GapConfig {
+                bc_sources: 2,
+                ..Default::default()
+            },
+        );
         assert!(two[0].len() > 3 * one[0].len() / 2);
     }
 }

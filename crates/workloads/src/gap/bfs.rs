@@ -40,11 +40,7 @@ pub(crate) fn run(ctx: &mut KernelCtx<'_>, cfg: &GapConfig) {
                         let claim = parent[u as usize] == u32::MAX;
                         ctx.t.branch(
                             core,
-                            hash_bit(
-                                u64::from(u) ^ (iter << 32),
-                                cfg.mispredict_pct,
-                                100,
-                            ),
+                            hash_bit(u64::from(u) ^ (iter << 32), cfg.mispredict_pct, 100),
                         );
                         if claim {
                             parent[u as usize] = v;
@@ -88,10 +84,8 @@ pub(crate) fn run(ctx: &mut KernelCtx<'_>, cfg: &GapConfig) {
                             break; // early exit: found a parent
                         }
                     }
-                    ctx.t.branch(
-                        core,
-                        hash_bit(v ^ (iter << 24), cfg.mispredict_pct, 100),
-                    );
+                    ctx.t
+                        .branch(core, hash_bit(v ^ (iter << 24), cfg.mispredict_pct, 100));
                     if claimed {
                         ctx.t.compute(core, 1);
                     }
@@ -138,6 +132,9 @@ mod tests {
             .iter()
             .filter(|i| matches!(i, dramstack_cpu::Instr::Store { .. }))
             .count();
-        assert!(stores > 400, "most of the graph should be claimed: {stores}");
+        assert!(
+            stores > 400,
+            "most of the graph should be claimed: {stores}"
+        );
     }
 }

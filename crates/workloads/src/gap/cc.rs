@@ -43,7 +43,8 @@ pub(crate) fn run(ctx: &mut KernelCtx<'_>, cfg: &GapConfig) {
             for v in r {
                 ctx.t.load(core, comp_arr.addr(v));
                 let c = comp[v as usize];
-                ctx.t.chain_load(core, comp_arr.addr(u64::from(c)), (v % 8) as u8);
+                ctx.t
+                    .chain_load(core, comp_arr.addr(u64::from(c)), (v % 8) as u8);
                 if comp[c as usize] != comp[v as usize] {
                     comp[v as usize] = comp[c as usize];
                     ctx.t.store(core, comp_arr.addr(v));
@@ -79,13 +80,22 @@ mod tests {
     fn cc_converges_early_on_a_clique() {
         // A tiny complete graph converges in one round; the trace must not
         // contain cc_rounds × per-round barrier pairs.
-        let edges: Vec<(u32, u32)> =
-            (0..8u32).flat_map(|u| (u + 1..8).map(move |v| (u, v))).collect();
+        let edges: Vec<(u32, u32)> = (0..8u32)
+            .flat_map(|u| (u + 1..8).map(move |v| (u, v)))
+            .collect();
         let g = Graph::from_edges(8, &edges);
-        let cfg = GapConfig { cc_rounds: 8, ..GapConfig::default() };
+        let cfg = GapConfig {
+            cc_rounds: 8,
+            ..GapConfig::default()
+        };
         let traces = GapKernel::Cc.trace(&g, 1, &cfg);
-        let barriers =
-            traces[0].iter().filter(|i| matches!(i, Instr::Barrier { .. })).count();
-        assert!(barriers <= 4, "clique converges in ≤ 2 rounds, got {barriers} barriers");
+        let barriers = traces[0]
+            .iter()
+            .filter(|i| matches!(i, Instr::Barrier { .. }))
+            .count();
+        assert!(
+            barriers <= 4,
+            "clique converges in ≤ 2 rounds, got {barriers} barriers"
+        );
     }
 }

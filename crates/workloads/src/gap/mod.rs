@@ -127,7 +127,13 @@ impl<'g> KernelCtx<'g> {
         let mut space = AddressSpace::default();
         let offs = space.alloc(g.offsets.len() as u64, 4);
         let tgts = space.alloc(g.targets.len().max(1) as u64, 4);
-        KernelCtx { g, t: TraceBuilder::new(n_cores), space, offs, tgts }
+        KernelCtx {
+            g,
+            t: TraceBuilder::new(n_cores),
+            space,
+            offs,
+            tgts,
+        }
     }
 
     /// Allocates a property array of `len` `elem_bytes`-sized elements.
@@ -207,7 +213,11 @@ mod tests {
             };
             let first = barrier_seq(&traces[0]);
             for t in &traces[1..] {
-                assert_eq!(barrier_seq(t), first, "{k}: all cores see the same barriers");
+                assert_eq!(
+                    barrier_seq(t),
+                    first,
+                    "{k}: all cores see the same barriers"
+                );
             }
             assert!(!first.is_empty(), "{k} should synchronize at least once");
         }
@@ -224,7 +234,13 @@ mod tests {
     #[test]
     fn mutating_kernels_emit_stores() {
         let g = small_graph();
-        for k in [GapKernel::Bfs, GapKernel::Pr, GapKernel::Cc, GapKernel::Sssp, GapKernel::Bc] {
+        for k in [
+            GapKernel::Bfs,
+            GapKernel::Pr,
+            GapKernel::Cc,
+            GapKernel::Sssp,
+            GapKernel::Bc,
+        ] {
             let traces = k.trace(&g, 2, &GapConfig::default());
             let (_, stores, _, _) = count_kinds(&traces);
             assert!(stores > 0, "{k} must store results");

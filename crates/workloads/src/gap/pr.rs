@@ -51,19 +51,41 @@ mod tests {
     #[test]
     fn pr_stores_once_per_vertex_per_iteration() {
         let g = Graph::kronecker(8, 4, 5);
-        let cfg = GapConfig { pr_iterations: 2, ..GapConfig::default() };
+        let cfg = GapConfig {
+            pr_iterations: 2,
+            ..GapConfig::default()
+        };
         let traces = GapKernel::Pr.trace(&g, 1, &cfg);
-        let stores =
-            traces[0].iter().filter(|i| matches!(i, Instr::Store { .. })).count() as u32;
+        let stores = traces[0]
+            .iter()
+            .filter(|i| matches!(i, Instr::Store { .. }))
+            .count() as u32;
         assert_eq!(stores, 2 * g.n);
     }
 
     #[test]
     fn pr_load_volume_scales_with_edges_and_iterations() {
         let g = Graph::kronecker(8, 4, 5);
-        let one = GapKernel::Pr.trace(&g, 1, &GapConfig { pr_iterations: 1, ..Default::default() });
-        let two = GapKernel::Pr.trace(&g, 1, &GapConfig { pr_iterations: 2, ..Default::default() });
+        let one = GapKernel::Pr.trace(
+            &g,
+            1,
+            &GapConfig {
+                pr_iterations: 1,
+                ..Default::default()
+            },
+        );
+        let two = GapKernel::Pr.trace(
+            &g,
+            1,
+            &GapConfig {
+                pr_iterations: 2,
+                ..Default::default()
+            },
+        );
         let loads = |t: &Vec<Instr>| t.iter().filter(|i| matches!(i, Instr::Load { .. })).count();
-        assert!(loads(&two[0]) > 19 * loads(&one[0]) / 10, "two iterations ≈ 2× loads");
+        assert!(
+            loads(&two[0]) > 19 * loads(&one[0]) / 10,
+            "two iterations ≈ 2× loads"
+        );
     }
 }

@@ -84,7 +84,11 @@ mod tests {
         let traces = GapKernel::Sssp.trace(&g, 2, &GapConfig::default());
         let stores: usize = traces
             .iter()
-            .map(|t| t.iter().filter(|i| matches!(i, Instr::Store { .. })).count())
+            .map(|t| {
+                t.iter()
+                    .filter(|i| matches!(i, Instr::Store { .. }))
+                    .count()
+            })
             .sum();
         // Connected uniform graph: nearly every vertex gets a distance.
         assert!(stores > 200, "stores {stores}");

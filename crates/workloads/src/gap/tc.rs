@@ -55,7 +55,11 @@ pub(crate) fn run(ctx: &mut KernelCtx<'_>, _cfg: &GapConfig) {
             let u = ctx.g.targets[uidx as usize];
             ctx.t.load(core, ctx.tgts.addr(u64::from(uidx)));
             let au = &filt[u as usize];
-            let (small, large) = if av.len() <= au.len() { (&av, au) } else { (au, &av) };
+            let (small, large) = if av.len() <= au.len() {
+                (&av, au)
+            } else {
+                (au, &av)
+            };
             if large.len() > SKEW_RATIO * small.len().max(1) {
                 triangles += intersect_binary(ctx, core, small, large);
             } else {
@@ -150,8 +154,14 @@ mod tests {
     fn tc_loads_dominate_and_intersections_happen() {
         let g = Graph::kronecker(9, 6, 13);
         let traces = GapKernel::Tc.trace(&g, 1, &GapConfig::default());
-        let loads = traces[0].iter().filter(|i| matches!(i, Instr::Load { .. })).count();
-        assert!(loads > g.edge_count(), "every filtered edge examined at least once");
+        let loads = traces[0]
+            .iter()
+            .filter(|i| matches!(i, Instr::Load { .. }))
+            .count();
+        assert!(
+            loads > g.edge_count(),
+            "every filtered edge examined at least once"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl Graph {
         for v in 0..n as usize {
             targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
         }
-        Graph { n, offsets, targets }
+        Graph {
+            n,
+            offsets,
+            targets,
+        }
     }
 
     /// A Kronecker (RMAT) graph with `2^scale` vertices and
@@ -100,8 +104,9 @@ impl Graph {
     pub fn uniform(n: u32, degree: u32, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let m = u64::from(n) * u64::from(degree);
-        let edges: Vec<_> =
-            (0..m).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let edges: Vec<_> = (0..m)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
         Self::from_edges(n, &edges)
     }
 
@@ -159,7 +164,10 @@ mod tests {
         let g = Graph::uniform(1024, 8, 7);
         let max_deg = g.degree(g.max_degree_vertex());
         let avg = g.edge_count() as f64 / f64::from(g.n);
-        assert!(f64::from(max_deg) < 4.0 * avg, "uniform: max {max_deg}, avg {avg}");
+        assert!(
+            f64::from(max_deg) < 4.0 * avg,
+            "uniform: max {max_deg}, avg {avg}"
+        );
     }
 
     #[test]

@@ -27,8 +27,12 @@ pub enum StreamKernel {
 
 impl StreamKernel {
     /// All kernels in STREAM's traditional order.
-    pub const ALL: [StreamKernel; 4] =
-        [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad];
+    pub const ALL: [StreamKernel; 4] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ];
 
     /// STREAM's name for the kernel.
     pub fn name(self) -> &'static str {
@@ -209,7 +213,9 @@ mod tests {
     fn pointer_chase_is_fully_dependent() {
         let traces = pointer_chase_trace(1 << 20, 8192, 500);
         assert_eq!(traces.len(), 1);
-        let chains = count(&traces[0], |i| matches!(i, Instr::ChainLoad { chain: 0, .. }));
+        let chains = count(&traces[0], |i| {
+            matches!(i, Instr::ChainLoad { chain: 0, .. })
+        });
         assert_eq!(chains, 500);
         // Strided addresses wrap within the footprint.
         for i in &traces[0] {

@@ -69,7 +69,10 @@ impl SyntheticPattern {
     ///
     /// Panics on a store fraction outside `[0, 1]` or a zero footprint.
     pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.store_fraction), "store fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&self.store_fraction),
+            "store fraction out of range"
+        );
         assert!(self.footprint_bytes >= 4096, "footprint too small");
         assert!(self.chains > 0, "need at least one chain");
     }
@@ -139,7 +142,9 @@ impl SyntheticPattern {
         FnStream(move || {
             if emit_compute && cfg.compute_per_op > 0 {
                 emit_compute = false;
-                return Some(Instr::Compute { count: cfg.compute_per_op });
+                return Some(Instr::Compute {
+                    count: cfg.compute_per_op,
+                });
             }
             emit_compute = true;
             let is_store = rng.gen::<f64>() < cfg.store_fraction;
@@ -160,7 +165,10 @@ impl SyntheticPattern {
                     if is_store {
                         Instr::Store { addr }
                     } else {
-                        Instr::ChainLoad { addr, chain: (op_idx % cfg.chains as u64) as u8 }
+                        Instr::ChainLoad {
+                            addr,
+                            chain: (op_idx % cfg.chains as u64) as u8,
+                        }
                     }
                 }
             };
@@ -206,7 +214,11 @@ mod tests {
         let mut lines: Vec<u64> = addrs.iter().map(|a| a / 64).collect();
         lines.sort();
         lines.dedup();
-        assert!(lines.len() > 90, "random lines should rarely repeat: {}", lines.len());
+        assert!(
+            lines.len() > 90,
+            "random lines should rarely repeat: {}",
+            lines.len()
+        );
     }
 
     #[test]
@@ -265,7 +277,10 @@ mod tests {
         // Oldest first, newest (closest to the region end) last.
         assert_eq!(warm.last().unwrap().0, end - 64);
         assert_eq!(warm[0].0, end - 100 * 64);
-        assert!(warm.iter().all(|(_, d)| !d), "read-only stream has no dirty lines");
+        assert!(
+            warm.iter().all(|(_, d)| !d),
+            "read-only stream has no dirty lines"
+        );
     }
 
     #[test]
@@ -274,7 +289,10 @@ mod tests {
         let warm = p.warm_lines(0, 10_000);
         let dirty = warm.iter().filter(|(_, d)| *d).count();
         // 1 − 0.5^8 ≈ 0.996.
-        assert!(dirty > 9_800, "sequential w50: nearly every line dirty, got {dirty}");
+        assert!(
+            dirty > 9_800,
+            "sequential w50: nearly every line dirty, got {dirty}"
+        );
         let p = SyntheticPattern::random(0.3);
         let warm = p.warm_lines(0, 10_000);
         let dirty = warm.iter().filter(|(_, d)| *d).count() as f64 / 10_000.0;

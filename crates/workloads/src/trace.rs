@@ -22,7 +22,10 @@ impl TraceBuilder {
     /// Panics if `n_cores` is zero.
     pub fn new(n_cores: usize) -> Self {
         assert!(n_cores > 0);
-        TraceBuilder { cores: vec![Vec::new(); n_cores], next_barrier: 0 }
+        TraceBuilder {
+            cores: vec![Vec::new(); n_cores],
+            next_barrier: 0,
+        }
     }
 
     /// Number of cores.

@@ -19,7 +19,13 @@ fn main() {
         ("random w20", SyntheticPattern::random(0.2)),
     ] {
         // Profile on one core, sampled through time.
-        let one = run_synthetic(1, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, us);
+        let one = run_synthetic(
+            1,
+            pattern,
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            us,
+        );
         let samples: Vec<_> = one.samples.iter().map(|s| s.bandwidth.clone()).collect();
 
         // Extrapolate to 8 cores both ways.
@@ -27,7 +33,13 @@ fn main() {
         let stack = predict_bandwidth_stack(&samples, 8.0);
 
         // Ground truth: actually simulate 8 cores.
-        let eight = run_synthetic(8, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, us);
+        let eight = run_synthetic(
+            8,
+            pattern,
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            us,
+        );
         let measured = eight.achieved_gbps();
 
         println!("{name}:");

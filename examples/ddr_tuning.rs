@@ -17,9 +17,21 @@ fn main() {
     let pattern = SyntheticPattern::sequential(0.5); // 50 % stores
 
     // Step 1: measure the baseline and read the stacks.
-    let base = run_synthetic(1, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, us);
-    println!("baseline (default mapping, open page): {:.2} GB/s", base.achieved_gbps());
-    println!("{}", ascii::bandwidth_chart(&[("baseline".into(), base.bandwidth_stack.clone())]));
+    let base = run_synthetic(
+        1,
+        pattern,
+        PagePolicy::Open,
+        MappingScheme::RowBankColumn,
+        us,
+    );
+    println!(
+        "baseline (default mapping, open page): {:.2} GB/s",
+        base.achieved_gbps()
+    );
+    println!(
+        "{}",
+        ascii::bandwidth_chart(&[("baseline".into(), base.bandwidth_stack.clone())])
+    );
 
     // Step 2: diagnose. A large bank-idle component *plus* large queueing
     // and writeburst latency means poor bank interleaving (paper
@@ -40,15 +52,24 @@ fn main() {
         MappingScheme::CacheLineInterleaved,
         us,
     );
-    println!("cache-line interleaved mapping: {:.2} GB/s", fixed.achieved_gbps());
-    println!("{}", ascii::bandwidth_chart(&[
-        ("baseline".into(), base.bandwidth_stack.clone()),
-        ("interleave".into(), fixed.bandwidth_stack.clone()),
-    ]));
-    println!("{}", ascii::latency_chart(&[
-        ("baseline".into(), base.latency_stack),
-        ("interleave".into(), fixed.latency_stack),
-    ]));
+    println!(
+        "cache-line interleaved mapping: {:.2} GB/s",
+        fixed.achieved_gbps()
+    );
+    println!(
+        "{}",
+        ascii::bandwidth_chart(&[
+            ("baseline".into(), base.bandwidth_stack.clone()),
+            ("interleave".into(), fixed.bandwidth_stack.clone()),
+        ])
+    );
+    println!(
+        "{}",
+        ascii::latency_chart(&[
+            ("baseline".into(), base.latency_stack),
+            ("interleave".into(), fixed.latency_stack),
+        ])
+    );
 
     let gain = (fixed.achieved_gbps() / base.achieved_gbps() - 1.0) * 100.0;
     println!("bandwidth change: {gain:+.1} %");

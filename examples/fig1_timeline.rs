@@ -34,7 +34,10 @@ fn main() {
 
     println!("-- command timeline (cf. paper Fig. 1) --");
     let timing = dramstack::dram::TimingParams::ddr4_2400();
-    println!("{}", timeline::command_timeline(&trace, &timing, 0, horizon as usize));
+    println!(
+        "{}",
+        timeline::command_timeline(&trace, &timing, 0, horizon as usize)
+    );
 
     println!("-- the issued commands --");
     for t in &trace {

@@ -42,10 +42,16 @@ fn main() {
     );
 
     println!("\n-- DRAM bandwidth stack --");
-    println!("{}", ascii::bandwidth_chart(&[("bfs 4c".into(), report.bandwidth_stack.clone())]));
+    println!(
+        "{}",
+        ascii::bandwidth_chart(&[("bfs 4c".into(), report.bandwidth_stack.clone())])
+    );
 
     println!("-- DRAM latency stack --");
-    println!("{}", ascii::latency_chart(&[("bfs 4c".into(), report.latency_stack)]));
+    println!(
+        "{}",
+        ascii::latency_chart(&[("bfs 4c".into(), report.latency_stack)])
+    );
 
     println!("-- CPU cycle stack (summed over cores) --");
     for (c, f) in report.cycle_stack.rows() {
@@ -58,6 +64,9 @@ fn main() {
         dram_frac * 100.0
     );
 
-    println!("\n-- through-time bandwidth ({} samples) --", report.samples.len());
+    println!(
+        "\n-- through-time bandwidth ({} samples) --",
+        report.samples.len()
+    );
     println!("{}", ascii::through_time_strip(&report.samples, 8));
 }

@@ -44,7 +44,10 @@ fn main() {
 
     // 2. Serialize / parse the text trace (what you'd store on disk).
     let text = trace::write_trace(&cmds);
-    println!("trace head:\n{}", text.lines().take(5).collect::<Vec<_>>().join("\n"));
+    println!(
+        "trace head:\n{}",
+        text.lines().take(5).collect::<Vec<_>>().join("\n")
+    );
     let parsed = trace::parse_trace(&text).expect("well-formed trace");
 
     // 3. Rebuild the stack offline and compare with the live accounting.

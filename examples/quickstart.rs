@@ -21,16 +21,31 @@ fn main() {
     let report = sim.run_for_us(200.0);
 
     println!("achieved bandwidth : {:6.2} GB/s", report.achieved_gbps());
-    println!("peak bandwidth     : {:6.2} GB/s", report.bandwidth_stack.peak_gbps());
-    println!("avg read latency   : {:6.1} ns", report.avg_read_latency_ns());
-    println!("row-buffer hit rate: {:6.1} %", report.ctrl_stats.read_hit_rate() * 100.0);
+    println!(
+        "peak bandwidth     : {:6.2} GB/s",
+        report.bandwidth_stack.peak_gbps()
+    );
+    println!(
+        "avg read latency   : {:6.1} ns",
+        report.avg_read_latency_ns()
+    );
+    println!(
+        "row-buffer hit rate: {:6.1} %",
+        report.ctrl_stats.read_hit_rate() * 100.0
+    );
     println!();
 
     // The bandwidth stack: where did the other ~13 GB/s go?
-    println!("{}", ascii::bandwidth_chart(&[("seq 1c".into(), report.bandwidth_stack.clone())]));
+    println!(
+        "{}",
+        ascii::bandwidth_chart(&[("seq 1c".into(), report.bandwidth_stack.clone())])
+    );
 
     // The latency stack: what makes up those nanoseconds?
-    println!("{}", ascii::latency_chart(&[("seq 1c".into(), report.latency_stack)]));
+    println!(
+        "{}",
+        ascii::latency_chart(&[("seq 1c".into(), report.latency_stack)])
+    );
 
     // Per-component numbers, like the paper's Section IV example.
     println!("bandwidth components (GB/s):");

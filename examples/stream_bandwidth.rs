@@ -30,7 +30,9 @@ fn main() {
             r.achieved_gbps(),
             algo_gbps,
             r.bandwidth_stack.gbps(dramstack::stacks::BwComponent::Read)
-                / r.bandwidth_stack.gbps(dramstack::stacks::BwComponent::Write).max(0.01),
+                / r.bandwidth_stack
+                    .gbps(dramstack::stacks::BwComponent::Write)
+                    .max(0.01),
         );
         rows.push((kernel.name().to_string(), r.bandwidth_stack.clone()));
     }

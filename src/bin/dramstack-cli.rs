@@ -124,7 +124,9 @@ fn parse_synth_args(args: &[String]) -> Result<(SynthArgs, Vec<(String, String)>
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
             "--pattern" => {
@@ -135,8 +137,16 @@ fn parse_synth_args(args: &[String]) -> Result<(SynthArgs, Vec<(String, String)>
                     other => return Err(format!("unknown pattern `{other}` (seq|rand)")),
                 };
             }
-            "--cores" => out.cores = value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?,
-            "--stores" => out.stores = value("--stores")?.parse().map_err(|e| format!("--stores: {e}"))?,
+            "--cores" => {
+                out.cores = value("--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?
+            }
+            "--stores" => {
+                out.stores = value("--stores")?
+                    .parse()
+                    .map_err(|e| format!("--stores: {e}"))?
+            }
             "--policy" => out.policy = parse_policy(&value("--policy")?)?,
             "--mapping" => out.mapping = parse_mapping(&value("--mapping")?)?,
             "--us" => out.us = value("--us")?.parse().map_err(|e| format!("--us: {e}"))?,
@@ -173,19 +183,26 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, String> {
-                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
                 };
                 match flag.as_str() {
                     "--kernel" => out.kernel = parse_kernel(&value("--kernel")?)?,
                     "--cores" => {
-                        out.cores = value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
+                        out.cores = value("--cores")?
+                            .parse()
+                            .map_err(|e| format!("--cores: {e}"))?;
                     }
                     "--scale" => {
-                        out.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+                        out.scale = value("--scale")?
+                            .parse()
+                            .map_err(|e| format!("--scale: {e}"))?;
                     }
                     "--degree" => {
-                        out.degree =
-                            value("--degree")?.parse().map_err(|e| format!("--degree: {e}"))?;
+                        out.degree = value("--degree")?
+                            .parse()
+                            .map_err(|e| format!("--degree: {e}"))?;
                     }
                     "--policy" => out.policy = parse_policy(&value("--policy")?)?,
                     "--mapping" => out.mapping = parse_mapping(&value("--mapping")?)?,
@@ -203,12 +220,16 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, String> {
-                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
                 };
                 match flag.as_str() {
                     "--input" => input = Some(value("--input")?),
                     "--cycles" => {
-                        cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?;
+                        cycles = value("--cycles")?
+                            .parse()
+                            .map_err(|e| format!("--cycles: {e}"))?;
                     }
                     other => return Err(format!("unknown flag `{other}` for trace")),
                 }
@@ -254,7 +275,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             Ok(Cli::Extrapolate { pattern: synth, to })
         }
-        other => Err(format!("unknown command `{other}`; try `dramstack-cli help`")),
+        other => Err(format!(
+            "unknown command `{other}`; try `dramstack-cli help`"
+        )),
     }
 }
 
@@ -285,8 +308,7 @@ fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
         println!("wrote {path}");
     }
     if let Some(path) = &a.svg_out {
-        std::fs::write(path, svg::bandwidth_figure(&label, &bw_rows))
-            .map_err(|e| e.to_string())?;
+        std::fs::write(path, svg::bandwidth_figure(&label, &bw_rows)).map_err(|e| e.to_string())?;
         println!("wrote {path}");
     }
     Ok(())
@@ -294,7 +316,11 @@ fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
 
 fn run_gap_cmd(a: &GapArgs) -> Result<(), String> {
     let graph = Graph::kronecker(a.scale, a.degree, 42);
-    println!("graph: {} vertices, {} directed edges", graph.n, graph.edge_count());
+    println!(
+        "graph: {} vertices, {} directed edges",
+        graph.n,
+        graph.edge_count()
+    );
     let r = run_gap(
         a.kernel,
         &graph,
@@ -315,7 +341,10 @@ fn run_gap_cmd(a: &GapArgs) -> Result<(), String> {
         r.ipc()
     );
     let label = format!("{} {}c", a.kernel, a.cores);
-    println!("{}", ascii::bandwidth_chart(&[(label.clone(), r.bandwidth_stack.clone())]));
+    println!(
+        "{}",
+        ascii::bandwidth_chart(&[(label.clone(), r.bandwidth_stack.clone())])
+    );
     println!("{}", ascii::latency_chart(&[(label, r.latency_stack)]));
     Ok(())
 }
@@ -345,8 +374,14 @@ fn run_reqtrace_cmd(input: &str) -> Result<(), String> {
         "{} reads + {} writes drained in {} cycles",
         result.reads, result.writes, result.finished_at
     );
-    println!("{}", ascii::bandwidth_chart(&[("trace".into(), result.bandwidth_stack)]));
-    println!("{}", ascii::latency_chart(&[("trace".into(), result.latency_stack)]));
+    println!(
+        "{}",
+        ascii::bandwidth_chart(&[("trace".into(), result.bandwidth_stack)])
+    );
+    println!(
+        "{}",
+        ascii::latency_chart(&[("trace".into(), result.latency_stack)])
+    );
     Ok(())
 }
 
@@ -360,8 +395,14 @@ fn run_extrapolate_cmd(a: &SynthArgs, to: f64) -> Result<(), String> {
         samples.len()
     );
     println!("predicted at {to:.0}x cores:");
-    println!("  naive : {:.2} GB/s", predict_bandwidth_naive(&samples, to));
-    println!("  stack : {:.2} GB/s", predict_bandwidth_stack(&samples, to));
+    println!(
+        "  naive : {:.2} GB/s",
+        predict_bandwidth_naive(&samples, to)
+    );
+    println!(
+        "  stack : {:.2} GB/s",
+        predict_bandwidth_stack(&samples, to)
+    );
     Ok(())
 }
 
@@ -441,7 +482,13 @@ mod tests {
     fn parse_trace_requires_input() {
         assert!(parse_cli(&args("trace")).is_err());
         let cli = parse_cli(&args("trace --input t.txt --cycles 500")).unwrap();
-        assert_eq!(cli, Cli::Trace { input: "t.txt".into(), cycles: 500 });
+        assert_eq!(
+            cli,
+            Cli::Trace {
+                input: "t.txt".into(),
+                cycles: 500
+            }
+        );
     }
 
     #[test]

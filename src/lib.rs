@@ -12,6 +12,8 @@
 //! * [`dram`] — DDR4 device timing model.
 //! * [`memctrl`] — memory controller (FR-FCFS, write bursts, page policies,
 //!   address mapping).
+//! * [`obs`] — observability: controller probes, metrics registry,
+//!   Chrome-trace export and simulator self-profiling.
 //! * [`stacks`] — bandwidth/latency stack accounting, through-time
 //!   sampling and bandwidth extrapolation (the paper's contribution).
 //! * [`cpu`] — out-of-order-proxy cores, caches, prefetcher, cycle stacks.
@@ -38,6 +40,7 @@ pub use dramstack_core as stacks;
 pub use dramstack_cpu as cpu;
 pub use dramstack_dram as dram;
 pub use dramstack_memctrl as memctrl;
+pub use dramstack_obs as obs;
 pub use dramstack_sim as sim;
 pub use dramstack_viz as viz;
 pub use dramstack_workloads as workloads;

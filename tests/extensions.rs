@@ -21,7 +21,11 @@ fn xor_permutation_runs_and_stays_consistent() {
     assert!(r.bandwidth_stack.is_consistent());
     assert!(r.achieved_gbps() > 1.0);
     // Sequential-within-a-row locality is preserved by the permutation.
-    assert!(r.ctrl_stats.read_hit_rate() > 0.5, "hit rate {}", r.ctrl_stats.read_hit_rate());
+    assert!(
+        r.ctrl_stats.read_hit_rate() > 0.5,
+        "hit rate {}",
+        r.ctrl_stats.read_hit_rate()
+    );
 }
 
 #[test]
@@ -32,7 +36,9 @@ fn stream_triad_reads_twice_as_much_as_it_writes() {
     let mut sim = Simulator::with_traces(cfg, traces);
     let r = sim.run_to_completion(100_000_000);
     let read = r.bandwidth_stack.gbps(dramstack::stacks::BwComponent::Read);
-    let write = r.bandwidth_stack.gbps(dramstack::stacks::BwComponent::Write);
+    let write = r
+        .bandwidth_stack
+        .gbps(dramstack::stacks::BwComponent::Write);
     assert!(write > 0.5, "triad writes: {write}");
     // Triad: 2 algorithm reads + 1 write-allocate read per store ≈ 3:1 in
     // steady state; a single cold pass under-counts writes because the
@@ -73,7 +79,12 @@ fn pointer_chase_latency_is_base_plus_row_miss_without_queueing() {
     // The histogram is tight: p99 close to the mean (no contention).
     let h = &r.latency_histogram;
     assert!(h.count() >= 1_900);
-    assert!(h.percentile(99.0) as f64 <= 2.5 * h.mean(), "tail {:?} mean {}", h.percentile(99.0), h.mean());
+    assert!(
+        h.percentile(99.0) as f64 <= 2.5 * h.mean(),
+        "tail {:?} mean {}",
+        h.percentile(99.0),
+        h.mean()
+    );
 }
 
 #[test]

@@ -23,9 +23,16 @@ fn every_kernel_completes_and_produces_consistent_stacks() {
             &GapConfig::default(),
             50_000_000,
         );
-        assert!(r.instrs_retired > 100, "{kernel}: {} instrs", r.instrs_retired);
+        assert!(
+            r.instrs_retired > 100,
+            "{kernel}: {} instrs",
+            r.instrs_retired
+        );
         assert!(r.bandwidth_stack.is_consistent(), "{kernel}");
-        assert!(r.sim_cycles < 50_000_000, "{kernel} must finish, not hit the cap");
+        assert!(
+            r.sim_cycles < 50_000_000,
+            "{kernel} must finish, not hit the cap"
+        );
         if kernel != GapKernel::Tc {
             assert!(r.latency_stack.reads > 0, "{kernel} must read DRAM");
         }
@@ -58,7 +65,10 @@ fn kernels_scale_with_cores() {
     );
     // Same total work either way.
     let ratio = four.instrs_retired as f64 / one.instrs_retired as f64;
-    assert!((0.95..1.05).contains(&ratio), "instruction counts match: {ratio}");
+    assert!(
+        (0.95..1.05).contains(&ratio),
+        "instruction counts match: {ratio}"
+    );
 }
 
 #[test]
@@ -80,7 +90,11 @@ fn fig9_quick_predictions_bracket_reasonably() {
     // Predictions are positive, stack ≤ naive, and within 3× of truth.
     assert!(row.stack > 0.0 && row.naive > 0.0);
     assert!(row.stack <= row.naive + 1e-9);
-    assert!(row.stack_error() < 2.0, "stack error {:.2}", row.stack_error());
+    assert!(
+        row.stack_error() < 2.0,
+        "stack error {:.2}",
+        row.stack_error()
+    );
 }
 
 #[test]

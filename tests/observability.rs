@@ -1,0 +1,186 @@
+//! Integration tests for the observability layer: the Chrome-trace
+//! exporter against the controller's own command trace and the viz
+//! timeline, and the bit-identical-results guarantee of probe attachment.
+
+use dramstack::dram::CycleView;
+use dramstack::memctrl::{CtrlConfig, MemoryController};
+use dramstack::obs::{ChromeTraceHandle, ChromeTraceProbe};
+use dramstack::sim::{SimReport, Simulator, SystemConfig};
+use dramstack::viz::timeline::command_timeline;
+use dramstack::workloads::SyntheticPattern;
+
+/// Drives one controller over a deterministic request mix (row hits, a
+/// row conflict, a write and a refresh window) with both the command
+/// trace and a Chrome-trace probe attached.
+fn driven_controller() -> (MemoryController, ChromeTraceHandle) {
+    let mut ctrl = MemoryController::new(CtrlConfig::paper_default());
+    ctrl.enable_command_trace();
+    let (probe, handle) = ChromeTraceProbe::new(0, 0.8333);
+    ctrl.attach_probe(Box::new(probe));
+
+    ctrl.enqueue_read(0x0, 0); // cold miss: ACT + RD
+    ctrl.enqueue_read(0x40, 1); // row hit
+    ctrl.enqueue_read(1 << 17, 2); // row conflict: PRE + ACT + RD
+    ctrl.enqueue_write(0x80); // write to the original row
+
+    let t_refi = ctrl.device().timing().t_refi;
+    let t_rfc = ctrl.device().timing().t_rfc;
+    let mut view = CycleView::idle(ctrl.total_banks());
+    // Run past one refresh interval so a REF lands in the trace too.
+    for now in 0..t_refi + 2 * t_rfc {
+        ctrl.tick(now, &mut view);
+    }
+    assert!(ctrl.is_idle(), "deterministic mix must drain");
+    (ctrl, handle)
+}
+
+#[test]
+fn chrome_trace_commands_match_dram_command_trace() {
+    let (mut ctrl, handle) = driven_controller();
+    let trace = handle.build();
+    let golden: Vec<(u64, String)> = ctrl
+        .take_command_trace()
+        .iter()
+        .map(|t| (t.at, t.cmd.kind.to_string()))
+        .collect();
+    assert!(!golden.is_empty());
+    assert_eq!(
+        trace.command_sequence(),
+        golden,
+        "probe saw every command, in issue order"
+    );
+    assert!(golden.iter().any(|(_, k)| k == "REF"), "refresh captured");
+    assert!(
+        golden.iter().any(|(_, k)| k == "PRE"),
+        "conflict precharge captured"
+    );
+}
+
+#[test]
+fn chrome_trace_json_is_valid_and_spans_nest() {
+    let (_ctrl, handle) = driven_controller();
+    let trace = handle.build();
+    // Valid JSON with the Chrome trace-event envelope.
+    let json = trace.to_json();
+    let v: serde::Value = serde_json::from_str(&json).expect("exporter emits valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_seq())
+        .expect("traceEvents");
+    assert!(events.len() > 5);
+
+    // Every read request span fully contains its queued/burst children
+    // (matched through args.id, which all request spans carry).
+    let spans = trace.spans("request");
+    let parents: Vec<_> = spans
+        .iter()
+        .filter(|(n, ..)| n.starts_with("read"))
+        .collect();
+    assert!(parents.len() >= 3, "three reads recorded: {spans:?}");
+    for (name, start, end, tid) in &spans {
+        if name == "queued" || name == "burst" {
+            assert!(
+                parents
+                    .iter()
+                    .any(|(_, ps, pe, ptid)| ps <= start && end <= pe && ptid == tid),
+                "child span {name} [{start},{end}) on tid {tid} must nest in a read span"
+            );
+        }
+    }
+
+    // Refresh window matches the device's tRFC length.
+    let ctrl_spans = trace.spans("controller");
+    let refresh = ctrl_spans.iter().find(|(n, ..)| n.starts_with("refresh"));
+    assert!(refresh.is_some(), "refresh span present: {ctrl_spans:?}");
+}
+
+#[test]
+fn chrome_trace_cross_validates_against_viz_timeline() {
+    let (mut ctrl, handle) = driven_controller();
+    let timing = *ctrl.device().timing();
+    let trace = handle.build();
+    let commands = ctrl.take_command_trace();
+
+    // First RD cycle according to the probe's trace.
+    let (first_rd, _) = *trace
+        .command_sequence()
+        .iter()
+        .find(|(_, k)| k == "RD")
+        .expect("a read CAS was issued");
+
+    // The viz timeline rendered from the *controller's* trace must paint
+    // the data burst exactly CL cycles after that same CAS cycle.
+    let width = 120usize;
+    let chart = command_timeline(&commands, &timing, 0, width);
+    let bus_line = chart
+        .lines()
+        .find(|l| l.starts_with("bus"))
+        .expect("bus lane");
+    let prefix = bus_line.find('|').unwrap() + 1;
+    let burst_col = bus_line.find('R').expect("read burst painted") - prefix;
+    assert_eq!(
+        burst_col as u64,
+        first_rd + timing.cl,
+        "burst lands CL after the probe's CAS"
+    );
+}
+
+/// Runs the same workload twice, once bare and once fully instrumented
+/// (probes on every channel + self-profiling), and checks the simulation
+/// results are identical.
+fn run_instrumented(instrument: bool) -> (SimReport, Vec<ChromeTraceHandle>) {
+    let cfg = SystemConfig::paper_default(2);
+    let cycle_ns = cfg.dram_cycle_ns();
+    let channels = cfg.channels;
+    let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::random(0.3));
+    let mut handles = Vec::new();
+    if instrument {
+        sim.enable_profiling();
+        for ch in 0..channels {
+            let (probe, handle) = ChromeTraceProbe::new(ch, cycle_ns);
+            sim.attach_probe(ch, Box::new(probe));
+            handles.push(handle);
+        }
+    }
+    (sim.run_for_us(30.0), handles)
+}
+
+#[test]
+fn probe_attachment_never_changes_results() {
+    let (bare, _) = run_instrumented(false);
+    let (probed, handles) = run_instrumented(true);
+
+    // The probe genuinely recorded the run...
+    assert!(!handles.is_empty());
+    assert!(
+        !handles[0].build().events.is_empty(),
+        "probe captured events"
+    );
+    // ...profiling genuinely measured it...
+    assert!(probed.perf.enabled);
+    assert!(probed.perf.wall_seconds > 0.0);
+    assert!(!bare.perf.enabled);
+    // ...and the simulation results are bit-identical regardless.
+    assert_eq!(bare.strip_perf(), probed.strip_perf());
+}
+
+#[test]
+fn through_time_samples_carry_controller_health() {
+    let (report, _) = run_instrumented(false);
+    assert!(!report.samples.is_empty());
+    let busy = report
+        .samples
+        .iter()
+        .find(|s| s.ctrl.cas > 0)
+        .expect("a random 30 µs run issues CAS commands");
+    // One depth observation per cycle per channel.
+    assert!(busy.ctrl.read_queue_depth.count >= busy.ctrl.cycles);
+    assert_eq!(busy.ctrl.read_queue_depth.count % busy.ctrl.cycles, 0);
+    assert!(busy.ctrl.row_hit_rate() >= 0.0 && busy.ctrl.row_hit_rate() <= 1.0);
+    assert!(busy.ctrl.drain_occupancy() <= 1.0);
+    // The run has stores (0.3 fraction): some window must see drains.
+    assert!(
+        report.samples.iter().any(|s| s.ctrl.drain_cycles > 0),
+        "write drains observed in ctrl window stats"
+    );
+}

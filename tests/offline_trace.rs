@@ -11,7 +11,10 @@ use dramstack::stacks::{BandwidthAccountant, BwComponent};
 fn run_online(
     cycles: u64,
     mut arrivals: impl FnMut(u64, &mut MemoryController),
-) -> (dramstack::stacks::BandwidthStack, Vec<dramstack::dram::TimedCommand>) {
+) -> (
+    dramstack::stacks::BandwidthStack,
+    Vec<dramstack::dram::TimedCommand>,
+) {
     let cfg = CtrlConfig::paper_default();
     let peak = cfg.device.peak_bandwidth_gbps();
     let mut ctrl = MemoryController::new(cfg);
@@ -75,7 +78,9 @@ fn offline_matches_online_for_sequential_reads() {
 fn offline_matches_online_for_random_mix_with_writes() {
     let mut state = 0x12345u64;
     let mut rng = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     let (online, cmds) = run_online(60_000, move |now, ctrl| {
@@ -95,9 +100,7 @@ fn offline_matches_online_for_random_mix_with_writes() {
     assert!(
         (online.gbps(BwComponent::Precharge) - offline.gbps(BwComponent::Precharge)).abs() < 0.1
     );
-    assert!(
-        (online.gbps(BwComponent::Activate) - offline.gbps(BwComponent::Activate)).abs() < 0.1
-    );
+    assert!((online.gbps(BwComponent::Activate) - offline.gbps(BwComponent::Activate)).abs() < 0.1);
 }
 
 #[test]

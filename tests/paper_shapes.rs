@@ -67,10 +67,13 @@ fn random_pattern_shows_preact_and_bank_idle() {
 
 #[test]
 fn stores_on_sequential_hurt_but_stores_on_random_help() {
-    let seq0 = default_run(1, SyntheticPattern::sequential(0.0));
-    let seq50 = default_run(1, SyntheticPattern::sequential(0.5));
-    let rand0 = default_run(1, SyntheticPattern::random(0.0));
-    let rand50 = default_run(1, SyntheticPattern::random(0.5));
+    // The store sweep must run at saturation (4 cores): a single
+    // request-limited core has headroom, so write-backs add traffic
+    // without displacing reads and the total cannot drop.
+    let seq0 = default_run(4, SyntheticPattern::sequential(0.0));
+    let seq50 = default_run(4, SyntheticPattern::sequential(0.5));
+    let rand0 = default_run(4, SyntheticPattern::random(0.0));
+    let rand50 = default_run(4, SyntheticPattern::random(0.5));
     // Paper Section VII-B: seq total drops, rand total rises monotonically.
     assert!(
         seq50.achieved_gbps() < seq0.achieved_gbps(),
@@ -102,11 +105,33 @@ fn closed_page_hurts_sequential_helps_random() {
 
 #[test]
 fn interleaved_mapping_fixes_the_two_fig6_cases() {
-    let case1 = |m| run_synthetic(1, SyntheticPattern::sequential(0.5), PagePolicy::Open, m, US);
-    let case2 = |m| run_synthetic(2, SyntheticPattern::sequential(0.0), PagePolicy::Closed, m, US);
+    let case1 = |m| {
+        run_synthetic(
+            1,
+            SyntheticPattern::sequential(0.5),
+            PagePolicy::Open,
+            m,
+            US,
+        )
+    };
+    let case2 = |m| {
+        run_synthetic(
+            2,
+            SyntheticPattern::sequential(0.0),
+            PagePolicy::Closed,
+            m,
+            US,
+        )
+    };
     for (def, int) in [
-        (case1(MappingScheme::RowBankColumn), case1(MappingScheme::CacheLineInterleaved)),
-        (case2(MappingScheme::RowBankColumn), case2(MappingScheme::CacheLineInterleaved)),
+        (
+            case1(MappingScheme::RowBankColumn),
+            case1(MappingScheme::CacheLineInterleaved),
+        ),
+        (
+            case2(MappingScheme::RowBankColumn),
+            case2(MappingScheme::CacheLineInterleaved),
+        ),
     ] {
         assert!(
             int.achieved_gbps() > def.achieved_gbps(),
@@ -117,8 +142,7 @@ fn interleaved_mapping_fixes_the_two_fig6_cases() {
         assert!(int.avg_read_latency_ns() < def.avg_read_latency_ns());
         // The trade-off: pre/act grows under interleaving.
         assert!(
-            int.latency_stack.ns(LatComponent::PreAct)
-                > def.latency_stack.ns(LatComponent::PreAct)
+            int.latency_stack.ns(LatComponent::PreAct) > def.latency_stack.ns(LatComponent::PreAct)
         );
     }
 }
@@ -132,5 +156,8 @@ fn refresh_fraction_matches_trfc_over_trefi() {
     let mut sim = Simulator::new(cfg, streams);
     let r = sim.run_for_us(100.0);
     let frac = r.bandwidth_stack.fraction(BwComponent::Refresh);
-    assert!((frac - 420.0 / 9360.0).abs() < 0.01, "refresh fraction {frac}");
+    assert!(
+        (frac - 420.0 / 9360.0).abs() < 0.01,
+        "refresh fraction {frac}"
+    );
 }

@@ -13,8 +13,16 @@ fn sample_requests() -> Vec<MemRequest> {
     let mut addr = 0u64;
     for i in 0..300u64 {
         // Mostly sequential reads with periodic strided writes.
-        reqs.push(MemRequest { at: i * 10, write: i % 5 == 4, addr });
-        addr = if i % 5 == 4 { (addr + 1 << 17) % (1 << 29) } else { addr + 64 };
+        reqs.push(MemRequest {
+            at: i * 10,
+            write: i % 5 == 4,
+            addr,
+        });
+        addr = if i % 5 == 4 {
+            ((addr + 1) << 17) % (1 << 29)
+        } else {
+            addr + 64
+        };
     }
     reqs
 }
@@ -56,7 +64,10 @@ fn replay_and_offline_agree_on_exact_components() {
         ctrl.drain_completions().for_each(drop);
         now += 1;
     }
-    assert_eq!(now, result.finished_at, "identical feed logic, identical timing");
+    assert_eq!(
+        now, result.finished_at,
+        "identical feed logic, identical timing"
+    );
 
     let offline =
         stack_from_trace(&ctrl.take_command_trace(), DeviceConfig::ddr4_2400(), now).unwrap();

@@ -17,7 +17,9 @@ fn arbitrary_pattern() -> impl Strategy<Value = SyntheticPattern> {
     )
         .prop_map(|(kind, store_pct, chains, seed)| {
             let mut p = match kind {
-                PatternKind::Sequential => SyntheticPattern::sequential(f64::from(store_pct) / 100.0),
+                PatternKind::Sequential => {
+                    SyntheticPattern::sequential(f64::from(store_pct) / 100.0)
+                }
                 PatternKind::Random => SyntheticPattern::random(f64::from(store_pct) / 100.0),
             };
             p.chains = chains;

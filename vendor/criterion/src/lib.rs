@@ -1,0 +1,252 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Supports the benchmark surface this workspace uses:
+//! `Criterion::default().sample_size(n)`, `bench_function`,
+//! `benchmark_group` with `throughput`/`bench_function`/`finish`,
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Each benchmark runs a short warm-up followed by `sample_size`
+//! timed samples and prints the median per-iteration time (plus
+//! throughput when configured). There is no statistical analysis or
+//! HTML report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-sample wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that makes a
+        // sample take a measurable slice of time.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_per_iter(&self) -> Duration {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted[sorted.len() / 2] / self.iters_per_sample.min(u64::from(u32::MAX)) as u32
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    let per_iter = b.median_per_iter();
+    let mut line = format!("bench {id:<40} {:>12}/iter", format_duration(per_iter));
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:.2} Melem/s", n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  {:.2} MiB/s",
+                        n as f64 / secs / (1024.0 * 1024.0)
+                    ));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Upstream-compatibility no-op (reports are not generated).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.criterion.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+            iters_per_sample: 0,
+        };
+        b.iter(|| black_box(best_effort_work()));
+        assert!(!b.samples.is_empty());
+        assert!(b.iters_per_sample >= 1);
+    }
+
+    fn best_effort_work() -> u64 {
+        (0..512u64).map(|x| x.wrapping_mul(x)).sum()
+    }
+}

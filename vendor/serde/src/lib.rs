@@ -1,0 +1,437 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a small, self-contained replacement that supports
+//! exactly the surface the dramstack crates use: `#[derive(Serialize,
+//! Deserialize)]` on concrete (non-generic) structs and enums, routed
+//! through a JSON-like [`Value`] data model that `serde_json` (also
+//! vendored) renders and parses.
+//!
+//! The design intentionally trades serde's visitor architecture for a
+//! simple value tree: `Serialize::to_value` builds a [`Value`], and
+//! `Deserialize::from_value` reads one back. Round-tripping is exact for
+//! every type in this workspace (floats print in shortest round-trip
+//! form; integers up to `i128` are kept as integers).
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-like data model every serializable type lowers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer (covers every Rust integer type up to `i128`).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this value is an object.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this value is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric contents widened to `f64`, if this value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The numeric contents as `u64`, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Looks up an element of an array by index.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        self.as_seq().and_then(|s| s.get(i))
+    }
+}
+
+/// Error produced while converting a [`Value`] back into a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Lowers `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetches a required object field (helper for derived impls).
+///
+/// # Errors
+///
+/// Returns an error naming the missing `key` when absent.
+pub fn get_field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, Error> {
+    v.get(key)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+/// Fetches a required array element (helper for derived tuple impls).
+///
+/// # Errors
+///
+/// Returns an error naming the missing index when absent.
+pub fn get_index(v: &Value, i: usize) -> Result<&Value, Error> {
+    v.index(i)
+        .ok_or_else(|| Error::custom(format!("missing element {i}")))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i128::try_from(*self).expect("integer out of i128 range"))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(Error::custom(format!(
+                        "expected integer for {}, got {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::custom(format!("expected float, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, got {n}")))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($name::from_value(get_index(v, $idx)?)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<K: ToString + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let a = [1.0f64, 2.0];
+        assert_eq!(<[f64; 2]>::from_value(&a.to_value()).unwrap(), a);
+        let t = (1u8, 2u16, 3u32);
+        assert_eq!(<(u8, u16, u32)>::from_value(&t.to_value()).unwrap(), t);
+        let o: Option<u64> = Some(9);
+        assert_eq!(Option::<u64>::from_value(&o.to_value()).unwrap(), o);
+        let n: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&n.to_value()).unwrap(), n);
+    }
+
+    #[test]
+    fn out_of_range_integer_is_an_error() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Map(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert!(v.get("b").is_none());
+        let s = Value::Seq(vec![Value::Bool(true)]);
+        assert_eq!(s.index(0), Some(&Value::Bool(true)));
+    }
+}

@@ -1,0 +1,371 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline). Supports concrete (non-generic)
+//! structs — named, tuple and unit — and enums whose variants are unit,
+//! tuple or struct-like. That covers every derived type in this
+//! workspace; anything fancier fails loudly with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips `pub` / `pub(...)` visibility starting at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past the rest of a field/variant up to (and past) its
+/// separating top-level comma, tracking `<...>` depth so commas inside
+/// generic arguments are not treated as separators.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts top-level comma-separated items in a group body (tuple fields).
+fn count_items(tokens: &[TokenTree]) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        n += 1;
+        skip_to_comma(tokens, &mut i);
+    }
+    n
+}
+
+/// Extracts field names from a named-field group body.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        i += 1;
+        skip_to_comma(tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantFields::Tuple(count_items(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantFields::Named(parse_named_fields(&inner)?)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_to_comma(tokens, &mut i);
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type {name} is not supported by the vendored derive"
+            ));
+        }
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::NamedStruct(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::TupleStruct(count_items(&inner))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::Enum(parse_variants(&inner)?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    Ok(Input { name, body })
+}
+
+/// Derives `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::get_field(v, {f:?})?)?")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(::serde::get_index(v, {k})?)?"))
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Body::UnitStruct => format!("Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = if *n == 1 {
+                                vec!["::serde::Deserialize::from_value(payload)?".to_string()]
+                            } else {
+                                (0..*n)
+                                    .map(|k| {
+                                        format!(
+                                            "::serde::Deserialize::from_value(::serde::get_index(payload, {k})?)?"
+                                        )
+                                    })
+                                    .collect()
+                            };
+                            Some(format!("{vn:?} => Ok({name}::{vn}({})),", inits.join(", ")))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(payload, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     match s {{ {unit} _ => Err(::serde::Error::custom(format!(\"unknown variant {{s}} of {name}\"))) }}\n\
+                 }} else if let Some(m) = v.as_map() {{\n\
+                     let (tag, payload) = m.first().ok_or_else(|| ::serde::Error::custom(\"empty variant map for {name}\"))?;\n\
+                     let _ = payload;\n\
+                     match tag.as_str() {{ {data} other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))) }}\n\
+                 }} else {{\n\
+                     Err(::serde::Error::custom(\"expected string or map for enum {name}\"))\n\
+                 }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
