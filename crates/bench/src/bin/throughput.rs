@@ -1,0 +1,195 @@
+//! Simulator throughput harness.
+//!
+//! Measures simulation speed (million simulated DRAM cycles per host
+//! second) for a spread of representative configurations, the speedup of
+//! the idle-cycle fast-forward, and the wall-clock scaling of the
+//! parallel sweep runner. Writes `BENCH_sim_throughput.json` at the repo
+//! root. Pass `quick` as the first argument for the CI-sized run.
+
+use std::path::Path;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use dramstack_bench::scale_from_args;
+use dramstack_cpu::{InstrStream, VecStream};
+use dramstack_memctrl::{MappingScheme, PagePolicy};
+use dramstack_sim::{
+    experiments::{run_synthetic, ExperimentScale},
+    parallel, SimReport, Simulator, SystemConfig,
+};
+use dramstack_workloads::{GapKernel, SyntheticPattern};
+
+/// Throughput of one timed configuration.
+#[derive(Debug, Serialize)]
+struct ConfigResult {
+    /// Configuration label.
+    name: String,
+    /// Simulated DRAM cycles covered.
+    sim_cycles: u64,
+    /// Host seconds for the run (drive loop only).
+    wall_seconds: f64,
+    /// Million simulated cycles per host second.
+    msim_cycles_per_sec: f64,
+    /// Cycles covered by the event-skip fast-forward.
+    fast_forwarded_cycles: u64,
+}
+
+/// Wall-clock scaling of the parallel sweep runner.
+#[derive(Debug, Serialize)]
+struct SweepResult {
+    /// Number of independent simulations in the sweep.
+    jobs: usize,
+    /// Worker threads of the parallel leg.
+    threads: usize,
+    /// Wall seconds with one worker.
+    serial_seconds: f64,
+    /// Wall seconds with `threads` workers.
+    parallel_seconds: f64,
+    /// `serial_seconds / parallel_seconds`.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchOutput {
+    /// `quick` or `full`.
+    scale: String,
+    /// Per-configuration throughput.
+    configs: Vec<ConfigResult>,
+    /// Idle-workload speedup of fast-forward on vs off.
+    idle_fast_forward_speedup: f64,
+    /// Parallel sweep scaling.
+    sweep: SweepResult,
+}
+
+fn config_result(name: &str, report: &SimReport) -> ConfigResult {
+    ConfigResult {
+        name: name.to_string(),
+        sim_cycles: report.perf.sim_cycles,
+        wall_seconds: report.perf.wall_seconds,
+        msim_cycles_per_sec: report.perf.sim_cycles_per_second / 1e6,
+        fast_forwarded_cycles: report.perf.fast_forwarded_cycles,
+    }
+}
+
+/// An idle (empty-workload) run with the fast-forward on or off.
+fn run_idle(us: f64, fast_forward: bool) -> SimReport {
+    let cfg = SystemConfig::paper_default(1);
+    let streams: Vec<Box<dyn InstrStream>> = vec![Box::new(VecStream::new(Vec::new()))];
+    let mut sim = Simulator::new(cfg, streams);
+    sim.set_fast_forward(fast_forward);
+    sim.enable_profiling();
+    sim.run_for_us(us)
+}
+
+fn run_pattern(cores: usize, pattern: SyntheticPattern, us: f64) -> SimReport {
+    let cfg = SystemConfig::paper_default(cores);
+    let mut sim = Simulator::with_synthetic(cfg, pattern);
+    sim.enable_profiling();
+    sim.run_for_us(us)
+}
+
+fn run_bfs(scale: &ExperimentScale) -> SimReport {
+    let g = scale.build_graph();
+    let mut cfg = SystemConfig::paper_gap(8);
+    cfg.ctrl.page_policy = PagePolicy::Closed;
+    cfg.sample_period = 2400;
+    let traces = GapKernel::Bfs.trace(&g, 8, &scale.gap);
+    let mut sim = Simulator::with_traces(cfg, traces);
+    sim.enable_profiling();
+    sim.run_to_completion(scale.max_cycles)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let scale_name = if std::env::args().nth(1).as_deref() == Some("quick") {
+        "quick"
+    } else {
+        "full"
+    };
+    // Long enough that the idle run crosses many refresh periods.
+    let idle_us = scale.synth_us * 4.0;
+
+    let mut configs = Vec::new();
+
+    let idle_on = run_idle(idle_us, true);
+    let idle_off = run_idle(idle_us, false);
+    let idle_speedup = idle_on.perf.sim_cycles_per_second / idle_off.perf.sim_cycles_per_second;
+    configs.push(config_result("idle_1c_ff_on", &idle_on));
+    configs.push(config_result("idle_1c_ff_off", &idle_off));
+
+    configs.push(config_result(
+        "seq_8c",
+        &run_pattern(8, SyntheticPattern::sequential(0.0), scale.synth_us),
+    ));
+    configs.push(config_result(
+        "rand_2c",
+        &run_pattern(2, SyntheticPattern::random(0.2), scale.synth_us),
+    ));
+    configs.push(config_result("gap_bfs_8c", &run_bfs(&scale)));
+
+    // Parallel sweep scaling: the same independent job list run on one
+    // worker and on all available workers.
+    let threads = parallel::available_threads();
+    let grid: Vec<(usize, SyntheticPattern)> = vec![
+        (1, SyntheticPattern::sequential(0.0)),
+        (2, SyntheticPattern::sequential(0.0)),
+        (1, SyntheticPattern::random(0.0)),
+        (2, SyntheticPattern::random(0.0)),
+        (1, SyntheticPattern::sequential(0.2)),
+        (2, SyntheticPattern::sequential(0.2)),
+        (1, SyntheticPattern::random(0.2)),
+        (2, SyntheticPattern::random(0.2)),
+    ];
+    let job = |(cores, pattern): (usize, SyntheticPattern)| {
+        run_synthetic(
+            cores,
+            pattern,
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            scale.synth_us,
+        )
+        .sim_cycles
+    };
+    let t0 = Instant::now();
+    let serial = parallel::map_with_threads(grid.clone(), 1, job);
+    let serial_seconds = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let par = parallel::map_with_threads(grid, threads, job);
+    let parallel_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(serial, par, "parallel sweep must match serial");
+
+    let out = BenchOutput {
+        scale: scale_name.to_string(),
+        configs,
+        idle_fast_forward_speedup: idle_speedup,
+        sweep: SweepResult {
+            jobs: serial.len(),
+            threads,
+            serial_seconds,
+            parallel_seconds,
+            speedup: serial_seconds / parallel_seconds.max(1e-12),
+        },
+    };
+
+    for c in &out.configs {
+        println!(
+            "{:16} {:>12} cycles  {:>8.2} Msim-cycles/s  ({} fast-forwarded)",
+            c.name, c.sim_cycles, c.msim_cycles_per_sec, c.fast_forwarded_cycles
+        );
+    }
+    println!(
+        "idle fast-forward speedup: {:.1}x | sweep: {} jobs, {} threads, {:.2}s -> {:.2}s ({:.2}x)",
+        out.idle_fast_forward_speedup,
+        out.sweep.jobs,
+        out.sweep.threads,
+        out.sweep.serial_seconds,
+        out.sweep.parallel_seconds,
+        out.sweep.speedup
+    );
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim_throughput.json");
+    let json = serde_json::to_string_pretty(&out).expect("serializable");
+    std::fs::write(&path, json).expect("write BENCH_sim_throughput.json");
+    println!("wrote {}", path.display());
+}

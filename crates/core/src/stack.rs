@@ -97,8 +97,21 @@ impl BandwidthStack {
     /// Panics if `stacks` is empty or the channels disagree on peak
     /// bandwidth or cycle count.
     pub fn aggregate_channels(stacks: &[BandwidthStack]) -> BandwidthStack {
+        let refs: Vec<&BandwidthStack> = stacks.iter().collect();
+        Self::aggregate_channel_refs(&refs)
+    }
+
+    /// By-reference variant of [`aggregate_channels`](Self::aggregate_channels)
+    /// — lets callers aggregate stacks that live inside larger structures
+    /// (e.g. per-channel `TimeSample` windows) without cloning each stack
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as `aggregate_channels`.
+    pub fn aggregate_channel_refs(stacks: &[&BandwidthStack]) -> BandwidthStack {
         assert!(!stacks.is_empty(), "need at least one channel stack");
-        let first = &stacks[0];
+        let first = stacks[0];
         let n = stacks.len() as f64;
         let mut out = BandwidthStack::empty(first.peak_gbps * n);
         out.total_cycles = first.total_cycles;
@@ -207,6 +220,9 @@ mod tests {
         // Single-channel aggregation is the identity.
         let same = BandwidthStack::aggregate_channels(&[a.clone()]);
         assert_eq!(same, a);
+        // The by-ref variant agrees with the by-value one.
+        let by_ref = BandwidthStack::aggregate_channel_refs(&[&a]);
+        assert_eq!(by_ref, a);
     }
 
     #[test]

@@ -90,6 +90,12 @@ impl StackSampler {
 
     /// Accounts one cycle and rolls the window when the period elapses.
     pub fn account(&mut self, view: &CycleView) {
+        if view.is_all_idle() {
+            // An all-idle cycle touches two accountant counters and the
+            // zero bucket of both depth histograms; skip classification.
+            self.account_idle(1);
+            return;
+        }
         self.bw.account(view);
         if let Some(hit) = view.cas_hit {
             self.metrics.inc(self.m_cas, 1);
@@ -107,6 +113,25 @@ impl StackSampler {
         self.accounted += 1;
         if self.accounted == self.period {
             self.roll();
+        }
+    }
+
+    /// Accounts `n` fully idle cycles in bulk — bit-identical to calling
+    /// [`account`](Self::account) `n` times with [`CycleView::idle`],
+    /// including any window rolls inside the span, but at O(windows)
+    /// instead of O(cycles) cost. This is the sampler half of the
+    /// event-skip fast-forward.
+    pub fn account_idle(&mut self, mut n: u64) {
+        while n > 0 {
+            let take = n.min(self.period - self.accounted);
+            self.bw.account_idle(take);
+            self.metrics.observe_n(self.m_read_depth, 0, take);
+            self.metrics.observe_n(self.m_write_depth, 0, take);
+            self.accounted += take;
+            n -= take;
+            if self.accounted == self.period {
+                self.roll();
+            }
         }
     }
 
@@ -446,6 +471,30 @@ mod tests {
         assert!((c.mean_read_queue_depth() - 4.0).abs() < 1e-12);
         assert!((c.row_hit_rate() - 0.5).abs() < 1e-12);
         assert!((c.drain_occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bulk_idle_equals_repeated_idle_accounting() {
+        // Span crosses two window boundaries and leaves a partial window;
+        // bulk accounting must produce identical samples, including rolls.
+        let mut bulk = sampler();
+        let mut single = sampler();
+        let idle = CycleView::idle(16);
+        let mut busy = CycleView::idle(16);
+        busy.bus = Some(BurstKind::Read);
+        // A little non-idle prefix so the bulk span starts mid-window.
+        for _ in 0..37 {
+            bulk.account(&busy);
+            single.account(&busy);
+        }
+        bulk.account_idle(263);
+        for _ in 0..263 {
+            single.account(&idle);
+        }
+        let a = bulk.finish();
+        let b = single.finish();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
     }
 
     #[test]

@@ -164,6 +164,22 @@ impl CoreModel {
             && self.at_barrier.is_none()
     }
 
+    /// Whether ticking this core at core-cycle `now` (and every later
+    /// cycle, absent external events) is exactly one idle-stack cycle with
+    /// no other state change. Used as the per-core gate of the event-skip
+    /// fast-forward; [`add_idle_cycles`](Self::add_idle_cycles) replicates
+    /// the skipped ticks.
+    pub fn is_quiet(&self, now: u64) -> bool {
+        self.is_finished() && now >= self.fetch_stall_until
+    }
+
+    /// Bulk equivalent of `n` ticks of a [quiet](Self::is_quiet) core:
+    /// every skipped cycle is classified as idle.
+    pub fn add_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.is_finished());
+        self.stack.add_n(CycleComponent::Idle, n);
+    }
+
     /// A DRAM line arrived: wake every load waiting on it.
     pub fn complete_line(&mut self, line: u64) {
         if let Some(seqs) = self.by_line.remove(&line) {

@@ -77,6 +77,14 @@ impl CycleStack {
         self.total += 1;
     }
 
+    /// Records `n` cycles of the same component — exact integer equivalent
+    /// of calling [`add`](Self::add) `n` times, used by bulk idle
+    /// fast-forwarding.
+    pub fn add_n(&mut self, c: CycleComponent, n: u64) {
+        self.counts[c.index()] += n;
+        self.total += n;
+    }
+
     /// Cycles attributed to `c`.
     pub fn cycles(&self, c: CycleComponent) -> u64 {
         self.counts[c.index()]

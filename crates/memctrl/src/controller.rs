@@ -285,6 +285,35 @@ impl MemoryController {
         self.completions.drain(..)
     }
 
+    /// Moves completed reads into `out` (appending), leaving the internal
+    /// buffer empty but with its capacity intact. Allocation-free variant
+    /// of [`drain_completions`](Self::drain_completions) for per-cycle hot
+    /// loops that reuse a scratch buffer.
+    pub fn take_completions_into(&mut self, out: &mut Vec<CompletedRead>) {
+        out.append(&mut self.completions);
+    }
+
+    /// Conservative horizon for the idle-cycle fast-forward: `Some(h)`
+    /// means this controller provably does nothing but idle in `[now, h)` —
+    /// no queued or in-flight request, no undelivered completion, no write
+    /// drain or refresh drain in progress, no probe observing cycles, and
+    /// the device itself is settled until its next refresh deadline `h`.
+    ///
+    /// The `CycleView` this controller would produce for every cycle in
+    /// `[now, h)` is exactly [`CycleView::idle`], so callers may account
+    /// those cycles in bulk without ticking.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.is_idle()
+            || !self.completions.is_empty()
+            || self.drain_mode
+            || self.refresh_draining
+            || self.probe_active
+        {
+            return None;
+        }
+        self.device.next_event(now)
+    }
+
     /// Advances the controller by one DRAM cycle: issues at most one
     /// command, tracks latency components, collects completions and fills
     /// `view` with this cycle's classification inputs for the bandwidth

@@ -26,16 +26,19 @@ pub enum SimPhase {
     Pump,
     /// Through-time sampling / window rolling.
     Sampling,
+    /// Bulk idle-cycle fast-forwarding (event-skip spans).
+    FastForward,
 }
 
 impl SimPhase {
     /// All phases, in loop order.
-    pub const ALL: [SimPhase; 5] = [
+    pub const ALL: [SimPhase; 6] = [
         SimPhase::Ctrl,
         SimPhase::Completions,
         SimPhase::Cores,
         SimPhase::Pump,
         SimPhase::Sampling,
+        SimPhase::FastForward,
     ];
 
     /// Stable lowercase name used in reports.
@@ -46,6 +49,7 @@ impl SimPhase {
             SimPhase::Cores => "cores",
             SimPhase::Pump => "pump",
             SimPhase::Sampling => "sampling",
+            SimPhase::FastForward => "fast_forward",
         }
     }
 
@@ -70,9 +74,10 @@ impl SimPhase {
 #[derive(Debug, Clone, Default)]
 pub struct PhaseTimers {
     enabled: bool,
-    nanos: [u128; 5],
+    nanos: [u128; 6],
     started: Option<Instant>,
     wall_nanos: u128,
+    ff_cycles: u64,
 }
 
 impl PhaseTimers {
@@ -112,6 +117,18 @@ impl PhaseTimers {
         }
     }
 
+    /// Records `n` simulated cycles skipped by the event-skip fast-forward
+    /// (tracked regardless of whether wall-clock profiling is enabled).
+    #[inline]
+    pub fn add_fast_forwarded(&mut self, n: u64) {
+        self.ff_cycles += n;
+    }
+
+    /// Simulated cycles skipped by fast-forward so far.
+    pub fn fast_forwarded(&self) -> u64 {
+        self.ff_cycles
+    }
+
     /// Stops the overall wall clock (idempotent; called at report time).
     pub fn finish(&mut self) {
         if let Some(t) = self.started.take() {
@@ -137,6 +154,7 @@ impl PhaseTimers {
             } else {
                 0.0
             },
+            fast_forwarded_cycles: self.ff_cycles,
             phases: SimPhase::ALL
                 .iter()
                 .map(|p| (p.name().to_string(), self.seconds(*p)))
@@ -160,6 +178,9 @@ pub struct PerfReport {
     pub sim_cycles: u64,
     /// Simulation speed in simulated cycles per host second.
     pub sim_cycles_per_second: f64,
+    /// Simulated cycles covered by the event-skip fast-forward rather than
+    /// per-cycle stepping (recorded even when wall profiling is off).
+    pub fast_forwarded_cycles: u64,
     /// `(phase name, seconds)` per drive-loop phase, in loop order.
     pub phases: Vec<(String, f64)>,
 }
@@ -172,6 +193,7 @@ impl PerfReport {
             wall_seconds: 0.0,
             sim_cycles: 0,
             sim_cycles_per_second: 0.0,
+            fast_forwarded_cycles: 0,
             phases: Vec::new(),
         }
     }
@@ -212,6 +234,14 @@ impl Heartbeat {
             started: Instant::now(),
             beats: 0,
         }
+    }
+
+    /// Whether [`tick`](Self::tick) would print at `cycle`. Callers use
+    /// this to skip computing the (possibly expensive) `reads_done`
+    /// argument on the overwhelming majority of off-interval cycles.
+    #[inline]
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle >= self.next_at
     }
 
     /// Called once per simulated cycle; prints and returns true on beat
@@ -268,7 +298,18 @@ mod tests {
         assert!(r.sim_cycles_per_second > 0.0);
         assert_eq!(r.sim_cycles, 5000);
         assert!(r.phase_seconds("cores") > 0.0);
-        assert_eq!(r.phases.len(), 5);
+        assert_eq!(r.phases.len(), 6);
+    }
+
+    #[test]
+    fn fast_forwarded_cycles_are_recorded_even_when_disabled() {
+        let mut t = PhaseTimers::new();
+        t.add_fast_forwarded(1_000);
+        t.add_fast_forwarded(500);
+        assert_eq!(t.fast_forwarded(), 1_500);
+        let r = t.report(2_000);
+        assert!(!r.enabled);
+        assert_eq!(r.fast_forwarded_cycles, 1_500);
     }
 
     #[test]
@@ -290,9 +331,13 @@ mod tests {
     #[test]
     fn heartbeat_fires_on_schedule() {
         let mut hb = Heartbeat::new(100);
+        assert!(!hb.due(50));
         assert!(!hb.tick(50, 0));
+        assert!(hb.due(100));
         assert!(hb.tick(100, 10));
+        assert!(!hb.due(150));
         assert!(!hb.tick(150, 12));
+        assert!(hb.due(205));
         assert!(hb.tick(205, 20));
         assert_eq!(hb.beats(), 2);
     }

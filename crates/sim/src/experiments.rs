@@ -13,6 +13,7 @@ use dramstack_memctrl::{MappingScheme, PagePolicy};
 use dramstack_workloads::{GapConfig, GapKernel, Graph, SyntheticPattern};
 
 use crate::config::SystemConfig;
+use crate::parallel;
 use crate::report::SimReport;
 use crate::system::Simulator;
 
@@ -138,31 +139,30 @@ pub struct SynthRow {
 
 /// Fig. 2: read-only sequential/random, 1–8 cores.
 pub fn fig2(scale: &ExperimentScale) -> Vec<SynthRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (name, pattern) in [
         ("seq", SyntheticPattern::sequential(0.0)),
         ("rand", SyntheticPattern::random(0.0)),
     ] {
         for cores in [1usize, 2, 4, 8] {
-            let report = run_synthetic(
-                cores,
-                pattern,
-                PagePolicy::Open,
-                MappingScheme::RowBankColumn,
-                scale.synth_us,
-            );
-            rows.push(SynthRow {
-                label: format!("{name} {cores}c"),
-                report,
-            });
+            jobs.push((format!("{name} {cores}c"), cores, pattern));
         }
     }
-    rows
+    parallel::map(jobs, |(label, cores, pattern)| SynthRow {
+        label,
+        report: run_synthetic(
+            cores,
+            pattern,
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            scale.synth_us,
+        ),
+    })
 }
 
 /// Fig. 3: store fraction 0/10/20/50 % on one core.
 pub fn fig3(scale: &ExperimentScale) -> Vec<SynthRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for name in ["seq", "rand"] {
         for pct in [0u32, 10, 20, 50] {
             let frac = f64::from(pct) / 100.0;
@@ -171,80 +171,73 @@ pub fn fig3(scale: &ExperimentScale) -> Vec<SynthRow> {
             } else {
                 SyntheticPattern::random(frac)
             };
-            let report = run_synthetic(
-                1,
-                pattern,
-                PagePolicy::Open,
-                MappingScheme::RowBankColumn,
-                scale.synth_us,
-            );
-            rows.push(SynthRow {
-                label: format!("{name} w{pct}"),
-                report,
-            });
+            jobs.push((format!("{name} w{pct}"), pattern));
         }
     }
-    rows
+    parallel::map(jobs, |(label, pattern)| SynthRow {
+        label,
+        report: run_synthetic(
+            1,
+            pattern,
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            scale.synth_us,
+        ),
+    })
 }
 
 /// Fig. 4: open vs closed page policy, read-only, 2 cores.
 pub fn fig4(scale: &ExperimentScale) -> Vec<SynthRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (name, pattern) in [
         ("seq", SyntheticPattern::sequential(0.0)),
         ("rand", SyntheticPattern::random(0.0)),
     ] {
         for (pname, policy) in [("open", PagePolicy::Open), ("closed", PagePolicy::Closed)] {
-            let report = run_synthetic(
-                2,
-                pattern,
-                policy,
-                MappingScheme::RowBankColumn,
-                scale.synth_us,
-            );
-            rows.push(SynthRow {
-                label: format!("{name} {pname}"),
-                report,
-            });
+            jobs.push((format!("{name} {pname}"), pattern, policy));
         }
     }
-    rows
+    parallel::map(jobs, |(label, pattern, policy)| SynthRow {
+        label,
+        report: run_synthetic(
+            2,
+            pattern,
+            policy,
+            MappingScheme::RowBankColumn,
+            scale.synth_us,
+        ),
+    })
 }
 
 /// Fig. 6: default vs cache-line-interleaved indexing for the two
 /// high-queueing cases.
 pub fn fig6(scale: &ExperimentScale) -> Vec<SynthRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (mname, mapping) in [
         ("def", MappingScheme::RowBankColumn),
         ("int", MappingScheme::CacheLineInterleaved),
     ] {
         // Case 1: sequential, 50 % stores, 1 core, open page.
-        let report = run_synthetic(
-            1,
+        jobs.push((
+            format!("seq w50 1c open {mname}"),
+            1usize,
             SyntheticPattern::sequential(0.5),
             PagePolicy::Open,
             mapping,
-            scale.synth_us,
-        );
-        rows.push(SynthRow {
-            label: format!("seq w50 1c open {mname}"),
-            report,
-        });
+        ));
         // Case 2: sequential, read-only, 2 cores, closed page.
-        let report = run_synthetic(
-            2,
+        jobs.push((
+            format!("seq w0 2c closed {mname}"),
+            2usize,
             SyntheticPattern::sequential(0.0),
             PagePolicy::Closed,
             mapping,
-            scale.synth_us,
-        );
-        rows.push(SynthRow {
-            label: format!("seq w0 2c closed {mname}"),
-            report,
-        });
+        ));
     }
-    rows
+    parallel::map(jobs, |(label, cores, pattern, policy, mapping)| SynthRow {
+        label,
+        report: run_synthetic(cores, pattern, policy, mapping, scale.synth_us),
+    })
 }
 
 /// Fig. 7: through-time cycle/bandwidth/latency stacks for bfs on 8 cores
@@ -282,65 +275,83 @@ pub struct Fig8Row {
 pub fn fig8(scale: &ExperimentScale) -> Vec<Fig8Row> {
     let g = scale.build_graph();
     let g_tc = scale.build_tc_graph();
-    let mut rows = Vec::new();
-    let mut push = |label: String, r: &SimReport| {
-        rows.push(Fig8Row {
-            label,
-            latency: r.latency_stack,
-            achieved_gbps: r.achieved_gbps(),
-            page_hit_rate: r.ctrl_stats.page_hit_rate(),
-        });
-    };
-    let base = |mapping, wq| {
-        run_gap(
+    type Job = (
+        &'static str,
+        GapKernel,
+        usize,
+        PagePolicy,
+        MappingScheme,
+        usize,
+    );
+    let jobs: Vec<Job> = vec![
+        (
+            "bfs 8c closed def",
             GapKernel::Bfs,
-            &g,
             8,
             PagePolicy::Closed,
+            MappingScheme::RowBankColumn,
+            32,
+        ),
+        (
+            "bfs 8c closed int",
+            GapKernel::Bfs,
+            8,
+            PagePolicy::Closed,
+            MappingScheme::CacheLineInterleaved,
+            32,
+        ),
+        (
+            "bfs 8c closed wq128",
+            GapKernel::Bfs,
+            8,
+            PagePolicy::Closed,
+            MappingScheme::RowBankColumn,
+            128,
+        ),
+        (
+            "tc 1c closed def",
+            GapKernel::Tc,
+            1,
+            PagePolicy::Closed,
+            MappingScheme::RowBankColumn,
+            32,
+        ),
+        (
+            "tc 1c closed int",
+            GapKernel::Tc,
+            1,
+            PagePolicy::Closed,
+            MappingScheme::CacheLineInterleaved,
+            32,
+        ),
+        (
+            "tc 1c open def",
+            GapKernel::Tc,
+            1,
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            32,
+        ),
+    ];
+    parallel::map(jobs, |(label, kernel, cores, policy, mapping, wq)| {
+        let graph = if kernel == GapKernel::Tc { &g_tc } else { &g };
+        let r = run_gap(
+            kernel,
+            graph,
+            cores,
+            policy,
             mapping,
             wq,
             &scale.gap,
             scale.max_cycles,
-        )
-    };
-    push(
-        "bfs 8c closed def".into(),
-        &base(MappingScheme::RowBankColumn, 32),
-    );
-    push(
-        "bfs 8c closed int".into(),
-        &base(MappingScheme::CacheLineInterleaved, 32),
-    );
-    push(
-        "bfs 8c closed wq128".into(),
-        &base(MappingScheme::RowBankColumn, 128),
-    );
-
-    let tc = |mapping, policy| {
-        run_gap(
-            GapKernel::Tc,
-            &g_tc,
-            1,
-            policy,
-            mapping,
-            32,
-            &scale.gap,
-            scale.max_cycles,
-        )
-    };
-    push(
-        "tc 1c closed def".into(),
-        &tc(MappingScheme::RowBankColumn, PagePolicy::Closed),
-    );
-    push(
-        "tc 1c closed int".into(),
-        &tc(MappingScheme::CacheLineInterleaved, PagePolicy::Closed),
-    );
-    push(
-        "tc 1c open def".into(),
-        &tc(MappingScheme::RowBankColumn, PagePolicy::Open),
-    );
-    rows
+        );
+        Fig8Row {
+            label: label.to_string(),
+            latency: r.latency_stack,
+            achieved_gbps: r.achieved_gbps(),
+            page_hit_rate: r.ctrl_stats.page_hit_rate(),
+        }
+    })
 }
 
 /// One point of a configuration sweep.
@@ -369,7 +380,7 @@ pub fn sweep_synthetic(
     store_fraction: f64,
     us: f64,
 ) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
     for (name, pattern) in [
         ("seq", SyntheticPattern::sequential(store_fraction)),
         ("rand", SyntheticPattern::random(store_fraction)),
@@ -377,19 +388,18 @@ pub fn sweep_synthetic(
         for &n in cores {
             for &policy in policies {
                 for &mapping in mappings {
-                    let report = run_synthetic(n, pattern, policy, mapping, us);
-                    out.push(SweepPoint {
-                        pattern: name.to_string(),
-                        cores: n,
-                        policy,
-                        mapping,
-                        report,
-                    });
+                    jobs.push((name, pattern, n, policy, mapping));
                 }
             }
         }
     }
-    out
+    parallel::map(jobs, |(name, pattern, n, policy, mapping)| SweepPoint {
+        pattern: name.to_string(),
+        cores: n,
+        policy,
+        mapping,
+        report: run_synthetic(n, pattern, policy, mapping, us),
+    })
 }
 
 /// The sweep point with the highest achieved bandwidth for a pattern.
@@ -433,10 +443,7 @@ impl Fig9Row {
 /// Fig. 9: measured vs extrapolated 8-core bandwidth for the GAP kernels.
 /// (tc runs with the open policy, the others closed, per Section VIII.)
 pub fn fig9(scale: &ExperimentScale) -> Vec<Fig9Row> {
-    GapKernel::ALL
-        .iter()
-        .map(|&k| fig9_kernel(k, scale))
-        .collect()
+    parallel::map(GapKernel::ALL.to_vec(), |k| fig9_kernel(k, scale))
 }
 
 /// One kernel of Fig. 9 (usable alone for quick checks).
@@ -447,26 +454,20 @@ pub fn fig9_kernel(kernel: GapKernel, scale: &ExperimentScale) -> Fig9Row {
     } else {
         PagePolicy::Closed
     };
-    let one = run_gap(
-        kernel,
-        &g,
-        1,
-        policy,
-        MappingScheme::RowBankColumn,
-        32,
-        &scale.gap,
-        scale.max_cycles,
-    );
-    let eight = run_gap(
-        kernel,
-        &g,
-        8,
-        policy,
-        MappingScheme::RowBankColumn,
-        32,
-        &scale.gap,
-        scale.max_cycles,
-    );
+    let mut reports = parallel::map(vec![1usize, 8], |cores| {
+        run_gap(
+            kernel,
+            &g,
+            cores,
+            policy,
+            MappingScheme::RowBankColumn,
+            32,
+            &scale.gap,
+            scale.max_cycles,
+        )
+    });
+    let eight = reports.pop().expect("8-core run");
+    let one = reports.pop().expect("1-core run");
     let samples: Vec<_> = one.samples.iter().map(|s| s.bandwidth.clone()).collect();
     Fig9Row {
         kernel,
@@ -533,6 +534,42 @@ mod tests {
         assert_eq!(best_seq.policy, PagePolicy::Open);
         assert_eq!(best_seq.cores, 2);
         assert!(best_of(&points, "nope").is_none());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_order_and_results() {
+        // The sweep fans out over worker threads; results must be
+        // bit-identical to an inline serial loop over the same grid, in
+        // the same order (modulo `perf`, which records wall-clock time).
+        let points = sweep_synthetic(
+            &[1, 2],
+            &[PagePolicy::Open],
+            &[MappingScheme::RowBankColumn],
+            0.0,
+            5.0,
+        );
+        let mut expect = Vec::new();
+        for (name, pattern) in [
+            ("seq", SyntheticPattern::sequential(0.0)),
+            ("rand", SyntheticPattern::random(0.0)),
+        ] {
+            for n in [1usize, 2] {
+                let report = run_synthetic(
+                    n,
+                    pattern,
+                    PagePolicy::Open,
+                    MappingScheme::RowBankColumn,
+                    5.0,
+                );
+                expect.push((name, n, report.strip_perf()));
+            }
+        }
+        assert_eq!(points.len(), expect.len());
+        for (p, (name, n, r)) in points.iter().zip(&expect) {
+            assert_eq!(&p.pattern, name);
+            assert_eq!(p.cores, *n);
+            assert_eq!(&p.report.strip_perf(), r);
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 mod config;
 pub mod experiments;
+pub mod parallel;
 pub mod replay;
 mod report;
 mod system;

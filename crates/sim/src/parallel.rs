@@ -1,0 +1,134 @@
+//! A minimal scoped-thread work-queue for running independent
+//! simulations in parallel.
+//!
+//! Every figure driver in [`crate::experiments`] is a map over an
+//! embarrassingly parallel job list: each job builds its own
+//! [`Simulator`](crate::Simulator), so jobs share no mutable state.
+//! [`map`] fans such a list out over `std::thread::scope` workers pulling
+//! from a shared queue, and writes each result into the slot matching its
+//! input index — the output order is always the input order, independent
+//! of scheduling, so parallel sweeps are bit-identical to serial ones.
+//!
+//! No thread pool, channels or external dependencies: threads live for
+//! one call, the queue is a mutexed counter, and a panicking job aborts
+//! the whole map (propagated when the scope joins).
+
+use std::sync::Mutex;
+
+/// Default worker count: the `DRAMSTACK_THREADS` environment variable
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism (1 if unknown).
+pub fn available_threads() -> usize {
+    if let Ok(v) = std::env::var("DRAMSTACK_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`available_threads`] workers, preserving
+/// input order in the output.
+pub fn map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    map_with_threads(items, available_threads(), f)
+}
+
+/// Maps `f` over `items` on at most `threads` workers, preserving input
+/// order in the output. `threads <= 1` (or a single item) runs serially
+/// on the calling thread.
+pub fn map_with_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<std::vec::IntoIter<T>> = Mutex::new(items.into_iter());
+    let next_index = Mutex::new(0usize);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Pop the next (index, item) pair under one critical
+                // section so indices and items stay in lock-step.
+                let (idx, item) = {
+                    let mut iter = queue.lock().expect("queue poisoned");
+                    let Some(item) = iter.next() else {
+                        return;
+                    };
+                    let mut ni = next_index.lock().expect("index poisoned");
+                    let idx = *ni;
+                    *ni += 1;
+                    (idx, item)
+                };
+                let result = f(item);
+                *slots[idx].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("every job ran exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_matches_serial_and_preserves_order() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial = map_with_threads(items.clone(), 1, |x| x * x + 1);
+        let parallel = map_with_threads(items, 4, |x| x * x + 1);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[10], 101);
+    }
+
+    #[test]
+    fn uneven_job_durations_do_not_reorder_results() {
+        // Early jobs sleep longest, so later jobs finish first; the
+        // output must still be in input order.
+        let items: Vec<u64> = (0..16).collect();
+        let out = map_with_threads(items, 8, |x| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = map_with_threads(vec![1, 2, 3], 64, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_with_threads(empty, 4, |x| x).is_empty());
+        assert_eq!(map_with_threads(vec![7], 4, |x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -7,7 +7,7 @@ use dramstack_core::{
 };
 use dramstack_cpu::{CoreModel, CycleStack, Hierarchy, InstrStream, VecStream};
 use dramstack_dram::{Cycle, CycleView};
-use dramstack_memctrl::MemoryController;
+use dramstack_memctrl::{CompletedRead, MemoryController};
 use dramstack_obs::{Heartbeat, PhaseTimers, Probe, SimPhase};
 use dramstack_workloads::SyntheticPattern;
 
@@ -35,6 +35,10 @@ pub struct Simulator {
     next_cycle_sample: Cycle,
     timers: PhaseTimers,
     heartbeat: Option<Heartbeat>,
+    fast_forward: bool,
+    /// Scratch buffer for draining controller completions without a
+    /// per-cycle allocation.
+    completion_buf: Vec<CompletedRead>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -79,10 +83,22 @@ impl Simulator {
             next_cycle_sample: cfg.sample_period,
             timers: PhaseTimers::new(),
             heartbeat: None,
+            fast_forward: true,
+            completion_buf: Vec::new(),
             streams,
             ctrls,
             cfg,
         }
+    }
+
+    /// Enables or disables the idle-cycle fast-forward (on by default).
+    ///
+    /// Fast-forwarding never changes simulation results — reports are
+    /// bit-identical either way (modulo `perf`, which records wall-clock
+    /// time) — so the switch exists for benchmarking and for the
+    /// determinism tests that prove that equivalence.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// Turns on wall-clock self-profiling of the drive loop; the
@@ -186,9 +202,10 @@ impl Simulator {
         // 2. Completions propagate up: latency stack, cache fills, cores.
         //    `meta` carries the original (pre-strip) line address.
         let t = self.timers.begin();
+        let mut buf = std::mem::take(&mut self.completion_buf);
         for ch in 0..self.ctrls.len() {
-            let completions: Vec<_> = self.ctrls[ch].drain_completions().collect();
-            for c in completions {
+            self.ctrls[ch].take_completions_into(&mut buf);
+            for c in buf.drain(..) {
                 self.samplers[ch].add_read(&c.breakdown);
                 self.histogram.add(c.breakdown.total());
                 let original_line = c.meta;
@@ -197,6 +214,7 @@ impl Simulator {
                 }
             }
         }
+        self.completion_buf = buf;
         self.timers.end(SimPhase::Completions, t);
 
         // 3. Cores run `core_clock_mult` cycles per DRAM cycle.
@@ -251,10 +269,14 @@ impl Simulator {
         self.timers.end(SimPhase::Sampling, t);
 
         if let Some(hb) = &mut self.heartbeat {
-            hb.tick(
-                self.dram_cycle,
-                self.ctrls.iter().map(|c| c.stats().reads_done).sum(),
-            );
+            // Summing per-controller counters every cycle is measurable at
+            // heartbeat granularity; only pay for it on beat cycles.
+            if hb.due(self.dram_cycle) {
+                hb.tick(
+                    self.dram_cycle,
+                    self.ctrls.iter().map(|c| c.stats().reads_done).sum(),
+                );
+            }
         }
     }
 
@@ -279,12 +301,88 @@ impl Simulator {
         }
     }
 
+    /// Attempts to bulk-skip inert cycles, stopping before `limit`.
+    ///
+    /// The skip fires only when nothing observable can happen until a
+    /// conservatively computed horizon: every core is quiet (finished and
+    /// past any fetch stall), the cache hierarchy has no outstanding or
+    /// outbound requests, and every memory controller is idle with its
+    /// DRAM device settled — leaving the fixed-grid refresh as the only
+    /// future event. The skipped span is accounted in bulk as pure idle
+    /// (bit-identical to stepping it cycle by cycle, including sampling
+    /// window rolls) and the simulator lands exactly on the earliest next
+    /// event, which [`step`](Self::step) then handles normally.
+    ///
+    /// Returns true when at least one cycle was skipped.
+    fn try_fast_forward(&mut self, limit: Cycle) -> bool {
+        if !self.fast_forward {
+            return false;
+        }
+        let now = self.dram_cycle;
+        if limit <= now + 1 {
+            return false;
+        }
+        let mult = u64::from(self.cfg.core_clock_mult);
+        let core_now = now * mult;
+        if !self.cores.iter().all(|c| c.is_quiet(core_now)) || !self.hier.quiescent() {
+            return false;
+        }
+        let mut horizon = limit;
+        for ctrl in &self.ctrls {
+            match ctrl.next_event(now) {
+                Some(h) => horizon = horizon.min(h),
+                None => return false,
+            }
+        }
+        if horizon <= now + 1 {
+            return false;
+        }
+        let t = self.timers.begin();
+        let skipped = horizon - now;
+        // Skip [now, horizon) in chunks bounded by the CPU cycle-stack
+        // sampling boundary so window rolls land exactly where per-cycle
+        // stepping would put them.
+        while self.dram_cycle < horizon {
+            let chunk_end = horizon.min(self.next_cycle_sample);
+            let n = chunk_end - self.dram_cycle;
+            for s in &mut self.samplers {
+                s.account_idle(n);
+            }
+            for core in &mut self.cores {
+                core.add_idle_cycles(n * mult);
+            }
+            self.dram_cycle = chunk_end;
+            if self.dram_cycle == self.next_cycle_sample {
+                self.next_cycle_sample += self.cfg.sample_period;
+                let mut window = CycleStack::new();
+                for core in &mut self.cores {
+                    window.merge(&core.take_stack_sample());
+                }
+                self.cycle_total.merge(&window);
+                self.cycle_samples.push(window);
+            }
+        }
+        self.timers.add_fast_forwarded(skipped);
+        self.timers.end(SimPhase::FastForward, t);
+        if let Some(hb) = &mut self.heartbeat {
+            if hb.due(self.dram_cycle) {
+                hb.tick(
+                    self.dram_cycle,
+                    self.ctrls.iter().map(|c| c.stats().reads_done).sum(),
+                );
+            }
+        }
+        true
+    }
+
     /// Runs for a fixed simulated duration (synthetic steady-state runs).
     pub fn run_for_us(&mut self, us: f64) -> SimReport {
         let cycles = self.cfg.us_to_cycles(us);
         let end = self.dram_cycle + cycles;
         while self.dram_cycle < end {
-            self.step();
+            if !self.try_fast_forward(end) {
+                self.step();
+            }
         }
         self.report()
     }
@@ -292,12 +390,18 @@ impl Simulator {
     /// Runs until every trace finishes (or `max_cycles` elapse).
     pub fn run_to_completion(&mut self, max_cycles: Cycle) -> SimReport {
         while !self.finished() && self.dram_cycle < max_cycles {
-            self.step();
+            if !self.try_fast_forward(max_cycles) {
+                self.step();
+            }
         }
         self.report()
     }
 
     /// Builds the report for everything simulated so far.
+    ///
+    /// The per-window CPU cycle-stack series is moved into the report
+    /// rather than cloned; a subsequent `report()` covers only windows
+    /// sampled after this call.
     pub fn report(&mut self) -> SimReport {
         // Flush the open sampling windows.
         let mut window = CycleStack::new();
@@ -308,21 +412,25 @@ impl Simulator {
             self.cycle_total.merge(&window);
             self.cycle_samples.push(window);
         }
-        // Per-channel sample series, then aggregate window-by-window.
-        let mut per_channel: Vec<Vec<TimeSample>> = Vec::with_capacity(self.samplers.len());
+        // Per-channel sample series (borrowed from the samplers), then
+        // aggregate window-by-window.
         for s in &mut self.samplers {
             s.flush_partial();
-            per_channel.push(s.samples().to_vec());
         }
-        let samples = aggregate_channel_samples(&per_channel);
-        let channel_stacks: Vec<BandwidthStack> = per_channel
-            .iter()
-            .map(|series| {
-                aggregate_bandwidth(series).unwrap_or_else(|| {
-                    BandwidthStack::empty(self.cfg.ctrl.device.peak_bandwidth_gbps())
+        let (samples, channel_stacks) = {
+            let per_channel: Vec<&[TimeSample]> =
+                self.samplers.iter().map(StackSampler::samples).collect();
+            let samples = aggregate_channel_samples(&per_channel);
+            let channel_stacks: Vec<BandwidthStack> = per_channel
+                .iter()
+                .map(|series| {
+                    aggregate_bandwidth(series).unwrap_or_else(|| {
+                        BandwidthStack::empty(self.cfg.ctrl.device.peak_bandwidth_gbps())
+                    })
                 })
-            })
-            .collect();
+                .collect();
+            (samples, channel_stacks)
+        };
         let bandwidth_stack = aggregate_bandwidth(&samples)
             .unwrap_or_else(|| BandwidthStack::empty(self.cfg.system_peak_gbps()));
         let latency_stack: LatencyStack = aggregate_latency(&samples);
@@ -346,7 +454,7 @@ impl Simulator {
             bandwidth_stack,
             latency_stack,
             cycle_stack: self.cycle_total,
-            cycle_samples: self.cycle_samples.clone(),
+            cycle_samples: std::mem::take(&mut self.cycle_samples),
             sim_cycles: self.dram_cycle,
             elapsed_us: self.dram_cycle as f64 * self.cfg.dram_cycle_ns() / 1000.0,
             ctrl_stats,
@@ -377,30 +485,35 @@ impl Simulator {
 
 /// Zips per-channel sample series into system-level samples: bandwidth
 /// stacks aggregated across channels, latencies merged read-weighted.
-fn aggregate_channel_samples(per_channel: &[Vec<TimeSample>]) -> Vec<TimeSample> {
+///
+/// Takes the per-channel series by reference so the caller does not have
+/// to clone each channel's samples; only the aggregated output windows
+/// are materialized.
+fn aggregate_channel_samples(per_channel: &[&[TimeSample]]) -> Vec<TimeSample> {
     if per_channel.len() == 1 {
-        return per_channel[0].clone();
+        return per_channel[0].to_vec();
     }
-    let windows = per_channel.iter().map(Vec::len).min().unwrap_or(0);
-    (0..windows)
-        .map(|w| {
-            let stacks: Vec<BandwidthStack> =
-                per_channel.iter().map(|s| s[w].bandwidth.clone()).collect();
-            let mut latency = LatencyStack::empty();
-            let mut ctrl = dramstack_obs::CtrlWindowStats::empty();
-            for s in per_channel {
-                latency.merge(&s[w].latency);
-                ctrl.merge(&s[w].ctrl);
-            }
-            TimeSample {
-                start_cycle: per_channel[0][w].start_cycle,
-                cycles: per_channel[0][w].cycles,
-                bandwidth: BandwidthStack::aggregate_channels(&stacks),
-                latency,
-                ctrl,
-            }
-        })
-        .collect()
+    let windows = per_channel.iter().map(|s| s.len()).min().unwrap_or(0);
+    let mut out = Vec::with_capacity(windows);
+    let mut stacks: Vec<&BandwidthStack> = Vec::with_capacity(per_channel.len());
+    for w in 0..windows {
+        stacks.clear();
+        stacks.extend(per_channel.iter().map(|s| &s[w].bandwidth));
+        let mut latency = LatencyStack::empty();
+        let mut ctrl = dramstack_obs::CtrlWindowStats::empty();
+        for s in per_channel {
+            latency.merge(&s[w].latency);
+            ctrl.merge(&s[w].ctrl);
+        }
+        out.push(TimeSample {
+            start_cycle: per_channel[0][w].start_cycle,
+            cycles: per_channel[0][w].cycles,
+            bandwidth: BandwidthStack::aggregate_channel_refs(&stacks),
+            latency,
+            ctrl,
+        });
+    }
+    out
 }
 
 #[cfg(test)]
@@ -511,6 +624,69 @@ mod tests {
         // The aggregate is consistent against the system peak.
         assert!(two.bandwidth_stack.is_consistent());
         assert!((two.bandwidth_stack.total_gbps() - 38.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_on_idle_run() {
+        // An empty workload is the fast-forward's best case: everything
+        // except the refresh grid is skippable. The report (modulo perf)
+        // must not change at all.
+        let run = |ff: bool| {
+            let cfg = SystemConfig::paper_default(1);
+            let streams: Vec<Box<dyn InstrStream>> = vec![Box::new(VecStream::new(Vec::new()))];
+            let mut sim = Simulator::new(cfg, streams);
+            sim.set_fast_forward(ff);
+            let r = sim.run_for_us(100.0);
+            (r.perf.fast_forwarded_cycles, r.strip_perf())
+        };
+        let (ff_cycles, fast) = run(true);
+        let (naive_ff_cycles, naive) = run(false);
+        assert_eq!(fast, naive);
+        assert_eq!(naive_ff_cycles, 0);
+        // The refresh grid leaves ≤ tRFC + scheduling slack per tREFI
+        // period unskippable, so the vast majority of cycles skip.
+        assert!(
+            ff_cycles > fast.sim_cycles / 2,
+            "only {ff_cycles} of {} cycles fast-forwarded",
+            fast.sim_cycles
+        );
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_after_a_busy_prefix() {
+        // Real traffic first, then a long idle tail: the skip must engage
+        // only once the whole system is inert, and land exactly on each
+        // refresh so the accounting stays bit-identical.
+        let run = |ff: bool| {
+            let trace: Vec<dramstack_cpu::Instr> = (0..64u64)
+                .map(|i| dramstack_cpu::Instr::Load { addr: i * 8192 })
+                .collect();
+            let cfg = SystemConfig::paper_default(1);
+            let mut sim = Simulator::with_traces(cfg, vec![trace]);
+            sim.set_fast_forward(ff);
+            let r = sim.run_for_us(100.0);
+            (r.perf.fast_forwarded_cycles, r.strip_perf())
+        };
+        let (ff_cycles, fast) = run(true);
+        let (_, naive) = run(false);
+        assert_eq!(fast, naive);
+        assert!(fast.ctrl_stats.reads_done >= 64);
+        assert!(ff_cycles > 0, "idle tail must fast-forward");
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_across_channels() {
+        let run = |ff: bool| {
+            let mut cfg = SystemConfig::paper_default(2);
+            cfg.channels = 2;
+            let trace: Vec<dramstack_cpu::Instr> = (0..32u64)
+                .map(|i| dramstack_cpu::Instr::Load { addr: i * 8192 })
+                .collect();
+            let mut sim = Simulator::with_traces(cfg, vec![trace.clone(), trace]);
+            sim.set_fast_forward(ff);
+            sim.run_for_us(60.0).strip_perf()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
