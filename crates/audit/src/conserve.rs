@@ -1,0 +1,186 @@
+//! Stack-conservation invariants.
+//!
+//! The paper's stacks are accounting identities: every DRAM cycle lands in
+//! exactly one bandwidth-stack component, and every cycle of a read's
+//! latency lands in exactly one latency-stack component. These checks make
+//! the identities enforceable at runtime instead of only by construction.
+
+use dramstack_core::{BandwidthStack, TimeSample};
+use dramstack_memctrl::CompletedRead;
+
+use crate::report::{ConservationFailure, ConservationKind};
+
+/// Relative tolerance for floating-point weight sums (matches
+/// `BandwidthStack::is_consistent`).
+const REL_EPS: f64 = 1e-6;
+
+/// Checks that one completed read's latency components sum to its
+/// measured service interval (`done_at - arrival`), integer-exact.
+///
+/// One inexactness is legal by design: the wait components (`preact`,
+/// `refresh`, `writeburst`) are attributed independently and can overlap
+/// — e.g. a precharge progressing while a write burst drains. The
+/// controller absorbs the overlap by clamping the residual `queue`
+/// component at zero, so components may *over*-account while `queue == 0`.
+/// Everything else is a broken identity: under-attribution means cycles
+/// were lost, and any mismatch while `queue > 0` means the residual
+/// arithmetic itself is wrong.
+pub fn check_read(c: &CompletedRead) -> Option<ConservationFailure> {
+    let measured = c.done_at.saturating_sub(c.arrival);
+    let attributed = c.breakdown.total();
+    if attributed == measured || (attributed > measured && c.breakdown.queue == 0) {
+        return None;
+    }
+    Some(ConservationFailure {
+        kind: ConservationKind::ReadLatency,
+        window: None,
+        expected: measured as f64,
+        actual: attributed as f64,
+        detail: format!(
+            "read {:#x} arrived {} done {}: components {:?} sum to {} not {}",
+            c.addr, c.arrival, c.done_at, c.breakdown, attributed, measured
+        ),
+    })
+}
+
+/// Checks a bandwidth stack: components non-negative and summing to the
+/// accounted cycles (within float tolerance).
+fn check_stack(
+    kind: ConservationKind,
+    window: Option<usize>,
+    stack: &BandwidthStack,
+) -> Option<ConservationFailure> {
+    let sum: f64 = stack.weights.iter().sum();
+    let total = stack.total_cycles as f64;
+    if let Some(w) = stack.weights.iter().find(|w| **w < -1e-9) {
+        return Some(ConservationFailure {
+            kind,
+            window,
+            expected: 0.0,
+            actual: *w,
+            detail: format!("negative component weight {w} in {:?}", stack.weights),
+        });
+    }
+    if (sum - total).abs() >= REL_EPS * total.max(1.0) {
+        return Some(ConservationFailure {
+            kind,
+            window,
+            expected: total,
+            actual: sum,
+            detail: format!(
+                "weights {:?} sum to {sum} over {} cycles",
+                stack.weights, stack.total_cycles
+            ),
+        });
+    }
+    None
+}
+
+/// Checks one sample window: its bandwidth stack must be internally
+/// consistent and must cover exactly the window's cycles.
+pub fn check_window(index: usize, sample: &TimeSample) -> Option<ConservationFailure> {
+    if sample.bandwidth.total_cycles != sample.cycles {
+        return Some(ConservationFailure {
+            kind: ConservationKind::BandwidthWindow,
+            window: Some(index),
+            expected: sample.cycles as f64,
+            actual: sample.bandwidth.total_cycles as f64,
+            detail: format!(
+                "window {index} covers {} cycles but its stack accounted {}",
+                sample.cycles, sample.bandwidth.total_cycles
+            ),
+        });
+    }
+    check_stack(
+        ConservationKind::BandwidthWindow,
+        Some(index),
+        &sample.bandwidth,
+    )
+}
+
+/// Checks the whole-run aggregate bandwidth stack.
+pub fn check_aggregate(stack: &BandwidthStack) -> Option<ConservationFailure> {
+    check_stack(ConservationKind::BandwidthAggregate, None, stack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dramstack_memctrl::{LatencyBreakdown, RequestId};
+
+    fn read(arrival: u64, done_at: u64, b: LatencyBreakdown) -> CompletedRead {
+        CompletedRead {
+            id: RequestId(1),
+            meta: 0,
+            addr: 0x40,
+            arrival,
+            done_at,
+            breakdown: b,
+        }
+    }
+
+    #[test]
+    fn exact_breakdown_passes() {
+        let b = LatencyBreakdown {
+            base_cntlr: 30,
+            base_dram: 21,
+            preact: 34,
+            refresh: 0,
+            writeburst: 0,
+            queue: 15,
+        };
+        assert!(check_read(&read(100, 200, b)).is_none());
+    }
+
+    #[test]
+    fn off_by_one_breakdown_is_caught() {
+        let b = LatencyBreakdown {
+            base_cntlr: 30,
+            base_dram: 21,
+            preact: 34,
+            refresh: 0,
+            writeburst: 0,
+            queue: 14, // one cycle lost
+        };
+        let f = check_read(&read(100, 200, b)).expect("failure");
+        assert_eq!(f.kind, ConservationKind::ReadLatency);
+        assert_eq!(f.expected, 100.0);
+        assert_eq!(f.actual, 99.0);
+    }
+
+    #[test]
+    fn clamped_overlap_is_tolerated_but_queued_overshoot_is_not() {
+        // Overlapping waits with the queue residual clamped to zero: the
+        // one legal over-attribution.
+        let clamped = LatencyBreakdown {
+            base_cntlr: 30,
+            base_dram: 21,
+            preact: 34,
+            refresh: 0,
+            writeburst: 25,
+            queue: 0,
+        };
+        assert!(check_read(&read(100, 200, clamped)).is_none());
+        // The same overshoot with a nonzero queue component can only come
+        // from broken residual arithmetic.
+        let broken = LatencyBreakdown {
+            queue: 5,
+            writeburst: 20,
+            ..clamped
+        };
+        let f = check_read(&read(100, 200, broken)).expect("failure");
+        assert_eq!(f.kind, ConservationKind::ReadLatency);
+    }
+
+    #[test]
+    fn consistent_aggregate_passes_and_leaky_one_fails() {
+        let mut s = BandwidthStack::empty(19.2);
+        s.total_cycles = 1000;
+        s.weights[0] = 600.0;
+        s.weights[1] = 400.0;
+        assert!(check_aggregate(&s).is_none());
+        s.weights[1] = 399.0;
+        let f = check_aggregate(&s).expect("failure");
+        assert_eq!(f.kind, ConservationKind::BandwidthAggregate);
+    }
+}

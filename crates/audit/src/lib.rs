@@ -1,0 +1,46 @@
+//! Runtime auditing for the dramstack simulator: a shadow JEDEC protocol
+//! checker, stack-conservation invariants and a chaos/fault-injection
+//! harness.
+//!
+//! The simulator's device model is optimized (span-based accounting, idle
+//! fast-forward, allocation-free hot paths) — exactly the kind of code
+//! where a subtle bookkeeping bug silently shifts results rather than
+//! crashing. This crate provides the independent second opinion:
+//!
+//! * [`ProtocolAuditor`] — a deliberately simple re-implementation of the
+//!   DDR4 timing rules that observes every issued command through the
+//!   `obs::Probe` hook and reports violations as typed
+//!   [`AuditViolation`]s (command, bank, binding constraint,
+//!   earliest-legal cycle) instead of panicking. It shares *no code* with
+//!   the device model; only raw parameter values cross the boundary.
+//! * [`conserve`] — checks that the paper's stacks remain accounting
+//!   identities at runtime: bandwidth-stack components sum to window
+//!   cycles, latency-stack components sum (integer-exactly) to each
+//!   read's measured latency.
+//! * [`chaos`] — seeded random-but-valid configurations, adversarial
+//!   traffic generators and a driver proving both soundness (clean
+//!   controllers audit clean) and sensitivity (every [`SeededFault`]
+//!   class is caught).
+//!
+//! Arm an auditor on a controller with [`audit_channel`]; embed findings
+//! in reports with [`AuditReport`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chaos;
+pub mod conserve;
+mod probe;
+mod report;
+mod shadow;
+
+pub use chaos::{drive, ChaosPattern, DriveOutcome, TrafficReq};
+pub use probe::{audit_channel, AuditHandle, AuditProbe};
+pub use report::{
+    AuditReport, AuditRule, AuditViolation, ConservationFailure, ConservationKind, MAX_RECORDED,
+};
+pub use shadow::{ProtocolAuditor, ShadowTiming};
+
+// Re-exported so downstream users can name fault classes without a direct
+// dependency on the device crate.
+pub use dramstack_dram::SeededFault;

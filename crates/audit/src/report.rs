@@ -1,0 +1,279 @@
+//! Typed audit findings: protocol violations, conservation failures and
+//! the per-run [`AuditReport`] embedded in simulation reports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_dram::{BankAddr, CommandKind, Cycle};
+
+/// The JEDEC rule (or state-machine invariant) a command violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditRule {
+    /// ACT-to-CAS delay.
+    TRcd,
+    /// PRE-to-ACT delay.
+    TRp,
+    /// Minimum row-open time before PRE.
+    TRas,
+    /// ACT-to-ACT delay on the same bank (row cycle).
+    TRc,
+    /// CAS-to-CAS spacing across bank groups.
+    TCcdS,
+    /// CAS-to-CAS spacing within a bank group.
+    TCcdL,
+    /// ACT-to-ACT spacing across bank groups.
+    TRrdS,
+    /// ACT-to-ACT spacing within a bank group.
+    TRrdL,
+    /// At most four ACTs per rolling tFAW window.
+    TFaw,
+    /// Write-to-read turnaround across bank groups.
+    TWtrS,
+    /// Write-to-read turnaround within a bank group.
+    TWtrL,
+    /// Read-to-PRE delay.
+    TRtp,
+    /// Write-recovery-to-PRE delay.
+    TWr,
+    /// No command to a rank while its refresh (tRFC) is in progress.
+    TRfc,
+    /// Refresh cadence outside the ±8×tREFI postponement allowance.
+    TRefi,
+    /// Read-to-write data-bus turnaround bubble.
+    ReadToWrite,
+    /// Two data bursts overlapping on the shared bus.
+    BusOverlap,
+    /// Row-buffer state machine: CAS without an open row, ACT on an open
+    /// bank, PRE on a precharged bank, or REF with a bank not idle.
+    RowState,
+}
+
+impl fmt::Display for AuditRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AuditRule::TRcd => "tRCD",
+            AuditRule::TRp => "tRP",
+            AuditRule::TRas => "tRAS",
+            AuditRule::TRc => "tRC",
+            AuditRule::TCcdS => "tCCD_S",
+            AuditRule::TCcdL => "tCCD_L",
+            AuditRule::TRrdS => "tRRD_S",
+            AuditRule::TRrdL => "tRRD_L",
+            AuditRule::TFaw => "tFAW",
+            AuditRule::TWtrS => "tWTR_S",
+            AuditRule::TWtrL => "tWTR_L",
+            AuditRule::TRtp => "tRTP",
+            AuditRule::TWr => "tWR",
+            AuditRule::TRfc => "tRFC",
+            AuditRule::TRefi => "tREFI",
+            AuditRule::ReadToWrite => "read-to-write turnaround",
+            AuditRule::BusOverlap => "data-bus burst overlap",
+            AuditRule::RowState => "row-buffer state",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One illegal command observed by the shadow auditor, with everything
+/// needed to reproduce and understand it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditViolation {
+    /// Cycle the command issued.
+    pub at: Cycle,
+    /// Command mnemonic.
+    pub kind: CommandKind,
+    /// Target bank (for REF, only the rank is meaningful).
+    pub bank: BankAddr,
+    /// Row operand (ACT only).
+    pub row: u32,
+    /// Column operand (CAS only).
+    pub column: u32,
+    /// The binding violated constraint (the one with the latest
+    /// earliest-legal cycle when several were violated at once).
+    pub rule: AuditRule,
+    /// Earliest cycle at which the command would have been legal
+    /// (`Cycle::MAX` for state violations with no legal cycle).
+    pub earliest_legal: Cycle,
+    /// Human-readable context: the rule arithmetic that failed.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: {} {} violates {} (earliest legal {}): {}",
+            self.at, self.kind, self.bank, self.rule, self.earliest_legal, self.detail
+        )
+    }
+}
+
+/// Which accounting identity a conservation check found broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConservationKind {
+    /// A sample window's bandwidth-stack components do not sum to the
+    /// window's cycles (or a component went negative).
+    BandwidthWindow,
+    /// The aggregate bandwidth stack is inconsistent.
+    BandwidthAggregate,
+    /// A completed read's latency components do not sum to its measured
+    /// service time (`done_at - arrival`).
+    ReadLatency,
+}
+
+impl fmt::Display for ConservationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConservationKind::BandwidthWindow => "bandwidth window",
+            ConservationKind::BandwidthAggregate => "bandwidth aggregate",
+            ConservationKind::ReadLatency => "read latency",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One broken stack-conservation invariant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConservationFailure {
+    /// Which identity broke.
+    pub kind: ConservationKind,
+    /// Sample-window index, when the failure is per-window.
+    pub window: Option<usize>,
+    /// The value the identity requires.
+    pub expected: f64,
+    /// The value observed.
+    pub actual: f64,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl fmt::Display for ConservationFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} conservation broken: expected {}, got {} ({})",
+            self.kind, self.expected, self.actual, self.detail
+        )
+    }
+}
+
+/// Everything the audit layer found during one run.
+///
+/// Embedded in `SimReport::audit`; an unarmed run carries the default
+/// (all-zero, `armed == false`) report. Violation and failure lists are
+/// capped — the totals keep counting past the cap.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Whether the shadow auditor observed this run.
+    pub armed: bool,
+    /// DRAM commands checked against the shadow rules.
+    pub commands_audited: u64,
+    /// Completed reads whose latency breakdown was conservation-checked.
+    pub reads_checked: u64,
+    /// Total protocol violations found (including beyond the list cap).
+    pub violations_total: u64,
+    /// The first violations found, in order (capped).
+    pub violations: Vec<AuditViolation>,
+    /// Total conservation failures found (including beyond the list cap).
+    pub conservation_total: u64,
+    /// The first conservation failures found, in order (capped).
+    pub conservation: Vec<ConservationFailure>,
+}
+
+/// Cap on stored violations/failures per report; totals keep counting.
+pub const MAX_RECORDED: usize = 256;
+
+impl AuditReport {
+    /// Whether the run was fully clean: no protocol violation and no
+    /// broken conservation identity.
+    pub fn is_clean(&self) -> bool {
+        self.violations_total == 0 && self.conservation_total == 0
+    }
+
+    /// The first (binding) protocol violation, if any.
+    pub fn first_violation(&self) -> Option<&AuditViolation> {
+        self.violations.first()
+    }
+
+    /// Folds another report into this one (multi-channel aggregation).
+    pub fn merge(&mut self, other: &AuditReport) {
+        self.armed |= other.armed;
+        self.commands_audited += other.commands_audited;
+        self.reads_checked += other.reads_checked;
+        self.violations_total += other.violations_total;
+        for v in &other.violations {
+            if self.violations.len() < MAX_RECORDED {
+                self.violations.push(v.clone());
+            }
+        }
+        self.conservation_total += other.conservation_total;
+        for c in &other.conservation {
+            if self.conservation.len() < MAX_RECORDED {
+                self.conservation.push(c.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_report_is_clean_and_unarmed() {
+        let r = AuditReport::default();
+        assert!(r.is_clean());
+        assert!(!r.armed);
+        assert!(r.first_violation().is_none());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let v = AuditViolation {
+            at: 10,
+            kind: CommandKind::Read,
+            bank: BankAddr::new(0, 1, 2),
+            row: 0,
+            column: 3,
+            rule: AuditRule::TRcd,
+            earliest_legal: 17,
+            detail: "x".into(),
+        };
+        let mut a = AuditReport {
+            armed: true,
+            commands_audited: 5,
+            ..Default::default()
+        };
+        let b = AuditReport {
+            armed: true,
+            commands_audited: 7,
+            violations_total: 1,
+            violations: vec![v.clone()],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.commands_audited, 12);
+        assert_eq!(a.violations_total, 1);
+        assert_eq!(a.first_violation(), Some(&v));
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn violation_display_names_the_rule() {
+        let v = AuditViolation {
+            at: 33,
+            kind: CommandKind::Activate,
+            bank: BankAddr::new(0, 0, 0),
+            row: 7,
+            column: 0,
+            rule: AuditRule::TFaw,
+            earliest_legal: 40,
+            detail: "fifth ACT inside the window".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("tFAW"), "{s}");
+        assert!(s.contains("33"), "{s}");
+        assert!(s.contains("40"), "{s}");
+    }
+}

@@ -17,13 +17,17 @@ fn synth(
     map: MappingScheme,
 ) {
     c.bench_function(id, |b| {
-        b.iter(|| run_synthetic(cores, p, pol, map, 10.0).achieved_gbps())
+        b.iter(|| {
+            run_synthetic(cores, p, pol, map, 10.0)
+                .expect("paper configuration is valid")
+                .achieved_gbps()
+        })
     });
 }
 
 fn fig2_readonly_scaling(c: &mut Criterion) {
     // Print the quick-scale figure rows once for reference.
-    let rows = experiments::fig2(&ExperimentScale::quick());
+    let rows = experiments::fig2(&ExperimentScale::quick()).expect("paper configuration is valid");
     for r in &rows {
         println!("fig2 {}: {:.2} GB/s", r.label, r.report.achieved_gbps());
     }
@@ -117,6 +121,7 @@ fn fig7_through_time(c: &mut Criterion) {
                 &scale.gap,
                 scale.max_cycles,
             )
+            .expect("paper configuration is valid")
             .samples
             .len()
         })
@@ -138,6 +143,7 @@ fn fig8_latency_opts(c: &mut Criterion) {
                 &scale.gap,
                 scale.max_cycles,
             )
+            .expect("paper configuration is valid")
             .avg_read_latency_ns()
         })
     });
@@ -145,7 +151,8 @@ fn fig8_latency_opts(c: &mut Criterion) {
 
 fn fig9_extrapolation(c: &mut Criterion) {
     let scale = ExperimentScale::quick();
-    let row = experiments::fig9_kernel(GapKernel::Bfs, &scale);
+    let row =
+        experiments::fig9_kernel(GapKernel::Bfs, &scale).expect("paper configuration is valid");
     println!(
         "fig9 quick bfs: measured {:.2}, naive err {:.0} %, stack err {:.0} %",
         row.measured_8c,
@@ -153,7 +160,11 @@ fn fig9_extrapolation(c: &mut Criterion) {
         row.stack_error() * 100.0
     );
     c.bench_function("fig9/cc_predict", |b| {
-        b.iter(|| experiments::fig9_kernel(GapKernel::Cc, &scale).stack)
+        b.iter(|| {
+            experiments::fig9_kernel(GapKernel::Cc, &scale)
+                .expect("paper configuration is valid")
+                .stack
+        })
     });
 }
 

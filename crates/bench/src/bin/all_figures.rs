@@ -11,27 +11,27 @@ fn main() {
     emit_figure(
         "fig2",
         "Fig. 2: read-only seq/random, 1-8 cores",
-        &experiments::fig2(&scale),
+        &experiments::fig2(&scale).expect("paper configuration is valid"),
     );
     emit_figure(
         "fig3",
         "Fig. 3: store fraction sweep, 1 core",
-        &experiments::fig3(&scale),
+        &experiments::fig3(&scale).expect("paper configuration is valid"),
     );
     emit_figure(
         "fig4",
         "Fig. 4: open vs closed page policy, 2 cores",
-        &experiments::fig4(&scale),
+        &experiments::fig4(&scale).expect("paper configuration is valid"),
     );
     emit_figure(
         "fig6",
         "Fig. 6: default vs interleaved indexing",
-        &experiments::fig6(&scale),
+        &experiments::fig6(&scale).expect("paper configuration is valid"),
     );
 
     // Figs. 7–9 have dedicated binaries with richer output; run their
     // drivers here for the artifacts.
-    let report = experiments::fig7(&scale);
+    let report = experiments::fig7(&scale).expect("paper configuration is valid");
     let cycle_ns = 1000.0 / 1200.0;
     std::fs::write(
         results_dir().join("fig7_samples.csv"),
@@ -45,7 +45,7 @@ fn main() {
         report.achieved_gbps()
     );
 
-    let rows8 = experiments::fig8(&scale);
+    let rows8 = experiments::fig8(&scale).expect("paper configuration is valid");
     let lat: Vec<_> = rows8.iter().map(|r| (r.label.clone(), r.latency)).collect();
     std::fs::write(
         results_dir().join("fig8_latency.csv"),
@@ -54,7 +54,7 @@ fn main() {
     .expect("write fig8 csv");
     println!("fig8: {} latency-stack variants", rows8.len());
 
-    let rows9 = experiments::fig9(&scale);
+    let rows9 = experiments::fig9(&scale).expect("paper configuration is valid");
     let avg_naive: f64 = rows9
         .iter()
         .map(experiments::Fig9Row::naive_error)

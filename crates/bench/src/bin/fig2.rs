@@ -6,6 +6,6 @@ use dramstack_sim::experiments::fig2;
 
 fn main() {
     let scale = scale_from_args();
-    let rows = fig2(&scale);
+    let rows = fig2(&scale).expect("paper configuration is valid");
     emit_figure("fig2", "Fig. 2: read-only seq/random, 1-8 cores", &rows);
 }

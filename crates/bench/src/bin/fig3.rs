@@ -5,6 +5,6 @@ use dramstack_sim::experiments::fig3;
 
 fn main() {
     let scale = scale_from_args();
-    let rows = fig3(&scale);
+    let rows = fig3(&scale).expect("paper configuration is valid");
     emit_figure("fig3", "Fig. 3: store fraction sweep, 1 core", &rows);
 }

@@ -5,6 +5,6 @@ use dramstack_sim::experiments::fig4;
 
 fn main() {
     let scale = scale_from_args();
-    let rows = fig4(&scale);
+    let rows = fig4(&scale).expect("paper configuration is valid");
     emit_figure("fig4", "Fig. 4: open vs closed page policy, 2 cores", &rows);
 }

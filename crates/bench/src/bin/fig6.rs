@@ -6,6 +6,6 @@ use dramstack_sim::experiments::fig6;
 
 fn main() {
     let scale = scale_from_args();
-    let rows = fig6(&scale);
+    let rows = fig6(&scale).expect("paper configuration is valid");
     emit_figure("fig6", "Fig. 6: default vs interleaved indexing", &rows);
 }

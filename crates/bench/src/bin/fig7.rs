@@ -8,7 +8,7 @@ use dramstack_viz::{ascii, csv, svg};
 
 fn main() {
     let scale = scale_from_args();
-    let report = fig7(&scale);
+    let report = fig7(&scale).expect("paper configuration is valid");
     let cycle_ns = 1000.0 / 1200.0;
 
     println!("=== Fig. 7: through-time stacks, bfs 8 cores ===");

@@ -7,7 +7,7 @@ use dramstack_viz::{ascii, csv, svg};
 
 fn main() {
     let scale = scale_from_args();
-    let rows = fig8(&scale);
+    let rows = fig8(&scale).expect("paper configuration is valid");
     let lat: Vec<_> = rows.iter().map(|r| (r.label.clone(), r.latency)).collect();
 
     println!("=== Fig. 8: latency stacks under mapping/write-queue variants ===");

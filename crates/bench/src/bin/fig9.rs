@@ -6,7 +6,7 @@ use dramstack_sim::experiments::fig9;
 
 fn main() {
     let scale = scale_from_args();
-    let rows = fig9(&scale);
+    let rows = fig9(&scale).expect("paper configuration is valid");
 
     println!("=== Fig. 9: bandwidth extrapolation 1c -> 8c ===");
     println!(

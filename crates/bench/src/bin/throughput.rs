@@ -149,6 +149,7 @@ fn main() {
             MappingScheme::RowBankColumn,
             scale.synth_us,
         )
+        .expect("paper configuration is valid")
         .sim_cycles
     };
     let t0 = Instant::now();

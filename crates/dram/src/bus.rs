@@ -84,7 +84,11 @@ impl DataBus {
     /// # Panics
     ///
     /// Debug-asserts the slot does not overlap an existing reservation and
-    /// is not in the past relative to the last reservation.
+    /// is not in the past relative to the last reservation. In release
+    /// builds this invariant is instead enforced without panicking by the
+    /// shadow auditor (`dramstack-audit`, `AuditRule::BusOverlap`), which
+    /// re-derives burst occupancy from the observed command stream and
+    /// reports any collision as a typed violation.
     pub fn reserve(&mut self, start: Cycle, len: Cycle, kind: BurstKind) {
         if let Some(last) = self.bursts.back() {
             debug_assert!(start >= last.end, "burst overlap: {start} < {}", last.end);

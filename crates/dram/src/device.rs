@@ -6,6 +6,7 @@ use crate::bank::{Bank, BankState};
 use crate::bus::{BurstKind, DataBus};
 use crate::command::{Command, CommandKind};
 use crate::error::{CommandError, ConfigError};
+use crate::fault::SeededFault;
 use crate::geometry::{BankAddr, DramGeometry};
 use crate::rank::{RankState, RankTimingState};
 use crate::timing::TimingParams;
@@ -140,6 +141,13 @@ pub struct DramDevice {
     ranks: Vec<RankTimingState>,
     bus: DataBus,
     stats: DeviceStats,
+    /// The timing set the device actually enforces. Equal to
+    /// `config.timing` unless a [`SeededFault`] was injected, in which
+    /// case it is the deliberately corrupted copy — every internal
+    /// query, issue check and bookkeeping update uses this set, so the
+    /// device stays self-consistent while violating the true spec.
+    enforced: TimingParams,
+    fault: SeededFault,
 }
 
 impl DramDevice {
@@ -165,6 +173,8 @@ impl DramDevice {
             .map(|_| RankTimingState::new(config.geometry.bank_groups, &config.timing))
             .collect();
         Ok(DramDevice {
+            enforced: config.timing,
+            fault: SeededFault::None,
             config,
             banks: vec![Bank::new(); n_banks],
             ranks,
@@ -178,9 +188,23 @@ impl DramDevice {
         &self.config
     }
 
-    /// The timing parameter set.
+    /// The configured (true) timing parameter set. Reporting and audit
+    /// code must use this; it is unaffected by seeded faults.
     pub fn timing(&self) -> &TimingParams {
         &self.config.timing
+    }
+
+    /// Injects a seeded bookkeeping fault: from now on the device
+    /// enforces `fault.corrupt(config.timing)` instead of the configured
+    /// timing. Chaos/audit harness only — see [`SeededFault`].
+    pub fn inject_fault(&mut self, fault: SeededFault) {
+        self.fault = fault;
+        self.enforced = fault.corrupt(self.config.timing);
+    }
+
+    /// The currently injected fault ([`SeededFault::None`] normally).
+    pub fn fault(&self) -> SeededFault {
+        self.fault
     }
 
     /// The channel geometry.
@@ -207,7 +231,7 @@ impl DramDevice {
     /// and retires finished bursts. Call once per cycle before queries.
     pub fn advance(&mut self, now: Cycle) {
         for bank in &mut self.banks {
-            bank.apply_auto_precharge(now, &self.config.timing);
+            bank.apply_auto_precharge(now, &self.enforced);
         }
         self.bus.retire_before(now);
     }
@@ -223,10 +247,10 @@ impl DramDevice {
         // also reset the bank precharge window) the rank-level reason wins,
         // matching the accounting hierarchy.
         let (rank_at, rank_reason) =
-            self.ranks[addr.rank as usize].earliest_activate(addr.bank_group, &self.config.timing);
+            self.ranks[addr.rank as usize].earliest_activate(addr.bank_group, &self.enforced);
         e.tighten(rank_at, rank_reason);
         e.tighten(
-            bank.earliest_activate(&self.config.timing),
+            bank.earliest_activate(&self.enforced),
             BlockReason::RowCycle,
         );
         // Distinguish "precharging" from the generic bank constraint.
@@ -261,7 +285,7 @@ impl DramDevice {
     }
 
     fn earliest_cas(&self, addr: BankAddr, now: Cycle, is_write: bool) -> Earliest {
-        let timing = &self.config.timing;
+        let timing = &self.enforced;
         let bank = self.bank(addr);
         let mut e = Earliest::now();
         e.tighten(now, BlockReason::None);
@@ -364,10 +388,10 @@ impl DramDevice {
                 reason: e.reason,
             });
         }
-        self.banks[flat].issue_activate(now, row, &self.config.timing);
+        self.banks[flat].issue_activate(now, row, &self.enforced);
         self.ranks[addr.rank as usize].record_activate(now, addr.bank_group);
         self.stats.activates += 1;
-        Ok(now + self.config.timing.t_rcd)
+        Ok(now + self.enforced.t_rcd)
     }
 
     fn issue_precharge(&mut self, addr: BankAddr, now: Cycle) -> Result<Cycle, CommandError> {
@@ -385,9 +409,9 @@ impl DramDevice {
                 reason: e.reason,
             });
         }
-        self.banks[flat].issue_precharge(now, &self.config.timing);
+        self.banks[flat].issue_precharge(now, &self.enforced);
         self.stats.precharges += 1;
-        Ok(now + self.config.timing.t_rp)
+        Ok(now + self.enforced.t_rp)
     }
 
     fn issue_cas(
@@ -397,7 +421,7 @@ impl DramDevice {
         is_write: bool,
         auto_pre: bool,
     ) -> Result<Cycle, CommandError> {
-        let timing = self.config.timing;
+        let timing = self.enforced;
         let flat = self.config.geometry.flat_bank(addr);
         if self.banks[flat].open_row().is_none() {
             return Err(CommandError::RowMismatch {
@@ -444,7 +468,7 @@ impl DramDevice {
         if self.bus.busy_at_or_after(now) {
             return Err(CommandError::RefreshWhileBusy(BankAddr::new(rank, 0, 0)));
         }
-        self.ranks[rank as usize].start_refresh(now, &self.config.timing);
+        self.ranks[rank as usize].start_refresh(now, &self.enforced);
         let end = self.ranks[rank as usize].refresh_end();
         for addr in g.iter_banks().filter(|b| b.rank == rank) {
             let flat = g.flat_bank(addr);

@@ -1,0 +1,147 @@
+//! Seeded controller-bookkeeping faults for the protocol audit harness.
+//!
+//! A [`SeededFault`] models a classic scheduler bookkeeping bug — an
+//! off-by-one ready cycle, a dropped turnaround penalty — by corrupting the
+//! *effective* timing set the device enforces while leaving the configured
+//! (true) timing untouched. The device stays internally consistent: its
+//! `earliest_*` queries, its issue-time re-checks and its bank/rank
+//! bookkeeping all agree on the corrupted values, so commands issue early
+//! without tripping any internal assertion — exactly like a real scheduler
+//! bug would. The shadow protocol auditor (`dramstack-audit`), which checks
+//! the command stream against the *true* JEDEC parameters, is then the only
+//! line of defense, which is the point: each fault class exists to prove
+//! the auditor catches it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::timing::TimingParams;
+
+/// A deliberately seeded timing-bookkeeping fault.
+///
+/// Only the audit/chaos harness injects these (via
+/// `DramDevice::inject_fault`); normal simulations always run with
+/// [`SeededFault::None`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeededFault {
+    /// No fault: the enforced timing equals the configured timing.
+    #[default]
+    None,
+    /// tRCD accounted one cycle short: a CAS may issue one cycle before
+    /// the activate has finished.
+    TrcdOneEarly,
+    /// tRP (and tRC, which embeds it) accounted one cycle short: an ACT
+    /// may follow a PRE one cycle too early.
+    TrpOneEarly,
+    /// tRAS accounted two cycles short: a PRE may close a row before the
+    /// minimum row-open time has elapsed.
+    TrasShort,
+    /// Same-bank-group CAS spacing checked against tCCD_S instead of
+    /// tCCD_L.
+    CcdLongAsShort,
+    /// ACT-to-ACT spacing (tRRD_S/tRRD_L) collapsed to a single cycle.
+    RrdDropped,
+    /// The four-activate window (tFAW) collapsed to tRRD_S: a fifth ACT
+    /// may issue inside the true window.
+    FawDropped,
+    /// Write-to-read turnaround (tWTR_S/tWTR_L) dropped entirely.
+    WtrDropped,
+    /// Read-to-write data-bus turnaround bubble (`rtw_gap`) dropped.
+    RtwGapDropped,
+    /// tRFC accounted at half length: the rank is used while the true
+    /// refresh is still in progress.
+    TrfcHalved,
+}
+
+impl SeededFault {
+    /// All injectable fault classes (everything but `None`).
+    pub const ALL: [SeededFault; 9] = [
+        SeededFault::TrcdOneEarly,
+        SeededFault::TrpOneEarly,
+        SeededFault::TrasShort,
+        SeededFault::CcdLongAsShort,
+        SeededFault::RrdDropped,
+        SeededFault::FawDropped,
+        SeededFault::WtrDropped,
+        SeededFault::RtwGapDropped,
+        SeededFault::TrfcHalved,
+    ];
+
+    /// The timing set a controller with this bookkeeping bug would
+    /// enforce, derived from the true set `t`.
+    pub fn corrupt(self, t: TimingParams) -> TimingParams {
+        let mut c = t;
+        match self {
+            SeededFault::None => {}
+            SeededFault::TrcdOneEarly => c.t_rcd = t.t_rcd.saturating_sub(1),
+            SeededFault::TrpOneEarly => {
+                c.t_rp = t.t_rp.saturating_sub(1);
+                c.t_rc = t.t_rc.saturating_sub(1);
+            }
+            SeededFault::TrasShort => c.t_ras = t.t_ras.saturating_sub(2),
+            SeededFault::CcdLongAsShort => c.t_ccd_l = t.t_ccd_s,
+            SeededFault::RrdDropped => {
+                c.t_rrd_s = 1;
+                c.t_rrd_l = 1;
+            }
+            SeededFault::FawDropped => c.t_faw = t.t_rrd_s,
+            SeededFault::WtrDropped => {
+                c.t_wtr_s = 0;
+                c.t_wtr_l = 0;
+            }
+            SeededFault::RtwGapDropped => c.rtw_gap = 0,
+            SeededFault::TrfcHalved => c.t_rfc = (t.t_rfc / 2).max(1),
+        }
+        c
+    }
+}
+
+impl std::fmt::Display for SeededFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SeededFault::None => "none",
+            SeededFault::TrcdOneEarly => "tRCD off by one",
+            SeededFault::TrpOneEarly => "tRP off by one",
+            SeededFault::TrasShort => "tRAS short by two",
+            SeededFault::CcdLongAsShort => "tCCD_L treated as tCCD_S",
+            SeededFault::RrdDropped => "tRRD dropped",
+            SeededFault::FawDropped => "tFAW dropped",
+            SeededFault::WtrDropped => "tWTR dropped",
+            SeededFault::RtwGapDropped => "read-to-write gap dropped",
+            SeededFault::TrfcHalved => "tRFC halved",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let t = TimingParams::ddr4_2400();
+        assert_eq!(SeededFault::None.corrupt(t), t);
+    }
+
+    #[test]
+    fn every_fault_changes_the_timing() {
+        let t = TimingParams::ddr4_2400();
+        for f in SeededFault::ALL {
+            assert_ne!(f.corrupt(t), t, "{f} must corrupt something");
+        }
+    }
+
+    #[test]
+    fn corrupted_sets_stay_usable() {
+        // Corrupted timing intentionally fails `validate` in some classes
+        // (that is the bug being modeled), but every field must stay
+        // nonzero where the device divides or subtracts.
+        let t = TimingParams::ddr4_2400();
+        for f in SeededFault::ALL {
+            let c = f.corrupt(t);
+            assert!(c.t_rfc > 0);
+            assert!(c.burst_cycles > 0);
+            assert!(c.t_refi > 0);
+        }
+    }
+}

@@ -34,6 +34,7 @@ mod bus;
 mod command;
 mod device;
 mod error;
+mod fault;
 mod geometry;
 mod rank;
 mod timing;
@@ -45,6 +46,7 @@ pub use bus::{Burst, BurstKind, DataBus};
 pub use command::{Command, CommandKind};
 pub use device::{DeviceConfig, DramDevice, Earliest};
 pub use error::{CommandError, ConfigError};
+pub use fault::SeededFault;
 pub use geometry::{BankAddr, DramAddress, DramGeometry};
 pub use rank::{RankState, RankTimingState};
 pub use timing::TimingParams;

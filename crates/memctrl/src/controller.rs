@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use dramstack_dram::{
     BankActivity, BankState, BlockLevel, BlockReason, Command, Cycle, CycleView, DeviceConfig,
-    DramDevice, Earliest, TimedCommand,
+    DramDevice, Earliest, SeededFault, TimedCommand,
 };
 use dramstack_obs::{NullProbe, Probe};
 
@@ -204,6 +204,15 @@ impl MemoryController {
         &self.device
     }
 
+    /// Injects a seeded bookkeeping fault into the device timing
+    /// enforcement (see [`SeededFault`]). The scheduler keeps believing
+    /// the corrupted timing, so commands issue early without tripping any
+    /// model-internal check — only an attached protocol auditor can tell.
+    /// Chaos/audit harness only.
+    pub fn inject_fault(&mut self, fault: SeededFault) {
+        self.device.inject_fault(fault);
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> CtrlStats {
         self.stats
@@ -307,7 +316,7 @@ impl MemoryController {
             || !self.completions.is_empty()
             || self.drain_mode
             || self.refresh_draining
-            || self.probe_active
+            || (self.probe_active && self.probe.wants_ticks())
         {
             return None;
         }
@@ -638,6 +647,7 @@ impl MemoryController {
                     id: f.id,
                     meta: f.meta,
                     addr: f.phys,
+                    arrival: f.arrival,
                     done_at: f.done_at + overhead,
                     breakdown: LatencyBreakdown {
                         base_cntlr: overhead,

@@ -51,6 +51,9 @@ pub struct CompletedRead {
     pub meta: u64,
     /// Physical line address of the read.
     pub addr: u64,
+    /// Cycle the controller first observed the request (the start of the
+    /// interval `breakdown` decomposes).
+    pub arrival: Cycle,
     /// Cycle the data became available (including controller overhead).
     pub done_at: Cycle,
     /// Latency-stack decomposition of this read.

@@ -37,5 +37,5 @@ pub mod window;
 pub use chrome::{ChromeTrace, ChromeTraceHandle, ChromeTraceProbe, TraceEvent, TraceEventKind};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use perf::{Heartbeat, PerfReport, PhaseTimers, SimPhase};
-pub use probe::{NullProbe, Probe};
+pub use probe::{NullProbe, Probe, TeeProbe};
 pub use window::CtrlWindowStats;

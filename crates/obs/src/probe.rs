@@ -76,6 +76,21 @@ pub trait Probe: std::fmt::Debug {
     fn tick(&mut self, now: Cycle, read_q: usize, write_q: usize, in_flight: usize, drain: bool) {
         let _ = (now, read_q, write_q, in_flight, drain);
     }
+
+    /// Whether this probe needs the per-cycle [`tick`](Self::tick) hook
+    /// even across provably inert spans.
+    ///
+    /// The controller's idle fast-forward skips cycles in which nothing
+    /// observable happens; the only probe hook those cycles would have
+    /// fired is `tick`. A probe that returns `false` here (e.g. an
+    /// event-driven auditor) keeps fast-forwarding enabled; the default
+    /// `true` is conservative and disables it while the probe is
+    /// attached. Either way results are bit-identical — probes observe,
+    /// they never steer.
+    #[inline]
+    fn wants_ticks(&self) -> bool {
+        true
+    }
 }
 
 /// The default probe: every hook is an inlined no-op.
@@ -83,6 +98,80 @@ pub trait Probe: std::fmt::Debug {
 pub struct NullProbe;
 
 impl Probe for NullProbe {}
+
+/// A probe that forwards every hook to two inner probes, in order.
+///
+/// Lets independently written observers coexist on one controller — e.g.
+/// the default-armed protocol auditor plus a user-attached
+/// [`ChromeTraceProbe`](crate::ChromeTraceProbe).
+#[derive(Debug)]
+pub struct TeeProbe {
+    a: Box<dyn Probe>,
+    b: Box<dyn Probe>,
+}
+
+impl TeeProbe {
+    /// Combines two probes; `a` sees every event before `b`.
+    pub fn new(a: Box<dyn Probe>, b: Box<dyn Probe>) -> Self {
+        TeeProbe { a, b }
+    }
+
+    /// Splits the tee back into its parts.
+    pub fn into_parts(self) -> (Box<dyn Probe>, Box<dyn Probe>) {
+        (self.a, self.b)
+    }
+}
+
+impl Probe for TeeProbe {
+    fn request_accepted(&mut self, id: u64, phys: u64, is_write: bool) {
+        self.a.request_accepted(id, phys, is_write);
+        self.b.request_accepted(id, phys, is_write);
+    }
+
+    fn request_arrival(&mut self, id: u64, now: Cycle) {
+        self.a.request_arrival(id, now);
+        self.b.request_arrival(id, now);
+    }
+
+    fn cas_issued(&mut self, id: u64, now: Cycle, is_write: bool, row_hit: bool, flat_bank: usize) {
+        self.a.cas_issued(id, now, is_write, row_hit, flat_bank);
+        self.b.cas_issued(id, now, is_write, row_hit, flat_bank);
+    }
+
+    fn data_returned(&mut self, id: u64, now: Cycle) {
+        self.a.data_returned(id, now);
+        self.b.data_returned(id, now);
+    }
+
+    fn command_issued(&mut self, now: Cycle, cmd: Command, flat_bank: usize) {
+        self.a.command_issued(now, cmd, flat_bank);
+        self.b.command_issued(now, cmd, flat_bank);
+    }
+
+    fn write_drain_entered(&mut self, now: Cycle, wq_len: usize) {
+        self.a.write_drain_entered(now, wq_len);
+        self.b.write_drain_entered(now, wq_len);
+    }
+
+    fn write_drain_exited(&mut self, now: Cycle) {
+        self.a.write_drain_exited(now);
+        self.b.write_drain_exited(now);
+    }
+
+    fn refresh_window(&mut self, rank: usize, start: Cycle, end: Cycle) {
+        self.a.refresh_window(rank, start, end);
+        self.b.refresh_window(rank, start, end);
+    }
+
+    fn tick(&mut self, now: Cycle, read_q: usize, write_q: usize, in_flight: usize, drain: bool) {
+        self.a.tick(now, read_q, write_q, in_flight, drain);
+        self.b.tick(now, read_q, write_q, in_flight, drain);
+    }
+
+    fn wants_ticks(&self) -> bool {
+        self.a.wants_ticks() || self.b.wants_ticks()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -13,7 +13,7 @@ fn show(
     map: MappingScheme,
     us: f64,
 ) {
-    let r = run_synthetic(cores, p, pol, map, us);
+    let r = run_synthetic(cores, p, pol, map, us).expect("paper configuration is valid");
     let bw = &r.bandwidth_stack;
     println!(
         "{label:24} bw={:5.2} (r={:5.2} w={:5.2}) pre={:4.2} act={:4.2} con={:4.2} bidle={:5.2} idle={:5.2} | lat={:6.1}ns (q={:5.1} wb={:5.1} pa={:5.1}) hit={:4.2}",

@@ -34,7 +34,8 @@ fn main() {
             32,
             &scale.gap,
             scale.max_cycles,
-        );
+        )
+        .expect("paper configuration is valid");
         let bw = &r.bandwidth_stack;
         println!(
             "{} {}c: {:.2} ms sim, {} samples, bw={:.2} (r={:.2} w={:.2}) pre+act={:.2} con={:.2} bidle={:.2} idle={:.2} | lat={:.1}ns (q={:.1} wb={:.1} pa={:.1}) hit={:.2} ipc={:.2} [{:?} wall]",
@@ -61,7 +62,7 @@ fn main() {
 
     for k in [GapKernel::Bfs, GapKernel::Cc] {
         let t0 = std::time::Instant::now();
-        let row = fig9_kernel(k, &scale);
+        let row = fig9_kernel(k, &scale).expect("paper configuration is valid");
         println!(
             "fig9 {k}: measured8c={:.2} naive={:.2} (err {:.0}%) stack={:.2} (err {:.0}%) [{:?} wall]",
             row.measured_8c,

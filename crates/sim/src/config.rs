@@ -1,10 +1,61 @@
 //! Full-system configuration.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use dramstack_cpu::{CoreConfig, HierarchyConfig};
 use dramstack_dram::Cycle;
 use dramstack_memctrl::CtrlConfig;
+
+/// Why a [`SystemConfig`] (or the streams handed to the simulator) was
+/// rejected. User-supplied configurations surface as this typed error
+/// instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `n_cores` was zero.
+    NoCores,
+    /// `core_clock_mult` was zero.
+    ZeroClockMultiplier,
+    /// `sample_period` was zero.
+    ZeroSamplePeriod,
+    /// `channels` was zero or not a power of two.
+    BadChannelCount(usize),
+    /// The DRAM device configuration is invalid.
+    Device(dramstack_dram::ConfigError),
+    /// The number of instruction streams does not match `n_cores`.
+    StreamCount {
+        /// Configured core count.
+        expected: usize,
+        /// Streams actually provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoCores => write!(f, "need at least one core"),
+            ConfigError::ZeroClockMultiplier => write!(f, "core clock multiplier must be nonzero"),
+            ConfigError::ZeroSamplePeriod => write!(f, "sample period must be nonzero"),
+            ConfigError::BadChannelCount(n) => {
+                write!(f, "channels must be a nonzero power of two, got {n}")
+            }
+            ConfigError::Device(e) => write!(f, "invalid device configuration: {e}"),
+            ConfigError::StreamCount { expected, got } => {
+                write!(f, "one stream per core: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<dramstack_dram::ConfigError> for ConfigError {
+    fn from(e: dramstack_dram::ConfigError) -> Self {
+        ConfigError::Device(e)
+    }
+}
 
 /// Configuration of a simulated system: cores, hierarchy, controller and
 /// clocking.
@@ -84,27 +135,23 @@ impl SystemConfig {
         (us * 1000.0 / self.dram_cycle_ns()).round() as Cycle
     }
 
-    /// Validates nested configurations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the device configuration is invalid or `n_cores`/clock
-    /// multiplier is zero.
-    pub fn validate(&self) {
-        assert!(self.n_cores > 0, "need at least one core");
-        assert!(
-            self.core_clock_mult > 0,
-            "core clock multiplier must be nonzero"
-        );
-        assert!(self.sample_period > 0, "sample period must be nonzero");
-        assert!(
-            self.channels > 0 && self.channels.is_power_of_two(),
-            "channels must be a nonzero power of two"
-        );
-        self.ctrl
-            .device
-            .validate()
-            .expect("invalid device configuration");
+    /// Validates nested configurations, returning a typed error for any
+    /// violated constraint (no panics on user input).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_cores == 0 {
+            return Err(ConfigError::NoCores);
+        }
+        if self.core_clock_mult == 0 {
+            return Err(ConfigError::ZeroClockMultiplier);
+        }
+        if self.sample_period == 0 {
+            return Err(ConfigError::ZeroSamplePeriod);
+        }
+        if self.channels == 0 || !self.channels.is_power_of_two() {
+            return Err(ConfigError::BadChannelCount(self.channels));
+        }
+        self.ctrl.device.validate()?;
+        Ok(())
     }
 
     /// Total system peak bandwidth across all channels, in GB/s.
@@ -120,7 +167,7 @@ mod tests {
     #[test]
     fn paper_default_matches_paper_numbers() {
         let c = SystemConfig::paper_default(8);
-        c.validate();
+        c.validate().expect("paper default must validate");
         assert_eq!(c.n_cores, 8);
         assert_eq!(c.core.rob_entries, 224);
         assert_eq!(c.core.width, 4);
@@ -134,5 +181,31 @@ mod tests {
         let c = SystemConfig::paper_default(1);
         // 1 µs at 1.2 GHz = 1200 cycles.
         assert_eq!(c.us_to_cycles(1.0), 1200);
+    }
+
+    #[test]
+    fn invalid_configs_return_typed_errors() {
+        let mut c = SystemConfig::paper_default(1);
+        c.n_cores = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoCores));
+
+        let mut c = SystemConfig::paper_default(1);
+        c.core_clock_mult = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroClockMultiplier));
+
+        let mut c = SystemConfig::paper_default(1);
+        c.sample_period = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSamplePeriod));
+
+        let mut c = SystemConfig::paper_default(1);
+        c.channels = 3;
+        assert_eq!(c.validate(), Err(ConfigError::BadChannelCount(3)));
+
+        let mut c = SystemConfig::paper_default(1);
+        c.ctrl.device.timing.t_rc = 1; // < tRAS + tRP
+        assert!(matches!(c.validate(), Err(ConfigError::Device(_))));
+        // The message names the offending constraint.
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("t_rc"), "{msg}");
     }
 }

@@ -12,7 +12,7 @@ use dramstack_dram::Cycle;
 use dramstack_memctrl::{MappingScheme, PagePolicy};
 use dramstack_workloads::{GapConfig, GapKernel, Graph, SyntheticPattern};
 
-use crate::config::SystemConfig;
+use crate::config::{ConfigError, SystemConfig};
 use crate::parallel;
 use crate::report::SimReport;
 use crate::system::Simulator;
@@ -93,20 +93,30 @@ impl ExperimentScale {
 const GRAPH_SEED: u64 = 0x6A9_2022;
 
 /// Runs one synthetic configuration.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] (e.g. zero cores) instead of panicking —
+/// experiment drivers are the user-facing entry points.
 pub fn run_synthetic(
     cores: usize,
     pattern: SyntheticPattern,
     policy: PagePolicy,
     mapping: MappingScheme,
     us: f64,
-) -> SimReport {
+) -> Result<SimReport, ConfigError> {
     let mut cfg = SystemConfig::paper_default(cores);
     cfg.ctrl.page_policy = policy;
     cfg.ctrl.mapping = mapping;
-    Simulator::with_synthetic(cfg, pattern).run_for_us(us)
+    cfg.validate()?;
+    Ok(Simulator::with_synthetic(cfg, pattern).run_for_us(us))
 }
 
 /// Runs one GAP kernel to completion.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] for an invalid configuration.
 #[allow(clippy::too_many_arguments)]
 pub fn run_gap(
     kernel: GapKernel,
@@ -117,15 +127,16 @@ pub fn run_gap(
     write_queue: usize,
     gap_cfg: &GapConfig,
     max_cycles: Cycle,
-) -> SimReport {
+) -> Result<SimReport, ConfigError> {
     let mut cfg = SystemConfig::paper_gap(cores);
     cfg.ctrl.page_policy = policy;
     cfg.ctrl.mapping = mapping;
     cfg.ctrl = cfg.ctrl.with_write_queue(write_queue);
     // Finer sampling for the through-time figures (2 µs windows).
     cfg.sample_period = 2400;
+    cfg.validate()?;
     let traces = kernel.trace(graph, cores, gap_cfg);
-    Simulator::with_traces(cfg, traces).run_to_completion(max_cycles)
+    Ok(Simulator::with_traces(cfg, traces).run_to_completion(max_cycles))
 }
 
 /// One bar of Figs. 2–4/6.
@@ -138,7 +149,11 @@ pub struct SynthRow {
 }
 
 /// Fig. 2: read-only sequential/random, 1–8 cores.
-pub fn fig2(scale: &ExperimentScale) -> Vec<SynthRow> {
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] any run hit.
+pub fn fig2(scale: &ExperimentScale) -> Result<Vec<SynthRow>, ConfigError> {
     let mut jobs = Vec::new();
     for (name, pattern) in [
         ("seq", SyntheticPattern::sequential(0.0)),
@@ -148,20 +163,26 @@ pub fn fig2(scale: &ExperimentScale) -> Vec<SynthRow> {
             jobs.push((format!("{name} {cores}c"), cores, pattern));
         }
     }
-    parallel::map(jobs, |(label, cores, pattern)| SynthRow {
-        label,
-        report: run_synthetic(
+    parallel::map(jobs, |(label, cores, pattern)| {
+        run_synthetic(
             cores,
             pattern,
             PagePolicy::Open,
             MappingScheme::RowBankColumn,
             scale.synth_us,
-        ),
+        )
+        .map(|report| SynthRow { label, report })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Fig. 3: store fraction 0/10/20/50 % on one core.
-pub fn fig3(scale: &ExperimentScale) -> Vec<SynthRow> {
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] any run hit.
+pub fn fig3(scale: &ExperimentScale) -> Result<Vec<SynthRow>, ConfigError> {
     let mut jobs = Vec::new();
     for name in ["seq", "rand"] {
         for pct in [0u32, 10, 20, 50] {
@@ -174,20 +195,26 @@ pub fn fig3(scale: &ExperimentScale) -> Vec<SynthRow> {
             jobs.push((format!("{name} w{pct}"), pattern));
         }
     }
-    parallel::map(jobs, |(label, pattern)| SynthRow {
-        label,
-        report: run_synthetic(
+    parallel::map(jobs, |(label, pattern)| {
+        run_synthetic(
             1,
             pattern,
             PagePolicy::Open,
             MappingScheme::RowBankColumn,
             scale.synth_us,
-        ),
+        )
+        .map(|report| SynthRow { label, report })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Fig. 4: open vs closed page policy, read-only, 2 cores.
-pub fn fig4(scale: &ExperimentScale) -> Vec<SynthRow> {
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] any run hit.
+pub fn fig4(scale: &ExperimentScale) -> Result<Vec<SynthRow>, ConfigError> {
     let mut jobs = Vec::new();
     for (name, pattern) in [
         ("seq", SyntheticPattern::sequential(0.0)),
@@ -197,21 +224,27 @@ pub fn fig4(scale: &ExperimentScale) -> Vec<SynthRow> {
             jobs.push((format!("{name} {pname}"), pattern, policy));
         }
     }
-    parallel::map(jobs, |(label, pattern, policy)| SynthRow {
-        label,
-        report: run_synthetic(
+    parallel::map(jobs, |(label, pattern, policy)| {
+        run_synthetic(
             2,
             pattern,
             policy,
             MappingScheme::RowBankColumn,
             scale.synth_us,
-        ),
+        )
+        .map(|report| SynthRow { label, report })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Fig. 6: default vs cache-line-interleaved indexing for the two
 /// high-queueing cases.
-pub fn fig6(scale: &ExperimentScale) -> Vec<SynthRow> {
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] any run hit.
+pub fn fig6(scale: &ExperimentScale) -> Result<Vec<SynthRow>, ConfigError> {
     let mut jobs = Vec::new();
     for (mname, mapping) in [
         ("def", MappingScheme::RowBankColumn),
@@ -234,15 +267,21 @@ pub fn fig6(scale: &ExperimentScale) -> Vec<SynthRow> {
             mapping,
         ));
     }
-    parallel::map(jobs, |(label, cores, pattern, policy, mapping)| SynthRow {
-        label,
-        report: run_synthetic(cores, pattern, policy, mapping, scale.synth_us),
+    parallel::map(jobs, |(label, cores, pattern, policy, mapping)| {
+        run_synthetic(cores, pattern, policy, mapping, scale.synth_us)
+            .map(|report| SynthRow { label, report })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Fig. 7: through-time cycle/bandwidth/latency stacks for bfs on 8 cores
 /// (closed page, as the paper uses for GAP).
-pub fn fig7(scale: &ExperimentScale) -> SimReport {
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] for an invalid configuration.
+pub fn fig7(scale: &ExperimentScale) -> Result<SimReport, ConfigError> {
     let g = scale.build_graph();
     run_gap(
         GapKernel::Bfs,
@@ -272,7 +311,11 @@ pub struct Fig8Row {
 /// Fig. 8: latency stacks for bfs 8c (default / interleaved / 128-entry
 /// write queue) and tc 1c (default / interleaved, closed page; plus the
 /// open-page variant the text mentions).
-pub fn fig8(scale: &ExperimentScale) -> Vec<Fig8Row> {
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] any run hit.
+pub fn fig8(scale: &ExperimentScale) -> Result<Vec<Fig8Row>, ConfigError> {
     let g = scale.build_graph();
     let g_tc = scale.build_tc_graph();
     type Job = (
@@ -335,7 +378,7 @@ pub fn fig8(scale: &ExperimentScale) -> Vec<Fig8Row> {
     ];
     parallel::map(jobs, |(label, kernel, cores, policy, mapping, wq)| {
         let graph = if kernel == GapKernel::Tc { &g_tc } else { &g };
-        let r = run_gap(
+        run_gap(
             kernel,
             graph,
             cores,
@@ -344,14 +387,16 @@ pub fn fig8(scale: &ExperimentScale) -> Vec<Fig8Row> {
             wq,
             &scale.gap,
             scale.max_cycles,
-        );
-        Fig8Row {
+        )
+        .map(|r| Fig8Row {
             label: label.to_string(),
             latency: r.latency_stack,
             achieved_gbps: r.achieved_gbps(),
             page_hit_rate: r.ctrl_stats.page_hit_rate(),
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// One point of a configuration sweep.
@@ -373,13 +418,22 @@ pub struct SweepPoint {
 /// synthetic patterns — the grid behind "which configuration is best for
 /// this workload?" questions. Runs `len(cores) × len(policies) ×
 /// len(mappings) × 2` simulations.
+///
+/// # Errors
+///
+/// Every grid point is validated *before* the parallel fan-out, so a bad
+/// sweep axis (e.g. zero cores) fails fast with a [`ConfigError`] instead
+/// of burning worker time first.
 pub fn sweep_synthetic(
     cores: &[usize],
     policies: &[PagePolicy],
     mappings: &[MappingScheme],
     store_fraction: f64,
     us: f64,
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, ConfigError> {
+    for &n in cores {
+        SystemConfig::paper_default(n).validate()?;
+    }
     let mut jobs = Vec::new();
     for (name, pattern) in [
         ("seq", SyntheticPattern::sequential(store_fraction)),
@@ -393,13 +447,17 @@ pub fn sweep_synthetic(
             }
         }
     }
-    parallel::map(jobs, |(name, pattern, n, policy, mapping)| SweepPoint {
-        pattern: name.to_string(),
-        cores: n,
-        policy,
-        mapping,
-        report: run_synthetic(n, pattern, policy, mapping, us),
+    parallel::map(jobs, |(name, pattern, n, policy, mapping)| {
+        run_synthetic(n, pattern, policy, mapping, us).map(|report| SweepPoint {
+            pattern: name.to_string(),
+            cores: n,
+            policy,
+            mapping,
+            report,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// The sweep point with the highest achieved bandwidth for a pattern.
@@ -442,12 +500,22 @@ impl Fig9Row {
 
 /// Fig. 9: measured vs extrapolated 8-core bandwidth for the GAP kernels.
 /// (tc runs with the open policy, the others closed, per Section VIII.)
-pub fn fig9(scale: &ExperimentScale) -> Vec<Fig9Row> {
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] any run hit.
+pub fn fig9(scale: &ExperimentScale) -> Result<Vec<Fig9Row>, ConfigError> {
     parallel::map(GapKernel::ALL.to_vec(), |k| fig9_kernel(k, scale))
+        .into_iter()
+        .collect()
 }
 
 /// One kernel of Fig. 9 (usable alone for quick checks).
-pub fn fig9_kernel(kernel: GapKernel, scale: &ExperimentScale) -> Fig9Row {
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] for an invalid configuration.
+pub fn fig9_kernel(kernel: GapKernel, scale: &ExperimentScale) -> Result<Fig9Row, ConfigError> {
     let g = scale.graph_for(kernel);
     let policy = if kernel == GapKernel::Tc {
         PagePolicy::Open
@@ -465,16 +533,18 @@ pub fn fig9_kernel(kernel: GapKernel, scale: &ExperimentScale) -> Fig9Row {
             &scale.gap,
             scale.max_cycles,
         )
-    });
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     let eight = reports.pop().expect("8-core run");
     let one = reports.pop().expect("1-core run");
     let samples: Vec<_> = one.samples.iter().map(|s| s.bandwidth.clone()).collect();
-    Fig9Row {
+    Ok(Fig9Row {
         kernel,
         measured_8c: eight.achieved_gbps(),
         naive: predict_bandwidth_naive(&samples, 8.0),
         stack: predict_bandwidth_stack(&samples, 8.0),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -485,7 +555,7 @@ mod tests {
     #[test]
     fn fig2_shapes_hold_at_quick_scale() {
         let scale = ExperimentScale::quick();
-        let rows = fig2(&scale);
+        let rows = fig2(&scale).unwrap();
         assert_eq!(rows.len(), 8);
         let bw = |label: &str| {
             rows.iter()
@@ -509,7 +579,7 @@ mod tests {
     #[test]
     fn fig9_single_kernel_predictions_are_sane() {
         let scale = ExperimentScale::quick();
-        let row = fig9_kernel(GapKernel::Cc, &scale);
+        let row = fig9_kernel(GapKernel::Cc, &scale).unwrap();
         assert!(row.measured_8c > 0.0);
         assert!(row.naive > 0.0);
         assert!(row.stack > 0.0);
@@ -527,7 +597,8 @@ mod tests {
             &[MappingScheme::RowBankColumn],
             0.0,
             5.0,
-        );
+        )
+        .unwrap();
         assert_eq!(points.len(), 2 * 2 * 2);
         let best_seq = best_of(&points, "seq").unwrap();
         // For the read-only sequential pattern the open policy wins.
@@ -547,7 +618,8 @@ mod tests {
             &[MappingScheme::RowBankColumn],
             0.0,
             5.0,
-        );
+        )
+        .unwrap();
         let mut expect = Vec::new();
         for (name, pattern) in [
             ("seq", SyntheticPattern::sequential(0.0)),
@@ -560,7 +632,8 @@ mod tests {
                     PagePolicy::Open,
                     MappingScheme::RowBankColumn,
                     5.0,
-                );
+                )
+                .unwrap();
                 expect.push((name, n, report.strip_perf()));
             }
         }
@@ -573,6 +646,28 @@ mod tests {
     }
 
     #[test]
+    fn invalid_configurations_fail_fast_with_typed_errors() {
+        // A zero-core sweep axis is rejected before any worker spawns.
+        let e = sweep_synthetic(
+            &[0],
+            &[PagePolicy::Open],
+            &[MappingScheme::RowBankColumn],
+            0.0,
+            1.0,
+        )
+        .unwrap_err();
+        assert_eq!(e, ConfigError::NoCores);
+        assert!(run_synthetic(
+            0,
+            SyntheticPattern::sequential(0.0),
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            1.0,
+        )
+        .is_err());
+    }
+
+    #[test]
     fn random_pattern_has_preact_component() {
         let scale = ExperimentScale::quick();
         let r = run_synthetic(
@@ -581,7 +676,8 @@ mod tests {
             PagePolicy::Open,
             MappingScheme::RowBankColumn,
             scale.synth_us,
-        );
+        )
+        .unwrap();
         let preact = r.bandwidth_stack.gbps(BwComponent::Precharge)
             + r.bandwidth_stack.gbps(BwComponent::Activate);
         assert!(preact > 0.1, "random pattern must show pre/act: {preact}");
@@ -592,7 +688,8 @@ mod tests {
             PagePolicy::Open,
             MappingScheme::RowBankColumn,
             scale.synth_us,
-        );
+        )
+        .unwrap();
         let s_preact = s.bandwidth_stack.gbps(BwComponent::Precharge)
             + s.bandwidth_stack.gbps(BwComponent::Activate);
         assert!(s_preact < preact, "seq {s_preact} < rand {preact}");

@@ -28,6 +28,6 @@ pub mod replay;
 mod report;
 mod system;
 
-pub use config::SystemConfig;
+pub use config::{ConfigError, SystemConfig};
 pub use report::SimReport;
 pub use system::Simulator;

@@ -72,21 +72,126 @@ impl FromStr for MemRequest {
     }
 }
 
+/// A trace line that failed to parse, with enough context to fix it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// The offending line, verbatim (trimmed).
+    pub content: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace line {}: {} (`{}`)",
+            self.line, self.reason, self.content
+        )
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Why a trace replay failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A line failed to parse (strict mode).
+    Parse(TraceParseError),
+    /// The trace is not sorted by arrival cycle.
+    Unsorted {
+        /// 1-based index of the first out-of-order record.
+        record: usize,
+    },
+    /// The replay exceeded its cycle budget without draining.
+    DidNotDrain {
+        /// The budget that was exceeded.
+        max_cycles: Cycle,
+        /// Requests fed to the controller before giving up.
+        fed: usize,
+        /// Requests in the trace.
+        total: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Parse(e) => e.fmt(f),
+            ReplayError::Unsorted { record } => {
+                write!(f, "trace not sorted by cycle at record {record}")
+            }
+            ReplayError::DidNotDrain {
+                max_cycles,
+                fed,
+                total,
+            } => write!(
+                f,
+                "replay did not drain within {max_cycles} cycles ({fed} of {total} requests fed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<TraceParseError> for ReplayError {
+    fn from(e: TraceParseError) -> Self {
+        ReplayError::Parse(e)
+    }
+}
+
+/// A parsed request trace, plus what lossy recovery dropped.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedTrace {
+    /// The well-formed requests, in input order.
+    pub requests: Vec<MemRequest>,
+    /// Malformed lines skipped (always 0 in strict mode).
+    pub skipped: u64,
+}
+
 /// Parses a request trace (one request per line, `#` comments allowed).
+///
+/// With `skip_malformed`, unparsable lines are counted and skipped
+/// instead of failing the whole trace — the lossy-recovery mode for
+/// real-world trace files with the odd corrupt record. Strict mode
+/// (`skip_malformed == false`) stops at the first bad line.
 ///
 /// # Errors
 ///
-/// Returns a message naming the offending line.
-pub fn parse_requests(text: &str) -> Result<Vec<MemRequest>, String> {
-    let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
+/// In strict mode, returns a [`TraceParseError`] locating the first
+/// malformed line; never errors in lossy mode.
+pub fn parse_trace(text: &str, skip_malformed: bool) -> Result<ParsedTrace, TraceParseError> {
+    let mut out = ParsedTrace::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(line.parse().map_err(|e| format!("line {}: {e}", i + 1))?);
+        match line.parse() {
+            Ok(r) => out.requests.push(r),
+            Err(_) if skip_malformed => out.skipped += 1,
+            Err(reason) => {
+                return Err(TraceParseError {
+                    line: i + 1,
+                    content: line.to_string(),
+                    reason,
+                })
+            }
+        }
     }
     Ok(out)
+}
+
+/// Parses a request trace strictly (every line must be well-formed).
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] locating the offending line.
+pub fn parse_requests(text: &str) -> Result<Vec<MemRequest>, TraceParseError> {
+    parse_trace(text, false).map(|t| t.requests)
 }
 
 /// Serializes a request trace.
@@ -129,22 +234,22 @@ pub struct ReplayResult {
 /// let result = replay_requests(&reqs, CtrlConfig::paper_default(), 1_000, 100_000)?;
 /// assert_eq!(result.reads, 2);
 /// assert_eq!(result.writes, 1);
-/// # Ok::<(), String>(())
+/// # Ok::<(), dramstack_sim::replay::ReplayError>(())
 /// ```
 ///
 /// # Errors
 ///
-/// Returns an error if the trace is unsorted or the replay exceeds
-/// `max_cycles` without draining.
+/// Returns a [`ReplayError`] if the trace is unsorted or the replay
+/// exceeds `max_cycles` without draining.
 pub fn replay_requests(
     reqs: &[MemRequest],
     cfg: CtrlConfig,
     sample_period: Cycle,
     max_cycles: Cycle,
-) -> Result<ReplayResult, String> {
+) -> Result<ReplayResult, ReplayError> {
     for (i, w) in reqs.windows(2).enumerate() {
         if w[1].at < w[0].at {
-            return Err(format!("trace not sorted by cycle at record {}", i + 1));
+            return Err(ReplayError::Unsorted { record: i + 1 });
         }
     }
     let peak = cfg.device.peak_bandwidth_gbps();
@@ -157,11 +262,11 @@ pub fn replay_requests(
     let (mut reads, mut writes) = (0u64, 0u64);
     while next < reqs.len() || !ctrl.is_idle() {
         if now >= max_cycles {
-            return Err(format!(
-                "replay did not drain within {max_cycles} cycles ({} of {} requests fed)",
-                next,
-                reqs.len()
-            ));
+            return Err(ReplayError::DidNotDrain {
+                max_cycles,
+                fed: next,
+                total: reqs.len(),
+            });
         }
         // Feed all due requests, preserving order; stall on a full queue.
         while next < reqs.len() && reqs[next].at <= now {
@@ -240,6 +345,32 @@ mod tests {
     }
 
     #[test]
+    fn strict_parse_locates_the_malformed_line() {
+        let text = "# header\n0 R 0x0\n10 Q 0x40\n20 W 0x80\n";
+        let e = parse_requests(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.content, "10 Q 0x40");
+        assert!(e.reason.contains("R or W"), "{e}");
+        // Display carries the full context for log lines.
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("10 Q 0x40"), "{msg}");
+    }
+
+    #[test]
+    fn lossy_parse_skips_and_counts_malformed_lines() {
+        let text = "0 R 0x0\ngarbage\n10 Q 0x40\n20 W 0x80\n30 R zz\n";
+        let t = parse_trace(text, true).unwrap();
+        assert_eq!(t.requests.len(), 2);
+        assert_eq!(t.skipped, 3);
+        assert_eq!(t.requests[1].at, 20);
+        // Strict mode on the same text fails at the first bad line.
+        assert_eq!(parse_trace(text, false).unwrap_err().line, 2);
+        // A clean trace skips nothing in either mode.
+        assert_eq!(parse_trace("0 R 0x0\n", true).unwrap().skipped, 0);
+    }
+
+    #[test]
     fn replay_simple_reads() {
         let reqs: Vec<MemRequest> = (0..50)
             .map(|i| MemRequest {
@@ -286,11 +417,28 @@ mod tests {
                 addr: 64,
             },
         ];
-        assert!(
-            replay_requests(&reqs, CtrlConfig::paper_default(), 1_000, 10_000)
-                .unwrap_err()
-                .contains("not sorted")
-        );
+        let e = replay_requests(&reqs, CtrlConfig::paper_default(), 1_000, 10_000).unwrap_err();
+        assert_eq!(e, ReplayError::Unsorted { record: 1 });
+        assert!(e.to_string().contains("not sorted"), "{e}");
+    }
+
+    #[test]
+    fn overrunning_the_cycle_budget_is_a_typed_error() {
+        let reqs: Vec<MemRequest> = (0..50)
+            .map(|i| MemRequest {
+                at: 0,
+                write: false,
+                addr: i * 4096,
+            })
+            .collect();
+        match replay_requests(&reqs, CtrlConfig::paper_default(), 1_000, 10).unwrap_err() {
+            ReplayError::DidNotDrain {
+                max_cycles: 10,
+                fed,
+                total: 50,
+            } => assert!(fed <= 50),
+            other => panic!("expected DidNotDrain, got {other:?}"),
+        }
     }
 
     #[test]

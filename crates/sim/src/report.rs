@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use dramstack_audit::AuditReport;
 use dramstack_core::{BandwidthStack, LatencyHistogram, LatencyStack, TimeSample};
 use dramstack_cpu::{CacheStats, CycleStack, HierarchyStats};
 use dramstack_dram::Cycle;
@@ -44,6 +45,11 @@ pub struct SimReport {
     /// [`strip_perf`](Self::strip_perf) when comparing runs for
     /// determinism, since wall clocks differ even when results do not.
     pub perf: PerfReport,
+    /// Shadow-auditor findings: protocol violations and broken
+    /// stack-conservation invariants. Default (unarmed, empty) when the
+    /// auditor was off; `audit.is_clean()` on an armed run certifies the
+    /// run obeyed the JEDEC rules and the stacks conserved.
+    pub audit: AuditReport,
 }
 
 impl SimReport {
@@ -110,6 +116,7 @@ mod tests {
             instrs_retired: 0,
             latency_histogram: LatencyHistogram::new(),
             perf: PerfReport::disabled(),
+            audit: AuditReport::default(),
         }
     }
 

@@ -1,17 +1,18 @@
 //! The closed-loop full-system simulator: cores ⇄ caches ⇄ controller(s) ⇄
 //! DRAM, with stack accounting attached.
 
+use dramstack_audit::{audit_channel, conserve, AuditHandle, AuditReport, MAX_RECORDED};
 use dramstack_core::{
     through_time::{aggregate_bandwidth, aggregate_latency},
     BandwidthStack, LatencyHistogram, LatencyStack, StackSampler, TimeSample,
 };
 use dramstack_cpu::{CoreModel, CycleStack, Hierarchy, InstrStream, VecStream};
-use dramstack_dram::{Cycle, CycleView};
+use dramstack_dram::{Cycle, CycleView, SeededFault};
 use dramstack_memctrl::{CompletedRead, MemoryController};
-use dramstack_obs::{Heartbeat, PhaseTimers, Probe, SimPhase};
+use dramstack_obs::{Heartbeat, PhaseTimers, Probe, SimPhase, TeeProbe};
 use dramstack_workloads::SyntheticPattern;
 
-use crate::config::SystemConfig;
+use crate::config::{ConfigError, SystemConfig};
 use crate::report::SimReport;
 
 /// The full-system simulator.
@@ -39,6 +40,9 @@ pub struct Simulator {
     /// Scratch buffer for draining controller completions without a
     /// per-cycle allocation.
     completion_buf: Vec<CompletedRead>,
+    /// Per-channel shadow-auditor handles; `Some` while the auditor is
+    /// armed (default in debug/test builds, off in release).
+    audits: Vec<Option<AuditHandle>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -57,10 +61,33 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if the stream count differs from the configured core count
-    /// or the configuration is invalid.
+    /// or the configuration is invalid; use [`try_new`](Self::try_new)
+    /// to handle user-supplied configurations gracefully.
     pub fn new(cfg: SystemConfig, streams: Vec<Box<dyn InstrStream>>) -> Self {
-        cfg.validate();
-        assert_eq!(streams.len(), cfg.n_cores, "one stream per core");
+        Self::try_new(cfg, streams).expect("invalid simulator configuration")
+    }
+
+    /// Builds a simulator, returning a typed error instead of panicking
+    /// when the configuration (or the stream count) is invalid.
+    ///
+    /// In debug/test builds the shadow protocol auditor is armed on every
+    /// channel by default (see [`set_audit`](Self::set_audit)); release
+    /// builds run unarmed and pay nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the violated constraint.
+    pub fn try_new(
+        cfg: SystemConfig,
+        streams: Vec<Box<dyn InstrStream>>,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if streams.len() != cfg.n_cores {
+            return Err(ConfigError::StreamCount {
+                expected: cfg.n_cores,
+                got: streams.len(),
+            });
+        }
         let ctrls: Vec<MemoryController> = (0..cfg.channels)
             .map(|_| MemoryController::new(cfg.ctrl.clone()))
             .collect();
@@ -69,7 +96,7 @@ impl Simulator {
         let samplers = (0..cfg.channels)
             .map(|_| StackSampler::new(n_banks, peak, cfg.dram_cycle_ns(), cfg.sample_period))
             .collect();
-        Simulator {
+        let mut sim = Simulator {
             cores: (0..cfg.n_cores)
                 .map(|i| CoreModel::new(i, cfg.core))
                 .collect(),
@@ -85,10 +112,61 @@ impl Simulator {
             heartbeat: None,
             fast_forward: true,
             completion_buf: Vec::new(),
+            audits: vec![None; cfg.channels],
             streams,
             ctrls,
             cfg,
+        };
+        if cfg!(debug_assertions) {
+            sim.set_audit(true);
         }
+        Ok(sim)
+    }
+
+    /// Arms (or disarms) the shadow protocol auditor on every channel.
+    ///
+    /// Armed, an independent re-implementation of the JEDEC timing rules
+    /// observes every issued DRAM command and every completed read; its
+    /// findings land in [`SimReport::audit`]. The auditor is event-driven
+    /// (idle fast-forwarding stays enabled) and purely observational —
+    /// simulation results are bit-identical armed or not.
+    ///
+    /// Disarming detaches the audit probes; a user probe attached *after*
+    /// arming (teed alongside the auditor) is dropped with them, so
+    /// disarm before attaching probes you want to keep.
+    pub fn set_audit(&mut self, on: bool) {
+        for ch in 0..self.ctrls.len() {
+            if on && self.audits[ch].is_none() {
+                let (probe, handle) = audit_channel(&self.cfg.ctrl.device);
+                if self.ctrls[ch].probe_attached() {
+                    let user = self.ctrls[ch].take_probe();
+                    self.ctrls[ch].attach_probe(Box::new(TeeProbe::new(user, Box::new(probe))));
+                } else {
+                    self.ctrls[ch].attach_probe(Box::new(probe));
+                }
+                self.audits[ch] = Some(handle);
+            } else if !on && self.audits[ch].take().is_some() {
+                let _ = self.ctrls[ch].take_probe();
+            }
+        }
+    }
+
+    /// Whether the shadow auditor is currently armed.
+    pub fn audit_armed(&self) -> bool {
+        self.audits.iter().any(Option::is_some)
+    }
+
+    /// Corrupts the *effective* timing enforcement of `channel`'s DRAM
+    /// device, modeling a controller-bookkeeping bug (chaos/fault
+    /// injection; see [`SeededFault`]). The scheduler stays internally
+    /// consistent with the corrupted timing, so only the armed shadow
+    /// auditor — which checks against the true specification — notices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn inject_fault(&mut self, channel: usize, fault: SeededFault) {
+        self.ctrls[channel].inject_fault(fault);
     }
 
     /// Enables or disables the idle-cycle fast-forward (on by default).
@@ -118,11 +196,20 @@ impl Simulator {
     /// [`ChromeTraceProbe`](dramstack_obs::ChromeTraceProbe)) to the
     /// controller of `channel`.
     ///
+    /// If the shadow auditor is armed on that channel the probe is teed
+    /// alongside it, so both observe every event.
+    ///
     /// # Panics
     ///
     /// Panics if `channel` is out of range.
     pub fn attach_probe(&mut self, channel: usize, probe: Box<dyn Probe>) {
-        self.ctrls[channel].attach_probe(probe);
+        match &self.audits[channel] {
+            Some(h) => {
+                let tee = TeeProbe::new(probe, Box::new(h.probe()));
+                self.ctrls[channel].attach_probe(Box::new(tee));
+            }
+            None => self.ctrls[channel].attach_probe(probe),
+        }
     }
 
     /// Builds a simulator running the given synthetic pattern on every
@@ -208,6 +295,9 @@ impl Simulator {
             for c in buf.drain(..) {
                 self.samplers[ch].add_read(&c.breakdown);
                 self.histogram.add(c.breakdown.total());
+                if let Some(h) = &self.audits[ch] {
+                    h.check_completion(&c);
+                }
                 let original_line = c.meta;
                 for core in self.hier.complete_read(original_line) {
                     self.cores[core].complete_line(original_line);
@@ -434,6 +524,27 @@ impl Simulator {
         let bandwidth_stack = aggregate_bandwidth(&samples)
             .unwrap_or_else(|| BandwidthStack::empty(self.cfg.system_peak_gbps()));
         let latency_stack: LatencyStack = aggregate_latency(&samples);
+        // Merge per-channel auditor findings, then run the report-time
+        // conservation checks over the aggregated sample series and the
+        // whole-run stack.
+        let mut audit = AuditReport::default();
+        for h in self.audits.iter().flatten() {
+            audit.merge(&h.report());
+        }
+        if audit.armed {
+            let mut record = |f: Option<dramstack_audit::ConservationFailure>| {
+                if let Some(f) = f {
+                    audit.conservation_total += 1;
+                    if audit.conservation.len() < MAX_RECORDED {
+                        audit.conservation.push(f);
+                    }
+                }
+            };
+            for (i, s) in samples.iter().enumerate() {
+                record(conserve::check_window(i, s));
+            }
+            record(conserve::check_aggregate(&bandwidth_stack));
+        }
         let ctrl_stats = {
             let mut total = dramstack_memctrl::CtrlStats::default();
             for c in &self.ctrls {
@@ -465,6 +576,7 @@ impl Simulator {
             channel_stacks,
             samples,
             perf: self.timers.report(self.dram_cycle),
+            audit,
         }
     }
 
@@ -687,6 +799,143 @@ mod tests {
             sim.run_for_us(60.0).strip_perf()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn default_armed_auditor_is_clean_on_paper_runs() {
+        // Debug/test builds arm the shadow auditor on every default
+        // simulation; the paper-figure configurations must audit clean —
+        // protocol-legal command streams AND integer-exact stacks.
+        let check = |r: &crate::SimReport, what: &str| {
+            assert!(r.audit.armed, "{what}: auditor not armed in debug build");
+            assert!(r.audit.commands_audited > 0, "{what}: nothing audited");
+            assert!(r.audit.reads_checked > 0, "{what}: no reads checked");
+            assert!(
+                r.audit.is_clean(),
+                "{what}: violation {:?} / conservation {:?}",
+                r.audit.first_violation(),
+                r.audit.conservation.first()
+            );
+        };
+        let mut sim = Simulator::with_synthetic(
+            SystemConfig::paper_default(2),
+            SyntheticPattern::sequential(0.3),
+        );
+        check(&sim.run_for_us(30.0), "sequential 2-core");
+
+        let mut sim = Simulator::with_synthetic(
+            SystemConfig::paper_default(4),
+            SyntheticPattern::random(0.2),
+        );
+        check(&sim.run_for_us(30.0), "random 4-core");
+
+        let mut cfg = SystemConfig::paper_default(2);
+        cfg.channels = 2;
+        let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+        check(&sim.run_for_us(30.0), "two channels");
+
+        let g = Graph::kronecker(7, 4, 5);
+        let traces = GapKernel::Bfs.trace(&g, 2, &GapConfig::default());
+        let mut sim = Simulator::with_traces(SystemConfig::paper_gap(2), traces);
+        check(&sim.run_to_completion(20_000_000), "gap bfs");
+    }
+
+    #[test]
+    fn auditor_never_perturbs_results() {
+        // Armed vs. disarmed runs must be bit-identical once the audit
+        // findings themselves (present only when armed) are normalized
+        // away — the auditor observes, it never steers. And because the
+        // audit probe is event-driven, fast-forwarding stays engaged.
+        let run = |armed: bool| {
+            let cfg = SystemConfig::paper_default(1);
+            let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.2));
+            sim.set_audit(armed);
+            assert_eq!(sim.audit_armed(), armed);
+            let r = sim.run_for_us(40.0);
+            let ff = r.perf.fast_forwarded_cycles;
+            let mut stripped = r.strip_perf();
+            stripped.audit = dramstack_audit::AuditReport::default();
+            (ff, stripped)
+        };
+        let (_, armed) = run(true);
+        let (_, bare) = run(false);
+        assert_eq!(armed, bare);
+
+        // Same equivalence on an idle run, where fast-forward dominates:
+        // arming must not re-disable the skip.
+        let idle = |armed: bool| {
+            let streams: Vec<Box<dyn InstrStream>> = vec![Box::new(VecStream::new(Vec::new()))];
+            let mut sim = Simulator::new(SystemConfig::paper_default(1), streams);
+            sim.set_audit(armed);
+            let r = sim.run_for_us(100.0);
+            let ff = r.perf.fast_forwarded_cycles;
+            let mut stripped = r.strip_perf();
+            stripped.audit = dramstack_audit::AuditReport::default();
+            (ff, stripped)
+        };
+        let (ff_armed, r_armed) = idle(true);
+        let (ff_bare, r_bare) = idle(false);
+        assert_eq!(r_armed, r_bare);
+        assert!(
+            ff_armed > r_armed.sim_cycles / 2,
+            "auditor disabled fast-forward: only {ff_armed} skipped"
+        );
+        assert_eq!(ff_armed, ff_bare);
+    }
+
+    #[test]
+    fn injected_fault_surfaces_in_the_sim_report() {
+        let cfg = SystemConfig::paper_default(2);
+        let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+        sim.set_audit(true);
+        sim.inject_fault(0, SeededFault::TrcdOneEarly);
+        let r = sim.run_for_us(30.0);
+        assert!(
+            r.audit.violations_total > 0,
+            "seeded tRCD fault not caught end-to-end"
+        );
+        let v = r.audit.first_violation().unwrap();
+        assert_eq!(v.rule, dramstack_audit::AuditRule::TRcd, "{v}");
+    }
+
+    #[test]
+    fn user_probe_tees_alongside_armed_auditor() {
+        #[derive(Debug, Default)]
+        struct Counter(std::rc::Rc<std::cell::Cell<u64>>);
+        impl Probe for Counter {
+            fn command_issued(&mut self, _: Cycle, _: dramstack_dram::Command, _: usize) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let cfg = SystemConfig::paper_default(1);
+        let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+        sim.set_audit(true);
+        sim.attach_probe(0, Box::new(Counter(std::rc::Rc::clone(&count))));
+        let r = sim.run_for_us(10.0);
+        // Both observers saw the same command stream.
+        assert!(count.get() > 0);
+        assert_eq!(r.audit.commands_audited, count.get());
+        assert!(r.audit.is_clean());
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_without_panicking() {
+        let mut cfg = SystemConfig::paper_default(1);
+        cfg.channels = 3;
+        let streams: Vec<Box<dyn InstrStream>> = vec![Box::new(VecStream::new(Vec::new()))];
+        match Simulator::try_new(cfg, streams) {
+            Err(crate::ConfigError::BadChannelCount(3)) => {}
+            other => panic!("expected BadChannelCount, got {other:?}"),
+        }
+        let cfg = SystemConfig::paper_default(2);
+        match Simulator::try_new(cfg, Vec::new()) {
+            Err(crate::ConfigError::StreamCount {
+                expected: 2,
+                got: 0,
+            }) => {}
+            other => panic!("expected StreamCount, got {other:?}"),
+        }
     }
 
     #[test]

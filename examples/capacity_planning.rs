@@ -25,7 +25,8 @@ fn main() {
             PagePolicy::Open,
             MappingScheme::RowBankColumn,
             us,
-        );
+        )
+        .expect("paper configuration is valid");
         let samples: Vec<_> = one.samples.iter().map(|s| s.bandwidth.clone()).collect();
 
         // Extrapolate to 8 cores both ways.
@@ -39,7 +40,8 @@ fn main() {
             PagePolicy::Open,
             MappingScheme::RowBankColumn,
             us,
-        );
+        )
+        .expect("paper configuration is valid");
         let measured = eight.achieved_gbps();
 
         println!("{name}:");

@@ -23,7 +23,8 @@ fn main() {
         PagePolicy::Open,
         MappingScheme::RowBankColumn,
         us,
-    );
+    )
+    .expect("paper configuration is valid");
     println!(
         "baseline (default mapping, open page): {:.2} GB/s",
         base.achieved_gbps()
@@ -51,7 +52,8 @@ fn main() {
         PagePolicy::Open,
         MappingScheme::CacheLineInterleaved,
         us,
-    );
+    )
+    .expect("paper configuration is valid");
     println!(
         "cache-line interleaved mapping: {:.2} GB/s",
         fixed.achieved_gbps()

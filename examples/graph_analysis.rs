@@ -32,7 +32,8 @@ fn main() {
         32,
         &GapConfig::default(),
         100_000_000,
-    );
+    )
+    .expect("paper configuration is valid");
 
     println!(
         "\nbfs finished in {:.2} ms simulated, {} instructions retired, IPC {:.2}",

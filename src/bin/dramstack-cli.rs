@@ -290,7 +290,8 @@ fn synth_pattern(a: &SynthArgs) -> SyntheticPattern {
 }
 
 fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
-    let r = run_synthetic(a.cores, synth_pattern(a), a.policy, a.mapping, a.us);
+    let r = run_synthetic(a.cores, synth_pattern(a), a.policy, a.mapping, a.us)
+        .map_err(|e| e.to_string())?;
     let label = format!("{} {}c", a.pattern, a.cores);
     println!(
         "{label}: {:.2} / {:.1} GB/s, read latency {:.1} ns, page-hit {:.1} %",
@@ -330,7 +331,8 @@ fn run_gap_cmd(a: &GapArgs) -> Result<(), String> {
         32,
         &GapConfig::default(),
         1_000_000_000,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "{} {}c: {:.2} ms simulated, {:.2} GB/s, latency {:.1} ns, IPC {:.2}",
         a.kernel,
@@ -368,8 +370,9 @@ fn run_reqtrace_cmd(input: &str) -> Result<(), String> {
     use dramstack::memctrl::CtrlConfig;
     use dramstack::sim::replay::{parse_requests, replay_requests};
     let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
-    let reqs = parse_requests(&text)?;
-    let result = replay_requests(&reqs, CtrlConfig::paper_default(), 12_000, 2_000_000_000)?;
+    let reqs = parse_requests(&text).map_err(|e| e.to_string())?;
+    let result = replay_requests(&reqs, CtrlConfig::paper_default(), 12_000, 2_000_000_000)
+        .map_err(|e| e.to_string())?;
     println!(
         "{} reads + {} writes drained in {} cycles",
         result.reads, result.writes, result.finished_at
@@ -386,7 +389,8 @@ fn run_reqtrace_cmd(input: &str) -> Result<(), String> {
 }
 
 fn run_extrapolate_cmd(a: &SynthArgs, to: f64) -> Result<(), String> {
-    let r = run_synthetic(a.cores, synth_pattern(a), a.policy, a.mapping, a.us);
+    let r = run_synthetic(a.cores, synth_pattern(a), a.policy, a.mapping, a.us)
+        .map_err(|e| e.to_string())?;
     let samples: Vec<_> = r.samples.iter().map(|s| s.bandwidth.clone()).collect();
     println!(
         "measured at {} core(s): {:.2} GB/s over {} samples",

@@ -14,6 +14,9 @@
 //!   address mapping).
 //! * [`obs`] — observability: controller probes, metrics registry,
 //!   Chrome-trace export and simulator self-profiling.
+//! * [`audit`] — shadow JEDEC protocol auditor, stack-conservation
+//!   invariants and seeded-fault injection (armed by default in debug
+//!   and test builds).
 //! * [`stacks`] — bandwidth/latency stack accounting, through-time
 //!   sampling and bandwidth extrapolation (the paper's contribution).
 //! * [`cpu`] — out-of-order-proxy cores, caches, prefetcher, cycle stacks.
@@ -36,6 +39,7 @@
 //! assert!(bw.achieved_gbps() < bw.peak_gbps());
 //! ```
 
+pub use dramstack_audit as audit;
 pub use dramstack_core as stacks;
 pub use dramstack_cpu as cpu;
 pub use dramstack_dram as dram;

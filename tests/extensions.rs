@@ -17,7 +17,8 @@ fn xor_permutation_runs_and_stays_consistent() {
         PagePolicy::Open,
         MappingScheme::PermutationXor,
         20.0,
-    );
+    )
+    .unwrap();
     assert!(r.bandwidth_stack.is_consistent());
     assert!(r.achieved_gbps() > 1.0);
     // Sequential-within-a-row locality is preserved by the permutation.
@@ -117,7 +118,8 @@ fn gap_bfs_produces_detectable_phases() {
         32,
         &scale.gap,
         scale.max_cycles,
-    );
+    )
+    .unwrap();
     // Shrink windows to get a usable series even on the quick graph.
     if r.samples.len() < 4 {
         // Re-run with finer sampling.

@@ -22,7 +22,8 @@ fn every_kernel_completes_and_produces_consistent_stacks() {
             32,
             &GapConfig::default(),
             50_000_000,
-        );
+        )
+        .unwrap();
         assert!(
             r.instrs_retired > 100,
             "{kernel}: {} instrs",
@@ -54,6 +55,7 @@ fn kernels_scale_with_cores() {
             &cfg,
             50_000_000,
         )
+        .unwrap()
     };
     let one = run(1);
     let four = run(4);
@@ -86,7 +88,7 @@ fn barriers_do_not_deadlock_with_unbalanced_chunks() {
 #[test]
 fn fig9_quick_predictions_bracket_reasonably() {
     let scale = ExperimentScale::quick();
-    let row = fig9_kernel(GapKernel::Bfs, &scale);
+    let row = fig9_kernel(GapKernel::Bfs, &scale).unwrap();
     // Predictions are positive, stack ≤ naive, and within 3× of truth.
     assert!(row.stack > 0.0 && row.naive > 0.0);
     assert!(row.stack <= row.naive + 1e-9);
@@ -109,7 +111,8 @@ fn through_time_samples_cover_the_whole_run() {
         32,
         &GapConfig::default(),
         50_000_000,
-    );
+    )
+    .unwrap();
     let covered: u64 = r.samples.iter().map(|s| s.cycles).sum();
     assert_eq!(covered, r.sim_cycles, "samples partition the timeline");
     for w in r.samples.windows(2) {

@@ -10,7 +10,7 @@ use dramstack::workloads::SyntheticPattern;
 const US: f64 = 25.0;
 
 fn default_run(cores: usize, p: SyntheticPattern) -> dramstack::sim::SimReport {
-    run_synthetic(cores, p, PagePolicy::Open, MappingScheme::RowBankColumn, US)
+    run_synthetic(cores, p, PagePolicy::Open, MappingScheme::RowBankColumn, US).unwrap()
 }
 
 #[test]
@@ -89,7 +89,7 @@ fn stores_on_sequential_hurt_but_stores_on_random_help() {
 
 #[test]
 fn closed_page_hurts_sequential_helps_random() {
-    let run = |p, policy| run_synthetic(2, p, policy, MappingScheme::RowBankColumn, US);
+    let run = |p, policy| run_synthetic(2, p, policy, MappingScheme::RowBankColumn, US).unwrap();
     let seq_open = run(SyntheticPattern::sequential(0.0), PagePolicy::Open);
     let seq_closed = run(SyntheticPattern::sequential(0.0), PagePolicy::Closed);
     let rand_open = run(SyntheticPattern::random(0.0), PagePolicy::Open);
@@ -113,6 +113,7 @@ fn interleaved_mapping_fixes_the_two_fig6_cases() {
             m,
             US,
         )
+        .unwrap()
     };
     let case2 = |m| {
         run_synthetic(
@@ -122,6 +123,7 @@ fn interleaved_mapping_fixes_the_two_fig6_cases() {
             m,
             US,
         )
+        .unwrap()
     };
     for (def, int) in [
         (

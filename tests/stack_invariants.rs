@@ -43,7 +43,7 @@ proptest! {
             Just(MappingScheme::CacheLineInterleaved)
         ],
     ) {
-        let r = run_synthetic(cores, pattern, policy, mapping, 10.0);
+        let r = run_synthetic(cores, pattern, policy, mapping, 10.0).unwrap();
         prop_assert!(r.bandwidth_stack.is_consistent());
         prop_assert!((r.bandwidth_stack.total_gbps() - 19.2).abs() < 1e-6);
         for c in BwComponent::ALL {
@@ -61,7 +61,7 @@ proptest! {
         pattern in arbitrary_pattern(),
         cores in 1usize..=4,
     ) {
-        let r = run_synthetic(cores, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, 10.0);
+        let r = run_synthetic(cores, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, 10.0).unwrap();
         if r.latency_stack.reads == 0 {
             return Ok(());
         }
@@ -82,7 +82,7 @@ proptest! {
         pattern in arbitrary_pattern(),
         k in 1.0f64..16.0,
     ) {
-        let r = run_synthetic(1, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, 10.0);
+        let r = run_synthetic(1, pattern, PagePolicy::Open, MappingScheme::RowBankColumn, 10.0).unwrap();
         let e = extrapolate_stack(&r.bandwidth_stack, k);
         prop_assert!(e.is_consistent());
         prop_assert!((e.total_gbps() - 19.2).abs() < 1e-6);
