@@ -17,18 +17,16 @@ const REL_EPS: f64 = 1e-6;
 /// Checks that one completed read's latency components sum to its
 /// measured service interval (`done_at - arrival`), integer-exact.
 ///
-/// One inexactness is legal by design: the wait components (`preact`,
-/// `refresh`, `writeburst`) are attributed independently and can overlap
-/// — e.g. a precharge progressing while a write burst drains. The
-/// controller absorbs the overlap by clamping the residual `queue`
-/// component at zero, so components may *over*-account while `queue == 0`.
-/// Everything else is a broken identity: under-attribution means cycles
-/// were lost, and any mismatch while `queue > 0` means the residual
-/// arithmetic itself is wrong.
+/// The check is strict equality: the controller charges every waiting
+/// cycle to exactly one component as it happens (write drain, refresh,
+/// caused PRE/ACT, or plain queueing) and `base_dram` covers the CAS-to-
+/// data interval by construction, so components can neither overlap nor
+/// leave a residual. Any mismatch — over *or* under — is a broken
+/// accounting identity.
 pub fn check_read(c: &CompletedRead) -> Option<ConservationFailure> {
     let measured = c.done_at.saturating_sub(c.arrival);
     let attributed = c.breakdown.total();
-    if attributed == measured || (attributed > measured && c.breakdown.queue == 0) {
+    if attributed == measured {
         return None;
     }
     Some(ConservationFailure {
@@ -149,10 +147,11 @@ mod tests {
     }
 
     #[test]
-    fn clamped_overlap_is_tolerated_but_queued_overshoot_is_not() {
-        // Overlapping waits with the queue residual clamped to zero: the
-        // one legal over-attribution.
-        let clamped = LatencyBreakdown {
+    fn over_attribution_is_caught_even_with_zero_queue() {
+        // Historically the controller clamped a residual `queue` at zero
+        // and over-accounting with queue == 0 was tolerated. Attribution
+        // is now per-cycle exact, so the same shape must fail.
+        let overshoot = LatencyBreakdown {
             base_cntlr: 30,
             base_dram: 21,
             preact: 34,
@@ -160,16 +159,17 @@ mod tests {
             writeburst: 25,
             queue: 0,
         };
-        assert!(check_read(&read(100, 200, clamped)).is_none());
-        // The same overshoot with a nonzero queue component can only come
-        // from broken residual arithmetic.
+        let f = check_read(&read(100, 200, overshoot)).expect("failure");
+        assert_eq!(f.kind, ConservationKind::ReadLatency);
+        assert_eq!(f.expected, 100.0);
+        assert_eq!(f.actual, 110.0);
+        // And with a nonzero queue component likewise.
         let broken = LatencyBreakdown {
             queue: 5,
             writeburst: 20,
-            ..clamped
+            ..overshoot
         };
-        let f = check_read(&read(100, 200, broken)).expect("failure");
-        assert_eq!(f.kind, ConservationKind::ReadLatency);
+        assert!(check_read(&read(100, 200, broken)).is_some());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use dramstack_cpu::{InstrStream, VecStream};
 use dramstack_memctrl::{MappingScheme, PagePolicy};
 use dramstack_sim::{
     experiments::{run_synthetic, ExperimentScale},
-    parallel, SimReport, Simulator, SystemConfig,
+    parallel, SimReport, Simulator, SystemConfig, Telemetry, TelemetryConfig,
 };
 use dramstack_workloads::{GapKernel, SyntheticPattern};
 
@@ -50,6 +50,17 @@ struct SweepResult {
     speedup: f64,
 }
 
+/// Overhead of the streaming telemetry layer on a loaded run.
+#[derive(Debug, Serialize)]
+struct TelemetryOverhead {
+    /// Msim-cycles/s with telemetry off.
+    off_msim_cycles_per_sec: f64,
+    /// Msim-cycles/s with telemetry on (JSONL + Prometheus to a sink).
+    on_msim_cycles_per_sec: f64,
+    /// `on / off` — 1.0 means free.
+    relative_throughput: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchOutput {
     /// `quick` or `full`.
@@ -58,6 +69,8 @@ struct BenchOutput {
     configs: Vec<ConfigResult>,
     /// Idle-workload speedup of fast-forward on vs off.
     idle_fast_forward_speedup: f64,
+    /// Streaming-telemetry cost on the seq_2c workload.
+    telemetry: TelemetryOverhead,
     /// Parallel sweep scaling.
     sweep: SweepResult,
 }
@@ -85,6 +98,23 @@ fn run_idle(us: f64, fast_forward: bool) -> SimReport {
 fn run_pattern(cores: usize, pattern: SyntheticPattern, us: f64) -> SimReport {
     let cfg = SystemConfig::paper_default(cores);
     let mut sim = Simulator::with_synthetic(cfg, pattern);
+    sim.enable_profiling();
+    sim.run_for_us(us)
+}
+
+/// The same loaded run with the full telemetry stack attached — JSONL
+/// and Prometheus streaming into `io::sink()`, so the measurement is the
+/// layer's own cost rather than filesystem speed.
+fn run_pattern_telemetry(cores: usize, pattern: SyntheticPattern, us: f64) -> SimReport {
+    let cfg = SystemConfig::paper_default(cores);
+    let mut sim = Simulator::with_synthetic(cfg, pattern);
+    let tel = Telemetry::new(TelemetryConfig {
+        prom_every_windows: 16,
+        ..TelemetryConfig::default()
+    })
+    .with_jsonl(Box::new(std::io::sink()))
+    .with_prometheus(Box::new(std::io::sink()));
+    sim.attach_telemetry(tel);
     sim.enable_profiling();
     sim.run_for_us(us)
 }
@@ -128,6 +158,24 @@ fn main() {
     ));
     configs.push(config_result("gap_bfs_8c", &run_bfs(&scale)));
 
+    // Telemetry overhead: identical loaded workload with the layer off
+    // and fully on (series + advisor + JSONL + periodic Prometheus).
+    let tel_off = run_pattern(2, SyntheticPattern::sequential(0.0), scale.synth_us);
+    let tel_on = run_pattern_telemetry(2, SyntheticPattern::sequential(0.0), scale.synth_us);
+    assert_eq!(
+        tel_off.strip_perf(),
+        tel_on.strip_perf(),
+        "telemetry must not perturb results"
+    );
+    let telemetry = TelemetryOverhead {
+        off_msim_cycles_per_sec: tel_off.perf.sim_cycles_per_second / 1e6,
+        on_msim_cycles_per_sec: tel_on.perf.sim_cycles_per_second / 1e6,
+        relative_throughput: tel_on.perf.sim_cycles_per_second
+            / tel_off.perf.sim_cycles_per_second.max(1e-12),
+    };
+    configs.push(config_result("seq_2c_telemetry_off", &tel_off));
+    configs.push(config_result("seq_2c_telemetry_on", &tel_on));
+
     // Parallel sweep scaling: the same independent job list run on one
     // worker and on all available workers.
     let threads = parallel::available_threads();
@@ -164,6 +212,7 @@ fn main() {
         scale: scale_name.to_string(),
         configs,
         idle_fast_forward_speedup: idle_speedup,
+        telemetry,
         sweep: SweepResult {
             jobs: serial.len(),
             threads,
@@ -179,6 +228,12 @@ fn main() {
             c.name, c.sim_cycles, c.msim_cycles_per_sec, c.fast_forwarded_cycles
         );
     }
+    println!(
+        "telemetry overhead: {:.2} -> {:.2} Msim-cycles/s ({:.1} % of telemetry-off throughput)",
+        out.telemetry.off_msim_cycles_per_sec,
+        out.telemetry.on_msim_cycles_per_sec,
+        out.telemetry.relative_throughput * 100.0
+    );
     println!(
         "idle fast-forward speedup: {:.1}x | sweep: {} jobs, {} threads, {:.2}s -> {:.2}s ({:.2}x)",
         out.idle_fast_forward_speedup,

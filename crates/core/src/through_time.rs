@@ -12,10 +12,11 @@ use dramstack_memctrl::LatencyBreakdown;
 use dramstack_obs::{
     metrics::{CounterId, HistogramId},
     window::QUEUE_DEPTH_BOUNDS,
-    CtrlWindowStats, MetricsRegistry,
+    CtrlWindowStats, MetricsRegistry, WindowMerge, WindowObservation,
 };
 
 use crate::bandwidth::BandwidthAccountant;
+use crate::components::{BwComponent, LatComponent};
 use crate::latency::{LatencyAccountant, LatencyStack};
 use crate::stack::BandwidthStack;
 
@@ -33,6 +34,55 @@ pub struct TimeSample {
     /// Controller health over this window (queue depths, row-hit rate,
     /// drain occupancy), sampled from the per-cycle [`CycleView`] fields.
     pub ctrl: CtrlWindowStats,
+}
+
+impl TimeSample {
+    /// Projects this window onto the advisor's neutral share vocabulary:
+    /// bandwidth-stack fractions of peak, latency-stack fractions of mean
+    /// read latency and controller health figures.
+    pub fn observation(&self) -> WindowObservation {
+        let bw = &self.bandwidth;
+        let lat = &self.latency;
+        let lat_total = lat.total_ns();
+        let lat_frac = |c: LatComponent| {
+            if lat_total > 0.0 {
+                lat.ns(c) / lat_total
+            } else {
+                0.0
+            }
+        };
+        WindowObservation {
+            start_cycle: self.start_cycle,
+            cycles: self.cycles,
+            bw_data: bw.fraction(BwComponent::Read) + bw.fraction(BwComponent::Write),
+            bw_refresh: bw.fraction(BwComponent::Refresh),
+            bw_precharge: bw.fraction(BwComponent::Precharge),
+            bw_activate: bw.fraction(BwComponent::Activate),
+            bw_constraints: bw.fraction(BwComponent::Constraints),
+            bw_idle: bw.fraction(BwComponent::Idle),
+            lat_queue: lat_frac(LatComponent::Queue),
+            lat_refresh: lat_frac(LatComponent::Refresh),
+            lat_writeburst: lat_frac(LatComponent::WriteBurst),
+            lat_preact: lat_frac(LatComponent::PreAct),
+            row_hit_rate: self.ctrl.row_hit_rate(),
+            drain_occupancy: self.ctrl.drain_occupancy(),
+            mean_read_queue_depth: self.ctrl.mean_read_queue_depth(),
+            reads: lat.reads,
+        }
+    }
+}
+
+/// Folding adjacent windows for the telemetry ring: cycle counts add,
+/// bandwidth weights add, latency averages merge read-weighted and
+/// controller health merges — the same arithmetic as whole-run
+/// aggregation, so a downsampled series conserves every quantity.
+impl WindowMerge for TimeSample {
+    fn merge_window(&mut self, next: &Self) {
+        self.cycles += next.cycles;
+        self.bandwidth.merge(&next.bandwidth);
+        self.latency.merge(&next.latency);
+        self.ctrl.merge(&next.ctrl);
+    }
 }
 
 /// Samples bandwidth and latency stacks every fixed number of cycles.

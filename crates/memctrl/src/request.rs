@@ -26,7 +26,9 @@ pub struct LatencyBreakdown {
     pub refresh: Cycle,
     /// Cycles queued while the controller was draining the write buffer.
     pub writeburst: Cycle,
-    /// Residual queueing: waiting for other requests and timing constraints.
+    /// Queueing behind other requests and timing constraints. Counted
+    /// per-cycle in the controller (not derived as a residual), so the
+    /// components sum exactly to the measured service time.
     pub queue: Cycle,
 }
 
@@ -76,6 +78,11 @@ pub(crate) struct QueueEntry {
     pub refresh_wait: Cycle,
     /// Cycles spent queued during a write-drain burst.
     pub writeburst_wait: Cycle,
+    /// Cycles spent waiting on a PRE/ACT this entry caused.
+    pub preact_wait: Cycle,
+    /// Cycles spent queued for any other reason (older requests, timing
+    /// constraints). Counted directly, so the breakdown needs no residual.
+    pub queue_wait: Cycle,
 }
 
 impl QueueEntry {
@@ -96,6 +103,8 @@ impl QueueEntry {
             caused_act: false,
             refresh_wait: 0,
             writeburst_wait: 0,
+            preact_wait: 0,
+            queue_wait: 0,
         }
     }
 }

@@ -21,6 +21,15 @@
 //! * [`PhaseTimers`] / [`PerfReport`] — wall-clock self-profiling of the
 //!   simulator's drive loop: where host time goes, and how many simulated
 //!   cycles per second the run achieved.
+//! * [`StackSeries`] — a bounded-memory streaming through-time series
+//!   with pairwise downsampling, the backbone of live telemetry.
+//! * [`Advisor`] — the paper's stack-reading diagnosis logic as code:
+//!   rule-based bottleneck classification over window shares with
+//!   hysteresis, emitting typed [`Diagnosis`] records.
+//! * [`DeltaStack`] — A/B differential stacks with a significance
+//!   threshold, powering `dramstack diff`.
+//! * [`LogSink`] — one mutex-serialized writer for heartbeats, dashboard
+//!   frames and plain logs, so terminal output never interleaves.
 //!
 //! The contract: attaching any probe or enabling any profiling must leave
 //! simulation results bit-identical. Probes observe; they never steer.
@@ -28,14 +37,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod advisor;
 pub mod chrome;
+pub mod diff;
 pub mod metrics;
 pub mod perf;
 mod probe;
+pub mod series;
+pub mod sink;
 pub mod window;
 
+pub use advisor::{Advisor, AdvisorConfig, BottleneckClass, Diagnosis, WindowObservation};
 pub use chrome::{ChromeTrace, ChromeTraceHandle, ChromeTraceProbe, TraceEvent, TraceEventKind};
+pub use diff::{ComponentDelta, DeltaStack};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use perf::{Heartbeat, PerfReport, PhaseTimers, SimPhase};
 pub use probe::{NullProbe, Probe, TeeProbe};
+pub use series::{StackSeries, WindowMerge};
+pub use sink::LogSink;
 pub use window::CtrlWindowStats;

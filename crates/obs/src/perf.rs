@@ -3,8 +3,9 @@
 //! [`PhaseTimers`] accumulates host time per [`SimPhase`] of the step
 //! loop and summarizes into a serializable [`PerfReport`]; when disabled
 //! (the default), [`PhaseTimers::begin`] returns `None` and the hot loop
-//! pays a single branch. [`Heartbeat`] is an opt-in progress line printed
-//! to stderr every N simulated cycles.
+//! pays a single branch. [`Heartbeat`] produces an opt-in progress line
+//! every N simulated cycles; the driver routes it through a
+//! [`LogSink`](crate::LogSink) so it never interleaves with other output.
 //!
 //! None of this touches simulated state: profiling reads the host clock
 //! only, so results are bit-identical whether or not it is enabled.
@@ -214,8 +215,12 @@ impl Default for PerfReport {
     }
 }
 
-/// Opt-in progress line printed to stderr every `every_cycles` simulated
-/// cycles.
+/// Opt-in progress line produced every `every_cycles` simulated cycles.
+///
+/// [`tick`](Self::tick) returns the formatted line instead of printing
+/// it; the caller hands it to a [`LogSink`](crate::LogSink) (or the
+/// telemetry layer) so heartbeats, dashboard frames and logs never
+/// interleave mid-line.
 #[derive(Debug, Clone)]
 pub struct Heartbeat {
     every_cycles: u64,
@@ -236,7 +241,7 @@ impl Heartbeat {
         }
     }
 
-    /// Whether [`tick`](Self::tick) would print at `cycle`. Callers use
+    /// Whether [`tick`](Self::tick) would beat at `cycle`. Callers use
     /// this to skip computing the (possibly expensive) `reads_done`
     /// argument on the overwhelming majority of off-interval cycles.
     #[inline]
@@ -244,22 +249,24 @@ impl Heartbeat {
         cycle >= self.next_at
     }
 
-    /// Called once per simulated cycle; prints and returns true on beat
-    /// cycles.
+    /// Called once per simulated cycle; returns the progress line on
+    /// beat cycles, `None` otherwise. The caller owns delivery (via a
+    /// [`LogSink`](crate::LogSink)); this type never writes directly.
     #[inline]
-    pub fn tick(&mut self, cycle: u64, reads_done: u64) -> bool {
+    pub fn tick(&mut self, cycle: u64, reads_done: u64) -> Option<String> {
         if cycle < self.next_at {
-            return false;
+            return None;
         }
         self.next_at += self.every_cycles;
         self.beats += 1;
         let secs = self.started.elapsed().as_secs_f64();
         let rate = if secs > 0.0 { cycle as f64 / secs } else { 0.0 };
-        eprintln!("[dramstack] cycle {cycle} | {reads_done} reads done | {rate:.0} sim-cycles/s");
-        true
+        Some(format!(
+            "[dramstack] cycle {cycle} | {reads_done} reads done | {rate:.0} sim-cycles/s"
+        ))
     }
 
-    /// Number of lines printed so far.
+    /// Number of lines produced so far.
     pub fn beats(&self) -> u64 {
         self.beats
     }
@@ -332,13 +339,15 @@ mod tests {
     fn heartbeat_fires_on_schedule() {
         let mut hb = Heartbeat::new(100);
         assert!(!hb.due(50));
-        assert!(!hb.tick(50, 0));
+        assert!(hb.tick(50, 0).is_none());
         assert!(hb.due(100));
-        assert!(hb.tick(100, 10));
+        let line = hb.tick(100, 10).expect("beat at 100");
+        assert!(line.contains("cycle 100"), "{line}");
+        assert!(line.contains("10 reads done"), "{line}");
         assert!(!hb.due(150));
-        assert!(!hb.tick(150, 12));
+        assert!(hb.tick(150, 12).is_none());
         assert!(hb.due(205));
-        assert!(hb.tick(205, 20));
+        assert!(hb.tick(205, 20).is_some());
         assert_eq!(hb.beats(), 2);
     }
 }

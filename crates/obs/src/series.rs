@@ -1,0 +1,257 @@
+//! Bounded-memory streaming window series.
+//!
+//! [`StackSeries`] retains a through-time series of sample windows in a
+//! fixed-capacity buffer. When a run produces more windows than the
+//! capacity, adjacent buckets are merged pairwise in place — the buffer
+//! halves, the per-bucket scale doubles — so an arbitrarily long run
+//! always fits while the retained series still spans the whole run at a
+//! progressively coarser (but uniform) resolution.
+//!
+//! The series is generic over the window type via [`WindowMerge`]; the
+//! stack crates implement it for their sample types (e.g. `TimeSample`),
+//! keeping this crate free of any dependency on them.
+
+/// A window that can absorb an adjacent window of the same series.
+///
+/// Merging must be associative in the accounting sense: merging windows
+/// `[a, b]` then `[ab, c]` yields the same totals as `[a, bc]`. All the
+/// stack types already satisfy this (cycle counts add, latency averages
+/// merge read-weighted).
+pub trait WindowMerge {
+    /// Folds `next` — the window immediately following `self` in time —
+    /// into `self`.
+    fn merge_window(&mut self, next: &Self);
+}
+
+/// Fixed-capacity through-time ring with pairwise downsampling.
+///
+/// # Example
+///
+/// ```
+/// use dramstack_obs::series::{StackSeries, WindowMerge};
+///
+/// #[derive(Clone)]
+/// struct W(u64);
+/// impl WindowMerge for W {
+///     fn merge_window(&mut self, next: &Self) { self.0 += next.0; }
+/// }
+///
+/// let mut s = StackSeries::new(4);
+/// for _ in 0..100 {
+///     s.push(W(1));
+/// }
+/// assert!(s.len() <= 4);
+/// assert_eq!(s.total_pushed(), 100);
+/// // No cycles were lost to the downsampling:
+/// let retained: u64 = s.buckets().iter().map(|w| w.0).sum::<u64>()
+///     + s.pending().map_or(0, |w| w.0);
+/// assert_eq!(retained, 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackSeries<T> {
+    capacity: usize,
+    /// Source windows folded into each stored bucket.
+    scale: u64,
+    buckets: Vec<T>,
+    /// Partially filled trailing bucket (fewer than `scale` windows).
+    pending: Option<T>,
+    pending_count: u64,
+    total_pushed: u64,
+}
+
+impl<T: WindowMerge + Clone> StackSeries<T> {
+    /// Creates a series retaining at most `capacity` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` (pairwise downsampling needs an even,
+    /// nontrivial buffer; odd capacities are rounded down).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "series capacity must be at least 2");
+        StackSeries {
+            capacity: capacity & !1,
+            scale: 1,
+            buckets: Vec::new(),
+            pending: None,
+            pending_count: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Appends one source window, downsampling if the buffer is full.
+    pub fn push(&mut self, window: T) {
+        self.total_pushed += 1;
+        match &mut self.pending {
+            Some(p) => {
+                p.merge_window(&window);
+                self.pending_count += 1;
+            }
+            None => {
+                self.pending = Some(window);
+                self.pending_count = 1;
+            }
+        }
+        if self.pending_count == self.scale {
+            let bucket = self.pending.take().expect("pending bucket exists");
+            self.pending_count = 0;
+            self.buckets.push(bucket);
+            // Downsample only once full, *after* appending: every bucket
+            // then covers exactly `scale` windows when pairs merge, so
+            // retained buckets stay homogeneous.
+            if self.buckets.len() == self.capacity {
+                self.downsample();
+            }
+        }
+    }
+
+    /// Merges adjacent bucket pairs in place: buffer halves, scale doubles.
+    fn downsample(&mut self) {
+        debug_assert!(self.buckets.len().is_multiple_of(2));
+        for i in 0..self.buckets.len() / 2 {
+            let (a, b) = (2 * i, 2 * i + 1);
+            let next = self.buckets[b].clone();
+            self.buckets[a].merge_window(&next);
+            self.buckets.swap(i, a);
+        }
+        self.buckets.truncate(self.buckets.len() / 2);
+        self.scale *= 2;
+    }
+
+    /// Completed buckets, oldest first. Each covers [`scale`](Self::scale)
+    /// source windows (the trailing partial bucket is in
+    /// [`pending`](Self::pending)).
+    pub fn buckets(&self) -> &[T] {
+        &self.buckets
+    }
+
+    /// The partially filled trailing bucket, if any.
+    pub fn pending(&self) -> Option<&T> {
+        self.pending.as_ref()
+    }
+
+    /// Source windows folded into each completed bucket (a power of two).
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// Completed buckets currently retained.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether no window was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.total_pushed == 0
+    }
+
+    /// Maximum number of retained buckets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total source windows pushed over the series' lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A window carrying a cycle count and its first-cycle stamp, so tests
+    /// can check both conservation and ordering.
+    #[derive(Debug, Clone, PartialEq)]
+    struct W {
+        start: u64,
+        cycles: u64,
+    }
+
+    impl WindowMerge for W {
+        fn merge_window(&mut self, next: &Self) {
+            self.cycles += next.cycles;
+        }
+    }
+
+    fn total(s: &StackSeries<W>) -> u64 {
+        s.buckets().iter().map(|w| w.cycles).sum::<u64>() + s.pending().map_or(0, |w| w.cycles)
+    }
+
+    #[test]
+    fn fills_without_downsampling_below_capacity() {
+        let mut s = StackSeries::new(8);
+        for i in 0..7 {
+            s.push(W {
+                start: i,
+                cycles: 10,
+            });
+        }
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.scale(), 1);
+        assert!(s.pending().is_none());
+        assert_eq!(
+            s.buckets()[3],
+            W {
+                start: 3,
+                cycles: 10
+            }
+        );
+    }
+
+    #[test]
+    fn downsampling_conserves_cycles_and_bounds_memory() {
+        let mut s = StackSeries::new(8);
+        for i in 0..1000 {
+            s.push(W {
+                start: i,
+                cycles: 7,
+            });
+            assert!(s.len() <= 8, "capacity exceeded at window {i}");
+            assert_eq!(total(&s), (i + 1) * 7, "cycles lost at window {i}");
+        }
+        assert_eq!(s.total_pushed(), 1000);
+        // Scale doubles whenever the buffer fills (at 8·scale windows):
+        // 8·64 = 512 ≤ 1000 < 8·128 = 1024, so scale reached 128.
+        assert_eq!(s.scale(), 128);
+    }
+
+    #[test]
+    fn buckets_stay_in_time_order_across_downsampling() {
+        let mut s = StackSeries::new(4);
+        for i in 0..64 {
+            s.push(W {
+                start: i,
+                cycles: 1,
+            });
+        }
+        let starts: Vec<u64> = s.buckets().iter().map(|w| w.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "buckets out of order: {starts:?}");
+        assert_eq!(starts[0], 0, "oldest bucket must keep the run's origin");
+    }
+
+    #[test]
+    fn scale_is_always_a_power_of_two() {
+        let mut s = StackSeries::new(4);
+        for i in 0..777 {
+            s.push(W {
+                start: i,
+                cycles: 1,
+            });
+            assert!(s.scale().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn odd_capacity_rounds_down() {
+        let s: StackSeries<W> = StackSeries::new(5);
+        assert_eq!(s.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 2")]
+    fn capacity_one_is_rejected() {
+        let _: StackSeries<W> = StackSeries::new(1);
+    }
+}

@@ -27,7 +27,9 @@ pub mod parallel;
 pub mod replay;
 mod report;
 mod system;
+pub mod telemetry;
 
 pub use config::{ConfigError, SystemConfig};
-pub use report::SimReport;
+pub use report::{diff_reports, SimReport};
 pub use system::Simulator;
+pub use telemetry::{Telemetry, TelemetryConfig, TelemetrySink};

@@ -3,11 +3,13 @@
 use serde::{Deserialize, Serialize};
 
 use dramstack_audit::AuditReport;
-use dramstack_core::{BandwidthStack, LatencyHistogram, LatencyStack, TimeSample};
+use dramstack_core::{
+    BandwidthStack, BwComponent, LatComponent, LatencyHistogram, LatencyStack, TimeSample,
+};
 use dramstack_cpu::{CacheStats, CycleStack, HierarchyStats};
 use dramstack_dram::Cycle;
 use dramstack_memctrl::CtrlStats;
-use dramstack_obs::PerfReport;
+use dramstack_obs::{DeltaStack, Diagnosis, PerfReport};
 
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +52,10 @@ pub struct SimReport {
     /// auditor was off; `audit.is_clean()` on an armed run certifies the
     /// run obeyed the JEDEC rules and the stacks conserved.
     pub audit: AuditReport,
+    /// Bottleneck-advisor diagnoses: sustained stack shapes classified
+    /// into named bottleneck classes with evidence and a suggestion.
+    /// Derived deterministically from `samples` at report time.
+    pub diagnoses: Vec<Diagnosis>,
 }
 
 impl SimReport {
@@ -91,6 +97,51 @@ impl SimReport {
     }
 }
 
+/// Compares two runs' aggregate stacks component-by-component, producing
+/// `(bandwidth_delta, latency_delta)`.
+///
+/// The bandwidth delta is in GB/s per component (shares scaled by each
+/// run's own peak, so configurations with different peaks compare in
+/// absolute terms); the latency delta is in nanoseconds per component.
+/// `threshold_frac` sets the significance floor as a fraction of the
+/// *before* run's total (achieved GB/s and total ns respectively) — pass
+/// e.g. `0.01` to mark sub-1% movements as noise.
+pub fn diff_reports(
+    before: &SimReport,
+    after: &SimReport,
+    threshold_frac: f64,
+) -> (DeltaStack, DeltaStack) {
+    let bw_rows = |r: &SimReport| -> Vec<(String, f64)> {
+        BwComponent::ALL
+            .iter()
+            .map(|&c| (c.label().to_string(), r.bandwidth_stack.gbps(c)))
+            .collect()
+    };
+    let lat_rows = |r: &SimReport| -> Vec<(String, f64)> {
+        LatComponent::ALL
+            .iter()
+            .map(|&c| (c.label().to_string(), r.latency_stack.ns(c)))
+            .collect()
+    };
+    let bw_threshold = threshold_frac * before.bandwidth_stack.peak_gbps().max(1e-12);
+    let lat_threshold = threshold_frac * before.latency_stack.total_ns().max(1e-12);
+    let bw = DeltaStack::compare(
+        "bandwidth stack",
+        "GB/s",
+        &bw_rows(before),
+        &bw_rows(after),
+        bw_threshold,
+    );
+    let lat = DeltaStack::compare(
+        "latency stack",
+        "ns",
+        &lat_rows(before),
+        &lat_rows(after),
+        lat_threshold,
+    );
+    (bw, lat)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +168,7 @@ mod tests {
             latency_histogram: LatencyHistogram::new(),
             perf: PerfReport::disabled(),
             audit: AuditReport::default(),
+            diagnoses: Vec::new(),
         }
     }
 
@@ -134,6 +186,34 @@ mod tests {
         let s = r.to_json().unwrap();
         let back: SimReport = serde_json::from_str(&s).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn diff_of_identical_reports_is_zero() {
+        let r = dummy();
+        let (bw, lat) = diff_reports(&r, &r, 0.01);
+        assert!(bw.is_zero());
+        assert!(lat.is_zero());
+        assert!(bw.dominant().is_none());
+    }
+
+    #[test]
+    fn diff_surfaces_the_dominant_changed_component() {
+        let before = dummy();
+        let mut after = dummy();
+        // Shift 200 read cycles into idle: read bandwidth drops.
+        after.bandwidth_stack.weights[BwComponent::Read.index()] = 300.0;
+        after.bandwidth_stack.weights[BwComponent::Idle.index()] = 700.0;
+        let (bw, _lat) = diff_reports(&before, &after, 0.01);
+        let dominant = bw.dominant().expect("a dominant change");
+        // Both read and idle moved by the same magnitude; either may rank
+        // first, but both must be significant.
+        assert!(dominant.label == "read" || dominant.label == "idle");
+        assert_eq!(bw.significant().len(), 2);
+        assert!(bw
+            .significant()
+            .iter()
+            .any(|d| d.label == "read" && d.delta < 0.0));
     }
 
     #[test]

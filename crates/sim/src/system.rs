@@ -9,11 +9,14 @@ use dramstack_core::{
 use dramstack_cpu::{CoreModel, CycleStack, Hierarchy, InstrStream, VecStream};
 use dramstack_dram::{Cycle, CycleView, SeededFault};
 use dramstack_memctrl::{CompletedRead, MemoryController};
-use dramstack_obs::{Heartbeat, PhaseTimers, Probe, SimPhase, TeeProbe};
+use dramstack_obs::{
+    advisor::diagnose, AdvisorConfig, Heartbeat, LogSink, PhaseTimers, Probe, SimPhase, TeeProbe,
+};
 use dramstack_workloads::SyntheticPattern;
 
 use crate::config::{ConfigError, SystemConfig};
 use crate::report::SimReport;
+use crate::telemetry::{Telemetry, TelemetryConfig};
 
 /// The full-system simulator.
 ///
@@ -36,6 +39,15 @@ pub struct Simulator {
     next_cycle_sample: Cycle,
     timers: PhaseTimers,
     heartbeat: Option<Heartbeat>,
+    /// Where progress lines (heartbeat) go; stderr by default, swappable
+    /// so embedders and the live dashboard can capture or silence them.
+    log_sink: LogSink,
+    /// Streaming telemetry attached via
+    /// [`enable_telemetry`](Self::enable_telemetry); observes completed
+    /// sample windows as the run progresses.
+    telemetry: Option<Telemetry>,
+    /// System-level windows already handed to the telemetry layer.
+    windows_published: usize,
     fast_forward: bool,
     /// Scratch buffer for draining controller completions without a
     /// per-cycle allocation.
@@ -110,6 +122,9 @@ impl Simulator {
             next_cycle_sample: cfg.sample_period,
             timers: PhaseTimers::new(),
             heartbeat: None,
+            log_sink: LogSink::stderr(),
+            telemetry: None,
+            windows_published: 0,
             fast_forward: true,
             completion_buf: Vec::new(),
             audits: vec![None; cfg.channels],
@@ -186,10 +201,66 @@ impl Simulator {
         self.timers.enable();
     }
 
-    /// Prints a progress line to stderr every `every_cycles` simulated
-    /// cycles.
+    /// Emits a progress line every `every_cycles` simulated cycles. Lines
+    /// go to the configured [`LogSink`] (stderr unless
+    /// [`set_log_sink`](Self::set_log_sink) routed them elsewhere).
     pub fn enable_heartbeat(&mut self, every_cycles: Cycle) {
         self.heartbeat = Some(Heartbeat::new(every_cycles));
+    }
+
+    /// Routes progress lines (heartbeat) through `sink` instead of the
+    /// default stderr — e.g. into a capture buffer, a log file, or the
+    /// live dashboard's message area.
+    pub fn set_log_sink(&mut self, sink: LogSink) {
+        self.log_sink = sink;
+    }
+
+    /// Attaches streaming telemetry with the default configuration and
+    /// returns it for further setup (writers, sinks). Telemetry observes
+    /// each completed sample window live; it never changes results.
+    pub fn enable_telemetry(&mut self) -> &mut Telemetry {
+        self.attach_telemetry(Telemetry::new(TelemetryConfig::default()))
+    }
+
+    /// Attaches a pre-configured [`Telemetry`] (replacing any existing
+    /// one) and returns a mutable handle to it.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) -> &mut Telemetry {
+        self.windows_published = 0;
+        self.telemetry = Some(telemetry);
+        self.telemetry.as_mut().expect("telemetry just attached")
+    }
+
+    /// The attached telemetry, if any (live series, advisor state,
+    /// Prometheus snapshots on demand).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Hands every system-level sample window completed since the last
+    /// publication to the telemetry layer (aggregating across channels
+    /// window-by-window, exactly like the report does).
+    fn publish_windows(&mut self) {
+        let Some(tel) = self.telemetry.as_mut() else {
+            return;
+        };
+        let available = self
+            .samplers
+            .iter()
+            .map(|s| s.samples().len())
+            .min()
+            .unwrap_or(0);
+        while self.windows_published < available {
+            let i = self.windows_published;
+            if self.samplers.len() == 1 {
+                tel.publish(&self.samplers[0].samples()[i]);
+            } else {
+                let one_window: Vec<&[TimeSample]> =
+                    self.samplers.iter().map(|s| &s.samples()[i..=i]).collect();
+                let agg = aggregate_channel_samples(&one_window);
+                tel.publish(&agg[0]);
+            }
+            self.windows_published += 1;
+        }
     }
 
     /// Attaches an observation probe (e.g. a
@@ -362,11 +433,17 @@ impl Simulator {
             // Summing per-controller counters every cycle is measurable at
             // heartbeat granularity; only pay for it on beat cycles.
             if hb.due(self.dram_cycle) {
-                hb.tick(
+                if let Some(line) = hb.tick(
                     self.dram_cycle,
                     self.ctrls.iter().map(|c| c.stats().reads_done).sum(),
-                );
+                ) {
+                    self.log_sink.line(&line);
+                }
             }
+        }
+
+        if self.telemetry.is_some() {
+            self.publish_windows();
         }
     }
 
@@ -456,11 +533,16 @@ impl Simulator {
         self.timers.end(SimPhase::FastForward, t);
         if let Some(hb) = &mut self.heartbeat {
             if hb.due(self.dram_cycle) {
-                hb.tick(
+                if let Some(line) = hb.tick(
                     self.dram_cycle,
                     self.ctrls.iter().map(|c| c.stats().reads_done).sum(),
-                );
+                ) {
+                    self.log_sink.line(&line);
+                }
             }
+        }
+        if self.telemetry.is_some() {
+            self.publish_windows();
         }
         true
     }
@@ -507,6 +589,14 @@ impl Simulator {
         for s in &mut self.samplers {
             s.flush_partial();
         }
+        // The flush may have completed one final window per channel; hand
+        // it to the telemetry layer and close out the run's writers.
+        if self.telemetry.is_some() {
+            self.publish_windows();
+        }
+        if let Some(tel) = &mut self.telemetry {
+            tel.finish_run();
+        }
         let (samples, channel_stacks) = {
             let per_channel: Vec<&[TimeSample]> =
                 self.samplers.iter().map(StackSampler::samples).collect();
@@ -524,6 +614,13 @@ impl Simulator {
         let bandwidth_stack = aggregate_bandwidth(&samples)
             .unwrap_or_else(|| BandwidthStack::empty(self.cfg.system_peak_gbps()));
         let latency_stack: LatencyStack = aggregate_latency(&samples);
+        // Bottleneck advisor over the full sample series. Derived purely
+        // from the samples, so it is deterministic and identical whether
+        // or not live telemetry was attached.
+        let diagnoses = {
+            let observations: Vec<_> = samples.iter().map(TimeSample::observation).collect();
+            diagnose(&observations, AdvisorConfig::default())
+        };
         // Merge per-channel auditor findings, then run the report-time
         // conservation checks over the aggregated sample series and the
         // whole-run stack.
@@ -577,6 +674,7 @@ impl Simulator {
             samples,
             perf: self.timers.report(self.dram_cycle),
             audit,
+            diagnoses,
         }
     }
 

@@ -1,0 +1,493 @@
+//! Live stack telemetry: the streaming layer between the simulator's
+//! sample windows and the outside world.
+//!
+//! A [`Telemetry`] instance attached via
+//! [`Simulator::enable_telemetry`](crate::Simulator::enable_telemetry)
+//! receives every completed sample window as it rolls (including windows
+//! rolled inside the idle fast-forward). It
+//!
+//! * retains a bounded-memory [`StackSeries`] of [`TimeSample`]s (pairwise
+//!   downsampling keeps arbitrarily long runs resident),
+//! * runs a live [`Advisor`] so the current bottleneck class is known
+//!   while the simulation runs,
+//! * streams one JSON-lines record per window to an optional writer,
+//! * writes a Prometheus-style text exposition snapshot on demand or
+//!   every N windows, and
+//! * fans each window out to any number of [`TelemetrySink`]s (the live
+//!   terminal dashboard is one).
+//!
+//! Telemetry is an observer: it reads windows the sampler produced and
+//! never touches simulation state, so runs are bit-identical with or
+//! without it attached (asserted in `tests/telemetry.rs`).
+
+use std::io::Write;
+
+use dramstack_core::{BwComponent, LatComponent, TimeSample};
+use dramstack_obs::{Advisor, AdvisorConfig, BottleneckClass, StackSeries, WindowObservation};
+
+/// How much the telemetry layer retains and how often it writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Ring capacity of the retained window series (rounded down to
+    /// even; the ring downsamples pairwise when full).
+    pub series_capacity: usize,
+    /// Write a Prometheus snapshot every N published windows (0 = only
+    /// on demand / at end of run).
+    pub prom_every_windows: u64,
+    /// Advisor thresholds used for the *live* classification (the report
+    /// always re-runs the advisor over the full series with defaults).
+    pub advisor: AdvisorConfig,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            series_capacity: 256,
+            prom_every_windows: 0,
+            advisor: AdvisorConfig::default(),
+        }
+    }
+}
+
+/// A consumer of published sample windows (e.g. the live dashboard).
+pub trait TelemetrySink {
+    /// One system-level sample window, already aggregated over channels,
+    /// with its advisor projection and the advisor's current sustained
+    /// bottleneck (if any).
+    fn window(
+        &mut self,
+        index: u64,
+        sample: &TimeSample,
+        obs: &WindowObservation,
+        current: Option<BottleneckClass>,
+    );
+
+    /// The run ended; flush any buffered output.
+    fn finish(&mut self) {}
+}
+
+/// The streaming telemetry state attached to a [`Simulator`](crate::Simulator).
+pub struct Telemetry {
+    cfg: TelemetryConfig,
+    series: StackSeries<TimeSample>,
+    advisor: Advisor,
+    windows: u64,
+    last: Option<WindowObservation>,
+    jsonl: Option<Box<dyn Write + Send>>,
+    prom: Option<Box<dyn Write + Send>>,
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("windows", &self.windows)
+            .field("series_len", &self.series.len())
+            .field("jsonl", &self.jsonl.is_some())
+            .field("prom", &self.prom.is_some())
+            .field("sinks", &self.sinks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// Telemetry with the given retention/write policy and no writers.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Telemetry {
+            series: StackSeries::new(cfg.series_capacity.max(2)),
+            advisor: Advisor::new(cfg.advisor),
+            cfg,
+            windows: 0,
+            last: None,
+            jsonl: None,
+            prom: None,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Streams one JSON object per published window to `w`.
+    pub fn with_jsonl(mut self, w: Box<dyn Write + Send>) -> Self {
+        self.jsonl = Some(w);
+        self
+    }
+
+    /// Writes the Prometheus text exposition to `w` — every
+    /// `prom_every_windows` windows and once at end of run. Each snapshot
+    /// overwrites from the writer's current position; pass a fresh file
+    /// (or use [`Simulator::telemetry`](crate::Simulator::telemetry) and
+    /// [`prometheus_snapshot`](Self::prometheus_snapshot) to render on
+    /// demand instead).
+    pub fn with_prometheus(mut self, w: Box<dyn Write + Send>) -> Self {
+        self.prom = Some(w);
+        self
+    }
+
+    /// Adds a window consumer (e.g. the live dashboard adapter).
+    pub fn add_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sinks.push(sink);
+    }
+
+    /// The retained (possibly downsampled) window series.
+    pub fn series(&self) -> &StackSeries<TimeSample> {
+        &self.series
+    }
+
+    /// Windows published so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// The most recent window's advisor projection.
+    pub fn last_observation(&self) -> Option<&WindowObservation> {
+        self.last.as_ref()
+    }
+
+    /// The advisor's currently sustained bottleneck class, if any.
+    pub fn current_diagnosis(&self) -> Option<BottleneckClass> {
+        self.advisor.current()
+    }
+
+    /// Ingests one system-level sample window. Called by the simulator's
+    /// drive loop whenever a sampler window rolls.
+    pub(crate) fn publish(&mut self, sample: &TimeSample) {
+        let obs = sample.observation();
+        self.advisor.observe(&obs);
+        let current = self.advisor.current();
+        let index = self.windows;
+        self.windows += 1;
+        if let Some(w) = &mut self.jsonl {
+            let record = jsonl_record(index, sample, &obs, current);
+            // Best-effort: telemetry must never kill the simulation.
+            let _ = writeln!(w, "{record}");
+        }
+        for sink in &mut self.sinks {
+            sink.window(index, sample, &obs, current);
+        }
+        self.series.push(sample.clone());
+        self.last = Some(obs);
+        if self.cfg.prom_every_windows > 0
+            && self.windows.is_multiple_of(self.cfg.prom_every_windows)
+        {
+            self.write_prometheus();
+        }
+    }
+
+    /// Renders the Prometheus-style text exposition of the current state:
+    /// aggregate stack shares over the retained series, last-window
+    /// gauges, and run counters.
+    pub fn prometheus_snapshot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# HELP dramstack_windows_total Sample windows published\n");
+        out.push_str("# TYPE dramstack_windows_total counter\n");
+        out.push_str(&format!("dramstack_windows_total {}\n", self.windows));
+
+        // Aggregate over everything retained (buckets plus the pending
+        // partial bucket) — downsampling conserves all of these.
+        let mut agg: Option<TimeSample> = None;
+        for s in self.series.buckets().iter().chain(self.series.pending()) {
+            match &mut agg {
+                Some(a) => {
+                    use dramstack_obs::WindowMerge;
+                    a.merge_window(s);
+                }
+                None => agg = Some(s.clone()),
+            }
+        }
+        if let Some(a) = agg {
+            out.push_str("# HELP dramstack_bw_share Aggregate bandwidth-stack share of peak\n");
+            out.push_str("# TYPE dramstack_bw_share gauge\n");
+            for c in BwComponent::ALL {
+                out.push_str(&format!(
+                    "dramstack_bw_share{{component=\"{}\"}} {:.6}\n",
+                    c.label(),
+                    a.bandwidth.fraction(c)
+                ));
+            }
+            out.push_str("# HELP dramstack_achieved_gbps Aggregate achieved bandwidth\n");
+            out.push_str("# TYPE dramstack_achieved_gbps gauge\n");
+            out.push_str(&format!(
+                "dramstack_achieved_gbps {:.6}\n",
+                a.bandwidth.achieved_gbps()
+            ));
+            out.push_str("# HELP dramstack_lat_ns Aggregate latency-stack component, ns\n");
+            out.push_str("# TYPE dramstack_lat_ns gauge\n");
+            for c in LatComponent::ALL {
+                out.push_str(&format!(
+                    "dramstack_lat_ns{{component=\"{}\"}} {:.6}\n",
+                    c.label(),
+                    a.latency.ns(c)
+                ));
+            }
+            out.push_str("# HELP dramstack_reads_total Reads completed in retained windows\n");
+            out.push_str("# TYPE dramstack_reads_total counter\n");
+            out.push_str(&format!("dramstack_reads_total {}\n", a.latency.reads));
+        }
+        if let Some(obs) = &self.last {
+            out.push_str("# HELP dramstack_row_hit_rate Last-window row-buffer hit rate\n");
+            out.push_str("# TYPE dramstack_row_hit_rate gauge\n");
+            out.push_str(&format!("dramstack_row_hit_rate {:.6}\n", obs.row_hit_rate));
+            out.push_str("# HELP dramstack_read_queue_depth Last-window mean read-queue depth\n");
+            out.push_str("# TYPE dramstack_read_queue_depth gauge\n");
+            out.push_str(&format!(
+                "dramstack_read_queue_depth {:.6}\n",
+                obs.mean_read_queue_depth
+            ));
+        }
+        out.push_str("# HELP dramstack_bottleneck Current sustained bottleneck (1 = active)\n");
+        out.push_str("# TYPE dramstack_bottleneck gauge\n");
+        for c in BottleneckClass::ALL {
+            let active = self.advisor.current() == Some(c);
+            out.push_str(&format!(
+                "dramstack_bottleneck{{class=\"{}\"}} {}\n",
+                c.name(),
+                u8::from(active)
+            ));
+        }
+        out
+    }
+
+    fn write_prometheus(&mut self) {
+        let snap = self.prometheus_snapshot();
+        if let Some(w) = &mut self.prom {
+            let _ = w.write_all(snap.as_bytes());
+            let _ = w.flush();
+        }
+    }
+
+    /// End of run: final Prometheus snapshot, flush JSONL, finish sinks.
+    pub(crate) fn finish_run(&mut self) {
+        self.write_prometheus();
+        if let Some(w) = &mut self.jsonl {
+            let _ = w.flush();
+        }
+        for sink in &mut self.sinks {
+            sink.finish();
+        }
+    }
+}
+
+/// One JSON-lines record: flat scalars plus labeled share objects, so
+/// `jq` consumers need no knowledge of the stack component order.
+fn jsonl_record(
+    index: u64,
+    sample: &TimeSample,
+    obs: &WindowObservation,
+    current: Option<BottleneckClass>,
+) -> String {
+    use serde::Value;
+    let bw: Vec<(String, Value)> = BwComponent::ALL
+        .iter()
+        .map(|&c| {
+            (
+                c.label().to_string(),
+                Value::Float(sample.bandwidth.fraction(c)),
+            )
+        })
+        .collect();
+    let lat: Vec<(String, Value)> = LatComponent::ALL
+        .iter()
+        .map(|&c| (c.label().to_string(), Value::Float(sample.latency.ns(c))))
+        .collect();
+    let record = Value::Map(vec![
+        ("window".into(), Value::Int(i128::from(index))),
+        (
+            "start_cycle".into(),
+            Value::Int(i128::from(sample.start_cycle)),
+        ),
+        ("cycles".into(), Value::Int(i128::from(sample.cycles))),
+        (
+            "achieved_gbps".into(),
+            Value::Float(sample.bandwidth.achieved_gbps()),
+        ),
+        (
+            "peak_gbps".into(),
+            Value::Float(sample.bandwidth.peak_gbps()),
+        ),
+        ("bw_share".into(), Value::Map(bw)),
+        ("lat_ns".into(), Value::Map(lat)),
+        ("reads".into(), Value::Int(i128::from(sample.latency.reads))),
+        ("row_hit_rate".into(), Value::Float(obs.row_hit_rate)),
+        (
+            "read_queue_depth".into(),
+            Value::Float(obs.mean_read_queue_depth),
+        ),
+        ("drain_occupancy".into(), Value::Float(obs.drain_occupancy)),
+        (
+            "bottleneck".into(),
+            match current {
+                Some(c) => Value::Str(c.name().to_string()),
+                None => Value::Null,
+            },
+        ),
+    ]);
+    serde_json::to_string(&record).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A Write that appends into a shared buffer the test can read back.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample(start: u64) -> TimeSample {
+        use dramstack_dram::{BurstKind, CycleView};
+        let mut s = dramstack_core::StackSampler::new(16, 19.2, 0.8333, 100);
+        let mut busy = CycleView::idle(16);
+        busy.bus = Some(BurstKind::Read);
+        for _ in 0..100 {
+            s.account(&busy);
+        }
+        let mut out = s.finish().remove(0);
+        out.start_cycle = start;
+        out
+    }
+
+    #[test]
+    fn jsonl_stream_is_one_valid_object_per_window() {
+        let buf = Shared::default();
+        let mut t = Telemetry::new(TelemetryConfig::default()).with_jsonl(Box::new(buf.clone()));
+        for i in 0..5 {
+            t.publish(&sample(i * 100));
+        }
+        t.finish_run();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for (i, l) in lines.iter().enumerate() {
+            let v: serde::Value = serde_json::from_str(l).expect("valid JSON line");
+            assert_eq!(
+                v.get("window").and_then(serde::Value::as_u64),
+                Some(i as u64)
+            );
+            let read_share = v
+                .get("bw_share")
+                .and_then(|m| m.get("read"))
+                .and_then(serde::Value::as_f64)
+                .expect("bw_share.read present");
+            assert!(read_share > 0.9);
+            assert_eq!(v.get("cycles").and_then(serde::Value::as_u64), Some(100));
+        }
+    }
+
+    #[test]
+    fn prometheus_snapshot_has_all_series() {
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        for i in 0..3 {
+            t.publish(&sample(i * 100));
+        }
+        let snap = t.prometheus_snapshot();
+        assert!(snap.contains("dramstack_windows_total 3"));
+        for c in BwComponent::ALL {
+            assert!(
+                snap.contains(&format!(
+                    "dramstack_bw_share{{component=\"{}\"}}",
+                    c.label()
+                )),
+                "missing {c:?} in:\n{snap}"
+            );
+        }
+        for c in LatComponent::ALL {
+            assert!(snap.contains(&format!("dramstack_lat_ns{{component=\"{}\"}}", c.label())));
+        }
+        assert!(snap.contains("dramstack_bottleneck{class=\"saturated\"}"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for l in snap.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = l.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad exposition line: {l}");
+        }
+    }
+
+    #[test]
+    fn periodic_prometheus_writes_fire_every_n_windows() {
+        let buf = Shared::default();
+        let cfg = TelemetryConfig {
+            prom_every_windows: 2,
+            ..TelemetryConfig::default()
+        };
+        let mut t = Telemetry::new(cfg).with_prometheus(Box::new(buf.clone()));
+        for i in 0..4 {
+            t.publish(&sample(i * 100));
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        // Two periodic snapshots (after windows 2 and 4).
+        assert_eq!(text.matches("dramstack_windows_total 2").count(), 1);
+        assert_eq!(text.matches("dramstack_windows_total 4").count(), 1);
+    }
+
+    #[test]
+    fn series_is_bounded_and_conserves_cycles() {
+        let cfg = TelemetryConfig {
+            series_capacity: 8,
+            ..TelemetryConfig::default()
+        };
+        let mut t = Telemetry::new(cfg);
+        for i in 0..100 {
+            t.publish(&sample(i * 100));
+        }
+        assert!(t.series().len() <= 8);
+        assert_eq!(t.series().total_pushed(), 100);
+        let cycles: u64 = t
+            .series()
+            .buckets()
+            .iter()
+            .chain(t.series().pending())
+            .map(|s| s.cycles)
+            .sum();
+        assert_eq!(cycles, 100 * 100);
+    }
+
+    #[test]
+    fn sinks_see_every_window_and_finish() {
+        struct Probe(Arc<Mutex<(u64, bool)>>);
+        impl TelemetrySink for Probe {
+            fn window(
+                &mut self,
+                _i: u64,
+                _s: &TimeSample,
+                _o: &WindowObservation,
+                _c: Option<BottleneckClass>,
+            ) {
+                self.0.lock().unwrap().0 += 1;
+            }
+            fn finish(&mut self) {
+                self.0.lock().unwrap().1 = true;
+            }
+        }
+        let state = Arc::new(Mutex::new((0, false)));
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.add_sink(Box::new(Probe(Arc::clone(&state))));
+        for i in 0..7 {
+            t.publish(&sample(i * 100));
+        }
+        t.finish_run();
+        let s = state.lock().unwrap();
+        assert_eq!(s.0, 7);
+        assert!(s.1);
+    }
+
+    #[test]
+    fn saturated_windows_surface_a_live_diagnosis() {
+        // All-read windows are fully saturated; after the hysteresis the
+        // advisor's live classification must say so.
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        for i in 0..6 {
+            t.publish(&sample(i * 100));
+        }
+        assert_eq!(t.current_diagnosis(), Some(BottleneckClass::Saturated));
+        assert!(t.last_observation().is_some());
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod ascii;
 pub mod csv;
+pub mod live;
 pub mod palette;
 pub mod svg;
 pub mod timeline;

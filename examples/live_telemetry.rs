@@ -1,0 +1,45 @@
+//! Live stack telemetry end to end: stream per-window stacks as JSON
+//! lines, render the terminal dashboard, take a Prometheus snapshot, ask
+//! the bottleneck advisor what limited the run, and diff two runs.
+//!
+//! ```sh
+//! cargo run --release --example live_telemetry
+//! ```
+
+use dramstack::live::{LiveMode, LiveSink};
+use dramstack::sim::{diff_reports, Simulator, SystemConfig, Telemetry, TelemetryConfig};
+use dramstack::workloads::SyntheticPattern;
+
+fn main() {
+    // --- A refresh-heavy run with the full telemetry stack attached ---
+    let mut cfg = SystemConfig::paper_default(1);
+    cfg.ctrl.device.timing.t_refi = 2_000; // storm: REF every 2k cycles
+
+    let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+    let mut tel =
+        Telemetry::new(TelemetryConfig::default()).with_jsonl(Box::new(std::io::stdout()));
+    // The plain-mode dashboard draws a text block every 16 windows on
+    // stderr; on an interactive terminal use `auto_mode()` instead.
+    tel.add_sink(Box::new(LiveSink::new(LiveMode::Plain)));
+    sim.attach_telemetry(tel);
+    let stormy = sim.run_for_us(100.0);
+
+    eprintln!("\n--- Prometheus snapshot ---");
+    eprintln!("{}", sim.telemetry().unwrap().prometheus_snapshot());
+
+    eprintln!("--- Advisor ---");
+    for d in &stormy.diagnoses {
+        eprintln!("{d}");
+    }
+
+    // --- Diff against a healthy baseline of the same workload ---
+    let baseline = Simulator::with_synthetic(
+        SystemConfig::paper_default(1),
+        SyntheticPattern::sequential(0.0),
+    )
+    .run_for_us(100.0);
+    let (bw, lat) = diff_reports(&baseline, &stormy, 0.01);
+    eprintln!("--- Diff: baseline -> refresh storm ---");
+    eprintln!("{}", bw.render());
+    eprintln!("{}", lat.render());
+}

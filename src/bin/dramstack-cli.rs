@@ -2,15 +2,21 @@
 //!
 //! ```text
 //! dramstack-cli synth --pattern seq --cores 4 --stores 0.2 --us 100
+//! dramstack-cli synth --cores 4 --live --telemetry run.jsonl --prom run.prom
 //! dramstack-cli gap --kernel bfs --cores 8 --scale 12
 //! dramstack-cli trace --input cmds.trace --cycles 100000
 //! dramstack-cli extrapolate --pattern rand --to 8
+//! dramstack-cli diff --before a.json --after b.json
 //! ```
 
 use std::process::ExitCode;
 
+use dramstack::live::{auto_mode, env_requests_live, LiveSink};
 use dramstack::memctrl::{MappingScheme, PagePolicy};
 use dramstack::sim::experiments::{run_gap, run_synthetic};
+use dramstack::sim::{
+    diff_reports, SimReport, Simulator, SystemConfig, Telemetry, TelemetryConfig,
+};
 use dramstack::stacks::offline::stack_from_trace;
 use dramstack::stacks::{predict_bandwidth_naive, predict_bandwidth_stack};
 use dramstack::viz::{ascii, csv, svg};
@@ -24,7 +30,16 @@ enum Cli {
     Trace { input: String, cycles: u64 },
     ReqTrace { input: String },
     Extrapolate { pattern: SynthArgs, to: f64 },
+    Diff(DiffArgs),
     Help,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct DiffArgs {
+    before: String,
+    after: String,
+    /// Significance floor as a fraction of the before-run totals.
+    threshold: f64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +52,10 @@ struct SynthArgs {
     us: f64,
     csv_out: Option<String>,
     svg_out: Option<String>,
+    live: bool,
+    telemetry_out: Option<String>,
+    prom_out: Option<String>,
+    report_out: Option<String>,
 }
 
 impl Default for SynthArgs {
@@ -50,6 +69,10 @@ impl Default for SynthArgs {
             us: 100.0,
             csv_out: None,
             svg_out: None,
+            live: false,
+            telemetry_out: None,
+            prom_out: None,
+            report_out: None,
         }
     }
 }
@@ -83,14 +106,23 @@ dramstack-cli — DRAM bandwidth/latency stacks from the command line
 USAGE:
   dramstack-cli synth [--pattern seq|rand] [--cores N] [--stores F]
                       [--policy open|closed] [--mapping def|int] [--us F]
-                      [--csv FILE] [--svg FILE]
+                      [--csv FILE] [--svg FILE] [--live]
+                      [--telemetry FILE] [--prom FILE] [--report FILE]
   dramstack-cli gap   [--kernel bc|bfs|cc|pr|sssp|tc] [--cores N]
                       [--scale N] [--degree N] [--policy open|closed]
                       [--mapping def|int]
   dramstack-cli trace --input FILE [--cycles N]      # DRAM command trace
   dramstack-cli reqtrace --input FILE                # memory request trace
   dramstack-cli extrapolate [synth options] [--to K]
+  dramstack-cli diff  --before REPORT.json --after REPORT.json
+                      [--threshold F]                # compare two runs
   dramstack-cli help
+
+Live telemetry (synth): --live draws the terminal stack dashboard on
+stderr (ANSI on a TTY, periodic plain text otherwise; DRAMSTACK_LIVE=
+ansi|plain|1|off overrides). --telemetry streams one JSON object per
+sample window; --prom writes a Prometheus-style text snapshot; --report
+dumps the full SimReport JSON for later `diff`.
 ";
 
 fn parse_policy(v: &str) -> Result<PagePolicy, String> {
@@ -152,6 +184,10 @@ fn parse_synth_args(args: &[String]) -> Result<(SynthArgs, Vec<(String, String)>
             "--us" => out.us = value("--us")?.parse().map_err(|e| format!("--us: {e}"))?,
             "--csv" => out.csv_out = Some(value("--csv")?),
             "--svg" => out.svg_out = Some(value("--svg")?),
+            "--live" => out.live = true,
+            "--telemetry" => out.telemetry_out = Some(value("--telemetry")?),
+            "--prom" => out.prom_out = Some(value("--prom")?),
+            "--report" => out.report_out = Some(value("--report")?),
             other => rest.push((other.to_string(), value(other).unwrap_or_default())),
         }
     }
@@ -275,6 +311,37 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             Ok(Cli::Extrapolate { pattern: synth, to })
         }
+        "diff" => {
+            let mut before = None;
+            let mut after = None;
+            let mut threshold = 0.01f64;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--before" => before = Some(value("--before")?),
+                    "--after" => after = Some(value("--after")?),
+                    "--threshold" => {
+                        threshold = value("--threshold")?
+                            .parse()
+                            .map_err(|e| format!("--threshold: {e}"))?;
+                    }
+                    other => return Err(format!("unknown flag `{other}` for diff")),
+                }
+            }
+            if !(0.0..1.0).contains(&threshold) {
+                return Err("--threshold must be in [0, 1)".into());
+            }
+            Ok(Cli::Diff(DiffArgs {
+                before: before.ok_or("diff requires --before REPORT.json")?,
+                after: after.ok_or("diff requires --after REPORT.json")?,
+                threshold,
+            }))
+        }
         other => Err(format!(
             "unknown command `{other}`; try `dramstack-cli help`"
         )),
@@ -289,9 +356,63 @@ fn synth_pattern(a: &SynthArgs) -> SyntheticPattern {
     }
 }
 
+/// Whether this invocation needs a hand-built simulator with the
+/// telemetry layer attached (vs. the plain experiment helper).
+fn wants_telemetry(a: &SynthArgs) -> bool {
+    a.live
+        || env_requests_live()
+        || a.telemetry_out.is_some()
+        || a.prom_out.is_some()
+        || a.report_out.is_some()
+}
+
+/// Runs the synthetic workload with streaming telemetry attached:
+/// JSONL / Prometheus writers for `--telemetry` / `--prom`, and the live
+/// stack dashboard on stderr for `--live` (ANSI on a TTY, periodic plain
+/// text otherwise).
+fn run_synth_telemetry(a: &SynthArgs) -> Result<SimReport, String> {
+    let mut cfg = SystemConfig::paper_default(a.cores);
+    cfg.ctrl.page_policy = a.policy;
+    cfg.ctrl.mapping = a.mapping;
+    cfg.validate().map_err(|e| e.to_string())?;
+    let mut sim = Simulator::with_synthetic(cfg, synth_pattern(a));
+    let mut tel = Telemetry::new(TelemetryConfig::default());
+    if let Some(path) = &a.telemetry_out {
+        let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        tel = tel.with_jsonl(Box::new(std::io::BufWriter::new(f)));
+    }
+    if let Some(path) = &a.prom_out {
+        let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        tel = tel.with_prometheus(Box::new(f));
+    }
+    if a.live || env_requests_live() {
+        tel.add_sink(Box::new(LiveSink::new(auto_mode())));
+    }
+    sim.attach_telemetry(tel);
+    let r = sim.run_for_us(a.us);
+    if let Some(path) = &a.telemetry_out {
+        println!("wrote {path}");
+    }
+    if let Some(path) = &a.prom_out {
+        // The writer only fires every N windows; always leave a final
+        // snapshot behind (finish_run wrote it through the writer too,
+        // but render on demand keeps the file complete even when the
+        // run had no windows).
+        if let Some(t) = sim.telemetry() {
+            std::fs::write(path, t.prometheus_snapshot()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        println!("wrote {path}");
+    }
+    Ok(r)
+}
+
 fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
-    let r = run_synthetic(a.cores, synth_pattern(a), a.policy, a.mapping, a.us)
-        .map_err(|e| e.to_string())?;
+    let r = if wants_telemetry(a) {
+        run_synth_telemetry(a)?
+    } else {
+        run_synthetic(a.cores, synth_pattern(a), a.policy, a.mapping, a.us)
+            .map_err(|e| e.to_string())?
+    };
     let label = format!("{} {}c", a.pattern, a.cores);
     println!(
         "{label}: {:.2} / {:.1} GB/s, read latency {:.1} ns, page-hit {:.1} %",
@@ -312,6 +433,36 @@ fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
         std::fs::write(path, svg::bandwidth_figure(&label, &bw_rows)).map_err(|e| e.to_string())?;
         println!("wrote {path}");
     }
+    for d in &r.diagnoses {
+        println!("advisor: {d}");
+    }
+    if let Some(path) = &a.report_out {
+        std::fs::write(path, r.to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_diff_cmd(a: &DiffArgs) -> Result<(), String> {
+    let load = |path: &str| -> Result<SimReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let before = load(&a.before)?;
+    let after = load(&a.after)?;
+    let (bw, lat) = diff_reports(&before, &after, a.threshold);
+    println!(
+        "diff: {} -> {}  ({:.2} -> {:.2} GB/s, {:.1} -> {:.1} ns)",
+        a.before,
+        a.after,
+        before.achieved_gbps(),
+        after.achieved_gbps(),
+        before.avg_read_latency_ns(),
+        after.avg_read_latency_ns()
+    );
+    println!("{}", bw.render());
+    println!("{}", lat.render());
     Ok(())
 }
 
@@ -430,6 +581,7 @@ fn main() -> ExitCode {
         Cli::Trace { input, cycles } => run_trace_cmd(input, *cycles),
         Cli::ReqTrace { input } => run_reqtrace_cmd(input),
         Cli::Extrapolate { pattern, to } => run_extrapolate_cmd(pattern, *to),
+        Cli::Diff(a) => run_diff_cmd(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -506,6 +658,45 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_synth_telemetry_flags() {
+        let cli = parse_cli(&args(
+            "synth --live --telemetry t.jsonl --prom p.prom --report r.json",
+        ))
+        .unwrap();
+        match cli {
+            Cli::Synth(a) => {
+                assert!(a.live);
+                assert_eq!(a.telemetry_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(a.prom_out.as_deref(), Some("p.prom"));
+                assert_eq!(a.report_out.as_deref(), Some("r.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults stay off so plain runs keep using the experiment helper.
+        let d = SynthArgs::default();
+        assert!(!d.live);
+        assert!(d.telemetry_out.is_none() && d.prom_out.is_none() && d.report_out.is_none());
+    }
+
+    #[test]
+    fn parse_diff() {
+        let cli = parse_cli(&args(
+            "diff --before a.json --after b.json --threshold 0.05",
+        ))
+        .unwrap();
+        assert_eq!(
+            cli,
+            Cli::Diff(DiffArgs {
+                before: "a.json".into(),
+                after: "b.json".into(),
+                threshold: 0.05
+            })
+        );
+        assert!(parse_cli(&args("diff --before a.json")).is_err());
+        assert!(parse_cli(&args("diff --before a.json --after b.json --threshold 2")).is_err());
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`sim`] — the full-system simulator and paper experiment configs.
 //! * [`viz`] — ASCII/SVG/CSV renderings of stacks.
 //!
+//! plus one module of its own: [`live`], which bridges the simulator's
+//! streaming telemetry to the terminal stack dashboard.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -38,6 +41,8 @@
 //! assert!(bw.achieved_gbps() > 1.0);
 //! assert!(bw.achieved_gbps() < bw.peak_gbps());
 //! ```
+
+pub mod live;
 
 pub use dramstack_audit as audit;
 pub use dramstack_core as stacks;

@@ -1,0 +1,181 @@
+//! Bridges the simulator's streaming telemetry to the terminal
+//! dashboard in `dramstack-viz`.
+//!
+//! The viz crate renders frames from plain stack types and strings; the
+//! sim crate publishes windows through its [`TelemetrySink`] trait. This
+//! module (living in the facade crate, which sees both) adapts one to
+//! the other and adds the TTY/environment policy: ANSI in-place redraw
+//! on a terminal, periodic plain-text blocks otherwise, with the
+//! `DRAMSTACK_LIVE` environment variable forcing the mode.
+
+use std::io::{IsTerminal, Write};
+
+use dramstack_core::TimeSample;
+use dramstack_obs::{BottleneckClass, WindowObservation};
+use dramstack_sim::TelemetrySink;
+use dramstack_viz::live::{LiveDashboard, LiveFrame};
+
+/// How the live dashboard draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveMode {
+    /// In-place ANSI redraw (interactive terminals).
+    Ansi,
+    /// A plain text block every few windows (pipes, logs, CI).
+    Plain,
+}
+
+/// Resolves the drawing mode for stderr: `DRAMSTACK_LIVE=ansi|plain`
+/// forces it, otherwise ANSI when stderr is a terminal and plain when
+/// it is redirected.
+pub fn auto_mode() -> LiveMode {
+    match std::env::var("DRAMSTACK_LIVE").as_deref() {
+        Ok("ansi") => LiveMode::Ansi,
+        Ok("plain") => LiveMode::Plain,
+        _ => {
+            if std::io::stderr().is_terminal() {
+                LiveMode::Ansi
+            } else {
+                LiveMode::Plain
+            }
+        }
+    }
+}
+
+/// Whether the environment asks for the live dashboard even without
+/// `--live` (any non-empty `DRAMSTACK_LIVE` value except `0`/`off`).
+pub fn env_requests_live() -> bool {
+    match std::env::var("DRAMSTACK_LIVE").as_deref() {
+        Ok("") | Ok("0") | Ok("off") | Err(_) => false,
+        Ok(_) => true,
+    }
+}
+
+/// A [`TelemetrySink`] that renders each published window on the live
+/// dashboard and writes the frames to stderr (stdout stays clean for
+/// reports and charts).
+pub struct LiveSink {
+    dash: LiveDashboard,
+    /// Render every `every`-th window (1 in ANSI mode; sparser in plain
+    /// mode so logs stay readable).
+    every: u64,
+    out: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for LiveSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveSink")
+            .field("dash", &self.dash)
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LiveSink {
+    /// A sink drawing to stderr in the given mode.
+    pub fn new(mode: LiveMode) -> Self {
+        Self::with_writer(mode, Box::new(std::io::stderr()))
+    }
+
+    /// A sink drawing to an arbitrary writer (tests, log files).
+    pub fn with_writer(mode: LiveMode, out: Box<dyn Write + Send>) -> Self {
+        let ansi = mode == LiveMode::Ansi;
+        LiveSink {
+            dash: LiveDashboard::new(ansi),
+            every: if ansi { 1 } else { 16 },
+            out,
+        }
+    }
+}
+
+impl TelemetrySink for LiveSink {
+    fn window(
+        &mut self,
+        index: u64,
+        sample: &TimeSample,
+        _obs: &WindowObservation,
+        current: Option<BottleneckClass>,
+    ) {
+        if !index.is_multiple_of(self.every) {
+            return;
+        }
+        let frame = LiveFrame {
+            window: index,
+            start_cycle: sample.start_cycle,
+            bandwidth: &sample.bandwidth,
+            latency: &sample.latency,
+            bottleneck: current.map(BottleneckClass::name),
+            message: None,
+        };
+        let text = self.dash.render(&frame);
+        let _ = self.out.write_all(text.as_bytes());
+        let _ = self.out.flush();
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.write_all(self.dash.render_final().as_bytes());
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample() -> TimeSample {
+        use dramstack_core::StackSampler;
+        use dramstack_dram::{BurstKind, CycleView};
+        let mut s = StackSampler::new(16, 19.2, 0.8333, 100);
+        let mut busy = CycleView::idle(16);
+        busy.bus = Some(BurstKind::Read);
+        for _ in 0..100 {
+            s.account(&busy);
+        }
+        s.finish().remove(0)
+    }
+
+    #[test]
+    fn plain_sink_renders_sparsely_without_escapes() {
+        let buf = Shared::default();
+        let mut sink = LiveSink::with_writer(LiveMode::Plain, Box::new(buf.clone()));
+        let s = sample();
+        let obs = s.observation();
+        for i in 0..33 {
+            sink.window(i, &s, &obs, None);
+        }
+        sink.finish();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(!text.contains('\x1b'));
+        // Windows 0, 16 and 32 drew; the rest were skipped.
+        assert_eq!(text.matches("dramstack live — window").count(), 3);
+        assert!(text.contains("dramstack live — done"));
+    }
+
+    #[test]
+    fn ansi_sink_renders_every_window_in_place() {
+        let buf = Shared::default();
+        let mut sink = LiveSink::with_writer(LiveMode::Ansi, Box::new(buf.clone()));
+        let s = sample();
+        let obs = s.observation();
+        for i in 0..3 {
+            sink.window(i, &s, &obs, Some(BottleneckClass::Saturated));
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.matches("dramstack live — window").count(), 3);
+        assert!(text.contains("\x1b["));
+        assert!(text.contains("bottleneck: saturated"));
+    }
+}
