@@ -33,6 +33,23 @@ struct ConfigResult {
     msim_cycles_per_sec: f64,
     /// Cycles covered by the event-skip fast-forward.
     fast_forwarded_cycles: u64,
+    /// Cycles covered by the busy-path event-horizon skip.
+    busy_forwarded_cycles: u64,
+}
+
+/// Busy-path event engine on vs. off for one loaded configuration.
+#[derive(Debug, Serialize)]
+struct BusySpeedup {
+    /// Configuration label (matches the `configs` entry).
+    name: String,
+    /// Msim-cycles/s with the busy engine on.
+    on_msim_cycles_per_sec: f64,
+    /// Msim-cycles/s with the busy engine off.
+    off_msim_cycles_per_sec: f64,
+    /// `on / off` throughput ratio.
+    speedup: f64,
+    /// Cycles the engine-on run covered via busy-horizon skips.
+    busy_forwarded_cycles: u64,
 }
 
 /// Wall-clock scaling of the parallel sweep runner.
@@ -69,6 +86,9 @@ struct BenchOutput {
     configs: Vec<ConfigResult>,
     /// Idle-workload speedup of fast-forward on vs off.
     idle_fast_forward_speedup: f64,
+    /// Busy-path event engine speedup per loaded configuration (every
+    /// pair is also asserted bit-identical engine on vs. off).
+    busy_speedup: Vec<BusySpeedup>,
     /// Streaming-telemetry cost on the seq_2c workload.
     telemetry: TelemetryOverhead,
     /// Parallel sweep scaling.
@@ -82,7 +102,34 @@ fn config_result(name: &str, report: &SimReport) -> ConfigResult {
         wall_seconds: report.perf.wall_seconds,
         msim_cycles_per_sec: report.perf.sim_cycles_per_second / 1e6,
         fast_forwarded_cycles: report.perf.fast_forwarded_cycles,
+        busy_forwarded_cycles: report.perf.busy_forwarded_cycles,
     }
+}
+
+/// Times one loaded configuration with the busy engine on and off,
+/// asserts the two reports bit-identical (modulo perf), and records both
+/// the throughput entry (engine on) and the speedup pair.
+fn busy_pair(
+    name: &str,
+    run: impl Fn(bool) -> SimReport,
+    configs: &mut Vec<ConfigResult>,
+    speedups: &mut Vec<BusySpeedup>,
+) {
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(
+        on.strip_perf(),
+        off.strip_perf(),
+        "busy engine must not perturb results ({name})"
+    );
+    speedups.push(BusySpeedup {
+        name: name.to_string(),
+        on_msim_cycles_per_sec: on.perf.sim_cycles_per_second / 1e6,
+        off_msim_cycles_per_sec: off.perf.sim_cycles_per_second / 1e6,
+        speedup: on.perf.sim_cycles_per_second / off.perf.sim_cycles_per_second.max(1e-12),
+        busy_forwarded_cycles: on.perf.busy_forwarded_cycles,
+    });
+    configs.push(config_result(name, &on));
 }
 
 /// An idle (empty-workload) run with the fast-forward on or off.
@@ -95,9 +142,10 @@ fn run_idle(us: f64, fast_forward: bool) -> SimReport {
     sim.run_for_us(us)
 }
 
-fn run_pattern(cores: usize, pattern: SyntheticPattern, us: f64) -> SimReport {
+fn run_pattern(cores: usize, pattern: SyntheticPattern, us: f64, busy: bool) -> SimReport {
     let cfg = SystemConfig::paper_default(cores);
     let mut sim = Simulator::with_synthetic(cfg, pattern);
+    sim.set_busy_engine(busy);
     sim.enable_profiling();
     sim.run_for_us(us)
 }
@@ -119,13 +167,14 @@ fn run_pattern_telemetry(cores: usize, pattern: SyntheticPattern, us: f64) -> Si
     sim.run_for_us(us)
 }
 
-fn run_bfs(scale: &ExperimentScale) -> SimReport {
+fn run_bfs(scale: &ExperimentScale, busy: bool) -> SimReport {
     let g = scale.build_graph();
     let mut cfg = SystemConfig::paper_gap(8);
     cfg.ctrl.page_policy = PagePolicy::Closed;
     cfg.sample_period = 2400;
     let traces = GapKernel::Bfs.trace(&g, 8, &scale.gap);
     let mut sim = Simulator::with_traces(cfg, traces);
+    sim.set_busy_engine(busy);
     sim.enable_profiling();
     sim.run_to_completion(scale.max_cycles)
 }
@@ -148,19 +197,43 @@ fn main() {
     configs.push(config_result("idle_1c_ff_on", &idle_on));
     configs.push(config_result("idle_1c_ff_off", &idle_off));
 
-    configs.push(config_result(
+    // Loaded configurations: each timed with the busy-path event engine
+    // on and off, asserted bit-identical, with the ratio recorded.
+    let mut busy_speedup = Vec::new();
+    busy_pair(
         "seq_8c",
-        &run_pattern(8, SyntheticPattern::sequential(0.0), scale.synth_us),
-    ));
-    configs.push(config_result(
+        |on| run_pattern(8, SyntheticPattern::sequential(0.0), scale.synth_us, on),
+        &mut configs,
+        &mut busy_speedup,
+    );
+    busy_pair(
         "rand_2c",
-        &run_pattern(2, SyntheticPattern::random(0.2), scale.synth_us),
-    ));
-    configs.push(config_result("gap_bfs_8c", &run_bfs(&scale)));
+        |on| run_pattern(2, SyntheticPattern::random(0.2), scale.synth_us, on),
+        &mut configs,
+        &mut busy_speedup,
+    );
+    busy_pair(
+        "rand_8c",
+        |on| run_pattern(8, SyntheticPattern::random(0.2), scale.synth_us, on),
+        &mut configs,
+        &mut busy_speedup,
+    );
+    busy_pair(
+        "mixed_rw_8c",
+        |on| run_pattern(8, SyntheticPattern::sequential(0.4), scale.synth_us, on),
+        &mut configs,
+        &mut busy_speedup,
+    );
+    busy_pair(
+        "gap_bfs_8c",
+        |on| run_bfs(&scale, on),
+        &mut configs,
+        &mut busy_speedup,
+    );
 
     // Telemetry overhead: identical loaded workload with the layer off
     // and fully on (series + advisor + JSONL + periodic Prometheus).
-    let tel_off = run_pattern(2, SyntheticPattern::sequential(0.0), scale.synth_us);
+    let tel_off = run_pattern(2, SyntheticPattern::sequential(0.0), scale.synth_us, true);
     let tel_on = run_pattern_telemetry(2, SyntheticPattern::sequential(0.0), scale.synth_us);
     assert_eq!(
         tel_off.strip_perf(),
@@ -212,6 +285,7 @@ fn main() {
         scale: scale_name.to_string(),
         configs,
         idle_fast_forward_speedup: idle_speedup,
+        busy_speedup,
         telemetry,
         sweep: SweepResult {
             jobs: serial.len(),
@@ -224,8 +298,22 @@ fn main() {
 
     for c in &out.configs {
         println!(
-            "{:16} {:>12} cycles  {:>8.2} Msim-cycles/s  ({} fast-forwarded)",
-            c.name, c.sim_cycles, c.msim_cycles_per_sec, c.fast_forwarded_cycles
+            "{:16} {:>12} cycles  {:>8.2} Msim-cycles/s  ({} fast-forwarded, {} busy-forwarded)",
+            c.name,
+            c.sim_cycles,
+            c.msim_cycles_per_sec,
+            c.fast_forwarded_cycles,
+            c.busy_forwarded_cycles
+        );
+    }
+    for b in &out.busy_speedup {
+        println!(
+            "busy engine {:12} {:>6.2} -> {:>6.2} Msim-cycles/s ({:.2}x, {} cycles busy-forwarded)",
+            b.name,
+            b.off_msim_cycles_per_sec,
+            b.on_msim_cycles_per_sec,
+            b.speedup,
+            b.busy_forwarded_cycles
         );
     }
     println!(

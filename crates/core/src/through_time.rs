@@ -185,6 +185,39 @@ impl StackSampler {
         }
     }
 
+    /// Accounts `n` identical cycles of `view` in bulk — bit-identical to
+    /// calling [`account`](Self::account) `n` times with the same view,
+    /// including window rolls inside the span. This is the sampler half of
+    /// the *busy* event-horizon skip: a stalled-but-busy controller span
+    /// (saturated bus backlog, tRFC shadow, write drain) has a constant
+    /// view, so its whole stretch classifies in O(windows).
+    ///
+    /// The span must not contain CAS issues (`view.cas_hit` is `None`); a
+    /// CAS would end the stall that made the span skippable.
+    pub fn account_span(&mut self, view: &CycleView, mut n: u64) {
+        if view.is_all_idle() {
+            self.account_idle(n);
+            return;
+        }
+        debug_assert!(view.cas_hit.is_none(), "CAS inside a bulk busy span");
+        while n > 0 {
+            let take = n.min(self.period - self.accounted);
+            self.bw.account_span(view, take);
+            if view.drain {
+                self.metrics.inc(self.m_drain_cycles, take);
+            }
+            self.metrics
+                .observe_n(self.m_read_depth, view.read_q_depth as u64, take);
+            self.metrics
+                .observe_n(self.m_write_depth, view.write_q_depth as u64, take);
+            self.accounted += take;
+            n -= take;
+            if self.accounted == self.period {
+                self.roll();
+            }
+        }
+    }
+
     /// Records a completed read into the current window.
     pub fn add_read(&mut self, b: &LatencyBreakdown) {
         self.lat.add(b);
@@ -545,6 +578,40 @@ mod tests {
         let b = single.finish();
         assert_eq!(a, b);
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn bulk_span_equals_repeated_accounting() {
+        // A busy (non-idle, no-CAS) view spanning window boundaries: the
+        // bulk path must match per-cycle accounting sample for sample.
+        let mut bulk = sampler();
+        let mut single = sampler();
+        let mut busy = CycleView::idle(16);
+        busy.bus = Some(BurstKind::Write);
+        busy.read_q_depth = 7;
+        busy.write_q_depth = 3;
+        busy.drain = true;
+        let mut cas = CycleView::idle(16);
+        cas.cas_hit = Some(true);
+        for _ in 0..37 {
+            bulk.account(&cas);
+            single.account(&cas);
+        }
+        bulk.account_span(&busy, 263);
+        for _ in 0..263 {
+            single.account(&busy);
+        }
+        // An all-idle span delegates to the idle path.
+        bulk.account_span(&CycleView::idle(16), 41);
+        for _ in 0..41 {
+            single.account(&CycleView::idle(16));
+        }
+        let a = bulk.finish();
+        let b = single.finish();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].ctrl.drain_cycles, 63);
+        assert_eq!(a[1].ctrl.drain_cycles, 100);
     }
 
     #[test]

@@ -67,6 +67,28 @@ struct RobSlot {
     chain: Option<u8>,
 }
 
+/// The single stack class a stalled core accrues over a skipped span.
+///
+/// Returned by [`CoreModel::stall_horizon`] and replayed in bulk by
+/// [`CoreModel::add_stall_cycles`]. `Dram` carries the head load's issue
+/// cycle so the bulk replay can split the span at the
+/// [`CoreConfig::dram_base_window`] boundary exactly as per-cycle
+/// classification would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// Finished or parked at a barrier: idle cycles.
+    Idle,
+    /// Front-end bubble after a mispredict: branch cycles.
+    Branch,
+    /// Head waits on a cache-hit latency: d-cache cycles.
+    Dcache,
+    /// Head waits on a DRAM line fill issued at `issued_at`.
+    Dram {
+        /// Core cycle the head load entered the ROB.
+        issued_at: u64,
+    },
+}
+
 /// One out-of-order-proxy core.
 #[derive(Debug)]
 pub struct CoreModel {
@@ -86,6 +108,11 @@ pub struct CoreModel {
     stack: CycleStack,
     retired: u64,
     chain_inflight: [u32; Instr::MAX_CHAINS],
+    /// Dispatch hit `MshrFull`: the deferred access is not retried until a
+    /// line completion (the only event that frees an MSHR) wakes the core.
+    /// Keeps the retry from hammering the hierarchy every cycle — and makes
+    /// the blocked state provable for [`stall_horizon`](Self::stall_horizon).
+    mshr_blocked: bool,
 }
 
 impl CoreModel {
@@ -107,6 +134,7 @@ impl CoreModel {
             stack: CycleStack::new(),
             retired: 0,
             chain_inflight: [0; Instr::MAX_CHAINS],
+            mshr_blocked: false,
         }
     }
 
@@ -180,8 +208,114 @@ impl CoreModel {
         self.stack.add_n(CycleComponent::Idle, n);
     }
 
+    /// Busy-path stall horizon: the first core cycle `h > now` at which
+    /// [`tick`](Self::tick) could do anything beyond accruing one stack
+    /// cycle of the returned [`StallKind`], assuming no external event
+    /// (line completion, barrier release) lands in `[now, h)`.
+    ///
+    /// `None` means the very next tick may retire, dispatch or otherwise
+    /// mutate state, so the span cannot be skipped. The contract mirrors
+    /// [`is_quiet`](Self::is_quiet)/[`add_idle_cycles`](Self::add_idle_cycles)
+    /// but extends to *stalled-but-busy* cores: a full ROB parked on a DRAM
+    /// load, a d-cache latency wait, a mispredict bubble.
+    pub fn stall_horizon(&self, now: u64) -> Option<(u64, StallKind)> {
+        if self.at_barrier.is_some() {
+            // Barrier ticks only add idle; release is an external event.
+            return Some((u64::MAX, StallKind::Idle));
+        }
+        if self.is_finished() {
+            return if now < self.fetch_stall_until {
+                Some((self.fetch_stall_until, StallKind::Branch))
+            } else {
+                Some((u64::MAX, StallKind::Idle))
+            };
+        }
+        match self.rob.front() {
+            Some(head) => {
+                // Dispatch must provably do nothing every cycle of the
+                // span: either it cannot run (front-end bubble, pending
+                // barrier), cannot insert (ROB full), has nothing to
+                // insert (drained stream), or its deferred access is held
+                // by a block that only a line completion — an external
+                // event, hence a span boundary — can release: a full MSHR
+                // file, or an in-flight predecessor of the same chain.
+                let blocked_deferred = match &self.deferred {
+                    None => false,
+                    Some(Instr::ChainLoad { chain, .. }) => {
+                        self.mshr_blocked
+                            || self.chain_inflight[*chain as usize % Instr::MAX_CHAINS] > 0
+                    }
+                    Some(_) => self.mshr_blocked,
+                };
+                let dispatch_noop = self.rob.len() == self.cfg.rob_entries
+                    || self.pending_barrier.is_some()
+                    || (self.pending_compute == 0
+                        && ((self.deferred.is_none() && self.stream_done) || blocked_deferred));
+                if !dispatch_noop && now >= self.fetch_stall_until {
+                    return None;
+                }
+                let dispatch_cap = if dispatch_noop {
+                    u64::MAX
+                } else {
+                    self.fetch_stall_until
+                };
+                match head.state {
+                    SlotState::WaitLine(_) => Some((
+                        dispatch_cap,
+                        StallKind::Dram {
+                            issued_at: head.issued_at,
+                        },
+                    )),
+                    SlotState::WaitUntil(t) if t > now => {
+                        Some((t.min(dispatch_cap), StallKind::Dcache))
+                    }
+                    // Head retirable: the next tick retires it.
+                    _ => None,
+                }
+            }
+            None => {
+                // Empty ROB, program not finished: only a front-end bubble
+                // with no pending barrier is a pure Branch stretch (the
+                // barrier drain transition would fire on the next tick).
+                if self.pending_barrier.is_none() && now < self.fetch_stall_until {
+                    Some((self.fetch_stall_until, StallKind::Branch))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Bulk equivalent of ticking a stalled core for the `n` cycles
+    /// `[start, start + n)` of a span vetted by
+    /// [`stall_horizon`](Self::stall_horizon): the only effect of those
+    /// ticks is `n` stack cycles of `kind`, with the DRAM wait split at the
+    /// base-window boundary exactly as per-cycle classification does.
+    pub fn add_stall_cycles(&mut self, start: u64, n: u64, kind: StallKind) {
+        match kind {
+            StallKind::Idle => self.stack.add_n(CycleComponent::Idle, n),
+            StallKind::Branch => self.stack.add_n(CycleComponent::Branch, n),
+            StallKind::Dcache => self.stack.add_n(CycleComponent::Dcache, n),
+            StallKind::Dram { issued_at } => {
+                // Cycle c is DramBase while c - issued_at <= window, so the
+                // first DramQueue cycle is issued_at + window + 1.
+                let boundary = issued_at + self.cfg.dram_base_window + 1;
+                let base = boundary.saturating_sub(start).min(n);
+                if base > 0 {
+                    self.stack.add_n(CycleComponent::DramBase, base);
+                }
+                if n > base {
+                    self.stack.add_n(CycleComponent::DramQueue, n - base);
+                }
+            }
+        }
+    }
+
     /// A DRAM line arrived: wake every load waiting on it.
     pub fn complete_line(&mut self, line: u64) {
+        // A completion for this core may have freed an MSHR: retry the
+        // deferred access on the next tick.
+        self.mshr_blocked = false;
         if let Some(seqs) = self.by_line.remove(&line) {
             for seq in seqs {
                 debug_assert!(seq >= self.front_seq);
@@ -264,6 +398,10 @@ impl CoreModel {
     }
 
     fn dispatch(&mut self, stream: &mut dyn InstrStream, hier: &mut Hierarchy, now: u64) {
+        if self.mshr_blocked {
+            debug_assert!(self.deferred.is_some());
+            return;
+        }
         let mut dispatched = 0;
         while dispatched < self.cfg.width && self.rob.len() < self.cfg.rob_entries {
             if self.pending_compute > 0 {
@@ -305,6 +443,7 @@ impl CoreModel {
                     }
                     AccessResult::MshrFull => {
                         self.deferred = Some(instr);
+                        self.mshr_blocked = true;
                         break;
                     }
                 },
@@ -334,6 +473,7 @@ impl CoreModel {
                         }
                         AccessResult::MshrFull => {
                             self.deferred = Some(instr);
+                            self.mshr_blocked = true;
                             break;
                         }
                     }
@@ -346,6 +486,7 @@ impl CoreModel {
                     }
                     AccessResult::MshrFull => {
                         self.deferred = Some(instr);
+                        self.mshr_blocked = true;
                         break;
                     }
                 },

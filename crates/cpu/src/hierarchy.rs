@@ -300,6 +300,18 @@ impl Hierarchy {
         self.outbound_writes.push_front(line);
     }
 
+    /// Head of the outbound read queue without removing it — the request
+    /// the pump would try next. The pump is head-of-line blocking, so a
+    /// full target controller here stalls the whole direction.
+    pub fn peek_read(&self) -> Option<&OutboundRead> {
+        self.outbound_reads.front()
+    }
+
+    /// Head of the outbound write queue without removing it.
+    pub fn peek_write(&self) -> Option<u64> {
+        self.outbound_writes.front().copied()
+    }
+
     /// Reads waiting to be sent to the controller.
     pub fn outbound_read_count(&self) -> usize {
         self.outbound_reads.len()

@@ -34,7 +34,7 @@ mod instr;
 mod prefetch;
 
 pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats};
-pub use core_model::{CoreConfig, CoreModel};
+pub use core_model::{CoreConfig, CoreModel, StallKind};
 pub use cycle_stack::{CycleComponent, CycleStack};
 pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, HierarchyStats, OutboundRead};
 pub use instr::{FnStream, Instr, InstrStream, VecStream};

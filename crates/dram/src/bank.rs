@@ -90,15 +90,50 @@ impl Bank {
 
     /// Applies a pending auto-precharge if its start time has been reached.
     /// Must be called (cheaply) before querying state at cycle `now`.
-    pub fn apply_auto_precharge(&mut self, now: Cycle, timing: &TimingParams) {
+    /// Returns whether the auto-precharge fired (the bank changed state).
+    pub fn apply_auto_precharge(&mut self, now: Cycle, timing: &TimingParams) -> bool {
         if let Some(start) = self.auto_pre_at {
             if now >= start {
                 self.auto_pre_at = None;
                 self.open_row = None;
                 self.pre_done_at = start + timing.t_rp;
                 self.stats.precharges += 1;
+                return true;
             }
         }
+        false
+    }
+
+    /// Whether a RDA/WRA auto-precharge is still pending on this bank.
+    pub fn has_auto_pre(&self) -> bool {
+        self.auto_pre_at.is_some()
+    }
+
+    /// Cycle the in-progress (or most recent) precharge finishes. Exposed
+    /// for the device's next-legal-cycle tables: while `now` is before this
+    /// cycle the bank reports [`BankState::Precharging`].
+    pub fn pre_done_at(&self) -> Cycle {
+        self.pre_done_at
+    }
+
+    /// Earliest cycle strictly after `now` at which this bank's observable
+    /// state can change without a new command: a precharge or activate
+    /// completes, a data burst ends, or a pending auto-precharge fires.
+    /// Returns `Cycle::MAX` when the bank is settled past `now`.
+    pub fn next_transition_after(&self, now: Cycle) -> Cycle {
+        let mut h = Cycle::MAX;
+        for t in [self.pre_done_at, self.act_done_at, self.burst_end_at] {
+            if t > now {
+                h = h.min(t);
+            }
+        }
+        if let Some(a) = self.auto_pre_at {
+            // Callers run `advance(now)` first, so a pending auto-precharge
+            // always starts in the future here.
+            debug_assert!(a > now, "unapplied auto-precharge at {a} <= {now}");
+            h = h.min(a.max(now + 1));
+        }
+        h
     }
 
     /// The bank's state at cycle `now`. Callers must have applied pending

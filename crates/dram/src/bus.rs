@@ -59,6 +59,38 @@ impl DataBus {
         }
     }
 
+    /// End of the last scheduled burst, or the later of the remembered
+    /// read/write ends when the schedule is empty. This is the constant the
+    /// earliest-slot query reduces to for a fixed schedule:
+    /// `earliest_slot(e, _) == backlog_end().max(e)`, and the value is
+    /// stable across [`retire_before`](Self::retire_before) — which lets the
+    /// device fold the bus constraint into its memoized next-legal-cycle
+    /// tables keyed only on reservations.
+    pub fn backlog_end(&self) -> Cycle {
+        match self.bursts.back() {
+            Some(b) => b.end,
+            None => self.last_read_end.max(self.last_write_end),
+        }
+    }
+
+    /// Earliest burst edge (start or end) strictly after `now` — the next
+    /// cycle at which [`activity_at`](Self::activity_at) can change, absent
+    /// new reservations. `Cycle::MAX` when no scheduled burst has an edge
+    /// past `now`.
+    pub fn next_boundary_after(&self, now: Cycle) -> Cycle {
+        // Bursts are ordered and disjoint, so the first edge found is the
+        // minimum.
+        for b in &self.bursts {
+            if b.start > now {
+                return b.start;
+            }
+            if b.end > now {
+                return b.end;
+            }
+        }
+        Cycle::MAX
+    }
+
     /// End cycle of the most recent read burst scheduled so far.
     pub fn last_read_end(&self) -> Cycle {
         self.bursts

@@ -1,5 +1,7 @@
 //! The DRAM device: banks + rank timing + data bus behind one channel.
 
+use std::cell::Cell;
+
 use serde::{Deserialize, Serialize};
 
 use crate::bank::{Bank, BankState};
@@ -117,6 +119,43 @@ impl Earliest {
     }
 }
 
+/// One slot of a per-bank *next-legal-cycle* table: the full constraint
+/// chain of one command kind folded into a now-independent constant
+/// `(at, reason)`, plus the epoch triple it was computed under.
+///
+/// Every candidate in the earliest-issue chains (tRC windows, tRRD/tFAW
+/// at the rank, tCCD/tWTR, the bus backlog end, the read→write gap) is an
+/// absolute cycle that only moves when a command issues. Folding them from
+/// zero with the same strict-greater tighten order as the unmemoized chain
+/// yields a constant `C` with its winning reason; the live query is then
+/// exactly `max(now, C)` with the reason kept iff `C > now`. A slot stays
+/// valid until one of its epochs is bumped by an issued command, so the
+/// table costs O(1) per consult and one refold per bank per command.
+#[derive(Debug, Clone, Copy)]
+struct NextLegal {
+    bank_epoch: u32,
+    rank_epoch: u32,
+    bus_epoch: u32,
+    at: Cycle,
+    reason: BlockReason,
+    /// `earliest_activate` only: the bank's `pre_done_at`, for the
+    /// query-time RowCycle → PrechargePending rewrite (the rewrite depends
+    /// on `now`, so it cannot be folded into the constant).
+    aux: Cycle,
+}
+
+impl NextLegal {
+    /// A slot that can never match (real epochs start at 1).
+    const STALE: NextLegal = NextLegal {
+        bank_epoch: 0,
+        rank_epoch: 0,
+        bus_epoch: 0,
+        at: 0,
+        reason: BlockReason::None,
+        aux: 0,
+    };
+}
+
 /// Cumulative command counts for the whole device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceStats {
@@ -148,6 +187,33 @@ pub struct DramDevice {
     /// device stays self-consistent while violating the true spec.
     enforced: TimingParams,
     fault: SeededFault,
+    /// Whether the next-legal-cycle tables answer `earliest_*` queries.
+    /// Off = recompute the full constraint chain per query (the reference
+    /// path the busy-engine A/B comparisons run against).
+    memo_enabled: bool,
+    /// Per-flat-bank epoch, bumped by any command that mutates the bank.
+    bank_epochs: Vec<u32>,
+    /// Per-rank epoch, bumped by ACT/CAS/REF on the rank.
+    rank_epochs: Vec<u32>,
+    /// Bumped on every bus reservation (burst retirement is value-stable
+    /// for the folded constants, so it does not bump).
+    bus_epoch: u32,
+    /// Next-legal-cycle tables, one slot per flat bank per command kind.
+    /// `Cell` because `earliest_*` takes `&self`; `Cell<T: Copy>` keeps the
+    /// device `Send` for the parallel sweep runner.
+    act_legal: Vec<Cell<NextLegal>>,
+    pre_legal: Vec<Cell<NextLegal>>,
+    read_legal: Vec<Cell<NextLegal>>,
+    write_legal: Vec<Cell<NextLegal>>,
+    /// Flat indices of banks with a pending auto-precharge, so `advance`
+    /// visits only them instead of sweeping every bank.
+    auto_pre_pending: Vec<usize>,
+    /// Dirty-bank list: flat indices whose state may read `Precharging` or
+    /// `Activating` — the only states the per-cycle `CycleView` sweep needs
+    /// to visit. Banks are pushed on the command that starts the transition
+    /// and lazily pruned once settled.
+    transitioning: Vec<usize>,
+    in_transition: Vec<bool>,
 }
 
 impl DramDevice {
@@ -175,12 +241,39 @@ impl DramDevice {
         Ok(DramDevice {
             enforced: config.timing,
             fault: SeededFault::None,
+            memo_enabled: true,
+            bank_epochs: vec![1; n_banks],
+            rank_epochs: vec![1; config.geometry.ranks as usize],
+            bus_epoch: 1,
+            act_legal: vec![Cell::new(NextLegal::STALE); n_banks],
+            pre_legal: vec![Cell::new(NextLegal::STALE); n_banks],
+            read_legal: vec![Cell::new(NextLegal::STALE); n_banks],
+            write_legal: vec![Cell::new(NextLegal::STALE); n_banks],
+            auto_pre_pending: Vec::new(),
+            transitioning: Vec::new(),
+            in_transition: vec![false; n_banks],
             config,
             banks: vec![Bank::new(); n_banks],
             ranks,
             bus: DataBus::new(),
             stats: DeviceStats::default(),
         })
+    }
+
+    /// Switches the next-legal-cycle tables on or off. Answers are
+    /// identical either way (the bit-identity tests and the proptest
+    /// matrix hold the two paths to the same reports); off is the
+    /// reference path for busy-engine A/B measurements.
+    pub fn set_memoize(&mut self, on: bool) {
+        self.memo_enabled = on;
+    }
+
+    fn touch_bank(&mut self, flat: usize) {
+        self.bank_epochs[flat] = self.bank_epochs[flat].wrapping_add(1);
+        if !self.in_transition[flat] {
+            self.in_transition[flat] = true;
+            self.transitioning.push(flat);
+        }
     }
 
     /// The device configuration.
@@ -200,6 +293,15 @@ impl DramDevice {
     pub fn inject_fault(&mut self, fault: SeededFault) {
         self.fault = fault;
         self.enforced = fault.corrupt(self.config.timing);
+        // The folded constants embed the enforced timing set; invalidate
+        // every next-legal-cycle slot.
+        for e in &mut self.bank_epochs {
+            *e = e.wrapping_add(1);
+        }
+        for e in &mut self.rank_epochs {
+            *e = e.wrapping_add(1);
+        }
+        self.bus_epoch = self.bus_epoch.wrapping_add(1);
     }
 
     /// The currently injected fault ([`SeededFault::None`] normally).
@@ -229,9 +331,23 @@ impl DramDevice {
 
     /// Housekeeping at the start of cycle `now`: applies due auto-precharges
     /// and retires finished bursts. Call once per cycle before queries.
+    ///
+    /// Only banks with a pending auto-precharge are visited (the pending
+    /// list is maintained at CAS issue), so the sweep is O(pending), not
+    /// O(banks).
     pub fn advance(&mut self, now: Cycle) {
-        for bank in &mut self.banks {
-            bank.apply_auto_precharge(now, &self.enforced);
+        let mut i = 0;
+        while i < self.auto_pre_pending.len() {
+            let flat = self.auto_pre_pending[i];
+            if self.banks[flat].apply_auto_precharge(now, &self.enforced) {
+                self.auto_pre_pending.swap_remove(i);
+                self.touch_bank(flat);
+            } else if !self.banks[flat].has_auto_pre() {
+                // Cleared behind our back by a refresh's force-precharge.
+                self.auto_pre_pending.swap_remove(i);
+            } else {
+                i += 1;
+            }
         }
         self.bus.retire_before(now);
     }
@@ -240,12 +356,41 @@ impl DramDevice {
 
     /// Earliest cycle an ACT for `addr` may issue, with the binding reason.
     pub fn earliest_activate(&self, addr: BankAddr, now: Cycle) -> Earliest {
-        let bank = self.bank(addr);
+        if !self.memo_enabled {
+            return self.earliest_activate_unmemoized(addr, now);
+        }
+        let flat = self.config.geometry.flat_bank(addr);
+        let (be, re) = (self.bank_epochs[flat], self.rank_epochs[addr.rank as usize]);
+        let mut m = self.act_legal[flat].get();
+        if m.bank_epoch != be || m.rank_epoch != re {
+            m = self.fold_activate(addr, flat, be, re);
+            self.act_legal[flat].set(m);
+        }
+        if m.at <= now {
+            return Earliest {
+                at: now,
+                reason: BlockReason::None,
+            };
+        }
+        // Distinguish "precharging" from the generic bank constraint:
+        // `aux` holds the bank's pre_done_at, so `now < aux` is exactly
+        // `bank.state(now) == Precharging`.
+        let reason = if m.reason == BlockReason::RowCycle && now < m.aux {
+            BlockReason::PrechargePending
+        } else {
+            m.reason
+        };
+        Earliest { at: m.at, reason }
+    }
+
+    fn fold_activate(&self, addr: BankAddr, flat: usize, be: u32, re: u32) -> NextLegal {
+        let bank = &self.banks[flat];
         let mut e = Earliest::now();
-        e.tighten(now, BlockReason::None);
         // Rank-level constraints first so that on ties (e.g. a refresh that
         // also reset the bank precharge window) the rank-level reason wins,
-        // matching the accounting hierarchy.
+        // matching the accounting hierarchy. This fold also caches the
+        // rank's tFAW sliding-window bound, recomputed only when the ACT
+        // window itself moves.
         let (rank_at, rank_reason) =
             self.ranks[addr.rank as usize].earliest_activate(addr.bank_group, &self.enforced);
         e.tighten(rank_at, rank_reason);
@@ -253,7 +398,27 @@ impl DramDevice {
             bank.earliest_activate(&self.enforced),
             BlockReason::RowCycle,
         );
-        // Distinguish "precharging" from the generic bank constraint.
+        NextLegal {
+            bank_epoch: be,
+            rank_epoch: re,
+            bus_epoch: 0,
+            at: e.at,
+            reason: e.reason,
+            aux: bank.pre_done_at(),
+        }
+    }
+
+    fn earliest_activate_unmemoized(&self, addr: BankAddr, now: Cycle) -> Earliest {
+        let bank = self.bank(addr);
+        let mut e = Earliest::now();
+        e.tighten(now, BlockReason::None);
+        let (rank_at, rank_reason) =
+            self.ranks[addr.rank as usize].earliest_activate(addr.bank_group, &self.enforced);
+        e.tighten(rank_at, rank_reason);
+        e.tighten(
+            bank.earliest_activate(&self.enforced),
+            BlockReason::RowCycle,
+        );
         if e.reason == BlockReason::RowCycle && bank.state(now) == BankState::Precharging {
             e.reason = BlockReason::PrechargePending;
         }
@@ -262,15 +427,49 @@ impl DramDevice {
 
     /// Earliest cycle a PRE for `addr` may issue.
     pub fn earliest_precharge(&self, addr: BankAddr, now: Cycle) -> Earliest {
-        let bank = self.bank(addr);
-        let mut e = Earliest::now();
-        e.tighten(now, BlockReason::None);
-        e.tighten(bank.earliest_precharge(), BlockReason::PrechargeWindow);
-        e.tighten(
-            self.ranks[addr.rank as usize].refresh_end(),
-            BlockReason::Refresh,
-        );
-        e
+        if !self.memo_enabled {
+            let bank = self.bank(addr);
+            let mut e = Earliest::now();
+            e.tighten(now, BlockReason::None);
+            e.tighten(bank.earliest_precharge(), BlockReason::PrechargeWindow);
+            e.tighten(
+                self.ranks[addr.rank as usize].refresh_end(),
+                BlockReason::Refresh,
+            );
+            return e;
+        }
+        let flat = self.config.geometry.flat_bank(addr);
+        let (be, re) = (self.bank_epochs[flat], self.rank_epochs[addr.rank as usize]);
+        let mut m = self.pre_legal[flat].get();
+        if m.bank_epoch != be || m.rank_epoch != re {
+            let bank = &self.banks[flat];
+            let mut e = Earliest::now();
+            e.tighten(bank.earliest_precharge(), BlockReason::PrechargeWindow);
+            e.tighten(
+                self.ranks[addr.rank as usize].refresh_end(),
+                BlockReason::Refresh,
+            );
+            m = NextLegal {
+                bank_epoch: be,
+                rank_epoch: re,
+                bus_epoch: 0,
+                at: e.at,
+                reason: e.reason,
+                aux: 0,
+            };
+            self.pre_legal[flat].set(m);
+        }
+        if m.at <= now {
+            Earliest {
+                at: now,
+                reason: BlockReason::None,
+            }
+        } else {
+            Earliest {
+                at: m.at,
+                reason: m.reason,
+            }
+        }
     }
 
     /// Earliest cycle a read CAS for `addr` may issue (row must be open or
@@ -285,6 +484,85 @@ impl DramDevice {
     }
 
     fn earliest_cas(&self, addr: BankAddr, now: Cycle, is_write: bool) -> Earliest {
+        if !self.memo_enabled {
+            return self.earliest_cas_unmemoized(addr, now, is_write);
+        }
+        let flat = self.config.geometry.flat_bank(addr);
+        let (be, re) = (self.bank_epochs[flat], self.rank_epochs[addr.rank as usize]);
+        let slot = if is_write {
+            &self.write_legal[flat]
+        } else {
+            &self.read_legal[flat]
+        };
+        let mut m = slot.get();
+        if m.bank_epoch != be || m.rank_epoch != re || m.bus_epoch != self.bus_epoch {
+            m = self.fold_cas(addr, flat, is_write, be, re);
+            slot.set(m);
+        }
+        if m.at <= now {
+            Earliest {
+                at: now,
+                reason: BlockReason::None,
+            }
+        } else {
+            Earliest {
+                at: m.at,
+                reason: m.reason,
+            }
+        }
+    }
+
+    fn fold_cas(&self, addr: BankAddr, flat: usize, is_write: bool, be: u32, re: u32) -> NextLegal {
+        let timing = &self.enforced;
+        let bank = &self.banks[flat];
+        let mut e = Earliest::now();
+        match bank.earliest_cas() {
+            Some(act_done) => e.tighten(act_done, BlockReason::ActivatePending),
+            None => {
+                // No row open: a CAS cannot issue at all regardless of
+                // `now`; the folded answer is the same sentinel the
+                // unmemoized chain returns.
+                return NextLegal {
+                    bank_epoch: be,
+                    rank_epoch: re,
+                    bus_epoch: self.bus_epoch,
+                    at: Cycle::MAX,
+                    reason: BlockReason::RowClosed,
+                    aux: 0,
+                };
+            }
+        }
+        let (rank_at, rank_reason) =
+            self.ranks[addr.rank as usize].earliest_cas(addr.bank_group, !is_write, timing);
+        e.tighten(rank_at, rank_reason);
+
+        // Data-bus slot, folded to its constant form: with a fixed
+        // schedule, `earliest_slot(x, _) = backlog_end().max(x)`, so the
+        // chain's bus candidate is exactly `backlog_end() - cas_to_data`
+        // (applied with the same strict-greater tie-breaking).
+        let cas_to_data = if is_write { timing.cwl } else { timing.cl };
+        let backlog = self.bus.backlog_end();
+        if backlog > e.at + cas_to_data {
+            e.tighten(backlog - cas_to_data, BlockReason::BusBusy);
+        }
+        // Read→write turnaround bubble on the bus.
+        if is_write {
+            let after_read = self.bus.last_read_end() + timing.rtw_gap;
+            if after_read > e.at + cas_to_data {
+                e.tighten(after_read - cas_to_data, BlockReason::ReadToWrite);
+            }
+        }
+        NextLegal {
+            bank_epoch: be,
+            rank_epoch: re,
+            bus_epoch: self.bus_epoch,
+            at: e.at,
+            reason: e.reason,
+            aux: 0,
+        }
+    }
+
+    fn earliest_cas_unmemoized(&self, addr: BankAddr, now: Cycle, is_write: bool) -> Earliest {
         let timing = &self.enforced;
         let bank = self.bank(addr);
         let mut e = Earliest::now();
@@ -390,6 +668,8 @@ impl DramDevice {
         }
         self.banks[flat].issue_activate(now, row, &self.enforced);
         self.ranks[addr.rank as usize].record_activate(now, addr.bank_group);
+        self.touch_bank(flat);
+        self.rank_epochs[addr.rank as usize] = self.rank_epochs[addr.rank as usize].wrapping_add(1);
         self.stats.activates += 1;
         Ok(now + self.enforced.t_rcd)
     }
@@ -410,6 +690,7 @@ impl DramDevice {
             });
         }
         self.banks[flat].issue_precharge(now, &self.enforced);
+        self.touch_bank(flat);
         self.stats.precharges += 1;
         Ok(now + self.enforced.t_rp)
     }
@@ -454,6 +735,12 @@ impl DramDevice {
             self.stats.reads += 1;
         }
         self.ranks[addr.rank as usize].record_cas(now, addr.bank_group, is_write);
+        self.touch_bank(flat);
+        self.rank_epochs[addr.rank as usize] = self.rank_epochs[addr.rank as usize].wrapping_add(1);
+        self.bus_epoch = self.bus_epoch.wrapping_add(1);
+        if auto_pre {
+            self.auto_pre_pending.push(flat);
+        }
         Ok(burst_start + timing.burst_cycles)
     }
 
@@ -473,7 +760,9 @@ impl DramDevice {
         for addr in g.iter_banks().filter(|b| b.rank == rank) {
             let flat = g.flat_bank(addr);
             self.banks[flat].force_precharged(end);
+            self.touch_bank(flat);
         }
+        self.rank_epochs[rank as usize] = self.rank_epochs[rank as usize].wrapping_add(1);
         self.stats.refreshes += 1;
         Ok(end)
     }
@@ -518,6 +807,61 @@ impl DramDevice {
     /// State of the bank with flat index `flat` at cycle `t`.
     pub fn bank_state(&self, flat: usize, t: Cycle) -> BankState {
         self.banks[flat].state(t)
+    }
+
+    /// Visits every bank whose state at `now` is `Precharging` or
+    /// `Activating` — the only two states the per-cycle view sweep cares
+    /// about — using the dirty-bank list instead of scanning all banks.
+    /// Settled entries are pruned as they are encountered; a bank can only
+    /// re-enter a transition through a command, which re-registers it.
+    pub fn visit_transitioning_banks(&mut self, now: Cycle, mut f: impl FnMut(usize, BankState)) {
+        let mut i = 0;
+        while i < self.transitioning.len() {
+            let flat = self.transitioning[i];
+            let st = self.banks[flat].state(now);
+            match st {
+                BankState::Precharging | BankState::Activating => {
+                    f(flat, st);
+                    i += 1;
+                }
+                _ => {
+                    // `Precharging` needs pre_done_at > now and `Activating`
+                    // act_done_at > now; both windows are behind `now` and
+                    // only move forward via commands (incl. the auto-pre
+                    // sweep), each of which calls `touch_bank`. Note a bank
+                    // with a *pending* auto-precharge stays listed via its
+                    // burst/CAS entry being re-pushed when the precharge
+                    // fires, so pruning here is safe.
+                    self.in_transition[flat] = false;
+                    self.transitioning.swap_remove(i);
+                }
+            }
+        }
+    }
+
+    /// Earliest cycle strictly after `now` at which any bank's observable
+    /// state changes without a new command (precharge/activate completes,
+    /// burst ends, auto-precharge fires). `Cycle::MAX` when all banks are
+    /// settled past `now`. One of the caps of the controller's busy-park
+    /// horizon.
+    pub fn next_bank_transition(&self, now: Cycle) -> Cycle {
+        self.banks
+            .iter()
+            .map(|b| b.next_transition_after(now))
+            .min()
+            .unwrap_or(Cycle::MAX)
+    }
+
+    /// Earliest data-bus burst edge strictly after `now` (next cycle
+    /// [`bus_activity`](Self::bus_activity) can change, absent new CAS).
+    pub fn next_bus_boundary(&self, now: Cycle) -> Cycle {
+        self.bus.next_boundary_after(now)
+    }
+
+    /// End cycle of the refresh in progress (or most recently finished) on
+    /// `rank`.
+    pub fn refresh_end(&self, rank: u32) -> Cycle {
+        self.ranks[rank as usize].refresh_end()
     }
 
     /// Conservative horizon for the idle-cycle fast-forward: `Some(h)` means

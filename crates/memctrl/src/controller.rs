@@ -113,6 +113,23 @@ pub struct MemoryController {
     /// Row-hit flag of the CAS issued this cycle (if any), exported via
     /// [`CycleView::cas_hit`] for per-window row-hit-rate sampling.
     cas_this_cycle: Option<bool>,
+    /// Whether the last tick issued *any* command (ACT/PRE/CAS/REF). A
+    /// candidate that merely lost arbitration to it becomes issuable the
+    /// very next cycle, so [`stall_horizon`](Self::stall_horizon) must not
+    /// skip past that cycle.
+    issued_this_cycle: bool,
+    /// Busy-path event engine master switch: timing memoization in the
+    /// device, the indexed FR-FCFS scan, the dirty-bank view sweep and the
+    /// stall-horizon bulk skip. Results are bit-identical either way; off
+    /// exists for A/B benchmarking and the bit-identity test matrix.
+    busy_engine: bool,
+    /// Per-flat-bank ascending lists of `read_q` indices — the indexed
+    /// FR-FCFS scan consults banks-with-work instead of the whole queue.
+    /// Maintained on enqueue/remove regardless of `busy_engine` (so the
+    /// toggle can flip mid-run), consulted only when it is on.
+    read_bank_index: Vec<Vec<u32>>,
+    /// Same for `write_q`.
+    write_bank_index: Vec<Vec<u32>>,
 }
 
 impl MemoryController {
@@ -124,6 +141,7 @@ impl MemoryController {
     pub fn new(cfg: CtrlConfig) -> Self {
         let device = DramDevice::new(cfg.device);
         let map = AddressMapping::new(cfg.device.geometry, cfg.mapping);
+        let n_banks = device.geometry().total_banks() as usize;
         MemoryController {
             cfg,
             device,
@@ -141,7 +159,31 @@ impl MemoryController {
             probe: Box::new(NullProbe),
             probe_active: false,
             cas_this_cycle: None,
+            issued_this_cycle: false,
+            busy_engine: true,
+            read_bank_index: vec![Vec::new(); n_banks],
+            write_bank_index: vec![Vec::new(); n_banks],
         }
+    }
+
+    /// Toggles the busy-path event engine (on by default). Forwarded to
+    /// the device's timing memoization so one switch covers the whole
+    /// stack. Reports are bit-identical with the engine on or off; the
+    /// off position is the A/B baseline for `busy_speedup` benchmarks.
+    pub fn set_busy_engine(&mut self, on: bool) {
+        self.busy_engine = on;
+        self.device.set_memoize(on);
+    }
+
+    /// Whether the busy-path event engine is on.
+    pub fn busy_engine(&self) -> bool {
+        self.busy_engine
+    }
+
+    /// Whether the indexed per-bank scan replaces the full-queue scans
+    /// this cycle (FR-FCFS only: FCFS inspects exactly one entry anyway).
+    fn use_indexed(&self) -> bool {
+        self.busy_engine && self.cfg.scheduler == SchedulerPolicy::FrFcfs
     }
 
     /// Attaches an observation probe; it receives every controller event
@@ -176,6 +218,7 @@ impl MemoryController {
     }
 
     fn record(&mut self, now: Cycle, cmd: Command) {
+        self.issued_this_cycle = true;
         if self.trace_enabled {
             self.trace.push(TimedCommand::new(now, cmd));
         }
@@ -261,6 +304,8 @@ impl MemoryController {
         // the sim enqueues before ticking the same cycle, so `arrival` is
         // patched in tick() when first observed. We store 0 sentinel here
         // and fix it on the first tick the entry is seen.
+        let flat = self.device.geometry().flat_bank(addr.bank);
+        self.read_bank_index[flat].push(self.read_q.len() as u32);
         self.read_q
             .push(QueueEntry::new(id, meta, phys, addr, Cycle::MAX));
         self.stats.reads_accepted += 1;
@@ -281,6 +326,8 @@ impl MemoryController {
         let id = RequestId(self.next_id);
         self.next_id += 1;
         let addr = self.map.decode(phys);
+        let flat = self.device.geometry().flat_bank(addr.bank);
+        self.write_bank_index[flat].push(self.write_q.len() as u32);
         self.write_q
             .push(QueueEntry::new(id, 0, phys, addr, Cycle::MAX));
         self.stats.writes_accepted += 1;
@@ -324,6 +371,138 @@ impl MemoryController {
         self.device.next_event(now)
     }
 
+    /// Busy-path stall horizon: called with `now` = the last ticked cycle,
+    /// returns `Some(h)` when ticks at every cycle `t` in `(now, h)` are
+    /// provably pure bookkeeping — no command issues, no completion lands,
+    /// no refresh or drain threshold trips, and the `CycleView` equals the
+    /// one the tick at `now` produced. Those ticks can then be replayed in
+    /// bulk by [`apply_stall_span`](Self::apply_stall_span) plus span-based
+    /// sampler accounting, extending the idle fast-forward to
+    /// stalled-but-busy spans (saturated bus backlog, tRFC shadows, tFAW
+    /// windows, write-drain turnarounds).
+    ///
+    /// `h` is capped by every cycle at which the frozen state could act:
+    /// the next in-flight completion, refresh deadline or refresh end,
+    /// bank PRE/ACT/auto-PRE transition, data-bus burst edge, and each
+    /// queued request's own next-legal issue cycle for the command class
+    /// it currently needs. Requests already issuable stay blocked for the
+    /// whole span precisely because the tick at `now` issued *nothing* —
+    /// so they are held by a structural block (drain mode, a pending row
+    /// hit, per-bank ordering) whose release is itself capped by `h`. A
+    /// tick that issued any command disqualifies the span outright: a
+    /// candidate that lost only the one-command-per-cycle arbitration is
+    /// free again at `now + 1`.
+    pub fn stall_horizon(&self, now: Cycle) -> Option<Cycle> {
+        if self.stall_blocked() {
+            return None;
+        }
+        debug_assert!(self.cas_this_cycle.is_none());
+        // A span needs at least one skippable cycle between `now` and the
+        // wake tick at `h`, so each cap is followed by an early bail once
+        // `h` drops below `now + 2` — the cheap O(1) caps usually decide
+        // before the queue scan is paid.
+        let floor = now.saturating_add(2);
+        let mut h = self.device.next_bus_boundary(now);
+        h = h.min(self.device.next_bank_transition(now));
+        if h < floor {
+            return None;
+        }
+        for r in 0..self.device.geometry().ranks {
+            let end = self.device.refresh_end(r);
+            if end > now {
+                h = h.min(end);
+            }
+            let due = self.device.next_refresh_at(r);
+            if due > now {
+                h = h.min(due);
+            } else if !self.device.is_refreshing(r, now) {
+                // An overdue refresh without the drain flag set should be
+                // impossible after a tick; refuse to skip if it happens.
+                return None;
+            }
+        }
+        if h < floor {
+            return None;
+        }
+        for f in &self.in_flight {
+            if f.done_at <= now {
+                return None; // undelivered completion
+            }
+            h = h.min(f.done_at);
+        }
+        if h < floor {
+            return None;
+        }
+        for (writes, q) in [(false, &self.read_q), (true, &self.write_q)] {
+            for e in q {
+                if e.arrival > now {
+                    return None; // arrival not yet patched by a tick
+                }
+                let at = match self.device.bank(e.addr.bank).open_row() {
+                    Some(open) if open == e.addr.row => {
+                        if writes {
+                            self.device.earliest_write(e.addr.bank, now).at
+                        } else {
+                            self.device.earliest_read(e.addr.bank, now).at
+                        }
+                    }
+                    Some(_) => self.device.earliest_precharge(e.addr.bank, now).at,
+                    None => self.device.earliest_activate(e.addr.bank, now).at,
+                };
+                if at > now {
+                    h = h.min(at);
+                    if h < floor {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(h)
+    }
+
+    /// Cheap O(1) disqualifiers of a busy span at the current tick. When
+    /// true, [`stall_horizon`](Self::stall_horizon) is `None` without
+    /// scanning anything, so drive loops can use this as a free pre-gate
+    /// (and only pay the full scan — or count a backoff — when it passes).
+    pub fn stall_blocked(&self) -> bool {
+        !self.busy_engine
+            || self.refresh_draining
+            || !self.completions.is_empty()
+            || self.issued_this_cycle
+            || (self.probe_active && self.probe.wants_ticks())
+    }
+
+    /// Bulk replay of the per-tick bookkeeping for the `n` skipped cycles
+    /// `(now, now + n]` of a span vetted by
+    /// [`stall_horizon`](Self::stall_horizon): drain-cycle statistics and
+    /// the per-waiting-read latency attribution, all of which are constant
+    /// across the span by the horizon's construction.
+    pub fn apply_stall_span(&mut self, now: Cycle, n: u64) {
+        if self.drain_mode {
+            self.stats.drain_cycles += n;
+        }
+        let refreshing = self.refresh_draining || self.is_any_rank_refreshing(now);
+        let drain = self.drain_mode;
+        let device = &self.device;
+        for e in &mut self.read_q {
+            debug_assert!(e.arrival <= now);
+            if drain {
+                e.writeburst_wait += n;
+            } else if refreshing {
+                e.refresh_wait += n;
+            } else if (e.caused_pre || e.caused_act)
+                && matches!(
+                    device.bank(e.addr.bank).state(now),
+                    BankState::Precharging | BankState::Activating
+                )
+            {
+                e.preact_wait += n;
+            } else {
+                e.queue_wait += n;
+            }
+        }
+    }
+
     /// Advances the controller by one DRAM cycle: issues at most one
     /// command, tracks latency components, collects completions and fills
     /// `view` with this cycle's classification inputs for the bandwidth
@@ -332,6 +511,7 @@ impl MemoryController {
         self.device.advance(now);
         self.patch_arrivals(now);
         self.cas_this_cycle = None;
+        self.issued_this_cycle = false;
         // Start-of-cycle queue occupancy, exported through the view for
         // per-window sampling regardless of what issues below.
         let read_q_depth = self.read_q.len();
@@ -516,6 +696,15 @@ impl MemoryController {
     }
 
     fn find_ready_cas(&self, now: Cycle, writes: bool, limit: usize) -> Option<usize> {
+        if self.use_indexed() {
+            let got = self.find_ready_cas_indexed(now, writes);
+            debug_assert_eq!(got, self.find_ready_cas_scan(now, writes, limit));
+            return got;
+        }
+        self.find_ready_cas_scan(now, writes, limit)
+    }
+
+    fn find_ready_cas_scan(&self, now: Cycle, writes: bool, limit: usize) -> Option<usize> {
         let q = if writes { &self.write_q } else { &self.read_q };
         for (idx, e) in q.iter().take(limit).enumerate() {
             if e.arrival > now {
@@ -536,11 +725,78 @@ impl MemoryController {
         None
     }
 
+    /// O(banks-with-work) equivalent of the full-queue FR-FCFS pass 1.
+    ///
+    /// CAS readiness is uniform across same-bank row hits (the earliest
+    /// query depends only on the bank), so the oldest hit of each bank is
+    /// that bank's only candidate, and the queue-order winner is the
+    /// minimum queue index over banks.
+    fn find_ready_cas_indexed(&self, now: Cycle, writes: bool) -> Option<usize> {
+        let (q, index) = if writes {
+            (&self.write_q, &self.write_bank_index)
+        } else {
+            (&self.read_q, &self.read_bank_index)
+        };
+        let mut best: Option<usize> = None;
+        for list in index {
+            let Some(&first) = list.first() else { continue };
+            if best.is_some_and(|b| b < first as usize) {
+                continue; // every candidate here is younger than the winner
+            }
+            let bank = q[first as usize].addr.bank;
+            let Some(open) = self.device.bank(bank).open_row() else {
+                continue;
+            };
+            let Some(&idx) = list
+                .iter()
+                .find(|&&i| q[i as usize].arrival <= now && q[i as usize].addr.row == open)
+            else {
+                continue;
+            };
+            if best.is_some_and(|b| b < idx as usize) {
+                continue;
+            }
+            let earliest = if writes {
+                self.device.earliest_write(bank, now)
+            } else {
+                self.device.earliest_read(bank, now)
+            };
+            if earliest.ready(now) {
+                best = Some(idx as usize);
+            }
+        }
+        best
+    }
+
+    /// Removes queue position `removed` from the per-bank index of `flat`
+    /// and shifts the remaining stored positions down — mirrors
+    /// `Vec::remove` on the queue itself, preserving ascending order.
+    fn index_remove(index: &mut [Vec<u32>], flat: usize, removed: usize) {
+        let pos = index[flat]
+            .iter()
+            .position(|&i| i as usize == removed)
+            .expect("queue entry present in its bank index");
+        index[flat].remove(pos);
+        for list in index.iter_mut() {
+            for i in list.iter_mut() {
+                if *i as usize > removed {
+                    *i -= 1;
+                }
+            }
+        }
+    }
+
     fn issue_cas_for(&mut self, now: Cycle, writes: bool, idx: usize) {
         let e = if writes {
-            self.write_q.remove(idx)
+            let e = self.write_q.remove(idx);
+            let flat = self.device.geometry().flat_bank(e.addr.bank);
+            Self::index_remove(&mut self.write_bank_index, flat, idx);
+            e
         } else {
-            self.read_q.remove(idx)
+            let e = self.read_q.remove(idx);
+            let flat = self.device.geometry().flat_bank(e.addr.bank);
+            Self::index_remove(&mut self.read_bank_index, flat, idx);
+            e
         };
         let auto_pre = self.cfg.page_policy == PagePolicy::Closed
             && !self.any_pending_hit(e.addr.bank, e.addr.row);
@@ -586,6 +842,23 @@ impl MemoryController {
     /// `bank` — used by the closed page policy and by FR-FCFS's
     /// don't-close-a-useful-row rule.
     fn any_pending_hit(&self, bank: dramstack_dram::BankAddr, row: u32) -> bool {
+        if self.use_indexed() {
+            // Entries in a bank's index list share that bank by
+            // construction, so only the row needs checking.
+            let flat = self.device.geometry().flat_bank(bank);
+            let got = self.read_bank_index[flat]
+                .iter()
+                .any(|&i| self.read_q[i as usize].addr.row == row)
+                || self.write_bank_index[flat]
+                    .iter()
+                    .any(|&i| self.write_q[i as usize].addr.row == row);
+            debug_assert_eq!(got, self.any_pending_hit_scan(bank, row));
+            return got;
+        }
+        self.any_pending_hit_scan(bank, row)
+    }
+
+    fn any_pending_hit_scan(&self, bank: dramstack_dram::BankAddr, row: u32) -> bool {
         self.read_q
             .iter()
             .chain(self.write_q.iter())
@@ -593,6 +866,20 @@ impl MemoryController {
     }
 
     fn find_actpre(
+        &self,
+        now: Cycle,
+        writes: bool,
+        limit: usize,
+    ) -> Option<(Command, usize, Caused)> {
+        if self.use_indexed() {
+            let got = self.find_actpre_indexed(now, writes);
+            debug_assert_eq!(got, self.find_actpre_scan(now, writes, limit));
+            return got;
+        }
+        self.find_actpre_scan(now, writes, limit)
+    }
+
+    fn find_actpre_scan(
         &self,
         now: Cycle,
         writes: bool,
@@ -609,34 +896,92 @@ impl MemoryController {
                 continue; // only the oldest request per bank drives the bank
             }
             seen_banks[flat] = true;
-            match self.device.bank(e.addr.bank).open_row() {
-                None => {
-                    // Skip banks still precharging and banks being refreshed.
-                    if self.device.earliest_activate(e.addr.bank, now).ready(now) {
-                        return Some((
-                            Command::activate(e.addr.bank, e.addr.row),
-                            idx,
-                            Caused::Act,
-                        ));
-                    }
-                }
-                Some(open) if open != e.addr.row => {
-                    // Conflict: close the row, but under FR-FCFS never
-                    // while same-queue row hits are still pending on it
-                    // (hits are served first). Strict FCFS closes
-                    // unconditionally — only the head request matters.
-                    let hits_pending = self.cfg.scheduler == SchedulerPolicy::FrFcfs
-                        && q.iter()
-                            .any(|o| o.addr.bank == e.addr.bank && o.addr.row == open);
-                    if !hits_pending && self.device.earliest_precharge(e.addr.bank, now).ready(now)
-                    {
-                        return Some((Command::precharge(e.addr.bank), idx, Caused::Pre));
-                    }
-                }
-                Some(_) => {} // row hit whose CAS is constrained: pass 1 handles it
+            if let Some(found) = self.actpre_for_entry(now, writes, q, idx) {
+                return Some(found);
             }
         }
         None
+    }
+
+    /// O(banks-with-work) equivalent of the full-queue pass 2: each bank's
+    /// oldest arrived entry is its only driver (exactly the entries the
+    /// `seen_banks` scan would evaluate), visited in queue order.
+    fn find_actpre_indexed(&self, now: Cycle, writes: bool) -> Option<(Command, usize, Caused)> {
+        let (q, index) = if writes {
+            (&self.write_q, &self.write_bank_index)
+        } else {
+            (&self.read_q, &self.read_bank_index)
+        };
+        // Stack-allocated candidate list: at most one per bank, and the
+        // geometry is capped at 64 banks (same bound as `seen_banks`).
+        let mut cands = [0u32; 64];
+        let mut n = 0;
+        for list in index {
+            if let Some(&i) = list.iter().find(|&&i| q[i as usize].arrival <= now) {
+                cands[n] = i;
+                n += 1;
+            }
+        }
+        let cands = &mut cands[..n];
+        cands.sort_unstable();
+        for &idx in cands.iter() {
+            if let Some(found) = self.actpre_for_entry(now, writes, q, idx as usize) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// The per-candidate ACT/PRE decision shared by both scan shapes.
+    fn actpre_for_entry(
+        &self,
+        now: Cycle,
+        writes: bool,
+        q: &[QueueEntry],
+        idx: usize,
+    ) -> Option<(Command, usize, Caused)> {
+        let e = &q[idx];
+        match self.device.bank(e.addr.bank).open_row() {
+            None => {
+                // Skip banks still precharging and banks being refreshed.
+                if self.device.earliest_activate(e.addr.bank, now).ready(now) {
+                    return Some((Command::activate(e.addr.bank, e.addr.row), idx, Caused::Act));
+                }
+            }
+            Some(open) if open != e.addr.row => {
+                // Conflict: close the row, but under FR-FCFS never
+                // while same-queue row hits are still pending on it
+                // (hits are served first). Strict FCFS closes
+                // unconditionally — only the head request matters.
+                let hits_pending = self.cfg.scheduler == SchedulerPolicy::FrFcfs
+                    && self.same_queue_hit(writes, e.addr.bank, open);
+                if !hits_pending && self.device.earliest_precharge(e.addr.bank, now).ready(now) {
+                    return Some((Command::precharge(e.addr.bank), idx, Caused::Pre));
+                }
+            }
+            Some(_) => {} // row hit whose CAS is constrained: pass 1 handles it
+        }
+        None
+    }
+
+    /// Whether the given queue holds a request hitting `row` of `bank`
+    /// (any arrival time, matching the legacy full-queue scan).
+    fn same_queue_hit(&self, writes: bool, bank: dramstack_dram::BankAddr, row: u32) -> bool {
+        let (q, index) = if writes {
+            (&self.write_q, &self.write_bank_index)
+        } else {
+            (&self.read_q, &self.read_bank_index)
+        };
+        if self.use_indexed() {
+            let flat = self.device.geometry().flat_bank(bank);
+            let got = index[flat].iter().any(|&i| q[i as usize].addr.row == row);
+            debug_assert_eq!(
+                got,
+                q.iter().any(|o| o.addr.bank == bank && o.addr.row == row)
+            );
+            return got;
+        }
+        q.iter().any(|o| o.addr.bank == bank && o.addr.row == row)
     }
 
     fn collect_completions(&mut self, now: Cycle) {
@@ -677,7 +1022,7 @@ impl MemoryController {
 
     // ---- cycle-view construction for the bandwidth stack ---------------------------
 
-    fn build_view(&self, now: Cycle, view: &mut CycleView) {
+    fn build_view(&mut self, now: Cycle, view: &mut CycleView) {
         view.reset();
         view.bus = self.device.bus_activity(now);
         view.refreshing = self.is_any_rank_refreshing(now);
@@ -685,17 +1030,28 @@ impl MemoryController {
 
         let n = self.total_banks();
         debug_assert_eq!(view.banks.len(), n);
-        for flat in 0..n {
-            view.banks[flat] = match self.device.bank_state(flat, now) {
-                BankState::Precharging => BankActivity::Precharging,
-                BankState::Activating => BankActivity::Activating,
-                // A CAS in its CL/CWL window occupies no resource another
-                // request could use this cycle; blocked-request analysis
-                // below decides whether anything is truly constrained.
-                BankState::CasInFlight | BankState::Open | BankState::Precharged => {
-                    BankActivity::Idle
-                }
-            };
+        if self.busy_engine {
+            // Dirty sweep: `reset` left every bank Idle, which is exactly
+            // the mapping for the settled states, so only banks still in a
+            // PRE/ACT transition need touching.
+            self.device.visit_transitioning_banks(now, |flat, st| {
+                view.banks[flat] = match st {
+                    BankState::Precharging => BankActivity::Precharging,
+                    BankState::Activating => BankActivity::Activating,
+                    _ => unreachable!("visit yields only transitioning banks"),
+                };
+            });
+            #[cfg(debug_assertions)]
+            for flat in 0..n {
+                debug_assert_eq!(
+                    view.banks[flat],
+                    Self::bank_activity(&self.device, flat, now)
+                );
+            }
+        } else {
+            for flat in 0..n {
+                view.banks[flat] = Self::bank_activity(&self.device, flat, now);
+            }
         }
 
         // Cycles already classified as useful or refresh need no analysis.
@@ -715,6 +1071,19 @@ impl MemoryController {
         self.analyze_blocked(now, writes_first, view);
         if view.rank_block == BlockReason::None {
             self.analyze_blocked(now, !writes_first, view);
+        }
+    }
+
+    /// The per-cycle view classification of one bank's state.
+    ///
+    /// A CAS in its CL/CWL window occupies no resource another request
+    /// could use this cycle, so it maps to Idle; blocked-request analysis
+    /// decides whether anything is truly constrained.
+    fn bank_activity(device: &DramDevice, flat: usize, now: Cycle) -> BankActivity {
+        match device.bank_state(flat, now) {
+            BankState::Precharging => BankActivity::Precharging,
+            BankState::Activating => BankActivity::Activating,
+            BankState::CasInFlight | BankState::Open | BankState::Precharged => BankActivity::Idle,
         }
     }
 
@@ -767,7 +1136,7 @@ impl MemoryController {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Caused {
     Act,
     Pre,
@@ -777,10 +1146,17 @@ enum Caused {
 mod tests {
     use super::*;
 
-    fn run_until_done(ctrl: &mut MemoryController, max: Cycle) -> Vec<CompletedRead> {
+    /// Ticks from `start` until idle. Controller time is monotonic (the
+    /// dirty-bank sweep and memo tables rely on it), so resuming a
+    /// controller must pass a `start` at or past the previous run's end.
+    fn run_until_done_from(
+        ctrl: &mut MemoryController,
+        start: Cycle,
+        max: Cycle,
+    ) -> Vec<CompletedRead> {
         let mut view = CycleView::idle(ctrl.total_banks());
         let mut out = Vec::new();
-        for now in 0..max {
+        for now in start..start + max {
             ctrl.tick(now, &mut view);
             out.extend(ctrl.drain_completions());
             if ctrl.is_idle() {
@@ -788,6 +1164,10 @@ mod tests {
             }
         }
         out
+    }
+
+    fn run_until_done(ctrl: &mut MemoryController, max: Cycle) -> Vec<CompletedRead> {
+        run_until_done_from(ctrl, 0, max)
     }
 
     #[test]
@@ -834,7 +1214,7 @@ mod tests {
         let first = run_until_done(&mut ctrl, 1000);
         assert_eq!(first.len(), 1);
         ctrl.enqueue_read(1 << 17, 2);
-        let second = run_until_done(&mut ctrl, 2000);
+        let second = run_until_done_from(&mut ctrl, 1000, 2000);
         assert_eq!(second.len(), 1);
         let b = second[0].breakdown;
         assert_eq!(b.preact, t.t_rp + t.t_rcd, "conflict: PRE + ACT");
@@ -967,7 +1347,7 @@ mod tests {
         // Older conflicting request to the same bank, newer hit to row 0.
         ctrl.enqueue_read(1 << 17, 1); // conflict (row 1)
         ctrl.enqueue_read(64, 2); // hit (row 0, col 1)
-        let done = run_until_done(&mut ctrl, 3000);
+        let done = run_until_done_from(&mut ctrl, 1000, 3000);
         assert_eq!(done.len(), 2);
         // FR-FCFS may serve the hit before the conflict resolves; at the
         // very least the hit must not pay pre/act.
@@ -985,7 +1365,7 @@ mod tests {
         run_until_done(&mut ctrl, 1000);
         ctrl.enqueue_read(1 << 17, 1); // conflict first
         ctrl.enqueue_read(64, 2); // hit second
-        let done = run_until_done(&mut ctrl, 3000);
+        let done = run_until_done_from(&mut ctrl, 1000, 3000);
         let first = done.iter().find(|c| c.meta == 1).unwrap();
         let second = done.iter().find(|c| c.meta == 2).unwrap();
         assert!(first.done_at <= second.done_at, "FCFS is in order");

@@ -96,17 +96,21 @@ pub enum BottleneckClass {
     ActivateBound,
     /// DRAM sits idle because too few requests arrive.
     RequestLimited,
+    /// Achieved bandwidth diverges across channels: the address mapping
+    /// concentrates traffic on a subset of them.
+    ChannelImbalance,
 }
 
 impl BottleneckClass {
     /// Every class, in diagnosis priority order.
-    pub const ALL: [BottleneckClass; 6] = [
+    pub const ALL: [BottleneckClass; 7] = [
         BottleneckClass::RefreshBound,
         BottleneckClass::WriteDrainBound,
         BottleneckClass::Saturated,
         BottleneckClass::RowConflictBound,
         BottleneckClass::ActivateBound,
         BottleneckClass::RequestLimited,
+        BottleneckClass::ChannelImbalance,
     ];
 
     /// Stable lowercase name used in reports and telemetry.
@@ -118,6 +122,7 @@ impl BottleneckClass {
             BottleneckClass::RowConflictBound => "row-conflict-bound",
             BottleneckClass::ActivateBound => "activate-bound",
             BottleneckClass::RequestLimited => "request-limited",
+            BottleneckClass::ChannelImbalance => "channel-imbalance",
         }
     }
 
@@ -147,6 +152,11 @@ impl BottleneckClass {
             BottleneckClass::RequestLimited => {
                 "DRAM is under-used: issue more parallel requests (more \
                  cores, deeper MLP, prefetching)"
+            }
+            BottleneckClass::ChannelImbalance => {
+                "channels are unevenly loaded: pick an address mapping that \
+                 interleaves the hot stride across channels (e.g. hash or \
+                 permute the channel bits)"
             }
         }
     }
@@ -208,6 +218,13 @@ pub struct AdvisorConfig {
     pub constraint_share: f64,
     /// Idle share above which a window is request-limited.
     pub idle_share: f64,
+    /// Busiest-to-laziest channel data-share ratio that flags a window
+    /// as channel-imbalanced (cross-channel rule).
+    pub imbalance_ratio: f64,
+    /// Minimum data share the busiest channel must carry before skew is
+    /// worth flagging — keeps near-idle runs quiet, where tiny absolute
+    /// differences produce huge ratios.
+    pub imbalance_min_share: f64,
 }
 
 impl Default for AdvisorConfig {
@@ -221,6 +238,8 @@ impl Default for AdvisorConfig {
             conflict_hit_rate: 0.60,
             constraint_share: 0.20,
             idle_share: 0.60,
+            imbalance_ratio: 2.0,
+            imbalance_min_share: 0.10,
         }
     }
 }
@@ -307,6 +326,10 @@ impl Advisor {
             BottleneckClass::RowConflictBound => (w.bw_precharge + w.bw_activate, w.row_hit_rate),
             BottleneckClass::ActivateBound => (w.bw_constraints, w.row_hit_rate),
             BottleneckClass::RequestLimited => (w.bw_idle, w.mean_read_queue_depth),
+            // Cross-channel: a single observation carries no cross-channel
+            // view; `diagnose_channel_imbalance` assembles the real
+            // evidence from the per-channel series.
+            BottleneckClass::ChannelImbalance => (w.bw_data, 0.0),
         }
     }
 
@@ -341,6 +364,10 @@ impl Advisor {
                 "DRAM idles {:.1} % of peak with mean read-queue depth {:.2}",
                 primary * 100.0,
                 secondary
+            ),
+            BottleneckClass::ChannelImbalance => format!(
+                "per-channel data shares diverge (flagged channel at {:.1} % of peak)",
+                primary * 100.0
             ),
         }
     }
@@ -437,6 +464,115 @@ pub fn diagnose(windows: &[WindowObservation], cfg: AdvisorConfig) -> Vec<Diagno
         a.observe(w);
     }
     a.finish()
+}
+
+/// Open span of the cross-channel imbalance rule: window bookkeeping plus
+/// a running per-channel data-share sum for the evidence line.
+struct ImbalanceSpan {
+    first_window: usize,
+    start_cycle: u64,
+    windows: usize,
+    lapse: usize,
+    sum_share: Vec<f64>,
+}
+
+impl ImbalanceSpan {
+    fn close(self) -> Diagnosis {
+        let n = self.windows.max(1) as f64;
+        let means: Vec<f64> = self.sum_share.iter().map(|s| s / n).collect();
+        let (busiest, bmean) = means
+            .iter()
+            .copied()
+            .enumerate()
+            .fold((0, f64::MIN), |a, b| if b.1 > a.1 { b } else { a });
+        let (laziest, lmean) = means
+            .iter()
+            .copied()
+            .enumerate()
+            .fold((0, f64::MAX), |a, b| if b.1 < a.1 { b } else { a });
+        let skew = if lmean > 0.0 {
+            format!(" ({:.1}x skew)", bmean / lmean)
+        } else {
+            String::new()
+        };
+        Diagnosis {
+            class: BottleneckClass::ChannelImbalance,
+            first_window: self.first_window,
+            windows: self.windows,
+            start_cycle: self.start_cycle,
+            evidence: format!(
+                "channel {busiest} averages {:.1} % of peak data vs {:.1} % on channel {laziest}{skew}",
+                bmean * 100.0,
+                lmean * 100.0,
+            ),
+            suggestion: BottleneckClass::ChannelImbalance.suggestion().to_string(),
+        }
+    }
+}
+
+/// Runs the cross-channel imbalance rule over per-channel observation
+/// series — one window-aligned series per channel, as produced by
+/// per-channel samplers sharing a window clock.
+///
+/// A window is imbalanced when the busiest channel's data share is at
+/// least `imbalance_min_share` of its peak and at least `imbalance_ratio`
+/// times the laziest channel's. The same hysteresis as the single-series
+/// rules suppresses transient skew (e.g. one channel refreshing).
+pub fn diagnose_channel_imbalance(
+    per_channel: &[&[WindowObservation]],
+    cfg: AdvisorConfig,
+) -> Vec<Diagnosis> {
+    let channels = per_channel.len();
+    if channels < 2 {
+        return Vec::new();
+    }
+    let windows = per_channel.iter().map(|s| s.len()).min().unwrap_or(0);
+    let mut done = Vec::new();
+    let mut streak = 0usize;
+    let mut open: Option<ImbalanceSpan> = None;
+    for i in 0..windows {
+        let shares: Vec<f64> = per_channel.iter().map(|s| s[i].bw_data).collect();
+        let busiest = shares.iter().copied().fold(0.0_f64, f64::max);
+        let laziest = shares.iter().copied().fold(f64::INFINITY, f64::min);
+        let skewed = busiest >= cfg.imbalance_min_share && busiest >= cfg.imbalance_ratio * laziest;
+        if let Some(span) = &mut open {
+            if skewed {
+                span.windows += 1;
+                span.lapse = 0;
+                for (sum, s) in span.sum_share.iter_mut().zip(&shares) {
+                    *sum += s;
+                }
+            } else {
+                span.lapse += 1;
+                if span.lapse >= cfg.hysteresis_windows {
+                    done.push(open.take().unwrap().close());
+                }
+            }
+            continue;
+        }
+        if skewed {
+            streak += 1;
+            if streak >= cfg.hysteresis_windows {
+                let first_window = i + 1 - streak;
+                open = Some(ImbalanceSpan {
+                    first_window,
+                    start_cycle: per_channel[0][first_window].start_cycle,
+                    windows: streak,
+                    lapse: 0,
+                    // Seed the evidence with the streak's last window;
+                    // earlier ones are close by construction.
+                    sum_share: shares.iter().map(|s| s * streak as f64).collect(),
+                });
+                streak = 0;
+            }
+        } else {
+            streak = 0;
+        }
+    }
+    if let Some(span) = open {
+        done.push(span.close());
+    }
+    done
 }
 
 #[cfg(test)]
@@ -588,6 +724,82 @@ mod tests {
             assert!(!c.suggestion().is_empty());
             assert_eq!(c.to_string(), c.name());
         }
+    }
+
+    fn channel_series(share: f64, n: u64) -> Vec<WindowObservation> {
+        (0..n)
+            .map(|i| WindowObservation {
+                start_cycle: i * 1000,
+                cycles: 1000,
+                bw_data: share,
+                reads: (share * 100.0) as u64,
+                ..WindowObservation::zero()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sustained_channel_skew_is_diagnosed() {
+        let hot = channel_series(0.48, 8);
+        let cold = channel_series(0.02, 8);
+        let d = diagnose_channel_imbalance(&[&hot, &cold], AdvisorConfig::default());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].class, BottleneckClass::ChannelImbalance);
+        assert_eq!(d[0].first_window, 0);
+        assert_eq!(d[0].windows, 8);
+        assert!(d[0].evidence.contains("channel 0"), "{}", d[0].evidence);
+        assert!(d[0].evidence.contains("channel 1"), "{}", d[0].evidence);
+        assert!(d[0].evidence.contains("skew"), "{}", d[0].evidence);
+    }
+
+    #[test]
+    fn balanced_channels_stay_quiet() {
+        let a = channel_series(0.40, 8);
+        let b = channel_series(0.35, 8);
+        let d = diagnose_channel_imbalance(&[&a, &b], AdvisorConfig::default());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn idle_channels_are_not_flagged_despite_huge_ratios() {
+        // 0.04 vs 0.001 is a 40x ratio, but the busiest channel is far
+        // below `imbalance_min_share`: nothing worth rebalancing.
+        let a = channel_series(0.04, 8);
+        let b = channel_series(0.001, 8);
+        let d = diagnose_channel_imbalance(&[&a, &b], AdvisorConfig::default());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn transient_skew_is_suppressed_by_hysteresis() {
+        let mut hot = channel_series(0.38, 10);
+        let cold = channel_series(0.36, 10);
+        // Two skewed windows (below the 3-window hysteresis) stay quiet.
+        hot[4].bw_data = 0.8;
+        hot[5].bw_data = 0.8;
+        let d = diagnose_channel_imbalance(&[&hot, &cold], AdvisorConfig::default());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn one_dead_channel_is_reported_without_a_ratio() {
+        let hot = channel_series(0.50, 6);
+        let dead = channel_series(0.0, 6);
+        let d = diagnose_channel_imbalance(&[&hot, &dead], AdvisorConfig::default());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].evidence.contains("0.0 % on channel 1"),
+            "{}",
+            d[0].evidence
+        );
+        assert!(!d[0].evidence.contains("skew"), "{}", d[0].evidence);
+    }
+
+    #[test]
+    fn single_channel_series_never_imbalanced() {
+        let only = channel_series(0.9, 8);
+        let d = diagnose_channel_imbalance(&[&only], AdvisorConfig::default());
+        assert!(d.is_empty());
     }
 
     #[test]

@@ -29,17 +29,20 @@ pub enum SimPhase {
     Sampling,
     /// Bulk idle-cycle fast-forwarding (event-skip spans).
     FastForward,
+    /// Bulk stalled-but-busy span skipping (busy event horizon).
+    BusyForward,
 }
 
 impl SimPhase {
     /// All phases, in loop order.
-    pub const ALL: [SimPhase; 6] = [
+    pub const ALL: [SimPhase; 7] = [
         SimPhase::Ctrl,
         SimPhase::Completions,
         SimPhase::Cores,
         SimPhase::Pump,
         SimPhase::Sampling,
         SimPhase::FastForward,
+        SimPhase::BusyForward,
     ];
 
     /// Stable lowercase name used in reports.
@@ -51,6 +54,7 @@ impl SimPhase {
             SimPhase::Pump => "pump",
             SimPhase::Sampling => "sampling",
             SimPhase::FastForward => "fast_forward",
+            SimPhase::BusyForward => "busy_forward",
         }
     }
 
@@ -75,10 +79,11 @@ impl SimPhase {
 #[derive(Debug, Clone, Default)]
 pub struct PhaseTimers {
     enabled: bool,
-    nanos: [u128; 6],
+    nanos: [u128; 7],
     started: Option<Instant>,
     wall_nanos: u128,
     ff_cycles: u64,
+    busy_ff_cycles: u64,
 }
 
 impl PhaseTimers {
@@ -118,6 +123,18 @@ impl PhaseTimers {
         }
     }
 
+    /// Closes the phase running since `prev` and opens the next with a
+    /// single clock read — for timing back-to-back phases in the hot step
+    /// loop without a `begin`/`end` pair (two reads) per phase.
+    #[inline]
+    pub fn mark(&mut self, phase: SimPhase, prev: Option<Instant>) -> Option<Instant> {
+        prev.map(|t| {
+            let at = Instant::now();
+            self.nanos[phase.index()] += at.duration_since(t).as_nanos();
+            at
+        })
+    }
+
     /// Records `n` simulated cycles skipped by the event-skip fast-forward
     /// (tracked regardless of whether wall-clock profiling is enabled).
     #[inline]
@@ -128,6 +145,18 @@ impl PhaseTimers {
     /// Simulated cycles skipped by fast-forward so far.
     pub fn fast_forwarded(&self) -> u64 {
         self.ff_cycles
+    }
+
+    /// Records `n` simulated cycles covered by a stalled-but-busy span
+    /// skip (tracked regardless of whether wall profiling is enabled).
+    #[inline]
+    pub fn add_busy_forwarded(&mut self, n: u64) {
+        self.busy_ff_cycles += n;
+    }
+
+    /// Simulated cycles covered by busy-horizon skips so far.
+    pub fn busy_forwarded(&self) -> u64 {
+        self.busy_ff_cycles
     }
 
     /// Stops the overall wall clock (idempotent; called at report time).
@@ -156,6 +185,7 @@ impl PhaseTimers {
                 0.0
             },
             fast_forwarded_cycles: self.ff_cycles,
+            busy_forwarded_cycles: self.busy_ff_cycles,
             phases: SimPhase::ALL
                 .iter()
                 .map(|p| (p.name().to_string(), self.seconds(*p)))
@@ -182,6 +212,9 @@ pub struct PerfReport {
     /// Simulated cycles covered by the event-skip fast-forward rather than
     /// per-cycle stepping (recorded even when wall profiling is off).
     pub fast_forwarded_cycles: u64,
+    /// Simulated cycles covered by stalled-but-busy horizon skips rather
+    /// than per-cycle stepping (recorded even when wall profiling is off).
+    pub busy_forwarded_cycles: u64,
     /// `(phase name, seconds)` per drive-loop phase, in loop order.
     pub phases: Vec<(String, f64)>,
 }
@@ -195,6 +228,7 @@ impl PerfReport {
             sim_cycles: 0,
             sim_cycles_per_second: 0.0,
             fast_forwarded_cycles: 0,
+            busy_forwarded_cycles: 0,
             phases: Vec::new(),
         }
     }
@@ -305,7 +339,33 @@ mod tests {
         assert!(r.sim_cycles_per_second > 0.0);
         assert_eq!(r.sim_cycles, 5000);
         assert!(r.phase_seconds("cores") > 0.0);
-        assert_eq!(r.phases.len(), 6);
+        assert_eq!(r.phases.len(), 7);
+    }
+
+    #[test]
+    fn mark_chains_attribute_to_the_closed_phase() {
+        let mut t = PhaseTimers::new();
+        t.enable();
+        let h = t.begin();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let h = t.mark(SimPhase::Ctrl, h);
+        let h = t.mark(SimPhase::Completions, h);
+        t.end(SimPhase::Cores, h);
+        assert!(t.seconds(SimPhase::Ctrl) > 0.0);
+        // Disabled timers mark for free.
+        let mut off = PhaseTimers::new();
+        assert!(off.mark(SimPhase::Ctrl, None).is_none());
+        assert_eq!(off.seconds(SimPhase::Ctrl), 0.0);
+    }
+
+    #[test]
+    fn busy_forwarded_cycles_are_recorded() {
+        let mut t = PhaseTimers::new();
+        t.add_busy_forwarded(250);
+        t.add_busy_forwarded(50);
+        assert_eq!(t.busy_forwarded(), 300);
+        let r = t.report(1_000);
+        assert_eq!(r.busy_forwarded_cycles, 300);
     }
 
     #[test]

@@ -6,11 +6,12 @@ use dramstack_core::{
     through_time::{aggregate_bandwidth, aggregate_latency},
     BandwidthStack, LatencyHistogram, LatencyStack, StackSampler, TimeSample,
 };
-use dramstack_cpu::{CoreModel, CycleStack, Hierarchy, InstrStream, VecStream};
+use dramstack_cpu::{CoreModel, CycleStack, Hierarchy, InstrStream, StallKind, VecStream};
 use dramstack_dram::{Cycle, CycleView, SeededFault};
 use dramstack_memctrl::{CompletedRead, MemoryController};
 use dramstack_obs::{
-    advisor::diagnose, AdvisorConfig, Heartbeat, LogSink, PhaseTimers, Probe, SimPhase, TeeProbe,
+    advisor::{diagnose, diagnose_channel_imbalance, WindowObservation},
+    AdvisorConfig, Heartbeat, LogSink, PhaseTimers, Probe, SimPhase, TeeProbe,
 };
 use dramstack_workloads::SyntheticPattern;
 
@@ -49,6 +50,26 @@ pub struct Simulator {
     /// System-level windows already handed to the telemetry layer.
     windows_published: usize,
     fast_forward: bool,
+    /// Busy-path event engine: timing memoization, indexed scheduling,
+    /// and event-horizon stepping under load (see
+    /// [`set_busy_engine`](Self::set_busy_engine)).
+    busy_engine: bool,
+    /// The cycle the per-channel [`CycleView`]s were last built for, or
+    /// `None` when they are stale (before the first tick, or after an
+    /// idle fast-forward). The busy-path skip reuses the views for bulk
+    /// accounting and must know they describe the immediately preceding
+    /// cycle.
+    views_valid_at: Option<Cycle>,
+    /// Scratch: per-core stall classification for the current busy span.
+    stall_kinds: Vec<StallKind>,
+    /// Scratch: which cores were bulk-stalled this cycle (step fast path).
+    core_skips: Vec<bool>,
+    /// Busy-forward attempt throttle: after a full horizon scan fails, the
+    /// next scan is deferred to this cycle (backoff doubles per miss, so a
+    /// workload whose spans never materialize stops paying the scan).
+    busy_attempt_after: Cycle,
+    /// Current backoff length in cycles (0 after a successful span).
+    busy_backoff: Cycle,
     /// Scratch buffer for draining controller completions without a
     /// per-cycle allocation.
     completion_buf: Vec<CompletedRead>,
@@ -126,6 +147,12 @@ impl Simulator {
             telemetry: None,
             windows_published: 0,
             fast_forward: true,
+            busy_engine: true,
+            views_valid_at: None,
+            stall_kinds: Vec::new(),
+            core_skips: Vec::new(),
+            busy_attempt_after: 0,
+            busy_backoff: 0,
             completion_buf: Vec::new(),
             audits: vec![None; cfg.channels],
             streams,
@@ -192,6 +219,28 @@ impl Simulator {
     /// determinism tests that prove that equivalence.
     pub fn set_fast_forward(&mut self, on: bool) {
         self.fast_forward = on;
+    }
+
+    /// Enables or disables the busy-path event engine (on by default).
+    ///
+    /// The engine covers three coupled optimizations: per-bank timing
+    /// memoization and the indexed FR-FCFS scan inside each controller,
+    /// and the busy event-horizon skip here in the drive loop (which
+    /// bulk-accounts spans where every core is parked on a stall and no
+    /// DRAM command, completion, or refresh boundary can land). Like the
+    /// idle fast-forward, it never changes simulation results — reports
+    /// are bit-identical either way modulo `perf` — so the switch exists
+    /// for benchmarking and for the determinism tests proving that.
+    pub fn set_busy_engine(&mut self, on: bool) {
+        self.busy_engine = on;
+        for ctrl in &mut self.ctrls {
+            ctrl.set_busy_engine(on);
+        }
+    }
+
+    /// Whether the busy-path event engine is enabled.
+    pub fn busy_engine(&self) -> bool {
+        self.busy_engine
     }
 
     /// Turns on wall-clock self-profiling of the drive loop; the
@@ -350,16 +399,18 @@ impl Simulator {
         let now = self.dram_cycle;
 
         // 1. Memory controllers + DRAM + bandwidth-stack accounting.
+        //    Phase timing chains through `mark` — one clock read per phase
+        //    boundary instead of an end/begin pair.
         let t = self.timers.begin();
         for ch in 0..self.ctrls.len() {
             self.ctrls[ch].tick(now, &mut self.views[ch]);
             self.samplers[ch].account(&self.views[ch]);
         }
-        self.timers.end(SimPhase::Ctrl, t);
+        self.views_valid_at = Some(now);
+        let t = self.timers.mark(SimPhase::Ctrl, t);
 
         // 2. Completions propagate up: latency stack, cache fills, cores.
         //    `meta` carries the original (pre-strip) line address.
-        let t = self.timers.begin();
         let mut buf = std::mem::take(&mut self.completion_buf);
         for ch in 0..self.ctrls.len() {
             self.ctrls[ch].take_completions_into(&mut buf);
@@ -376,23 +427,52 @@ impl Simulator {
             }
         }
         self.completion_buf = buf;
-        self.timers.end(SimPhase::Completions, t);
+        let t = self.timers.mark(SimPhase::Completions, t);
 
-        // 3. Cores run `core_clock_mult` cycles per DRAM cycle.
-        let t = self.timers.begin();
-        for k in 0..self.cfg.core_clock_mult {
-            let core_now = now * u64::from(self.cfg.core_clock_mult) + u64::from(k);
-            for (core, stream) in self.cores.iter_mut().zip(&mut self.streams) {
-                core.tick(stream.as_mut(), &mut self.hier, core_now);
+        // 3. Cores run `core_clock_mult` cycles per DRAM cycle. With the
+        // busy engine on, a core whose stall horizon covers the whole
+        // window accrues its stack cycles in one bulk add instead of
+        // `mult` ticks; the rest tick in the usual lockstep order, which
+        // is unchanged because a skipped core provably never touches the
+        // shared hierarchy during the window.
+        let mult = u64::from(self.cfg.core_clock_mult);
+        let c0 = now * mult;
+        if self.busy_engine && mult > 1 {
+            let mut skips = std::mem::take(&mut self.core_skips);
+            skips.clear();
+            for core in &mut self.cores {
+                skips.push(match core.stall_horizon(c0) {
+                    Some((h, kind)) if h >= c0 + mult => {
+                        core.add_stall_cycles(c0, mult, kind);
+                        true
+                    }
+                    _ => false,
+                });
+            }
+            for k in 0..mult {
+                let core_now = c0 + k;
+                let cores = self.cores.iter_mut().zip(&mut self.streams).zip(&skips);
+                for ((core, stream), skip) in cores {
+                    if !skip {
+                        core.tick(stream.as_mut(), &mut self.hier, core_now);
+                    }
+                }
+            }
+            self.core_skips = skips;
+        } else {
+            for k in 0..mult {
+                let core_now = c0 + k;
+                for (core, stream) in self.cores.iter_mut().zip(&mut self.streams) {
+                    core.tick(stream.as_mut(), &mut self.hier, core_now);
+                }
             }
         }
 
         // 4. Barrier release: when every unfinished core is parked.
         self.release_barriers();
-        self.timers.end(SimPhase::Cores, t);
+        let t = self.timers.mark(SimPhase::Cores, t);
 
         // 5. Pump hierarchy ⇄ controllers (head-of-line per direction).
-        let t = self.timers.begin();
         while let Some(r) = self.hier.pop_read() {
             let ch = self.channel_of(r.line);
             if self.ctrls[ch].can_accept_read() {
@@ -413,10 +493,9 @@ impl Simulator {
                 break;
             }
         }
-        self.timers.end(SimPhase::Pump, t);
+        let t = self.timers.mark(SimPhase::Pump, t);
 
         // 6. Through-time CPU cycle-stack sampling.
-        let t = self.timers.begin();
         self.dram_cycle += 1;
         if self.dram_cycle == self.next_cycle_sample {
             self.next_cycle_sample += self.cfg.sample_period;
@@ -427,7 +506,7 @@ impl Simulator {
             self.cycle_total.merge(&window);
             self.cycle_samples.push(window);
         }
-        self.timers.end(SimPhase::Sampling, t);
+        self.timers.mark(SimPhase::Sampling, t);
 
         if let Some(hb) = &mut self.heartbeat {
             // Summing per-controller counters every cycle is measurable at
@@ -547,12 +626,165 @@ impl Simulator {
         true
     }
 
+    /// Attempts to bulk-skip *busy* stall cycles, stopping before `limit`.
+    ///
+    /// The dual of [`try_fast_forward`](Self::try_fast_forward): instead
+    /// of waiting for the whole system to go inert, this engages while
+    /// requests are in flight — whenever every controller can prove via
+    /// [`MemoryController::stall_horizon`] that no command issues, no
+    /// completion lands, and no refresh boundary trips before some cycle
+    /// `h`, every core is parked on a classifiable stall, and the
+    /// hierarchy⇄controller pump is head-of-line blocked. Because every
+    /// per-cycle observable is then constant over `[now, h)`, the span is
+    /// replayed in bulk: the frozen [`CycleView`]s are re-accounted `n`
+    /// times, controller queue attribution is applied via
+    /// [`MemoryController::apply_stall_span`], and each core charges its
+    /// stall classification for `n × core_clock_mult` cycles — all
+    /// bit-identical to stepping cycle by cycle, including sampling
+    /// window rolls.
+    ///
+    /// Returns true when at least one cycle was skipped.
+    fn try_busy_forward(&mut self, limit: Cycle) -> bool {
+        if !self.fast_forward || !self.busy_engine {
+            return false;
+        }
+        let now = self.dram_cycle;
+        if now == 0 || limit <= now {
+            return false;
+        }
+        let last = now - 1;
+        // The per-channel views must describe the immediately preceding
+        // cycle: bulk accounting replays them verbatim.
+        if self.views_valid_at != Some(last) {
+            return false;
+        }
+        // Free disqualifiers first: a tick that issued a command (or has
+        // an undelivered completion, or a refresh drain) can never head a
+        // span, and costs nothing to detect — no backoff charged.
+        if self.ctrls.iter().any(MemoryController::stall_blocked) {
+            return false;
+        }
+        // Throttle the expensive horizon scans: a workload whose spans
+        // keep failing to materialize backs off exponentially instead of
+        // paying a full queue scan every cycle.
+        if now < self.busy_attempt_after {
+            return false;
+        }
+        // The pump must be head-of-line blocked in both directions;
+        // otherwise a step would move a request into a controller queue.
+        // (Queue occupancy is frozen over a stall span — no CAS retires
+        // an entry, no completion drains in-flight — so "blocked now"
+        // means "blocked for the whole span".)
+        if let Some(r) = self.hier.peek_read() {
+            if self.ctrls[self.channel_of(r.line)].can_accept_read() {
+                return false;
+            }
+        }
+        if let Some(line) = self.hier.peek_write() {
+            if self.ctrls[self.channel_of(line)].can_accept_write() {
+                return false;
+            }
+        }
+        let mut miss = || {
+            self.busy_backoff = (self.busy_backoff * 2).clamp(2, 8);
+            self.busy_attempt_after = now + self.busy_backoff;
+        };
+        let mut horizon = limit;
+        for ctrl in &self.ctrls {
+            match ctrl.stall_horizon(last) {
+                Some(h) => horizon = horizon.min(h),
+                None => {
+                    miss();
+                    return false;
+                }
+            }
+        }
+        let mult = u64::from(self.cfg.core_clock_mult);
+        let c0 = now * mult;
+        let mut kinds = std::mem::take(&mut self.stall_kinds);
+        kinds.clear();
+        for core in &self.cores {
+            match core.stall_horizon(c0) {
+                Some((h_core, kind)) => {
+                    // The core is stalled for core cycles [c0, h_core);
+                    // convert to whole DRAM cycles of guaranteed stall.
+                    let n_dram = (h_core - c0) / mult;
+                    horizon = horizon.min(now.saturating_add(n_dram));
+                    kinds.push(kind);
+                }
+                None => {
+                    miss();
+                    self.stall_kinds = kinds;
+                    return false;
+                }
+            }
+        }
+        if horizon <= now {
+            miss();
+            self.stall_kinds = kinds;
+            return false;
+        }
+        self.busy_backoff = 0;
+        let t = self.timers.begin();
+        let skipped = horizon - now;
+        // Controller-side per-cycle stats (drain cycles, per-entry queue
+        // attribution) are constant over the span; replay them in bulk.
+        for ctrl in &mut self.ctrls {
+            ctrl.apply_stall_span(last, skipped);
+        }
+        // Skip [now, horizon) in chunks bounded by the CPU cycle-stack
+        // sampling boundary so window rolls land exactly where per-cycle
+        // stepping would put them.
+        let mut core_start = c0;
+        while self.dram_cycle < horizon {
+            let chunk_end = horizon.min(self.next_cycle_sample);
+            let n = chunk_end - self.dram_cycle;
+            for (s, v) in self.samplers.iter_mut().zip(&self.views) {
+                s.account_span(v, n);
+            }
+            for (core, kind) in self.cores.iter_mut().zip(&kinds) {
+                core.add_stall_cycles(core_start, n * mult, *kind);
+            }
+            core_start += n * mult;
+            self.dram_cycle = chunk_end;
+            if self.dram_cycle == self.next_cycle_sample {
+                self.next_cycle_sample += self.cfg.sample_period;
+                let mut window = CycleStack::new();
+                for core in &mut self.cores {
+                    window.merge(&core.take_stack_sample());
+                }
+                self.cycle_total.merge(&window);
+                self.cycle_samples.push(window);
+            }
+        }
+        self.stall_kinds = kinds;
+        // The views still describe every cycle of the span, including the
+        // one just before where we landed — consecutive busy spans chain.
+        self.views_valid_at = Some(horizon - 1);
+        self.timers.add_busy_forwarded(skipped);
+        self.timers.end(SimPhase::BusyForward, t);
+        if let Some(hb) = &mut self.heartbeat {
+            if hb.due(self.dram_cycle) {
+                if let Some(line) = hb.tick(
+                    self.dram_cycle,
+                    self.ctrls.iter().map(|c| c.stats().reads_done).sum(),
+                ) {
+                    self.log_sink.line(&line);
+                }
+            }
+        }
+        if self.telemetry.is_some() {
+            self.publish_windows();
+        }
+        true
+    }
+
     /// Runs for a fixed simulated duration (synthetic steady-state runs).
     pub fn run_for_us(&mut self, us: f64) -> SimReport {
         let cycles = self.cfg.us_to_cycles(us);
         let end = self.dram_cycle + cycles;
         while self.dram_cycle < end {
-            if !self.try_fast_forward(end) {
+            if !self.try_fast_forward(end) && !self.try_busy_forward(end) {
                 self.step();
             }
         }
@@ -562,7 +794,7 @@ impl Simulator {
     /// Runs until every trace finishes (or `max_cycles` elapse).
     pub fn run_to_completion(&mut self, max_cycles: Cycle) -> SimReport {
         while !self.finished() && self.dram_cycle < max_cycles {
-            if !self.try_fast_forward(max_cycles) {
+            if !self.try_fast_forward(max_cycles) && !self.try_busy_forward(max_cycles) {
                 self.step();
             }
         }
@@ -619,7 +851,24 @@ impl Simulator {
         // or not live telemetry was attached.
         let diagnoses = {
             let observations: Vec<_> = samples.iter().map(TimeSample::observation).collect();
-            diagnose(&observations, AdvisorConfig::default())
+            let mut diagnoses = diagnose(&observations, AdvisorConfig::default());
+            // Multi-channel runs additionally get the cross-channel
+            // imbalance rule, fed the per-channel window series the
+            // aggregate above was built from.
+            if self.samplers.len() > 1 {
+                let per_channel: Vec<Vec<WindowObservation>> = self
+                    .samplers
+                    .iter()
+                    .map(|s| s.samples().iter().map(TimeSample::observation).collect())
+                    .collect();
+                let series: Vec<&[WindowObservation]> =
+                    per_channel.iter().map(Vec::as_slice).collect();
+                diagnoses.extend(diagnose_channel_imbalance(
+                    &series,
+                    AdvisorConfig::default(),
+                ));
+            }
+            diagnoses
         };
         // Merge per-channel auditor findings, then run the report-time
         // conservation checks over the aggregated sample series and the
@@ -837,6 +1086,47 @@ mod tests {
     }
 
     #[test]
+    fn skewed_channel_mapping_is_diagnosed() {
+        // With 2 channels, address bit 6 picks the channel: a 128-byte
+        // stride starting at 0 lands every access on channel 0. The
+        // advisor's cross-channel rule must call that out, and stay quiet
+        // on the interleaved (64-byte stride) control run.
+        let run = |stride: u64| {
+            let mut cfg = SystemConfig::paper_default(4);
+            cfg.channels = 2;
+            cfg.sample_period = 6_000;
+            let traces: Vec<Vec<dramstack_cpu::Instr>> = (0..4u64)
+                .map(|c| {
+                    (0..6000u64)
+                        .map(|i| dramstack_cpu::Instr::Load {
+                            addr: (c << 32) + i * stride,
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut sim = Simulator::with_traces(cfg, traces);
+            sim.run_for_us(60.0)
+        };
+        let skewed = run(128);
+        let imbalance = |r: &SimReport| {
+            r.diagnoses
+                .iter()
+                .filter(|d| d.class == dramstack_obs::BottleneckClass::ChannelImbalance)
+                .count()
+        };
+        assert!(imbalance(&skewed) > 0, "{:?}", skewed.diagnoses);
+        let d = skewed
+            .diagnoses
+            .iter()
+            .find(|d| d.class == dramstack_obs::BottleneckClass::ChannelImbalance)
+            .unwrap();
+        assert!(d.evidence.contains("channel 0"), "{}", d.evidence);
+        assert!(d.windows >= 3, "{d:?}");
+        let balanced = run(64);
+        assert_eq!(imbalance(&balanced), 0, "{:?}", balanced.diagnoses);
+    }
+
+    #[test]
     fn fast_forward_is_bit_identical_on_idle_run() {
         // An empty workload is the fast-forward's best case: everything
         // except the refresh grid is skippable. The report (modulo perf)
@@ -897,6 +1187,93 @@ mod tests {
             sim.run_for_us(60.0).strip_perf()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn busy_engine_is_bit_identical_on_saturated_run() {
+        // A saturating sequential workload is the busy engine's home
+        // turf: cores park on full ROBs and the controllers are the
+        // bottleneck. Engine on vs. off must produce the same report
+        // (modulo perf), and the busy skip must actually engage.
+        let run = |on: bool| {
+            let cfg = SystemConfig::paper_default(8);
+            let mut sim = Simulator::with_synthetic(cfg, SyntheticPattern::sequential(0.0));
+            sim.set_busy_engine(on);
+            let r = sim.run_for_us(30.0);
+            (r.perf.busy_forwarded_cycles, r.strip_perf())
+        };
+        let (busy_cycles, fast) = run(true);
+        let (off_cycles, naive) = run(false);
+        assert_eq!(fast, naive);
+        assert_eq!(off_cycles, 0);
+        assert!(
+            busy_cycles > 0,
+            "busy forward never engaged on a saturated run"
+        );
+    }
+
+    #[test]
+    fn busy_engine_is_bit_identical_on_random_and_mixed_traffic() {
+        let run = |on: bool, pattern: SyntheticPattern, cores: usize| {
+            let cfg = SystemConfig::paper_default(cores);
+            let mut sim = Simulator::with_synthetic(cfg, pattern);
+            sim.set_busy_engine(on);
+            sim.run_for_us(30.0).strip_perf()
+        };
+        assert_eq!(
+            run(true, SyntheticPattern::random(0.0), 2),
+            run(false, SyntheticPattern::random(0.0), 2),
+        );
+        assert_eq!(
+            run(true, SyntheticPattern::sequential(0.3), 4),
+            run(false, SyntheticPattern::sequential(0.3), 4),
+        );
+        assert_eq!(
+            run(true, SyntheticPattern::sequential(0.4), 8),
+            run(false, SyntheticPattern::sequential(0.4), 8),
+        );
+    }
+
+    #[test]
+    fn busy_engine_is_bit_identical_across_channels_and_traces() {
+        let run = |on: bool| {
+            let mut cfg = SystemConfig::paper_default(2);
+            cfg.channels = 2;
+            let trace: Vec<dramstack_cpu::Instr> = (0..256u64)
+                .map(|i| dramstack_cpu::Instr::Load { addr: i * 64 })
+                .collect();
+            let mut sim = Simulator::with_traces(cfg, vec![trace.clone(), trace]);
+            sim.set_busy_engine(on);
+            sim.run_to_completion(5_000_000).strip_perf()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn busy_engine_composes_with_idle_fast_forward() {
+        // Busy prefix, idle tail: both skips engage in the same run and
+        // the result still matches fully naive per-cycle stepping.
+        let run = |ff: bool, busy: bool| {
+            let trace: Vec<dramstack_cpu::Instr> = (0..128u64)
+                .map(|i| dramstack_cpu::Instr::Load { addr: i * 4096 })
+                .collect();
+            let cfg = SystemConfig::paper_default(1);
+            let mut sim = Simulator::with_traces(cfg, vec![trace]);
+            sim.set_fast_forward(ff);
+            sim.set_busy_engine(busy);
+            let r = sim.run_for_us(100.0);
+            (
+                r.perf.fast_forwarded_cycles,
+                r.perf.busy_forwarded_cycles,
+                r.strip_perf(),
+            )
+        };
+        let (ff, _busy, both) = run(true, true);
+        let (_, _, naive) = run(false, false);
+        let (_, _, ff_only) = run(true, false);
+        assert_eq!(both, naive);
+        assert_eq!(ff_only, naive);
+        assert!(ff > 0, "idle tail must still fast-forward");
     }
 
     #[test]
