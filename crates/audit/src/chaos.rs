@@ -230,7 +230,7 @@ pub fn arb_pattern() -> impl Strategy<Value = ChaosPattern> {
 }
 
 /// What a chaos run produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriveOutcome {
     /// The auditor's findings.
     pub audit: AuditReport,
@@ -266,6 +266,90 @@ pub fn drive(
     let mut now: Cycle = 0;
     let mut completions = Vec::new();
     while (next < traffic.len() || !ctrl.is_idle()) && now < max_cycles {
+        while next < traffic.len() && traffic[next].at <= now {
+            let r = traffic[next];
+            if r.write {
+                if !ctrl.can_accept_write() {
+                    break;
+                }
+                ctrl.enqueue_write(r.addr);
+                writes += 1;
+            } else {
+                if !ctrl.can_accept_read() {
+                    break;
+                }
+                ctrl.enqueue_read(r.addr, next as u64);
+                reads += 1;
+            }
+            next += 1;
+        }
+        ctrl.tick(now, &mut view);
+        ctrl.take_completions_into(&mut completions);
+        for c in completions.drain(..) {
+            handle.check_completion(&c);
+        }
+        now += 1;
+    }
+    let drained = next == traffic.len() && ctrl.is_idle();
+    DriveOutcome {
+        audit: handle.report(),
+        reads,
+        writes,
+        cycles: now,
+        drained,
+    }
+}
+
+/// Like [`drive`], but simulates a crash: at cycle `kill_at` the live
+/// controller, probe and auditor are torn down after capturing their
+/// snapshot state, rebuilt fresh from the config alone, restored, and
+/// the run continues to completion.
+///
+/// The outcome is bit-identical to an uninterrupted [`drive`] — the
+/// kill-and-resume matrix in the tests proves it across every
+/// [`ChaosPattern`] at boundary and mid-stream kill points, with and
+/// without an injected fault (the device snapshot carries the corrupted
+/// timing enforcement, so a restored faulty controller stays faulty and
+/// the auditor keeps catching it).
+pub fn drive_interrupted(
+    cfg: CtrlConfig,
+    fault: SeededFault,
+    traffic: &[TrafficReq],
+    max_cycles: Cycle,
+    kill_at: Cycle,
+) -> DriveOutcome {
+    let (probe, handle) = audit_channel(&cfg.device);
+    let mut handle = handle;
+    let mut ctrl = MemoryController::new(cfg.clone());
+    ctrl.inject_fault(fault);
+    ctrl.attach_probe(Box::new(probe));
+    let mut view = CycleView::idle(ctrl.total_banks());
+    let (mut reads, mut writes) = (0u64, 0u64);
+    let mut next = 0usize;
+    let mut now: Cycle = 0;
+    let mut killed = false;
+    let mut completions = Vec::new();
+    while (next < traffic.len() || !ctrl.is_idle()) && now < max_cycles {
+        if now == kill_at && !killed {
+            killed = true;
+            let ctrl_state = ctrl.snapshot_state();
+            let audit_state = handle.snapshot_state();
+            // "Crash": drop everything live, keep only the snapshots
+            // (in a real resume they would round-trip through JSON; the
+            // simulator-level tests cover that path).
+            drop(ctrl);
+            // "Resume": rebuild from the config alone and restore. The
+            // device snapshot carries the injected fault's corrupted
+            // enforcement, so no re-injection happens here.
+            let (probe2, handle2) = audit_channel(&cfg.device);
+            let mut rebuilt = MemoryController::new(cfg.clone());
+            rebuilt.attach_probe(Box::new(probe2));
+            rebuilt.restore_state(&ctrl_state);
+            handle2.restore_state(&audit_state);
+            view = CycleView::idle(rebuilt.total_banks());
+            ctrl = rebuilt;
+            handle = handle2;
+        }
         while next < traffic.len() && traffic[next].at <= now {
             let r = traffic[next];
             if r.write {
@@ -337,5 +421,88 @@ mod tests {
         );
         assert!(out.audit.commands_audited > 0);
         assert_eq!(out.reads + out.writes, 200);
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical_across_patterns() {
+        // The kill-and-resume matrix: every chaos pattern, random valid
+        // configs, kills early / mid-stream / late (including cycle 1,
+        // mid-refresh-storm, and deep into the drain tail). A resumed
+        // run must be indistinguishable from an uninterrupted one —
+        // same traffic accepted, same cycle count, same (clean) audit.
+        for pattern in ChaosPattern::ALL {
+            for seed in [3u64, 11] {
+                let cfg = random_config(seed);
+                let traffic = pattern.generate(&cfg, seed, 120);
+                let base = drive(cfg.clone(), SeededFault::None, &traffic, 2_000_000);
+                assert!(base.audit.is_clean(), "{pattern:?} base run not clean");
+                for frac in [0u64, 3, 7, 9] {
+                    let kill_at = (base.cycles * frac / 10).max(1);
+                    let resumed = drive_interrupted(
+                        cfg.clone(),
+                        SeededFault::None,
+                        &traffic,
+                        2_000_000,
+                        kill_at,
+                    );
+                    assert_eq!(
+                        resumed, base,
+                        "{pattern:?} seed {seed} killed at {kill_at} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_state_survives_kill_and_resume() {
+        // An injected fault's corrupted timing enforcement is part of the
+        // device snapshot: the rebuilt controller must stay faulty and
+        // the restored auditor must keep (and keep growing) its findings
+        // exactly as the uninterrupted run does.
+        let cfg = CtrlConfig::paper_default();
+        let fault = SeededFault::TrcdOneEarly;
+        for pattern in [ChaosPattern::SingleBankHammer, ChaosPattern::RefreshStorm] {
+            let traffic = pattern.generate(&cfg, 5, 150);
+            let base = drive(cfg.clone(), fault, &traffic, 2_000_000);
+            assert!(
+                base.audit.violations_total > 0,
+                "{fault:?} under {pattern:?} produced no violations to compare"
+            );
+            for frac in [2u64, 6] {
+                let kill_at = (base.cycles * frac / 10).max(1);
+                let resumed = drive_interrupted(cfg.clone(), fault, &traffic, 2_000_000, kill_at);
+                assert_eq!(
+                    resumed, base,
+                    "{fault:?} under {pattern:?} killed at {kill_at} diverged"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Randomized kill-and-resume: arbitrary valid config, pattern
+        /// and kill fraction — the resumed outcome always matches.
+        #[test]
+        fn prop_kill_and_resume_matches(
+            seed in 0u64..40,
+            pattern in arb_pattern(),
+            kill_permille in 1u64..999,
+        ) {
+            let cfg = random_config(seed);
+            let traffic = pattern.generate(&cfg, seed, 80);
+            let base = drive(cfg.clone(), SeededFault::None, &traffic, 1_000_000);
+            let kill_at = (base.cycles * kill_permille / 1000).max(1);
+            let resumed = drive_interrupted(
+                cfg,
+                SeededFault::None,
+                &traffic,
+                1_000_000,
+                kill_at,
+            );
+            prop_assert_eq!(resumed, base);
+        }
     }
 }

@@ -34,8 +34,8 @@ mod probe;
 mod report;
 mod shadow;
 
-pub use chaos::{drive, ChaosPattern, DriveOutcome, TrafficReq};
-pub use probe::{audit_channel, AuditHandle, AuditProbe};
+pub use chaos::{drive, drive_interrupted, ChaosPattern, DriveOutcome, TrafficReq};
+pub use probe::{audit_channel, AuditHandle, AuditProbe, AuditState};
 pub use report::{
     AuditReport, AuditRule, AuditViolation, ConservationFailure, ConservationKind, MAX_RECORDED,
 };

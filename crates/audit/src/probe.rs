@@ -10,6 +10,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use serde::{Deserialize, Serialize};
+
 use dramstack_dram::{Command, Cycle, DeviceConfig};
 use dramstack_memctrl::CompletedRead;
 use dramstack_obs::Probe;
@@ -20,6 +22,19 @@ use crate::shadow::ProtocolAuditor;
 
 #[derive(Debug)]
 struct AuditShared {
+    auditor: ProtocolAuditor,
+    reads_checked: u64,
+    conservation_total: u64,
+    conservation: Vec<ConservationFailure>,
+}
+
+/// Serializable state of an armed audit channel — the shadow auditor's
+/// full bookkeeping plus the conservation counters. Captured by
+/// [`AuditHandle::snapshot_state`] so a restored simulation resumes with
+/// the exact audit history (the final [`AuditReport`] is part of report
+/// bit-identity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditState {
     auditor: ProtocolAuditor,
     reads_checked: u64,
     conservation_total: u64,
@@ -102,6 +117,28 @@ impl AuditHandle {
         if s.conservation.len() < MAX_RECORDED {
             s.conservation.push(f);
         }
+    }
+
+    /// Captures the full audit state (shadow bookkeeping + conservation
+    /// counters) for a simulator snapshot.
+    pub fn snapshot_state(&self) -> AuditState {
+        let s = self.inner.borrow();
+        AuditState {
+            auditor: s.auditor.clone(),
+            reads_checked: s.reads_checked,
+            conservation_total: s.conservation_total,
+            conservation: s.conservation.clone(),
+        }
+    }
+
+    /// Restores state captured by [`snapshot_state`](Self::snapshot_state)
+    /// into this (re-armed) channel.
+    pub fn restore_state(&self, state: &AuditState) {
+        let mut s = self.inner.borrow_mut();
+        s.auditor = state.auditor.clone();
+        s.reads_checked = state.reads_checked;
+        s.conservation_total = state.conservation_total;
+        s.conservation = state.conservation.clone();
     }
 
     /// Snapshots everything into a report (`armed` is always true — an

@@ -110,7 +110,7 @@ impl ShadowTiming {
 const REFI_SLACK: Cycle = 8;
 
 /// Shadow state of one bank's row buffer and per-bank timing windows.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct ShadowBank {
     /// The open row, if any.
     open_row: Option<u32>,
@@ -165,7 +165,7 @@ impl ShadowBank {
 }
 
 /// Shadow state of one rank: ACT/CAS spacing, tFAW window, refresh.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct ShadowRank {
     /// Issue cycles of up to the last four ACTs (for tFAW).
     faw_window: Vec<Cycle>,
@@ -211,7 +211,7 @@ struct Breach {
 /// findings with [`violations`](Self::violations). It can be used
 /// standalone or wrapped in the probe adapters from
 /// [`probe`](crate::probe).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProtocolAuditor {
     t: ShadowTiming,
     bank_groups: usize,

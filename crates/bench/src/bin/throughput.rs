@@ -78,6 +78,24 @@ struct TelemetryOverhead {
     relative_throughput: f64,
 }
 
+/// Cost of periodic checkpointing (snapshot + JSON serialize per
+/// boundary) on a loaded run.
+#[derive(Debug, Serialize)]
+struct CheckpointOverhead {
+    /// Checkpoint interval in DRAM cycles.
+    every_cycles: u64,
+    /// Snapshots emitted during the timed run.
+    snapshots_taken: usize,
+    /// Serialized size of the last snapshot blob in bytes.
+    snapshot_bytes: usize,
+    /// Msim-cycles/s with checkpointing off.
+    off_msim_cycles_per_sec: f64,
+    /// Msim-cycles/s with periodic checkpointing on.
+    on_msim_cycles_per_sec: f64,
+    /// `on / off` — 1.0 means free.
+    relative_throughput: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchOutput {
     /// `quick` or `full`.
@@ -91,6 +109,9 @@ struct BenchOutput {
     busy_speedup: Vec<BusySpeedup>,
     /// Streaming-telemetry cost on the seq_2c workload.
     telemetry: TelemetryOverhead,
+    /// Periodic-checkpoint cost on the seq_2c workload (record, not
+    /// gate: CI only validates the section's presence and shape).
+    checkpoint: CheckpointOverhead,
     /// Parallel sweep scaling.
     sweep: SweepResult,
 }
@@ -249,6 +270,40 @@ fn main() {
     configs.push(config_result("seq_2c_telemetry_off", &tel_off));
     configs.push(config_result("seq_2c_telemetry_on", &tel_on));
 
+    // Checkpoint overhead: the telemetry-off run doubles as the
+    // no-checkpoint baseline; the checkpointed leg snapshots and
+    // serializes the full machine state every quarter of the run.
+    let ckpt_cfg = SystemConfig::paper_default(2);
+    let ckpt_every = (ckpt_cfg.us_to_cycles(scale.synth_us) / 4).max(1);
+    let mut snapshots_taken = 0usize;
+    let mut snapshot_bytes = 0usize;
+    let ckpt_on = {
+        let mut sim = Simulator::with_synthetic(ckpt_cfg, SyntheticPattern::sequential(0.0));
+        sim.set_busy_engine(true);
+        sim.enable_profiling();
+        sim.run_for_us_checkpointed(scale.synth_us, ckpt_every, &mut |snap| {
+            snapshots_taken += 1;
+            snapshot_bytes = snap.to_json().len();
+        })
+        .expect("synthetic streams support checkpointing")
+    };
+    assert_eq!(
+        tel_off.strip_perf(),
+        ckpt_on.strip_perf(),
+        "periodic checkpointing must not perturb results"
+    );
+    assert!(snapshots_taken > 0, "checkpoint leg took no snapshots");
+    let checkpoint = CheckpointOverhead {
+        every_cycles: ckpt_every,
+        snapshots_taken,
+        snapshot_bytes,
+        off_msim_cycles_per_sec: tel_off.perf.sim_cycles_per_second / 1e6,
+        on_msim_cycles_per_sec: ckpt_on.perf.sim_cycles_per_second / 1e6,
+        relative_throughput: ckpt_on.perf.sim_cycles_per_second
+            / tel_off.perf.sim_cycles_per_second.max(1e-12),
+    };
+    configs.push(config_result("seq_2c_checkpointed", &ckpt_on));
+
     // Parallel sweep scaling: the same independent job list run on one
     // worker and on all available workers.
     let threads = parallel::available_threads();
@@ -287,6 +342,7 @@ fn main() {
         idle_fast_forward_speedup: idle_speedup,
         busy_speedup,
         telemetry,
+        checkpoint,
         sweep: SweepResult {
             jobs: serial.len(),
             threads,
@@ -321,6 +377,14 @@ fn main() {
         out.telemetry.off_msim_cycles_per_sec,
         out.telemetry.on_msim_cycles_per_sec,
         out.telemetry.relative_throughput * 100.0
+    );
+    println!(
+        "checkpoint overhead: {:.2} -> {:.2} Msim-cycles/s ({} snapshots of {} bytes every {} cycles)",
+        out.checkpoint.off_msim_cycles_per_sec,
+        out.checkpoint.on_msim_cycles_per_sec,
+        out.checkpoint.snapshots_taken,
+        out.checkpoint.snapshot_bytes,
+        out.checkpoint.every_cycles
     );
     println!(
         "idle fast-forward speedup: {:.1}x | sweep: {} jobs, {} threads, {:.2}s -> {:.2}s ({:.2}x)",

@@ -85,6 +85,22 @@ impl WindowMerge for TimeSample {
     }
 }
 
+/// Serializable state of a [`StackSampler`], captured by
+/// [`StackSampler::snapshot_state`] and re-injected with
+/// [`StackSampler::restore_state`] into a sampler constructed with the
+/// same parameters. Captures the open (partial) window — accountants,
+/// per-window metrics — alongside the rolled samples, so a restored
+/// sampler continues the window bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplerState {
+    bw: BandwidthAccountant,
+    lat: LatencyAccountant,
+    window_start: Cycle,
+    accounted: u64,
+    samples: Vec<TimeSample>,
+    metrics: MetricsRegistry,
+}
+
 /// Samples bandwidth and latency stacks every fixed number of cycles.
 #[derive(Debug, Clone)]
 pub struct StackSampler {
@@ -267,6 +283,32 @@ impl StackSampler {
     /// Samples collected so far (not including the open window).
     pub fn samples(&self) -> &[TimeSample] {
         &self.samples
+    }
+
+    /// Captures the sampler's full state, including the open window.
+    pub fn snapshot_state(&self) -> SamplerState {
+        SamplerState {
+            bw: self.bw.clone(),
+            lat: self.lat,
+            window_start: self.window_start,
+            accounted: self.accounted,
+            samples: self.samples.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Restores state captured by [`snapshot_state`](Self::snapshot_state).
+    /// The target must have been constructed with the same parameters
+    /// (banks, peak, cycle time, period) as the snapshot source — the
+    /// metric handles are deterministic per construction, so only the
+    /// mutable state needs re-injecting.
+    pub fn restore_state(&mut self, state: &SamplerState) {
+        self.bw = state.bw.clone();
+        self.lat = state.lat;
+        self.window_start = state.window_start;
+        self.accounted = state.accounted;
+        self.samples = state.samples.clone();
+        self.metrics = state.metrics.clone();
     }
 
     /// The sampling period in cycles.

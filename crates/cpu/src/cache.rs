@@ -71,7 +71,7 @@ pub enum CacheOutcome {
     },
 }
 
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct Way {
     tag: u64,
     valid: bool,
@@ -113,7 +113,7 @@ impl CacheStats {
 /// assert_eq!(l1.access(0x1000, true), CacheOutcome::Hit); // now dirty
 /// assert!(l1.probe(0x1000));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Cache {
     cfg: CacheConfig,
     ways: Vec<Way>,

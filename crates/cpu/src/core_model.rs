@@ -49,7 +49,7 @@ impl Default for CoreConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum SlotState {
     /// Can retire.
     Ready,
@@ -59,12 +59,38 @@ enum SlotState {
     WaitLine(u64),
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct RobSlot {
     state: SlotState,
     issued_at: u64,
     /// Dependence chain of a `ChainLoad`, released at completion.
     chain: Option<u8>,
+}
+
+/// Serializable state of one [`CoreModel`], captured by
+/// [`CoreModel::snapshot_state`] and re-injected by
+/// [`CoreModel::restore_state`] into a core built with the same
+/// configuration. The `id`/`cfg` are deliberately not part of the state —
+/// the simulator-level snapshot validates the whole `SystemConfig` instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreState {
+    rob: Vec<RobSlot>,
+    /// `by_line` as a key-sorted association list (the vendored serde
+    /// subset has no `HashMap` support; sorting also makes the encoding
+    /// canonical).
+    by_line: Vec<(u64, Vec<u64>)>,
+    front_seq: u64,
+    next_seq: u64,
+    fetch_stall_until: u64,
+    pending_compute: u32,
+    deferred: Option<Instr>,
+    pending_barrier: Option<u32>,
+    at_barrier: Option<u32>,
+    stream_done: bool,
+    stack: CycleStack,
+    retired: u64,
+    chain_inflight: Vec<u32>,
+    mshr_blocked: bool,
 }
 
 /// The single stack class a stalled core accrues over a skipped span.
@@ -504,6 +530,66 @@ impl CoreModel {
                 }
             }
         }
+    }
+
+    /// Captures this core's full architectural state.
+    pub fn snapshot_state(&self) -> CoreState {
+        let mut by_line: Vec<(u64, Vec<u64>)> = self
+            .by_line
+            .iter()
+            .map(|(&line, seqs)| (line, seqs.clone()))
+            .collect();
+        by_line.sort_unstable_by_key(|(line, _)| *line);
+        CoreState {
+            rob: self.rob.iter().copied().collect(),
+            by_line,
+            front_seq: self.front_seq,
+            next_seq: self.next_seq,
+            fetch_stall_until: self.fetch_stall_until,
+            pending_compute: self.pending_compute,
+            deferred: self.deferred,
+            pending_barrier: self.pending_barrier,
+            at_barrier: self.at_barrier,
+            stream_done: self.stream_done,
+            stack: self.stack,
+            retired: self.retired,
+            chain_inflight: self.chain_inflight.to_vec(),
+            mshr_blocked: self.mshr_blocked,
+        }
+    }
+
+    /// Restores state captured by [`snapshot_state`](Self::snapshot_state)
+    /// into this core. The target must have been built with the same
+    /// configuration the snapshot was taken under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's chain table width does not match
+    /// [`Instr::MAX_CHAINS`].
+    pub fn restore_state(&mut self, state: &CoreState) {
+        assert_eq!(
+            state.chain_inflight.len(),
+            Instr::MAX_CHAINS,
+            "core snapshot chain table width mismatch"
+        );
+        self.rob = state.rob.iter().copied().collect();
+        self.by_line = state
+            .by_line
+            .iter()
+            .map(|(line, seqs)| (*line, seqs.clone()))
+            .collect();
+        self.front_seq = state.front_seq;
+        self.next_seq = state.next_seq;
+        self.fetch_stall_until = state.fetch_stall_until;
+        self.pending_compute = state.pending_compute;
+        self.deferred = state.deferred;
+        self.pending_barrier = state.pending_barrier;
+        self.at_barrier = state.at_barrier;
+        self.stream_done = state.stream_done;
+        self.stack = state.stack;
+        self.retired = state.retired;
+        self.chain_inflight.copy_from_slice(&state.chain_inflight);
+        self.mshr_blocked = state.mshr_blocked;
     }
 
     fn push_slot(&mut self, state: SlotState, now: u64) {

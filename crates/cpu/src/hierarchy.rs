@@ -62,7 +62,7 @@ pub enum AccessResult {
 }
 
 /// A read request headed to the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OutboundRead {
     /// Line address.
     pub line: u64,
@@ -72,7 +72,7 @@ pub struct OutboundRead {
     pub is_prefetch: bool,
 }
 
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct PendingLine {
     /// Cores with demand waiters on this line.
     waiters: Vec<usize>,
@@ -96,6 +96,26 @@ pub struct HierarchyStats {
     pub mshr_merges: u64,
     /// Prefetches that arrived before the demand access (useful).
     pub prefetch_hits: u64,
+}
+
+/// Serializable state of the whole [`Hierarchy`], captured by
+/// [`Hierarchy::snapshot_state`] and re-injected by
+/// [`Hierarchy::restore_state`] into a hierarchy built with the same
+/// configuration and core count. Hash-based members are stored as
+/// key-sorted vectors (canonical encoding; the vendored serde subset has
+/// no hash-map/set support).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyState {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    llc: Cache,
+    prefetchers: Vec<StreamPrefetcher>,
+    demand_outstanding: Vec<Vec<u64>>,
+    prefetch_outstanding: Vec<Vec<u64>>,
+    pending: Vec<(u64, PendingLine)>,
+    outbound_reads: Vec<OutboundRead>,
+    outbound_writes: Vec<u64>,
+    stats: HierarchyStats,
 }
 
 /// The shared memory hierarchy of all cores.
@@ -368,6 +388,78 @@ impl Hierarchy {
         }
         self.llc.reset_stats();
         self.stats = HierarchyStats::default();
+    }
+
+    /// Captures the full state of caches, prefetchers, MSHR sets, pending
+    /// lines and outbound queues.
+    pub fn snapshot_state(&self) -> HierarchyState {
+        let sorted_sets = |sets: &[HashSet<u64>]| {
+            sets.iter()
+                .map(|s| {
+                    let mut v: Vec<u64> = s.iter().copied().collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect()
+        };
+        let mut pending: Vec<(u64, PendingLine)> = self
+            .pending
+            .iter()
+            .map(|(&line, p)| (line, p.clone()))
+            .collect();
+        pending.sort_unstable_by_key(|(line, _)| *line);
+        HierarchyState {
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+            llc: self.llc.clone(),
+            prefetchers: self.prefetchers.clone(),
+            demand_outstanding: sorted_sets(&self.demand_outstanding),
+            prefetch_outstanding: sorted_sets(&self.prefetch_outstanding),
+            pending,
+            outbound_reads: self.outbound_reads.iter().copied().collect(),
+            outbound_writes: self.outbound_writes.iter().copied().collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`snapshot_state`](Self::snapshot_state).
+    /// The target must have been built with the same configuration and core
+    /// count the snapshot was taken under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's core count does not match this hierarchy's.
+    pub fn restore_state(&mut self, state: &HierarchyState) {
+        assert_eq!(
+            state.l1.len(),
+            self.l1.len(),
+            "hierarchy snapshot core count mismatch"
+        );
+        self.l1 = state.l1.clone();
+        self.l2 = state.l2.clone();
+        self.llc = state.llc.clone();
+        self.prefetchers = state.prefetchers.clone();
+        self.demand_outstanding = state
+            .demand_outstanding
+            .iter()
+            .map(|v| v.iter().copied().collect())
+            .collect();
+        self.prefetch_outstanding = state
+            .prefetch_outstanding
+            .iter()
+            .map(|v| v.iter().copied().collect())
+            .collect();
+        self.pending = state
+            .pending
+            .iter()
+            .map(|(line, p)| (*line, p.clone()))
+            .collect();
+        self.outbound_reads = state.outbound_reads.iter().copied().collect();
+        self.outbound_writes = state.outbound_writes.iter().copied().collect();
+        // Scratch only lives within `train_prefetcher`; it is always empty
+        // at snapshot boundaries.
+        self.prefetch_buf.clear();
+        self.stats = state.stats;
     }
 
     // -- fill helpers with dirty-eviction cascade --------------------------------

@@ -63,6 +63,24 @@ impl Instr {
 pub trait InstrStream {
     /// The next instruction, or `None` when the program finished.
     fn next_instr(&mut self) -> Option<Instr>;
+
+    /// Serializable checkpoint of this stream's position/state, as opaque
+    /// words. Restoring the same words via
+    /// [`restore_checkpoint`](Self::restore_checkpoint) into a freshly
+    /// constructed stream of the same kind must continue the exact
+    /// instruction sequence. Streams without checkpoint support return
+    /// `None` (the default) — a simulator snapshot then fails with a typed
+    /// error instead of silently resuming wrong.
+    fn checkpoint(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restores state captured by [`checkpoint`](Self::checkpoint).
+    /// Returns `false` when this stream kind does not support restore or
+    /// the state words are malformed.
+    fn restore_checkpoint(&mut self, _state: &[u64]) -> bool {
+        false
+    }
 }
 
 /// A stream backed by a pre-generated trace.
@@ -91,6 +109,20 @@ impl InstrStream for VecStream {
             self.pos += 1;
         }
         i
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u64>> {
+        Some(vec![self.pos as u64])
+    }
+
+    fn restore_checkpoint(&mut self, state: &[u64]) -> bool {
+        match state {
+            [pos] if *pos as usize <= self.instrs.len() => {
+                self.pos = *pos as usize;
+                true
+            }
+            _ => false,
+        }
     }
 }
 

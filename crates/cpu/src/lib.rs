@@ -34,8 +34,10 @@ mod instr;
 mod prefetch;
 
 pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats};
-pub use core_model::{CoreConfig, CoreModel, StallKind};
+pub use core_model::{CoreConfig, CoreModel, CoreState, StallKind};
 pub use cycle_stack::{CycleComponent, CycleStack};
-pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, HierarchyStats, OutboundRead};
+pub use hierarchy::{
+    AccessResult, Hierarchy, HierarchyConfig, HierarchyState, HierarchyStats, OutboundRead,
+};
 pub use instr::{FnStream, Instr, InstrStream, VecStream};
 pub use prefetch::{PrefetchConfig, StreamPrefetcher};

@@ -32,7 +32,7 @@ impl Default for PrefetchConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct Stream {
     last_line: u64,
     direction: i64,
@@ -58,7 +58,7 @@ struct Stream {
 /// assert!(!out.is_empty(), "…triggers prefetches ahead of it");
 /// assert!(out.iter().all(|&l| l > 100));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamPrefetcher {
     cfg: PrefetchConfig,
     table: Vec<Stream>,

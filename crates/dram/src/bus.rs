@@ -31,7 +31,7 @@ pub struct Burst {
 }
 
 /// The data-bus schedule of one channel.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DataBus {
     bursts: VecDeque<Burst>,
     /// End of the most recent read burst (for read→write turnaround).

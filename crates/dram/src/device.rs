@@ -156,6 +156,37 @@ impl NextLegal {
     };
 }
 
+/// Serializable image of one channel's full DRAM state, as captured by
+/// [`DramDevice::snapshot_state`]. The next-legal-cycle memo tables are
+/// deliberately absent: they are a pure cache, reset to stale on restore
+/// and refolded on demand with identical answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSnapshot {
+    /// Per-flat-bank state (open rows, timing windows, per-bank stats).
+    pub banks: Vec<Bank>,
+    /// Per-rank timing state (tFAW windows, refresh bookkeeping).
+    pub ranks: Vec<RankTimingState>,
+    /// Data-bus schedule and burst totals.
+    pub bus: DataBus,
+    /// Device-level command counts.
+    pub stats: DeviceStats,
+    /// Injected chaos fault, if any (the enforced timing set is derived
+    /// from this on restore).
+    pub fault: SeededFault,
+    /// Per-flat-bank memo-invalidation epochs.
+    pub bank_epochs: Vec<u32>,
+    /// Per-rank memo-invalidation epochs.
+    pub rank_epochs: Vec<u32>,
+    /// Bus memo-invalidation epoch.
+    pub bus_epoch: u32,
+    /// Flat bank indices with a pending auto-precharge.
+    pub auto_pre_pending: Vec<usize>,
+    /// Dirty-bank list for the transitioning-bank sweep.
+    pub transitioning: Vec<usize>,
+    /// Membership flags mirroring `transitioning`.
+    pub in_transition: Vec<bool>,
+}
+
 /// Cumulative command counts for the whole device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceStats {
@@ -894,6 +925,62 @@ impl DramDevice {
     /// Number of refreshes performed on `rank`.
     pub fn refreshes_done(&self, rank: u32) -> u64 {
         self.ranks[rank as usize].refreshes_done()
+    }
+
+    // ---- checkpoint/restore --------------------------------------------------------
+
+    /// Captures the full simulation state of this channel. The memo tables
+    /// are a cache and are not captured; `memo_enabled` is a tuning knob
+    /// and survives restore on the target device.
+    pub fn snapshot_state(&self) -> DeviceSnapshot {
+        DeviceSnapshot {
+            banks: self.banks.clone(),
+            ranks: self.ranks.clone(),
+            bus: self.bus.clone(),
+            stats: self.stats,
+            fault: self.fault,
+            bank_epochs: self.bank_epochs.clone(),
+            rank_epochs: self.rank_epochs.clone(),
+            bus_epoch: self.bus_epoch,
+            auto_pre_pending: self.auto_pre_pending.clone(),
+            transitioning: self.transitioning.clone(),
+            in_transition: self.in_transition.clone(),
+        }
+    }
+
+    /// Restores state captured by [`snapshot_state`](Self::snapshot_state)
+    /// into a device built from the same configuration. Every next-legal
+    /// memo slot is reset to stale so queries refold from the restored
+    /// state — answers are identical to an uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's geometry (bank/rank counts) does not match
+    /// this device's configuration.
+    pub fn restore_state(&mut self, snap: &DeviceSnapshot) {
+        assert_eq!(snap.banks.len(), self.banks.len(), "bank count mismatch");
+        assert_eq!(snap.ranks.len(), self.ranks.len(), "rank count mismatch");
+        self.banks = snap.banks.clone();
+        self.ranks = snap.ranks.clone();
+        self.bus = snap.bus.clone();
+        self.stats = snap.stats;
+        self.fault = snap.fault;
+        self.enforced = snap.fault.corrupt(self.config.timing);
+        self.bank_epochs = snap.bank_epochs.clone();
+        self.rank_epochs = snap.rank_epochs.clone();
+        self.bus_epoch = snap.bus_epoch;
+        self.auto_pre_pending = snap.auto_pre_pending.clone();
+        self.transitioning = snap.transitioning.clone();
+        self.in_transition = snap.in_transition.clone();
+        for slot in self
+            .act_legal
+            .iter()
+            .chain(&self.pre_legal)
+            .chain(&self.read_legal)
+            .chain(&self.write_legal)
+        {
+            slot.set(NextLegal::STALE);
+        }
     }
 }
 

@@ -44,7 +44,7 @@ mod view;
 pub use bank::{Bank, BankState};
 pub use bus::{Burst, BurstKind, DataBus};
 pub use command::{Command, CommandKind};
-pub use device::{DeviceConfig, DramDevice, Earliest};
+pub use device::{DeviceConfig, DeviceSnapshot, DramDevice, Earliest};
 pub use error::{CommandError, ConfigError};
 pub use fault::SeededFault;
 pub use geometry::{BankAddr, DramAddress, DramGeometry};

@@ -22,7 +22,7 @@ pub enum RankState {
 }
 
 /// Timing state shared by all banks of one rank.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RankTimingState {
     /// Issue times of the most recent ACTs, for the tFAW window (≤ 4 kept).
     act_window: VecDeque<Cycle>,

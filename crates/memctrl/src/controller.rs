@@ -72,7 +72,7 @@ impl Default for CtrlConfig {
 }
 
 /// A read whose CAS has issued; data arrives at `done_at`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct InFlightRead {
     id: RequestId,
     meta: u64,
@@ -83,6 +83,26 @@ struct InFlightRead {
     refresh_wait: Cycle,
     writeburst_wait: Cycle,
     queue_wait: Cycle,
+}
+
+/// Serializable image of one controller's full simulation state, as
+/// captured by [`MemoryController::snapshot_state`]. Attachments (probes,
+/// the command trace) and tuning knobs (`busy_engine`) are not part of it;
+/// the per-bank queue indices and the address decoder are derived state,
+/// rebuilt on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CtrlSnapshot {
+    device: dramstack_dram::DeviceSnapshot,
+    read_q: Vec<QueueEntry>,
+    write_q: Vec<QueueEntry>,
+    in_flight: Vec<InFlightRead>,
+    completions: Vec<CompletedRead>,
+    drain_mode: bool,
+    refresh_draining: bool,
+    next_id: u64,
+    stats: CtrlStats,
+    cas_this_cycle: Option<bool>,
+    issued_this_cycle: bool,
 }
 
 /// One DRAM memory controller and its channel.
@@ -500,6 +520,68 @@ impl MemoryController {
             } else {
                 e.queue_wait += n;
             }
+        }
+    }
+
+    // ---- checkpoint/restore --------------------------------------------------------
+
+    /// Captures the full simulation state of this controller and its
+    /// device. Probes and the command trace are attachments and are not
+    /// captured; reattach them after [`restore_state`](Self::restore_state).
+    pub fn snapshot_state(&self) -> CtrlSnapshot {
+        CtrlSnapshot {
+            device: self.device.snapshot_state(),
+            read_q: self.read_q.clone(),
+            write_q: self.write_q.clone(),
+            in_flight: self.in_flight.clone(),
+            completions: self.completions.clone(),
+            drain_mode: self.drain_mode,
+            refresh_draining: self.refresh_draining,
+            next_id: self.next_id,
+            stats: self.stats,
+            cas_this_cycle: self.cas_this_cycle,
+            issued_this_cycle: self.issued_this_cycle,
+        }
+    }
+
+    /// Restores state captured by [`snapshot_state`](Self::snapshot_state)
+    /// into a controller built from the same configuration. The per-bank
+    /// queue indices are rebuilt from the restored queues and the device's
+    /// timing memo tables are invalidated, so subsequent scheduling is
+    /// bit-identical to an uninterrupted run. Controller time is monotonic:
+    /// the first `tick` after a restore must be at or past the cycle the
+    /// snapshot was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's geometry does not match this controller's
+    /// configuration.
+    pub fn restore_state(&mut self, snap: &CtrlSnapshot) {
+        self.device.restore_state(&snap.device);
+        self.read_q = snap.read_q.clone();
+        self.write_q = snap.write_q.clone();
+        self.in_flight = snap.in_flight.clone();
+        self.completions = snap.completions.clone();
+        self.drain_mode = snap.drain_mode;
+        self.refresh_draining = snap.refresh_draining;
+        self.next_id = snap.next_id;
+        self.stats = snap.stats;
+        self.cas_this_cycle = snap.cas_this_cycle;
+        self.issued_this_cycle = snap.issued_this_cycle;
+        for list in self
+            .read_bank_index
+            .iter_mut()
+            .chain(self.write_bank_index.iter_mut())
+        {
+            list.clear();
+        }
+        for (i, e) in self.read_q.iter().enumerate() {
+            let flat = self.device.geometry().flat_bank(e.addr.bank);
+            self.read_bank_index[flat].push(i as u32);
+        }
+        for (i, e) in self.write_q.iter().enumerate() {
+            let flat = self.device.geometry().flat_bank(e.addr.bank);
+            self.write_bank_index[flat].push(i as u32);
         }
     }
 

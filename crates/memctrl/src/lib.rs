@@ -40,7 +40,7 @@ mod policy;
 mod request;
 mod stats;
 
-pub use controller::{CtrlConfig, MemoryController};
+pub use controller::{CtrlConfig, CtrlSnapshot, MemoryController};
 pub use mapping::{AddressMapping, MappingScheme};
 pub use policy::{PagePolicy, SchedulerPolicy};
 pub use request::{CompletedRead, LatencyBreakdown, RequestId};

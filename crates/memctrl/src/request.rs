@@ -63,7 +63,7 @@ pub struct CompletedRead {
 }
 
 /// Internal queue entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) struct QueueEntry {
     pub id: RequestId,
     pub meta: u64,

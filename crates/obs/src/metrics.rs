@@ -146,7 +146,11 @@ impl MetricsSnapshot {
 }
 
 /// Registry of named metrics with window semantics.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializable so simulator snapshots can capture an open sampling
+/// window mid-flight; restoring a serialized registry into a component
+/// re-registered with the same metric names resumes the window exactly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsRegistry {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, f64)>,

@@ -12,6 +12,7 @@ use dramstack_dram::Cycle;
 use dramstack_memctrl::{MappingScheme, PagePolicy};
 use dramstack_workloads::{GapConfig, GapKernel, Graph, SyntheticPattern};
 
+use crate::campaign::{job_key, Campaign};
 use crate::config::{ConfigError, SystemConfig};
 use crate::parallel;
 use crate::report::SimReport;
@@ -458,6 +459,202 @@ pub fn sweep_synthetic(
     })
     .into_iter()
     .collect()
+}
+
+/// Fault-injection knobs for [`sweep_synthetic_supervised`] — the chaos
+/// half of the crash-safety harness, proving panic isolation and the
+/// watchdog end to end (CI runs a sweep with one of each injected).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepInjection {
+    /// Panic inside the grid point with this input-order index.
+    pub panic_at: Option<usize>,
+    /// Hang (sleep forever, never pulse) inside this grid point.
+    pub hang_at: Option<usize>,
+}
+
+/// Outcome of a supervised, optionally campaign-backed sweep.
+#[derive(Debug)]
+pub struct SupervisedSweep {
+    /// One slot per grid point in input order; `None` where the job was
+    /// lost to a panic or watchdog kill.
+    pub points: Vec<Option<SweepPoint>>,
+    /// Grid points loaded from the campaign manifest instead of re-run.
+    pub skipped: usize,
+    /// Typed failure report (indices are grid input-order positions).
+    pub failures: parallel::SweepFailures,
+}
+
+#[derive(Clone)]
+struct SweepJob {
+    grid_idx: usize,
+    name: String,
+    pattern: SyntheticPattern,
+    cores: usize,
+    policy: PagePolicy,
+    mapping: MappingScheme,
+    cfg: SystemConfig,
+    key: String,
+    label: String,
+}
+
+/// [`sweep_synthetic`] hardened for long campaigns: every grid point
+/// runs under [`parallel::supervised_map`] (panic isolation, watchdog,
+/// bounded retry), and with a [`Campaign`] attached the sweep becomes
+/// resumable — with `resume` set, finished points are loaded from the
+/// manifest instead of re-run and interrupted points restore from their
+/// latest checkpoint; either way, in-flight points checkpoint every
+/// `checkpoint_every` cycles and completions are recorded incrementally.
+///
+/// Never panics and never loses healthy results: the returned
+/// [`SupervisedSweep`] carries every completed point in input order plus
+/// a typed failure report for the rest.
+///
+/// # Errors
+///
+/// Like [`sweep_synthetic`], the grid is validated before any fan-out.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_synthetic_supervised(
+    cores: &[usize],
+    policies: &[PagePolicy],
+    mappings: &[MappingScheme],
+    store_fraction: f64,
+    us: f64,
+    campaign: Option<&Campaign>,
+    checkpoint_every: Cycle,
+    resume: bool,
+    sup: &parallel::SupervisorConfig,
+    inject: SweepInjection,
+) -> Result<SupervisedSweep, ConfigError> {
+    for &n in cores {
+        SystemConfig::paper_default(n).validate()?;
+    }
+    let mut grid = Vec::new();
+    for (name, pattern) in [
+        ("seq", SyntheticPattern::sequential(store_fraction)),
+        ("rand", SyntheticPattern::random(store_fraction)),
+    ] {
+        for &n in cores {
+            for &policy in policies {
+                for &mapping in mappings {
+                    let mut cfg = SystemConfig::paper_default(n);
+                    cfg.ctrl.page_policy = policy;
+                    cfg.ctrl.mapping = mapping;
+                    cfg.validate()?;
+                    // The key must pin everything that shapes the result:
+                    // the config hash covers cores/policy/mapping, the
+                    // label adds pattern, duration and store mix.
+                    let label =
+                        format!("{name}-{n}c-{policy:?}-{mapping:?}-{us}us-{store_fraction}st");
+                    let key = job_key(&cfg, &label);
+                    grid.push(SweepJob {
+                        grid_idx: grid.len(),
+                        name: name.to_string(),
+                        pattern,
+                        cores: n,
+                        policy,
+                        mapping,
+                        cfg,
+                        key,
+                        label,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut points: Vec<Option<SweepPoint>> = vec![None; grid.len()];
+    let mut skipped = 0usize;
+    let mut pending = Vec::new();
+    for job in grid {
+        let recorded = if resume {
+            campaign.and_then(|c| c.load_report(&job.key).ok().flatten())
+        } else {
+            None
+        };
+        match recorded {
+            Some(report) => {
+                points[job.grid_idx] = Some(SweepPoint {
+                    pattern: job.name,
+                    cores: job.cores,
+                    policy: job.policy,
+                    mapping: job.mapping,
+                    report,
+                });
+                skipped += 1;
+            }
+            None => pending.push(job),
+        }
+    }
+
+    let campaign = campaign.cloned();
+    let pending_indices: Vec<usize> = pending.iter().map(|j| j.grid_idx).collect();
+    let outcome = parallel::supervised_map(pending, sup, move |pulse, job: SweepJob| {
+        if inject.panic_at == Some(job.grid_idx) {
+            panic!("injected panic in sweep job {}", job.grid_idx);
+        }
+        if inject.hang_at == Some(job.grid_idx) {
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        }
+        let mut sim = Simulator::with_synthetic(job.cfg.clone(), job.pattern);
+        let end = job.cfg.us_to_cycles(us);
+        if resume {
+            // Resume an interrupted point from its latest checkpoint; a
+            // stale or incompatible checkpoint just restarts the point.
+            if let Some(c) = &campaign {
+                if let Ok(Some(snap)) = c.load_checkpoint(&job.key) {
+                    let _ = sim.restore(&snap);
+                }
+            }
+        }
+        let report = match &campaign {
+            Some(c) if checkpoint_every > 0 => {
+                let progress = pulse.clone();
+                sim.advance_checkpointed(end, checkpoint_every, &mut |snap| {
+                    progress.set_progress(snap.dram_cycle);
+                    let _ = c.save_checkpoint(&job.key, snap);
+                })
+                .expect("synthetic streams support checkpointing");
+                sim.report()
+            }
+            _ => {
+                sim.advance_to_cycle(end);
+                pulse.set_progress(end);
+                sim.report()
+            }
+        };
+        if let Some(c) = &campaign {
+            let _ = c.record_done(&job.key, &job.label, &report);
+        }
+        SweepPoint {
+            pattern: job.name,
+            cores: job.cores,
+            policy: job.policy,
+            mapping: job.mapping,
+            report,
+        }
+    });
+
+    let mut failures = parallel::SweepFailures::default();
+    for (outcome, grid_idx) in outcome.outcomes.into_iter().zip(pending_indices) {
+        match outcome {
+            parallel::JobOutcome::Ok(p) => points[grid_idx] = Some(p),
+            parallel::JobOutcome::Retried { result, attempts } => {
+                points[grid_idx] = Some(result);
+                failures.retried.push((grid_idx, attempts));
+            }
+            parallel::JobOutcome::Panicked { message, .. } => {
+                failures.panicked.push((grid_idx, message));
+            }
+            parallel::JobOutcome::TimedOut { .. } => failures.timed_out.push(grid_idx),
+        }
+    }
+    Ok(SupervisedSweep {
+        points,
+        skipped,
+        failures,
+    })
 }
 
 /// The sweep point with the highest achieved bandwidth for a pattern.

@@ -21,15 +21,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 mod config;
 pub mod experiments;
 pub mod parallel;
 pub mod replay;
 mod report;
+mod snapshot;
 mod system;
 pub mod telemetry;
 
+pub use campaign::{job_key, Campaign, CampaignError};
 pub use config::{ConfigError, SystemConfig};
-pub use report::{diff_reports, SimReport};
+pub use report::{diff_reports, load_report, ReportLoadError, SimReport};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use system::Simulator;
 pub use telemetry::{Telemetry, TelemetryConfig, TelemetrySink};

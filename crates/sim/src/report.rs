@@ -97,6 +97,83 @@ impl SimReport {
     }
 }
 
+/// Typed failure from [`load_report`]: every variant carries the file it
+/// came from, and parse failures pinpoint the offending line and column.
+#[derive(Debug)]
+pub enum ReportLoadError {
+    /// The file could not be read.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// The underlying I/O error.
+        err: std::io::Error,
+    },
+    /// The file is not valid report JSON (malformed syntax, a missing or
+    /// mistyped field — e.g. a report written by an incompatible version).
+    Parse {
+        /// Path that failed.
+        path: String,
+        /// 1-based line of the first malformed token (0 when unknown).
+        line: usize,
+        /// 1-based column of the first malformed token (0 when unknown).
+        column: usize,
+        /// Parser message.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ReportLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportLoadError::Io { path, err } => write!(f, "{path}: {err}"),
+            ReportLoadError::Parse {
+                path,
+                line,
+                column,
+                msg,
+            } => {
+                if *line > 0 {
+                    write!(f, "{path}:{line}:{column}: not a valid report: {msg}")
+                } else {
+                    write!(f, "{path}: not a valid report: {msg}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportLoadError {}
+
+/// Converts a byte offset into 1-based (line, column).
+fn line_col(text: &str, byte: usize) -> (usize, usize) {
+    let upto = &text.as_bytes()[..byte.min(text.len())];
+    let line = upto.iter().filter(|&&b| b == b'\n').count() + 1;
+    let col = upto.len() - upto.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1) + 1;
+    (line, col)
+}
+
+/// Loads a [`SimReport`] from a JSON file with typed, located errors:
+/// I/O failures name the file, malformed or schema-incompatible JSON
+/// names the file plus the line/column of the first offending token.
+pub fn load_report(path: &str) -> Result<SimReport, ReportLoadError> {
+    let text = std::fs::read_to_string(path).map_err(|err| ReportLoadError::Io {
+        path: path.to_string(),
+        err,
+    })?;
+    serde_json::from_str(&text).map_err(|e| {
+        let (line, column) = match e.byte_offset() {
+            Some(b) => line_col(&text, b),
+            None => (0, 0),
+        };
+        ReportLoadError::Parse {
+            path: path.to_string(),
+            line,
+            column,
+            msg: e.to_string(),
+        }
+    })
+}
+
 /// Compares two runs' aggregate stacks component-by-component, producing
 /// `(bandwidth_delta, latency_delta)`.
 ///

@@ -1,0 +1,209 @@
+//! Versioned whole-simulator snapshots for crash-safe checkpoint/resume.
+//!
+//! A [`Snapshot`] captures everything a [`Simulator`](crate::Simulator)
+//! needs to resume bit-identically: device/controller state per channel,
+//! the cache hierarchy and cores, the workload RNG streams, the stack
+//! samplers (including the open, partially filled window), the armed
+//! auditors' bookkeeping, and the cycle counters. It deliberately does
+//! *not* capture attachments (probes, telemetry, heartbeat, log sink,
+//! profiling timers) or tuning knobs (fast-forward, busy engine) — those
+//! belong to the process hosting the simulator, not to the simulated
+//! machine, and are preserved on the restore target.
+//!
+//! Snapshots serialize to a versioned JSON blob via [`Snapshot::to_json`]
+//! / [`Snapshot::from_json`]. The format is guarded by
+//! [`SNAPSHOT_FORMAT_VERSION`]: any change to the serialized shape of any
+//! captured component must bump it (a golden-fixture test fails loudly
+//! otherwise), and loading a blob with a different version is a typed
+//! [`SnapshotError::VersionMismatch`], never a silent misparse.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dramstack_audit::AuditState;
+use dramstack_core::{LatencyHistogram, SamplerState};
+use dramstack_cpu::{CoreState, CycleStack, HierarchyState};
+use dramstack_dram::Cycle;
+use dramstack_memctrl::CtrlSnapshot;
+
+use crate::config::SystemConfig;
+
+/// Version stamp embedded in every serialized snapshot.
+///
+/// Bump this whenever the serialized shape of [`Snapshot`] or any of its
+/// component states changes, so stale blobs are rejected with
+/// [`SnapshotError::VersionMismatch`] instead of being misread.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Full machine state of a [`Simulator`](crate::Simulator) at a cycle
+/// boundary, sufficient for bit-identical resume.
+///
+/// Produced by [`Simulator::snapshot`](crate::Simulator::snapshot),
+/// consumed by [`Simulator::restore`](crate::Simulator::restore).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version ([`SNAPSHOT_FORMAT_VERSION`] at capture time).
+    pub version: u32,
+    /// The configuration the simulator was built from. Restore targets
+    /// must be built from an equal configuration.
+    pub config: SystemConfig,
+    /// The DRAM cycle the machine is parked at.
+    pub dram_cycle: Cycle,
+    /// Next cycle-stack window boundary.
+    pub next_cycle_sample: Cycle,
+    /// Per-core pipeline/MSHR/prefetcher state.
+    pub cores: Vec<CoreState>,
+    /// Per-core instruction-stream checkpoints (RNG state + position).
+    pub streams: Vec<Vec<u64>>,
+    /// Shared cache hierarchy (L1s, L2s, LLC, queues, in-flight reads).
+    pub hierarchy: HierarchyState,
+    /// Per-channel controller + device state.
+    pub controllers: Vec<CtrlSnapshot>,
+    /// Per-channel stack samplers, including the open window.
+    pub samplers: Vec<SamplerState>,
+    /// Per-channel shadow-auditor bookkeeping (`None` where unarmed).
+    pub audits: Vec<Option<AuditState>>,
+    /// Completed CPU cycle-stack windows not yet moved into a report.
+    pub cycle_samples: Vec<CycleStack>,
+    /// Running CPU cycle-stack total.
+    pub cycle_total: CycleStack,
+    /// DRAM read-latency histogram.
+    pub histogram: LatencyHistogram,
+}
+
+impl Snapshot {
+    /// Serializes to the versioned JSON blob.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Parses a snapshot from JSON, with typed errors: parse failures
+    /// carry the byte offset of the first malformed token, and a version
+    /// stamp other than [`SNAPSHOT_FORMAT_VERSION`] is rejected before
+    /// any state is interpreted.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        // Check the version stamp first so a format change surfaces as
+        // VersionMismatch, not as a confusing field-level parse error.
+        let value: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| SnapshotError::Parse {
+                msg: e.to_string(),
+                byte: e.byte_offset(),
+            })?;
+        if let Some(v) = value.get("version").and_then(serde_json::Value::as_u64) {
+            if v != u64::from(SNAPSHOT_FORMAT_VERSION) {
+                return Err(SnapshotError::VersionMismatch {
+                    expected: SNAPSHOT_FORMAT_VERSION,
+                    got: v,
+                });
+            }
+        }
+        serde_json::from_value(&value).map_err(|e| SnapshotError::Parse {
+            msg: e.to_string(),
+            byte: e.byte_offset(),
+        })
+    }
+}
+
+/// Typed failures from snapshot capture, serialization, or restore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The blob was written by a different snapshot format version.
+    VersionMismatch {
+        /// The version this build understands.
+        expected: u32,
+        /// The version found in the blob.
+        got: u64,
+    },
+    /// The restore target was built from a different [`SystemConfig`]
+    /// than the snapshot captures.
+    ConfigMismatch,
+    /// A core's instruction stream does not support checkpointing
+    /// (custom `InstrStream` impls without `checkpoint`).
+    StreamUnsupported {
+        /// Index of the offending core.
+        core: usize,
+    },
+    /// A core's instruction stream rejected the checkpoint words.
+    StreamRestoreFailed {
+        /// Index of the offending core.
+        core: usize,
+    },
+    /// The JSON blob is malformed or does not describe a snapshot.
+    Parse {
+        /// Parser message.
+        msg: String,
+        /// Byte offset of the first malformed token, when known.
+        byte: Option<usize>,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::VersionMismatch { expected, got } => write!(
+                f,
+                "snapshot format version mismatch: this build reads v{expected}, blob is v{got}"
+            ),
+            SnapshotError::ConfigMismatch => {
+                write!(f, "snapshot was captured under a different system config")
+            }
+            SnapshotError::StreamUnsupported { core } => write!(
+                f,
+                "core {core}'s instruction stream does not support checkpointing"
+            ),
+            SnapshotError::StreamRestoreFailed { core } => write!(
+                f,
+                "core {core}'s instruction stream rejected the checkpoint data"
+            ),
+            SnapshotError::Parse { msg, byte } => match byte {
+                Some(b) => write!(f, "malformed snapshot JSON at byte {b}: {msg}"),
+                None => write!(f, "malformed snapshot JSON: {msg}"),
+            },
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let text = r#"{"version": 99}"#;
+        match Snapshot::from_json(text) {
+            Err(SnapshotError::VersionMismatch { expected, got }) => {
+                assert_eq!(expected, SNAPSHOT_FORMAT_VERSION);
+                assert_eq!(got, 99);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_carries_byte_offset() {
+        let text = "{\"version\": 1, !!!}";
+        match Snapshot::from_json(text) {
+            Err(SnapshotError::Parse { byte, .. }) => assert!(byte.is_some()),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SnapshotError::VersionMismatch {
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains("v1"));
+        assert!(e.to_string().contains("v2"));
+        let e = SnapshotError::Parse {
+            msg: "bad token".into(),
+            byte: Some(17),
+        };
+        assert!(e.to_string().contains("byte 17"));
+    }
+}

@@ -17,6 +17,7 @@ use dramstack_workloads::SyntheticPattern;
 
 use crate::config::{ConfigError, SystemConfig};
 use crate::report::SimReport;
+use crate::snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 use crate::telemetry::{Telemetry, TelemetryConfig};
 
 /// The full-system simulator.
@@ -783,11 +784,7 @@ impl Simulator {
     pub fn run_for_us(&mut self, us: f64) -> SimReport {
         let cycles = self.cfg.us_to_cycles(us);
         let end = self.dram_cycle + cycles;
-        while self.dram_cycle < end {
-            if !self.try_fast_forward(end) && !self.try_busy_forward(end) {
-                self.step();
-            }
-        }
+        self.advance_to_cycle(end);
         self.report()
     }
 
@@ -799,6 +796,214 @@ impl Simulator {
             }
         }
         self.report()
+    }
+
+    /// Advances the simulation to absolute DRAM cycle `end` without
+    /// building a report (the drive loop of [`run_for_us`](Self::run_for_us),
+    /// exposed separately so checkpoint/resume flows can interleave
+    /// snapshots with simulation). Composes with the idle and busy
+    /// fast-forward paths exactly like the `run_*` drivers.
+    pub fn advance_to_cycle(&mut self, end: Cycle) {
+        while self.dram_cycle < end {
+            if !self.try_fast_forward(end) && !self.try_busy_forward(end) {
+                self.step();
+            }
+        }
+    }
+
+    /// Advances the simulation by `us` microseconds of DRAM time without
+    /// building a report.
+    pub fn advance_for_us(&mut self, us: f64) {
+        let end = self.dram_cycle + self.cfg.us_to_cycles(us);
+        self.advance_to_cycle(end);
+    }
+
+    /// Advances to absolute DRAM cycle `end`, invoking `on_checkpoint`
+    /// with a fresh [`Snapshot`] at every multiple of `every` cycles
+    /// crossed on the way (`every == 0` disables checkpointing). The
+    /// fast-forward paths already clamp their horizons to the supplied
+    /// limit, so checkpoint boundaries land exactly and never perturb
+    /// results: a checkpointed run's report is bit-identical (modulo
+    /// `perf`) to an uncheckpointed one.
+    pub fn advance_checkpointed(
+        &mut self,
+        end: Cycle,
+        every: Cycle,
+        on_checkpoint: &mut dyn FnMut(&Snapshot),
+    ) -> Result<(), SnapshotError> {
+        if every == 0 {
+            self.advance_to_cycle(end);
+            return Ok(());
+        }
+        let mut next = (self.dram_cycle / every + 1) * every;
+        while self.dram_cycle < end {
+            self.advance_to_cycle(end.min(next));
+            if self.dram_cycle == next {
+                let snap = self.snapshot()?;
+                on_checkpoint(&snap);
+                next += every;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`run_for_us`](Self::run_for_us) with periodic checkpoints: the
+    /// callback receives a [`Snapshot`] every `every_n_cycles` cycles.
+    pub fn run_for_us_checkpointed(
+        &mut self,
+        us: f64,
+        every_n_cycles: Cycle,
+        on_checkpoint: &mut dyn FnMut(&Snapshot),
+    ) -> Result<SimReport, SnapshotError> {
+        let end = self.dram_cycle + self.cfg.us_to_cycles(us);
+        self.advance_checkpointed(end, every_n_cycles, on_checkpoint)?;
+        Ok(self.report())
+    }
+
+    /// Captures the full machine state as a versioned [`Snapshot`].
+    ///
+    /// Captures everything needed for bit-identical resume: per-channel
+    /// device/controller/sampler/auditor state, the cache hierarchy,
+    /// cores, workload RNG streams, accumulated cycle-stack windows, the
+    /// latency histogram, and the cycle counters. Attachments (probes,
+    /// telemetry, heartbeat, log sink, profiling timers) and tuning knobs
+    /// (fast-forward, busy engine) are *not* captured — they belong to
+    /// the hosting process and are preserved on the restore target.
+    ///
+    /// Fails with [`SnapshotError::StreamUnsupported`] if any core's
+    /// instruction stream lacks `checkpoint` support (synthetic and
+    /// vector-trace streams both support it).
+    pub fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        let mut streams = Vec::with_capacity(self.streams.len());
+        for (core, s) in self.streams.iter().enumerate() {
+            streams.push(
+                s.checkpoint()
+                    .ok_or(SnapshotError::StreamUnsupported { core })?,
+            );
+        }
+        Ok(Snapshot {
+            version: SNAPSHOT_FORMAT_VERSION,
+            config: self.cfg.clone(),
+            dram_cycle: self.dram_cycle,
+            next_cycle_sample: self.next_cycle_sample,
+            cores: self.cores.iter().map(CoreModel::snapshot_state).collect(),
+            streams,
+            hierarchy: self.hier.snapshot_state(),
+            controllers: self
+                .ctrls
+                .iter()
+                .map(MemoryController::snapshot_state)
+                .collect(),
+            samplers: self
+                .samplers
+                .iter()
+                .map(StackSampler::snapshot_state)
+                .collect(),
+            audits: self
+                .audits
+                .iter()
+                .map(|a| a.as_ref().map(AuditHandle::snapshot_state))
+                .collect(),
+            cycle_samples: self.cycle_samples.clone(),
+            cycle_total: self.cycle_total,
+            histogram: self.histogram.clone(),
+        })
+    }
+
+    /// Restores the machine state captured by
+    /// [`snapshot`](Self::snapshot), after which the run resumes
+    /// bit-identically to one that was never interrupted.
+    ///
+    /// The target must have been built from a [`SystemConfig`] equal to
+    /// `snap.config` (typically `Simulator::with_synthetic(cfg, pattern)`
+    /// with the same arguments as the original run). The snapshot's
+    /// audit-arming layout is re-applied per channel, so a restored
+    /// release-build simulator audits iff the captured one did. Scratch
+    /// and derived state (cycle views, busy-forward throttle, completion
+    /// buffer) is invalidated; telemetry attached to the target treats
+    /// windows that predate the snapshot as already published.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        if snap.version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                expected: SNAPSHOT_FORMAT_VERSION,
+                got: u64::from(snap.version),
+            });
+        }
+        if snap.config != self.cfg {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        // Config equality pins n_cores and channels, so all the Vec
+        // lengths below line up. Validate the streams first: they are the
+        // only component that can reject, and failing before any mutation
+        // leaves the target untouched on error.
+        for (core, words) in snap.streams.iter().enumerate() {
+            if !self.streams[core].restore_checkpoint(words) {
+                return Err(SnapshotError::StreamRestoreFailed { core });
+            }
+        }
+        for (core, state) in self.cores.iter_mut().zip(&snap.cores) {
+            core.restore_state(state);
+        }
+        self.hier.restore_state(&snap.hierarchy);
+        for (ctrl, state) in self.ctrls.iter_mut().zip(&snap.controllers) {
+            ctrl.restore_state(state);
+        }
+        for (sampler, state) in self.samplers.iter_mut().zip(&snap.samplers) {
+            sampler.restore_state(state);
+        }
+        // Re-apply the snapshot's audit arming per channel, preserving
+        // any user probe, then restore the auditors' bookkeeping.
+        for ch in 0..self.ctrls.len() {
+            match (&snap.audits[ch], self.audits[ch].is_some()) {
+                (Some(state), armed) => {
+                    if !armed {
+                        let (probe, handle) = audit_channel(&self.cfg.ctrl.device);
+                        if self.ctrls[ch].probe_attached() {
+                            let user = self.ctrls[ch].take_probe();
+                            self.ctrls[ch]
+                                .attach_probe(Box::new(TeeProbe::new(user, Box::new(probe))));
+                        } else {
+                            self.ctrls[ch].attach_probe(Box::new(probe));
+                        }
+                        self.audits[ch] = Some(handle);
+                    }
+                    self.audits[ch]
+                        .as_ref()
+                        .expect("just armed")
+                        .restore_state(state);
+                }
+                (None, true) => {
+                    self.audits[ch] = None;
+                    let _ = self.ctrls[ch].take_probe();
+                }
+                (None, false) => {}
+            }
+        }
+        self.cycle_samples = snap.cycle_samples.clone();
+        self.cycle_total = snap.cycle_total;
+        self.histogram = snap.histogram.clone();
+        self.dram_cycle = snap.dram_cycle;
+        self.next_cycle_sample = snap.next_cycle_sample;
+        // Scratch and derived state: rebuilt or invalidated so the first
+        // post-restore cycle steps normally (the busy engine re-engages
+        // once fresh views exist; results are identical either way).
+        let n_banks = self.ctrls[0].total_banks();
+        self.views = vec![CycleView::idle(n_banks); self.ctrls.len()];
+        self.views_valid_at = None;
+        self.busy_attempt_after = 0;
+        self.busy_backoff = 0;
+        self.stall_kinds.clear();
+        self.core_skips.clear();
+        self.completion_buf.clear();
+        // Telemetry attached to the target starts from here: windows the
+        // snapshot already accumulated are not (re)published.
+        self.windows_published = self
+            .samplers
+            .iter()
+            .map(|s| s.samples().len())
+            .min()
+            .unwrap_or(0);
+        Ok(())
     }
 
     /// Builds the report for everything simulated so far.

@@ -32,5 +32,5 @@ pub use alloc::{AddressSpace, ArrayRef};
 pub use gap::{GapConfig, GapKernel};
 pub use graph::Graph;
 pub use stream::{pointer_chase_trace, stream_benchmark, stream_trace, StreamKernel};
-pub use synthetic::{PatternKind, SyntheticPattern};
+pub use synthetic::{PatternKind, SyntheticPattern, SyntheticStream};
 pub use trace::{chunk_of, hash_bit, TraceBuilder};

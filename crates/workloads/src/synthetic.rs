@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use dramstack_cpu::{FnStream, Instr, InstrStream};
+use dramstack_cpu::{Instr, InstrStream};
 
 /// Access-pattern shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -130,50 +130,99 @@ impl SyntheticPattern {
     /// Builds the endless instruction stream for `core` (of `n_cores`).
     /// Each core walks a disjoint region, as in the paper's setup where
     /// "each core accesses different parts of the sequential pattern".
-    pub fn stream_for_core(&self, core: usize, _n_cores: usize) -> impl InstrStream {
+    pub fn stream_for_core(&self, core: usize, _n_cores: usize) -> SyntheticStream {
         self.validate();
-        let cfg = *self;
-        let base = self.region_base(core);
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (core as u64).wrapping_mul(0x9E37));
-        let mut pos: u64 = self.start_offset(core);
-        let mut op_idx: u64 = 0;
-        let lines = cfg.footprint_bytes / 64;
-        let mut emit_compute = false;
-        FnStream(move || {
-            if emit_compute && cfg.compute_per_op > 0 {
-                emit_compute = false;
-                return Some(Instr::Compute {
-                    count: cfg.compute_per_op,
-                });
+        SyntheticStream {
+            cfg: *self,
+            base: self.region_base(core),
+            rng: SmallRng::seed_from_u64(self.seed ^ (core as u64).wrapping_mul(0x9E37)),
+            pos: self.start_offset(core),
+            op_idx: 0,
+            lines: self.footprint_bytes / 64,
+            emit_compute: false,
+        }
+    }
+}
+
+/// The endless per-core instruction stream of a [`SyntheticPattern`].
+///
+/// Fully checkpointable: [`InstrStream::checkpoint`] captures the RNG state
+/// and walk position, and restoring those words into a freshly built stream
+/// of the same pattern/core continues the exact instruction sequence.
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    cfg: SyntheticPattern,
+    base: u64,
+    rng: SmallRng,
+    pos: u64,
+    op_idx: u64,
+    lines: u64,
+    emit_compute: bool,
+}
+
+impl InstrStream for SyntheticStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.emit_compute && self.cfg.compute_per_op > 0 {
+            self.emit_compute = false;
+            return Some(Instr::Compute {
+                count: self.cfg.compute_per_op,
+            });
+        }
+        self.emit_compute = true;
+        let is_store = self.rng.gen::<f64>() < self.cfg.store_fraction;
+        self.op_idx += 1;
+        let instr = match self.cfg.kind {
+            PatternKind::Sequential => {
+                let addr = self.base + self.pos;
+                self.pos = (self.pos + 8) % self.cfg.footprint_bytes;
+                if is_store {
+                    Instr::Store { addr }
+                } else {
+                    Instr::Load { addr }
+                }
             }
-            emit_compute = true;
-            let is_store = rng.gen::<f64>() < cfg.store_fraction;
-            op_idx += 1;
-            let instr = match cfg.kind {
-                PatternKind::Sequential => {
-                    let addr = base + pos;
-                    pos = (pos + 8) % cfg.footprint_bytes;
-                    if is_store {
-                        Instr::Store { addr }
-                    } else {
-                        Instr::Load { addr }
+            PatternKind::Random => {
+                let line = self.rng.gen_range(0..self.lines);
+                let addr = self.base + line * 64 + self.rng.gen_range(0..8) * 8;
+                if is_store {
+                    Instr::Store { addr }
+                } else {
+                    Instr::ChainLoad {
+                        addr,
+                        chain: (self.op_idx % self.cfg.chains as u64) as u8,
                     }
                 }
-                PatternKind::Random => {
-                    let line = rng.gen_range(0..lines);
-                    let addr = base + line * 64 + rng.gen_range(0..8) * 8;
-                    if is_store {
-                        Instr::Store { addr }
-                    } else {
-                        Instr::ChainLoad {
-                            addr,
-                            chain: (op_idx % cfg.chains as u64) as u8,
-                        }
-                    }
-                }
-            };
-            Some(instr)
-        })
+            }
+        };
+        Some(instr)
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u64>> {
+        let s = self.rng.state();
+        Some(vec![
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            self.pos,
+            self.op_idx,
+            u64::from(self.emit_compute),
+        ])
+    }
+
+    fn restore_checkpoint(&mut self, state: &[u64]) -> bool {
+        match state {
+            [s0, s1, s2, s3, pos, op_idx, emit]
+                if *emit <= 1 && *pos < self.cfg.footprint_bytes =>
+            {
+                self.rng = SmallRng::from_state([*s0, *s1, *s2, *s3]);
+                self.pos = *pos;
+                self.op_idx = *op_idx;
+                self.emit_compute = *emit == 1;
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -297,6 +346,37 @@ mod tests {
         let warm = p.warm_lines(0, 10_000);
         let dirty = warm.iter().filter(|(_, d)| *d).count() as f64 / 10_000.0;
         assert!((dirty - 0.3).abs() < 0.03, "random w30 dirtiness {dirty}");
+    }
+
+    #[test]
+    fn checkpoint_resumes_exact_sequence() {
+        for p in [
+            SyntheticPattern::sequential(0.3),
+            SyntheticPattern::random(0.2),
+        ] {
+            let mut s = p.stream_for_core(1, 4);
+            // Odd prefix so the compute/memory interleave is mid-pair.
+            let prefix: Vec<_> = (0..77).map(|_| s.next_instr().unwrap()).collect();
+            let words = s.checkpoint().expect("synthetic streams checkpoint");
+            let tail: Vec<_> = (0..200).map(|_| s.next_instr().unwrap()).collect();
+
+            let mut r = p.stream_for_core(1, 4);
+            assert!(
+                r.restore_checkpoint(&words),
+                "restore must accept {words:?}"
+            );
+            let resumed: Vec<_> = (0..200).map(|_| r.next_instr().unwrap()).collect();
+            assert_eq!(resumed, tail, "resumed stream diverged after {prefix:?}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_malformed_state() {
+        let p = SyntheticPattern::sequential(0.0);
+        let mut s = p.stream_for_core(0, 1);
+        assert!(!s.restore_checkpoint(&[1, 2, 3]));
+        assert!(!s.restore_checkpoint(&[0, 0, 0, 0, u64::MAX, 0, 0]));
+        assert!(!s.restore_checkpoint(&[0, 0, 0, 0, 0, 0, 2]));
     }
 
     #[test]

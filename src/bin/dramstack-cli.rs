@@ -13,9 +13,13 @@ use std::process::ExitCode;
 
 use dramstack::live::{auto_mode, env_requests_live, LiveSink};
 use dramstack::memctrl::{MappingScheme, PagePolicy};
-use dramstack::sim::experiments::{run_gap, run_synthetic};
+use dramstack::sim::experiments::{
+    run_gap, run_synthetic, sweep_synthetic_supervised, SweepInjection,
+};
+use dramstack::sim::parallel::SupervisorConfig;
 use dramstack::sim::{
-    diff_reports, SimReport, Simulator, SystemConfig, Telemetry, TelemetryConfig,
+    diff_reports, job_key, load_report, Campaign, SimReport, Simulator, SystemConfig, Telemetry,
+    TelemetryConfig,
 };
 use dramstack::stacks::offline::stack_from_trace;
 use dramstack::stacks::{predict_bandwidth_naive, predict_bandwidth_stack};
@@ -26,6 +30,7 @@ use dramstack::workloads::{GapConfig, GapKernel, Graph, SyntheticPattern};
 #[derive(Debug, Clone, PartialEq)]
 enum Cli {
     Synth(SynthArgs),
+    Sweep(SweepArgs),
     Gap(GapArgs),
     Trace { input: String, cycles: u64 },
     ReqTrace { input: String },
@@ -56,6 +61,9 @@ struct SynthArgs {
     telemetry_out: Option<String>,
     prom_out: Option<String>,
     report_out: Option<String>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: u64,
+    resume: bool,
 }
 
 impl Default for SynthArgs {
@@ -73,6 +81,48 @@ impl Default for SynthArgs {
             telemetry_out: None,
             prom_out: None,
             report_out: None,
+            checkpoint_dir: None,
+            // 1 ms of simulated time at the paper's DDR4-2400 clock.
+            checkpoint_every: 1_200_000,
+            resume: false,
+        }
+    }
+}
+
+/// Arguments of the supervised (optionally resumable) `sweep` command.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepArgs {
+    cores: Vec<usize>,
+    policies: Vec<PagePolicy>,
+    mappings: Vec<MappingScheme>,
+    stores: f64,
+    us: f64,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: u64,
+    resume: bool,
+    deadline_secs: Option<f64>,
+    retries: u32,
+    /// Chaos knobs for the CI crash-safety harness: make one grid point
+    /// panic / hang to prove salvage and watchdog behavior end to end.
+    inject_panic: Option<usize>,
+    inject_hang: Option<usize>,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            cores: vec![1, 2, 4],
+            policies: vec![PagePolicy::Open],
+            mappings: vec![MappingScheme::RowBankColumn],
+            stores: 0.0,
+            us: 50.0,
+            checkpoint_dir: None,
+            checkpoint_every: 1_200_000,
+            resume: false,
+            deadline_secs: None,
+            retries: 1,
+            inject_panic: None,
+            inject_hang: None,
         }
     }
 }
@@ -108,6 +158,12 @@ USAGE:
                       [--policy open|closed] [--mapping def|int] [--us F]
                       [--csv FILE] [--svg FILE] [--live]
                       [--telemetry FILE] [--prom FILE] [--report FILE]
+                      [--checkpoint-dir DIR] [--checkpoint-every N]
+                      [--resume]
+  dramstack-cli sweep [--cores N,N,...] [--policies open,closed]
+                      [--mappings def,int,xor] [--stores F] [--us F]
+                      [--checkpoint-dir DIR] [--checkpoint-every N]
+                      [--resume] [--deadline-secs F] [--retries N]
   dramstack-cli gap   [--kernel bc|bfs|cc|pr|sssp|tc] [--cores N]
                       [--scale N] [--degree N] [--policy open|closed]
                       [--mapping def|int]
@@ -123,6 +179,15 @@ stderr (ANSI on a TTY, periodic plain text otherwise; DRAMSTACK_LIVE=
 ansi|plain|1|off overrides). --telemetry streams one JSON object per
 sample window; --prom writes a Prometheus-style text snapshot; --report
 dumps the full SimReport JSON for later `diff`.
+
+Crash safety: --checkpoint-dir snapshots the run every --checkpoint-every
+DRAM cycles (default 1200000 = 1 ms simulated) and records completions in
+DIR/manifest.json; --resume skips jobs the manifest already marks done
+and restores interrupted ones from their latest checkpoint, bit-identical
+to an uninterrupted run. `sweep` runs its grid under a supervisor: a
+panicking job is retried (--retries, default 1), a job exceeding
+--deadline-secs is abandoned, and the sweep always returns every healthy
+result (exit code 3 flags a partial sweep).
 ";
 
 fn parse_policy(v: &str) -> Result<PagePolicy, String> {
@@ -188,6 +253,13 @@ fn parse_synth_args(args: &[String]) -> Result<(SynthArgs, Vec<(String, String)>
             "--telemetry" => out.telemetry_out = Some(value("--telemetry")?),
             "--prom" => out.prom_out = Some(value("--prom")?),
             "--report" => out.report_out = Some(value("--report")?),
+            "--checkpoint-dir" => out.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-every" => {
+                out.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
+            "--resume" => out.resume = true,
             other => rest.push((other.to_string(), value(other).unwrap_or_default())),
         }
     }
@@ -197,7 +269,102 @@ fn parse_synth_args(args: &[String]) -> Result<(SynthArgs, Vec<(String, String)>
     if out.cores == 0 {
         return Err("--cores must be at least 1".into());
     }
+    if out.resume && out.checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
     Ok((out, rest))
+}
+
+fn parse_list<T, E: std::fmt::Display>(
+    flag: &str,
+    v: &str,
+    parse_one: impl Fn(&str) -> Result<T, E>,
+) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, E> = v
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_one(s.trim()))
+        .collect();
+    let items = items.map_err(|e| format!("{flag}: {e}"))?;
+    if items.is_empty() {
+        return Err(format!("{flag} needs at least one value"));
+    }
+    Ok(items)
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
+    let mut out = SweepArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--cores" => {
+                out.cores = parse_list("--cores", &value("--cores")?, str::parse::<usize>)?;
+            }
+            "--policies" => {
+                out.policies = parse_list("--policies", &value("--policies")?, parse_policy)?;
+            }
+            "--mappings" => {
+                out.mappings = parse_list("--mappings", &value("--mappings")?, parse_mapping)?;
+            }
+            "--stores" => {
+                out.stores = value("--stores")?
+                    .parse()
+                    .map_err(|e| format!("--stores: {e}"))?;
+            }
+            "--us" => out.us = value("--us")?.parse().map_err(|e| format!("--us: {e}"))?,
+            "--checkpoint-dir" => out.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-every" => {
+                out.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
+            "--resume" => out.resume = true,
+            "--deadline-secs" => {
+                let d: f64 = value("--deadline-secs")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-secs: {e}"))?;
+                if d <= 0.0 {
+                    return Err("--deadline-secs must be positive".into());
+                }
+                out.deadline_secs = Some(d);
+            }
+            "--retries" => {
+                out.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--inject-panic" => {
+                out.inject_panic = Some(
+                    value("--inject-panic")?
+                        .parse()
+                        .map_err(|e| format!("--inject-panic: {e}"))?,
+                );
+            }
+            "--inject-hang" => {
+                out.inject_hang = Some(
+                    value("--inject-hang")?
+                        .parse()
+                        .map_err(|e| format!("--inject-hang: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}` for sweep")),
+        }
+    }
+    if !(0.0..=1.0).contains(&out.stores) {
+        return Err("--stores must be in [0, 1]".into());
+    }
+    if out.cores.contains(&0) {
+        return Err("--cores entries must be at least 1".into());
+    }
+    if out.resume && out.checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+    Ok(out)
 }
 
 /// Parses a full command line (without the program name).
@@ -214,6 +381,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             Ok(Cli::Synth(synth))
         }
+        "sweep" => Ok(Cli::Sweep(parse_sweep_args(&args[1..])?)),
         "gap" => {
             let mut out = GapArgs::default();
             let mut it = args[1..].iter();
@@ -406,8 +574,62 @@ fn run_synth_telemetry(a: &SynthArgs) -> Result<SimReport, String> {
     Ok(r)
 }
 
+/// Runs the synthetic workload under a [`Campaign`]: periodic snapshots
+/// into `--checkpoint-dir`, a manifest entry on completion, and (with
+/// `--resume`) skip-if-done / restore-if-interrupted semantics.
+fn run_synth_checkpointed(a: &SynthArgs, dir: &str) -> Result<SimReport, String> {
+    let mut cfg = SystemConfig::paper_default(a.cores);
+    cfg.ctrl.page_policy = a.policy;
+    cfg.ctrl.mapping = a.mapping;
+    cfg.validate().map_err(|e| e.to_string())?;
+    let campaign = Campaign::open(dir).map_err(|e| e.to_string())?;
+    let label = format!(
+        "synth-{}-{}c-{:?}-{:?}-{}us-{}st",
+        a.pattern, a.cores, a.policy, a.mapping, a.us, a.stores
+    );
+    let key = job_key(&cfg, &label);
+    if a.resume {
+        if let Some(r) = campaign.load_report(&key).map_err(|e| e.to_string())? {
+            println!("resume: job {key} already complete, loaded recorded report");
+            return Ok(r);
+        }
+    }
+    let mut sim = Simulator::with_synthetic(cfg.clone(), synth_pattern(a));
+    if a.resume {
+        if let Some(snap) = campaign.load_checkpoint(&key).map_err(|e| e.to_string())? {
+            let at = snap.dram_cycle;
+            sim.restore(&snap).map_err(|e| e.to_string())?;
+            println!("resumed from cycle {at}");
+        }
+    }
+    let end = cfg.us_to_cycles(a.us);
+    let c = campaign.clone();
+    let k = key.clone();
+    sim.advance_checkpointed(end, a.checkpoint_every, &mut |snap| {
+        let _ = c.save_checkpoint(&k, snap);
+    })
+    .map_err(|e| e.to_string())?;
+    let r = sim.report();
+    campaign
+        .record_done(&key, &label, &r)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "recorded job {key} in {dir}/manifest.json ({} finished)",
+        campaign.jobs_done()
+    );
+    Ok(r)
+}
+
 fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
-    let r = if wants_telemetry(a) {
+    let r = if let Some(dir) = &a.checkpoint_dir {
+        if wants_telemetry(a) {
+            return Err(
+                "--checkpoint-dir cannot be combined with --live/--telemetry/--prom/--report"
+                    .into(),
+            );
+        }
+        run_synth_checkpointed(a, dir)?
+    } else if wants_telemetry(a) {
         run_synth_telemetry(a)?
     } else {
         run_synthetic(a.cores, synth_pattern(a), a.policy, a.mapping, a.us)
@@ -444,10 +666,96 @@ fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the supervised sweep grid; returns whether every job produced a
+/// result (partial sweeps exit with code 3 in `main`).
+fn run_sweep_cmd(a: &SweepArgs) -> Result<bool, String> {
+    let campaign = match &a.checkpoint_dir {
+        Some(d) => Some(Campaign::open(d).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let sup = SupervisorConfig {
+        deadline: a.deadline_secs.map(std::time::Duration::from_secs_f64),
+        max_retries: a.retries,
+        ..SupervisorConfig::default()
+    };
+    let inject = SweepInjection {
+        panic_at: a.inject_panic,
+        hang_at: a.inject_hang,
+    };
+    let sweep = sweep_synthetic_supervised(
+        &a.cores,
+        &a.policies,
+        &a.mappings,
+        a.stores,
+        a.us,
+        campaign.as_ref(),
+        a.checkpoint_every,
+        a.resume,
+        &sup,
+        inject,
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Rebuild the grid labels in the same input order the sweep used.
+    let mut labels = Vec::new();
+    for pattern in ["seq", "rand"] {
+        for &n in &a.cores {
+            for &policy in &a.policies {
+                for &mapping in &a.mappings {
+                    labels.push(format!("{pattern} {n}c {policy:?} {mapping:?}"));
+                }
+            }
+        }
+    }
+    let failures = &sweep.failures;
+    for (i, point) in sweep.points.iter().enumerate() {
+        if let Some(p) = point {
+            let note = failures
+                .retried
+                .iter()
+                .find(|(idx, _)| *idx == i)
+                .map(|(_, attempts)| format!(" (after {attempts} attempts)"))
+                .unwrap_or_default();
+            println!(
+                "job {i:02} {}: ok {:.2} GB/s, {:.1} ns{note}",
+                labels[i],
+                p.report.achieved_gbps(),
+                p.report.avg_read_latency_ns()
+            );
+        }
+    }
+    for (i, msg) in &failures.panicked {
+        println!("job {i:02} {}: PANICKED: {msg}", labels[*i]);
+    }
+    for i in &failures.timed_out {
+        println!("job {i:02} {}: TIMED OUT (watchdog)", labels[*i]);
+    }
+    if a.resume && sweep.skipped > 0 {
+        println!("resume: skipped {} finished job(s)", sweep.skipped);
+    }
+    let ok = sweep.points.iter().filter(|p| p.is_some()).count();
+    println!(
+        "sweep: {ok}/{} ok, {} panicked, {} timed out, {} retried",
+        sweep.points.len(),
+        failures.panicked.len(),
+        failures.timed_out.len(),
+        failures.retried.len()
+    );
+    if let Some(c) = &campaign {
+        println!(
+            "manifest: {}/manifest.json ({} finished)",
+            c.dir().display(),
+            c.jobs_done()
+        );
+    }
+    Ok(failures.none_lost())
+}
+
 fn run_diff_cmd(a: &DiffArgs) -> Result<(), String> {
     let load = |path: &str| -> Result<SimReport, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+        // Typed loader: I/O errors name the file, malformed or
+        // schema-incompatible JSON adds line:column of the bad token.
+        load_report(path).map_err(|e| e.to_string())
     };
     let before = load(&a.before)?;
     let after = load(&a.after)?;
@@ -571,12 +879,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `sweep` owns its exit codes: 0 all ok, 3 partial (salvaged), 1 error.
+    if let Cli::Sweep(a) = &cli {
+        return match run_sweep_cmd(a) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(3),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match &cli {
         Cli::Help => {
             println!("{USAGE}");
             Ok(())
         }
         Cli::Synth(a) => run_synth_cmd(a),
+        Cli::Sweep(_) => unreachable!("handled above"),
         Cli::Gap(a) => run_gap_cmd(a),
         Cli::Trace { input, cycles } => run_trace_cmd(input, *cycles),
         Cli::ReqTrace { input } => run_reqtrace_cmd(input),
@@ -697,6 +1017,63 @@ mod tests {
         );
         assert!(parse_cli(&args("diff --before a.json")).is_err());
         assert!(parse_cli(&args("diff --before a.json --after b.json --threshold 2")).is_err());
+    }
+
+    #[test]
+    fn parse_synth_checkpoint_flags() {
+        let cli = parse_cli(&args(
+            "synth --cores 2 --checkpoint-dir ckpt --checkpoint-every 600000 --resume",
+        ))
+        .unwrap();
+        match cli {
+            Cli::Synth(a) => {
+                assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
+                assert_eq!(a.checkpoint_every, 600_000);
+                assert!(a.resume);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --resume without a directory to resume from is an error.
+        assert!(parse_cli(&args("synth --resume")).is_err());
+    }
+
+    #[test]
+    fn parse_sweep() {
+        let cli = parse_cli(&args(
+            "sweep --cores 1,2,8 --policies open,closed --mappings def,int \
+             --us 20 --checkpoint-dir d --resume --deadline-secs 5 --retries 2 \
+             --inject-panic 3 --inject-hang 4",
+        ))
+        .unwrap();
+        match cli {
+            Cli::Sweep(a) => {
+                assert_eq!(a.cores, vec![1, 2, 8]);
+                assert_eq!(a.policies, vec![PagePolicy::Open, PagePolicy::Closed]);
+                assert_eq!(
+                    a.mappings,
+                    vec![
+                        MappingScheme::RowBankColumn,
+                        MappingScheme::CacheLineInterleaved
+                    ]
+                );
+                assert!((a.us - 20.0).abs() < 1e-12);
+                assert_eq!(a.checkpoint_dir.as_deref(), Some("d"));
+                assert!(a.resume);
+                assert_eq!(a.deadline_secs, Some(5.0));
+                assert_eq!(a.retries, 2);
+                assert_eq!(a.inject_panic, Some(3));
+                assert_eq!(a.inject_hang, Some(4));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_cli(&args("sweep")).unwrap(),
+            Cli::Sweep(SweepArgs::default())
+        );
+        assert!(parse_cli(&args("sweep --cores 0,2")).is_err());
+        assert!(parse_cli(&args("sweep --policies fancy")).is_err());
+        assert!(parse_cli(&args("sweep --resume")).is_err());
+        assert!(parse_cli(&args("sweep --deadline-secs -1")).is_err());
     }
 
     #[test]

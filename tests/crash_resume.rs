@@ -1,0 +1,301 @@
+//! Crash-safe execution: deterministic checkpoint/resume.
+//!
+//! A run that is interrupted at an arbitrary cycle, snapshotted to the
+//! versioned JSON blob, parsed back, and restored into a freshly built
+//! simulator must finish with a `SimReport::strip_perf()` bit-identical
+//! to an uninterrupted run — across all five DDR4 speed grades and all
+//! four synthetic traffic shapes, with the fast-forward paths enabled.
+//! This file also pins the snapshot JSON roundtrip over random
+//! configurations and guards the on-disk format with a golden fixture.
+
+use proptest::prelude::*;
+
+use dramstack::dram::TimingParams;
+use dramstack::memctrl::PagePolicy;
+use dramstack::sim::{SimReport, Simulator, Snapshot, SystemConfig, SNAPSHOT_FORMAT_VERSION};
+use dramstack::workloads::{PatternKind, SyntheticPattern};
+
+fn presets() -> [(&'static str, TimingParams); 5] {
+    [
+        ("ddr4_2133", TimingParams::ddr4_2133()),
+        ("ddr4_2400", TimingParams::ddr4_2400()),
+        ("ddr4_2666", TimingParams::ddr4_2666()),
+        ("ddr4_2933", TimingParams::ddr4_2933()),
+        ("ddr4_3200", TimingParams::ddr4_3200()),
+    ]
+}
+
+fn shapes() -> [(&'static str, SyntheticPattern); 4] {
+    let mut seq_rw = SyntheticPattern::sequential(0.3);
+    seq_rw.seed = 7;
+    let mut rand_mlp = SyntheticPattern::random(0.0);
+    rand_mlp.chains = 8;
+    let mut rand_rw = SyntheticPattern::random(0.2);
+    rand_rw.chains = 2;
+    rand_rw.seed = 21;
+    [
+        ("seq_read", SyntheticPattern::sequential(0.0)),
+        ("seq_rw", seq_rw),
+        ("rand_mlp", rand_mlp),
+        ("rand_rw", rand_rw),
+    ]
+}
+
+fn config(timing: TimingParams, cores: usize, channels: usize, policy: PagePolicy) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(cores);
+    cfg.ctrl.device.timing = timing;
+    cfg.ctrl.page_policy = policy;
+    cfg.channels = channels;
+    cfg
+}
+
+fn build(cfg: &SystemConfig, pattern: SyntheticPattern) -> Simulator {
+    let mut sim = Simulator::with_synthetic(cfg.clone(), pattern);
+    sim.set_busy_engine(true);
+    sim
+}
+
+fn uninterrupted(cfg: &SystemConfig, pattern: SyntheticPattern, us: f64) -> SimReport {
+    build(cfg, pattern).run_for_us(us)
+}
+
+/// Runs to `cut_us`, snapshots, serializes to JSON, parses the blob back,
+/// restores it into a *freshly built* simulator, and finishes the run
+/// there. Returns the resumed report.
+fn interrupted(cfg: &SystemConfig, pattern: SyntheticPattern, us: f64, cut_us: f64) -> SimReport {
+    let total = cfg.us_to_cycles(us);
+    let cut = cfg.us_to_cycles(cut_us);
+    assert!(cut > 0 && cut < total, "cut must fall inside the run");
+
+    let mut victim = build(cfg, pattern);
+    victim.advance_to_cycle(cut);
+    let snap = victim.snapshot().expect("synthetic streams checkpoint");
+    drop(victim);
+
+    let blob = snap.to_json();
+    let parsed = Snapshot::from_json(&blob).expect("snapshot JSON parses back");
+    assert_eq!(parsed, snap, "JSON roundtrip altered the snapshot");
+
+    let mut resumed = build(cfg, pattern);
+    resumed.restore(&parsed).expect("restore accepts the blob");
+    resumed.advance_to_cycle(total);
+    resumed.report()
+}
+
+/// The acceptance matrix: every DDR4 speed grade × every traffic shape,
+/// interrupted mid-window at an arbitrary (non-boundary) cycle.
+#[test]
+fn interrupt_and_resume_bit_identical_across_preset_matrix() {
+    for (tname, timing) in presets() {
+        for (pname, pattern) in shapes() {
+            let cfg = config(timing, 2, 1, PagePolicy::Open);
+            let full = uninterrupted(&cfg, pattern, 8.0);
+            let resumed = interrupted(&cfg, pattern, 8.0, 3.3);
+            assert_eq!(
+                full.strip_perf(),
+                resumed.strip_perf(),
+                "{tname}/{pname}: resume diverged from the uninterrupted run"
+            );
+            assert!(
+                full.ctrl_stats.reads_done > 0,
+                "{tname}/{pname} did no work — the matrix proves nothing"
+            );
+            if full.audit.armed {
+                assert!(
+                    resumed.audit.is_clean(),
+                    "{tname}/{pname}: auditor flagged the resumed run: {:?}",
+                    resumed.audit.first_violation()
+                );
+                assert_eq!(
+                    full.audit, resumed.audit,
+                    "{tname}/{pname}: audit bookkeeping diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Periodic checkpointing composes with the idle/busy fast-forward paths:
+/// snapshots land exactly on the requested boundaries, the checkpointed
+/// run's report is unchanged, and resuming from the *last* emitted
+/// checkpoint finishes bit-identically.
+#[test]
+fn periodic_checkpoints_land_on_boundaries_and_resume_cleanly() {
+    // 6us at the paper clock is ~7200 DRAM cycles, so this emits a
+    // handful of checkpoints per run.
+    let every = 1_000;
+    for (pname, pattern) in shapes() {
+        let cfg = config(TimingParams::ddr4_3200(), 2, 1, PagePolicy::Open);
+        let total = cfg.us_to_cycles(6.0);
+
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let mut sim = build(&cfg, pattern);
+        let report = sim
+            .run_for_us_checkpointed(6.0, every, &mut |s| snaps.push(s.clone()))
+            .expect("synthetic streams checkpoint");
+
+        assert!(!snaps.is_empty(), "{pname}: no checkpoints were emitted");
+        for s in &snaps {
+            assert_eq!(
+                s.dram_cycle % every,
+                0,
+                "{pname}: checkpoint off-boundary at cycle {}",
+                s.dram_cycle
+            );
+            assert_eq!(s.version, SNAPSHOT_FORMAT_VERSION);
+        }
+
+        let plain = uninterrupted(&cfg, pattern, 6.0);
+        assert_eq!(
+            plain.strip_perf(),
+            report.strip_perf(),
+            "{pname}: periodic checkpointing perturbed the run"
+        );
+
+        let last = snaps.last().expect("checked non-empty");
+        let mut resumed = build(&cfg, pattern);
+        resumed.restore(last).expect("restore accepts the blob");
+        resumed.advance_to_cycle(total);
+        assert_eq!(
+            plain.strip_perf(),
+            resumed.report().strip_perf(),
+            "{pname}: resume from last checkpoint diverged"
+        );
+    }
+}
+
+fn arbitrary_pattern() -> impl Strategy<Value = SyntheticPattern> {
+    (
+        prop_oneof![Just(PatternKind::Sequential), Just(PatternKind::Random)],
+        0u32..=100,
+        1u8..=8,
+        any::<u64>(),
+    )
+        .prop_map(|(kind, store_pct, chains, seed)| {
+            let mut p = match kind {
+                PatternKind::Sequential => {
+                    SyntheticPattern::sequential(f64::from(store_pct) / 100.0)
+                }
+                PatternKind::Random => SyntheticPattern::random(f64::from(store_pct) / 100.0),
+            };
+            p.chains = chains;
+            p.seed = seed;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite: snapshot → JSON → restore → snapshot roundtrip over
+    /// random system configurations. The re-captured snapshot must equal
+    /// the original blob field for field.
+    #[test]
+    fn snapshot_roundtrip_on_random_configs(
+        preset in 0usize..5,
+        pattern in arbitrary_pattern(),
+        cores in 1usize..=4,
+        channels in prop_oneof![Just(1usize), Just(2usize)],
+        policy in prop_oneof![Just(PagePolicy::Open), Just(PagePolicy::Closed)],
+        cut_permille in 50u64..=950,
+    ) {
+        let cfg = config(presets()[preset].1, cores, channels, policy);
+        let total = cfg.us_to_cycles(4.0);
+        let cut = (total * cut_permille / 1000).max(1);
+
+        let mut victim = build(&cfg, pattern);
+        victim.advance_to_cycle(cut);
+        let snap = victim.snapshot().expect("synthetic streams checkpoint");
+
+        let parsed = Snapshot::from_json(&snap.to_json())
+            .expect("snapshot JSON parses back");
+        prop_assert_eq!(&parsed, &snap);
+
+        let mut resumed = build(&cfg, pattern);
+        resumed.restore(&parsed).expect("restore accepts the blob");
+        let recaptured = resumed.snapshot().expect("synthetic streams checkpoint");
+        prop_assert_eq!(&recaptured, &snap);
+
+        resumed.advance_to_cycle(total);
+        victim.advance_to_cycle(total);
+        prop_assert_eq!(
+            resumed.report().strip_perf(),
+            victim.report().strip_perf()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture: the serialized snapshot format is pinned byte for byte.
+// ---------------------------------------------------------------------------
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/snapshot_v1.json");
+
+/// Deterministic machine state used to mint the golden blob. Caches are
+/// shrunk so the checked-in fixture stays small; the serialized *shape*
+/// (every struct, every field) is identical to a full-size snapshot.
+fn golden_snapshot() -> Snapshot {
+    let mut pattern = SyntheticPattern::sequential(0.25);
+    pattern.seed = 42;
+    let mut cfg = config(TimingParams::ddr4_3200(), 1, 1, PagePolicy::Open);
+    cfg.hierarchy.l1.size_bytes = 4 << 10;
+    cfg.hierarchy.l1.ways = 8;
+    cfg.hierarchy.l2.size_bytes = 8 << 10;
+    cfg.hierarchy.l2.ways = 8;
+    cfg.hierarchy.llc.size_bytes = 16 << 10;
+    cfg.hierarchy.llc.ways = 8;
+    let mut sim = build(&cfg, pattern);
+    // The auditor arms by default only in debug/test builds; pin it on
+    // so the blob is byte-identical across build profiles (and so the
+    // fixture covers the AuditState shape).
+    sim.set_audit(true);
+    sim.advance_for_us(2.0);
+    sim.snapshot().expect("synthetic streams checkpoint")
+}
+
+/// Satellite: any change to the serialized shape of the snapshot (or of
+/// any component state embedded in it) without a version bump fails this
+/// test loudly. Regenerate the fixture with
+/// `DRAMSTACK_REGEN_GOLDEN=1 cargo test --test crash_resume golden` after
+/// bumping `SNAPSHOT_FORMAT_VERSION`.
+#[test]
+fn golden_snapshot_format_is_stable() {
+    let fresh = golden_snapshot().to_json();
+
+    if std::env::var("DRAMSTACK_REGEN_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(GOLDEN_PATH, &fresh).expect("write golden fixture");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {GOLDEN_PATH} ({e}); \
+             regenerate with DRAMSTACK_REGEN_GOLDEN=1"
+        )
+    });
+
+    let parsed = Snapshot::from_json(&golden).unwrap_or_else(|e| {
+        panic!(
+            "golden v{SNAPSHOT_FORMAT_VERSION} snapshot no longer parses: {e}. \
+             The snapshot format changed — bump SNAPSHOT_FORMAT_VERSION and \
+             regenerate the fixture with DRAMSTACK_REGEN_GOLDEN=1."
+        )
+    });
+    assert_eq!(parsed.version, SNAPSHOT_FORMAT_VERSION);
+
+    assert_eq!(
+        golden, fresh,
+        "serialized snapshot bytes diverged from the golden fixture. If the \
+         format (or the state captured at a given cycle) changed on purpose, \
+         bump SNAPSHOT_FORMAT_VERSION and regenerate with \
+         DRAMSTACK_REGEN_GOLDEN=1; otherwise this is a determinism regression."
+    );
+
+    // The pinned blob must still restore and run.
+    let mut pattern = SyntheticPattern::sequential(0.25);
+    pattern.seed = 42;
+    let mut sim = build(&parsed.config.clone(), pattern);
+    sim.restore(&parsed).expect("golden blob restores");
+    sim.advance_for_us(0.5);
+}

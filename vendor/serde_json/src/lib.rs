@@ -13,19 +13,40 @@ pub use serde::Value;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     msg: String,
+    /// Byte offset into the input where a *parse* error occurred;
+    /// `None` for shape-mismatch and serialization errors.
+    byte: Option<usize>,
 }
 
 impl Error {
     fn new(msg: impl fmt::Display) -> Self {
         Error {
             msg: msg.to_string(),
+            byte: None,
         }
+    }
+
+    fn at_byte(msg: impl fmt::Display, byte: usize) -> Self {
+        Error {
+            msg: msg.to_string(),
+            byte: Some(byte),
+        }
+    }
+
+    /// Byte offset of a parse error in the input text, when known.
+    /// Callers can convert this to a line/column pair against the
+    /// original source for diagnostics.
+    pub fn byte_offset(&self) -> Option<usize> {
+        self.byte
     }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error: {}", self.msg)
+        match self.byte {
+            Some(b) => write!(f, "JSON error: {} at byte {b}", self.msg),
+            None => write!(f, "JSON error: {}", self.msg),
+        }
     }
 }
 
@@ -185,7 +206,7 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, msg: impl fmt::Display) -> Error {
-        Error::new(format!("{msg} at byte {}", self.pos))
+        Error::at_byte(msg, self.pos)
     }
 
     fn skip_ws(&mut self) {
@@ -336,12 +357,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| self.err(e))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the run of plain bytes up to the next
+                    // quote or escape. The input started life as a
+                    // `&str`, and both delimiters are ASCII, so the run
+                    // never splits a UTF-8 sequence. (Validating from
+                    // `self.pos` to the end per character instead turns
+                    // parsing quadratic — fatal on multi-MB snapshots.)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| self.err(e))?;
+                    out.push_str(run);
                 }
             }
         }
