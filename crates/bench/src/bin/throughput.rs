@@ -16,7 +16,8 @@ use dramstack_cpu::{InstrStream, VecStream};
 use dramstack_memctrl::{MappingScheme, PagePolicy};
 use dramstack_sim::{
     experiments::{run_synthetic, ExperimentScale},
-    parallel, SimReport, Simulator, SystemConfig, Telemetry, TelemetryConfig,
+    parallel, CheckpointChain, SimReport, Simulator, SnapshotFormat, SystemConfig, Telemetry,
+    TelemetryConfig,
 };
 use dramstack_workloads::{GapKernel, SyntheticPattern};
 
@@ -78,22 +79,34 @@ struct TelemetryOverhead {
     relative_throughput: f64,
 }
 
-/// Cost of periodic checkpointing (snapshot + JSON serialize per
-/// boundary) on a loaded run.
+/// Cost of periodic checkpointing on a loaded run. The timed leg uses
+/// the production pipeline — binary delta chain encoded synchronously,
+/// written by the background [`CheckpointChain`] writer thread — so the
+/// numbers reflect what `--checkpoint-dir` actually costs. The blob
+/// sizes compare one *full* snapshot of the same machine state in both
+/// encodings, measured outside the timed region.
 #[derive(Debug, Serialize)]
 struct CheckpointOverhead {
     /// Checkpoint interval in DRAM cycles.
     every_cycles: u64,
-    /// Snapshots emitted during the timed run.
+    /// Checkpoints emitted during the timed run.
     snapshots_taken: usize,
-    /// Serialized size of the last snapshot blob in bytes.
+    /// Encoded size of the last checkpoint blob written (a delta once
+    /// the chain is warm — the steady-state unit of checkpoint I/O).
     snapshot_bytes: usize,
+    /// Full-snapshot size as pretty-printed JSON, in bytes.
+    blob_bytes_json: usize,
+    /// The same full snapshot in the binary `.dsnp` encoding, in bytes.
+    blob_bytes_binary: usize,
     /// Msim-cycles/s with checkpointing off.
     off_msim_cycles_per_sec: f64,
     /// Msim-cycles/s with periodic checkpointing on.
     on_msim_cycles_per_sec: f64,
     /// `on / off` — 1.0 means free.
     relative_throughput: f64,
+    /// `off / on` — how many times slower the checkpointed run is
+    /// (1.0 means free; the pipeline targets <= 1.3).
+    checkpointed_slowdown: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -271,21 +284,34 @@ fn main() {
     configs.push(config_result("seq_2c_telemetry_on", &tel_on));
 
     // Checkpoint overhead: the telemetry-off run doubles as the
-    // no-checkpoint baseline; the checkpointed leg snapshots and
-    // serializes the full machine state every quarter of the run.
+    // no-checkpoint baseline; the checkpointed leg runs the production
+    // pipeline (binary delta chain + background writer) every quarter
+    // of the run, into a throwaway directory.
     let ckpt_cfg = SystemConfig::paper_default(2);
-    let ckpt_every = (ckpt_cfg.us_to_cycles(scale.synth_us) / 4).max(1);
+    let ckpt_end = ckpt_cfg.us_to_cycles(scale.synth_us);
+    let ckpt_every = (ckpt_end / 4).max(1);
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("dramstack-bench-ckpt-{}", std::process::id()));
     let mut snapshots_taken = 0usize;
     let mut snapshot_bytes = 0usize;
     let ckpt_on = {
-        let mut sim = Simulator::with_synthetic(ckpt_cfg, SyntheticPattern::sequential(0.0));
+        let mut sim =
+            Simulator::with_synthetic(ckpt_cfg.clone(), SyntheticPattern::sequential(0.0));
         sim.set_busy_engine(true);
         sim.enable_profiling();
-        sim.run_for_us_checkpointed(scale.synth_us, ckpt_every, &mut |snap| {
-            snapshots_taken += 1;
-            snapshot_bytes = snap.to_json().len();
-        })
-        .expect("synthetic streams support checkpointing")
+        let mut chain = CheckpointChain::create(&ckpt_dir, "bench", SnapshotFormat::Binary, true)
+            .expect("temp checkpoint dir is writable");
+        let mut next = ckpt_every;
+        while sim.now() < ckpt_end {
+            sim.advance_to_cycle(ckpt_end.min(next));
+            if sim.now() == next {
+                snapshot_bytes = chain.checkpoint(&mut sim).expect("checkpoint encodes");
+                snapshots_taken += 1;
+                next += ckpt_every;
+            }
+        }
+        chain.finish().expect("checkpoint writer flushes");
+        sim.report()
     };
     assert_eq!(
         tel_off.strip_perf(),
@@ -293,14 +319,29 @@ fn main() {
         "periodic checkpointing must not perturb results"
     );
     assert!(snapshots_taken > 0, "checkpoint leg took no snapshots");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    // Full-snapshot encoding comparison on the same end-of-run machine
+    // state, on an untimed replica so blob measurement can't pollute the
+    // throughput numbers above.
+    let (blob_bytes_json, blob_bytes_binary) = {
+        let mut sim = Simulator::with_synthetic(ckpt_cfg, SyntheticPattern::sequential(0.0));
+        sim.set_busy_engine(true);
+        sim.advance_to_cycle(ckpt_end);
+        let snap = sim.snapshot().expect("synthetic streams snapshot");
+        (snap.to_json().len(), snap.to_binary().len())
+    };
     let checkpoint = CheckpointOverhead {
         every_cycles: ckpt_every,
         snapshots_taken,
         snapshot_bytes,
+        blob_bytes_json,
+        blob_bytes_binary,
         off_msim_cycles_per_sec: tel_off.perf.sim_cycles_per_second / 1e6,
         on_msim_cycles_per_sec: ckpt_on.perf.sim_cycles_per_second / 1e6,
         relative_throughput: ckpt_on.perf.sim_cycles_per_second
             / tel_off.perf.sim_cycles_per_second.max(1e-12),
+        checkpointed_slowdown: tel_off.perf.sim_cycles_per_second
+            / ckpt_on.perf.sim_cycles_per_second.max(1e-12),
     };
     configs.push(config_result("seq_2c_checkpointed", &ckpt_on));
 
@@ -379,12 +420,19 @@ fn main() {
         out.telemetry.relative_throughput * 100.0
     );
     println!(
-        "checkpoint overhead: {:.2} -> {:.2} Msim-cycles/s ({} snapshots of {} bytes every {} cycles)",
+        "checkpoint overhead: {:.2} -> {:.2} Msim-cycles/s ({:.2}x slowdown, {} checkpoints, last blob {} bytes every {} cycles)",
         out.checkpoint.off_msim_cycles_per_sec,
         out.checkpoint.on_msim_cycles_per_sec,
+        out.checkpoint.checkpointed_slowdown,
         out.checkpoint.snapshots_taken,
         out.checkpoint.snapshot_bytes,
         out.checkpoint.every_cycles
+    );
+    println!(
+        "full snapshot blob: {} bytes JSON -> {} bytes binary ({:.1}x smaller)",
+        out.checkpoint.blob_bytes_json,
+        out.checkpoint.blob_bytes_binary,
+        out.checkpoint.blob_bytes_json as f64 / (out.checkpoint.blob_bytes_binary as f64).max(1.0)
     );
     println!(
         "idle fast-forward speedup: {:.1}x | sweep: {} jobs, {} threads, {:.2}s -> {:.2}s ({:.2}x)",

@@ -56,4 +56,4 @@ pub use extrapolate::{extrapolate_stack, predict_bandwidth_naive, predict_bandwi
 pub use histogram::LatencyHistogram;
 pub use latency::{LatencyAccountant, LatencyStack};
 pub use stack::BandwidthStack;
-pub use through_time::{SamplerState, StackSampler, TimeSample};
+pub use through_time::{SamplerDelta, SamplerState, StackSampler, TimeSample};

@@ -101,6 +101,85 @@ pub struct SamplerState {
     metrics: MetricsRegistry,
 }
 
+impl SamplerState {
+    /// Number of rolled windows held by this state.
+    pub fn samples_len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Captures a [`SamplerDelta`] relative to a base state that held
+    /// `base_len` rolled windows. The rolled-sample list is append-only
+    /// while a simulation advances, so the delta carries only the windows
+    /// rolled since the base plus the (small) open-window bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_len` exceeds the current sample count — that means
+    /// the caller's base bookkeeping is stale, not a recoverable input.
+    pub fn delta_since(&self, base_len: usize) -> SamplerDelta {
+        assert!(
+            base_len <= self.samples.len(),
+            "sampler shrank from {base_len} to {} windows — samples are append-only",
+            self.samples.len()
+        );
+        SamplerDelta {
+            bw: self.bw.clone(),
+            lat: self.lat,
+            window_start: self.window_start,
+            accounted: self.accounted,
+            base_len: base_len as u64,
+            appended: self.samples[base_len..].to_vec(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Replays a [`SamplerDelta`] onto this (base) state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the delta was captured against a base with
+    /// a different rolled-window count than this state holds.
+    pub fn apply_delta(&mut self, delta: &SamplerDelta) -> Result<(), String> {
+        if self.samples.len() as u64 != delta.base_len {
+            return Err(format!(
+                "sampler delta expects a base with {} windows, state has {}",
+                delta.base_len,
+                self.samples.len()
+            ));
+        }
+        self.bw = delta.bw.clone();
+        self.lat = delta.lat;
+        self.window_start = delta.window_start;
+        self.accounted = delta.accounted;
+        self.samples.extend(delta.appended.iter().cloned());
+        self.metrics = delta.metrics.clone();
+        Ok(())
+    }
+}
+
+/// Dirty-state patch for one sampler: the full open-window bookkeeping
+/// (accountants, per-window metrics — all small) plus only the windows
+/// rolled since the base snapshot. Produced by
+/// [`SamplerState::delta_since`], replayed by
+/// [`SamplerState::apply_delta`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplerDelta {
+    bw: BandwidthAccountant,
+    lat: LatencyAccountant,
+    window_start: Cycle,
+    accounted: u64,
+    base_len: u64,
+    appended: Vec<TimeSample>,
+    metrics: MetricsRegistry,
+}
+
+impl SamplerDelta {
+    /// Number of windows rolled since the base snapshot.
+    pub fn appended_len(&self) -> usize {
+        self.appended.len()
+    }
+}
+
 /// Samples bandwidth and latency stacks every fixed number of cycles.
 #[derive(Debug, Clone)]
 pub struct StackSampler {
@@ -293,6 +372,32 @@ impl StackSampler {
             window_start: self.window_start,
             accounted: self.accounted,
             samples: self.samples.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Captures a [`SamplerDelta`] directly from the live sampler against
+    /// a base that held `base_len` rolled windows — same result as
+    /// `snapshot_state().delta_since(base_len)` without cloning the whole
+    /// rolled-window series first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_len` exceeds the current window count (stale base
+    /// bookkeeping; the series is append-only between reports).
+    pub fn delta_since(&self, base_len: usize) -> SamplerDelta {
+        assert!(
+            base_len <= self.samples.len(),
+            "sampler shrank from {base_len} to {} windows — samples are append-only",
+            self.samples.len()
+        );
+        SamplerDelta {
+            bw: self.bw.clone(),
+            lat: self.lat,
+            window_start: self.window_start,
+            accounted: self.accounted,
+            base_len: base_len as u64,
+            appended: self.samples[base_len..].to_vec(),
             metrics: self.metrics.clone(),
         }
     }

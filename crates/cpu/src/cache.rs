@@ -5,7 +5,7 @@
 //! offset). The cache returns evicted dirty lines so the hierarchy can
 //! cascade writebacks.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -113,7 +113,7 @@ impl CacheStats {
 /// assert_eq!(l1.access(0x1000, true), CacheOutcome::Hit); // now dirty
 /// assert!(l1.probe(0x1000));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     ways: Vec<Way>,
@@ -121,6 +121,257 @@ pub struct Cache {
     set_mask: u64,
     clock: u64,
     stats: CacheStats,
+    // Checkpoint dirty tracking: a set is dirty iff `set_gen[set] == gen`.
+    // Bumping `gen` marks every set clean in O(1). Excluded from
+    // `PartialEq` and serialization so tracker state can never perturb
+    // determinism or the on-disk format.
+    gen: u64,
+    set_gen: Vec<u64>,
+}
+
+// Tracker fields (`gen`, `set_gen`) are deliberately ignored: two caches
+// holding the same lines are equal regardless of checkpoint bookkeeping.
+impl PartialEq for Cache {
+    fn eq(&self, other: &Self) -> bool {
+        self.cfg == other.cfg
+            && self.ways == other.ways
+            && self.set_shift == other.set_shift
+            && self.set_mask == other.set_mask
+            && self.clock == other.clock
+            && self.stats == other.stats
+    }
+}
+
+/// Columnar serialization: instead of one map per [`Way`] (hundreds of
+/// thousands of tiny maps in a full-size snapshot), the way array is
+/// emitted as four flat columns — `tags`/`lru` as integer sequences and
+/// `valid`/`dirty` as u64 bitset words over a flattened index.
+///
+/// The columns are *way-major* (`column[w * sets + s]`), not set-major:
+/// under streaming traffic, neighbouring sets hold the same tag in the
+/// same way (the tag excludes the set-index bits), so way-major order
+/// produces long constant runs that the binary codec's run-length
+/// encoding collapses to a few bytes. Set-major order interleaves the
+/// ways and destroys those runs.
+impl Serialize for Cache {
+    fn to_value(&self) -> Value {
+        let n = self.ways.len();
+        let per_set = self.cfg.ways as usize;
+        let sets = n / per_set;
+        let mut tags = Vec::with_capacity(n);
+        let mut lru = Vec::with_capacity(n);
+        let words = n.div_ceil(64);
+        let mut valid = vec![0u64; words];
+        let mut dirty = vec![0u64; words];
+        for w in 0..per_set {
+            for s in 0..sets {
+                let way = &self.ways[s * per_set + w];
+                let j = tags.len();
+                tags.push(Value::Int(i128::from(way.tag)));
+                lru.push(Value::Int(i128::from(way.lru)));
+                if way.valid {
+                    valid[j / 64] |= 1 << (j % 64);
+                }
+                if way.dirty {
+                    dirty[j / 64] |= 1 << (j % 64);
+                }
+            }
+        }
+        let bits =
+            |v: Vec<u64>| Value::Seq(v.into_iter().map(|w| Value::Int(i128::from(w))).collect());
+        Value::Map(vec![
+            ("cfg".to_string(), self.cfg.to_value()),
+            ("set_shift".to_string(), self.set_shift.to_value()),
+            ("set_mask".to_string(), self.set_mask.to_value()),
+            ("clock".to_string(), self.clock.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("tags".to_string(), Value::Seq(tags)),
+            ("lru".to_string(), Value::Seq(lru)),
+            ("valid".to_string(), bits(valid)),
+            ("dirty".to_string(), bits(dirty)),
+        ])
+    }
+}
+
+impl Deserialize for Cache {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let cfg = CacheConfig::from_value(serde::get_field(v, "cfg")?)?;
+        let set_shift = u32::from_value(serde::get_field(v, "set_shift")?)?;
+        let set_mask = u64::from_value(serde::get_field(v, "set_mask")?)?;
+        let clock = u64::from_value(serde::get_field(v, "clock")?)?;
+        let stats = CacheStats::from_value(serde::get_field(v, "stats")?)?;
+        let tags = Vec::<u64>::from_value(serde::get_field(v, "tags")?)?;
+        let lru = Vec::<u64>::from_value(serde::get_field(v, "lru")?)?;
+        let valid = Vec::<u64>::from_value(serde::get_field(v, "valid")?)?;
+        let dirty = Vec::<u64>::from_value(serde::get_field(v, "dirty")?)?;
+        let n = tags.len();
+        if lru.len() != n {
+            return Err(serde::Error::custom(format!(
+                "cache columns disagree: {n} tags vs {} lru stamps",
+                lru.len()
+            )));
+        }
+        let words = n.div_ceil(64);
+        if valid.len() != words || dirty.len() != words {
+            return Err(serde::Error::custom(format!(
+                "cache bitsets need {words} words for {n} ways, got {}/{}",
+                valid.len(),
+                dirty.len()
+            )));
+        }
+        if cfg.ways == 0 || n % cfg.ways as usize != 0 {
+            return Err(serde::Error::custom(format!(
+                "{n} ways do not tile {}-way sets",
+                cfg.ways
+            )));
+        }
+        // Undo the way-major column order: column index `w * sets + s`
+        // lands back at in-memory slot `s * per_set + w`.
+        let per_set = cfg.ways as usize;
+        let sets = n / per_set;
+        let mut ways = vec![Way::default(); n];
+        for w in 0..per_set {
+            for s in 0..sets {
+                let j = w * sets + s;
+                ways[s * per_set + w] = Way {
+                    tag: tags[j],
+                    valid: valid[j / 64] >> (j % 64) & 1 == 1,
+                    dirty: dirty[j / 64] >> (j % 64) & 1 == 1,
+                    lru: lru[j],
+                };
+            }
+        }
+        Ok(Cache {
+            cfg,
+            ways,
+            set_shift,
+            set_mask,
+            clock,
+            stats,
+            gen: 1,
+            set_gen: vec![0; n / cfg.ways as usize],
+        })
+    }
+}
+
+/// Dirty-state patch for one cache, produced by [`Cache::take_delta`]:
+/// the full contents of every set touched since the last
+/// [`take_delta`](Cache::take_delta) / [`mark_clean`](Cache::mark_clean),
+/// plus the (always-captured) clock and counters.
+///
+/// Serialized columnar like [`Cache`] itself — one flat way-major
+/// column per field across all patched sets, not one map per patch —
+/// so a streaming-traffic delta (thousands of contiguous dirty sets
+/// repeating the same tag) run-length encodes instead of paying per-set
+/// map overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheDelta {
+    /// LRU clock at capture time.
+    pub clock: u64,
+    /// Hit/miss counters at capture time.
+    pub stats: CacheStats,
+    /// Dirtied sets, ascending by set index.
+    pub sets: Vec<SetPatch>,
+}
+
+impl Serialize for CacheDelta {
+    fn to_value(&self) -> Value {
+        let per_set = self.sets.first().map_or(0, |p| p.tags.len());
+        let n = self.sets.len();
+        let mut sets = Vec::with_capacity(n);
+        let mut valid = Vec::with_capacity(n);
+        let mut dirty = Vec::with_capacity(n);
+        for p in &self.sets {
+            debug_assert_eq!(p.tags.len(), per_set, "ragged patch in CacheDelta");
+            sets.push(Value::Int(i128::from(p.set)));
+            valid.push(Value::Int(i128::from(p.valid)));
+            dirty.push(Value::Int(i128::from(p.dirty)));
+        }
+        let mut tags = Vec::with_capacity(n * per_set);
+        let mut lru = Vec::with_capacity(n * per_set);
+        for w in 0..per_set {
+            for p in &self.sets {
+                tags.push(Value::Int(i128::from(p.tags[w])));
+                lru.push(Value::Int(i128::from(p.lru[w])));
+            }
+        }
+        Value::Map(vec![
+            ("clock".to_string(), self.clock.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("ways".to_string(), (per_set as u64).to_value()),
+            ("sets".to_string(), Value::Seq(sets)),
+            ("tags".to_string(), Value::Seq(tags)),
+            ("lru".to_string(), Value::Seq(lru)),
+            ("valid".to_string(), Value::Seq(valid)),
+            ("dirty".to_string(), Value::Seq(dirty)),
+        ])
+    }
+}
+
+impl Deserialize for CacheDelta {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let clock = u64::from_value(serde::get_field(v, "clock")?)?;
+        let stats = CacheStats::from_value(serde::get_field(v, "stats")?)?;
+        let per_set = u64::from_value(serde::get_field(v, "ways")?)? as usize;
+        let sets = Vec::<u64>::from_value(serde::get_field(v, "sets")?)?;
+        let tags = Vec::<u64>::from_value(serde::get_field(v, "tags")?)?;
+        let lru = Vec::<u64>::from_value(serde::get_field(v, "lru")?)?;
+        let valid = Vec::<u64>::from_value(serde::get_field(v, "valid")?)?;
+        let dirty = Vec::<u64>::from_value(serde::get_field(v, "dirty")?)?;
+        let n = sets.len();
+        if valid.len() != n || dirty.len() != n {
+            return Err(serde::Error::custom(format!(
+                "delta columns disagree: {n} sets vs {}/{} bit masks",
+                valid.len(),
+                dirty.len()
+            )));
+        }
+        if tags.len() != n * per_set || lru.len() != n * per_set {
+            return Err(serde::Error::custom(format!(
+                "delta columns disagree: {n} sets x {per_set} ways vs {}/{} tags/lru",
+                tags.len(),
+                lru.len()
+            )));
+        }
+        let patches = sets
+            .iter()
+            .enumerate()
+            .map(|(p, &set)| SetPatch {
+                set,
+                tags: (0..per_set).map(|w| tags[w * n + p]).collect(),
+                lru: (0..per_set).map(|w| lru[w * n + p]).collect(),
+                valid: valid[p],
+                dirty: dirty[p],
+            })
+            .collect();
+        Ok(CacheDelta {
+            clock,
+            stats,
+            sets: patches,
+        })
+    }
+}
+
+impl CacheDelta {
+    /// True when no set was dirtied (clock/stats may still have moved).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// Replacement contents for one cache set inside a [`CacheDelta`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SetPatch {
+    /// Set index.
+    pub set: u64,
+    /// One tag per way.
+    pub tags: Vec<u64>,
+    /// One LRU stamp per way.
+    pub lru: Vec<u64>,
+    /// Valid bits, way `i` in bit `i`.
+    pub valid: u64,
+    /// Dirty bits, way `i` in bit `i`.
+    pub dirty: u64,
 }
 
 impl Cache {
@@ -144,7 +395,105 @@ impl Cache {
             set_mask: sets - 1,
             clock: 0,
             stats: CacheStats::default(),
+            gen: 1,
+            set_gen: vec![0; sets as usize],
         }
+    }
+
+    /// Stamps the set holding flattened way index `base` as dirtied in
+    /// the current checkpoint generation.
+    fn touch(&mut self, base: usize) {
+        let set = base / self.cfg.ways as usize;
+        self.set_gen[set] = self.gen;
+    }
+
+    /// Marks every set clean (O(1)); the next [`take_delta`](Self::take_delta)
+    /// reports only sets mutated after this call.
+    pub fn mark_clean(&mut self) {
+        self.gen += 1;
+    }
+
+    /// Captures the contents of every set dirtied since the last
+    /// [`mark_clean`](Self::mark_clean) / `take_delta`, then marks the
+    /// cache clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics on more than 64 ways (the patch valid/dirty bitmasks are
+    /// single u64 words; every configured geometry is ≤ 16-way).
+    pub fn take_delta(&mut self) -> CacheDelta {
+        let ways = self.cfg.ways as usize;
+        assert!(ways <= 64, "set patches support at most 64 ways");
+        let mut sets = Vec::new();
+        for set in 0..self.set_gen.len() {
+            if self.set_gen[set] != self.gen {
+                continue;
+            }
+            let base = set * ways;
+            let mut tags = Vec::with_capacity(ways);
+            let mut lru = Vec::with_capacity(ways);
+            let mut valid = 0u64;
+            let mut dirty = 0u64;
+            for (i, w) in self.ways[base..base + ways].iter().enumerate() {
+                tags.push(w.tag);
+                lru.push(w.lru);
+                if w.valid {
+                    valid |= 1 << i;
+                }
+                if w.dirty {
+                    dirty |= 1 << i;
+                }
+            }
+            sets.push(SetPatch {
+                set: set as u64,
+                tags,
+                lru,
+                valid,
+                dirty,
+            });
+        }
+        self.gen += 1;
+        CacheDelta {
+            clock: self.clock,
+            stats: self.stats,
+            sets,
+        }
+    }
+
+    /// Applies a [`CacheDelta`] captured from an identically configured
+    /// cache, overwriting every patched set plus the clock and counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a patch does not fit this geometry.
+    pub fn apply_delta(&mut self, delta: &CacheDelta) -> Result<(), String> {
+        let ways = self.cfg.ways as usize;
+        let sets = self.ways.len() / ways;
+        for p in &delta.sets {
+            let set = p.set as usize;
+            if set >= sets {
+                return Err(format!("set patch {set} outside {sets}-set cache"));
+            }
+            if p.tags.len() != ways || p.lru.len() != ways {
+                return Err(format!(
+                    "set patch {set} carries {}/{} ways, cache has {ways}",
+                    p.tags.len(),
+                    p.lru.len()
+                ));
+            }
+            let base = set * ways;
+            for i in 0..ways {
+                self.ways[base + i] = Way {
+                    tag: p.tags[i],
+                    valid: p.valid >> i & 1 == 1,
+                    dirty: p.dirty >> i & 1 == 1,
+                    lru: p.lru[i],
+                };
+            }
+        }
+        self.clock = delta.clock;
+        self.stats = delta.stats;
+        Ok(())
     }
 
     /// This level's configuration.
@@ -190,6 +539,7 @@ impl Cache {
                 w.dirty = true;
             }
             self.stats.hits += 1;
+            self.touch(base);
             true
         } else {
             self.stats.misses += 1;
@@ -209,6 +559,7 @@ impl Cache {
                 w.dirty = true;
             }
             self.stats.hits += 1;
+            self.touch(base);
             return CacheOutcome::Hit;
         }
         self.stats.misses += 1;
@@ -219,6 +570,7 @@ impl Cache {
     /// Picks a victim in the set at `base` (invalid first, else LRU),
     /// installs `tag`, and returns the dirty victim's address, if any.
     fn replace(&mut self, base: usize, tag: u64, is_write: bool) -> Option<u64> {
+        self.touch(base);
         let ways = self.cfg.ways as usize;
         let clock = self.clock;
         let set = &mut self.ways[base..base + ways];
@@ -257,6 +609,7 @@ impl Cache {
             if is_write {
                 w.dirty = true;
             }
+            self.touch(base);
             return None;
         }
         self.replace(base, tag, is_write)
@@ -266,10 +619,14 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
         let (base, tag) = self.set_range(addr);
         let set = &mut self.ways[base..base + self.cfg.ways as usize];
-        set.iter_mut().find(|w| w.valid && w.tag == tag).map(|w| {
+        let hit = set.iter_mut().find(|w| w.valid && w.tag == tag).map(|w| {
             w.valid = false;
             w.dirty
-        })
+        });
+        if hit.is_some() {
+            self.touch(base);
+        }
+        hit
     }
 
     fn rebuild_addr(&self, tag: u64, way_base: usize) -> u64 {
@@ -396,5 +753,94 @@ mod tests {
         c.access(0x040, false);
         c.access(0x080, false);
         assert!((c.stats().miss_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn columnar_serde_roundtrip() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x100, false);
+        c.access(0x2C0, true);
+        c.lookup(0x040, false);
+        let back = Cache::from_value(&c.to_value()).expect("columnar value parses back");
+        assert_eq!(back, c);
+        assert!(back.probe(0x000) && back.probe(0x100) && back.probe(0x2C0));
+    }
+
+    #[test]
+    fn columnar_deserialize_rejects_ragged_columns() {
+        let mut v = tiny().to_value();
+        if let Value::Map(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "lru" {
+                    if let Value::Seq(s) = val {
+                        s.pop();
+                    }
+                }
+            }
+        }
+        assert!(Cache::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn delta_replays_onto_base_copy() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x100, false);
+        c.mark_clean();
+        let base = c.clone();
+
+        c.access(0x2C0, true); // new set
+        c.access(0x200, false); // evicts in set 0
+        c.lookup(0x100, true); // dirties a line in place
+        let delta = c.take_delta();
+        assert!(!delta.is_empty());
+
+        let mut replayed = base.clone();
+        replayed
+            .apply_delta(&delta)
+            .expect("delta fits the geometry");
+        assert_eq!(replayed, c);
+
+        // The columnar delta encoding roundtrips patch-exactly.
+        let back = CacheDelta::from_value(&delta.to_value()).expect("delta roundtrips");
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn clean_cache_yields_empty_delta() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.mark_clean();
+        assert!(c.take_delta().is_empty());
+        // Probes and misses without allocation do not dirty sets …
+        c.probe(0x000);
+        c.lookup(0x500, false);
+        let d = c.take_delta();
+        assert!(d.is_empty());
+        // … but the clock/stats they move are still carried.
+        assert_eq!(d.clock, c.clock);
+        assert_eq!(d.stats, c.stats());
+    }
+
+    #[test]
+    fn delta_rejects_foreign_geometry() {
+        let mut big = Cache::new(CacheConfig::l1d());
+        big.access(0x4000_0000, true);
+        let delta = big.take_delta();
+        let mut small = tiny();
+        assert!(small.apply_delta(&delta).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_dirty_trackers() {
+        let mut a = tiny();
+        a.access(0x000, true);
+        let mut b = a.clone();
+        b.mark_clean();
+        b.mark_clean();
+        assert_eq!(a, b);
+        a.take_delta();
+        assert_eq!(a, b);
     }
 }

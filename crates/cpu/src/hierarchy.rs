@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::cache::{Cache, CacheConfig, CacheDelta, CacheStats};
 use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
 
 /// Configuration of the whole hierarchy.
@@ -116,6 +116,74 @@ pub struct HierarchyState {
     outbound_reads: Vec<OutboundRead>,
     outbound_writes: Vec<u64>,
     stats: HierarchyStats,
+}
+
+/// Dirty-state patch for the whole hierarchy, produced by
+/// [`Hierarchy::take_delta`] and replayed onto a base [`HierarchyState`]
+/// by [`HierarchyState::apply_delta`]. The caches — the only large
+/// members — carry per-set patches; everything else (prefetchers, MSHR
+/// sets, pending lines, outbound queues, counters) is tiny and captured
+/// whole, with the same canonical sorted encoding as
+/// [`Hierarchy::snapshot_state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyDelta {
+    l1: Vec<CacheDelta>,
+    l2: Vec<CacheDelta>,
+    llc: CacheDelta,
+    prefetchers: Vec<StreamPrefetcher>,
+    demand_outstanding: Vec<Vec<u64>>,
+    prefetch_outstanding: Vec<Vec<u64>>,
+    pending: Vec<(u64, PendingLine)>,
+    outbound_reads: Vec<OutboundRead>,
+    outbound_writes: Vec<u64>,
+    stats: HierarchyStats,
+}
+
+impl HierarchyDelta {
+    /// Total number of patched cache sets across every level.
+    pub fn patched_sets(&self) -> usize {
+        self.l1
+            .iter()
+            .chain(self.l2.iter())
+            .chain(std::iter::once(&self.llc))
+            .map(|d| d.sets.len())
+            .sum()
+    }
+}
+
+impl HierarchyState {
+    /// Replays a [`HierarchyDelta`] captured from a hierarchy that was
+    /// clean relative to this state, producing the hierarchy state at the
+    /// delta's capture point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the delta does not fit this state's shape
+    /// (core count or cache geometry mismatch).
+    pub fn apply_delta(&mut self, delta: &HierarchyDelta) -> Result<(), String> {
+        if delta.l1.len() != self.l1.len() || delta.l2.len() != self.l2.len() {
+            return Err(format!(
+                "hierarchy delta covers {} cores, state has {}",
+                delta.l1.len(),
+                self.l1.len()
+            ));
+        }
+        for (c, d) in self.l1.iter_mut().zip(&delta.l1) {
+            c.apply_delta(d)?;
+        }
+        for (c, d) in self.l2.iter_mut().zip(&delta.l2) {
+            c.apply_delta(d)?;
+        }
+        self.llc.apply_delta(&delta.llc)?;
+        self.prefetchers = delta.prefetchers.clone();
+        self.demand_outstanding = delta.demand_outstanding.clone();
+        self.prefetch_outstanding = delta.prefetch_outstanding.clone();
+        self.pending = delta.pending.clone();
+        self.outbound_reads = delta.outbound_reads.clone();
+        self.outbound_writes = delta.outbound_writes.clone();
+        self.stats = delta.stats;
+        Ok(())
+    }
 }
 
 /// The shared memory hierarchy of all cores.
@@ -422,6 +490,49 @@ impl Hierarchy {
         }
     }
 
+    /// Marks every cache clean so the next [`take_delta`](Self::take_delta)
+    /// reports only sets mutated after this call. Call when capturing a
+    /// full (base) snapshot.
+    pub fn mark_clean(&mut self) {
+        for c in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            c.mark_clean();
+        }
+        self.llc.mark_clean();
+    }
+
+    /// Captures only the state dirtied since the last
+    /// [`mark_clean`](Self::mark_clean) / `take_delta` (cache sets), plus
+    /// the small always-captured members, and marks the caches clean.
+    pub fn take_delta(&mut self) -> HierarchyDelta {
+        let sorted_sets = |sets: &[HashSet<u64>]| {
+            sets.iter()
+                .map(|s| {
+                    let mut v: Vec<u64> = s.iter().copied().collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect()
+        };
+        let mut pending: Vec<(u64, PendingLine)> = self
+            .pending
+            .iter()
+            .map(|(&line, p)| (line, p.clone()))
+            .collect();
+        pending.sort_unstable_by_key(|(line, _)| *line);
+        HierarchyDelta {
+            l1: self.l1.iter_mut().map(Cache::take_delta).collect(),
+            l2: self.l2.iter_mut().map(Cache::take_delta).collect(),
+            llc: self.llc.take_delta(),
+            prefetchers: self.prefetchers.clone(),
+            demand_outstanding: sorted_sets(&self.demand_outstanding),
+            prefetch_outstanding: sorted_sets(&self.prefetch_outstanding),
+            pending,
+            outbound_reads: self.outbound_reads.iter().copied().collect(),
+            outbound_writes: self.outbound_writes.iter().copied().collect(),
+            stats: self.stats,
+        }
+    }
+
     /// Restores state captured by [`snapshot_state`](Self::snapshot_state).
     /// The target must have been built with the same configuration and core
     /// count the snapshot was taken under.
@@ -633,6 +744,44 @@ mod tests {
         h.unpop_read(first);
         assert_eq!(h.pop_read().unwrap().line, 0x1000);
         assert_eq!(h.pop_read().unwrap().line, 0x9000);
+    }
+
+    #[test]
+    fn delta_replays_onto_base_state() {
+        let mut h = small_hierarchy(2);
+        for i in 0..16u64 {
+            h.access(0, 0x4_0000 + i * 64, i % 3 == 0, i);
+            while let Some(r) = h.pop_read() {
+                h.complete_read(r.line);
+            }
+        }
+        let mut base = h.snapshot_state();
+        h.mark_clean();
+
+        for i in 0..24u64 {
+            h.access(1, 0x8_0000 + i * 0x140, i % 2 == 0, 100 + i);
+        }
+        h.access(0, 0x4_0000, true, 200);
+        let delta = h.take_delta();
+        assert!(delta.patched_sets() > 0);
+
+        base.apply_delta(&delta).expect("delta fits the base");
+        assert_eq!(base, h.snapshot_state());
+
+        // A clean hierarchy yields an empty patch set that still replays.
+        let delta2 = h.take_delta();
+        assert_eq!(delta2.patched_sets(), 0);
+        base.apply_delta(&delta2).expect("empty delta fits");
+        assert_eq!(base, h.snapshot_state());
+    }
+
+    #[test]
+    fn delta_rejects_core_count_mismatch() {
+        let mut h1 = small_hierarchy(1);
+        let h2 = small_hierarchy(2);
+        let delta = h1.take_delta();
+        let mut state = h2.snapshot_state();
+        assert!(state.apply_delta(&delta).is_err());
     }
 
     #[test]

@@ -33,11 +33,12 @@ mod hierarchy;
 mod instr;
 mod prefetch;
 
-pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats};
+pub use cache::{Cache, CacheConfig, CacheDelta, CacheOutcome, CacheStats, SetPatch};
 pub use core_model::{CoreConfig, CoreModel, CoreState, StallKind};
 pub use cycle_stack::{CycleComponent, CycleStack};
 pub use hierarchy::{
-    AccessResult, Hierarchy, HierarchyConfig, HierarchyState, HierarchyStats, OutboundRead,
+    AccessResult, Hierarchy, HierarchyConfig, HierarchyDelta, HierarchyState, HierarchyStats,
+    OutboundRead,
 };
 pub use instr::{FnStream, Instr, InstrStream, VecStream};
 pub use prefetch::{PrefetchConfig, StreamPrefetcher};

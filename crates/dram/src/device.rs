@@ -312,6 +312,30 @@ impl DramDevice {
         &self.config
     }
 
+    /// Cheap fingerprint of the busy-engine epoch counters (FNV-1a over
+    /// every bank/rank epoch plus the bus epoch). Every timing-relevant
+    /// device mutation bumps at least one epoch, so a changed signature
+    /// proves the device moved since the last probe; checkpoint delta
+    /// capture uses it as a fast "definitely dirty" gate before the
+    /// authoritative deep comparison.
+    pub fn epoch_signature(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u32| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for &e in &self.bank_epochs {
+            eat(e);
+        }
+        for &e in &self.rank_epochs {
+            eat(e);
+        }
+        eat(self.bus_epoch);
+        h
+    }
+
     /// The configured (true) timing parameter set. Reporting and audit
     /// code must use this; it is unaffected by seeded faults.
     pub fn timing(&self) -> &TimingParams {

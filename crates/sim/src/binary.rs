@@ -1,0 +1,585 @@
+//! Compact binary snapshot container (the `.dsnp` format).
+//!
+//! The codec serializes the same [`Value`] tree the JSON path uses, so
+//! both formats describe byte-for-byte identical machine state; only the
+//! wire shape differs. Layout (all integers varint/LEB128 unless noted):
+//!
+//! ```text
+//! magic      "DSNP"                       4 bytes
+//! container  SNAPSHOT_BINARY_VERSION      u32 LE
+//! kind       0 = full snapshot, 1 = delta u8
+//! format     SNAPSHOT_FORMAT_VERSION      u32 LE (of the embedded tree)
+//! strings    count, then per string: byte length + UTF-8 bytes
+//! sections   count, then per section: name string-id + payload length
+//! payloads   section payloads, concatenated in table order
+//! ```
+//!
+//! Every string (map keys and string values) is interned in the string
+//! table and referenced by id, so the hundreds of thousands of repeated
+//! field names in a snapshot cost one varint each. Each top-level field
+//! of the snapshot map becomes its own section, which lets a truncated
+//! file name the section it died in. Values are tagged:
+//!
+//! ```text
+//! 0 Null   1 false   2 true
+//! 3 Int    zigzag varint (i128)
+//! 4 Float  8-byte LE IEEE-754 bit pattern (exact, NaN-safe)
+//! 5 Str    string-table id
+//! 6 Seq    element count, then RLE runs: run length + one encoded value
+//! 7 Map    entry count, then per entry: key string-id + encoded value
+//! ```
+//!
+//! Sequence runs group *scalars* only, with floats compared by bit
+//! pattern (so `-0.0` and `0.0` never collapse); nested seqs/maps are
+//! emitted as runs of one. The big regular columns in a snapshot — cache
+//! tag/LRU/valid/dirty arrays, sampler series — are exactly the shapes
+//! RLE and varints compress well.
+
+use std::collections::HashMap;
+
+use serde::Value;
+
+use crate::snapshot::{SnapshotError, SNAPSHOT_BINARY_VERSION};
+
+const MAGIC: &[u8; 4] = b"DSNP";
+
+/// `kind` byte of a full snapshot file.
+pub const KIND_FULL: u8 = 0;
+/// `kind` byte of a delta snapshot file.
+pub const KIND_DELTA: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct StringTable {
+    strings: Vec<String>,
+    ids: HashMap<String, u64>,
+}
+
+impl StringTable {
+    fn new() -> Self {
+        StringTable {
+            strings: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u64;
+        self.strings.push(s.to_string());
+        self.ids.insert(s.to_string(), id);
+        id
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i128) -> u128 {
+    ((v << 1) ^ (v >> 127)) as u128
+}
+
+fn unzigzag(v: u128) -> i128 {
+    ((v >> 1) as i128) ^ -((v & 1) as i128)
+}
+
+/// Scalar equality for run grouping. Floats compare by bit pattern so a
+/// run can never rewrite `-0.0` as `0.0` (or collapse distinct NaNs).
+fn run_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>, table: &mut StringTable) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(false) => out.push(1),
+        Value::Bool(true) => out.push(2),
+        Value::Int(i) => {
+            out.push(3);
+            put_varint(out, zigzag(*i));
+        }
+        Value::Float(f) => {
+            out.push(4);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(5);
+            let id = table.intern(s);
+            put_varint(out, u128::from(id));
+        }
+        Value::Seq(items) => {
+            out.push(6);
+            put_varint(out, items.len() as u128);
+            let mut i = 0;
+            while i < items.len() {
+                let mut run = 1;
+                while i + run < items.len() && run_eq(&items[i], &items[i + run]) {
+                    run += 1;
+                }
+                put_varint(out, run as u128);
+                encode_value(&items[i], out, table);
+                i += run;
+            }
+        }
+        Value::Map(entries) => {
+            out.push(7);
+            put_varint(out, entries.len() as u128);
+            for (k, val) in entries {
+                let id = table.intern(k);
+                put_varint(out, u128::from(id));
+                encode_value(val, out, table);
+            }
+        }
+    }
+}
+
+/// Encodes a snapshot or delta [`Value`] tree into the binary container.
+///
+/// # Panics
+///
+/// Panics if `value` is not a map — snapshots and deltas are structs.
+pub fn encode(value: &Value, kind: u8, format_version: u32) -> Vec<u8> {
+    let Value::Map(fields) = value else {
+        panic!("binary container encodes struct maps only");
+    };
+    let mut table = StringTable::new();
+    let sections: Vec<(u64, Vec<u8>)> = fields
+        .iter()
+        .map(|(name, v)| {
+            let id = table.intern(name);
+            let mut payload = Vec::new();
+            encode_value(v, &mut payload, &mut table);
+            (id, payload)
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(sections.iter().map(|(_, p)| p.len() + 8).sum::<usize>() + 64);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&SNAPSHOT_BINARY_VERSION.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&format_version.to_le_bytes());
+    put_varint(&mut out, table.strings.len() as u128);
+    for s in &table.strings {
+        put_varint(&mut out, s.len() as u128);
+        out.extend_from_slice(s.as_bytes());
+    }
+    put_varint(&mut out, sections.len() as u128);
+    for (id, payload) in &sections {
+        put_varint(&mut out, u128::from(*id));
+        put_varint(&mut out, payload.len() as u128);
+    }
+    for (_, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A decoded binary container: the header fields plus the reassembled
+/// [`Value`] tree (one top-level map field per section, in table order).
+#[derive(Debug)]
+pub struct Decoded {
+    /// [`KIND_FULL`] or [`KIND_DELTA`].
+    pub kind: u8,
+    /// `SNAPSHOT_FORMAT_VERSION` of the embedded tree.
+    pub format_version: u32,
+    /// The reassembled snapshot/delta map.
+    pub value: Value,
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'a str,
+    /// Remaining decoded-element allowance. RLE means a few corrupt
+    /// bytes can claim billions of elements; charging every materialized
+    /// element against this budget turns that into a typed `Corrupt`
+    /// instead of an allocation blow-up. Real snapshots sit far below it.
+    budget: usize,
+}
+
+const ELEMENT_BUDGET: usize = 1 << 24;
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], section: &'a str) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            section,
+            budget: ELEMENT_BUDGET,
+        }
+    }
+
+    fn charge(&mut self, n: usize) -> Result<(), SnapshotError> {
+        if n > self.budget {
+            return Err(self.corrupt(format!(
+                "container claims more than {ELEMENT_BUDGET} elements"
+            )));
+        }
+        self.budget -= n;
+        Ok(())
+    }
+
+    fn truncated(&self) -> SnapshotError {
+        SnapshotError::Truncated {
+            section: self.section.to_string(),
+        }
+    }
+
+    fn corrupt(&self, msg: impl Into<String>) -> SnapshotError {
+        SnapshotError::Corrupt {
+            msg: format!("{} (in section `{}`)", msg.into(), self.section),
+        }
+    }
+
+    fn byte(&mut self) -> Result<u8, SnapshotError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.truncated())?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.truncated())?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.truncated())?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u128, SnapshotError> {
+        let mut v: u128 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 128 {
+                return Err(self.corrupt("varint overflows 128 bits"));
+            }
+            v |= u128::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn len(&mut self, what: &str) -> Result<usize, SnapshotError> {
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| self.corrupt(format!("{what} count {v} overflows")))
+    }
+
+    fn string_id(&mut self, table: &[String]) -> Result<String, SnapshotError> {
+        let id = self.varint()?;
+        let idx = usize::try_from(id).ok().filter(|&i| i < table.len());
+        match idx {
+            Some(i) => Ok(table[i].clone()),
+            None => Err(self.corrupt(format!("string id {id} outside table of {}", table.len()))),
+        }
+    }
+
+    fn value(&mut self, table: &[String]) -> Result<Value, SnapshotError> {
+        match self.byte()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(false)),
+            2 => Ok(Value::Bool(true)),
+            3 => Ok(Value::Int(unzigzag(self.varint()?))),
+            4 => {
+                let raw = self.bytes(8)?;
+                let bits = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
+                Ok(Value::Float(f64::from_bits(bits)))
+            }
+            5 => Ok(Value::Str(self.string_id(table)?)),
+            6 => {
+                let total = self.len("sequence")?;
+                self.charge(total)?;
+                let mut items = Vec::with_capacity(total.min(1 << 20));
+                while items.len() < total {
+                    let run = self.len("run")?;
+                    if run == 0 || run > total - items.len() {
+                        return Err(
+                            self.corrupt(format!("run of {run} overflows sequence of {total}"))
+                        );
+                    }
+                    let v = self.value(table)?;
+                    for _ in 1..run {
+                        items.push(v.clone());
+                    }
+                    items.push(v);
+                }
+                Ok(Value::Seq(items))
+            }
+            7 => {
+                let total = self.len("map")?;
+                self.charge(total)?;
+                let mut entries = Vec::with_capacity(total.min(1 << 20));
+                for _ in 0..total {
+                    let key = self.string_id(table)?;
+                    let v = self.value(table)?;
+                    entries.push((key, v));
+                }
+                Ok(Value::Map(entries))
+            }
+            t => Err(self.corrupt(format!("unknown value tag {t}"))),
+        }
+    }
+}
+
+/// Decodes a binary container produced by [`encode`].
+///
+/// # Errors
+///
+/// [`SnapshotError::BadMagic`] when the file is not a `.dsnp` container,
+/// [`SnapshotError::BinaryVersionMismatch`] for a foreign container
+/// version, [`SnapshotError::Truncated`] naming the section the data ran
+/// out in, and [`SnapshotError::Corrupt`] for structural damage. The
+/// embedded tree's *format* version is returned for the caller to check.
+pub fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
+    let mut r = Reader::new(bytes, "header");
+    let magic = r.bytes(4).map_err(|_| SnapshotError::BadMagic)?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let container = u32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes"));
+    if container != SNAPSHOT_BINARY_VERSION {
+        return Err(SnapshotError::BinaryVersionMismatch {
+            expected: SNAPSHOT_BINARY_VERSION,
+            got: container,
+        });
+    }
+    let kind = r.byte()?;
+    if kind != KIND_FULL && kind != KIND_DELTA {
+        return Err(r.corrupt(format!("unknown snapshot kind {kind}")));
+    }
+    let format_version = u32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes"));
+
+    let n_strings = r.len("string table")?;
+    let mut table = Vec::with_capacity(n_strings.min(1 << 20));
+    for _ in 0..n_strings {
+        let len = r.len("string")?;
+        let raw = r.bytes(len)?;
+        let s =
+            std::str::from_utf8(raw).map_err(|_| r.corrupt("string table entry is not UTF-8"))?;
+        table.push(s.to_string());
+    }
+
+    let n_sections = r.len("section table")?;
+    let mut sections = Vec::with_capacity(n_sections.min(1 << 16));
+    for _ in 0..n_sections {
+        let name = r.string_id(&table)?;
+        let len = r.len("section")?;
+        sections.push((name, len));
+    }
+
+    let mut offset = r.pos;
+    let mut fields = Vec::with_capacity(sections.len());
+    for (name, len) in &sections {
+        let end = offset.checked_add(*len).ok_or(SnapshotError::Truncated {
+            section: name.clone(),
+        })?;
+        let payload = bytes.get(offset..end).ok_or(SnapshotError::Truncated {
+            section: name.clone(),
+        })?;
+        let mut pr = Reader::new(payload, name);
+        let v = pr.value(&table)?;
+        if pr.pos != payload.len() {
+            return Err(pr.corrupt(format!(
+                "{} trailing bytes after section value",
+                payload.len() - pr.pos
+            )));
+        }
+        fields.push((name.clone(), v));
+        offset = end;
+    }
+    if offset != bytes.len() {
+        return Err(SnapshotError::Corrupt {
+            msg: format!("{} trailing bytes after last section", bytes.len() - offset),
+        });
+    }
+
+    Ok(Decoded {
+        kind,
+        format_version,
+        value: Value::Map(fields),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Map(vec![
+            ("version".into(), Value::Int(2)),
+            (
+                "stats".into(),
+                Value::Map(vec![
+                    ("hits".into(), Value::Int(10)),
+                    ("rate".into(), Value::Float(0.25)),
+                    ("label".into(), Value::Str("open".into())),
+                    ("extra".into(), Value::Null),
+                ]),
+            ),
+            (
+                "tags".into(),
+                Value::Seq(
+                    std::iter::repeat_n(Value::Int(0), 100)
+                        .chain((0..10).map(Value::Int))
+                        .collect(),
+                ),
+            ),
+            (
+                "flags".into(),
+                Value::Seq(vec![
+                    Value::Bool(true),
+                    Value::Bool(true),
+                    Value::Bool(false),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_preserves_tree_and_header() {
+        let v = sample();
+        let bytes = encode(&v, KIND_FULL, 2);
+        let d = decode(&bytes).expect("container decodes");
+        assert_eq!(d.kind, KIND_FULL);
+        assert_eq!(d.format_version, 2);
+        assert_eq!(d.value, v);
+    }
+
+    #[test]
+    fn rle_compresses_constant_runs() {
+        let constant = Value::Map(vec![("xs".into(), Value::Seq(vec![Value::Int(7); 10_000]))]);
+        let varied = Value::Map(vec![(
+            "xs".into(),
+            Value::Seq((0..10_000).map(|i| Value::Int(i * 1000)).collect()),
+        )]);
+        let c = encode(&constant, KIND_FULL, 2).len();
+        let v = encode(&varied, KIND_FULL, 2).len();
+        assert!(c < 64, "constant run should collapse, got {c} bytes");
+        assert!(v > 10_000, "varied run cannot collapse, got {v} bytes");
+        assert_eq!(
+            decode(&encode(&varied, KIND_FULL, 2)).unwrap().value,
+            varied
+        );
+    }
+
+    #[test]
+    fn floats_roundtrip_by_bit_pattern() {
+        let v = Value::Map(vec![(
+            "fs".into(),
+            Value::Seq(vec![
+                Value::Float(0.0),
+                Value::Float(-0.0),
+                Value::Float(f64::NAN),
+                Value::Float(1.0 / 3.0),
+            ]),
+        )]);
+        let d = decode(&encode(&v, KIND_FULL, 2)).unwrap();
+        let Value::Map(fields) = &d.value else {
+            panic!()
+        };
+        let Value::Seq(fs) = &fields[0].1 else {
+            panic!()
+        };
+        let bits: Vec<u64> = fs
+            .iter()
+            .map(|f| match f {
+                Value::Float(x) => x.to_bits(),
+                other => panic!("expected float, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(bits[0], 0.0f64.to_bits());
+        assert_eq!(
+            bits[1],
+            (-0.0f64).to_bits(),
+            "-0.0 must not collapse into 0.0"
+        );
+        assert_eq!(bits[2], f64::NAN.to_bits());
+        assert_eq!(bits[3], (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        assert!(matches!(decode(b"JSON{}"), Err(SnapshotError::BadMagic)));
+        assert!(matches!(decode(b""), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn container_version_mismatch_is_typed() {
+        let mut bytes = encode(&sample(), KIND_FULL, 2);
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        match decode(&bytes) {
+            Err(SnapshotError::BinaryVersionMismatch { expected, got }) => {
+                assert_eq!(expected, SNAPSHOT_BINARY_VERSION);
+                assert_eq!(got, 99);
+            }
+            other => panic!("expected BinaryVersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_names_the_dying_section() {
+        let bytes = encode(&sample(), KIND_FULL, 2);
+        // Chop mid-payload: the error must name a real section, and no
+        // prefix length may panic.
+        let mut seen_section = false;
+        for cut in 0..bytes.len() {
+            match decode(&bytes[..cut]) {
+                Ok(_) => panic!("decoded a {cut}-byte prefix of {}", bytes.len()),
+                Err(SnapshotError::Truncated { section }) => {
+                    if section != "header" {
+                        assert!(
+                            ["version", "stats", "tags", "flags"].contains(&section.as_str()),
+                            "unknown section `{section}`"
+                        );
+                        seen_section = true;
+                    }
+                }
+                Err(
+                    SnapshotError::BadMagic
+                    | SnapshotError::BinaryVersionMismatch { .. }
+                    | SnapshotError::Corrupt { .. },
+                ) => {}
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(seen_section, "no cut point ever blamed a payload section");
+    }
+
+    #[test]
+    fn corrupt_tag_is_typed_not_a_panic() {
+        let mut bytes = encode(&sample(), KIND_FULL, 2);
+        let n = bytes.len();
+        bytes[n - 1] = 0xff;
+        assert!(matches!(
+            decode(&bytes),
+            Err(SnapshotError::Corrupt { .. } | SnapshotError::Truncated { .. })
+        ));
+    }
+}

@@ -262,6 +262,35 @@ impl Campaign {
         self.write_atomic(&self.checkpoint_path(key), &snap.to_json())
     }
 
+    /// Loads the most advanced complete checkpoint of a job in *any*
+    /// format: the binary base+delta chain first (replayed up to the
+    /// last complete link), falling back to the JSON blob. Unreadable or
+    /// torn files are skipped, never fatal — `None` means nothing usable
+    /// exists.
+    pub fn load_checkpoint_latest(&self, key: &str) -> Option<crate::ckpt::LoadedCheckpoint> {
+        crate::ckpt::load_latest(&self.dir, key)
+    }
+
+    /// Opens a [`CheckpointChain`](crate::ckpt::CheckpointChain) writing
+    /// this job's checkpoints into the campaign directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the campaign directory.
+    pub fn open_chain(
+        &self,
+        key: &str,
+        format: crate::ckpt::SnapshotFormat,
+        delta_mode: bool,
+    ) -> Result<crate::ckpt::CheckpointChain, CampaignError> {
+        crate::ckpt::CheckpointChain::create(&self.dir, key, format, delta_mode).map_err(|err| {
+            CampaignError::Io {
+                path: self.dir.display().to_string(),
+                err,
+            }
+        })
+    }
+
     /// Loads an in-flight job's latest checkpoint, or `None` if it has
     /// none on disk.
     pub fn load_checkpoint(&self, key: &str) -> Result<Option<Snapshot>, CampaignError> {
@@ -284,9 +313,10 @@ impl Campaign {
             })
     }
 
-    /// Removes a job's checkpoint file if present.
+    /// Removes a job's checkpoint files (every format: JSON blob, binary
+    /// base, delta chain, torn `.tmp` leftovers) if present.
     pub fn clear_checkpoint(&self, key: &str) {
-        let _ = fs::remove_file(self.checkpoint_path(key));
+        crate::ckpt::clear(&self.dir, key);
     }
 
     fn checkpoint_path(&self, key: &str) -> PathBuf {

@@ -13,6 +13,7 @@ use dramstack_memctrl::{MappingScheme, PagePolicy};
 use dramstack_workloads::{GapConfig, GapKernel, Graph, SyntheticPattern};
 
 use crate::campaign::{job_key, Campaign};
+use crate::ckpt::SnapshotFormat;
 use crate::config::{ConfigError, SystemConfig};
 use crate::parallel;
 use crate::report::SimReport;
@@ -461,6 +462,42 @@ pub fn sweep_synthetic(
     .collect()
 }
 
+/// Checkpoint policy for [`sweep_synthetic_supervised`] grid points.
+///
+/// `every == 0` disables checkpointing even when a [`Campaign`] is
+/// attached. `format`/`delta` pick the on-disk chain layout; deltas are
+/// only meaningful for [`SnapshotFormat::Binary`] and are silently
+/// ignored for JSON (which always writes full snapshots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCheckpointing {
+    /// Checkpoint every this many DRAM cycles (`0` disables).
+    pub every: Cycle,
+    /// On-disk snapshot encoding for checkpoint files.
+    pub format: SnapshotFormat,
+    /// Serialize periodic checkpoints as deltas against the last base.
+    pub delta: bool,
+}
+
+impl SweepCheckpointing {
+    /// Checkpointing disabled.
+    pub fn off() -> Self {
+        Self {
+            every: 0,
+            format: SnapshotFormat::Binary,
+            delta: true,
+        }
+    }
+
+    /// Binary delta chain every `every` cycles — the fast default.
+    pub fn every(every: Cycle) -> Self {
+        Self {
+            every,
+            format: SnapshotFormat::Binary,
+            delta: true,
+        }
+    }
+}
+
 /// Fault-injection knobs for [`sweep_synthetic_supervised`] — the chaos
 /// half of the crash-safety harness, proving panic isolation and the
 /// watchdog end to end (CI runs a sweep with one of each injected).
@@ -503,7 +540,8 @@ struct SweepJob {
 /// resumable — with `resume` set, finished points are loaded from the
 /// manifest instead of re-run and interrupted points restore from their
 /// latest checkpoint; either way, in-flight points checkpoint every
-/// `checkpoint_every` cycles and completions are recorded incrementally.
+/// `ckpt.every` cycles — binary delta chains by default, see
+/// [`SweepCheckpointing`] — and completions are recorded incrementally.
 ///
 /// Never panics and never loses healthy results: the returned
 /// [`SupervisedSweep`] carries every completed point in input order plus
@@ -520,7 +558,7 @@ pub fn sweep_synthetic_supervised(
     store_fraction: f64,
     us: f64,
     campaign: Option<&Campaign>,
-    checkpoint_every: Cycle,
+    ckpt: SweepCheckpointing,
     resume: bool,
     sup: &parallel::SupervisorConfig,
     inject: SweepInjection,
@@ -589,6 +627,13 @@ pub fn sweep_synthetic_supervised(
     let campaign = campaign.cloned();
     let pending_indices: Vec<usize> = pending.iter().map(|j| j.grid_idx).collect();
     let outcome = parallel::supervised_map(pending, sup, move |pulse, job: SweepJob| {
+        if crate::ckpt::interrupted() {
+            // A termination request landed before this point started (or
+            // this is the supervisor retrying a point that aborted on the
+            // request). Die before touching the chain on disk: starting
+            // over would overwrite the deeper checkpoint already flushed.
+            panic!("termination requested before job {} started", job.grid_idx);
+        }
         if inject.panic_at == Some(job.grid_idx) {
             panic!("injected panic in sweep job {}", job.grid_idx);
         }
@@ -600,22 +645,50 @@ pub fn sweep_synthetic_supervised(
         let mut sim = Simulator::with_synthetic(job.cfg.clone(), job.pattern);
         let end = job.cfg.us_to_cycles(us);
         if resume {
-            // Resume an interrupted point from its latest checkpoint; a
-            // stale or incompatible checkpoint just restarts the point.
+            // Resume an interrupted point from the deepest checkpoint we
+            // can reconstruct — binary base + delta chain first, then the
+            // legacy JSON snapshot; a stale or incompatible checkpoint
+            // just restarts the point.
             if let Some(c) = &campaign {
-                if let Ok(Some(snap)) = c.load_checkpoint(&job.key) {
-                    let _ = sim.restore(&snap);
+                if let Some(loaded) = c.load_checkpoint_latest(&job.key) {
+                    let _ = sim.restore(&loaded.snapshot);
                 }
             }
         }
         let report = match &campaign {
-            Some(c) if checkpoint_every > 0 => {
-                let progress = pulse.clone();
-                sim.advance_checkpointed(end, checkpoint_every, &mut |snap| {
-                    progress.set_progress(snap.dram_cycle);
-                    let _ = c.save_checkpoint(&job.key, snap);
-                })
-                .expect("synthetic streams support checkpointing");
+            Some(c) if ckpt.every > 0 => {
+                let mut chain = c
+                    .open_chain(&job.key, ckpt.format, ckpt.delta)
+                    .expect("campaign checkpoint dir is writable");
+                // Manual boundary loop rather than `advance_checkpointed`:
+                // delta capture needs `&mut Simulator` to advance its
+                // dirty-tracking marks, which the `&Snapshot` callback
+                // can't provide. Boundaries land on exact multiples of
+                // `every`, so results stay bit-identical either way.
+                let every = ckpt.every;
+                let mut next = (sim.now() / every + 1) * every;
+                while sim.now() < end {
+                    sim.advance_to_cycle(end.min(next));
+                    if crate::ckpt::interrupted() {
+                        // Termination request (the CLI's SIGTERM handler
+                        // sets the flag): flush one final checkpoint so
+                        // `--resume` continues from right here, then
+                        // abort through the supervisor's panic isolation
+                        // — an interrupted point must never be recorded
+                        // as done in the manifest.
+                        let _ = chain.checkpoint(&mut sim);
+                        let _ = chain.finish();
+                        panic!("termination requested: checkpointed at cycle {}", sim.now());
+                    }
+                    if sim.now() == next {
+                        pulse.set_progress(sim.now());
+                        let _ = chain.checkpoint(&mut sim);
+                        next += every;
+                    }
+                }
+                // Surface nothing: a checkpoint I/O failure must not take
+                // down a healthy grid point, the report is still good.
+                let _ = chain.finish();
                 sim.report()
             }
             _ => {

@@ -21,7 +21,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod binary;
 pub mod campaign;
+pub mod ckpt;
 mod config;
 pub mod experiments;
 pub mod parallel;
@@ -32,8 +34,15 @@ mod system;
 pub mod telemetry;
 
 pub use campaign::{job_key, Campaign, CampaignError};
+pub use ckpt::{
+    clear_interrupt, interrupted, request_interrupt, CheckpointChain, CheckpointWriter,
+    SnapshotFormat,
+};
 pub use config::{ConfigError, SystemConfig};
+pub use experiments::SweepCheckpointing;
 pub use report::{diff_reports, load_report, ReportLoadError, SimReport};
-pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
+pub use snapshot::{
+    Snapshot, SnapshotDelta, SnapshotError, SNAPSHOT_BINARY_VERSION, SNAPSHOT_FORMAT_VERSION,
+};
 pub use system::Simulator;
 pub use telemetry::{Telemetry, TelemetryConfig, TelemetrySink};

@@ -23,11 +23,12 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use dramstack_audit::AuditState;
-use dramstack_core::{LatencyHistogram, SamplerState};
-use dramstack_cpu::{CoreState, CycleStack, HierarchyState};
+use dramstack_core::{LatencyHistogram, SamplerDelta, SamplerState};
+use dramstack_cpu::{CoreState, CycleStack, HierarchyDelta, HierarchyState};
 use dramstack_dram::Cycle;
 use dramstack_memctrl::CtrlSnapshot;
 
+use crate::binary;
 use crate::config::SystemConfig;
 
 /// Version stamp embedded in every serialized snapshot.
@@ -35,7 +36,16 @@ use crate::config::SystemConfig;
 /// Bump this whenever the serialized shape of [`Snapshot`] or any of its
 /// component states changes, so stale blobs are rejected with
 /// [`SnapshotError::VersionMismatch`] instead of being misread.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+///
+/// v2: cache ways serialize columnar (flat tag/LRU columns + valid/dirty
+/// bitset words) instead of one map per way.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+
+/// Version stamp of the binary `.dsnp` *container* (magic, string table,
+/// section table — see [`crate::binary`]), independent of the embedded
+/// tree's [`SNAPSHOT_FORMAT_VERSION`]. Bump when the container layout
+/// itself changes.
+pub const SNAPSHOT_BINARY_VERSION: u32 = 1;
 
 /// Full machine state of a [`Simulator`](crate::Simulator) at a cycle
 /// boundary, sufficient for bit-identical resume.
@@ -104,6 +114,172 @@ impl Snapshot {
             byte: e.byte_offset(),
         })
     }
+
+    /// Serializes to the compact binary `.dsnp` container — the default
+    /// on-disk checkpoint format (several times smaller and faster to
+    /// encode than the JSON blob, describing the identical state).
+    pub fn to_binary(&self) -> Vec<u8> {
+        binary::encode(&self.to_value(), binary::KIND_FULL, SNAPSHOT_FORMAT_VERSION)
+    }
+
+    /// Parses a full snapshot from the binary container, with typed
+    /// errors for every way a file can be wrong: foreign files
+    /// ([`SnapshotError::BadMagic`]), container or format version skew,
+    /// truncation (naming the section the data ran out in), structural
+    /// corruption, and a delta file where a full snapshot was expected.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let d = binary::decode(bytes)?;
+        if d.kind != binary::KIND_FULL {
+            return Err(SnapshotError::Corrupt {
+                msg: "expected a full snapshot, found a delta container".to_string(),
+            });
+        }
+        if d.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                expected: SNAPSHOT_FORMAT_VERSION,
+                got: u64::from(d.format_version),
+            });
+        }
+        Snapshot::from_value(&d.value).map_err(|e| SnapshotError::Corrupt { msg: e.to_string() })
+    }
+
+    /// Replays a delta captured against this snapshot's state, advancing
+    /// `self` to the machine state at the delta's capture cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::DeltaChainBroken`] when the delta was captured
+    /// against a different base cycle than this snapshot is parked at,
+    /// and [`SnapshotError::Corrupt`] when the delta does not fit this
+    /// snapshot's shape (core/channel count or cache geometry).
+    pub fn apply_delta(&mut self, delta: &SnapshotDelta) -> Result<(), SnapshotError> {
+        if delta.base_cycle != self.dram_cycle {
+            return Err(SnapshotError::DeltaChainBroken {
+                expected: delta.base_cycle,
+                got: self.dram_cycle,
+            });
+        }
+        let corrupt = |msg: String| SnapshotError::Corrupt { msg };
+        if delta.controllers.len() != self.controllers.len() {
+            return Err(corrupt(format!(
+                "delta covers {} channels, snapshot has {}",
+                delta.controllers.len(),
+                self.controllers.len()
+            )));
+        }
+        if delta.samplers.len() != self.samplers.len() {
+            return Err(corrupt(format!(
+                "delta covers {} samplers, snapshot has {}",
+                delta.samplers.len(),
+                self.samplers.len()
+            )));
+        }
+        if self.cycle_samples.len() as u64 != delta.cycle_samples_base_len {
+            return Err(corrupt(format!(
+                "delta expects a base with {} cycle windows, snapshot has {}",
+                delta.cycle_samples_base_len,
+                self.cycle_samples.len()
+            )));
+        }
+        self.hierarchy
+            .apply_delta(&delta.hierarchy)
+            .map_err(corrupt)?;
+        for (slot, d) in self.controllers.iter_mut().zip(&delta.controllers) {
+            if let Some(c) = d {
+                *slot = c.clone();
+            }
+        }
+        for (s, d) in self.samplers.iter_mut().zip(&delta.samplers) {
+            s.apply_delta(d).map_err(corrupt)?;
+        }
+        self.cycle_samples
+            .extend(delta.cycle_samples_appended.iter().cloned());
+        self.dram_cycle = delta.dram_cycle;
+        self.next_cycle_sample = delta.next_cycle_sample;
+        self.cores = delta.cores.clone();
+        self.streams = delta.streams.clone();
+        self.audits = delta.audits.clone();
+        self.cycle_total = delta.cycle_total;
+        self.histogram = delta.histogram.clone();
+        Ok(())
+    }
+}
+
+/// A periodic checkpoint serialized as a *delta*: only the state dirtied
+/// since the previous checkpoint in the chain. The big members — cache
+/// ways, sampler series, quiescent channels — shrink to their dirty
+/// subset; the small ones (cores, streams, audits, totals) are captured
+/// whole, which keeps delta capture simple while still cutting the blob
+/// by orders of magnitude on typical workloads.
+///
+/// Deltas form a chain: a full base snapshot, then deltas with ascending
+/// `seq`, each stamped with the `base_cycle` it applies on top of.
+/// [`Snapshot::apply_delta`] refuses a link whose `base_cycle` does not
+/// match, so a stale or misordered chain surfaces as a typed error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDelta {
+    /// Format version ([`SNAPSHOT_FORMAT_VERSION`] at capture time).
+    pub version: u32,
+    /// Position in the chain (1 for the first delta after the base).
+    pub seq: u64,
+    /// The `dram_cycle` of the snapshot this delta applies on top of.
+    pub base_cycle: Cycle,
+    /// The DRAM cycle the machine is parked at after replay.
+    pub dram_cycle: Cycle,
+    /// Next cycle-stack window boundary.
+    pub next_cycle_sample: Cycle,
+    /// Per-core pipeline/MSHR/prefetcher state (small; captured whole).
+    pub cores: Vec<CoreState>,
+    /// Per-core instruction-stream checkpoints (small; captured whole).
+    pub streams: Vec<Vec<u64>>,
+    /// Cache-hierarchy patch: dirtied sets only.
+    pub hierarchy: HierarchyDelta,
+    /// Per-channel controller state; `None` where the channel provably
+    /// did not move since the previous checkpoint.
+    pub controllers: Vec<Option<CtrlSnapshot>>,
+    /// Per-channel sampler patches: open window + appended windows only.
+    pub samplers: Vec<SamplerDelta>,
+    /// Per-channel shadow-auditor bookkeeping (`None` where unarmed).
+    pub audits: Vec<Option<AuditState>>,
+    /// Rolled CPU cycle windows in the base, for chain integrity.
+    pub cycle_samples_base_len: u64,
+    /// CPU cycle windows rolled since the previous checkpoint.
+    pub cycle_samples_appended: Vec<CycleStack>,
+    /// Running CPU cycle-stack total.
+    pub cycle_total: CycleStack,
+    /// DRAM read-latency histogram.
+    pub histogram: LatencyHistogram,
+}
+
+impl SnapshotDelta {
+    /// Serializes to the compact binary `.dsnp` container (delta kind).
+    pub fn to_binary(&self) -> Vec<u8> {
+        binary::encode(
+            &self.to_value(),
+            binary::KIND_DELTA,
+            SNAPSHOT_FORMAT_VERSION,
+        )
+    }
+
+    /// Parses a delta from the binary container (same typed errors as
+    /// [`Snapshot::from_binary`], plus a full container where a delta was
+    /// expected is [`SnapshotError::Corrupt`]).
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let d = binary::decode(bytes)?;
+        if d.kind != binary::KIND_DELTA {
+            return Err(SnapshotError::Corrupt {
+                msg: "expected a delta, found a full snapshot container".to_string(),
+            });
+        }
+        if d.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                expected: SNAPSHOT_FORMAT_VERSION,
+                got: u64::from(d.format_version),
+            });
+        }
+        SnapshotDelta::from_value(&d.value)
+            .map_err(|e| SnapshotError::Corrupt { msg: e.to_string() })
+    }
 }
 
 /// Typed failures from snapshot capture, serialization, or restore.
@@ -137,6 +313,40 @@ pub enum SnapshotError {
         /// Byte offset of the first malformed token, when known.
         byte: Option<usize>,
     },
+    /// The file does not start with the binary container magic — it is
+    /// not a `.dsnp` snapshot at all.
+    BadMagic,
+    /// The binary *container* layout version differs (the embedded
+    /// tree's format version is [`SnapshotError::VersionMismatch`]).
+    BinaryVersionMismatch {
+        /// The container version this build reads.
+        expected: u32,
+        /// The container version found in the file.
+        got: u32,
+    },
+    /// The binary container ends mid-data (e.g. a write cut short by a
+    /// crash).
+    Truncated {
+        /// The section the data ran out in (`header` for the preamble).
+        section: String,
+    },
+    /// The binary container is structurally damaged, or a decoded tree
+    /// does not describe the expected snapshot/delta shape.
+    Corrupt {
+        /// What was wrong.
+        msg: String,
+    },
+    /// A delta was applied to (or a chain replayed from) a base parked
+    /// at a different cycle than the delta was captured against.
+    DeltaChainBroken {
+        /// The base cycle the delta expects.
+        expected: Cycle,
+        /// The cycle the base snapshot is actually parked at.
+        got: Cycle,
+    },
+    /// A delta capture was requested with no base snapshot taken first,
+    /// or a delta chain on disk has no readable base.
+    DeltaBaseMissing,
 }
 
 impl fmt::Display for SnapshotError {
@@ -161,6 +371,25 @@ impl fmt::Display for SnapshotError {
                 Some(b) => write!(f, "malformed snapshot JSON at byte {b}: {msg}"),
                 None => write!(f, "malformed snapshot JSON: {msg}"),
             },
+            SnapshotError::BadMagic => {
+                write!(f, "not a binary snapshot: missing DSNP container magic")
+            }
+            SnapshotError::BinaryVersionMismatch { expected, got } => write!(
+                f,
+                "binary container version mismatch: this build reads v{expected}, file is v{got}"
+            ),
+            SnapshotError::Truncated { section } => {
+                write!(f, "binary snapshot truncated in section `{section}`")
+            }
+            SnapshotError::Corrupt { msg } => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::DeltaChainBroken { expected, got } => write!(
+                f,
+                "delta chain broken: delta was captured against base cycle {expected}, \
+                 base is parked at {got}"
+            ),
+            SnapshotError::DeltaBaseMissing => {
+                write!(f, "delta requested with no base snapshot")
+            }
         }
     }
 }

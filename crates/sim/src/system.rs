@@ -8,7 +8,7 @@ use dramstack_core::{
 };
 use dramstack_cpu::{CoreModel, CycleStack, Hierarchy, InstrStream, StallKind, VecStream};
 use dramstack_dram::{Cycle, CycleView, SeededFault};
-use dramstack_memctrl::{CompletedRead, MemoryController};
+use dramstack_memctrl::{CompletedRead, CtrlSnapshot, MemoryController};
 use dramstack_obs::{
     advisor::{diagnose, diagnose_channel_imbalance, WindowObservation},
     AdvisorConfig, Heartbeat, LogSink, PhaseTimers, Probe, SimPhase, TeeProbe,
@@ -17,7 +17,7 @@ use dramstack_workloads::SyntheticPattern;
 
 use crate::config::{ConfigError, SystemConfig};
 use crate::report::SimReport;
-use crate::snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
+use crate::snapshot::{Snapshot, SnapshotDelta, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 use crate::telemetry::{Telemetry, TelemetryConfig};
 
 /// The full-system simulator.
@@ -77,6 +77,31 @@ pub struct Simulator {
     /// Per-channel shadow-auditor handles; `Some` while the auditor is
     /// armed (default in debug/test builds, off in release).
     audits: Vec<Option<AuditHandle>>,
+    /// Delta-chain bookkeeping: what the previous checkpoint captured,
+    /// set by [`snapshot_base`](Self::snapshot_base), advanced by every
+    /// [`snapshot_delta`](Self::snapshot_delta), cleared by
+    /// [`restore`](Self::restore). `None` until a base is taken.
+    ckpt_marks: Option<CkptMarks>,
+}
+
+/// Bookkeeping for delta checkpoints: everything needed to decide what
+/// changed since the previous checkpoint in the chain.
+struct CkptMarks {
+    /// Cycle the previous checkpoint was captured at (the `base_cycle`
+    /// the next delta will be stamped with).
+    last_cycle: Cycle,
+    /// Sequence number of the next delta (1 right after the base).
+    next_seq: u64,
+    /// Per-channel controller state at the previous checkpoint, for the
+    /// authoritative changed/unchanged comparison.
+    ctrl_snaps: Vec<CtrlSnapshot>,
+    /// Per-channel cheap activity signatures at the previous checkpoint
+    /// (fast "definitely dirty" gate before the deep comparison).
+    ctrl_sigs: Vec<u64>,
+    /// Per-channel rolled-window counts at the previous checkpoint.
+    sampler_lens: Vec<usize>,
+    /// Rolled CPU cycle-window count at the previous checkpoint.
+    cycle_samples_len: usize,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -156,6 +181,7 @@ impl Simulator {
             busy_backoff: 0,
             completion_buf: Vec::new(),
             audits: vec![None; cfg.channels],
+            ckpt_marks: None,
             streams,
             ctrls,
             cfg,
@@ -910,6 +936,120 @@ impl Simulator {
         })
     }
 
+    /// Captures a full snapshot *and* arms delta tracking: subsequent
+    /// [`snapshot_delta`](Self::snapshot_delta) calls serialize only the
+    /// state dirtied since the previous checkpoint in the chain.
+    ///
+    /// The returned snapshot is identical to [`snapshot`](Self::snapshot)
+    /// (only invisible bookkeeping differs), so it also serves as the
+    /// full-format oracle in bit-identity comparisons.
+    pub fn snapshot_base(&mut self) -> Result<Snapshot, SnapshotError> {
+        let snap = self.snapshot()?;
+        self.hier.mark_clean();
+        self.ckpt_marks = Some(CkptMarks {
+            last_cycle: self.dram_cycle,
+            next_seq: 1,
+            ctrl_snaps: snap.controllers.clone(),
+            ctrl_sigs: self
+                .ctrls
+                .iter()
+                .map(MemoryController::delta_signature)
+                .collect(),
+            sampler_lens: snap.samplers.iter().map(|s| s.samples_len()).collect(),
+            cycle_samples_len: snap.cycle_samples.len(),
+        });
+        Ok(snap)
+    }
+
+    /// Captures a delta checkpoint: only the state dirtied since the
+    /// previous [`snapshot_base`](Self::snapshot_base) /
+    /// `snapshot_delta`. Caches contribute their dirtied sets, samplers
+    /// their newly rolled windows, and channels that provably did not
+    /// move are omitted entirely; the small members are captured whole.
+    ///
+    /// Capture mutates nothing observable — a delta-checkpointed run
+    /// stays bit-identical to an uncheckpointed one. Do not interleave
+    /// [`report`](Self::report) calls with an open chain: reporting
+    /// drains the rolled-window series the chain bookkeeping refers to.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::DeltaBaseMissing`] when no base snapshot was
+    /// taken (or the chain was cleared by a restore), plus the stream
+    /// checkpoint errors of [`snapshot`](Self::snapshot).
+    pub fn snapshot_delta(&mut self) -> Result<SnapshotDelta, SnapshotError> {
+        if self.ckpt_marks.is_none() {
+            return Err(SnapshotError::DeltaBaseMissing);
+        }
+        let mut streams = Vec::with_capacity(self.streams.len());
+        for (core, s) in self.streams.iter().enumerate() {
+            streams.push(
+                s.checkpoint()
+                    .ok_or(SnapshotError::StreamUnsupported { core })?,
+            );
+        }
+        let marks = self.ckpt_marks.as_mut().expect("checked above");
+        let mut controllers = Vec::with_capacity(self.ctrls.len());
+        for (ch, ctrl) in self.ctrls.iter().enumerate() {
+            let sig = ctrl.delta_signature();
+            if sig == marks.ctrl_sigs[ch] {
+                // Signature match is not proof of quiescence — confirm
+                // against the previous checkpoint's deep state.
+                let fresh = ctrl.snapshot_state();
+                if fresh == marks.ctrl_snaps[ch] {
+                    controllers.push(None);
+                    continue;
+                }
+                marks.ctrl_snaps[ch] = fresh.clone();
+                controllers.push(Some(fresh));
+            } else {
+                let fresh = ctrl.snapshot_state();
+                marks.ctrl_sigs[ch] = sig;
+                marks.ctrl_snaps[ch] = fresh.clone();
+                controllers.push(Some(fresh));
+            }
+        }
+        let samplers: Vec<_> = self
+            .samplers
+            .iter()
+            .zip(&marks.sampler_lens)
+            .map(|(s, &len)| s.delta_since(len))
+            .collect();
+        for (len, s) in marks.sampler_lens.iter_mut().zip(&self.samplers) {
+            *len = s.samples().len();
+        }
+        assert!(
+            marks.cycle_samples_len <= self.cycle_samples.len(),
+            "cycle windows shrank mid-chain — report() drained them; \
+             take a fresh snapshot_base after reporting"
+        );
+        let delta = SnapshotDelta {
+            version: SNAPSHOT_FORMAT_VERSION,
+            seq: marks.next_seq,
+            base_cycle: marks.last_cycle,
+            dram_cycle: self.dram_cycle,
+            next_cycle_sample: self.next_cycle_sample,
+            cores: self.cores.iter().map(CoreModel::snapshot_state).collect(),
+            streams,
+            hierarchy: self.hier.take_delta(),
+            controllers,
+            samplers,
+            audits: self
+                .audits
+                .iter()
+                .map(|a| a.as_ref().map(AuditHandle::snapshot_state))
+                .collect(),
+            cycle_samples_base_len: marks.cycle_samples_len as u64,
+            cycle_samples_appended: self.cycle_samples[marks.cycle_samples_len..].to_vec(),
+            cycle_total: self.cycle_total,
+            histogram: self.histogram.clone(),
+        };
+        marks.cycle_samples_len = self.cycle_samples.len();
+        marks.last_cycle = self.dram_cycle;
+        marks.next_seq += 1;
+        Ok(delta)
+    }
+
     /// Restores the machine state captured by
     /// [`snapshot`](Self::snapshot), after which the run resumes
     /// bit-identically to one that was never interrupted.
@@ -995,6 +1135,9 @@ impl Simulator {
         self.stall_kinds.clear();
         self.core_skips.clear();
         self.completion_buf.clear();
+        // Any open delta chain refers to pre-restore state; callers start
+        // a fresh chain with `snapshot_base` after restoring.
+        self.ckpt_marks = None;
         // Telemetry attached to the target starts from here: windows the
         // snapshot already accumulated are not (re)published.
         self.windows_published = self

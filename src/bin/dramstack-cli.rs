@@ -18,8 +18,8 @@ use dramstack::sim::experiments::{
 };
 use dramstack::sim::parallel::SupervisorConfig;
 use dramstack::sim::{
-    diff_reports, job_key, load_report, Campaign, SimReport, Simulator, SystemConfig, Telemetry,
-    TelemetryConfig,
+    diff_reports, job_key, load_report, Campaign, SimReport, Simulator, SnapshotFormat,
+    SweepCheckpointing, SystemConfig, Telemetry, TelemetryConfig,
 };
 use dramstack::stacks::offline::stack_from_trace;
 use dramstack::stacks::{predict_bandwidth_naive, predict_bandwidth_stack};
@@ -63,6 +63,8 @@ struct SynthArgs {
     report_out: Option<String>,
     checkpoint_dir: Option<String>,
     checkpoint_every: u64,
+    snapshot_format: SnapshotFormat,
+    snapshot_delta: bool,
     resume: bool,
 }
 
@@ -84,6 +86,8 @@ impl Default for SynthArgs {
             checkpoint_dir: None,
             // 1 ms of simulated time at the paper's DDR4-2400 clock.
             checkpoint_every: 1_200_000,
+            snapshot_format: SnapshotFormat::Binary,
+            snapshot_delta: true,
             resume: false,
         }
     }
@@ -99,6 +103,8 @@ struct SweepArgs {
     us: f64,
     checkpoint_dir: Option<String>,
     checkpoint_every: u64,
+    snapshot_format: SnapshotFormat,
+    snapshot_delta: bool,
     resume: bool,
     deadline_secs: Option<f64>,
     retries: u32,
@@ -118,6 +124,8 @@ impl Default for SweepArgs {
             us: 50.0,
             checkpoint_dir: None,
             checkpoint_every: 1_200_000,
+            snapshot_format: SnapshotFormat::Binary,
+            snapshot_delta: true,
             resume: false,
             deadline_secs: None,
             retries: 1,
@@ -159,10 +167,12 @@ USAGE:
                       [--csv FILE] [--svg FILE] [--live]
                       [--telemetry FILE] [--prom FILE] [--report FILE]
                       [--checkpoint-dir DIR] [--checkpoint-every N]
+                      [--snapshot-format binary|json] [--snapshot-delta on|off]
                       [--resume]
   dramstack-cli sweep [--cores N,N,...] [--policies open,closed]
                       [--mappings def,int,xor] [--stores F] [--us F]
                       [--checkpoint-dir DIR] [--checkpoint-every N]
+                      [--snapshot-format binary|json] [--snapshot-delta on|off]
                       [--resume] [--deadline-secs F] [--retries N]
   dramstack-cli gap   [--kernel bc|bfs|cc|pr|sssp|tc] [--cores N]
                       [--scale N] [--degree N] [--policy open|closed]
@@ -184,10 +194,16 @@ Crash safety: --checkpoint-dir snapshots the run every --checkpoint-every
 DRAM cycles (default 1200000 = 1 ms simulated) and records completions in
 DIR/manifest.json; --resume skips jobs the manifest already marks done
 and restores interrupted ones from their latest checkpoint, bit-identical
-to an uninterrupted run. `sweep` runs its grid under a supervisor: a
-panicking job is retried (--retries, default 1), a job exceeding
---deadline-secs is abandoned, and the sweep always returns every healthy
-result (exit code 3 flags a partial sweep).
+to an uninterrupted run. Checkpoints default to the compact binary delta
+chain (base .dsnp plus numbered deltas, written off-thread);
+--snapshot-format json keeps full pretty-printed JSON snapshots and
+--snapshot-delta off forces every binary checkpoint to be a full
+snapshot. SIGTERM is caught while checkpointing is active: the run
+flushes one final checkpoint and exits with code 143, ready for
+--resume. `sweep` runs its grid under a supervisor: a panicking job is
+retried (--retries, default 1), a job exceeding --deadline-secs is
+abandoned, and the sweep always returns every healthy result (exit code
+3 flags a partial sweep).
 ";
 
 fn parse_policy(v: &str) -> Result<PagePolicy, String> {
@@ -204,6 +220,18 @@ fn parse_mapping(v: &str) -> Result<MappingScheme, String> {
         "int" | "interleaved" => Ok(MappingScheme::CacheLineInterleaved),
         "xor" | "permutation" => Ok(MappingScheme::PermutationXor),
         other => Err(format!("unknown mapping `{other}` (def|int|xor)")),
+    }
+}
+
+fn parse_snapshot_format(v: &str) -> Result<SnapshotFormat, String> {
+    SnapshotFormat::parse(v).ok_or_else(|| format!("unknown snapshot format `{v}` (binary|json)"))
+}
+
+fn parse_on_off(flag: &str, v: &str) -> Result<bool, String> {
+    match v {
+        "on" | "true" | "1" => Ok(true),
+        "off" | "false" | "0" => Ok(false),
+        other => Err(format!("{flag}: expected on|off, got `{other}`")),
     }
 }
 
@@ -258,6 +286,12 @@ fn parse_synth_args(args: &[String]) -> Result<(SynthArgs, Vec<(String, String)>
                 out.checkpoint_every = value("--checkpoint-every")?
                     .parse()
                     .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
+            "--snapshot-format" => {
+                out.snapshot_format = parse_snapshot_format(&value("--snapshot-format")?)?;
+            }
+            "--snapshot-delta" => {
+                out.snapshot_delta = parse_on_off("--snapshot-delta", &value("--snapshot-delta")?)?;
             }
             "--resume" => out.resume = true,
             other => rest.push((other.to_string(), value(other).unwrap_or_default())),
@@ -322,6 +356,12 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
                 out.checkpoint_every = value("--checkpoint-every")?
                     .parse()
                     .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
+            "--snapshot-format" => {
+                out.snapshot_format = parse_snapshot_format(&value("--snapshot-format")?)?;
+            }
+            "--snapshot-delta" => {
+                out.snapshot_delta = parse_on_off("--snapshot-delta", &value("--snapshot-delta")?)?;
             }
             "--resume" => out.resume = true,
             "--deadline-secs" => {
@@ -574,10 +614,40 @@ fn run_synth_telemetry(a: &SynthArgs) -> Result<SimReport, String> {
     Ok(r)
 }
 
+/// Installs the SIGTERM → cooperative-interrupt bridge for checkpointed
+/// runs. No `libc` dependency: the handler is registered through the raw
+/// `signal(2)` symbol every Unix target links anyway, and the handler
+/// body is async-signal-safe (a single atomic store). Checkpointed run
+/// loops poll the flag at checkpoint boundaries, flush one final
+/// checkpoint, and exit with code 143 (128 + SIGTERM).
+#[cfg(unix)]
+fn install_term_handler() {
+    extern "C" fn on_term(_sig: i32) {
+        dramstack::sim::request_interrupt();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_term_handler() {}
+
+/// Exit code for a SIGTERM-interrupted run that checkpointed cleanly.
+const EXIT_TERMINATED: u8 = 143;
+
 /// Runs the synthetic workload under a [`Campaign`]: periodic snapshots
-/// into `--checkpoint-dir`, a manifest entry on completion, and (with
-/// `--resume`) skip-if-done / restore-if-interrupted semantics.
-fn run_synth_checkpointed(a: &SynthArgs, dir: &str) -> Result<SimReport, String> {
+/// into `--checkpoint-dir` (binary delta chains by default, see
+/// `--snapshot-format` / `--snapshot-delta`), a manifest entry on
+/// completion, and (with `--resume`) skip-if-done /
+/// restore-if-interrupted semantics. Returns `None` when a SIGTERM
+/// arrived and the run stopped at a final checkpoint instead of
+/// finishing.
+fn run_synth_checkpointed(a: &SynthArgs, dir: &str) -> Result<Option<SimReport>, String> {
     let mut cfg = SystemConfig::paper_default(a.cores);
     cfg.ctrl.page_policy = a.policy;
     cfg.ctrl.mapping = a.mapping;
@@ -591,24 +661,51 @@ fn run_synth_checkpointed(a: &SynthArgs, dir: &str) -> Result<SimReport, String>
     if a.resume {
         if let Some(r) = campaign.load_report(&key).map_err(|e| e.to_string())? {
             println!("resume: job {key} already complete, loaded recorded report");
-            return Ok(r);
+            return Ok(Some(r));
         }
     }
+    install_term_handler();
     let mut sim = Simulator::with_synthetic(cfg.clone(), synth_pattern(a));
     if a.resume {
-        if let Some(snap) = campaign.load_checkpoint(&key).map_err(|e| e.to_string())? {
-            let at = snap.dram_cycle;
-            sim.restore(&snap).map_err(|e| e.to_string())?;
-            println!("resumed from cycle {at}");
+        if let Some(loaded) = campaign.load_checkpoint_latest(&key) {
+            let at = loaded.snapshot.dram_cycle;
+            sim.restore(&loaded.snapshot).map_err(|e| e.to_string())?;
+            println!(
+                "resumed from cycle {at} ({} checkpoint, {} delta(s) applied)",
+                loaded.format, loaded.deltas_applied
+            );
         }
     }
     let end = cfg.us_to_cycles(a.us);
-    let c = campaign.clone();
-    let k = key.clone();
-    sim.advance_checkpointed(end, a.checkpoint_every, &mut |snap| {
-        let _ = c.save_checkpoint(&k, snap);
-    })
-    .map_err(|e| e.to_string())?;
+    let mut chain = campaign
+        .open_chain(&key, a.snapshot_format, a.snapshot_delta)
+        .map_err(|e| e.to_string())?;
+    if a.checkpoint_every > 0 {
+        // Manual boundary loop (not `advance_checkpointed`): delta
+        // capture advances dirty-tracking marks and therefore needs the
+        // simulator by `&mut`. Boundaries still land on exact multiples
+        // of `--checkpoint-every`, and checkpoints never perturb the
+        // simulation, so results stay bit-identical.
+        let every = a.checkpoint_every;
+        let mut next = (sim.now() / every + 1) * every;
+        while sim.now() < end {
+            sim.advance_to_cycle(end.min(next));
+            if sim.now() == next {
+                chain.checkpoint(&mut sim).map_err(|e| e.to_string())?;
+                next += every;
+            }
+            if dramstack::sim::interrupted() {
+                let at = sim.now();
+                chain.checkpoint(&mut sim).map_err(|e| e.to_string())?;
+                chain.finish().map_err(|e| e.to_string())?;
+                println!("sigterm: checkpointed at cycle {at}; rerun with --resume to continue");
+                return Ok(None);
+            }
+        }
+    } else {
+        sim.advance_to_cycle(end);
+    }
+    chain.finish().map_err(|e| e.to_string())?;
     let r = sim.report();
     campaign
         .record_done(&key, &label, &r)
@@ -617,7 +714,7 @@ fn run_synth_checkpointed(a: &SynthArgs, dir: &str) -> Result<SimReport, String>
         "recorded job {key} in {dir}/manifest.json ({} finished)",
         campaign.jobs_done()
     );
-    Ok(r)
+    Ok(Some(r))
 }
 
 fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
@@ -628,7 +725,12 @@ fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
                     .into(),
             );
         }
-        run_synth_checkpointed(a, dir)?
+        match run_synth_checkpointed(a, dir)? {
+            Some(r) => r,
+            // SIGTERM: the final checkpoint is on disk and the writer
+            // thread has been joined — nothing left to flush.
+            None => std::process::exit(EXIT_TERMINATED as i32),
+        }
     } else if wants_telemetry(a) {
         run_synth_telemetry(a)?
     } else {
@@ -673,6 +775,12 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<bool, String> {
         Some(d) => Some(Campaign::open(d).map_err(|e| e.to_string())?),
         None => None,
     };
+    if campaign.is_some() {
+        // With a campaign attached SIGTERM becomes a cooperative stop:
+        // in-flight grid points flush a final checkpoint and abort, and
+        // the process exits 143 below instead of dying mid-write.
+        install_term_handler();
+    }
     let sup = SupervisorConfig {
         deadline: a.deadline_secs.map(std::time::Duration::from_secs_f64),
         max_retries: a.retries,
@@ -689,12 +797,20 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<bool, String> {
         a.stores,
         a.us,
         campaign.as_ref(),
-        a.checkpoint_every,
+        SweepCheckpointing {
+            every: a.checkpoint_every,
+            format: a.snapshot_format,
+            delta: a.snapshot_delta,
+        },
         a.resume,
         &sup,
         inject,
     )
     .map_err(|e| e.to_string())?;
+    if dramstack::sim::interrupted() {
+        println!("sigterm: in-flight jobs checkpointed; rerun with --resume to continue");
+        std::process::exit(EXIT_TERMINATED as i32);
+    }
 
     // Rebuild the grid labels in the same input order the sweep used.
     let mut labels = Vec::new();
@@ -1035,6 +1151,40 @@ mod tests {
         }
         // --resume without a directory to resume from is an error.
         assert!(parse_cli(&args("synth --resume")).is_err());
+    }
+
+    #[test]
+    fn parse_snapshot_format_flags() {
+        // Binary delta chains are the default for both commands.
+        let Cli::Synth(a) = parse_cli(&args("synth")).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(a.snapshot_format, SnapshotFormat::Binary);
+        assert!(a.snapshot_delta);
+        let cli = parse_cli(&args(
+            "synth --checkpoint-dir c --snapshot-format json --snapshot-delta off",
+        ))
+        .unwrap();
+        match cli {
+            Cli::Synth(a) => {
+                assert_eq!(a.snapshot_format, SnapshotFormat::Json);
+                assert!(!a.snapshot_delta);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_cli(&args(
+            "sweep --checkpoint-dir c --snapshot-format binary --snapshot-delta on",
+        ))
+        .unwrap();
+        match cli {
+            Cli::Sweep(a) => {
+                assert_eq!(a.snapshot_format, SnapshotFormat::Binary);
+                assert!(a.snapshot_delta);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_cli(&args("synth --snapshot-format msgpack")).is_err());
+        assert!(parse_cli(&args("sweep --snapshot-delta maybe")).is_err());
     }
 
     #[test]

@@ -1,18 +1,25 @@
 //! Crash-safe execution: deterministic checkpoint/resume.
 //!
-//! A run that is interrupted at an arbitrary cycle, snapshotted to the
-//! versioned JSON blob, parsed back, and restored into a freshly built
-//! simulator must finish with a `SimReport::strip_perf()` bit-identical
-//! to an uninterrupted run — across all five DDR4 speed grades and all
-//! four synthetic traffic shapes, with the fast-forward paths enabled.
-//! This file also pins the snapshot JSON roundtrip over random
-//! configurations and guards the on-disk format with a golden fixture.
+//! A run that is interrupted at an arbitrary cycle, snapshotted, moved
+//! through any supported transport — the versioned JSON blob, the
+//! compact binary container, or a binary base + delta chain — and
+//! restored into a freshly built simulator must finish with a
+//! `SimReport::strip_perf()` bit-identical to an uninterrupted run,
+//! across all five DDR4 speed grades and all four synthetic traffic
+//! shapes, with the fast-forward paths enabled. This file also pins the
+//! snapshot roundtrips over random configurations, exercises
+//! format negotiation (bad magic, truncation, version skew, broken
+//! delta chains — typed errors, never panics), and guards both on-disk
+//! formats with byte-pinned golden fixtures.
 
 use proptest::prelude::*;
 
 use dramstack::dram::TimingParams;
 use dramstack::memctrl::PagePolicy;
-use dramstack::sim::{SimReport, Simulator, Snapshot, SystemConfig, SNAPSHOT_FORMAT_VERSION};
+use dramstack::sim::{
+    ckpt, CheckpointChain, SimReport, Simulator, Snapshot, SnapshotDelta, SnapshotError,
+    SnapshotFormat, SystemConfig, SNAPSHOT_FORMAT_VERSION,
+};
 use dramstack::workloads::{PatternKind, SyntheticPattern};
 
 fn presets() -> [(&'static str, TimingParams); 5] {
@@ -59,22 +66,87 @@ fn uninterrupted(cfg: &SystemConfig, pattern: SyntheticPattern, us: f64) -> SimR
     build(cfg, pattern).run_for_us(us)
 }
 
-/// Runs to `cut_us`, snapshots, serializes to JSON, parses the blob back,
-/// restores it into a *freshly built* simulator, and finishes the run
-/// there. Returns the resumed report.
-fn interrupted(cfg: &SystemConfig, pattern: SyntheticPattern, us: f64, cut_us: f64) -> SimReport {
+/// How the checkpoint travels from the interrupted process to the
+/// resumed one. Every transport must reconstruct the identical snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    /// Full snapshot through the versioned JSON blob (the oracle path).
+    JsonFull,
+    /// Full snapshot through the compact binary container.
+    BinaryFull,
+    /// Binary base at an earlier cycle plus two deltas replayed on top —
+    /// the default on-disk layout of periodic checkpointing.
+    BinaryChain,
+}
+
+impl Transport {
+    fn all() -> [Transport; 3] {
+        [
+            Transport::JsonFull,
+            Transport::BinaryFull,
+            Transport::BinaryChain,
+        ]
+    }
+}
+
+/// Runs to `cut_us`, checkpoints through `transport`, restores the
+/// reconstructed snapshot into a *freshly built* simulator, and finishes
+/// the run there. Returns the resumed report.
+fn interrupted(
+    cfg: &SystemConfig,
+    pattern: SyntheticPattern,
+    us: f64,
+    cut_us: f64,
+    transport: Transport,
+) -> SimReport {
     let total = cfg.us_to_cycles(us);
     let cut = cfg.us_to_cycles(cut_us);
-    assert!(cut > 0 && cut < total, "cut must fall inside the run");
+    assert!(cut > 1 && cut < total, "cut must fall inside the run");
 
     let mut victim = build(cfg, pattern);
-    victim.advance_to_cycle(cut);
-    let snap = victim.snapshot().expect("synthetic streams checkpoint");
-    drop(victim);
+    let parsed = match transport {
+        Transport::JsonFull => {
+            victim.advance_to_cycle(cut);
+            let snap = victim.snapshot().expect("synthetic streams checkpoint");
+            let parsed = Snapshot::from_json(&snap.to_json()).expect("snapshot JSON parses back");
+            assert_eq!(parsed, snap, "JSON roundtrip altered the snapshot");
+            parsed
+        }
+        Transport::BinaryFull => {
+            victim.advance_to_cycle(cut);
+            let snap = victim.snapshot().expect("synthetic streams checkpoint");
+            let parsed =
+                Snapshot::from_binary(&snap.to_binary()).expect("snapshot binary parses back");
+            assert_eq!(parsed, snap, "binary roundtrip altered the snapshot");
+            parsed
+        }
+        Transport::BinaryChain => {
+            // Base well before the cut, one delta halfway to it, the
+            // second delta exactly at it — the resumed state must come
+            // entirely out of the replayed chain.
+            let mid = cut / 2;
+            victim.advance_to_cycle(mid / 2);
+            let base = victim.snapshot_base().expect("base capture");
+            let base_bytes = base.to_binary();
+            victim.advance_to_cycle(mid);
+            let d1_bytes = victim.snapshot_delta().expect("delta capture").to_binary();
+            victim.advance_to_cycle(cut);
+            let d2_bytes = victim.snapshot_delta().expect("delta capture").to_binary();
 
-    let blob = snap.to_json();
-    let parsed = Snapshot::from_json(&blob).expect("snapshot JSON parses back");
-    assert_eq!(parsed, snap, "JSON roundtrip altered the snapshot");
+            let mut chained = Snapshot::from_binary(&base_bytes).expect("base parses back");
+            for bytes in [&d1_bytes, &d2_bytes] {
+                let delta = SnapshotDelta::from_binary(bytes).expect("delta parses back");
+                chained.apply_delta(&delta).expect("delta applies in order");
+            }
+            let direct = victim.snapshot().expect("synthetic streams checkpoint");
+            assert_eq!(
+                chained, direct,
+                "base+delta replay diverged from a directly captured snapshot"
+            );
+            chained
+        }
+    };
+    drop(victim);
 
     let mut resumed = build(cfg, pattern);
     resumed.restore(&parsed).expect("restore accepts the blob");
@@ -82,34 +154,37 @@ fn interrupted(cfg: &SystemConfig, pattern: SyntheticPattern, us: f64, cut_us: f
     resumed.report()
 }
 
-/// The acceptance matrix: every DDR4 speed grade × every traffic shape,
-/// interrupted mid-window at an arbitrary (non-boundary) cycle.
+/// The acceptance matrix: every DDR4 speed grade × every traffic shape ×
+/// every checkpoint transport, interrupted mid-window at an arbitrary
+/// (non-boundary) cycle.
 #[test]
 fn interrupt_and_resume_bit_identical_across_preset_matrix() {
     for (tname, timing) in presets() {
         for (pname, pattern) in shapes() {
             let cfg = config(timing, 2, 1, PagePolicy::Open);
             let full = uninterrupted(&cfg, pattern, 8.0);
-            let resumed = interrupted(&cfg, pattern, 8.0, 3.3);
-            assert_eq!(
-                full.strip_perf(),
-                resumed.strip_perf(),
-                "{tname}/{pname}: resume diverged from the uninterrupted run"
-            );
             assert!(
                 full.ctrl_stats.reads_done > 0,
                 "{tname}/{pname} did no work — the matrix proves nothing"
             );
-            if full.audit.armed {
-                assert!(
-                    resumed.audit.is_clean(),
-                    "{tname}/{pname}: auditor flagged the resumed run: {:?}",
-                    resumed.audit.first_violation()
-                );
+            for transport in Transport::all() {
+                let resumed = interrupted(&cfg, pattern, 8.0, 3.3, transport);
                 assert_eq!(
-                    full.audit, resumed.audit,
-                    "{tname}/{pname}: audit bookkeeping diverged"
+                    full.strip_perf(),
+                    resumed.strip_perf(),
+                    "{tname}/{pname}/{transport:?}: resume diverged from the uninterrupted run"
                 );
+                if full.audit.armed {
+                    assert!(
+                        resumed.audit.is_clean(),
+                        "{tname}/{pname}/{transport:?}: auditor flagged the resumed run: {:?}",
+                        resumed.audit.first_violation()
+                    );
+                    assert_eq!(
+                        full.audit, resumed.audit,
+                        "{tname}/{pname}/{transport:?}: audit bookkeeping diverged"
+                    );
+                }
             }
         }
     }
@@ -187,9 +262,9 @@ fn arbitrary_pattern() -> impl Strategy<Value = SyntheticPattern> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Satellite: snapshot → JSON → restore → snapshot roundtrip over
-    /// random system configurations. The re-captured snapshot must equal
-    /// the original blob field for field.
+    /// Satellite: snapshot → JSON/binary → restore → snapshot roundtrip
+    /// over random system configurations. The re-captured snapshot must
+    /// equal the original blob field for field.
     #[test]
     fn snapshot_roundtrip_on_random_configs(
         preset in 0usize..5,
@@ -211,6 +286,10 @@ proptest! {
             .expect("snapshot JSON parses back");
         prop_assert_eq!(&parsed, &snap);
 
+        let binary = Snapshot::from_binary(&snap.to_binary())
+            .expect("snapshot binary parses back");
+        prop_assert_eq!(&binary, &snap);
+
         let mut resumed = build(&cfg, pattern);
         resumed.restore(&parsed).expect("restore accepts the blob");
         let recaptured = resumed.snapshot().expect("synthetic streams checkpoint");
@@ -226,15 +305,13 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
-// Golden fixture: the serialized snapshot format is pinned byte for byte.
+// Format negotiation: corrupt, truncated, or version-skewed inputs must
+// surface as typed `SnapshotError`s — never a panic — and on-disk resume
+// must fall back to the last complete checkpoint.
 // ---------------------------------------------------------------------------
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/snapshot_v1.json");
-
-/// Deterministic machine state used to mint the golden blob. Caches are
-/// shrunk so the checked-in fixture stays small; the serialized *shape*
-/// (every struct, every field) is identical to a full-size snapshot.
-fn golden_snapshot() -> Snapshot {
+/// A small but fully populated snapshot for the negotiation tests.
+fn small_snapshot_sim() -> Simulator {
     let mut pattern = SyntheticPattern::sequential(0.25);
     pattern.seed = 42;
     let mut cfg = config(TimingParams::ddr4_3200(), 1, 1, PagePolicy::Open);
@@ -244,13 +321,208 @@ fn golden_snapshot() -> Snapshot {
     cfg.hierarchy.l2.ways = 8;
     cfg.hierarchy.llc.size_bytes = 16 << 10;
     cfg.hierarchy.llc.ways = 8;
-    let mut sim = build(&cfg, pattern);
+    build(&cfg, pattern)
+}
+
+/// Satellite: every malformed-binary shape decodes to a *typed* error.
+/// Byte offsets follow the container layout pinned in DESIGN.md §11:
+/// magic `DSNP` at 0..4, container version (u32 LE) at 4..8, kind byte
+/// at 8, snapshot format version (u32 LE) at 9..13.
+#[test]
+fn binary_negotiation_rejects_malformed_inputs_with_typed_errors() {
+    let mut sim = small_snapshot_sim();
+    sim.advance_for_us(1.0);
+    let good = sim
+        .snapshot()
+        .expect("synthetic streams checkpoint")
+        .to_binary();
+    assert!(Snapshot::from_binary(&good).is_ok(), "baseline must decode");
+
+    // Wrong magic.
+    let mut bad = good.clone();
+    bad[0] = b'X';
+    assert!(
+        matches!(Snapshot::from_binary(&bad), Err(SnapshotError::BadMagic)),
+        "wrong magic must be BadMagic"
+    );
+
+    // Future container version.
+    let mut bad = good.clone();
+    bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(
+        matches!(
+            Snapshot::from_binary(&bad),
+            Err(SnapshotError::BinaryVersionMismatch {
+                expected: _,
+                got: 99
+            })
+        ),
+        "future container version must be BinaryVersionMismatch"
+    );
+
+    // Snapshot format version skew inside a well-formed container.
+    let mut bad = good.clone();
+    bad[9..13].copy_from_slice(&999u32.to_le_bytes());
+    assert!(
+        matches!(
+            Snapshot::from_binary(&bad),
+            Err(SnapshotError::VersionMismatch {
+                expected: _,
+                got: 999
+            })
+        ),
+        "format version skew must be VersionMismatch"
+    );
+
+    // Truncation at every stratum: header, section table, mid-payload.
+    for cut in [0, 3, 8, 12, 40, good.len() / 2, good.len() - 1] {
+        let err =
+            Snapshot::from_binary(&good[..cut]).expect_err("truncated container must not decode");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. }
+                    | SnapshotError::Corrupt { .. }
+                    | SnapshotError::BadMagic
+            ),
+            "truncation at {cut} bytes produced unexpected error {err:?}"
+        );
+    }
+
+    // A full snapshot container is not a delta and vice versa.
+    let err = SnapshotDelta::from_binary(&good).expect_err("full blob is not a delta");
+    assert!(
+        matches!(err, SnapshotError::Corrupt { .. }),
+        "kind mismatch must be Corrupt, got {err:?}"
+    );
+    let delta_bytes = {
+        let mut sim = small_snapshot_sim();
+        sim.advance_for_us(0.5);
+        let _ = sim.snapshot_base().expect("base capture");
+        sim.advance_for_us(0.5);
+        sim.snapshot_delta().expect("delta capture").to_binary()
+    };
+    let err = Snapshot::from_binary(&delta_bytes).expect_err("delta blob is not a full snapshot");
+    assert!(
+        matches!(err, SnapshotError::Corrupt { .. }),
+        "kind mismatch must be Corrupt, got {err:?}"
+    );
+}
+
+/// Satellite: delta capture without a base, and out-of-order delta
+/// application, are typed errors.
+#[test]
+fn delta_chain_misuse_is_a_typed_error() {
+    let mut sim = small_snapshot_sim();
+    sim.advance_for_us(0.5);
+    let err = sim
+        .snapshot_delta()
+        .expect_err("delta before any base must fail");
+    assert!(
+        matches!(err, SnapshotError::DeltaBaseMissing),
+        "expected DeltaBaseMissing, got {err:?}"
+    );
+
+    let mut base = sim.snapshot_base().expect("base capture");
+    sim.advance_for_us(0.3);
+    let _skipped = sim.snapshot_delta().expect("delta capture");
+    sim.advance_for_us(0.3);
+    let second = sim.snapshot_delta().expect("delta capture");
+    let err = base
+        .apply_delta(&second)
+        .expect_err("skipping a delta must break the chain");
+    assert!(
+        matches!(err, SnapshotError::DeltaChainBroken { .. }),
+        "expected DeltaChainBroken, got {err:?}"
+    );
+}
+
+/// Satellite: `ckpt::load_latest` walks the on-disk chain and falls back
+/// to the last *complete* checkpoint when the tail is torn — and to the
+/// JSON blob when no binary chain exists — so `--resume` never needs a
+/// format flag and never trips over a crash-torn file.
+#[test]
+fn on_disk_resume_falls_back_to_last_complete_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("dramstack-negotiate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = "job";
+
+    // Lay down base + two deltas through the real writer pipeline.
+    let mut sim = small_snapshot_sim();
+    let mut chain =
+        CheckpointChain::create(&dir, key, SnapshotFormat::Binary, true).expect("chain creates");
+    for us in [0.4, 0.8, 1.2] {
+        sim.advance_for_us(us);
+        chain.checkpoint(&mut sim).expect("checkpoint captures");
+    }
+    chain.finish().expect("writer drains");
+    let expect = sim.snapshot().expect("synthetic streams checkpoint");
+
+    let base = dir.join(format!("ckpt-{key}.base.dsnp"));
+    let d1 = dir.join(format!("ckpt-{key}.d1.dsnp"));
+    let d2 = dir.join(format!("ckpt-{key}.d2.dsnp"));
+    for p in [&base, &d1, &d2] {
+        assert!(p.exists(), "{} missing after finish()", p.display());
+    }
+
+    // Pristine chain: both deltas replay, state matches the live sim.
+    let loaded = ckpt::load_latest(&dir, key).expect("pristine chain loads");
+    assert_eq!(loaded.format, SnapshotFormat::Binary);
+    assert_eq!(loaded.deltas_applied, 2);
+    assert_eq!(
+        loaded.snapshot, expect,
+        "replayed chain diverged from live state"
+    );
+
+    // Torn tail: corrupt the deepest delta — resume falls back one step.
+    let good_d2 = std::fs::read(&d2).expect("read d2");
+    std::fs::write(&d2, &good_d2[..good_d2.len() / 2]).expect("tear d2");
+    let loaded = ckpt::load_latest(&dir, key).expect("torn tail still loads");
+    assert_eq!(loaded.deltas_applied, 1, "torn delta must be skipped");
+    // d2 covered the final advance; the fallback state is strictly older.
+    assert!(loaded.snapshot.dram_cycle < expect.dram_cycle);
+
+    // No base: the whole binary chain is unusable.
+    std::fs::remove_file(&base).expect("remove base");
+    assert!(
+        ckpt::load_latest(&dir, key).is_none(),
+        "no base and no JSON blob must be None"
+    );
+
+    // JSON fallback: a full JSON blob negotiates without any flag.
+    std::fs::write(dir.join(format!("ckpt-{key}.json")), expect.to_json()).expect("write json");
+    let loaded = ckpt::load_latest(&dir, key).expect("json blob loads");
+    assert_eq!(loaded.format, SnapshotFormat::Json);
+    assert_eq!(loaded.deltas_applied, 0);
+    assert_eq!(loaded.snapshot, expect);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixtures: both serialized snapshot formats are pinned byte for
+// byte.
+// ---------------------------------------------------------------------------
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/snapshot_v2.json");
+const GOLDEN_BIN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/snapshot_v2.dsnp");
+
+/// Deterministic machine state used to mint the golden blobs. Caches are
+/// shrunk so the checked-in fixtures stay small; the serialized *shape*
+/// (every struct, every field, every section) is identical to a
+/// full-size snapshot.
+fn golden_snapshot() -> Snapshot {
+    let mut sim = small_snapshot_sim();
     // The auditor arms by default only in debug/test builds; pin it on
     // so the blob is byte-identical across build profiles (and so the
     // fixture covers the AuditState shape).
     sim.set_audit(true);
     sim.advance_for_us(2.0);
     sim.snapshot().expect("synthetic streams checkpoint")
+}
+
+fn regen_golden() -> bool {
+    std::env::var("DRAMSTACK_REGEN_GOLDEN").as_deref() == Ok("1")
 }
 
 /// Satellite: any change to the serialized shape of the snapshot (or of
@@ -262,7 +534,7 @@ fn golden_snapshot() -> Snapshot {
 fn golden_snapshot_format_is_stable() {
     let fresh = golden_snapshot().to_json();
 
-    if std::env::var("DRAMSTACK_REGEN_GOLDEN").as_deref() == Ok("1") {
+    if regen_golden() {
         std::fs::write(GOLDEN_PATH, &fresh).expect("write golden fixture");
         eprintln!("regenerated {GOLDEN_PATH}");
         return;
@@ -298,4 +570,57 @@ fn golden_snapshot_format_is_stable() {
     let mut sim = build(&parsed.config.clone(), pattern);
     sim.restore(&parsed).expect("golden blob restores");
     sim.advance_for_us(0.5);
+}
+
+/// Satellite: the compact binary container is pinned byte for byte
+/// alongside the JSON oracle. Any codec change — tags, varints, RLE,
+/// string table, section order — without a `SNAPSHOT_BINARY_VERSION`
+/// bump fails loudly. Regenerate both fixtures together with
+/// `DRAMSTACK_REGEN_GOLDEN=1 cargo test --test crash_resume golden`.
+#[test]
+fn golden_binary_snapshot_format_is_stable() {
+    let snap = golden_snapshot();
+    let fresh = snap.to_binary();
+
+    if regen_golden() {
+        std::fs::write(GOLDEN_BIN_PATH, &fresh).expect("write golden binary fixture");
+        eprintln!("regenerated {GOLDEN_BIN_PATH}");
+        return;
+    }
+
+    let golden = std::fs::read(GOLDEN_BIN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden binary fixture {GOLDEN_BIN_PATH} ({e}); \
+             regenerate with DRAMSTACK_REGEN_GOLDEN=1"
+        )
+    });
+
+    let parsed = Snapshot::from_binary(&golden).unwrap_or_else(|e| {
+        panic!(
+            "golden binary snapshot no longer decodes: {e:?}. The container \
+             format changed — bump SNAPSHOT_BINARY_VERSION and regenerate \
+             the fixture with DRAMSTACK_REGEN_GOLDEN=1."
+        )
+    });
+    assert_eq!(parsed, snap, "golden binary fixture decodes to stale state");
+
+    assert!(
+        golden == fresh,
+        "binary container bytes diverged from the golden fixture \
+         ({} golden bytes vs {} fresh). If the codec changed on purpose, \
+         bump SNAPSHOT_BINARY_VERSION and regenerate with \
+         DRAMSTACK_REGEN_GOLDEN=1; otherwise this is an encoding regression.",
+        golden.len(),
+        fresh.len()
+    );
+
+    // The compression claim the PR rests on: the binary fixture encodes
+    // the same machine state in a fraction of the JSON bytes.
+    let json_len = snap.to_json().len();
+    assert!(
+        fresh.len() * 3 < json_len,
+        "binary fixture ({} bytes) is no longer well under a third of the \
+         JSON blob ({json_len} bytes)",
+        fresh.len()
+    );
 }

@@ -1,0 +1,81 @@
+//! Perf regression guard for the vendored serde_json parser.
+//!
+//! PR 8 de-quadratified the string path: the old parser re-validated
+//! UTF-8 from the cursor to the *end of input* for every character, so a
+//! snapshot-sized document took minutes to parse. The vendor tree is
+//! excluded from the workspace, so this guard lives here where tier-1
+//! `cargo test` always runs it.
+
+use serde_json::Value;
+
+/// Parsing a multi-MB document with long strings, escapes mid-string,
+/// and a wide numeric array must stay comfortably linear. The bound is
+/// loose enough for debug builds and CI noise, but the quadratic parser
+/// misses it by orders of magnitude (O(n²) over ~6 MB is ~10¹³ byte
+/// touches).
+#[test]
+fn multi_megabyte_documents_parse_in_bounded_time() {
+    let long = "x".repeat(1 << 20);
+    let mut doc = String::with_capacity(8 << 20);
+    doc.push_str("{\"blobs\":[");
+    for i in 0..3 {
+        if i > 0 {
+            doc.push(',');
+        }
+        // An escape in the middle of each blob keeps the parser flipping
+        // between the bulk-run path and the escape path.
+        doc.push_str(&format!("\"{long}\\n{long}\""));
+    }
+    doc.push_str("],\"counts\":[");
+    for i in 0..200_000u32 {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&i.to_string());
+    }
+    doc.push_str("]}");
+    assert!(
+        doc.len() > 6 << 20,
+        "document must be multi-MB to test anything"
+    );
+
+    let started = std::time::Instant::now();
+    let v: Value = serde_json::from_str(&doc).expect("synthetic document parses");
+    let elapsed = started.elapsed();
+
+    // The reconstructed values must be right — speed via wrong answers
+    // doesn't count.
+    let blobs = v.get("blobs").expect("blobs present");
+    assert_eq!(
+        blobs.index(2).and_then(|s| match s {
+            Value::Str(s) => Some(s.len()),
+            _ => None,
+        }),
+        Some((2 << 20) + 1),
+        "escaped long string reconstructed wrong"
+    );
+    assert_eq!(
+        v.get("counts").and_then(|c| c.index(199_999)),
+        Some(&Value::Int(199_999)),
+        "numeric array reconstructed wrong"
+    );
+
+    assert!(
+        elapsed.as_secs() < 20,
+        "parsing a {} MB document took {elapsed:?} — the string path has \
+         gone super-linear again",
+        doc.len() >> 20
+    );
+
+    // Round-trip the same tree back out and in: serialization shares the
+    // bulk-escape path and must stay linear too.
+    let started = std::time::Instant::now();
+    let text = serde_json::to_string(&v).expect("tree serializes");
+    let back: Value = serde_json::from_str(&text).expect("reserialized tree parses");
+    assert_eq!(back, v, "roundtrip altered the document");
+    assert!(
+        started.elapsed().as_secs() < 30,
+        "roundtrip took {:?} — serialization or parsing went super-linear",
+        started.elapsed()
+    );
+}

@@ -438,7 +438,16 @@ mod tests {
 
     #[test]
     fn floats_roundtrip_exactly() {
-        for f in [0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 19.2, 1e-300, 123456789.123] {
+        for f in [
+            0.0f64,
+            1.0,
+            -1.5,
+            0.1,
+            1.0 / 3.0,
+            19.2,
+            1e-300,
+            123456789.123,
+        ] {
             let s = to_string(&f).unwrap();
             let back: f64 = from_str(&s).unwrap();
             assert_eq!(back.to_bits(), f.to_bits(), "{f} -> {s}");
