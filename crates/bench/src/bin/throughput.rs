@@ -7,13 +7,14 @@
 //! root. Pass `quick` as the first argument for the CI-sized run.
 
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use dramstack_bench::scale_from_args;
 use dramstack_cpu::{InstrStream, VecStream};
 use dramstack_memctrl::{MappingScheme, PagePolicy};
+use dramstack_serve::{Client, ClientError, ServeConfig, Server};
 use dramstack_sim::{
     experiments::{run_synthetic, ExperimentScale},
     parallel, CheckpointChain, SimReport, Simulator, SnapshotFormat, SystemConfig, Telemetry,
@@ -109,6 +110,34 @@ struct CheckpointOverhead {
     checkpointed_slowdown: f64,
 }
 
+/// The simulation service under 2× overload: submission bursts offering
+/// twice the in-flight capacity (workers + queue slots), so roughly half
+/// of every burst sheds with 429 while admitted jobs run to completion.
+/// Job latency is the server-side queued→finished time (`elapsed_ms`),
+/// so it includes queueing delay — the quantity a caller experiences.
+#[derive(Debug, Serialize)]
+struct ServeBench {
+    /// Worker threads of the benchmarked daemon.
+    workers: usize,
+    /// Admission-queue capacity.
+    queue_cap: usize,
+    /// Submission attempts offered (2× capacity per burst).
+    jobs_offered: usize,
+    /// Jobs admitted and run to a report.
+    jobs_completed: usize,
+    /// Submissions shed with 429.
+    shed_429: u64,
+    /// `shed_429 / jobs_offered` under the 2× overload.
+    shed_rate: f64,
+    /// HTTP requests served per host second across the whole leg
+    /// (submissions + status polls), one connection per request.
+    requests_per_sec: f64,
+    /// Median server-side job latency (queued → finished), ms.
+    p50_job_latency_ms: f64,
+    /// 99th-percentile server-side job latency, ms.
+    p99_job_latency_ms: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchOutput {
     /// `quick` or `full`.
@@ -127,6 +156,121 @@ struct BenchOutput {
     checkpoint: CheckpointOverhead,
     /// Parallel sweep scaling.
     sweep: SweepResult,
+    /// The simulation service under 2× overload (record, not gate).
+    serve: ServeBench,
+}
+
+/// Drives an in-process `dramstack serve` daemon at 2× its in-flight
+/// capacity and records throughput, shed rate, and job-latency tails.
+fn serve_bench(job_us: f64) -> ServeBench {
+    let workers = 2usize;
+    let queue_cap = 2usize;
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_cap,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let serve_thread = std::thread::spawn(move || server.serve());
+
+    let client = Client::new(addr);
+    let spec = format!(r#"{{"pattern":"seq","cores":1,"us":{job_us}}}"#);
+    let capacity = workers + queue_cap;
+    let bursts = 2usize;
+    let per_burst = 2 * capacity;
+    let mut requests = 0u64;
+    let mut shed = 0u64;
+    let mut ids = Vec::new();
+    let t0 = Instant::now();
+    for burst in 0..bursts {
+        for _ in 0..per_burst {
+            requests += 1;
+            match client.submit_job(&spec) {
+                Ok(id) => ids.push(id),
+                Err(ClientError::Status { code: 429, .. }) => shed += 1,
+                Err(e) => panic!("serve bench submission failed: {e}"),
+            }
+        }
+        if burst + 1 < bursts {
+            // Let the pool make some progress so the next burst overloads
+            // a live server rather than a still-full queue.
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    // Poll every admitted job to a terminal state, counting each status
+    // request toward the served-request tally.
+    let mut latencies_ms = Vec::with_capacity(ids.len());
+    for &id in &ids {
+        loop {
+            requests += 1;
+            let body = client.job_status(id).expect("status readable");
+            let v: Value = serde_json::from_str(&body).expect("status is JSON");
+            let status = match &v {
+                Value::Map(entries) => entries
+                    .iter()
+                    .find(|(k, _)| k == "status")
+                    .and_then(|(_, s)| match s {
+                        Value::Str(s) => Some(s.as_str()),
+                        _ => None,
+                    })
+                    .expect("status field"),
+                _ => panic!("status body is not an object"),
+            };
+            if status == "done" {
+                let ms = match &v {
+                    Value::Map(entries) => entries
+                        .iter()
+                        .find(|(k, _)| k == "elapsed_ms")
+                        .and_then(|(_, s)| match s {
+                            Value::Float(f) => Some(*f),
+                            Value::Int(i) => Some(*i as f64),
+                            _ => None,
+                        })
+                        .expect("elapsed_ms field"),
+                    _ => unreachable!(),
+                };
+                latencies_ms.push(ms);
+                break;
+            }
+            assert!(
+                status == "queued" || status == "running",
+                "serve bench job {id} ended `{status}`"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    handle.drain();
+    let _ = serve_thread.join();
+
+    assert!(
+        !latencies_ms.is_empty(),
+        "no job was admitted under overload"
+    );
+    assert!(
+        shed > 0,
+        "2x overload never shed — the leg is not overloading"
+    );
+    latencies_ms.sort_by(f64::total_cmp);
+    let pct = |q: f64| {
+        let idx = ((latencies_ms.len() - 1) as f64 * q).round() as usize;
+        latencies_ms[idx]
+    };
+    let offered = bursts * per_burst;
+    ServeBench {
+        workers,
+        queue_cap,
+        jobs_offered: offered,
+        jobs_completed: latencies_ms.len(),
+        shed_429: shed,
+        shed_rate: shed as f64 / offered as f64,
+        requests_per_sec: requests as f64 / wall,
+        p50_job_latency_ms: pct(0.50),
+        p99_job_latency_ms: pct(0.99),
+    }
 }
 
 fn config_result(name: &str, report: &SimReport) -> ConfigResult {
@@ -377,6 +521,11 @@ fn main() {
     let parallel_seconds = t0.elapsed().as_secs_f64();
     assert_eq!(serial, par, "parallel sweep must match serial");
 
+    // The simulation service under 2× overload. Jobs must run long
+    // relative to a submission round trip, or the pool drains each burst
+    // as fast as it arrives and nothing sheds.
+    let serve = serve_bench((scale.synth_us * 8.0).max(160.0));
+
     let out = BenchOutput {
         scale: scale_name.to_string(),
         configs,
@@ -391,6 +540,7 @@ fn main() {
             parallel_seconds,
             speedup: serial_seconds / parallel_seconds.max(1e-12),
         },
+        serve,
     };
 
     for c in &out.configs {
@@ -433,6 +583,15 @@ fn main() {
         out.checkpoint.blob_bytes_json,
         out.checkpoint.blob_bytes_binary,
         out.checkpoint.blob_bytes_json as f64 / (out.checkpoint.blob_bytes_binary as f64).max(1.0)
+    );
+    println!(
+        "serve (2x overload): {:.1} req/s, {}/{} jobs admitted+done, shed rate {:.0} %, job latency p50 {:.0} ms / p99 {:.0} ms",
+        out.serve.requests_per_sec,
+        out.serve.jobs_completed,
+        out.serve.jobs_offered,
+        out.serve.shed_rate * 100.0,
+        out.serve.p50_job_latency_ms,
+        out.serve.p99_job_latency_ms
     );
     println!(
         "idle fast-forward speedup: {:.1}x | sweep: {} jobs, {} threads, {:.2}s -> {:.2}s ({:.2}x)",

@@ -1,0 +1,415 @@
+//! A deliberately small HTTP/1.1 implementation over [`std::net`].
+//!
+//! Exactly what the serve API needs and nothing more: one request per
+//! connection (`Connection: close`), `Content-Length` bodies with a hard
+//! size cap, chunked transfer encoding for streamed responses, and typed
+//! errors so the server can answer 400 / 408 / 413 / 431 instead of
+//! dropping the socket. All reads honor the socket's OS-level read
+//! timeout, which is the slow-loris defense: a client that trickles
+//! bytes is cut off at the deadline without tying up anything but its
+//! own connection thread.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request/status line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Cap on a response body the client is willing to buffer.
+pub const MAX_RESPONSE_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed request. Header names are lowercased at parse time.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub path: String,
+    /// Lowercased name → trimmed value, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed response (client side).
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Lowercased name → trimmed value, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// De-chunked body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one status
+/// code, so handlers never have to guess.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or truncated body → 400.
+    BadRequest(String),
+    /// Head grew past [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeds the configured cap → 413.
+    PayloadTooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The socket's read deadline expired mid-request → 408.
+    Timeout,
+    /// The peer closed before sending anything (not an error worth
+    /// answering).
+    Closed,
+    /// Any other transport failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::PayloadTooLarge { limit } => {
+                write!(f, "request body exceeds {limit} bytes")
+            }
+            HttpError::Timeout => write!(f, "read deadline expired"),
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn map_read_err(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e),
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one request off `stream`, honoring the socket's read timeout
+/// and enforcing [`MAX_HEAD_BYTES`] and `max_body`.
+///
+/// # Errors
+///
+/// A typed [`HttpError`]; see the variant docs for the status each maps
+/// to.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) if buf.is_empty() => return Err(HttpError::Closed),
+            Ok(0) => return Err(HttpError::BadRequest("truncated request head".to_string())),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(map_read_err(e)),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no target".to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge { limit: max_body });
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::BadRequest("truncated request body".to_string())),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(map_read_err(e)),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one complete response and flushes. Always `Connection: close` —
+/// one request per connection keeps every code path bounded.
+///
+/// # Errors
+///
+/// The underlying write error (the caller just drops the connection).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Shorthand for a JSON response.
+///
+/// # Errors
+///
+/// The underlying write error.
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    write_response(
+        stream,
+        status,
+        "application/json",
+        body.as_bytes(),
+        extra_headers,
+    )
+}
+
+/// An in-progress chunked response (the `/jobs/<id>/stream` endpoint).
+#[derive(Debug)]
+pub struct ChunkedBody<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedBody<'a> {
+    /// Writes the response head with `Transfer-Encoding: chunked`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write error.
+    pub fn start(stream: &'a mut TcpStream, content_type: &str) -> io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n\r\n"
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedBody { stream })
+    }
+
+    /// Writes one chunk (empty input is skipped — a zero-length chunk
+    /// would terminate the stream).
+    ///
+    /// # Errors
+    ///
+    /// The underlying write error (slow clients hit the socket's write
+    /// timeout here and are dropped).
+    pub fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the stream with the final zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write error.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Reads a full response (client side). Because the server always
+/// closes after one response, this simply reads to EOF, then splits and
+/// de-chunks. Bounded by [`MAX_RESPONSE_BYTES`].
+///
+/// # Errors
+///
+/// [`HttpError`] on malformed or oversized responses and transport
+/// failures.
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
+    let mut buf = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() > MAX_RESPONSE_BYTES {
+                    return Err(HttpError::PayloadTooLarge {
+                        limit: MAX_RESPONSE_BYTES,
+                    });
+                }
+            }
+            Err(e) => return Err(map_read_err(e)),
+        }
+    }
+    let head_end =
+        find_head_end(&buf).ok_or_else(|| HttpError::BadRequest("no response head".to_string()))?;
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("response head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::BadRequest(format!("bad status line `{status_line}`")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let raw = &buf[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked { dechunk(raw)? } else { raw.to_vec() };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn dechunk(mut raw: &[u8]) -> Result<Vec<u8>, HttpError> {
+    let mut out = Vec::with_capacity(raw.len());
+    loop {
+        let line_end = raw
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| HttpError::BadRequest("truncated chunk size".to_string()))?;
+        let size_str = std::str::from_utf8(&raw[..line_end])
+            .map_err(|_| HttpError::BadRequest("chunk size is not UTF-8".to_string()))?;
+        let size = usize::from_str_radix(size_str.trim(), 16)
+            .map_err(|_| HttpError::BadRequest(format!("bad chunk size `{size_str}`")))?;
+        raw = &raw[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if raw.len() < size + 2 {
+            return Err(HttpError::BadRequest("truncated chunk".to_string()));
+        }
+        out.extend_from_slice(&raw[..size]);
+        raw = &raw[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dechunk_roundtrip() {
+        let raw = b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        assert_eq!(dechunk(raw).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn dechunk_rejects_truncation() {
+        assert!(dechunk(b"5\r\nhel").is_err());
+        assert!(dechunk(b"zz\r\n").is_err());
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

@@ -22,7 +22,7 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
@@ -37,9 +37,22 @@ use crate::system::Simulator;
 /// must [`clear_interrupt`] once they have handled it.
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
+/// Which signal requested the interrupt (0 = none / not signal-driven).
+/// Lets the CLI exit with the conventional `128 + signal` code — 143 for
+/// SIGTERM, 130 for SIGINT — after the cooperative shutdown finished.
+static INTERRUPT_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
 /// Requests a cooperative stop at the next checkpoint boundary.
 /// Async-signal-safe: a single atomic store.
 pub fn request_interrupt() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// [`request_interrupt`] plus the signal number that triggered it, for
+/// signal handlers (SIGTERM = 15, SIGINT = 2). Async-signal-safe: two
+/// atomic stores.
+pub fn request_interrupt_signal(signal: i32) {
+    INTERRUPT_SIGNAL.store(signal, Ordering::SeqCst);
     INTERRUPTED.store(true, Ordering::SeqCst);
 }
 
@@ -48,9 +61,19 @@ pub fn interrupted() -> bool {
     INTERRUPTED.load(Ordering::SeqCst)
 }
 
+/// The signal behind the pending interrupt, if it came from a signal
+/// handler via [`request_interrupt_signal`].
+pub fn interrupt_signal() -> Option<i32> {
+    match INTERRUPT_SIGNAL.load(Ordering::SeqCst) {
+        0 => None,
+        s => Some(s),
+    }
+}
+
 /// Re-arms the process for another run after an interrupt was handled.
 pub fn clear_interrupt() {
     INTERRUPTED.store(false, Ordering::SeqCst);
+    INTERRUPT_SIGNAL.store(0, Ordering::SeqCst);
 }
 
 /// On-disk checkpoint encoding.

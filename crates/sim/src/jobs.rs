@@ -1,0 +1,501 @@
+//! Self-describing simulation jobs: a JSON-parseable [`JobSpec`], a
+//! cooperative cancellation token and a slice-wise [`run_job`] driver.
+//!
+//! This is the unit of work the `dramstack serve` daemon schedules on its
+//! worker pool, but it is service-agnostic: anything that wants to run a
+//! synthetic configuration with cooperative cancellation, a wall-clock
+//! deadline, optional live telemetry and checkpoint-on-cancel can use it.
+//! The driver advances the simulator in small cycle slices so cancel and
+//! deadline checks land within milliseconds, while keeping results
+//! bit-identical (modulo `perf` timings) to a straight
+//! [`run_synthetic`](crate::experiments::run_synthetic) call — the
+//! fast-forward paths clamp to the slice horizon exactly like they clamp
+//! to checkpoint boundaries.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Serialize, Value};
+
+use dramstack_dram::Cycle;
+use dramstack_memctrl::{MappingScheme, PagePolicy};
+use dramstack_workloads::SyntheticPattern;
+
+use crate::ckpt::{CheckpointChain, SnapshotFormat};
+use crate::config::{ConfigError, SystemConfig};
+use crate::parallel::JobPulse;
+use crate::report::SimReport;
+use crate::system::Simulator;
+use crate::telemetry::Telemetry;
+
+/// Cycles simulated between cancel/deadline polls. Small enough that a
+/// cancellation lands within a few milliseconds of wall time, large
+/// enough that polling cost is unmeasurable next to simulation work.
+const SLICE_CYCLES: Cycle = 24_000;
+
+/// One synthetic simulation job, as submitted over the wire.
+///
+/// All fields have serving-friendly defaults; [`JobSpec::from_json`]
+/// fills in whatever the request body omits and rejects anything it does
+/// not understand with a typed message (so a service can answer 400
+/// instead of guessing).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobSpec {
+    /// Traffic pattern: `"seq"` or `"rand"`.
+    pub pattern: String,
+    /// Core count (≥ 1).
+    pub cores: usize,
+    /// Store fraction in `[0, 1]`.
+    pub stores: f64,
+    /// Simulated microseconds (> 0).
+    pub us: f64,
+    /// Page policy: `"open"` or `"closed"`.
+    pub policy: String,
+    /// Address mapping: `"default"`, `"interleaved"` or `"xor"`.
+    pub mapping: String,
+    /// Fault injection: panic immediately (supervision tests).
+    pub inject_panic: bool,
+    /// Fault injection: hang without progress (watchdog tests).
+    pub inject_hang: bool,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            pattern: "seq".to_string(),
+            cores: 1,
+            stores: 0.0,
+            us: 20.0,
+            policy: "open".to_string(),
+            mapping: "default".to_string(),
+            inject_panic: false,
+            inject_hang: false,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses a JSON object, defaulting omitted fields and rejecting
+    /// unknown keys and mistyped values with a human-readable message.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field (or of the JSON syntax
+    /// error) — suitable for echoing back in a 400 response.
+    pub fn from_json(text: &str) -> Result<JobSpec, String> {
+        let value: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let Value::Map(entries) = value else {
+            return Err("job spec must be a JSON object".to_string());
+        };
+        let mut spec = JobSpec::default();
+        for (key, v) in &entries {
+            match key.as_str() {
+                "pattern" => spec.pattern = expect_str(key, v)?,
+                "cores" => spec.cores = expect_count(key, v)?,
+                "stores" => spec.stores = expect_f64(key, v)?,
+                "us" => spec.us = expect_f64(key, v)?,
+                "policy" => spec.policy = expect_str(key, v)?,
+                "mapping" => spec.mapping = expect_str(key, v)?,
+                "inject_panic" => spec.inject_panic = expect_bool(key, v)?,
+                "inject_hang" => spec.inject_hang = expect_bool(key, v)?,
+                other => return Err(format!("unknown field `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Serializes the spec for job-status responses.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Resolves the string-typed fields into simulator inputs, validating
+    /// everything the simulator would otherwise panic on.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first invalid field.
+    pub fn resolve(&self) -> Result<(SystemConfig, SyntheticPattern), String> {
+        if !(0.0..=1.0).contains(&self.stores) {
+            return Err(format!("stores must be in [0, 1], got {}", self.stores));
+        }
+        if !self.us.is_finite() || self.us <= 0.0 {
+            return Err(format!("us must be positive, got {}", self.us));
+        }
+        let pattern = match self.pattern.as_str() {
+            "seq" => SyntheticPattern::sequential(self.stores),
+            "rand" => SyntheticPattern::random(self.stores),
+            other => return Err(format!("unknown pattern `{other}` (want seq|rand)")),
+        };
+        let policy = match self.policy.as_str() {
+            "open" => PagePolicy::Open,
+            "closed" => PagePolicy::Closed,
+            other => return Err(format!("unknown policy `{other}` (want open|closed)")),
+        };
+        let mapping = match self.mapping.as_str() {
+            "def" | "default" => MappingScheme::RowBankColumn,
+            "int" | "interleaved" => MappingScheme::CacheLineInterleaved,
+            "xor" | "permutation" => MappingScheme::PermutationXor,
+            other => {
+                return Err(format!(
+                    "unknown mapping `{other}` (want default|interleaved|xor)"
+                ))
+            }
+        };
+        let mut cfg = SystemConfig::paper_default(self.cores);
+        cfg.ctrl.page_policy = policy;
+        cfg.ctrl.mapping = mapping;
+        cfg.validate().map_err(|e| e.to_string())?;
+        Ok((cfg, pattern))
+    }
+}
+
+fn expect_str(key: &str, v: &Value) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("field `{key}` must be a string")),
+    }
+}
+
+fn expect_bool(key: &str, v: &Value) -> Result<bool, String> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("field `{key}` must be a boolean")),
+    }
+}
+
+fn expect_f64(key: &str, v: &Value) -> Result<f64, String> {
+    match v {
+        Value::Float(f) => Ok(*f),
+        Value::Int(i) => Ok(*i as f64),
+        _ => Err(format!("field `{key}` must be a number")),
+    }
+}
+
+fn expect_count(key: &str, v: &Value) -> Result<usize, String> {
+    match v {
+        Value::Int(i) if *i > 0 => {
+            usize::try_from(*i).map_err(|_| format!("field `{key}` is out of range"))
+        }
+        _ => Err(format!("field `{key}` must be a positive integer")),
+    }
+}
+
+/// A clone-able cooperative cancellation token. Cancelling is sticky and
+/// idempotent; [`run_job`] polls it every [`SLICE_CYCLES`] cycles.
+#[derive(Debug, Clone, Default)]
+pub struct JobCancel(Arc<AtomicBool>);
+
+impl JobCancel {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; safe from any thread, any number of times.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`cancel`](Self::cancel) has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Where [`run_job`] checkpoints a cancelled job so it can be resumed
+/// later with [`load_latest`](crate::ckpt::load_latest).
+#[derive(Debug, Clone)]
+pub struct JobCheckpoint {
+    /// Checkpoint directory (created if absent).
+    pub dir: PathBuf,
+    /// Job key — becomes the `ckpt-<key>.*` file stem.
+    pub key: String,
+}
+
+/// Per-run knobs for [`run_job`] that are consumed by the run (built
+/// fresh for every supervised attempt).
+#[derive(Debug, Default)]
+pub struct JobOptions {
+    /// Wall-clock budget for this attempt; exceeded ⇒
+    /// [`JobError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Telemetry to attach (e.g. with a streaming sink installed).
+    pub telemetry: Option<Telemetry>,
+    /// If set, a cancelled run checkpoints here before returning.
+    pub checkpoint: Option<JobCheckpoint>,
+}
+
+/// Why a job did not produce a report.
+#[derive(Debug)]
+pub enum JobError {
+    /// The spec did not resolve to a runnable configuration.
+    Spec(String),
+    /// The resolved configuration failed validation.
+    Config(ConfigError),
+    /// The cancellation token fired; `checkpointed` says whether state
+    /// was saved for resume.
+    Cancelled {
+        /// DRAM cycle the run had reached.
+        cycle: Cycle,
+        /// True if a checkpoint was written (a [`JobCheckpoint`] was
+        /// configured and the write succeeded).
+        checkpointed: bool,
+    },
+    /// The attempt outlived its wall-clock budget.
+    DeadlineExceeded {
+        /// DRAM cycle the run had reached.
+        cycle: Cycle,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Spec(msg) => write!(f, "invalid job spec: {msg}"),
+            JobError::Config(e) => write!(f, "invalid configuration: {e}"),
+            JobError::Cancelled {
+                cycle,
+                checkpointed,
+            } => write!(
+                f,
+                "cancelled at cycle {cycle} ({})",
+                if *checkpointed {
+                    "checkpointed"
+                } else {
+                    "not checkpointed"
+                }
+            ),
+            JobError::DeadlineExceeded { cycle } => {
+                write!(f, "deadline exceeded at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Runs one job to completion, cancellation or deadline.
+///
+/// Advances the simulator in [`SLICE_CYCLES`] slices; after each slice it
+/// reports progress on `pulse` (so a supervising watchdog sees liveness),
+/// polls `cancel`, and checks the wall-clock deadline. Slicing never
+/// changes results: a completed job's report is bit-identical (modulo
+/// `perf`) to an unsliced [`run_synthetic`](crate::experiments::run_synthetic)
+/// of the same spec.
+///
+/// The `inject_panic` / `inject_hang` spec knobs deliberately misbehave
+/// *inside* the job so supervision layers can be tested end to end:
+/// a panic unwinds immediately; a hang spins without pulsing until the
+/// watchdog abandons it (it still honors `cancel`, so abandoned hang
+/// threads can be reclaimed on drain instead of leaking forever).
+///
+/// # Errors
+///
+/// [`JobError`] — invalid spec/config, cancelled, or over deadline.
+pub fn run_job(
+    spec: &JobSpec,
+    pulse: &JobPulse,
+    cancel: &JobCancel,
+    opts: JobOptions,
+) -> Result<SimReport, JobError> {
+    let (cfg, pattern) = spec.resolve().map_err(JobError::Spec)?;
+    if spec.inject_panic {
+        panic!("injected failure: job requested inject_panic");
+    }
+    if spec.inject_hang {
+        // No pulse beats on purpose — the supervisor's stall watchdog
+        // must fire. Honoring cancel keeps the abandoned thread from
+        // outliving a drain.
+        loop {
+            if cancel.is_cancelled() {
+                return Err(JobError::Cancelled {
+                    cycle: 0,
+                    checkpointed: false,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    let horizon = cfg.us_to_cycles(spec.us);
+    let mut sim = Simulator::with_synthetic(cfg, pattern);
+    if let Some(t) = opts.telemetry {
+        sim.attach_telemetry(t);
+    }
+    let end = sim.now() + horizon;
+    let started = Instant::now();
+    while sim.now() < end {
+        let target = end.min(sim.now() + SLICE_CYCLES);
+        sim.advance_to_cycle(target);
+        pulse.set_progress(sim.now());
+        if cancel.is_cancelled() {
+            let checkpointed = match &opts.checkpoint {
+                Some(c) => checkpoint_cancelled(&mut sim, c),
+                None => false,
+            };
+            return Err(JobError::Cancelled {
+                cycle: sim.now(),
+                checkpointed,
+            });
+        }
+        if let Some(budget) = opts.deadline {
+            if started.elapsed() >= budget {
+                return Err(JobError::DeadlineExceeded { cycle: sim.now() });
+            }
+        }
+    }
+    Ok(sim.report())
+}
+
+/// Best-effort checkpoint of a cancelled run; failure to save must not
+/// turn a clean cancellation into a crash.
+fn checkpoint_cancelled(sim: &mut Simulator, c: &JobCheckpoint) -> bool {
+    let Ok(mut chain) = CheckpointChain::create(&c.dir, &c.key, SnapshotFormat::Binary, true)
+    else {
+        return false;
+    };
+    if chain.checkpoint(sim).is_err() {
+        return false;
+    }
+    chain.finish().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckpt::load_latest;
+    use crate::experiments::run_synthetic;
+
+    #[test]
+    fn from_json_defaults_and_overrides() {
+        let spec = JobSpec::from_json("{}").unwrap();
+        assert_eq!(spec, JobSpec::default());
+
+        let spec =
+            JobSpec::from_json(r#"{"pattern":"rand","cores":4,"stores":0.3,"us":5}"#).unwrap();
+        assert_eq!(spec.pattern, "rand");
+        assert_eq!(spec.cores, 4);
+        assert!((spec.stores - 0.3).abs() < 1e-12);
+        assert!((spec.us - 5.0).abs() < 1e-12);
+        assert_eq!(spec.policy, "open");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_with_typed_messages() {
+        let err = JobSpec::from_json("not json").unwrap_err();
+        assert!(err.contains("invalid JSON"), "{err}");
+        let err = JobSpec::from_json("[1,2]").unwrap_err();
+        assert!(err.contains("must be a JSON object"), "{err}");
+        let err = JobSpec::from_json(r#"{"corse":2}"#).unwrap_err();
+        assert!(err.contains("unknown field `corse`"), "{err}");
+        let err = JobSpec::from_json(r#"{"cores":"two"}"#).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        let err = JobSpec::from_json(r#"{"cores":0}"#).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+    }
+
+    #[test]
+    fn resolve_rejects_out_of_range_fields() {
+        let mut spec = JobSpec {
+            stores: 1.5,
+            ..JobSpec::default()
+        };
+        assert!(spec.resolve().unwrap_err().contains("stores"));
+        spec.stores = 0.0;
+        spec.us = 0.0;
+        assert!(spec.resolve().unwrap_err().contains("us must be positive"));
+        spec.us = 1.0;
+        spec.pattern = "zigzag".to_string();
+        assert!(spec.resolve().unwrap_err().contains("unknown pattern"));
+    }
+
+    #[test]
+    fn run_job_matches_direct_run_bit_identically() {
+        let spec = JobSpec {
+            pattern: "rand".to_string(),
+            cores: 2,
+            stores: 0.2,
+            us: 5.0,
+            ..JobSpec::default()
+        };
+        let pulse = JobPulse::default();
+        let report = run_job(&spec, &pulse, &JobCancel::new(), JobOptions::default()).unwrap();
+        let direct = run_synthetic(
+            2,
+            dramstack_workloads::SyntheticPattern::random(0.2),
+            PagePolicy::Open,
+            MappingScheme::RowBankColumn,
+            5.0,
+        )
+        .unwrap();
+        assert_eq!(report.strip_perf(), direct.strip_perf());
+        assert!(pulse.progress() > 0);
+    }
+
+    #[test]
+    fn cancellation_is_prompt_and_checkpoints_for_resume() {
+        let dir = std::env::temp_dir().join(format!(
+            "dramstack-jobs-cancel-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let spec = JobSpec {
+            us: 10_000.0, // far more than we will simulate
+            ..JobSpec::default()
+        };
+        let cancel = JobCancel::new();
+        cancel.cancel(); // fires on the first slice boundary
+        let err = run_job(
+            &spec,
+            &JobPulse::default(),
+            &cancel,
+            JobOptions {
+                checkpoint: Some(JobCheckpoint {
+                    dir: dir.clone(),
+                    key: "cancelled".to_string(),
+                }),
+                ..JobOptions::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            JobError::Cancelled {
+                cycle,
+                checkpointed,
+            } => {
+                assert!(cycle > 0);
+                assert!(checkpointed);
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+        let loaded = load_latest(&dir, "cancelled").expect("checkpoint written");
+        assert!(loaded.snapshot.dram_cycle > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_is_enforced() {
+        let spec = JobSpec {
+            us: 10_000.0,
+            ..JobSpec::default()
+        };
+        let err = run_job(
+            &spec,
+            &JobPulse::default(),
+            &JobCancel::new(),
+            JobOptions {
+                deadline: Some(Duration::from_millis(0)),
+                ..JobOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, JobError::DeadlineExceeded { .. }), "{err}");
+    }
+}

@@ -26,6 +26,7 @@ pub mod campaign;
 pub mod ckpt;
 mod config;
 pub mod experiments;
+pub mod jobs;
 pub mod parallel;
 pub mod replay;
 mod report;
@@ -35,11 +36,12 @@ pub mod telemetry;
 
 pub use campaign::{job_key, Campaign, CampaignError};
 pub use ckpt::{
-    clear_interrupt, interrupted, request_interrupt, CheckpointChain, CheckpointWriter,
-    SnapshotFormat,
+    clear_interrupt, interrupt_signal, interrupted, request_interrupt, request_interrupt_signal,
+    CheckpointChain, CheckpointWriter, SnapshotFormat,
 };
 pub use config::{ConfigError, SystemConfig};
 pub use experiments::SweepCheckpointing;
+pub use jobs::{run_job, JobCancel, JobCheckpoint, JobError, JobOptions, JobSpec};
 pub use report::{diff_reports, load_report, ReportLoadError, SimReport};
 pub use snapshot::{
     Snapshot, SnapshotDelta, SnapshotError, SNAPSHOT_BINARY_VERSION, SNAPSHOT_FORMAT_VERSION,

@@ -403,6 +403,20 @@ where
     SweepOutcome { outcomes }
 }
 
+/// Supervises a single job: same panic isolation, watchdog and retry
+/// machinery as [`supervised_map`], for callers that schedule jobs one
+/// at a time (e.g. a long-running service worker pool). The calling
+/// thread blocks until the job reaches a terminal [`JobOutcome`]; the
+/// attempt itself runs detached so a hang can be abandoned.
+pub fn supervise<T, R, F>(cfg: &SupervisorConfig, item: T, f: F) -> JobOutcome<R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(JobPulse, T) -> R + Send + Sync + 'static,
+{
+    supervise_one(cfg, &Arc::new(f), item)
+}
+
 /// Runs one job to a terminal [`JobOutcome`]: attempt loop with retry
 /// for panics, watchdog kill for hangs.
 fn supervise_one<T, R, F>(cfg: &SupervisorConfig, f: &Arc<F>, item: T) -> JobOutcome<R>

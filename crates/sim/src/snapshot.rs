@@ -23,7 +23,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use dramstack_audit::AuditState;
-use dramstack_core::{LatencyHistogram, SamplerDelta, SamplerState};
+use dramstack_core::{HistogramDelta, LatencyHistogram, SamplerDelta, SamplerState};
 use dramstack_cpu::{CoreState, CycleStack, HierarchyDelta, HierarchyState};
 use dramstack_dram::Cycle;
 use dramstack_memctrl::CtrlSnapshot;
@@ -39,7 +39,12 @@ use crate::config::SystemConfig;
 ///
 /// v2: cache ways serialize columnar (flat tag/LRU columns + valid/dirty
 /// bitset words) instead of one map per way.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+///
+/// v3: delta checkpoints carry a sparse per-bucket latency-histogram
+/// patch ([`HistogramDelta`]) instead of re-serializing the whole
+/// histogram in every delta. Full snapshots still embed the complete
+/// histogram and remain the oracle.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
 
 /// Version stamp of the binary `.dsnp` *container* (magic, string table,
 /// section table — see [`crate::binary`]), independent of the embedded
@@ -200,7 +205,9 @@ impl Snapshot {
         self.streams = delta.streams.clone();
         self.audits = delta.audits.clone();
         self.cycle_total = delta.cycle_total;
-        self.histogram = delta.histogram.clone();
+        self.histogram
+            .apply_delta(&delta.histogram)
+            .map_err(corrupt)?;
         Ok(())
     }
 }
@@ -247,8 +254,9 @@ pub struct SnapshotDelta {
     pub cycle_samples_appended: Vec<CycleStack>,
     /// Running CPU cycle-stack total.
     pub cycle_total: CycleStack,
-    /// DRAM read-latency histogram.
-    pub histogram: LatencyHistogram,
+    /// Sparse read-latency-histogram patch: only the buckets that grew
+    /// since the previous checkpoint (see [`HistogramDelta`]).
+    pub histogram: HistogramDelta,
 }
 
 impl SnapshotDelta {

@@ -102,6 +102,10 @@ struct CkptMarks {
     sampler_lens: Vec<usize>,
     /// Rolled CPU cycle-window count at the previous checkpoint.
     cycle_samples_len: usize,
+    /// Latency histogram at the previous checkpoint, the base the next
+    /// delta's sparse per-bucket patch is computed against (64 buckets of
+    /// `u64` — cheap to retain and compare).
+    histogram: LatencyHistogram,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -957,6 +961,7 @@ impl Simulator {
                 .collect(),
             sampler_lens: snap.samplers.iter().map(|s| s.samples_len()).collect(),
             cycle_samples_len: snap.cycle_samples.len(),
+            histogram: snap.histogram.clone(),
         });
         Ok(snap)
     }
@@ -1042,8 +1047,9 @@ impl Simulator {
             cycle_samples_base_len: marks.cycle_samples_len as u64,
             cycle_samples_appended: self.cycle_samples[marks.cycle_samples_len..].to_vec(),
             cycle_total: self.cycle_total,
-            histogram: self.histogram.clone(),
+            histogram: self.histogram.delta_since(&marks.histogram),
         };
+        marks.histogram = self.histogram.clone();
         marks.cycle_samples_len = self.cycle_samples.len();
         marks.last_cycle = self.dram_cycle;
         marks.next_seq += 1;

@@ -50,7 +50,11 @@ impl Default for TelemetryConfig {
 }
 
 /// A consumer of published sample windows (e.g. the live dashboard).
-pub trait TelemetrySink {
+///
+/// `Send` so a [`Telemetry`] (and the simulator carrying it) can move
+/// across threads — the serve worker pool hands jobs, telemetry
+/// attached, to supervised attempt threads.
+pub trait TelemetrySink: Send {
     /// One system-level sample window, already aggregated over channels,
     /// with its advisor projection and the advisor's current sustained
     /// bottleneck (if any).
@@ -172,6 +176,14 @@ impl Telemetry {
         }
     }
 
+    /// Feeds a window sample from outside the simulator drive loop.
+    /// Lets a service aggregate windows from many jobs into one shared
+    /// [`Telemetry`] whose [`prometheus_snapshot`](Self::prometheus_snapshot)
+    /// covers the whole fleet.
+    pub fn ingest_window(&mut self, sample: &TimeSample) {
+        self.publish(sample);
+    }
+
     /// Renders the Prometheus-style text exposition of the current state:
     /// aggregate stack shares over the retained series, last-window
     /// gauges, and run counters.
@@ -268,7 +280,7 @@ impl Telemetry {
 
 /// One JSON-lines record: flat scalars plus labeled share objects, so
 /// `jq` consumers need no knowledge of the stack component order.
-fn jsonl_record(
+pub fn jsonl_record(
     index: u64,
     sample: &TimeSample,
     obs: &WindowObservation,

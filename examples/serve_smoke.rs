@@ -1,0 +1,62 @@
+//! Client smoke for a running `dramstack serve` daemon: submits jobs
+//! through the retrying client, waits for completion, and validates the
+//! results — exactly what CI does after starting the daemon.
+//!
+//! ```sh
+//! dramstack-cli serve --addr 127.0.0.1:7077 &
+//! cargo run --release --example serve_smoke -- 127.0.0.1:7077
+//! ```
+//!
+//! Exits non-zero on any failed check, so it doubles as a health gate.
+
+use std::time::Duration;
+
+use dramstack::serve::Client;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("DRAMSTACK_SERVE_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:7077".to_string());
+    let mut client = Client::new(addr.clone());
+    client.retries = 5;
+    client.backoff = Duration::from_millis(200);
+
+    let health = client.healthz().expect("healthz");
+    assert_eq!(health.trim(), "ok", "unexpected healthz body: {health}");
+    assert!(client.readyz().expect("readyz"), "server is draining");
+    println!("healthz ok, ready");
+
+    // A pair of jobs with different shapes; the retrying submitter
+    // rides out transient 429s if the daemon is busy.
+    let specs = [
+        r#"{"pattern":"seq","cores":2,"us":60}"#,
+        r#"{"pattern":"rand","cores":1,"stores":0.2,"us":30}"#,
+    ];
+    for spec in specs {
+        let id = client.submit_job_with_retry(spec).expect("submit");
+        let status = client
+            .wait_job(id, Duration::from_secs(300))
+            .expect("job finishes");
+        assert!(
+            status.contains("\"status\":\"done\""),
+            "job {id} did not complete: {status}"
+        );
+        println!("job {id} done ({spec})");
+
+        let lines = client.stream_lines(id).expect("stream");
+        assert!(!lines.is_empty(), "job {id} streamed no telemetry windows");
+        println!("job {id} streamed {} telemetry window(s)", lines.len());
+    }
+
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("dramstack_serve_jobs_total"),
+        "serve counters missing from /metrics"
+    );
+    assert!(
+        metrics.contains("dramstack_windows_total"),
+        "fleet telemetry missing from /metrics"
+    );
+    println!("metrics ok — serve smoke passed against {addr}");
+}

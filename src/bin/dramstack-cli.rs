@@ -36,7 +36,36 @@ enum Cli {
     ReqTrace { input: String },
     Extrapolate { pattern: SynthArgs, to: f64 },
     Diff(DiffArgs),
+    Serve(ServeArgs),
     Help,
+}
+
+/// Arguments of the `serve` daemon command.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeArgs {
+    addr: String,
+    workers: usize,
+    queue_cap: usize,
+    max_body_kb: usize,
+    job_deadline_secs: Option<f64>,
+    job_stall_secs: f64,
+    drain_grace_secs: f64,
+    checkpoint_dir: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: 2,
+            queue_cap: 16,
+            max_body_kb: 64,
+            job_deadline_secs: Some(300.0),
+            job_stall_secs: 10.0,
+            drain_grace_secs: 10.0,
+            checkpoint_dir: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -182,6 +211,10 @@ USAGE:
   dramstack-cli extrapolate [synth options] [--to K]
   dramstack-cli diff  --before REPORT.json --after REPORT.json
                       [--threshold F]                # compare two runs
+  dramstack-cli serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+                      [--max-body-kb N] [--job-deadline-secs F|0]
+                      [--job-stall-secs F] [--drain-grace-secs F]
+                      [--checkpoint-dir DIR]         # simulation service
   dramstack-cli help
 
 Live telemetry (synth): --live draws the terminal stack dashboard on
@@ -198,12 +231,21 @@ to an uninterrupted run. Checkpoints default to the compact binary delta
 chain (base .dsnp plus numbered deltas, written off-thread);
 --snapshot-format json keeps full pretty-printed JSON snapshots and
 --snapshot-delta off forces every binary checkpoint to be a full
-snapshot. SIGTERM is caught while checkpointing is active: the run
-flushes one final checkpoint and exits with code 143, ready for
---resume. `sweep` runs its grid under a supervisor: a panicking job is
-retried (--retries, default 1), a job exceeding --deadline-secs is
-abandoned, and the sweep always returns every healthy result (exit code
-3 flags a partial sweep).
+snapshot. SIGTERM and SIGINT are caught while checkpointing is active:
+the run flushes one final checkpoint and exits with the conventional
+128+signal code (143 for SIGTERM, 130 for ctrl-C), ready for --resume.
+`sweep` runs its grid under a supervisor: a panicking job is retried
+(--retries, default 1), a job exceeding --deadline-secs is abandoned,
+and the sweep always returns every healthy result (exit code 3 flags a
+partial sweep).
+
+Serving: `serve` runs a long-lived daemon accepting jobs over HTTP
+(POST /jobs with a JSON spec; GET /jobs/<id>, /jobs/<id>/stream,
+/healthz, /readyz, /metrics). Admission is a bounded queue
+(--queue-cap); overload sheds with 429 + Retry-After. Panicking or hung
+jobs are isolated by the worker supervisor. SIGTERM/SIGINT triggers a
+graceful drain: stop accepting, finish or cancel in-flight jobs
+(checkpointing them when --checkpoint-dir is set), then exit 0.
 ";
 
 fn parse_policy(v: &str) -> Result<PagePolicy, String> {
@@ -407,6 +449,71 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
     Ok(out)
 }
 
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => out.addr = value("--addr")?,
+            "--workers" => {
+                out.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-cap" => {
+                out.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--max-body-kb" => {
+                out.max_body_kb = value("--max-body-kb")?
+                    .parse()
+                    .map_err(|e| format!("--max-body-kb: {e}"))?;
+            }
+            "--job-deadline-secs" => {
+                let d: f64 = value("--job-deadline-secs")?
+                    .parse()
+                    .map_err(|e| format!("--job-deadline-secs: {e}"))?;
+                // 0 disables the per-job deadline entirely.
+                out.job_deadline_secs = if d > 0.0 { Some(d) } else { None };
+            }
+            "--job-stall-secs" => {
+                out.job_stall_secs = value("--job-stall-secs")?
+                    .parse()
+                    .map_err(|e| format!("--job-stall-secs: {e}"))?;
+            }
+            "--drain-grace-secs" => {
+                out.drain_grace_secs = value("--drain-grace-secs")?
+                    .parse()
+                    .map_err(|e| format!("--drain-grace-secs: {e}"))?;
+            }
+            "--checkpoint-dir" => out.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            other => return Err(format!("unknown flag `{other}` for serve")),
+        }
+    }
+    if out.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if out.queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".into());
+    }
+    if out.max_body_kb == 0 {
+        return Err("--max-body-kb must be at least 1".into());
+    }
+    if out.job_stall_secs <= 0.0 {
+        return Err("--job-stall-secs must be positive".into());
+    }
+    if out.drain_grace_secs < 0.0 {
+        return Err("--drain-grace-secs must be non-negative".into());
+    }
+    Ok(out)
+}
+
 /// Parses a full command line (without the program name).
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let Some(cmd) = args.first() else {
@@ -422,6 +529,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             Ok(Cli::Synth(synth))
         }
         "sweep" => Ok(Cli::Sweep(parse_sweep_args(&args[1..])?)),
+        "serve" => Ok(Cli::Serve(parse_serve_args(&args[1..])?)),
         "gap" => {
             let mut out = GapArgs::default();
             let mut it = args[1..].iter();
@@ -614,31 +722,47 @@ fn run_synth_telemetry(a: &SynthArgs) -> Result<SimReport, String> {
     Ok(r)
 }
 
-/// Installs the SIGTERM → cooperative-interrupt bridge for checkpointed
-/// runs. No `libc` dependency: the handler is registered through the raw
-/// `signal(2)` symbol every Unix target links anyway, and the handler
-/// body is async-signal-safe (a single atomic store). Checkpointed run
-/// loops poll the flag at checkpoint boundaries, flush one final
-/// checkpoint, and exit with code 143 (128 + SIGTERM).
+/// Installs the SIGTERM/SIGINT → cooperative-interrupt bridge for
+/// checkpointed runs and the serve daemon. No `libc` dependency: the
+/// handlers are registered through the raw `signal(2)` symbol every Unix
+/// target links anyway, and the handler body is async-signal-safe (two
+/// atomic stores, recording which signal fired). Checkpointed run loops
+/// poll the flag at checkpoint boundaries, flush one final checkpoint,
+/// and exit with the conventional 128+signal code (143 for SIGTERM, 130
+/// for ctrl-C); the serve daemon drains gracefully and exits 0.
 #[cfg(unix)]
 fn install_term_handler() {
-    extern "C" fn on_term(_sig: i32) {
-        dramstack::sim::request_interrupt();
+    extern "C" fn on_signal(sig: i32) {
+        dramstack::sim::request_interrupt_signal(sig);
     }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     unsafe {
-        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
     }
 }
 
 #[cfg(not(unix))]
 fn install_term_handler() {}
 
-/// Exit code for a SIGTERM-interrupted run that checkpointed cleanly.
-const EXIT_TERMINATED: u8 = 143;
+/// Exit code for an interrupted run that checkpointed cleanly:
+/// 128 + the signal that fired (143 for SIGTERM, 130 for SIGINT).
+fn interrupt_exit_code() -> i32 {
+    128 + dramstack::sim::interrupt_signal().unwrap_or(15)
+}
+
+/// Human name of the interrupting signal, for the checkpoint message
+/// ("sigterm: checkpointed at cycle N" is grepped by CI).
+fn interrupt_name() -> &'static str {
+    match dramstack::sim::interrupt_signal() {
+        Some(2) => "sigint",
+        _ => "sigterm",
+    }
+}
 
 /// Runs the synthetic workload under a [`Campaign`]: periodic snapshots
 /// into `--checkpoint-dir` (binary delta chains by default, see
@@ -698,7 +822,10 @@ fn run_synth_checkpointed(a: &SynthArgs, dir: &str) -> Result<Option<SimReport>,
                 let at = sim.now();
                 chain.checkpoint(&mut sim).map_err(|e| e.to_string())?;
                 chain.finish().map_err(|e| e.to_string())?;
-                println!("sigterm: checkpointed at cycle {at}; rerun with --resume to continue");
+                println!(
+                    "{}: checkpointed at cycle {at}; rerun with --resume to continue",
+                    interrupt_name()
+                );
                 return Ok(None);
             }
         }
@@ -727,9 +854,9 @@ fn run_synth_cmd(a: &SynthArgs) -> Result<(), String> {
         }
         match run_synth_checkpointed(a, dir)? {
             Some(r) => r,
-            // SIGTERM: the final checkpoint is on disk and the writer
-            // thread has been joined — nothing left to flush.
-            None => std::process::exit(EXIT_TERMINATED as i32),
+            // SIGTERM/SIGINT: the final checkpoint is on disk and the
+            // writer thread has been joined — nothing left to flush.
+            None => std::process::exit(interrupt_exit_code()),
         }
     } else if wants_telemetry(a) {
         run_synth_telemetry(a)?
@@ -808,8 +935,11 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<bool, String> {
     )
     .map_err(|e| e.to_string())?;
     if dramstack::sim::interrupted() {
-        println!("sigterm: in-flight jobs checkpointed; rerun with --resume to continue");
-        std::process::exit(EXIT_TERMINATED as i32);
+        println!(
+            "{}: in-flight jobs checkpointed; rerun with --resume to continue",
+            interrupt_name()
+        );
+        std::process::exit(interrupt_exit_code());
     }
 
     // Rebuild the grid labels in the same input order the sweep used.
@@ -865,6 +995,42 @@ fn run_sweep_cmd(a: &SweepArgs) -> Result<bool, String> {
         );
     }
     Ok(failures.none_lost())
+}
+
+/// Runs the simulation service until SIGTERM/SIGINT, then drains
+/// gracefully. A drained exit is a success (code 0) — jobs in flight
+/// either finished or were cancelled-with-checkpoint.
+fn run_serve_cmd(a: &ServeArgs) -> Result<(), String> {
+    use dramstack::serve::{ServeConfig, Server};
+    install_term_handler();
+    let cfg = ServeConfig {
+        addr: a.addr.clone(),
+        workers: a.workers,
+        queue_cap: a.queue_cap,
+        max_body_bytes: a.max_body_kb * 1024,
+        job_deadline: a.job_deadline_secs.map(std::time::Duration::from_secs_f64),
+        job_stall_timeout: std::time::Duration::from_secs_f64(a.job_stall_secs),
+        drain_grace: std::time::Duration::from_secs_f64(a.drain_grace_secs),
+        checkpoint_dir: a.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg).map_err(|e| format!("bind {}: {e}", a.addr))?;
+    // Flushed before blocking so wrappers (CI, tests) can scrape the
+    // actual port even when stdout is a pipe.
+    println!("serving on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = server.serve();
+    println!(
+        "drained: {} accepted, {} completed, {} failed, {} timed out, {} cancelled, {} shed",
+        stats.accepted,
+        stats.completed,
+        stats.failed,
+        stats.timed_out,
+        stats.cancelled,
+        stats.shed_429 + stats.shed_drain
+    );
+    Ok(())
 }
 
 fn run_diff_cmd(a: &DiffArgs) -> Result<(), String> {
@@ -1018,6 +1184,7 @@ fn main() -> ExitCode {
         Cli::ReqTrace { input } => run_reqtrace_cmd(input),
         Cli::Extrapolate { pattern, to } => run_extrapolate_cmd(pattern, *to),
         Cli::Diff(a) => run_diff_cmd(a),
+        Cli::Serve(a) => run_serve_cmd(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -1224,6 +1391,36 @@ mod tests {
         assert!(parse_cli(&args("sweep --policies fancy")).is_err());
         assert!(parse_cli(&args("sweep --resume")).is_err());
         assert!(parse_cli(&args("sweep --deadline-secs -1")).is_err());
+    }
+
+    #[test]
+    fn parse_serve() {
+        assert_eq!(
+            parse_cli(&args("serve")).unwrap(),
+            Cli::Serve(ServeArgs::default())
+        );
+        let cli = parse_cli(&args(
+            "serve --addr 127.0.0.1:0 --workers 4 --queue-cap 2 --max-body-kb 8 \
+             --job-deadline-secs 0 --job-stall-secs 1.5 --drain-grace-secs 3 \
+             --checkpoint-dir ckpt",
+        ))
+        .unwrap();
+        match cli {
+            Cli::Serve(a) => {
+                assert_eq!(a.addr, "127.0.0.1:0");
+                assert_eq!(a.workers, 4);
+                assert_eq!(a.queue_cap, 2);
+                assert_eq!(a.max_body_kb, 8);
+                assert_eq!(a.job_deadline_secs, None); // 0 disables
+                assert!((a.job_stall_secs - 1.5).abs() < 1e-12);
+                assert!((a.drain_grace_secs - 3.0).abs() < 1e-12);
+                assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_cli(&args("serve --workers 0")).is_err());
+        assert!(parse_cli(&args("serve --queue-cap 0")).is_err());
+        assert!(parse_cli(&args("serve --bogus 1")).is_err());
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! * [`cpu`] — out-of-order-proxy cores, caches, prefetcher, cycle stacks.
 //! * [`workloads`] — synthetic streams and GAP-style graph kernels.
 //! * [`sim`] — the full-system simulator and paper experiment configs.
+//! * [`serve`] — the resilient simulation service (`dramstack serve`):
+//!   admission control, backpressure, graceful drain.
 //! * [`viz`] — ASCII/SVG/CSV renderings of stacks.
 //!
 //! plus one module of its own: [`live`], which bridges the simulator's
@@ -50,6 +52,7 @@ pub use dramstack_cpu as cpu;
 pub use dramstack_dram as dram;
 pub use dramstack_memctrl as memctrl;
 pub use dramstack_obs as obs;
+pub use dramstack_serve as serve;
 pub use dramstack_sim as sim;
 pub use dramstack_viz as viz;
 pub use dramstack_workloads as workloads;

@@ -504,8 +504,8 @@ fn on_disk_resume_falls_back_to_last_complete_checkpoint() {
 // byte.
 // ---------------------------------------------------------------------------
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/snapshot_v2.json");
-const GOLDEN_BIN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/snapshot_v2.dsnp");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/snapshot_v3.json");
+const GOLDEN_BIN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/snapshot_v3.dsnp");
 
 /// Deterministic machine state used to mint the golden blobs. Caches are
 /// shrunk so the checked-in fixtures stay small; the serialized *shape*
